@@ -1,0 +1,429 @@
+// Benchmark harness: one benchmark per paper table/figure plus the
+// ablation micro-benchmarks called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks (Fig6/Fig8/Table2) regenerate the full
+// evaluation artefact per iteration; the micro-benchmarks isolate the
+// costs the design trades off (signature size, disjointness test, zone
+// index, batch vs per-sample signing, HMAC vs RSA).
+package alidrone
+
+import (
+	"crypto/rsa"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/flightsim"
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/nmea"
+	"repro/internal/planner"
+	"repro/internal/poa"
+	"repro/internal/sampling"
+	"repro/internal/sigcrypto"
+	"repro/internal/tee"
+	"repro/internal/trace"
+	"repro/internal/zone"
+)
+
+var benchStart = time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+
+// --- Experiment benchmarks: one per table/figure -------------------------
+
+// BenchmarkFig6Airport regenerates the airport scenario comparison
+// (paper Fig 6: 649 fix-rate vs 14 adaptive samples).
+func BenchmarkFig6Airport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.AdaptiveSamples >= r.FixedSamples {
+			b.Fatal("adaptive did not win")
+		}
+	}
+}
+
+// BenchmarkFig7Residential regenerates the residential layout (Fig 7).
+func BenchmarkFig7Residential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Residential regenerates the residential series (Fig 8 a-c).
+func BenchmarkFig8Residential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Totals["2Hz"] <= r.Totals["5Hz"] {
+			b.Fatal("insufficiency ordering broken")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the CPU/power/memory table (Table II).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Crypto micro-benchmarks (Table II's per-sample cost drivers) --------
+
+func benchKey(b *testing.B, bits int) *rsa.PrivateKey {
+	b.Helper()
+	key, err := sigcrypto.GenerateKeyPair(rand.New(rand.NewSource(1)), bits)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return key
+}
+
+// BenchmarkSignSample1024 measures one TEE signature with the short key
+// that sustains 5 Hz in the paper.
+func BenchmarkSignSample1024(b *testing.B) {
+	key := benchKey(b, 1024)
+	msg := benchSample().Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sigcrypto.Sign(key, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignSample2048 measures the long-key signature that cannot keep
+// up with 5 Hz on the Pi.
+func BenchmarkSignSample2048(b *testing.B) {
+	key := benchKey(b, 2048)
+	msg := benchSample().Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sigcrypto.Sign(key, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVerifySample1024 is the auditor-side cost per sample.
+func BenchmarkVerifySample1024(b *testing.B) {
+	key := benchKey(b, 1024)
+	msg := benchSample().Marshal()
+	sig, err := sigcrypto.Sign(key, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sigcrypto.Verify(&key.PublicKey, msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHMACSample is the §VII-A1a symmetric alternative: orders of
+// magnitude cheaper than RSA.
+func BenchmarkHMACSample(b *testing.B) {
+	key := make([]byte, 32)
+	msg := benchSample().Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sigcrypto.MAC(key, msg)
+	}
+}
+
+// BenchmarkBatchSignTrace is the §VII-A1b alternative: one signature over
+// a whole 30-minute 1 Hz trace instead of 1800 per-sample signatures.
+func BenchmarkBatchSignTrace(b *testing.B) {
+	key := benchKey(b, 1024)
+	samples := make([]poa.Sample, 1800)
+	for i := range samples {
+		samples[i] = poa.Sample{
+			Pos:  geo.LatLon{Lat: 40.1, Lon: -88.2},
+			Time: benchStart.Add(time.Duration(i) * time.Second),
+		}
+	}
+	msg := poa.MarshalBatch(samples)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sigcrypto.Sign(key, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Geometry micro-benchmarks (sufficiency test ablation) ---------------
+
+// BenchmarkPairSufficientConservative is the paper's online boundary test.
+func BenchmarkPairSufficientConservative(b *testing.B) {
+	s1, s2, z := benchPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poa.PairSufficient(s1, s2, z, geo.MaxDroneSpeedMPS, poa.Conservative)
+	}
+}
+
+// BenchmarkPairSufficientExact is the auditor's exact ellipse-disk test.
+func BenchmarkPairSufficientExact(b *testing.B) {
+	s1, s2, z := benchPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poa.PairSufficient(s1, s2, z, geo.MaxDroneSpeedMPS, poa.Exact)
+	}
+}
+
+// BenchmarkVerifySufficiencyResidential verifies a full residential-flight
+// PoA (the auditor's per-submission geometric cost).
+func BenchmarkVerifySufficiencyResidential(b *testing.B) {
+	sc, err := trace.NewResidentialScenario(trace.DefaultResidentialConfig(benchStart))
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := make([]poa.Sample, 0, 310)
+	for dt := time.Duration(0); dt <= sc.Route.Duration(); dt += 500 * time.Millisecond {
+		samples = append(samples, poa.Sample{
+			Pos:  sc.Route.Position(benchStart.Add(dt)).Pos,
+			Time: benchStart.Add(dt),
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := poa.VerifySufficiency(samples, sc.Zones, geo.MaxDroneSpeedMPS, poa.Conservative); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Zone index ablation --------------------------------------------------
+
+func benchZones(n int) []geo.GeoCircle {
+	rng := rand.New(rand.NewSource(3))
+	home := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	zs := make([]geo.GeoCircle, n)
+	for i := range zs {
+		zs[i] = geo.GeoCircle{
+			Center: home.Offset(rng.Float64()*360, rng.Float64()*5000),
+			R:      5 + rng.Float64()*50,
+		}
+	}
+	return zs
+}
+
+// BenchmarkZoneNearestLinear94 is the linear scan at the paper's
+// residential density.
+func BenchmarkZoneNearestLinear94(b *testing.B) {
+	zs := benchZones(94)
+	p := geo.LatLon{Lat: 40.115, Lon: -88.21}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := zone.NearestLinear(zs, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZoneNearestIndex94 is the grid index at the same density.
+func BenchmarkZoneNearestIndex94(b *testing.B) {
+	idx := zone.NewIndex(benchZones(94), 0)
+	p := geo.LatLon{Lat: 40.115, Lon: -88.21}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := idx.Nearest(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZoneNearestLinear2000 scales the linear scan to a city-sized
+// zone set.
+func BenchmarkZoneNearestLinear2000(b *testing.B) {
+	zs := benchZones(2000)
+	p := geo.LatLon{Lat: 40.115, Lon: -88.21}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := zone.NearestLinear(zs, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZoneNearestIndex2000 is the grid index on the same set.
+func BenchmarkZoneNearestIndex2000(b *testing.B) {
+	idx := zone.NewIndex(benchZones(2000), 0)
+	p := geo.LatLon{Lat: 40.115, Lon: -88.21}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := idx.Nearest(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Sampler end-to-end ablation ------------------------------------------
+
+// benchSamplerRun executes one full residential flight with the given
+// sampler configuration.
+func benchSamplerRun(b *testing.B, fixedRate float64) {
+	b.Helper()
+	sc, err := trace.NewResidentialScenario(trace.DefaultResidentialConfig(benchStart))
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx := zone.NewIndex(sc.Zones, 0)
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(4))
+		rx, err := gps.NewReceiver(sc.Route, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vault, err := tee.ManufactureVault(rng, sigcrypto.KeySize1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clock := tee.NewSimClock(benchStart)
+		dev := tee.NewDevice(clock, vault)
+		if _, err := tee.NewGPSSampler(dev, gps.NewDriver(rx), rng); err != nil {
+			b.Fatal(err)
+		}
+		env := sampling.NewTEEEnv(dev, clock, rx)
+
+		if fixedRate > 0 {
+			f := &sampling.FixedRate{Env: env, RateHz: fixedRate}
+			if _, err := f.Run(sc.Route.End()); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			a := &sampling.Adaptive{Env: env, Index: idx, VMaxMS: geo.MaxDroneSpeedMPS}
+			if _, err := a.Run(sc.Route.End()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkResidentialFlightAdaptive runs the full adaptive flight.
+func BenchmarkResidentialFlightAdaptive(b *testing.B) { benchSamplerRun(b, 0) }
+
+// BenchmarkResidentialFlightFixed5Hz runs the 5 Hz baseline flight.
+func BenchmarkResidentialFlightFixed5Hz(b *testing.B) { benchSamplerRun(b, 5) }
+
+// --- NMEA micro-benchmarks -------------------------------------------------
+
+// BenchmarkNMEAParseRMC measures the driver's per-update parse cost.
+func BenchmarkNMEAParseRMC(b *testing.B) {
+	sentence := nmea.EncodeRMC(nmea.RMC{
+		Time: benchStart, Valid: true, Lat: 40.1106, Lon: -88.2073,
+		SpeedKnots: 19.4, CourseDeg: 88,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nmea.ParseRMC(sentence); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- helpers ---------------------------------------------------------------
+
+func benchSample() poa.Sample {
+	return poa.Sample{Pos: geo.LatLon{Lat: 40.1106, Lon: -88.2073}, Time: benchStart}.Canon()
+}
+
+func benchPair() (poa.Sample, poa.Sample, geo.GeoCircle) {
+	home := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	s1 := poa.Sample{Pos: home, Time: benchStart}
+	s2 := poa.Sample{Pos: home.Offset(90, 5), Time: benchStart.Add(time.Second)}
+	z := geo.GeoCircle{Center: home.Offset(0, 40), R: 10}
+	return s1, s2, z
+}
+
+// --- Planner / flightsim benchmarks ----------------------------------------
+
+// BenchmarkPlanRouteBlocked measures one A* plan around a blocking zone.
+func BenchmarkPlanRouteBlocked(b *testing.B) {
+	home := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	goal := home.Offset(90, 3000)
+	zones := []geo.GeoCircle{{Center: home.Offset(90, 1500), R: 300}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planner.PlanRoute(home, goal, zones, planner.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanRouteDense measures planning through a dense random field.
+func BenchmarkPlanRouteDense(b *testing.B) {
+	home := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	goal := home.Offset(90, 4000)
+	rng := rand.New(rand.NewSource(5))
+	var zones []geo.GeoCircle
+	for i := 0; i < 20; i++ {
+		zones = append(zones, geo.GeoCircle{
+			Center: home.Offset(90, 500+rng.Float64()*3000).Offset(rng.Float64()*360, rng.Float64()*300),
+			R:      60 + rng.Float64()*120,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := planner.PlanRoute(home, goal, zones, planner.Config{ClearanceMeters: 25})
+		if err != nil && !errors.Is(err, planner.ErrNoRoute) &&
+			!errors.Is(err, planner.ErrStartBlocked) && !errors.Is(err, planner.ErrGoalBlocked) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlightSim measures one simulated 2 km mission with wind.
+func BenchmarkFlightSim(b *testing.B) {
+	home := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	for i := 0; i < b.N; i++ {
+		_, err := flightsim.Fly(flightsim.Mission{
+			Waypoints: []geo.LatLon{home, home.Offset(90, 2000)},
+			Departure: benchStart,
+			Wind:      flightsim.WindModel{MeanMS: 5, BearingDeg: 300, GustMS: 2, Seed: 3},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncryptPoAResidential measures the Adapter's end-of-flight
+// encryption of a full residential PoA to the auditor.
+func BenchmarkEncryptPoAResidential(b *testing.B) {
+	key := benchKey(b, 1024)
+	samples := make([]poa.SignedSample, 443)
+	for i := range samples {
+		samples[i] = poa.SignedSample{
+			Sample: benchSample(),
+			Sig:    make([]byte, 128),
+		}
+	}
+	plaintext, err := jsonMarshal(poa.PoA{Samples: samples})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sigcrypto.Encrypt(rng, &key.PublicKey, plaintext); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// jsonMarshal keeps the benchmark body tidy.
+func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }

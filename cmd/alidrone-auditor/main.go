@@ -1,0 +1,125 @@
+// Command alidrone-auditor runs the AliDrone Server: the authorized third
+// party that registers drones and no-fly zones, answers zone queries and
+// verifies submitted Proofs-of-Alibi over HTTP.
+//
+// Usage:
+//
+//	alidrone-auditor -listen :8470 [-retention 48h] [-mode exact|conservative]
+//	                 [-state /var/lib/alidrone/state.json] [-save-every 1m]
+//
+// With -state, the server restores its registries and retained PoAs from
+// the file at startup (if present) and checkpoints back periodically and
+// on shutdown.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/auditor"
+	"repro/internal/poa"
+)
+
+func main() {
+	listen := flag.String("listen", ":8470", "address to serve the auditor API on")
+	retention := flag.Duration("retention", 48*time.Hour, "how long verified PoAs are kept for accusations")
+	mode := flag.String("mode", "exact", "sufficiency test: exact or conservative")
+	statePath := flag.String("state", "", "state file for persistence (empty = in-memory only)")
+	saveEvery := flag.Duration("save-every", time.Minute, "state checkpoint interval (with -state)")
+	flag.Parse()
+
+	if err := run(*listen, *retention, *mode, *statePath, *saveEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "alidrone-auditor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, retention time.Duration, mode, statePath string, saveEvery time.Duration) error {
+	var testMode poa.TestMode
+	switch mode {
+	case "exact":
+		testMode = poa.Exact
+	case "conservative":
+		testMode = poa.Conservative
+	default:
+		return fmt.Errorf("unknown mode %q (want exact or conservative)", mode)
+	}
+
+	cfg := auditor.Config{Mode: testMode, Retention: retention}
+	srv, err := openServer(cfg, statePath)
+	if err != nil {
+		return err
+	}
+
+	// Housekeeping: purge expired PoAs and checkpoint state until stop.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(saveEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if n := srv.PurgeExpired(); n > 0 {
+					log.Printf("purged %d expired PoAs", n)
+				}
+				checkpoint(srv, statePath)
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	httpSrv := &http.Server{Addr: listen, Handler: auditor.NewHandler(srv)}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		close(stop)
+		<-done
+		checkpoint(srv, statePath)
+		_ = httpSrv.Close()
+	}()
+
+	log.Printf("alidrone-auditor listening on %s (mode=%s, retention=%v, state=%q)",
+		listen, mode, retention, statePath)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// openServer restores from the state file when it exists, otherwise
+// creates a fresh server.
+func openServer(cfg auditor.Config, statePath string) (*auditor.Server, error) {
+	if statePath != "" {
+		if _, err := os.Stat(statePath); err == nil {
+			srv, err := auditor.LoadServer(cfg, statePath)
+			if err != nil {
+				return nil, fmt.Errorf("restore state: %w", err)
+			}
+			log.Printf("restored state from %s", statePath)
+			return srv, nil
+		}
+	}
+	return auditor.NewServer(cfg)
+}
+
+// checkpoint writes the state file, logging (not failing) on error — the
+// serving path must not die because the disk hiccuped.
+func checkpoint(srv *auditor.Server, statePath string) {
+	if statePath == "" {
+		return
+	}
+	if err := srv.SaveState(statePath); err != nil {
+		log.Printf("state checkpoint failed: %v", err)
+	}
+}

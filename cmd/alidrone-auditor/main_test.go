@@ -1,0 +1,54 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/auditor"
+	"repro/internal/geo"
+	"repro/internal/protocol"
+)
+
+func TestOpenServerFreshAndRestore(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	cfg := auditor.Config{Retention: time.Hour}
+
+	// Fresh start: no state file yet.
+	srv, err := openServer(cfg, statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.RegisterZone(protocol.RegisterZoneRequest{
+		Owner: "alice",
+		Zone:  geo.GeoCircle{Center: geo.LatLon{Lat: 40.1, Lon: -88.2}, R: 100},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkpoint(srv, statePath)
+
+	// Restart: the zone survives.
+	restored, err := openServer(cfg, statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Zones().Len() != 1 {
+		t.Errorf("restored zones = %d, want 1", restored.Zones().Len())
+	}
+
+	// Empty state path: checkpoint is a no-op and open always fresh.
+	checkpoint(srv, "")
+	fresh, err := openServer(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Zones().Len() != 0 {
+		t.Error("fresh server should have no zones")
+	}
+}
+
+func TestRunRejectsBadMode(t *testing.T) {
+	if err := run(":0", time.Hour, "sloppy", "", time.Minute); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Command alidrone-drone simulates one AliDrone-equipped drone flying a
+// scenario against a (possibly remote) auditor: it manufactures the TEE,
+// registers, queries zones for the flight area, flies with the selected
+// sampling mode, optionally persists the encrypted Proof-of-Alibi, and
+// submits it.
+//
+// Usage:
+//
+//	alidrone-drone -auditor http://localhost:8470 -scenario residential \
+//	               [-mode adaptive|fixed|batch|mac|streaming] \
+//	               [-fixed-rate 2] [-store ./flights] [-gps-rate 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/operator"
+	"repro/internal/sigcrypto"
+	"repro/internal/trace"
+)
+
+func main() {
+	auditorURL := flag.String("auditor", "http://localhost:8470", "auditor base URL")
+	scenario := flag.String("scenario", "residential", "flight scenario: airport or residential")
+	mode := flag.String("mode", "adaptive", "sampling mode: adaptive, fixed, batch, mac or streaming")
+	fixedRate := flag.Float64("fixed-rate", 2, "sampling rate for -mode fixed (Hz)")
+	storeDir := flag.String("store", "", "directory for persisted flight records (empty = do not persist)")
+	gpsRate := flag.Float64("gps-rate", 5, "GPS receiver update rate in Hz (1-5)")
+	flag.Parse()
+
+	if err := run(*auditorURL, *scenario, *mode, *storeDir, *fixedRate, *gpsRate); err != nil {
+		fmt.Fprintln(os.Stderr, "alidrone-drone:", err)
+		os.Exit(1)
+	}
+}
+
+func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64) error {
+	start := time.Now().UTC().Truncate(time.Second)
+
+	var sc *trace.Scenario
+	var err error
+	switch scenario {
+	case "airport":
+		sc, err = trace.NewAirportScenario(trace.DefaultAirportConfig(start))
+	case "residential":
+		sc, err = trace.NewResidentialScenario(trace.DefaultResidentialConfig(start))
+	default:
+		return fmt.Errorf("unknown scenario %q (want airport or residential)", scenario)
+	}
+	if err != nil {
+		return err
+	}
+
+	cfg := operator.MissionConfig{FixedRateHz: fixedRate}
+	switch mode {
+	case "adaptive":
+		cfg.Mode = operator.ModeAdaptive
+	case "fixed":
+		cfg.Mode = operator.ModeFixedRate
+	case "batch":
+		cfg.Mode = operator.ModeBatch
+	case "mac":
+		cfg.Mode = operator.ModeMAC
+	case "streaming":
+		cfg.Mode = operator.ModeStreaming
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	if storeDir != "" {
+		store, err := operator.NewStore(storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
+	}
+
+	// Talk to the auditor and fetch its PoA-encryption key.
+	api := operator.NewHTTPAuditor(auditorURL, nil)
+	auditorPub, err := api.FetchEncryptionPub()
+	if err != nil {
+		return fmt.Errorf("contact auditor at %s: %w", auditorURL, err)
+	}
+
+	// Manufacture the drone platform over the scenario route.
+	platform, err := core.NewPlatform(core.PlatformConfig{Path: sc.Route, GPSRateHz: gpsRate})
+	if err != nil {
+		return err
+	}
+	drone, err := operator.NewDrone(api, auditorPub, platform.Device(), platform.Clock(),
+		sigcrypto.KeySize1024, nil)
+	if err != nil {
+		return err
+	}
+	if err := drone.Register(); err != nil {
+		return err
+	}
+	fmt.Printf("registered as %s\n", drone.ID())
+
+	rep, err := drone.RunMission(platform.Receiver(), sc.Route, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("zones in flight area: %d\n", len(rep.Zones))
+	fmt.Printf("flight complete: %d PoA samples over %v (mean %.2f Hz)\n",
+		rep.Run.PoA.Len(), rep.Run.Stats.Elapsed, rep.Run.Stats.MeanRateHz())
+	if cfg.Store != nil {
+		fmt.Printf("flight record %s persisted to %s\n", rep.FlightID, storeDir)
+	}
+	if rep.StreamedViolationAt >= 0 {
+		fmt.Printf("real-time audit flagged a violation at sample %d\n", rep.StreamedViolationAt)
+	}
+	fmt.Printf("auditor verdict: %s", rep.Verdict.Verdict)
+	if rep.Verdict.Reason != "" {
+		fmt.Printf(" (%s)", rep.Verdict.Reason)
+	}
+	fmt.Println()
+	return nil
+}

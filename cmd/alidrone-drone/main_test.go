@@ -1,0 +1,46 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/auditor"
+)
+
+func TestEndToEndAgainstHTTPServer(t *testing.T) {
+	srv, err := auditor.NewServer(auditor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(auditor.NewHandler(srv))
+	defer hs.Close()
+
+	tests := []struct {
+		name           string
+		scenario, mode string
+		storeDir       string
+		fixed, gpsRate float64
+	}{
+		{"airport adaptive", "airport", "adaptive", "", 0, 1},
+		{"airport fixed with store", "airport", "fixed", t.TempDir(), 1, 5},
+		{"airport batch", "airport", "batch", "", 0, 1},
+		{"airport mac", "airport", "mac", "", 0, 1},
+		{"airport streaming", "airport", "streaming", "", 0, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.fixed, tt.gpsRate); err != nil {
+				t.Fatalf("drone run failed: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	if err := run("http://localhost:1", "mars", "adaptive", "", 0, 5); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run("http://localhost:1", "airport", "warp", "", 0, 5); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Command alidrone-experiments regenerates the tables and figures of the
+// AliDrone paper's evaluation section on the simulated substrate.
+//
+// Usage:
+//
+//	alidrone-experiments -exp all        # everything (default)
+//	alidrone-experiments -exp fig6       # airport sample counts
+//	alidrone-experiments -exp fig7       # residential layout
+//	alidrone-experiments -exp fig8       # residential series (a,b,c)
+//	alidrone-experiments -exp table2     # CPU/power/memory benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig6|fig7|fig8|table2|all")
+	flag.Parse()
+
+	if err := run(os.Stdout, *exp); err != nil {
+		fmt.Fprintln(os.Stderr, "alidrone-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string) error {
+	type renderer interface{ Render(io.Writer) }
+	runners := []struct {
+		name string
+		fn   func() (renderer, error)
+	}{
+		{"fig6", func() (renderer, error) { return experiments.RunFig6() }},
+		{"fig7", func() (renderer, error) { return experiments.RunFig7() }},
+		{"fig8", func() (renderer, error) { return experiments.RunFig8() }},
+		{"table2", func() (renderer, error) { return experiments.RunTable2() }},
+		{"keysweep", func() (renderer, error) { return experiments.RunKeySweep() }},
+		{"radio", func() (renderer, error) { return experiments.RunRadio() }},
+	}
+
+	matched := false
+	for _, r := range runners {
+		if exp != "all" && exp != r.name {
+			continue
+		}
+		matched = true
+		res, err := r.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		res.Render(w)
+		fmt.Fprintln(w)
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q (want fig6|fig7|fig8|table2|keysweep|radio|all)", exp)
+	}
+	return nil
+}

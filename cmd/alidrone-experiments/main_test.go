@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig7"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "94 house NFZs") {
+		t.Errorf("fig7 output missing layout line:\n%s", out)
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig6"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 6") {
+		t.Error("fig6 output missing header")
+	}
+}

@@ -1,0 +1,98 @@
+// Command alidrone-tracegen emits the synthetic field-study traces as
+// JSON waypoints or as a replayable NMEA $GPRMC sentence stream — the
+// simulated equivalent of the GPS recordings the paper's authors replayed
+// into the GPS Sampler.
+//
+// Usage:
+//
+//	alidrone-tracegen -scenario airport -format nmea -rate 5 > airport.nmea
+//	alidrone-tracegen -scenario residential -format json > residential.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/geojson"
+	"repro/internal/gps"
+	"repro/internal/trace"
+)
+
+func main() {
+	scenario := flag.String("scenario", "residential", "airport or residential")
+	format := flag.String("format", "json", "output format: json or nmea")
+	rate := flag.Float64("rate", 5, "sampling rate for NMEA output (Hz)")
+	flag.Parse()
+
+	if err := run(os.Stdout, *scenario, *format, *rate); err != nil {
+		fmt.Fprintln(os.Stderr, "alidrone-tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// jsonTrace is the JSON output schema.
+type jsonTrace struct {
+	Scenario  string           `json:"scenario"`
+	Zones     []geo.GeoCircle  `json:"zones"`
+	Waypoints []trace.Waypoint `json:"waypoints"`
+}
+
+func run(w io.Writer, scenario, format string, rate float64) error {
+	start := time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+
+	var sc *trace.Scenario
+	var err error
+	switch scenario {
+	case "airport":
+		sc, err = trace.NewAirportScenario(trace.DefaultAirportConfig(start))
+	case "residential":
+		sc, err = trace.NewResidentialScenario(trace.DefaultResidentialConfig(start))
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+	if err != nil {
+		return err
+	}
+
+	switch format {
+	case "geojson":
+		fc := geojson.FromScenario(sc)
+		data, err := fc.Encode()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonTrace{
+			Scenario:  sc.Name,
+			Zones:     sc.Zones,
+			Waypoints: sc.Route.Waypoints(),
+		})
+	case "nmea":
+		rx, err := gps.NewReceiver(sc.Route, rate)
+		if err != nil {
+			return err
+		}
+		period := rx.UpdatePeriod()
+		for at := sc.Route.Start(); !at.After(sc.Route.End()); at = at.Add(period) {
+			sentence, err := rx.LatestSentence(at)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w, sentence); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want json, geojson or nmea)", format)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/nmea"
+)
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "residential", "json", 5); err != nil {
+		t.Fatal(err)
+	}
+	var tr jsonTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if tr.Scenario != "residential" || len(tr.Zones) != 94 || len(tr.Waypoints) < 2 {
+		t.Errorf("trace = %s, zones = %d, waypoints = %d", tr.Scenario, len(tr.Zones), len(tr.Waypoints))
+	}
+}
+
+func TestRunNMEAOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "airport", "nmea", 1); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 12 minutes at 1 Hz: 721 sentences.
+	if len(lines) < 700 || len(lines) > 740 {
+		t.Fatalf("NMEA lines = %d, want ~721", len(lines))
+	}
+	// Every line is a valid $GPRMC sentence.
+	for i, line := range lines {
+		if _, err := nmea.ParseRMC(line); err != nil {
+			t.Fatalf("line %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "mars", "json", 5); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run(&buf, "airport", "xml", 5); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run(&buf, "airport", "nmea", 99); err == nil {
+		t.Error("out-of-range rate accepted")
+	}
+}
+
+func TestRunGeoJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "residential", "geojson", 5); err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type string `json:"type"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &fc); err != nil {
+		t.Fatalf("geojson output invalid: %v", err)
+	}
+	if fc.Type != "FeatureCollection" || len(fc.Features) != 95 {
+		t.Errorf("type=%s features=%d", fc.Type, len(fc.Features))
+	}
+}

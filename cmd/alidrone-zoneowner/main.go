@@ -1,0 +1,132 @@
+// Command alidrone-zoneowner is the Zone Owner's tool: register a no-fly
+// zone over a property, look up the zones already in force near a point
+// (the B4UFLY-style public query), and file an accusation after spotting a
+// drone.
+//
+// Usage:
+//
+//	alidrone-zoneowner -auditor http://localhost:8470 register \
+//	        -owner alice -lat 40.1106 -lon -88.2073 -radius-ft 20 -proof "parcel 1234"
+//	alidrone-zoneowner -auditor http://localhost:8470 nearby \
+//	        -lat 40.1106 -lon -88.2073 -radius-m 2000
+//	alidrone-zoneowner -auditor http://localhost:8470 accuse \
+//	        -drone drone-0001 -zone zone-0001 -at 2018-06-01T15:00:40Z
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/operator"
+	"repro/internal/protocol"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "alidrone-zoneowner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	global := flag.NewFlagSet("alidrone-zoneowner", flag.ContinueOnError)
+	auditorURL := global.String("auditor", "http://localhost:8470", "auditor base URL")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("need a subcommand: register, nearby or accuse")
+	}
+	client := operator.NewHTTPAuditor(*auditorURL, nil)
+
+	switch rest[0] {
+	case "register":
+		return registerCmd(w, client, rest[1:])
+	case "nearby":
+		return nearbyCmd(w, client, rest[1:])
+	case "accuse":
+		return accuseCmd(w, client, rest[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", rest[0])
+	}
+}
+
+func registerCmd(w io.Writer, client *operator.HTTPAuditor, args []string) error {
+	fs := flag.NewFlagSet("register", flag.ContinueOnError)
+	owner := fs.String("owner", "", "zone owner identity")
+	lat := fs.Float64("lat", 0, "property latitude")
+	lon := fs.Float64("lon", 0, "property longitude")
+	radiusFt := fs.Float64("radius-ft", 20, "zone radius in feet")
+	proof := fs.String("proof", "", "proof of ownership")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *owner == "" {
+		return fmt.Errorf("register: -owner is required")
+	}
+	resp, err := client.RegisterZone(protocol.RegisterZoneRequest{
+		Owner: *owner,
+		Zone: geo.GeoCircle{
+			Center: geo.LatLon{Lat: *lat, Lon: *lon},
+			R:      geo.FeetToMeters(*radiusFt),
+		},
+		OwnershipProof: *proof,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "zone registered: %s\n", resp.ZoneID)
+	return nil
+}
+
+func nearbyCmd(w io.Writer, client *operator.HTTPAuditor, args []string) error {
+	fs := flag.NewFlagSet("nearby", flag.ContinueOnError)
+	lat := fs.Float64("lat", 0, "query latitude")
+	lon := fs.Float64("lon", 0, "query longitude")
+	radiusM := fs.Float64("radius-m", 2000, "search radius in metres")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	zones, err := client.FetchPublicZones(geo.LatLon{Lat: *lat, Lon: *lon}, *radiusM)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d no-fly zones within %.0f m:\n", len(zones), *radiusM)
+	for _, z := range zones {
+		fmt.Fprintf(w, "  %-12s %v  r=%.0f m  owner=%s\n", z.ID, z.Circle.Center, z.Circle.R, z.Owner)
+	}
+	return nil
+}
+
+func accuseCmd(w io.Writer, client *operator.HTTPAuditor, args []string) error {
+	fs := flag.NewFlagSet("accuse", flag.ContinueOnError)
+	droneID := fs.String("drone", "", "drone identifier read off the aircraft")
+	zoneID := fs.String("zone", "", "zone the drone was seen near")
+	atStr := fs.String("at", "", "incident time (RFC 3339)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *droneID == "" || *zoneID == "" || *atStr == "" {
+		return fmt.Errorf("accuse: -drone, -zone and -at are required")
+	}
+	at, err := time.Parse(time.RFC3339, *atStr)
+	if err != nil {
+		return fmt.Errorf("accuse: parse -at: %w", err)
+	}
+	resp, err := client.Accuse(protocol.AccusationRequest{DroneID: *droneID, ZoneID: *zoneID, At: at})
+	if err != nil {
+		return err
+	}
+	switch resp.Verdict {
+	case protocol.VerdictCompliant:
+		fmt.Fprintln(w, "verdict: the drone's retained alibi proves it could not have been in the zone")
+	default:
+		fmt.Fprintf(w, "verdict: violation — %s\n", resp.Reason)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/auditor"
+)
+
+func newTestAuditor(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := auditor.NewServer(auditor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(auditor.NewHandler(srv))
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+func TestRegisterAndNearby(t *testing.T) {
+	hs := newTestAuditor(t)
+	var buf bytes.Buffer
+
+	err := run(&buf, []string{"-auditor", hs.URL, "register",
+		"-owner", "alice", "-lat", "40.1106", "-lon", "-88.2073", "-radius-ft", "20", "-proof", "deed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "zone registered: zone-0001") {
+		t.Errorf("register output: %q", buf.String())
+	}
+
+	buf.Reset()
+	err = run(&buf, []string{"-auditor", hs.URL, "nearby",
+		"-lat", "40.1106", "-lon", "-88.2073", "-radius-m", "2000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1 no-fly zones") || !strings.Contains(out, "zone-0001") {
+		t.Errorf("nearby output: %q", out)
+	}
+}
+
+func TestAccuseWithoutPoA(t *testing.T) {
+	hs := newTestAuditor(t)
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-auditor", hs.URL, "register",
+		"-owner", "alice", "-lat", "40.1", "-lon", "-88.2"}); err != nil {
+		t.Fatal(err)
+	}
+	// No drone registered: the accusation errors with unknown drone.
+	err := run(&buf, []string{"-auditor", hs.URL, "accuse",
+		"-drone", "drone-0001", "-zone", "zone-0001", "-at", "2018-06-01T15:00:40Z"})
+	if err == nil {
+		t.Error("accusation against unknown drone should error")
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run(&buf, []string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run(&buf, []string{"register"}); err == nil {
+		t.Error("register without owner accepted")
+	}
+	if err := run(&buf, []string{"accuse", "-drone", "d"}); err == nil {
+		t.Error("accuse without zone/time accepted")
+	}
+	if err := run(&buf, []string{"accuse", "-drone", "d", "-zone", "z", "-at", "notatime"}); err == nil {
+		t.Error("accuse with bad time accepted")
+	}
+}

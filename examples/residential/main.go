@@ -1,0 +1,95 @@
+// Residential field study (paper §VI-A3) through the public API: a
+// one-mile drive past 94 house no-fly zones. Compares fix-rate sampling
+// at 2/3/5 Hz against adaptive sampling on the three metrics of the
+// paper's Fig 8: nearest-zone distance, sampling rate, and insufficient
+// Proof-of-Alibi count.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/poa"
+	"repro/internal/sampling"
+	"repro/internal/sigcrypto"
+	"repro/internal/tee"
+	"repro/internal/trace"
+	"repro/internal/zone"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+	sc, err := trace.NewResidentialScenario(trace.DefaultResidentialConfig(start))
+	if err != nil {
+		return err
+	}
+	idx := zone.NewIndex(sc.Zones, 0)
+	fmt.Printf("scenario: %.2f mi drive past %d house NFZs (r = 20 ft)\n",
+		geo.MetersToMiles(sc.Route.LengthMeters()), len(sc.Zones))
+
+	// Fig 8-(a): the distance profile.
+	fmt.Println("\ndistance to nearest NFZ:")
+	for dt := time.Duration(0); dt <= sc.Route.Duration(); dt += 30 * time.Second {
+		_, d, err := idx.Nearest(sc.Route.Position(start.Add(dt)).Pos)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  t=%-5v %6.0f ft\n", dt, geo.MetersToFeet(d))
+	}
+
+	// Fig 8-(b,c): run each sampler over an identical replay.
+	fmt.Println("\nsampler comparison:")
+	fmt.Printf("  %-10s %8s %10s %14s\n", "sampler", "samples", "mean rate", "insufficient")
+	for _, cfg := range []struct {
+		name string
+		rate float64 // 0 = adaptive
+	}{
+		{"fixed-2hz", 2}, {"fixed-3hz", 3}, {"fixed-5hz", 5}, {"adaptive", 0},
+	} {
+		vault, err := tee.ManufactureVault(nil, sigcrypto.KeySize1024)
+		if err != nil {
+			return err
+		}
+		clock := tee.NewSimClock(start)
+		dev := tee.NewDevice(clock, vault)
+		rx, err := gps.NewReceiver(sc.Route, 5)
+		if err != nil {
+			return err
+		}
+		if _, err := tee.NewGPSSampler(dev, gps.NewDriver(rx), nil); err != nil {
+			return err
+		}
+		env := sampling.NewTEEEnv(dev, clock, rx)
+
+		var res *sampling.RunResult
+		if cfg.rate > 0 {
+			f := &sampling.FixedRate{Env: env, RateHz: cfg.rate}
+			res, err = f.Run(sc.Route.End())
+		} else {
+			a := &sampling.Adaptive{Env: env, Index: idx, VMaxMS: geo.MaxDroneSpeedMPS}
+			res, err = a.Run(sc.Route.End())
+		}
+		if err != nil {
+			return err
+		}
+
+		counts := poa.CountInsufficient(res.PoA.Alibi(), sc.Zones, geo.MaxDroneSpeedMPS)
+		total := 0
+		if len(counts) > 0 {
+			total = counts[len(counts)-1]
+		}
+		fmt.Printf("  %-10s %8d %8.2fHz %14d\n",
+			cfg.name, res.PoA.Len(), res.Stats.MeanRateHz(), total)
+	}
+	fmt.Println("\n(the paper reports 39 insufficient pairs at 2 Hz, 9 at 3 Hz, ~1 for 5 Hz/adaptive)")
+	return nil
+}

@@ -1,0 +1,138 @@
+// Package attack implements the GPS forgery attacks from the paper's
+// threat model (§III-B): a dishonest Drone Operator who flew through a
+// no-fly zone tries to present an innocuous trace to the Auditor. Each
+// constructor builds the malicious Proof-of-Alibi a rational attacker
+// would submit; Evaluate submits it and reports whether the Auditor caught
+// it. The attack suite doubles as the unforgeability evaluation (goal G3)
+// and powers examples/forgery.
+package attack
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/poa"
+	"repro/internal/protocol"
+	"repro/internal/sigcrypto"
+)
+
+// ErrNeedSamples is returned when an attack requires a non-empty honest
+// PoA to start from.
+var ErrNeedSamples = errors.New("attack: need a non-empty source PoA")
+
+// ForgeRoute fabricates a compliant-looking trace and signs it with a key
+// the attacker controls (they cannot extract T- from the TEE, so the best
+// they can do is sign with their own key). start/bearing/speed describe the
+// innocuous route; the samples are spaced one second apart.
+func ForgeRoute(attackerKey *rsa.PrivateKey, start geo.LatLon, bearingDeg, speedMS float64, n int, t0 time.Time) (poa.PoA, error) {
+	var p poa.PoA
+	for i := 0; i < n; i++ {
+		s := poa.Sample{
+			Pos:  start.Offset(bearingDeg, speedMS*float64(i)),
+			Time: t0.Add(time.Duration(i) * time.Second),
+		}.Canon()
+		sig, err := sigcrypto.Sign(attackerKey, s.Marshal())
+		if err != nil {
+			return poa.PoA{}, fmt.Errorf("forge route: %w", err)
+		}
+		p.Append(poa.SignedSample{Sample: s, Sig: sig})
+	}
+	return p, nil
+}
+
+// Tamper takes an honest TEE-signed PoA and moves the samples that came
+// too close to the zone, keeping the original signatures (the attacker
+// cannot re-sign). offsetMeters displaces every sample within
+// nearMeters of the zone boundary directly away from the zone centre.
+func Tamper(honest poa.PoA, z geo.GeoCircle, nearMeters, offsetMeters float64) (poa.PoA, error) {
+	if honest.Len() == 0 {
+		return poa.PoA{}, ErrNeedSamples
+	}
+	out := poa.PoA{Samples: make([]poa.SignedSample, honest.Len())}
+	copy(out.Samples, honest.Samples)
+	for i, ss := range out.Samples {
+		if z.BoundaryDistMeters(ss.Sample.Pos) < nearMeters {
+			away := geo.InitialBearing(z.Center, ss.Sample.Pos)
+			ss.Sample.Pos = ss.Sample.Pos.Offset(away, offsetMeters)
+			out.Samples[i] = ss
+		}
+	}
+	return out, nil
+}
+
+// Truncate drops the samples inside [from, to] — the window during which
+// the drone was in (or near) the zone — hoping the Auditor will not notice
+// the gap. Signatures of the remaining samples stay valid.
+func Truncate(honest poa.PoA, from, to time.Time) (poa.PoA, error) {
+	if honest.Len() == 0 {
+		return poa.PoA{}, ErrNeedSamples
+	}
+	var out poa.PoA
+	for _, ss := range honest.Samples {
+		if !ss.Sample.Time.Before(from) && !ss.Sample.Time.After(to) {
+			continue
+		}
+		out.Append(ss)
+	}
+	return out, nil
+}
+
+// Splice merges samples from two honest PoAs (e.g. an old compliant flight
+// and the violating flight's clean prefix) into one trace, sorted by time.
+// Each sample keeps its valid signature; the seams are where detection
+// happens.
+func Splice(a, b poa.PoA) (poa.PoA, error) {
+	if a.Len() == 0 || b.Len() == 0 {
+		return poa.PoA{}, ErrNeedSamples
+	}
+	out := poa.PoA{Samples: make([]poa.SignedSample, 0, a.Len()+b.Len())}
+	out.Samples = append(out.Samples, a.Samples...)
+	out.Samples = append(out.Samples, b.Samples...)
+	sort.Slice(out.Samples, func(i, j int) bool {
+		return out.Samples[i].Sample.Time.Before(out.Samples[j].Sample.Time)
+	})
+	return out, nil
+}
+
+// Replay returns the previously reported PoA unchanged — the attacker
+// resubmits an old compliant trace for a new flight.
+func Replay(old poa.PoA) poa.PoA { return old }
+
+// Result records one attack attempt against the Auditor.
+type Result struct {
+	Name     string
+	Verdict  protocol.Verdict
+	Reason   string
+	Detected bool // true when the Auditor rejected or flagged the PoA
+}
+
+// Evaluate submits an attack PoA through the protocol (encrypting to the
+// Auditor like an honest Adapter would) and records whether it was caught.
+type Evaluate struct {
+	API        protocol.API
+	DroneID    string
+	EncryptPoA func(poa.PoA) ([]byte, error)
+}
+
+// Run submits the PoA and classifies the outcome.
+func (e Evaluate) Run(name string, p poa.PoA) (Result, error) {
+	ct, err := e.EncryptPoA(p)
+	if err != nil {
+		return Result{}, fmt.Errorf("attack %q: encrypt: %w", name, err)
+	}
+	resp, err := e.API.SubmitPoA(protocol.SubmitPoARequest{DroneID: e.DroneID, EncryptedPoA: ct})
+	if err != nil {
+		// A transport-level rejection is also a detection.
+		return Result{Name: name, Detected: true, Reason: err.Error()}, nil
+	}
+	return Result{
+		Name:     name,
+		Verdict:  resp.Verdict,
+		Reason:   resp.Reason,
+		Detected: resp.Verdict == protocol.VerdictViolation,
+	}, nil
+}

@@ -1,0 +1,138 @@
+package auditor
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/protocol"
+)
+
+// TestConcurrentProtocolTraffic hammers the server from many goroutines
+// mixing registrations, queries, submissions and status reads — run under
+// -race this validates the locking discipline.
+func TestConcurrentProtocolTraffic(t *testing.T) {
+	srv, droneID, keys := newFixture(t)
+	if _, err := srv.Zones().Register("alice", geo.GeoCircle{Center: urbana.Offset(0, 5000), R: 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*4)
+
+	// Zone registrations.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, err := srv.RegisterZone(protocol.RegisterZoneRequest{
+					Owner: fmt.Sprintf("owner-%d", w),
+					Zone:  geo.GeoCircle{Center: urbana.Offset(float64(w*20+i), 20000), R: 50},
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Zone queries with fresh nonces.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 20; i++ {
+				nonce, err := protocol.NewNonce(rng)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				req := protocol.ZoneQueryRequest{
+					DroneID: droneID,
+					Area:    geo.NewRect(urbana.Offset(225, 8000), urbana.Offset(45, 8000)),
+					Nonce:   nonce,
+				}
+				if err := protocol.SignZoneQuery(&req, keys.op); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := srv.ZoneQuery(req); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+
+	// PoA submissions (distinct traces so replay detection stays quiet).
+	// Build and encrypt on the test goroutine (t.Fatal is not legal from
+	// workers), submit concurrently.
+	ciphertexts := make([][]byte, workers)
+	for w := 0; w < workers; w++ {
+		p := signedTrace(t, keys, urbana.Offset(float64(w*7), float64(100+w*10)), 90, 10, 10, time.Second)
+		ciphertexts[w] = encryptFor(t, srv, p)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{
+				DroneID: droneID, EncryptedPoA: ciphertexts[w],
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if resp.Verdict != protocol.VerdictCompliant {
+				errCh <- fmt.Errorf("worker %d: verdict %v (%s)", w, resp.Verdict, resp.Reason)
+			}
+		}(w)
+	}
+
+	// Status reads while everything churns.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = srv.Status()
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	st := srv.Status()
+	if st.Zones != 1+workers*20 {
+		t.Errorf("zones = %d, want %d", st.Zones, 1+workers*20)
+	}
+	if st.RetainedPoAs != workers {
+		t.Errorf("retained = %d, want %d", st.RetainedPoAs, workers)
+	}
+}
+
+// TestStatusCounters sanity-checks the status snapshot.
+func TestStatusCounters(t *testing.T) {
+	srv, droneID, _ := newFixture(t)
+	st := srv.Status()
+	if st.Drones != 1 || st.Zones != 0 || st.RetainedPoAs != 0 {
+		t.Errorf("initial status = %+v", st)
+	}
+	if _, err := srv.OpenStream(protocol.OpenStreamRequest{DroneID: droneID}); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Status().OpenStreams; got != 1 {
+		t.Errorf("open streams = %d", got)
+	}
+}

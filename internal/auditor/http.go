@@ -1,0 +1,201 @@
+package auditor
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/geo"
+	"repro/internal/protocol"
+	"repro/internal/sigcrypto"
+)
+
+// compile-time check: the server implements the protocol surface.
+var _ protocol.API = (*Server)(nil)
+
+// Handler exposes a Server over HTTP with JSON bodies. Register it on any
+// mux or serve it directly.
+type Handler struct {
+	srv *Server
+	mux *http.ServeMux
+}
+
+var _ http.Handler = (*Handler)(nil)
+
+// NewHandler wraps a server.
+func NewHandler(srv *Server) *Handler {
+	h := &Handler{srv: srv, mux: http.NewServeMux()}
+	h.mux.HandleFunc(protocol.PathRegisterDrone, post(h.registerDrone))
+	h.mux.HandleFunc(protocol.PathRegisterZone, post(h.registerZone))
+	h.mux.HandleFunc(protocol.PathRegisterPolygonZone, post(h.registerPolygonZone))
+	h.mux.HandleFunc(protocol.PathZoneQuery, post(h.zoneQuery))
+	h.mux.HandleFunc(protocol.PathSubmitPoA, post(h.submitPoA))
+	h.mux.HandleFunc(protocol.PathSubmitBatchPoA, post(h.submitBatchPoA))
+	h.mux.HandleFunc(protocol.PathStartSession, post(h.startSession))
+	h.mux.HandleFunc(protocol.PathSubmitMACPoA, post(h.submitMACPoA))
+	h.mux.HandleFunc(protocol.PathAccuse, post(h.accuse))
+	h.mux.HandleFunc(protocol.PathStreamOpen, post(h.streamOpen))
+	h.mux.HandleFunc(protocol.PathStreamSample, post(h.streamSample))
+	h.mux.HandleFunc(protocol.PathStreamClose, post(h.streamClose))
+	h.mux.HandleFunc(protocol.PathAuditorPub, h.auditorPub)
+	h.mux.HandleFunc(protocol.PathPublicZones, h.publicZones)
+	h.mux.HandleFunc(protocol.PathStatus, h.status)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// post restricts an endpoint to the POST method.
+func post(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		fn(w, r)
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// statusFor maps server errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownDrone), errors.Is(err, ErrUnknownZone),
+		errors.Is(err, ErrNoPoA), errors.Is(err, ErrUnknownSession),
+		errors.Is(err, ErrUnknownStream):
+		return http.StatusNotFound
+	case errors.Is(err, protocol.ErrBadNonce), errors.Is(err, protocol.ErrBadSignature):
+		return http.StatusForbidden
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handleJSON decodes the request, runs fn and encodes the response.
+func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) (Resp, error)) {
+	var req Req
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()})
+		return
+	}
+	resp, err := fn(req)
+	if err != nil {
+		writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures after the header is written cannot be reported
+	// to the client; the connection will just show a truncated body.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (h *Handler) registerDrone(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.RegisterDrone)
+}
+
+func (h *Handler) registerZone(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.RegisterZone)
+}
+
+func (h *Handler) registerPolygonZone(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.RegisterPolygonZone)
+}
+
+func (h *Handler) zoneQuery(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.ZoneQuery)
+}
+
+func (h *Handler) submitPoA(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.SubmitPoA)
+}
+
+func (h *Handler) submitBatchPoA(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.SubmitBatchPoA)
+}
+
+func (h *Handler) startSession(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.StartSession)
+}
+
+func (h *Handler) submitMACPoA(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.SubmitMACPoA)
+}
+
+func (h *Handler) streamOpen(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.OpenStream)
+}
+
+func (h *Handler) streamSample(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.StreamSample)
+}
+
+func (h *Handler) streamClose(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.CloseStream)
+}
+
+func (h *Handler) accuse(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, func(req protocol.AccusationRequest) (protocol.SubmitPoAResponse, error) {
+		return h.srv.HandleAccusation(req.DroneID, req.ZoneID, req.At)
+	})
+}
+
+// publicZones is the unauthenticated B4UFLY-style lookup:
+// GET /v1/zones?lat=..&lon=..&radiusMeters=.. lists nearby no-fly zones so
+// operators can check an area before filing a flight.
+func (h *Handler) publicZones(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	lat, err1 := strconv.ParseFloat(q.Get("lat"), 64)
+	lon, err2 := strconv.ParseFloat(q.Get("lon"), 64)
+	radius, err3 := strconv.ParseFloat(q.Get("radiusMeters"), 64)
+	if err1 != nil || err2 != nil || err3 != nil || radius <= 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "need lat, lon and positive radiusMeters"})
+		return
+	}
+	center := geo.LatLon{Lat: lat, Lon: lon}
+	if !center.Valid() {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid coordinates"})
+		return
+	}
+	rect := geo.NewRect(center, center).Expand(radius)
+	writeJSON(w, http.StatusOK, protocol.ZoneQueryResponse{Zones: h.srv.Zones().QueryRect(rect)})
+}
+
+// status reports operational counters.
+func (h *Handler) status(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, h.srv.Status())
+}
+
+// auditorPubResponse carries the Auditor's PoA-encryption public key.
+type auditorPubResponse struct {
+	EncryptionPub string `json:"encryptionPub"`
+}
+
+func (h *Handler) auditorPub(w http.ResponseWriter, r *http.Request) {
+	pub, err := sigcrypto.MarshalPublicKey(h.srv.EncryptionPub())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, auditorPubResponse{EncryptionPub: pub})
+}

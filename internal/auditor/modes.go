@@ -1,0 +1,149 @@
+package auditor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/poa"
+	"repro/internal/protocol"
+	"repro/internal/sigcrypto"
+)
+
+// Errors of the §VII-A1 alternative-envelope endpoints.
+var (
+	// ErrUnknownSession is returned when a MAC PoA names a session the
+	// server never established.
+	ErrUnknownSession = errors.New("auditor: unknown session id")
+)
+
+var _ protocol.ModesAPI = (*Server)(nil)
+
+// SubmitBatchPoA verifies a batch-signed trace (§VII-A1b): one TEE
+// signature covers the canonical encoding of the whole sample series.
+func (s *Server) SubmitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error) {
+	s.mu.RLock()
+	rec, ok := s.drones[req.DroneID]
+	s.mu.RUnlock()
+	if !ok {
+		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
+	}
+
+	plaintext, err := sigcrypto.Decrypt(s.encKey, req.EncryptedBatch)
+	if err != nil {
+		return violation(fmt.Sprintf("undecryptable batch PoA: %v", err)), nil
+	}
+	var batch poa.BatchPoA
+	if err := json.Unmarshal(plaintext, &batch); err != nil {
+		return violation(fmt.Sprintf("malformed batch PoA: %v", err)), nil
+	}
+
+	// Authenticity: the single signature must cover the exact canonical
+	// batch encoding under the registered T+.
+	if err := sigcrypto.Verify(rec.TEEPub, poa.MarshalBatch(batch.Samples), batch.Sig); err != nil {
+		return violation("batch signature verification failed"), nil
+	}
+	return s.verifyAlibi(req.DroneID, batch.Samples), nil
+}
+
+// StartSession establishes a §VII-A1a symmetric flight session: the server
+// unwraps the TEE-generated HMAC key with its private encryption key and
+// remembers it for the flight.
+func (s *Server) StartSession(req protocol.StartSessionRequest) (protocol.StartSessionResponse, error) {
+	s.mu.RLock()
+	_, ok := s.drones[req.DroneID]
+	s.mu.RUnlock()
+	if !ok {
+		return protocol.StartSessionResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
+	}
+
+	key, err := sigcrypto.Decrypt(s.encKey, req.WrappedKey)
+	if err != nil {
+		return protocol.StartSessionResponse{}, fmt.Errorf("auditor: unwrap session key: %w", err)
+	}
+	if len(key) < 16 {
+		return protocol.StartSessionResponse{}, fmt.Errorf("auditor: session key too short (%d bytes)", len(key))
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSession++
+	id := fmt.Sprintf("session-%04d", s.nextSession)
+	if s.sessions == nil {
+		s.sessions = make(map[string]sessionRecord)
+	}
+	s.sessions[id] = sessionRecord{DroneID: req.DroneID, Key: key}
+	return protocol.StartSessionResponse{SessionID: id}, nil
+}
+
+// SubmitMACPoA verifies a symmetric-mode PoA: every sample's tag must be a
+// valid HMAC under the flight's session key.
+func (s *Server) SubmitMACPoA(req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error) {
+	s.mu.RLock()
+	_, droneKnown := s.drones[req.DroneID]
+	sess, sessKnown := s.sessions[req.SessionID]
+	s.mu.RUnlock()
+	if !droneKnown {
+		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
+	}
+	if !sessKnown {
+		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownSession, req.SessionID)
+	}
+	if sess.DroneID != req.DroneID {
+		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: session belongs to another drone", ErrUnknownSession)
+	}
+
+	plaintext, err := sigcrypto.Decrypt(s.encKey, req.EncryptedPoA)
+	if err != nil {
+		return violation(fmt.Sprintf("undecryptable PoA: %v", err)), nil
+	}
+	var p poa.PoA
+	if err := json.Unmarshal(plaintext, &p); err != nil {
+		return violation(fmt.Sprintf("malformed PoA: %v", err)), nil
+	}
+
+	for i, ss := range p.Samples {
+		if err := sigcrypto.VerifyMAC(sess.Key, ss.Sample.Marshal(), ss.Sig); err != nil {
+			return violation(fmt.Sprintf("MAC verification failed at sample %d", i)), nil
+		}
+	}
+	return s.verifyAlibi(req.DroneID, p.Alibi()), nil
+}
+
+// sessionRecord is one established symmetric flight session.
+type sessionRecord struct {
+	DroneID string
+	Key     []byte
+}
+
+// verifyAlibi runs the authenticity-independent part of the pipeline
+// (chronology → flyability → sufficiency) over a bare sample trace and
+// retains it on success. Shared by all three PoA envelopes.
+func (s *Server) verifyAlibi(droneID string, alibi []poa.Sample) protocol.SubmitPoAResponse {
+	if len(alibi) < 2 {
+		return violation("PoA has fewer than two samples")
+	}
+	if err := poa.CheckChronology(alibi); err != nil {
+		return violation(err.Error())
+	}
+	if err := poa.SpeedFeasible(alibi, s.cfg.VMaxMS); err != nil {
+		return violation(err.Error())
+	}
+	zones := s.zonesForTrace(alibi)
+	rep, err := poa.VerifySufficiency(alibi, zones, s.cfg.VMaxMS, s.cfg.Mode)
+	if err != nil {
+		return violation(err.Error())
+	}
+	if !rep.Sufficient() {
+		return protocol.SubmitPoAResponse{
+			Verdict:           protocol.VerdictViolation,
+			Reason:            "insufficient alibi: the drone may have entered a no-fly zone",
+			InsufficientPairs: rep.InsufficientPairs(),
+		}
+	}
+	if resp3d := s.verify3D(alibi); resp3d != nil {
+		return *resp3d
+	}
+	s.retain(droneID, alibi)
+	return protocol.SubmitPoAResponse{Verdict: protocol.VerdictCompliant}
+}

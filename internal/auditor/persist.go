@@ -1,0 +1,159 @@
+package auditor
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/poa"
+	"repro/internal/sigcrypto"
+	"repro/internal/zone"
+)
+
+// snapshot is the JSON state file of a server: everything needed to
+// restart the Auditor without re-registering the fleet. The private
+// encryption key is included — the file must be protected like a key file
+// (written 0600).
+type snapshot struct {
+	EncKey     string             `json:"encKey"`
+	Drones     []droneSnapshot    `json:"drones"`
+	NextDrone  int                `json:"nextDrone"`
+	Zones      []zone.NFZ         `json:"zones"`
+	Zones3D    []cylinderRecord   `json:"zones3d"`
+	NextZone3D int                `json:"nextZone3d"`
+	Retained   []retainedSnapshot `json:"retained"`
+	Nonces     []string           `json:"nonces"`
+	PoADigests []string           `json:"poaDigests"`
+}
+
+// droneSnapshot serialises a registered drone.
+type droneSnapshot struct {
+	ID          string `json:"id"`
+	OperatorPub string `json:"operatorPub"`
+	TEEPub      string `json:"teePub"`
+}
+
+// retainedSnapshot serialises one retained alibi.
+type retainedSnapshot struct {
+	DroneID    string       `json:"droneId"`
+	Samples    []poa.Sample `json:"samples"`
+	SubmitTime time.Time    `json:"submitTime"`
+}
+
+// SaveState writes the server's full state to path (mode 0600: it holds
+// the private encryption key). Sessions and open streams are deliberately
+// ephemeral and not persisted.
+func (s *Server) SaveState(path string) error {
+	s.mu.RLock()
+	snap := snapshot{NextDrone: s.nextDrone, NextZone3D: s.nextZone3D}
+	for _, rec := range s.drones {
+		opPub, err := sigcrypto.MarshalPublicKey(rec.OperatorPub)
+		if err != nil {
+			s.mu.RUnlock()
+			return fmt.Errorf("save state: %w", err)
+		}
+		teePub, err := sigcrypto.MarshalPublicKey(rec.TEEPub)
+		if err != nil {
+			s.mu.RUnlock()
+			return fmt.Errorf("save state: %w", err)
+		}
+		snap.Drones = append(snap.Drones, droneSnapshot{ID: rec.ID, OperatorPub: opPub, TEEPub: teePub})
+	}
+	for _, r := range s.retained {
+		snap.Retained = append(snap.Retained, retainedSnapshot(r))
+	}
+	for n := range s.nonces {
+		snap.Nonces = append(snap.Nonces, n)
+	}
+	for d := range s.poaSeen {
+		snap.PoADigests = append(snap.PoADigests, hex.EncodeToString(d[:]))
+	}
+	for _, z := range s.zones3D {
+		snap.Zones3D = append(snap.Zones3D, z)
+	}
+	s.mu.RUnlock()
+
+	snap.Zones = s.zones.All()
+	encKey, err := sigcrypto.MarshalPrivateKey(s.encKey)
+	if err != nil {
+		return fmt.Errorf("save state: %w", err)
+	}
+	snap.EncKey = encKey
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("save state: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o600); err != nil {
+		return fmt.Errorf("save state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("save state: %w", err)
+	}
+	return nil
+}
+
+// LoadServer restores a server from a state file written by SaveState.
+// The config's key size is ignored (the persisted key wins).
+func LoadServer(cfg Config, path string) (*Server, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load state: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("load state: %w", err)
+	}
+
+	srv, err := NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	key, err := sigcrypto.UnmarshalPrivateKey(snap.EncKey)
+	if err != nil {
+		return nil, fmt.Errorf("load state: enc key: %w", err)
+	}
+	srv.encKey = key
+
+	for _, d := range snap.Drones {
+		opPub, err := sigcrypto.UnmarshalPublicKey(d.OperatorPub)
+		if err != nil {
+			return nil, fmt.Errorf("load state: drone %s: %w", d.ID, err)
+		}
+		teePub, err := sigcrypto.UnmarshalPublicKey(d.TEEPub)
+		if err != nil {
+			return nil, fmt.Errorf("load state: drone %s: %w", d.ID, err)
+		}
+		srv.drones[d.ID] = DroneRecord{ID: d.ID, OperatorPub: opPub, TEEPub: teePub}
+	}
+	srv.nextDrone = snap.NextDrone
+
+	if err := srv.zones.Import(snap.Zones); err != nil {
+		return nil, fmt.Errorf("load state: %w", err)
+	}
+	srv.zones3D = make(map[string]cylinderRecord, len(snap.Zones3D))
+	for _, z := range snap.Zones3D {
+		srv.zones3D[z.ID] = z
+	}
+	srv.nextZone3D = snap.NextZone3D
+
+	for _, r := range snap.Retained {
+		srv.retained = append(srv.retained, retainedPoA(r))
+	}
+	for _, n := range snap.Nonces {
+		srv.nonces[n] = true
+	}
+	for _, dstr := range snap.PoADigests {
+		raw, err := hex.DecodeString(dstr)
+		if err != nil || len(raw) != 32 {
+			return nil, fmt.Errorf("load state: bad PoA digest %q", dstr)
+		}
+		var d [32]byte
+		copy(d[:], raw)
+		srv.poaSeen[d] = true
+	}
+	return srv, nil
+}

@@ -1,0 +1,88 @@
+package auditor
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/poa"
+	"repro/internal/protocol"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	srv, droneID, keys := newFixture(t)
+	zoneID, err := srv.Zones().Register("alice", geo.GeoCircle{Center: urbana.Offset(0, 5000), R: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.RegisterZone3D("bob", poa.CylinderZone{Center: urbana.Offset(0, 8000), R: 50, AltMax: 120}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit a compliant PoA so retention + replay state is non-trivial.
+	p := signedTrace(t, keys, urbana, 90, 10, 30, time.Second)
+	resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: droneID, EncryptedPoA: encryptFor(t, srv, p)})
+	if err != nil || resp.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("submit: %v / %v", err, resp.Verdict)
+	}
+
+	path := filepath.Join(t.TempDir(), "auditor-state.json")
+	if err := srv.SaveState(path); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadServer(Config{
+		Random: rand.New(rand.NewSource(1)),
+		Now:    func() time.Time { return t0 },
+	}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The encryption key survives: old ciphertext still decrypts, so a
+	// resubmission is caught as a replay.
+	resp, err = restored.SubmitPoA(protocol.SubmitPoARequest{DroneID: droneID, EncryptedPoA: encryptFor(t, srv, p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != protocol.VerdictViolation {
+		t.Errorf("replay after restore verdict = %v, want violation", resp.Verdict)
+	}
+
+	// Registered drone and zones survive.
+	if restored.RetainedCount() != 1 {
+		t.Errorf("retained after restore = %d, want 1", restored.RetainedCount())
+	}
+	if _, ok := restored.Zones().Get(zoneID); !ok {
+		t.Error("zone lost across restore")
+	}
+	if len(restored.Zones3D()) != 1 {
+		t.Error("3-D zone lost across restore")
+	}
+
+	// Accusations still answerable from the restored retention store.
+	acc, err := restored.HandleAccusation(droneID, zoneID, t0.Add(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Verdict != protocol.VerdictCompliant {
+		t.Errorf("accusation after restore = %v", acc.Verdict)
+	}
+
+	// New registrations continue the ID sequences without collisions.
+	id2, err := restored.Zones().Register("carol", geo.GeoCircle{Center: urbana.Offset(90, 5000), R: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == zoneID {
+		t.Error("zone ID sequence restarted")
+	}
+}
+
+func TestLoadServerErrors(t *testing.T) {
+	if _, err := LoadServer(Config{}, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing state file accepted")
+	}
+}

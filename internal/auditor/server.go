@@ -1,0 +1,386 @@
+// Package auditor implements the AliDrone Server run by the authorized
+// third party (e.g. a local FAA agent): the drone and NFZ registries, the
+// zone query endpoint, and the Proof-of-Alibi verification pipeline
+// (signature check → chronology → speed feasibility → sufficiency), plus
+// the PoA retention store used to answer Zone Owner accusations after the
+// fact (paper §IV-C2: "the AliDrone Server should save the PoAs for a
+// couple of days").
+package auditor
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/poa"
+	"repro/internal/protocol"
+	"repro/internal/sigcrypto"
+	"repro/internal/zone"
+)
+
+var (
+	// ErrUnknownDrone is returned for operations naming an unregistered
+	// drone ID.
+	ErrUnknownDrone = errors.New("auditor: unknown drone id")
+	// ErrUnknownZone is returned for accusations naming an unregistered
+	// zone ID.
+	ErrUnknownZone = errors.New("auditor: unknown zone id")
+	// ErrNoPoA is returned when an accusation concerns a drone with no
+	// retained PoA covering the incident time.
+	ErrNoPoA = errors.New("auditor: no retained PoA covers the incident time")
+	// ErrInvalidCylinder is returned when registering a malformed 3-D
+	// zone.
+	ErrInvalidCylinder = errors.New("auditor: invalid cylindrical zone")
+)
+
+// DroneRecord is one registered drone: (id_drone, D+, T+).
+type DroneRecord struct {
+	ID          string
+	OperatorPub *rsa.PublicKey // D+: verifies zone-query nonces
+	TEEPub      *rsa.PublicKey // T+: verifies PoA sample signatures
+}
+
+// retainedPoA is a verified submission kept for later accusations.
+type retainedPoA struct {
+	DroneID    string
+	Samples    []poa.Sample
+	SubmitTime time.Time
+}
+
+// Config parameterises the server.
+type Config struct {
+	// VMaxMS is the speed bound used in sufficiency checks (the FAA
+	// 100 mph rule by default).
+	VMaxMS float64
+	// Mode selects the disjointness test for verification. The Auditor
+	// defaults to the exact test: it is offline and can afford it.
+	Mode poa.TestMode
+	// EncKeyBits sizes the Auditor's PoA-encryption keypair.
+	EncKeyBits int
+	// Retention is how long verified PoAs are kept for accusations.
+	Retention time.Duration
+	// Random supplies entropy (crypto/rand.Reader when nil).
+	Random io.Reader
+	// Now supplies time (time.Now when nil) so retention is testable.
+	Now func() time.Time
+}
+
+// Server is the AliDrone Server.
+type Server struct {
+	cfg    Config
+	encKey *rsa.PrivateKey
+
+	mu          sync.RWMutex
+	drones      map[string]DroneRecord
+	nextDrone   int
+	zones       *zone.Registry
+	nonces      map[string]bool
+	retained    []retainedPoA
+	poaSeen     map[[32]byte]bool // digests of accepted PoAs, for replay detection
+	sessions    map[string]sessionRecord
+	nextSession int
+	zones3D     map[string]cylinderRecord
+	nextZone3D  int
+	streams     map[string]*streamState
+	nextStream  int
+}
+
+// NewServer creates an AliDrone Server with the given configuration.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.VMaxMS <= 0 {
+		cfg.VMaxMS = geo.MaxDroneSpeedMPS
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = poa.Exact
+	}
+	if cfg.EncKeyBits == 0 {
+		cfg.EncKeyBits = sigcrypto.KeySize1024
+	}
+	if cfg.Retention == 0 {
+		cfg.Retention = 48 * time.Hour
+	}
+	if cfg.Random == nil {
+		cfg.Random = rand.Reader
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	key, err := sigcrypto.GenerateKeyPair(cfg.Random, cfg.EncKeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("auditor keypair: %w", err)
+	}
+	return &Server{
+		cfg:      cfg,
+		encKey:   key,
+		drones:   make(map[string]DroneRecord),
+		zones:    zone.NewRegistry(),
+		nonces:   make(map[string]bool),
+		poaSeen:  make(map[[32]byte]bool),
+		sessions: make(map[string]sessionRecord),
+	}, nil
+}
+
+// Status summarises the server's operational state.
+func (s *Server) Status() protocol.StatusResponse {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return protocol.StatusResponse{
+		Drones:       len(s.drones),
+		Zones:        s.zones.Len(),
+		Zones3D:      len(s.zones3D),
+		RetainedPoAs: len(s.retained),
+		OpenStreams:  len(s.streams),
+		Sessions:     len(s.sessions),
+	}
+}
+
+// EncryptionPub returns the Auditor public key drones encrypt PoAs to.
+func (s *Server) EncryptionPub() *rsa.PublicKey { return &s.encKey.PublicKey }
+
+// Zones exposes the NFZ registry (zone owners register through it or via
+// the protocol endpoint).
+func (s *Server) Zones() *zone.Registry { return s.zones }
+
+// RegisterDrone implements protocol task 0.
+func (s *Server) RegisterDrone(req protocol.RegisterDroneRequest) (protocol.RegisterDroneResponse, error) {
+	opPub, err := sigcrypto.UnmarshalPublicKey(req.OperatorPub)
+	if err != nil {
+		return protocol.RegisterDroneResponse{}, fmt.Errorf("operator key: %w", err)
+	}
+	teePub, err := sigcrypto.UnmarshalPublicKey(req.TEEPub)
+	if err != nil {
+		return protocol.RegisterDroneResponse{}, fmt.Errorf("tee key: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextDrone++
+	id := fmt.Sprintf("drone-%04d", s.nextDrone)
+	s.drones[id] = DroneRecord{ID: id, OperatorPub: opPub, TEEPub: teePub}
+	return protocol.RegisterDroneResponse{DroneID: id}, nil
+}
+
+// RegisterZone implements protocol task 1. Ownership proofs are accepted
+// at face value — verifying property records is orthogonal to the paper.
+func (s *Server) RegisterZone(req protocol.RegisterZoneRequest) (protocol.RegisterZoneResponse, error) {
+	id, err := s.zones.Register(req.Owner, req.Zone)
+	if err != nil {
+		return protocol.RegisterZoneResponse{}, err
+	}
+	return protocol.RegisterZoneResponse{ZoneID: id}, nil
+}
+
+// RegisterPolygonZone implements the §VII-B2 extension: a polygonal
+// property is converted to its smallest enclosing circle once at
+// registration (linear-time), so the PoA geometry stays circular.
+func (s *Server) RegisterPolygonZone(req protocol.RegisterPolygonZoneRequest) (protocol.RegisterZoneResponse, error) {
+	if len(req.Vertices) < 3 {
+		return protocol.RegisterZoneResponse{}, fmt.Errorf("auditor: polygon needs >= 3 vertices, got %d", len(req.Vertices))
+	}
+	for _, v := range req.Vertices {
+		if !v.Valid() {
+			return protocol.RegisterZoneResponse{}, fmt.Errorf("auditor: invalid vertex %v", v)
+		}
+	}
+	// Project around the vertex centroid, enclose, and register.
+	var lat, lon float64
+	for _, v := range req.Vertices {
+		lat += v.Lat
+		lon += v.Lon
+	}
+	n := float64(len(req.Vertices))
+	pr := geo.NewProjection(geo.LatLon{Lat: lat / n, Lon: lon / n})
+	pg := geo.Polygon{Vertices: make([]geo.Point, len(req.Vertices))}
+	for i, v := range req.Vertices {
+		pg.Vertices[i] = pr.ToLocal(v)
+	}
+	id, err := s.zones.RegisterPolygon(req.Owner, pr, pg)
+	if err != nil {
+		return protocol.RegisterZoneResponse{}, err
+	}
+	return protocol.RegisterZoneResponse{ZoneID: id}, nil
+}
+
+// ZoneQuery implements protocol tasks 2-3: verify the signed nonce against
+// the registered drone, reject replays, and return the zones intersecting
+// the navigation area.
+func (s *Server) ZoneQuery(req protocol.ZoneQueryRequest) (protocol.ZoneQueryResponse, error) {
+	s.mu.RLock()
+	rec, ok := s.drones[req.DroneID]
+	s.mu.RUnlock()
+	if !ok {
+		return protocol.ZoneQueryResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
+	}
+	if err := protocol.VerifyZoneQuery(req, rec.OperatorPub); err != nil {
+		return protocol.ZoneQueryResponse{}, err
+	}
+
+	s.mu.Lock()
+	if s.nonces[req.Nonce] {
+		s.mu.Unlock()
+		return protocol.ZoneQueryResponse{}, fmt.Errorf("%w: replayed", protocol.ErrBadNonce)
+	}
+	s.nonces[req.Nonce] = true
+	s.mu.Unlock()
+
+	if !req.Area.Valid() {
+		return protocol.ZoneQueryResponse{}, fmt.Errorf("auditor: invalid query area %+v", req.Area)
+	}
+	return protocol.ZoneQueryResponse{Zones: s.zones.QueryRect(req.Area)}, nil
+}
+
+// SubmitPoA implements protocol task 4: decrypt, authenticate and verify a
+// Proof-of-Alibi, retaining it for later accusations when it verifies.
+func (s *Server) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
+	s.mu.RLock()
+	rec, ok := s.drones[req.DroneID]
+	s.mu.RUnlock()
+	if !ok {
+		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
+	}
+
+	plaintext, err := sigcrypto.Decrypt(s.encKey, req.EncryptedPoA)
+	if err != nil {
+		return violation(fmt.Sprintf("undecryptable PoA: %v", err)), nil
+	}
+	var p poa.PoA
+	if err := json.Unmarshal(plaintext, &p); err != nil {
+		return violation(fmt.Sprintf("malformed PoA: %v", err)), nil
+	}
+
+	// Replay detection: a PoA describing one physical flight can only be
+	// submitted once. Re-reporting a previously accepted route is the
+	// replay attack from the threat model.
+	digest := sha256.Sum256(plaintext)
+	s.mu.Lock()
+	replayed := s.poaSeen[digest]
+	s.mu.Unlock()
+	if replayed {
+		return violation("replayed PoA: this trace was already reported"), nil
+	}
+
+	resp := s.verify(req.DroneID, rec, p)
+	if resp.Verdict == protocol.VerdictCompliant {
+		s.mu.Lock()
+		s.poaSeen[digest] = true
+		s.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// verify runs the full verification pipeline over a decrypted PoA:
+// per-sample TEE signatures (goal G3), then the shared alibi pipeline
+// (chronology → flyability → sufficiency, see verifyAlibi in modes.go).
+func (s *Server) verify(droneID string, rec DroneRecord, p poa.PoA) protocol.SubmitPoAResponse {
+	if idx, err := protocol.VerifyPoASignatures(p, rec.TEEPub); err != nil {
+		return violation(fmt.Sprintf("signature check failed at sample %d: %v", idx, err))
+	}
+	return s.verifyAlibi(droneID, p.Alibi())
+}
+
+// zonesForTrace pulls the zones whose boundary could matter for a trace:
+// everything within the trace bounding box expanded by the maximum travel
+// budget between consecutive samples.
+func (s *Server) zonesForTrace(alibi []poa.Sample) []geo.GeoCircle {
+	minLat, maxLat := alibi[0].Pos.Lat, alibi[0].Pos.Lat
+	minLon, maxLon := alibi[0].Pos.Lon, alibi[0].Pos.Lon
+	var maxGap float64
+	for i, sm := range alibi {
+		minLat = min(minLat, sm.Pos.Lat)
+		maxLat = max(maxLat, sm.Pos.Lat)
+		minLon = min(minLon, sm.Pos.Lon)
+		maxLon = max(maxLon, sm.Pos.Lon)
+		if i > 0 {
+			gap := sm.Time.Sub(alibi[i-1].Time).Seconds() * s.cfg.VMaxMS
+			maxGap = max(maxGap, gap)
+		}
+	}
+	rect := geo.Rect{MinLat: minLat, MinLon: minLon, MaxLat: maxLat, MaxLon: maxLon}
+	rect = rect.Expand(maxGap + 1)
+	return zone.Circles(s.zones.QueryRect(rect))
+}
+
+// retain stores a verified alibi for the configured retention window.
+func (s *Server) retain(droneID string, alibi []poa.Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retained = append(s.retained, retainedPoA{
+		DroneID:    droneID,
+		Samples:    alibi,
+		SubmitTime: s.cfg.Now(),
+	})
+}
+
+// PurgeExpired drops retained PoAs older than the retention window and
+// returns how many were removed.
+func (s *Server) PurgeExpired() int {
+	cutoff := s.cfg.Now().Add(-s.cfg.Retention)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.retained[:0]
+	removed := 0
+	for _, r := range s.retained {
+		if r.SubmitTime.After(cutoff) {
+			kept = append(kept, r)
+		} else {
+			removed++
+		}
+	}
+	s.retained = kept
+	return removed
+}
+
+// RetainedCount returns the number of PoAs currently retained.
+func (s *Server) RetainedCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.retained)
+}
+
+// HandleAccusation resolves a Zone Owner report "(zone, drone, time)": it
+// locates the retained sample pair spanning the incident instant and
+// re-checks that pair against the accused zone. A compliant verdict proves
+// the drone could not have been in the zone at that time.
+func (s *Server) HandleAccusation(droneID, zoneID string, at time.Time) (protocol.SubmitPoAResponse, error) {
+	z, ok := s.zones.Get(zoneID)
+	if !ok {
+		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownZone, zoneID)
+	}
+	s.mu.RLock()
+	_, droneKnown := s.drones[droneID]
+	var candidates []retainedPoA
+	for _, r := range s.retained {
+		if r.DroneID == droneID {
+			candidates = append(candidates, r)
+		}
+	}
+	s.mu.RUnlock()
+	if !droneKnown {
+		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, droneID)
+	}
+
+	for _, r := range candidates {
+		for i := 0; i+1 < len(r.Samples); i++ {
+			s1, s2 := r.Samples[i], r.Samples[i+1]
+			if at.Before(s1.Time) || at.After(s2.Time) {
+				continue
+			}
+			if poa.PairSufficient(s1, s2, z.Circle, s.cfg.VMaxMS, s.cfg.Mode) {
+				return protocol.SubmitPoAResponse{Verdict: protocol.VerdictCompliant}, nil
+			}
+			return violation("retained alibi cannot rule out presence in the accused zone"), nil
+		}
+	}
+	return protocol.SubmitPoAResponse{}, ErrNoPoA
+}
+
+func violation(reason string) protocol.SubmitPoAResponse {
+	return protocol.SubmitPoAResponse{Verdict: protocol.VerdictViolation, Reason: reason}
+}

@@ -1,0 +1,139 @@
+package auditor
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/poa"
+	"repro/internal/protocol"
+	"repro/internal/sigcrypto"
+	"repro/internal/zone"
+)
+
+// ErrUnknownStream is returned for operations on a stream that was never
+// opened or was already closed.
+var ErrUnknownStream = errors.New("auditor: unknown stream id")
+
+var _ protocol.StreamAPI = (*Server)(nil)
+
+// streamState is one in-flight real-time audit.
+type streamState struct {
+	DroneID  string
+	Samples  []poa.Sample
+	Violated bool
+	Reason   string
+}
+
+// OpenStream starts a real-time audit for a registered drone.
+func (s *Server) OpenStream(req protocol.OpenStreamRequest) (protocol.OpenStreamResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.drones[req.DroneID]; !ok {
+		return protocol.OpenStreamResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
+	}
+	s.nextStream++
+	id := fmt.Sprintf("stream-%04d", s.nextStream)
+	if s.streams == nil {
+		s.streams = make(map[string]*streamState)
+	}
+	s.streams[id] = &streamState{DroneID: req.DroneID}
+	return protocol.OpenStreamResponse{StreamID: id}, nil
+}
+
+// StreamSample verifies one incoming signed sample incrementally:
+// signature, chronology against the previous sample, physical flyability
+// of the new pair, and pair sufficiency against the zones near the pair.
+// The first failing check marks the whole stream violated — the real-time
+// property the mode exists for.
+func (s *Server) StreamSample(req protocol.StreamSampleRequest) (protocol.StreamSampleResponse, error) {
+	s.mu.Lock()
+	st, ok := s.streams[req.StreamID]
+	var rec DroneRecord
+	if ok {
+		rec = s.drones[st.DroneID]
+	}
+	s.mu.Unlock()
+	if !ok {
+		return protocol.StreamSampleResponse{}, fmt.Errorf("%w: %q", ErrUnknownStream, req.StreamID)
+	}
+	if st.Violated {
+		return protocol.StreamSampleResponse{Verdict: protocol.VerdictViolation, Reason: st.Reason}, nil
+	}
+
+	flag := func(reason string) (protocol.StreamSampleResponse, error) {
+		s.mu.Lock()
+		st.Violated = true
+		st.Reason = reason
+		s.mu.Unlock()
+		return protocol.StreamSampleResponse{Verdict: protocol.VerdictViolation, Reason: reason}, nil
+	}
+
+	sample := req.Sample.Sample
+	if err := sigcrypto.Verify(rec.TEEPub, sample.Marshal(), req.Sample.Sig); err != nil {
+		return flag("sample signature verification failed")
+	}
+
+	s.mu.Lock()
+	var prev *poa.Sample
+	if n := len(st.Samples); n > 0 {
+		p := st.Samples[n-1]
+		prev = &p
+	}
+	s.mu.Unlock()
+
+	if prev != nil {
+		if !sample.Time.After(prev.Time) {
+			return flag("sample out of chronological order")
+		}
+		pair := []poa.Sample{*prev, sample}
+		if err := poa.SpeedFeasible(pair, s.cfg.VMaxMS); err != nil {
+			return flag(err.Error())
+		}
+		zones := s.zonesForPair(*prev, sample)
+		for _, z := range zones {
+			if !poa.PairSufficient(*prev, sample, z, s.cfg.VMaxMS, s.cfg.Mode) {
+				return flag("pair insufficient: the drone may have entered a no-fly zone")
+			}
+		}
+	}
+
+	s.mu.Lock()
+	st.Samples = append(st.Samples, sample)
+	s.mu.Unlock()
+	return protocol.StreamSampleResponse{Verdict: protocol.VerdictCompliant}, nil
+}
+
+// CloseStream finalises the flight: a violated stream stays a violation;
+// a clean stream with at least two samples is retained like a submitted
+// PoA.
+func (s *Server) CloseStream(req protocol.CloseStreamRequest) (protocol.SubmitPoAResponse, error) {
+	s.mu.Lock()
+	st, ok := s.streams[req.StreamID]
+	if ok {
+		delete(s.streams, req.StreamID)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownStream, req.StreamID)
+	}
+	if st.Violated {
+		return violation(st.Reason), nil
+	}
+	if len(st.Samples) < 2 {
+		return violation("stream ended with fewer than two samples"), nil
+	}
+	if resp3d := s.verify3D(st.Samples); resp3d != nil {
+		return *resp3d, nil
+	}
+	s.retain(st.DroneID, st.Samples)
+	return protocol.SubmitPoAResponse{Verdict: protocol.VerdictCompliant}, nil
+}
+
+// zonesForPair pulls the zones whose boundary could matter for one sample
+// pair.
+func (s *Server) zonesForPair(a, b poa.Sample) []geo.GeoCircle {
+	rect := geo.NewRect(a.Pos, b.Pos)
+	budget := b.Time.Sub(a.Time).Seconds() * s.cfg.VMaxMS
+	return zone.Circles(s.zones.QueryRect(rect.Expand(budget + 1)))
+}

@@ -1,0 +1,77 @@
+package auditor
+
+import (
+	"fmt"
+
+	"repro/internal/poa"
+	"repro/internal/protocol"
+)
+
+// This file adds the paper's §VII-B1 3-D physical model to the server:
+// Zone Owners may register *cylindrical* no-fly regions (lat, lon, radius,
+// altitude band), and submitted traces — whose samples carry the altitude
+// from the $GPGGA sentences — are additionally verified against them with
+// the travel-ellipsoid test.
+//
+// Samples without altitude information (alt = 0) are treated as flying at
+// ground level, which is the conservative choice: a cylinder anchored at
+// the ground then constrains them exactly like a 2-D zone would.
+
+// RegisterZone3D registers a cylindrical no-fly region and returns its
+// issued ID.
+func (s *Server) RegisterZone3D(owner string, z poa.CylinderZone) (string, error) {
+	if !z.Center.Valid() || z.R <= 0 || z.AltMax < z.AltMin {
+		return "", fmt.Errorf("%w: %+v", ErrInvalidCylinder, z)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextZone3D++
+	id := fmt.Sprintf("zone3d-%04d", s.nextZone3D)
+	if s.zones3D == nil {
+		s.zones3D = make(map[string]cylinderRecord)
+	}
+	s.zones3D[id] = cylinderRecord{ID: id, Owner: owner, Zone: z}
+	return id, nil
+}
+
+// Zones3D returns all registered cylindrical zones.
+func (s *Server) Zones3D() []poa.CylinderZone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]poa.CylinderZone, 0, len(s.zones3D))
+	for _, r := range s.zones3D {
+		out = append(out, r.Zone)
+	}
+	return out
+}
+
+// cylinderRecord is one registered 3-D zone.
+type cylinderRecord struct {
+	ID    string
+	Owner string
+	Zone  poa.CylinderZone
+}
+
+// verify3D checks a trace against the cylindrical zones. Returns the
+// violation response, or nil when the trace is sufficient (or no 3-D
+// zones exist).
+func (s *Server) verify3D(alibi []poa.Sample) *protocol.SubmitPoAResponse {
+	zones := s.Zones3D()
+	if len(zones) == 0 {
+		return nil
+	}
+	rep, err := poa.VerifySufficiency3D(alibi, zones, s.cfg.VMaxMS)
+	if err != nil {
+		r := violation(err.Error())
+		return &r
+	}
+	if !rep.Sufficient() {
+		r := protocol.SubmitPoAResponse{
+			Verdict:           protocol.VerdictViolation,
+			Reason:            "insufficient alibi: the drone may have entered a 3-D no-fly region",
+			InsufficientPairs: rep.InsufficientPairs(),
+		}
+		return &r
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package auditor
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/poa"
+	"repro/internal/protocol"
+	"repro/internal/sigcrypto"
+)
+
+// signedTrace3D builds a TEE-signed PoA with altitude.
+func signedTrace3D(t *testing.T, keys droneKeys, start geo.LatLon, bearing, speed, alt float64, n int, gap time.Duration) poa.PoA {
+	t.Helper()
+	var p poa.PoA
+	for i := 0; i < n; i++ {
+		s := poa.Sample{
+			Pos:       start.Offset(bearing, speed*float64(i)*gap.Seconds()),
+			AltMeters: alt,
+			Time:      t0.Add(time.Duration(i) * gap),
+		}.Canon()
+		sig, err := sigcrypto.Sign(keys.tee, s.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Append(poa.SignedSample{Sample: s, Sig: sig})
+	}
+	return p
+}
+
+func TestRegisterZone3DValidation(t *testing.T) {
+	srv, _, _ := newFixture(t)
+	bad := []poa.CylinderZone{
+		{Center: geo.LatLon{Lat: 91}, R: 10, AltMax: 100},
+		{Center: urbana, R: 0, AltMax: 100},
+		{Center: urbana, R: 10, AltMin: 100, AltMax: 50},
+	}
+	for _, z := range bad {
+		if _, err := srv.RegisterZone3D("o", z); !errors.Is(err, ErrInvalidCylinder) {
+			t.Errorf("RegisterZone3D(%+v) err = %v, want ErrInvalidCylinder", z, err)
+		}
+	}
+	id, err := srv.RegisterZone3D("o", poa.CylinderZone{Center: urbana, R: 50, AltMin: 0, AltMax: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == "" || len(srv.Zones3D()) != 1 {
+		t.Error("valid cylinder not registered")
+	}
+}
+
+func TestSubmit3DHighOverflightCompliant(t *testing.T) {
+	srv, id, keys := newFixture(t)
+	// Cylinder 0-120 m over a house directly under the flight line.
+	z := poa.CylinderZone{Center: urbana.Offset(90, 150), R: 50, AltMin: 0, AltMax: 120}
+	if _, err := srv.RegisterZone3D("alice", z); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dense 1 s trace at 400 m altitude straight over the cylinder.
+	p := signedTrace3D(t, keys, urbana, 90, 10, 400, 40, time.Second)
+	resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("high overflight verdict = %v (%s)", resp.Verdict, resp.Reason)
+	}
+}
+
+func TestSubmit3DLowPassViolation(t *testing.T) {
+	srv, id, keys := newFixture(t)
+	z := poa.CylinderZone{Center: urbana.Offset(90, 150), R: 50, AltMin: 0, AltMax: 120}
+	if _, err := srv.RegisterZone3D("alice", z); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same horizontal profile at 60 m: inside the protected band.
+	p := signedTrace3D(t, keys, urbana, 90, 10, 60, 40, time.Second)
+	resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != protocol.VerdictViolation {
+		t.Fatalf("low pass verdict = %v, want violation", resp.Verdict)
+	}
+	if resp.InsufficientPairs == 0 {
+		t.Error("expected 3-D insufficient pairs to be reported")
+	}
+}
+
+func TestSubmit3DNoAltitudeTreatedAsGroundLevel(t *testing.T) {
+	srv, id, keys := newFixture(t)
+	// Cylinder starting at the ground: a trace without altitude (alt 0)
+	// passing through it must be treated as a violation (conservative).
+	z := poa.CylinderZone{Center: urbana.Offset(90, 150), R: 50, AltMin: 0, AltMax: 120}
+	if _, err := srv.RegisterZone3D("alice", z); err != nil {
+		t.Fatal(err)
+	}
+	p := signedTrace(t, keys, urbana, 90, 10, 40, time.Second) // alt = 0
+	resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != protocol.VerdictViolation {
+		t.Fatalf("ground-level pass verdict = %v, want violation", resp.Verdict)
+	}
+}
+
+func TestSubmit3DElevatedZoneIgnoresGroundTraffic(t *testing.T) {
+	srv, id, keys := newFixture(t)
+	// Protected band 200-400 m (e.g. an approach corridor): ground-level
+	// traffic below it is fine when the samples are dense enough that
+	// the ellipsoid cannot climb into the band.
+	z := poa.CylinderZone{Center: urbana.Offset(90, 150), R: 50, AltMin: 200, AltMax: 400}
+	if _, err := srv.RegisterZone3D("faa", z); err != nil {
+		t.Fatal(err)
+	}
+	p := signedTrace3D(t, keys, urbana, 90, 10, 5, 40, time.Second)
+	resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("under-corridor pass verdict = %v (%s)", resp.Verdict, resp.Reason)
+	}
+}
+
+func TestRegisterPolygonZone(t *testing.T) {
+	srv, _, _ := newFixture(t)
+
+	// A 60x80 m rectangular property: SEC radius 50 m.
+	verts := []geo.LatLon{
+		urbana.Offset(90, 0).Offset(0, 0),
+		urbana.Offset(90, 60),
+		urbana.Offset(90, 60).Offset(0, 80),
+		urbana.Offset(0, 80),
+	}
+	resp, err := srv.RegisterPolygonZone(protocol.RegisterPolygonZoneRequest{
+		Owner: "alice", Vertices: verts, OwnershipProof: "deed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, ok := srv.Zones().Get(resp.ZoneID)
+	if !ok {
+		t.Fatal("polygon zone not registered")
+	}
+	if z.Circle.R < 48 || z.Circle.R > 52 {
+		t.Errorf("SEC radius = %v, want ~50", z.Circle.R)
+	}
+	// The circle must cover every vertex (small slack: boundary vertices
+	// re-measured with haversine land within centimetres of R).
+	for i, v := range verts {
+		if d := z.Circle.BoundaryDistMeters(v); d > 0.05 {
+			t.Errorf("vertex %d is %.3f m outside the enclosing circle", i, d)
+		}
+	}
+
+	// Validation.
+	if _, err := srv.RegisterPolygonZone(protocol.RegisterPolygonZoneRequest{
+		Owner: "x", Vertices: verts[:2],
+	}); err == nil {
+		t.Error("2-vertex polygon accepted")
+	}
+	if _, err := srv.RegisterPolygonZone(protocol.RegisterPolygonZoneRequest{
+		Owner: "x", Vertices: []geo.LatLon{{Lat: 91}, {Lat: 0}, {Lat: 1}},
+	}); err == nil {
+		t.Error("invalid vertex accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFig6Shape asserts the paper's headline: adaptive sampling needs
+// orders of magnitude fewer samples than 1 Hz fix rate when driving away
+// from a large NFZ (paper: 649 vs 14), while staying sufficient.
+func TestFig6Shape(t *testing.T) {
+	r, err := RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 12 minutes at 1 Hz → ~720 fixed samples (paper drove ~11 min: 649).
+	if r.FixedSamples < 600 || r.FixedSamples > 760 {
+		t.Errorf("fixed samples = %d, want ~720", r.FixedSamples)
+	}
+	// Adaptive should be tens, not hundreds.
+	if r.AdaptiveSamples >= r.FixedSamples/10 {
+		t.Errorf("adaptive = %d vs fixed = %d: want >= 10x reduction",
+			r.AdaptiveSamples, r.FixedSamples)
+	}
+	if r.AdaptiveSamples < 2 {
+		t.Errorf("adaptive = %d, want at least anchor+growth samples", r.AdaptiveSamples)
+	}
+	// At 1 Hz GPS the first seconds 30 ft from the boundary cannot be
+	// proven; beyond that the adaptive PoA must be sufficient.
+	if r.InsufficientPairs > 4 {
+		t.Errorf("insufficient pairs = %d, want <= 4 (start-adjacent only)", r.InsufficientPairs)
+	}
+
+	// The cumulative series must be non-decreasing and end at the totals.
+	var lastF, lastA int
+	for _, p := range r.Series {
+		if p.FixedCum < lastF || p.AdaptiveCum < lastA {
+			t.Fatal("cumulative series decreased")
+		}
+		lastF, lastA = p.FixedCum, p.AdaptiveCum
+	}
+	if lastF != r.FixedSamples || lastA != r.AdaptiveSamples {
+		t.Errorf("series ends (%d, %d), totals (%d, %d)", lastF, lastA, r.FixedSamples, r.AdaptiveSamples)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig 6") {
+		t.Error("render output missing header")
+	}
+}
+
+// TestFig7Layout asserts the regenerated workload matches the paper's
+// reported geometry.
+func TestFig7Layout(t *testing.T) {
+	r, err := RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumZones != 94 {
+		t.Errorf("zones = %d, want 94", r.NumZones)
+	}
+	if r.ZoneRadiusFt < 19.9 || r.ZoneRadiusFt > 20.1 {
+		t.Errorf("zone radius = %v ft, want 20", r.ZoneRadiusFt)
+	}
+	if r.RouteMiles < 0.95 || r.RouteMiles > 1.05 {
+		t.Errorf("route = %v mi, want ~1", r.RouteMiles)
+	}
+	if r.MinBoundaryFt < 19 || r.MinBoundaryFt > 23 {
+		t.Errorf("closest approach = %v ft, want ~21", r.MinBoundaryFt)
+	}
+	if r.ClosestApproachTime().Before(simStart) {
+		t.Error("closest approach before start")
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "94 house NFZs") {
+		t.Errorf("render output unexpected:\n%s", buf.String())
+	}
+}
+
+// TestFig8Shape asserts the residential study's orderings: insufficiency
+// counts fall with rate (39 > 9 > ~1 in the paper), the adaptive sampler
+// matches 5 Hz sufficiency with far fewer samples, and its rate adapts.
+func TestFig8Shape(t *testing.T) {
+	r, err := RunFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (c) ordering: 2 Hz strictly worst, 3 Hz in between, 5 Hz and
+	// adaptive near zero (the single missed-update event).
+	if !(r.Totals["2Hz"] > r.Totals["3Hz"]) {
+		t.Errorf("insufficiency ordering broken: 2Hz=%d, 3Hz=%d", r.Totals["2Hz"], r.Totals["3Hz"])
+	}
+	if !(r.Totals["3Hz"] > r.Totals["5Hz"]) {
+		t.Errorf("insufficiency ordering broken: 3Hz=%d, 5Hz=%d", r.Totals["3Hz"], r.Totals["5Hz"])
+	}
+	if r.Totals["2Hz"] < 10 {
+		t.Errorf("2Hz total = %d, want tens (paper: 39)", r.Totals["2Hz"])
+	}
+	if r.Totals["5Hz"] > 3 {
+		t.Errorf("5Hz total = %d, want <= 3 (paper: ~1)", r.Totals["5Hz"])
+	}
+	if r.Totals["adaptive"] > 3 {
+		t.Errorf("adaptive total = %d, want <= 3 (paper: ~1)", r.Totals["adaptive"])
+	}
+
+	// (b): the adaptive sampler uses fewer samples than 5 Hz fixed while
+	// matching its sufficiency.
+	if r.Samples["adaptive"] >= r.Samples["5Hz"] {
+		t.Errorf("adaptive samples = %d, 5Hz = %d: want fewer", r.Samples["adaptive"], r.Samples["5Hz"])
+	}
+	// The adaptive mean rate sits below 5 Hz but its peak pushes up near
+	// the dense section.
+	if r.MeanRates["adaptive"] >= 5 {
+		t.Errorf("adaptive mean rate = %v", r.MeanRates["adaptive"])
+	}
+	var peak float64
+	for _, rp := range r.Rates["adaptive"] {
+		if rp.Hz > peak {
+			peak = rp.Hz
+		}
+	}
+	if peak < 2.4 {
+		t.Errorf("adaptive peak rate = %v Hz, want to push above ~2.5 near zones", peak)
+	}
+
+	// (a): the distance profile covers the whole drive and reaches the
+	// 21 ft closest approach band.
+	if len(r.Distance) < 150 {
+		t.Errorf("distance series has %d points", len(r.Distance))
+	}
+	min := r.Distance[0].Value
+	for _, p := range r.Distance {
+		if p.Value < min {
+			min = p.Value
+		}
+	}
+	if min > 30 {
+		t.Errorf("distance series min = %v ft, want near 21", min)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "(c) total insufficient PoAs") {
+		t.Error("render output missing section (c)")
+	}
+}
+
+// TestTable2Shape asserts the benchmark table's structure: CPU grows with
+// rate, 2048-bit costs ~5x 1024-bit, the 2048/5 Hz and 2048/residential
+// cells are infeasible, field runs are far cheaper than lab fixed rates,
+// and memory is ~0.3%.
+func TestTable2Shape(t *testing.T) {
+	r, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byKey := make(map[string]map[int]struct {
+		cpu      float64
+		feasible bool
+	})
+	for _, row := range r.Rows {
+		if byKey[row.Case] == nil {
+			byKey[row.Case] = make(map[int]struct {
+				cpu      float64
+				feasible bool
+			})
+		}
+		byKey[row.Case][row.KeyBits] = struct {
+			cpu      float64
+			feasible bool
+		}{row.CPUPercent, row.Feasible}
+	}
+
+	// Monotone in rate for both key sizes (where feasible).
+	for _, bits := range Table2KeySizes {
+		c2 := byKey["Fixed 2 Hz"][bits]
+		c3 := byKey["Fixed 3 Hz"][bits]
+		if c2.feasible && c3.feasible && !(c2.cpu < c3.cpu) {
+			t.Errorf("bits=%d: CPU(2Hz)=%.2f !< CPU(3Hz)=%.2f", bits, c2.cpu, c3.cpu)
+		}
+	}
+
+	// Paper's Table II values, within tolerance.
+	checks := []struct {
+		name string
+		bits int
+		want float64
+		tol  float64
+	}{
+		{"Fixed 2 Hz", 1024, 2.17, 0.3},
+		{"Fixed 3 Hz", 1024, 3.17, 0.4},
+		{"Fixed 5 Hz", 1024, 5.59, 0.6},
+		{"Fixed 2 Hz", 2048, 10.94, 1.0},
+		{"Fixed 3 Hz", 2048, 16.81, 1.5},
+	}
+	for _, c := range checks {
+		got, ok := byKey[c.name][c.bits]
+		if !ok || !got.feasible {
+			t.Errorf("%s/%d missing or infeasible", c.name, c.bits)
+			continue
+		}
+		if got.cpu < c.want-c.tol || got.cpu > c.want+c.tol {
+			t.Errorf("%s/%d CPU = %.2f%%, paper %.2f±%.1f", c.name, c.bits, got.cpu, c.want, c.tol)
+		}
+	}
+
+	// Infeasible cells.
+	if byKey["Fixed 5 Hz"][2048].feasible {
+		t.Error("Fixed 5 Hz at 2048 bits should be infeasible (paper: '-')")
+	}
+	if byKey["Residential"][2048].feasible {
+		t.Error("Residential at 2048 bits should be infeasible (paper: '-')")
+	}
+	if !byKey["Airport"][2048].feasible {
+		t.Error("Airport at 2048 bits should be feasible (paper: 0.122%)")
+	}
+
+	// Field studies with 1024-bit keys: airport ≈ 0, residential ≈ 1.5%.
+	if a := byKey["Airport"][1024]; a.cpu > 0.3 {
+		t.Errorf("Airport/1024 CPU = %.3f%%, want ~0.02", a.cpu)
+	}
+	if res := byKey["Residential"][1024]; res.cpu < 0.3 || res.cpu > 3.5 {
+		t.Errorf("Residential/1024 CPU = %.3f%%, want ~1.5", res.cpu)
+	}
+
+	// Memory: 3.27 MB ≈ 0.3%.
+	if r.MemoryPercent < 0.25 || r.MemoryPercent > 0.4 {
+		t.Errorf("memory = %.3f%%, want ~0.33", r.MemoryPercent)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "Memory") {
+		t.Error("render output incomplete")
+	}
+}

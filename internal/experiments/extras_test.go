@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKeySweepShape(t *testing.T) {
+	r, err := RunKeySweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (4 RSA + HMAC)", len(r.Rows))
+	}
+
+	// Monotone cost in key size; feasibility flips between 1536 and 2048.
+	var prev float64
+	for _, row := range r.Rows {
+		if row.MACBaseline {
+			continue
+		}
+		if row.PerSampleMS <= prev {
+			t.Errorf("per-sample cost not increasing at %d bits", row.KeyBits)
+		}
+		prev = row.PerSampleMS
+	}
+	byBits := map[int]KeySweepRow{}
+	for _, row := range r.Rows {
+		byBits[row.KeyBits] = row
+	}
+	if !byBits[1024].Feasible5Hz || !byBits[1536].Feasible5Hz {
+		t.Error("short keys should sustain 5 Hz")
+	}
+	if byBits[2048].Feasible5Hz || byBits[3072].Feasible5Hz {
+		t.Error("long keys should not sustain 5 Hz")
+	}
+
+	// The HMAC row is orders of magnitude cheaper than the cheapest RSA.
+	mac := r.Rows[len(r.Rows)-1]
+	if !mac.MACBaseline {
+		t.Fatal("last row should be the HMAC baseline")
+	}
+	if mac.PerSampleMS > byBits[1024].PerSampleMS/10 {
+		t.Errorf("HMAC %.2f ms not ≪ RSA-1024 %.2f ms", mac.PerSampleMS, byBits[1024].PerSampleMS)
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "HMAC-256") {
+		t.Error("render missing HMAC row")
+	}
+}
+
+func TestRadioShape(t *testing.T) {
+	r, err := RunRadio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// The §IV-B claim: streaming costs far more radio energy.
+		if row.OverheadFactor < 10 {
+			t.Errorf("%s: overhead factor %.1f, want ≫ 1", row.Scenario, row.OverheadFactor)
+		}
+		if row.StreamJoules <= row.OfflineJoules {
+			t.Errorf("%s: streaming %.3f J <= offline %.3f J", row.Scenario, row.StreamJoules, row.OfflineJoules)
+		}
+	}
+
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Radio energy") {
+		t.Error("render missing header")
+	}
+}

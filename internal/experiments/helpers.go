@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/poa"
+	"repro/internal/sampling"
+	"repro/internal/trace"
+)
+
+// verifyReport counts insufficient pairs of a run's PoA against the
+// scenario zones using the paper's counting rule.
+func verifyReport(res *sampling.RunResult, sc *trace.Scenario) (int, error) {
+	counts := poa.CountInsufficient(res.PoA.Alibi(), sc.Zones, geo.MaxDroneSpeedMPS)
+	if len(counts) == 0 {
+		return 0, nil
+	}
+	return counts[len(counts)-1], nil
+}
+
+// secondsToDuration converts a float second count into a Duration.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,52 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§VI) on the simulated substrate: Fig 6 (airport
+// scenario sample counts), Fig 7 (residential layout), Fig 8 a-c
+// (residential distance/rate/insufficiency series) and Table II (CPU,
+// power and memory benchmarks). Each experiment returns structured results
+// plus a Render method that prints the same rows/series the paper reports;
+// cmd/alidrone-experiments and the bench harness are thin wrappers.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/gps"
+	"repro/internal/sampling"
+	"repro/internal/sigcrypto"
+	"repro/internal/tee"
+)
+
+// simStart is the fixed departure time of all experiment flights;
+// determinism makes every run reproducible bit-for-bit.
+var simStart = time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+
+// stack is one drone platform instance wired over a path.
+type stack struct {
+	env sampling.Env
+	dev *tee.Device
+	rx  *gps.Receiver
+}
+
+// newStack assembles receiver + TEE over the path. The key size only
+// matters for real signature bytes; performance is modelled from counters,
+// so experiments always sign with 1024-bit keys to keep runs fast.
+func newStack(p gps.Path, rateHz float64, seed int64, opts ...gps.ReceiverOption) (*stack, error) {
+	rng := rand.New(rand.NewSource(seed))
+
+	rx, err := gps.NewReceiver(p, rateHz, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("receiver: %w", err)
+	}
+	vault, err := tee.ManufactureVault(rng, sigcrypto.KeySize1024)
+	if err != nil {
+		return nil, fmt.Errorf("vault: %w", err)
+	}
+	clock := tee.NewSimClock(p.Start())
+	dev := tee.NewDevice(clock, vault)
+	if _, err := tee.NewGPSSampler(dev, gps.NewDriver(rx), rng); err != nil {
+		return nil, fmt.Errorf("sampler ta: %w", err)
+	}
+	return &stack{env: sampling.NewTEEEnv(dev, clock, rx), dev: dev, rx: rx}, nil
+}

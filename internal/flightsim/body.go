@@ -1,0 +1,74 @@
+// Package flightsim closes the loop between route planning and GPS
+// sampling: it simulates the drone airframe the paper's prototype rides on
+// (a Raspberry-Pi-controlled quadcopter) with bounded acceleration and
+// speed, a waypoint-following controller, and optional wind disturbance.
+// The flown trajectory — imperfect, unlike the ideal polylines of the
+// trace package — is recorded as a trace.Route and feeds the same
+// receiver → driver → sampler pipeline, so the Proof-of-Alibi machinery is
+// exercised against realistic tracking error.
+package flightsim
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Body is the drone's point-mass kinematic state on the local plane.
+type Body struct {
+	Pos geo.Point // metres
+	Vel geo.Point // metres/second
+	Alt float64   // metres above ground
+}
+
+// Limits bounds what the airframe can do.
+type Limits struct {
+	// MaxSpeedMS caps ground speed (well under the FAA 100 mph bound for
+	// a delivery drone; default 20 m/s).
+	MaxSpeedMS float64
+	// MaxAccelMS2 caps commanded acceleration (default 4 m/s²).
+	MaxAccelMS2 float64
+	// MaxClimbMS caps vertical rate (default 3 m/s).
+	MaxClimbMS float64
+}
+
+// withDefaults fills unset limits.
+func (l Limits) withDefaults() Limits {
+	if l.MaxSpeedMS <= 0 {
+		l.MaxSpeedMS = 20
+	}
+	if l.MaxAccelMS2 <= 0 {
+		l.MaxAccelMS2 = 4
+	}
+	if l.MaxClimbMS <= 0 {
+		l.MaxClimbMS = 3
+	}
+	return l
+}
+
+// Step advances the body by dt seconds under the commanded acceleration
+// (clamped to the limits) plus a wind velocity disturbance.
+func (b *Body) Step(dt float64, cmdAccel geo.Point, climbRate float64, wind geo.Point, lim Limits) {
+	// Clamp commanded acceleration.
+	if n := cmdAccel.Norm(); n > lim.MaxAccelMS2 {
+		cmdAccel = cmdAccel.Scale(lim.MaxAccelMS2 / n)
+	}
+	b.Vel = b.Vel.Add(cmdAccel.Scale(dt))
+	// Clamp airspeed; wind is added after the limit (the airframe limit
+	// applies to airspeed, ground speed can exceed it downwind).
+	if n := b.Vel.Norm(); n > lim.MaxSpeedMS {
+		b.Vel = b.Vel.Scale(lim.MaxSpeedMS / n)
+	}
+	ground := b.Vel.Add(wind)
+	b.Pos = b.Pos.Add(ground.Scale(dt))
+
+	climb := math.Max(-lim.MaxClimbMS, math.Min(lim.MaxClimbMS, climbRate))
+	b.Alt += climb * dt
+	if b.Alt < 0 {
+		b.Alt = 0
+	}
+}
+
+// GroundSpeed returns the current ground speed (excluding wind, which the
+// caller owns).
+func (b *Body) GroundSpeed() float64 { return b.Vel.Norm() }

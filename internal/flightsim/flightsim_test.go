@@ -1,0 +1,161 @@
+package flightsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+var (
+	t0     = time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+	urbana = geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+)
+
+func TestBodyStepRespectsLimits(t *testing.T) {
+	lim := Limits{}.withDefaults()
+	b := &Body{}
+	// Hammer it with an absurd command for 10 s: speed must stay capped.
+	for i := 0; i < 200; i++ {
+		b.Step(0.05, geo.Point{X: 1000, Y: 1000}, 100, geo.Point{}, lim)
+	}
+	if s := b.GroundSpeed(); s > lim.MaxSpeedMS+1e-9 {
+		t.Errorf("speed %v exceeds limit %v", s, lim.MaxSpeedMS)
+	}
+	// Climb capped at MaxClimbMS * 10 s.
+	if b.Alt > lim.MaxClimbMS*10+1e-9 {
+		t.Errorf("altitude %v exceeds climb-limited bound", b.Alt)
+	}
+}
+
+func TestBodyAltitudeFloor(t *testing.T) {
+	b := &Body{Alt: 1}
+	b.Step(1, geo.Point{}, -100, geo.Point{}, Limits{}.withDefaults())
+	if b.Alt != 0 {
+		t.Errorf("altitude went underground: %v", b.Alt)
+	}
+}
+
+func TestFlyStraightMission(t *testing.T) {
+	goal := urbana.Offset(90, 2000)
+	route, err := Fly(Mission{
+		Waypoints: []geo.LatLon{urbana, goal},
+		Departure: t0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The flown trajectory ends near the goal.
+	end := route.Position(route.End()).Pos
+	if d := geo.HaversineMeters(end, goal); d > 50 {
+		t.Errorf("ended %v m from the goal", d)
+	}
+	// Duration is plausible: 2000 m at 15 m/s cruise ≈ 133 s, plus
+	// accel/brake.
+	if route.Duration() < 100*time.Second || route.Duration() > 300*time.Second {
+		t.Errorf("duration = %v", route.Duration())
+	}
+	// The recorded track is physically consistent: no hop implies more
+	// than the airframe's max speed (plus margin for wind 0 here).
+	wps := route.Waypoints()
+	for i := 1; i < len(wps); i++ {
+		d := geo.HaversineMeters(wps[i-1].Pos, wps[i].Pos)
+		dt := wps[i].Time.Sub(wps[i-1].Time).Seconds()
+		if d > 21*dt {
+			t.Fatalf("hop %d: %v m in %v s", i, d, dt)
+		}
+	}
+	// Climbs to cruise altitude.
+	var maxAlt float64
+	for _, wp := range wps {
+		maxAlt = math.Max(maxAlt, wp.AltMeters)
+	}
+	if maxAlt < 55 {
+		t.Errorf("never reached cruise altitude: max %v m", maxAlt)
+	}
+}
+
+func TestFlyMultiWaypointCapturesAll(t *testing.T) {
+	waypoints := []geo.LatLon{
+		urbana,
+		urbana.Offset(90, 800),
+		urbana.Offset(90, 800).Offset(0, 600),
+		urbana.Offset(45, 1500),
+	}
+	route, err := Fly(Mission{Waypoints: waypoints, Departure: t0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The track passes within the capture radius of every waypoint.
+	for wi, target := range waypoints {
+		closest := math.Inf(1)
+		for _, wp := range route.Waypoints() {
+			closest = math.Min(closest, geo.HaversineMeters(wp.Pos, target))
+		}
+		if closest > 30 {
+			t.Errorf("waypoint %d missed by %v m", wi, closest)
+		}
+	}
+}
+
+func TestFlyWithWindStillArrives(t *testing.T) {
+	goal := urbana.Offset(90, 1500)
+	route, err := Fly(Mission{
+		Waypoints: []geo.LatLon{urbana, goal},
+		Departure: t0,
+		Wind:      WindModel{MeanMS: 6, BearingDeg: 200, GustMS: 2, Seed: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := route.Position(route.End()).Pos
+	if d := geo.HaversineMeters(end, goal); d > 60 {
+		t.Errorf("windy mission ended %v m from the goal", d)
+	}
+}
+
+func TestFlyWindDeterministic(t *testing.T) {
+	mission := Mission{
+		Waypoints: []geo.LatLon{urbana, urbana.Offset(90, 1000)},
+		Departure: t0,
+		Wind:      WindModel{MeanMS: 4, BearingDeg: 90, GustMS: 3, Seed: 42},
+	}
+	a, err := Fly(mission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fly(mission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, wb := a.Waypoints(), b.Waypoints()
+	if len(wa) != len(wb) {
+		t.Fatalf("lengths differ: %d vs %d", len(wa), len(wb))
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatalf("waypoint %d differs", i)
+		}
+	}
+}
+
+func TestFlyValidation(t *testing.T) {
+	if _, err := Fly(Mission{Waypoints: []geo.LatLon{urbana}}); !errors.Is(err, ErrTooFewWaypoints) {
+		t.Errorf("err = %v, want ErrTooFewWaypoints", err)
+	}
+
+	// Hurricane-force wind the airframe cannot beat: must time out, not
+	// hang.
+	_, err := Fly(Mission{
+		Waypoints:   []geo.LatLon{urbana, urbana.Offset(90, 2000)},
+		Departure:   t0,
+		Wind:        WindModel{MeanMS: 60, BearingDeg: 270},
+		MaxDuration: 30 * time.Second,
+	})
+	if !errors.Is(err, ErrDidNotConverge) {
+		t.Errorf("err = %v, want ErrDidNotConverge", err)
+	}
+}

@@ -1,0 +1,134 @@
+package flightsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+var (
+	// ErrTooFewWaypoints is returned for missions with fewer than two
+	// waypoints.
+	ErrTooFewWaypoints = errors.New("flightsim: need at least two waypoints")
+	// ErrDidNotConverge is returned when the mission does not finish
+	// within the time budget (e.g. wind stronger than the airframe).
+	ErrDidNotConverge = errors.New("flightsim: mission did not reach the final waypoint in time")
+)
+
+// Mission describes one simulated flight.
+type Mission struct {
+	// Waypoints is the route to fly, in order.
+	Waypoints []geo.LatLon
+	// CruiseAltM is the altitude to climb to and hold (default 60 m).
+	CruiseAltM float64
+	// Departure stamps the trajectory's start time.
+	Departure time.Time
+	// Limits bounds the airframe; Controller tunes the follower.
+	Limits     Limits
+	Controller Controller
+	// Wind adds a constant wind plus seeded turbulence. Zero = calm.
+	Wind WindModel
+	// TickHz is the physics rate (default 20 Hz); the trajectory is
+	// recorded at 10 Hz regardless.
+	TickHz float64
+	// MaxDuration bounds the simulation (default: 4x the ideal time).
+	MaxDuration time.Duration
+}
+
+// WindModel is constant wind plus band-limited turbulence.
+type WindModel struct {
+	// MeanMS blows constantly toward BearingDeg.
+	MeanMS     float64
+	BearingDeg float64
+	// GustMS scales the turbulent component; Seed makes it
+	// reproducible.
+	GustMS float64
+	Seed   int64
+}
+
+// Fly simulates the mission and returns the flown trajectory as a Route
+// (recorded at 10 Hz) ready for the GPS receiver.
+func Fly(m Mission) (*trace.Route, error) {
+	if len(m.Waypoints) < 2 {
+		return nil, ErrTooFewWaypoints
+	}
+	if m.CruiseAltM <= 0 {
+		m.CruiseAltM = 60
+	}
+	if m.TickHz <= 0 {
+		m.TickHz = 20
+	}
+	lim := m.Limits.withDefaults()
+	ctl := m.Controller.withDefaults()
+
+	pr := geo.NewProjection(m.Waypoints[0])
+	wps := make([]geo.Point, len(m.Waypoints))
+	pathLen := 0.0
+	for i, w := range m.Waypoints {
+		wps[i] = pr.ToLocal(w)
+		if i > 0 {
+			pathLen += wps[i].Dist(wps[i-1])
+		}
+	}
+	if m.MaxDuration <= 0 {
+		ideal := pathLen / ctl.CruiseSpeedMS
+		m.MaxDuration = time.Duration(4*ideal+120) * time.Second
+	}
+
+	rng := rand.New(rand.NewSource(m.Wind.Seed))
+	windBase := geo.Point{
+		X: m.Wind.MeanMS * math.Sin(m.Wind.BearingDeg*math.Pi/180),
+		Y: m.Wind.MeanMS * math.Cos(m.Wind.BearingDeg*math.Pi/180),
+	}
+	gust := geo.Point{}
+
+	body := &Body{Pos: wps[0]}
+	dt := 1 / m.TickHz
+	recordEvery := int(math.Max(1, m.TickHz/10))
+
+	var recorded []trace.Waypoint
+	record := func(at time.Duration) {
+		recorded = append(recorded, trace.Waypoint{
+			Pos:       pr.ToLatLon(body.Pos),
+			AltMeters: body.Alt,
+			Time:      m.Departure.Add(at),
+		})
+	}
+	record(0)
+
+	maxTicks := int(m.MaxDuration.Seconds() * m.TickHz)
+	for tick := 1; tick <= maxTicks; tick++ {
+		// Ornstein-Uhlenbeck-ish turbulence: decays toward zero, kicked
+		// by noise.
+		if m.Wind.GustMS > 0 {
+			gust = gust.Scale(1 - 0.5*dt).Add(geo.Point{
+				X: rng.NormFloat64() * m.Wind.GustMS * math.Sqrt(dt),
+				Y: rng.NormFloat64() * m.Wind.GustMS * math.Sqrt(dt),
+			})
+		}
+		wind := windBase.Add(gust)
+
+		climb := 0.0
+		if body.Alt < m.CruiseAltM {
+			climb = lim.MaxClimbMS
+		}
+		accel := ctl.Command(body, wps)
+		body.Step(dt, accel, climb, wind, lim)
+
+		if tick%recordEvery == 0 {
+			record(time.Duration(float64(tick) * dt * float64(time.Second)))
+		}
+		if ctl.Done(wps) && body.GroundSpeed() < 1 {
+			if tick%recordEvery != 0 {
+				record(time.Duration(float64(tick) * dt * float64(time.Second)))
+			}
+			return trace.NewRoute(recorded)
+		}
+	}
+	return nil, fmt.Errorf("%w after %v", ErrDidNotConverge, m.MaxDuration)
+}

@@ -1,0 +1,200 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTravelEllipseEmpty(t *testing.T) {
+	f1 := Point{X: 0, Y: 0}
+	f2 := Point{X: 1000, Y: 0}
+
+	// dt too short to cover the inter-focal distance at vmax.
+	e := NewTravelEllipse(f1, f2, 10, 44.704) // 447 m budget < 1000 m
+	if !e.Empty() {
+		t.Error("ellipse should be empty when samples exceed the speed bound")
+	}
+	if e.IntersectsDisk(Circle{Center: Point{X: 500, Y: 0}, R: 100}) {
+		t.Error("empty ellipse must not intersect anything")
+	}
+	if e.SemiMajor() != 0 || e.SemiMinor() != 0 {
+		t.Error("empty ellipse axes should be 0")
+	}
+
+	// Exactly feasible: degenerate segment ellipse.
+	e = TravelEllipse{F1: f1, F2: f2, SumLimit: 1000}
+	if e.Empty() {
+		t.Error("ellipse with SumLimit == focal distance is the segment, not empty")
+	}
+}
+
+func TestTravelEllipseContains(t *testing.T) {
+	e := TravelEllipse{F1: Point{X: -300, Y: 0}, F2: Point{X: 300, Y: 0}, SumLimit: 1000}
+	// a = 500, c = 300, b = 400.
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", Point{}, true},
+		{"focus", Point{X: 300, Y: 0}, true},
+		{"major vertex", Point{X: 500, Y: 0}, true},
+		{"minor vertex", Point{X: 0, Y: 400}, true},
+		{"beyond major vertex", Point{X: 500.1, Y: 0}, false},
+		{"beyond minor vertex", Point{X: 0, Y: 400.1}, false},
+		{"far away", Point{X: 5000, Y: 5000}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := e.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTravelEllipseAxes(t *testing.T) {
+	e := TravelEllipse{F1: Point{X: -300, Y: 0}, F2: Point{X: 300, Y: 0}, SumLimit: 1000}
+	if !almostEqual(e.SemiMajor(), 500, 1e-9) {
+		t.Errorf("SemiMajor = %v, want 500", e.SemiMajor())
+	}
+	if !almostEqual(e.SemiMinor(), 400, 1e-9) {
+		t.Errorf("SemiMinor = %v, want 400", e.SemiMinor())
+	}
+}
+
+func TestIntersectsDiskTangent(t *testing.T) {
+	// Paper Fig 3: the minimum sampling rate yields an ellipse tangent to
+	// the NFZ. Build an ellipse and a circle tangent at the major vertex.
+	e := TravelEllipse{F1: Point{X: -300, Y: 0}, F2: Point{X: 300, Y: 0}, SumLimit: 1000}
+	// Major vertex at (500, 0); circle of radius 100 centred at (600, 0)
+	// touches it exactly.
+	touching := Circle{Center: Point{X: 600, Y: 0}, R: 100}
+	if !e.IntersectsDisk(touching) {
+		t.Error("tangent circle should intersect (boundary contact)")
+	}
+	separated := Circle{Center: Point{X: 601, Y: 0}, R: 100}
+	if e.IntersectsDisk(separated) {
+		t.Error("circle 1 m past tangency should not intersect")
+	}
+}
+
+func TestIntersectsDiskOverlapping(t *testing.T) {
+	e := TravelEllipse{F1: Point{X: -300, Y: 0}, F2: Point{X: 300, Y: 0}, SumLimit: 1000}
+	tests := []struct {
+		name string
+		c    Circle
+		want bool
+	}{
+		{"circle containing a focus", Circle{Center: Point{X: 300, Y: 50}, R: 100}, true},
+		{"circle inside ellipse", Circle{Center: Point{}, R: 10}, true},
+		{"circle containing whole ellipse", Circle{Center: Point{}, R: 10000}, true},
+		{"disjoint above", Circle{Center: Point{X: 0, Y: 1000}, R: 100}, false},
+		{"disjoint diagonal", Circle{Center: Point{X: 800, Y: 800}, R: 200}, false},
+		{"overlapping minor vertex", Circle{Center: Point{X: 0, Y: 450}, R: 60}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := e.IntersectsDisk(tt.c); got != tt.want {
+				t.Errorf("IntersectsDisk(%+v) = %v, want %v", tt.c, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestConservativeImpliesExact checks the soundness relationship the
+// sampler relies on: whenever the paper's conservative boundary test says
+// "disjoint", the exact test must agree. (The converse may fail — the
+// conservative test is allowed to be pessimistic.)
+func TestConservativeImpliesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		f1 := Point{X: rng.Float64()*2000 - 1000, Y: rng.Float64()*2000 - 1000}
+		f2 := Point{X: rng.Float64()*2000 - 1000, Y: rng.Float64()*2000 - 1000}
+		sum := f1.Dist(f2) + rng.Float64()*1000
+		e := TravelEllipse{F1: f1, F2: f2, SumLimit: sum}
+		c := Circle{
+			Center: Point{X: rng.Float64()*4000 - 2000, Y: rng.Float64()*4000 - 2000},
+			R:      rng.Float64() * 500,
+		}
+		if e.DisjointFromDiskConservative(c) && e.IntersectsDisk(c) {
+			t.Fatalf("conservative says disjoint but exact says intersecting:\n e=%+v\n c=%+v", e, c)
+		}
+	}
+}
+
+// TestExactMatchesSampledMembership cross-validates the exact intersection
+// test against brute-force point sampling of the disk.
+func TestExactMatchesSampledMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		f1 := Point{X: rng.Float64()*1000 - 500, Y: rng.Float64()*1000 - 500}
+		f2 := Point{X: rng.Float64()*1000 - 500, Y: rng.Float64()*1000 - 500}
+		sum := f1.Dist(f2) + rng.Float64()*800
+		e := TravelEllipse{F1: f1, F2: f2, SumLimit: sum}
+		c := Circle{
+			Center: Point{X: rng.Float64()*3000 - 1500, Y: rng.Float64()*3000 - 1500},
+			R:      rng.Float64()*400 + 1,
+		}
+
+		// Sample the disk densely; if any sampled point is inside the
+		// ellipse, the exact test must report intersection.
+		found := false
+		for j := 0; j < 500 && !found; j++ {
+			theta := rng.Float64() * 2 * math.Pi
+			rr := math.Sqrt(rng.Float64()) * c.R
+			p := Point{X: c.Center.X + rr*math.Cos(theta), Y: c.Center.Y + rr*math.Sin(theta)}
+			if e.Contains(p) {
+				found = true
+			}
+		}
+		if found && !e.IntersectsDisk(c) {
+			t.Fatalf("sampled point inside ellipse but exact test says disjoint:\n e=%+v\n c=%+v", e, c)
+		}
+	}
+}
+
+func TestMinFocalSumOnDisk(t *testing.T) {
+	e := TravelEllipse{F1: Point{X: -100, Y: 0}, F2: Point{X: 100, Y: 0}, SumLimit: 400}
+
+	// Disk crossing the focal segment: minimum is the focal distance.
+	c := Circle{Center: Point{X: 0, Y: 10}, R: 20}
+	if got := e.MinFocalSumOnDisk(c); !almostEqual(got, 200, 1e-6) {
+		t.Errorf("min over segment-crossing disk = %v, want 200", got)
+	}
+
+	// Disk far along the major axis: nearest point is the disk boundary
+	// point closest to both foci, at (400, 0).
+	c = Circle{Center: Point{X: 500, Y: 0}, R: 100}
+	want := (400.0 - (-100.0)) + (400.0 - 100.0) // 500 + 300
+	if got := e.MinFocalSumOnDisk(c); !almostEqual(got, want, 1e-3) {
+		t.Errorf("min over distant disk = %v, want %v", got, want)
+	}
+}
+
+func TestSegmentDistToPoint(t *testing.T) {
+	a, b := Point{X: 0, Y: 0}, Point{X: 10, Y: 0}
+	tests := []struct {
+		name string
+		p    Point
+		want float64
+	}{
+		{"above middle", Point{X: 5, Y: 3}, 3},
+		{"beyond end", Point{X: 13, Y: 4}, 5},
+		{"before start", Point{X: -3, Y: 4}, 5},
+		{"on segment", Point{X: 7, Y: 0}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := segmentDistToPoint(a, b, tt.p); !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("segmentDistToPoint = %v, want %v", got, tt.want)
+			}
+		})
+	}
+
+	// Degenerate zero-length segment.
+	if got := segmentDistToPoint(a, a, Point{X: 3, Y: 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("degenerate segment distance = %v, want 5", got)
+	}
+}

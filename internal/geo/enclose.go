@@ -1,0 +1,119 @@
+package geo
+
+import "math"
+
+// SmallestEnclosingCircle computes the minimum-radius circle containing all
+// points, implementing Welzl's expected-linear-time algorithm (the paper's
+// §VII-B2 cites Megiddo's linear-time construction; Welzl achieves the same
+// bound in expectation and is the standard practical choice). The auditor
+// uses it once per polygonal no-fly-zone registration to convert the polygon
+// into the circular representation the PoA geometry works with.
+//
+// The input is processed deterministically (no shuffling) so results are
+// reproducible; the move-to-front heuristic keeps the deterministic variant
+// fast for the polygon sizes seen at registration time.
+func SmallestEnclosingCircle(points []Point) Circle {
+	if len(points) == 0 {
+		return Circle{}
+	}
+	pts := make([]Point, len(points))
+	copy(pts, points)
+
+	c := circleFrom1(pts[0])
+	for i := 1; i < len(pts); i++ {
+		if containsApprox(c, pts[i]) {
+			continue
+		}
+		c = circleWithOnePoint(pts[:i], pts[i])
+	}
+	return c
+}
+
+// circleWithOnePoint finds the smallest circle over pts that has p on its
+// boundary.
+func circleWithOnePoint(pts []Point, p Point) Circle {
+	c := circleFrom1(p)
+	for i, q := range pts {
+		if containsApprox(c, q) {
+			continue
+		}
+		if c.R == 0 {
+			c = circleFrom2(p, q)
+		} else {
+			c = circleWithTwoPoints(pts[:i], p, q)
+		}
+	}
+	return c
+}
+
+// circleWithTwoPoints finds the smallest circle over pts with both p and q
+// on its boundary.
+func circleWithTwoPoints(pts []Point, p, q Point) Circle {
+	circ := circleFrom2(p, q)
+	var left, right Circle
+	var hasLeft, hasRight bool
+
+	pq := q.Sub(p)
+	for _, r := range pts {
+		if containsApprox(circ, r) {
+			continue
+		}
+		cross := pq.X*(r.Y-p.Y) - pq.Y*(r.X-p.X)
+		c := circleFrom3(p, q, r)
+		if c.R == 0 {
+			continue
+		}
+		switch {
+		case cross > 0 && (!hasLeft || crossAt(pq, p, c.Center) > crossAt(pq, p, left.Center)):
+			left, hasLeft = c, true
+		case cross < 0 && (!hasRight || crossAt(pq, p, c.Center) < crossAt(pq, p, right.Center)):
+			right, hasRight = c, true
+		}
+	}
+
+	switch {
+	case !hasLeft && !hasRight:
+		return circ
+	case !hasLeft:
+		return right
+	case !hasRight:
+		return left
+	case left.R <= right.R:
+		return left
+	default:
+		return right
+	}
+}
+
+func crossAt(pq, p, c Point) float64 {
+	return pq.X*(c.Y-p.Y) - pq.Y*(c.X-p.X)
+}
+
+func circleFrom1(p Point) Circle { return Circle{Center: p, R: 0} }
+
+func circleFrom2(p, q Point) Circle {
+	center := Point{X: (p.X + q.X) / 2, Y: (p.Y + q.Y) / 2}
+	return Circle{Center: center, R: math.Max(center.Dist(p), center.Dist(q))}
+}
+
+// circleFrom3 returns the circumscribed circle of the triangle pqr, or a
+// zero circle when the points are collinear.
+func circleFrom3(p, q, r Point) Circle {
+	ax, ay := q.X-p.X, q.Y-p.Y
+	bx, by := r.X-p.X, r.Y-p.Y
+	d := 2 * (ax*by - ay*bx)
+	if d == 0 {
+		return Circle{}
+	}
+	ux := (by*(ax*ax+ay*ay) - ay*(bx*bx+by*by)) / d
+	uy := (ax*(bx*bx+by*by) - bx*(ax*ax+ay*ay)) / d
+	center := Point{X: p.X + ux, Y: p.Y + uy}
+	radius := math.Max(center.Dist(p), math.Max(center.Dist(q), center.Dist(r)))
+	return Circle{Center: center, R: radius}
+}
+
+// containsApprox is Contains with a small multiplicative slack so that the
+// incremental construction is robust to floating-point rounding.
+func containsApprox(c Circle, p Point) bool {
+	return c.Center.Dist(p) <= c.R*(1+1e-10)+1e-9
+}

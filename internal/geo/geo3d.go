@@ -1,0 +1,151 @@
+package geo
+
+import "math"
+
+// Point3 is a position on the local east-north-up frame, in metres. It
+// backs the 3-D physical model extension (paper §VII-B1) where GPS samples
+// carry altitude.
+type Point3 struct {
+	X float64 `json:"x"` // metres east
+	Y float64 `json:"y"` // metres north
+	Z float64 `json:"z"` // metres above the reference altitude
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point3) Dist(q Point3) float64 {
+	dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// XY projects the point onto the horizontal plane.
+func (p Point3) XY() Point { return Point{X: p.X, Y: p.Y} }
+
+// TravelEllipsoid is the 3-D possible-travel-range between two samples:
+// {p : d(p,F1) + d(p,F2) <= SumLimit}, a prolate spheroid with the two
+// sample positions as foci.
+type TravelEllipsoid struct {
+	F1       Point3  `json:"f1"`
+	F2       Point3  `json:"f2"`
+	SumLimit float64 `json:"sumLimit"`
+}
+
+// NewTravelEllipsoid builds the 3-D possible-travel-range between two
+// positions observed dt seconds apart under speed bound vmax (m/s).
+func NewTravelEllipsoid(f1, f2 Point3, dt, vmax float64) TravelEllipsoid {
+	return TravelEllipsoid{F1: f1, F2: f2, SumLimit: vmax * dt}
+}
+
+// Empty reports whether the ellipsoid contains no points.
+func (e TravelEllipsoid) Empty() bool { return e.SumLimit < e.F1.Dist(e.F2) }
+
+// Contains reports whether p lies inside or on the ellipsoid.
+func (e TravelEllipsoid) Contains(p Point3) bool {
+	return p.Dist(e.F1)+p.Dist(e.F2) <= e.SumLimit
+}
+
+// Cylinder is a vertical no-fly region z' = (lat, lon, alt, r): the set of
+// points within horizontal radius R of the axis and with height in
+// [ZMin, ZMax]. The paper interprets the 4-tuple as a cylinder above the
+// protected property.
+type Cylinder struct {
+	Center Point   `json:"center"` // axis position on the horizontal plane
+	R      float64 `json:"r"`      // horizontal radius, metres
+	ZMin   float64 `json:"zMin"`   // bottom of the protected airspace
+	ZMax   float64 `json:"zMax"`   // top of the protected airspace
+}
+
+// Contains reports whether p lies inside the cylinder.
+func (c Cylinder) Contains(p Point3) bool {
+	return p.Z >= c.ZMin && p.Z <= c.ZMax && c.Center.Dist(p.XY()) <= c.R
+}
+
+// IntersectsEllipsoid reports whether the travel ellipsoid reaches into the
+// cylinder, i.e. whether the two consecutive samples fail to prove alibi to
+// the 3-D zone (paper §VII-B1: alibi iff E' ∩ z' = ∅).
+//
+// The focal-sum f(p) = d(p,F1)+d(p,F2) is convex in 3-D as well; we
+// minimise it over the cylinder by minimising, for each candidate height z
+// in [ZMin, ZMax], over the horizontal disk at that height. The inner disk
+// minimisation reuses the 2-D machinery on the slice; the outer height
+// minimisation is unimodal (a convex function partially minimised over a
+// convex set remains convex in the remaining variable) so golden-section
+// search applies.
+func (c Cylinder) IntersectsEllipsoid(e TravelEllipsoid) bool {
+	if e.Empty() {
+		return false
+	}
+	return c.minFocalSum(e) <= e.SumLimit
+}
+
+// minFocalSum returns min over the cylinder of d(p,F1)+d(p,F2).
+func (c Cylinder) minFocalSum(e TravelEllipsoid) float64 {
+	atHeight := func(z float64) float64 {
+		return minFocalSumOnDisk3(e, Circle{Center: c.Center, R: c.R}, z)
+	}
+
+	lo, hi := c.ZMin, c.ZMax
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if hi-lo < 1e-9 {
+		return atHeight(lo)
+	}
+	const phi = 0.6180339887498949
+	x1 := hi - phi*(hi-lo)
+	x2 := lo + phi*(hi-lo)
+	f1, f2 := atHeight(x1), atHeight(x2)
+	for i := 0; i < 80 && hi-lo > 1e-9; i++ {
+		if f1 < f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - phi*(hi-lo)
+			f1 = atHeight(x1)
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + phi*(hi-lo)
+			f2 = atHeight(x2)
+		}
+	}
+	return math.Min(math.Min(f1, f2), math.Min(atHeight(c.ZMin), atHeight(c.ZMax)))
+}
+
+// minFocalSumOnDisk3 minimises the 3-D focal sum over the horizontal disk
+// at height z.
+func minFocalSumOnDisk3(e TravelEllipsoid, disk Circle, z float64) float64 {
+	f := func(p Point) float64 {
+		q := Point3{X: p.X, Y: p.Y, Z: z}
+		return q.Dist(e.F1) + q.Dist(e.F2)
+	}
+
+	// The unconstrained minimiser over the plane z=const of the focal sum
+	// is found numerically; if it falls inside the disk we can take it
+	// directly, otherwise the boundary search applies (convexity again).
+	inner := minOnPlane(f, disk.Center)
+	if disk.Contains(inner) {
+		return f(inner)
+	}
+	return minOnCircle(f, disk)
+}
+
+// minOnPlane performs a coordinate-descent/gradient-free minimisation of a
+// convex function on the plane starting near start. Nelder-Mead would be
+// overkill; a shrinking pattern search converges fine for the smooth convex
+// focal-sum.
+func minOnPlane(f func(Point) float64, start Point) Point {
+	p := start
+	step := 1000.0
+	fp := f(p)
+	for step > 1e-7 {
+		improved := false
+		for _, d := range [4]Point{{X: step}, {X: -step}, {Y: step}, {Y: -step}} {
+			q := p.Add(d)
+			if fq := f(q); fq < fp {
+				p, fp = q, fq
+				improved = true
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return p
+}

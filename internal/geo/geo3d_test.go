@@ -1,0 +1,138 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPoint3Dist(t *testing.T) {
+	a := Point3{X: 1, Y: 2, Z: 2}
+	if d := a.Dist(Point3{}); !almostEqual(d, 3, 1e-12) {
+		t.Errorf("Dist = %v, want 3", d)
+	}
+	if xy := a.XY(); xy != (Point{X: 1, Y: 2}) {
+		t.Errorf("XY = %+v", xy)
+	}
+}
+
+func TestTravelEllipsoidBasics(t *testing.T) {
+	f1 := Point3{X: -300, Y: 0, Z: 100}
+	f2 := Point3{X: 300, Y: 0, Z: 100}
+	e := NewTravelEllipsoid(f1, f2, 22.37, 44.704) // SumLimit ~1000 m
+
+	if e.Empty() {
+		t.Fatal("feasible ellipsoid should not be empty")
+	}
+	if !e.Contains(Point3{X: 0, Y: 0, Z: 100}) {
+		t.Error("midpoint should be inside")
+	}
+	if e.Contains(Point3{X: 0, Y: 0, Z: 100 + 401}) {
+		t.Error("point past the minor axis should be outside")
+	}
+
+	tight := NewTravelEllipsoid(f1, f2, 1, 44.704)
+	if !tight.Empty() {
+		t.Error("speed-infeasible ellipsoid should be empty")
+	}
+}
+
+func TestCylinderContains(t *testing.T) {
+	c := Cylinder{Center: Point{X: 0, Y: 0}, R: 50, ZMin: 0, ZMax: 120}
+	tests := []struct {
+		name string
+		p    Point3
+		want bool
+	}{
+		{"inside", Point3{X: 10, Y: 10, Z: 60}, true},
+		{"on wall", Point3{X: 50, Y: 0, Z: 60}, true},
+		{"above top", Point3{X: 0, Y: 0, Z: 121}, false},
+		{"below bottom", Point3{X: 0, Y: 0, Z: -1}, false},
+		{"outside radius", Point3{X: 51, Y: 0, Z: 60}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%+v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCylinderEllipsoidIntersection(t *testing.T) {
+	// Drone flying level at 80 m; cylinder NFZ 0-120 m tall.
+	cyl := Cylinder{Center: Point{X: 0, Y: 0}, R: 50, ZMin: 0, ZMax: 120}
+
+	tests := []struct {
+		name string
+		e    TravelEllipsoid
+		want bool
+	}{
+		{
+			"passes right through",
+			TravelEllipsoid{F1: Point3{X: -200, Z: 80}, F2: Point3{X: 200, Z: 80}, SumLimit: 500},
+			true,
+		},
+		{
+			"flies far above the zone top",
+			TravelEllipsoid{F1: Point3{X: -200, Z: 800}, F2: Point3{X: 200, Z: 800}, SumLimit: 410},
+			false,
+		},
+		{
+			// SumLimit 401 vs focal distance 400 gives a semi-minor axis
+			// of ~14.2 m, so the closest reachable point is at Y ~ 55.8,
+			// outside the 50 m cylinder radius.
+			"tight trace passing near but outside radius",
+			TravelEllipsoid{F1: Point3{X: -200, Y: 70, Z: 80}, F2: Point3{X: 200, Y: 70, Z: 80}, SumLimit: 401},
+			false,
+		},
+		{
+			"loose trace that could detour into the zone",
+			TravelEllipsoid{F1: Point3{X: -200, Y: 60, Z: 80}, F2: Point3{X: 200, Y: 60, Z: 80}, SumLimit: 800},
+			true,
+		},
+		{
+			"empty ellipsoid",
+			TravelEllipsoid{F1: Point3{X: -200, Z: 80}, F2: Point3{X: 200, Z: 80}, SumLimit: 100},
+			false,
+		},
+		{
+			"just above the top, slack enough to dip in",
+			TravelEllipsoid{F1: Point3{X: 0, Y: 0, Z: 130}, F2: Point3{X: 10, Y: 0, Z: 130}, SumLimit: 100},
+			true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := cyl.IntersectsEllipsoid(tt.e); got != tt.want {
+				t.Errorf("IntersectsEllipsoid = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// TestCylinderIntersectionAgainstSampling cross-validates the analytic
+// intersection with random point sampling inside the cylinder.
+func TestCylinderIntersectionAgainstSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cyl := Cylinder{Center: Point{X: 0, Y: 0}, R: 80, ZMin: 0, ZMax: 150}
+	for i := 0; i < 150; i++ {
+		f1 := Point3{X: rng.Float64()*800 - 400, Y: rng.Float64()*800 - 400, Z: rng.Float64() * 300}
+		f2 := Point3{X: rng.Float64()*800 - 400, Y: rng.Float64()*800 - 400, Z: rng.Float64() * 300}
+		e := TravelEllipsoid{F1: f1, F2: f2, SumLimit: f1.Dist(f2) + rng.Float64()*400}
+
+		foundInside := false
+		for j := 0; j < 800 && !foundInside; j++ {
+			p := Point3{
+				X: rng.Float64()*200 - 100,
+				Y: rng.Float64()*200 - 100,
+				Z: rng.Float64() * 160,
+			}
+			if cyl.Contains(p) && e.Contains(p) {
+				foundInside = true
+			}
+		}
+		if foundInside && !cyl.IntersectsEllipsoid(e) {
+			t.Fatalf("sampling found a shared point but analytic test says disjoint: e=%+v", e)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickSECContainsAll: the smallest enclosing circle contains every
+// input point.
+func TestQuickSECContainsAll(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64()*4000 - 2000, Y: rng.Float64()*4000 - 2000}
+		}
+		c := SmallestEnclosingCircle(pts)
+		for _, p := range pts {
+			if c.Center.Dist(p) > c.R*(1+1e-7)+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSECSubsetMonotone: adding points never shrinks the enclosing
+// circle.
+func TestQuickSECSubsetMonotone(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64()*4000 - 2000, Y: rng.Float64()*4000 - 2000}
+		}
+		sub := pts[:1+rng.Intn(n)]
+		rSub := SmallestEnclosingCircle(sub).R
+		rAll := SmallestEnclosingCircle(pts).R
+		return rAll >= rSub-1e-7
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEllipseContainsFoci: any non-empty travel ellipse contains both
+// of its foci (the drone certainly was at both samples).
+func TestQuickEllipseContainsFoci(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f1 := Point{X: rng.Float64()*2000 - 1000, Y: rng.Float64()*2000 - 1000}
+		f2 := Point{X: rng.Float64()*2000 - 1000, Y: rng.Float64()*2000 - 1000}
+		e := TravelEllipse{F1: f1, F2: f2, SumLimit: f1.Dist(f2) * (1 + rng.Float64())}
+		return e.Contains(e.F1) && e.Contains(e.F2)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEllipseDiskSymmetricInFoci: swapping the foci never changes the
+// intersection verdict.
+func TestQuickEllipseDiskSymmetricInFoci(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f1 := Point{X: rng.Float64()*2000 - 1000, Y: rng.Float64()*2000 - 1000}
+		f2 := Point{X: rng.Float64()*2000 - 1000, Y: rng.Float64()*2000 - 1000}
+		sum := f1.Dist(f2) + rng.Float64()*800
+		c := Circle{
+			Center: Point{X: rng.Float64()*3000 - 1500, Y: rng.Float64()*3000 - 1500},
+			R:      rng.Float64()*400 + 1,
+		}
+		a := TravelEllipse{F1: f1, F2: f2, SumLimit: sum}
+		b := TravelEllipse{F1: f2, F2: f1, SumLimit: sum}
+		return a.IntersectsDisk(c) == b.IntersectsDisk(c)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOffsetDistance: Offset moves a point by exactly the requested
+// geodesic distance (within numerical tolerance) for any bearing.
+func TestQuickOffsetDistance(t *testing.T) {
+	origin := LatLon{Lat: 40.1106, Lon: -88.2073}
+	fn := func(rawBearing, rawDist float64) bool {
+		bearing := mod360(rawBearing)
+		dist := modRange(rawDist, 50000)
+		q := origin.Offset(bearing, dist)
+		got := HaversineMeters(origin, q)
+		return almostEqual(got, dist, dist*1e-6+1e-6)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRectContainsCenter: any rect built from two corners contains
+// both corners and its centre.
+func TestQuickRectContainsCenter(t *testing.T) {
+	fn := func(lat1Raw, lon1Raw, lat2Raw, lon2Raw float64) bool {
+		a := LatLon{Lat: modRange(lat1Raw, 85), Lon: modRange(lon1Raw, 175)}
+		b := LatLon{Lat: modRange(lat2Raw, 85), Lon: modRange(lon2Raw, 175)}
+		r := NewRect(a, b)
+		mid := LatLon{Lat: (a.Lat + b.Lat) / 2, Lon: (a.Lon + b.Lon) / 2}
+		return r.Contains(a) && r.Contains(b) && r.Contains(mid)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// mod360 maps an arbitrary float into [0, 360).
+func mod360(x float64) float64 {
+	m := math.Mod(x, 360)
+	if m < 0 {
+		m += 360
+	}
+	return m
+}
+
+// modRange maps an arbitrary float into [0, limit).
+func modRange(x, limit float64) float64 {
+	m := math.Mod(math.Abs(x), limit)
+	if math.IsNaN(m) {
+		return 0
+	}
+	return m
+}

@@ -1,0 +1,54 @@
+package gps
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFirstUpdateSkipsMissedLeadingTicks(t *testing.T) {
+	rx, err := NewReceiver(testPath(), 5, WithMissedUpdates(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rx.FirstUpdate().Sub(t0); got != 400*time.Millisecond {
+		t.Errorf("FirstUpdate = %v, want 400ms (ticks 0 and 1 missed)", got)
+	}
+}
+
+func TestLatestSentenceBeforeFix(t *testing.T) {
+	rx, err := NewReceiver(testPath(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.LatestSentence(t0.Add(-time.Second)); !errors.Is(err, ErrNoFixYet) {
+		t.Errorf("err = %v, want ErrNoFixYet", err)
+	}
+	if _, err := rx.LatestAltitudeSentence(t0.Add(-time.Second)); !errors.Is(err, ErrNoFixYet) {
+		t.Errorf("altitude err = %v, want ErrNoFixYet", err)
+	}
+}
+
+func TestAltitudeSentenceCarriesAltitude(t *testing.T) {
+	p := testPath()
+	p.alt = 123.4
+	rx, err := NewReceiver(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := rx.LatestAltitudeSentence(t0.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) == 0 || s[0] != '$' {
+		t.Fatalf("not a sentence: %q", s)
+	}
+	d := NewDriver(rx)
+	fix, err := d.GetGPS3D(t0.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.AltMeters < 123.3 || fix.AltMeters > 123.5 {
+		t.Errorf("altitude = %v", fix.AltMeters)
+	}
+}

@@ -1,0 +1,42 @@
+// Package gps simulates the drone's GPS receiver hardware and implements
+// the secure-world GPS driver on top of it.
+//
+// The paper's prototype wires an Adafruit Ultimate GPS breakout (NMEA 0183,
+// 1-5 Hz) to a Raspberry Pi GPIO port; the OP-TEE kernel driver maps the RX
+// port, keeps the latest $GPRMC sentence in a buffer, and parses it on
+// demand. This package reproduces that stack in simulation: a Receiver
+// produces framed NMEA sentences at a configurable update rate along a
+// flight path, including injected missed updates (the failure mode observed
+// in the paper's residential field study), and a Driver exposes the
+// parsed-latest-fix interface GetGPS that the TEE GPS Sampler consumes.
+package gps
+
+import (
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Fix is one GPS measurement: the (lat, lon, t) tuple of the paper's
+// physical model, extended with altitude, speed and course as carried by
+// real NMEA output (altitude backs the 3-D extension of §VII-B1).
+type Fix struct {
+	Pos       geo.LatLon `json:"pos"`
+	AltMeters float64    `json:"altMeters"`
+	SpeedMS   float64    `json:"speedMS"`
+	CourseDeg float64    `json:"courseDeg"`
+	Time      time.Time  `json:"time"`
+}
+
+// Path describes a flight (or drive) trajectory that a Receiver samples.
+// Implementations interpolate position for any instant within
+// [Start, End]. The trace package provides the scenario implementations.
+type Path interface {
+	// Position returns the vehicle state at the given instant, clamped to
+	// the path's time range.
+	Position(at time.Time) Fix
+	// Start returns the first instant of the path.
+	Start() time.Time
+	// End returns the last instant of the path.
+	End() time.Time
+}

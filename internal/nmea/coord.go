@@ -1,0 +1,58 @@
+package nmea
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// formatLat renders a latitude in the NMEA ddmm.mmmm convention with its
+// hemisphere indicator.
+func formatLat(lat float64) (string, string) {
+	hemi := "N"
+	if lat < 0 {
+		hemi = "S"
+		lat = -lat
+	}
+	deg := math.Floor(lat)
+	minutes := (lat - deg) * 60
+	return fmt.Sprintf("%02d%07.4f", int(deg), minutes), hemi
+}
+
+// formatLon renders a longitude in the NMEA dddmm.mmmm convention with its
+// hemisphere indicator.
+func formatLon(lon float64) (string, string) {
+	hemi := "E"
+	if lon < 0 {
+		hemi = "W"
+		lon = -lon
+	}
+	deg := math.Floor(lon)
+	minutes := (lon - deg) * 60
+	return fmt.Sprintf("%03d%08.4f", int(deg), minutes), hemi
+}
+
+// parseCoord decodes a ddmm.mmmm / dddmm.mmmm field plus hemisphere into
+// signed decimal degrees. degDigits is 2 for latitude, 3 for longitude.
+func parseCoord(field, hemi string, degDigits int) (float64, error) {
+	if len(field) < degDigits+2 {
+		return 0, fmt.Errorf("%w: coordinate %q too short", ErrMissingFields, field)
+	}
+	deg, err := strconv.ParseFloat(field[:degDigits], 64)
+	if err != nil {
+		return 0, fmt.Errorf("nmea: parse degrees %q: %w", field, err)
+	}
+	minutes, err := strconv.ParseFloat(field[degDigits:], 64)
+	if err != nil {
+		return 0, fmt.Errorf("nmea: parse minutes %q: %w", field, err)
+	}
+	val := deg + minutes/60
+	switch hemi {
+	case "N", "E":
+	case "S", "W":
+		val = -val
+	default:
+		return 0, fmt.Errorf("nmea: bad hemisphere %q", hemi)
+	}
+	return val, nil
+}

@@ -1,0 +1,73 @@
+package nmea
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParseSentence: arbitrary input never panics, and valid parses
+// re-frame consistently.
+func FuzzParseSentence(f *testing.F) {
+	f.Add("$GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W*6A")
+	f.Add(Frame("GPRMC,1,A"))
+	f.Add("")
+	f.Add("$*00")
+	f.Add("$GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,*47")
+	f.Fuzz(func(t *testing.T, raw string) {
+		s, err := ParseSentence(raw)
+		if err != nil {
+			return
+		}
+		// A successfully parsed sentence must re-frame to something that
+		// parses identically.
+		payload := s.Type
+		for _, fld := range s.Fields {
+			payload += "," + fld
+		}
+		back, err := ParseSentence(Frame(payload))
+		if err != nil {
+			t.Fatalf("re-framed sentence failed to parse: %v", err)
+		}
+		if back.Type != s.Type || len(back.Fields) != len(s.Fields) {
+			t.Fatalf("re-framed sentence differs: %+v vs %+v", back, s)
+		}
+	})
+}
+
+// FuzzParseRMC: arbitrary input never panics; valid parses round-trip
+// within wire resolution.
+func FuzzParseRMC(f *testing.F) {
+	f.Add(EncodeRMC(RMC{
+		Time:  time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC),
+		Valid: true, Lat: 40.1106, Lon: -88.2073, SpeedKnots: 19.4,
+	}))
+	f.Add("$GPRMC,,,,,,,,,*67")
+	f.Add("not nmea at all")
+	f.Fuzz(func(t *testing.T, raw string) {
+		rmc, err := ParseRMC(raw)
+		if err != nil {
+			return
+		}
+		if rmc.Lat < -91 || rmc.Lat > 91 {
+			// The wire format cannot express more than ±90°59.9999';
+			// parses outside that indicate a codec bug.
+			t.Fatalf("parsed latitude %v out of representable range", rmc.Lat)
+		}
+		back, err := ParseRMC(EncodeRMC(rmc))
+		if err != nil {
+			t.Fatalf("re-encoded RMC failed to parse: %v", err)
+		}
+		if back.Valid != rmc.Valid {
+			t.Fatal("validity flag changed across round trip")
+		}
+	})
+}
+
+// FuzzParseGGA: arbitrary input never panics.
+func FuzzParseGGA(f *testing.F) {
+	f.Add(EncodeGGA(GGA{Quality: FixGPS, Lat: 40.1, Lon: -88.2, Satellites: 9, AltMeters: 120}))
+	f.Add("$GPGGA*56")
+	f.Fuzz(func(t *testing.T, raw string) {
+		_, _ = ParseGGA(raw)
+	})
+}

@@ -1,0 +1,128 @@
+package nmea
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FixQuality is the $GPGGA fix-quality indicator.
+type FixQuality int
+
+// Fix qualities defined by NMEA 0183 that the simulated receiver emits.
+const (
+	FixInvalid FixQuality = iota
+	FixGPS
+	FixDGPS
+)
+
+// GGA is a parsed $GPGGA (fix data) sentence, carrying altitude — needed by
+// the 3-D physical model extension (paper §VII-B1).
+type GGA struct {
+	TimeOfDay  time.Duration // UTC time of day since midnight
+	Lat        float64       // decimal degrees
+	Lon        float64       // decimal degrees
+	Quality    FixQuality
+	Satellites int
+	HDOP       float64
+	AltMeters  float64 // antenna altitude above mean sea level
+}
+
+// EncodeGGA renders the fix as a complete framed $GPGGA sentence.
+func EncodeGGA(g GGA) string {
+	latStr, latHemi := formatLat(g.Lat)
+	lonStr, lonHemi := formatLon(g.Lon)
+	tod := g.TimeOfDay
+	h := int(tod / time.Hour)
+	m := int(tod/time.Minute) % 60
+	s := int(tod/time.Second) % 60
+	ms := int(tod/time.Millisecond) % 1000
+
+	payload := strings.Join([]string{
+		"GPGGA",
+		fmt.Sprintf("%02d%02d%02d.%03d", h, m, s, ms),
+		latStr, latHemi,
+		lonStr, lonHemi,
+		strconv.Itoa(int(g.Quality)),
+		fmt.Sprintf("%02d", g.Satellites),
+		fmt.Sprintf("%.1f", g.HDOP),
+		fmt.Sprintf("%.1f", g.AltMeters), "M",
+		"0.0", "M", // geoid separation (unused)
+		"", "", // DGPS age/station (unused)
+	}, ",")
+	return Frame(payload)
+}
+
+// ParseGGA decodes a framed $GPGGA sentence. It returns ErrNoFix when the
+// quality field reports an invalid fix.
+func ParseGGA(raw string) (GGA, error) {
+	s, err := ParseSentence(raw)
+	if err != nil {
+		return GGA{}, err
+	}
+	if s.Type != "GPGGA" {
+		return GGA{}, fmt.Errorf("%w: %q", ErrUnknownTalker, s.Type)
+	}
+	if len(s.Fields) < 10 {
+		return GGA{}, fmt.Errorf("%w: GPGGA has %d fields", ErrMissingFields, len(s.Fields))
+	}
+
+	var g GGA
+	q, err := strconv.Atoi(s.Fields[5])
+	if err != nil {
+		return GGA{}, fmt.Errorf("nmea: parse quality %q: %w", s.Fields[5], err)
+	}
+	g.Quality = FixQuality(q)
+	if g.Quality == FixInvalid {
+		return GGA{}, ErrNoFix
+	}
+
+	if g.TimeOfDay, err = parseTimeOfDay(s.Fields[0]); err != nil {
+		return GGA{}, err
+	}
+	if g.Lat, err = parseCoord(s.Fields[1], s.Fields[2], 2); err != nil {
+		return GGA{}, err
+	}
+	if g.Lon, err = parseCoord(s.Fields[3], s.Fields[4], 3); err != nil {
+		return GGA{}, err
+	}
+	if g.Satellites, err = strconv.Atoi(s.Fields[6]); err != nil {
+		return GGA{}, fmt.Errorf("nmea: parse satellites %q: %w", s.Fields[6], err)
+	}
+	if s.Fields[7] != "" {
+		if g.HDOP, err = strconv.ParseFloat(s.Fields[7], 64); err != nil {
+			return GGA{}, fmt.Errorf("nmea: parse hdop %q: %w", s.Fields[7], err)
+		}
+	}
+	if s.Fields[8] != "" {
+		if g.AltMeters, err = strconv.ParseFloat(s.Fields[8], 64); err != nil {
+			return GGA{}, fmt.Errorf("nmea: parse altitude %q: %w", s.Fields[8], err)
+		}
+	}
+	return g, nil
+}
+
+// parseTimeOfDay decodes hhmmss.sss into a duration since UTC midnight.
+func parseTimeOfDay(field string) (time.Duration, error) {
+	if len(field) < 6 {
+		return 0, fmt.Errorf("%w: time %q", ErrMissingFields, field)
+	}
+	h, err1 := strconv.Atoi(field[0:2])
+	m, err2 := strconv.Atoi(field[2:4])
+	s, err3 := strconv.Atoi(field[4:6])
+	for _, err := range []error{err1, err2, err3} {
+		if err != nil {
+			return 0, fmt.Errorf("nmea: parse time of day %q: %w", field, err)
+		}
+	}
+	d := time.Duration(h)*time.Hour + time.Duration(m)*time.Minute + time.Duration(s)*time.Second
+	if len(field) > 7 && field[6] == '.' {
+		f, err := strconv.ParseFloat("0."+field[7:], 64)
+		if err != nil {
+			return 0, fmt.Errorf("nmea: parse time fraction %q: %w", field, err)
+		}
+		d += time.Duration(f * float64(time.Second))
+	}
+	return d, nil
+}

@@ -1,0 +1,219 @@
+package nmea
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestChecksum(t *testing.T) {
+	// Reference sentence with a known checksum.
+	payload := "GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,"
+	if got := Checksum(payload); got != 0x47 {
+		t.Errorf("Checksum = %02X, want 47", got)
+	}
+}
+
+func TestFrameParseRoundTrip(t *testing.T) {
+	framed := Frame("GPRMC,123519,A,4807.038,N,01131.000,E,022.4,084.4,230394,003.1,W")
+	s, err := ParseSentence(framed)
+	if err != nil {
+		t.Fatalf("ParseSentence: %v", err)
+	}
+	if s.Type != "GPRMC" {
+		t.Errorf("Type = %q", s.Type)
+	}
+	if len(s.Fields) != 11 {
+		t.Errorf("got %d fields, want 11", len(s.Fields))
+	}
+}
+
+func TestParseSentenceErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		raw     string
+		wantErr error
+	}{
+		{"no dollar", "GPRMC,x*00", ErrBadFraming},
+		{"no star", "$GPRMC,x", ErrBadFraming},
+		{"short", "$x*", ErrBadFraming},
+		{"bad checksum hex", "$GPRMC,x*ZZ", ErrBadFraming},
+		{"wrong checksum", "$GPRMC,x*00", ErrBadChecksum},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseSentence(tt.raw)
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("err = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseSentenceToleratesCRLF(t *testing.T) {
+	framed := Frame("GPRMC,1,A") + "\r\n"
+	if _, err := ParseSentence(framed); err != nil {
+		t.Errorf("ParseSentence with CRLF: %v", err)
+	}
+}
+
+func TestRMCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		want := RMC{
+			Time: time.Date(2018, time.Month(1+rng.Intn(12)), 1+rng.Intn(28),
+				rng.Intn(24), rng.Intn(60), rng.Intn(60), rng.Intn(1000)*1e6, time.UTC),
+			Valid:      true,
+			Lat:        rng.Float64()*170 - 85,
+			Lon:        rng.Float64()*350 - 175,
+			SpeedKnots: rng.Float64() * 90,
+			CourseDeg:  rng.Float64() * 360,
+		}
+		got, err := ParseRMC(EncodeRMC(want))
+		if err != nil {
+			t.Fatalf("ParseRMC: %v", err)
+		}
+		// ddmm.mmmm keeps 4 decimal minutes => ~1.9e-7 deg resolution.
+		if math.Abs(got.Lat-want.Lat) > 1e-6 || math.Abs(got.Lon-want.Lon) > 1e-6 {
+			t.Fatalf("coords: got (%v,%v) want (%v,%v)", got.Lat, got.Lon, want.Lat, want.Lon)
+		}
+		if math.Abs(got.SpeedKnots-want.SpeedKnots) > 0.01 {
+			t.Fatalf("speed: got %v want %v", got.SpeedKnots, want.SpeedKnots)
+		}
+		if got.Time.Sub(want.Time).Abs() > time.Millisecond {
+			t.Fatalf("time: got %v want %v", got.Time, want.Time)
+		}
+	}
+}
+
+func TestRMCVoidFix(t *testing.T) {
+	s := EncodeRMC(RMC{Time: time.Now(), Valid: false, Lat: 40, Lon: -88})
+	if _, err := ParseRMC(s); !errors.Is(err, ErrNoFix) {
+		t.Errorf("void fix err = %v, want ErrNoFix", err)
+	}
+}
+
+func TestRMCWrongType(t *testing.T) {
+	g := EncodeGGA(GGA{Quality: FixGPS, Lat: 40, Lon: -88, Satellites: 8})
+	if _, err := ParseRMC(g); !errors.Is(err, ErrUnknownTalker) {
+		t.Errorf("err = %v, want ErrUnknownTalker", err)
+	}
+}
+
+func TestRMCHemispheres(t *testing.T) {
+	tests := []struct {
+		name     string
+		lat, lon float64
+	}{
+		{"NE", 40.1, 88.2},
+		{"NW", 40.1, -88.2},
+		{"SE", -40.1, 88.2},
+		{"SW", -40.1, -88.2},
+		{"equator/meridian", 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := RMC{Time: time.Date(2018, 3, 1, 12, 0, 0, 0, time.UTC), Valid: true, Lat: tt.lat, Lon: tt.lon}
+			got, err := ParseRMC(EncodeRMC(r))
+			if err != nil {
+				t.Fatalf("ParseRMC: %v", err)
+			}
+			if math.Abs(got.Lat-tt.lat) > 1e-6 || math.Abs(got.Lon-tt.lon) > 1e-6 {
+				t.Errorf("got (%v,%v), want (%v,%v)", got.Lat, got.Lon, tt.lat, tt.lon)
+			}
+		})
+	}
+}
+
+func TestGGARoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		want := GGA{
+			TimeOfDay:  time.Duration(rng.Int63n(int64(24*time.Hour/time.Millisecond))) * time.Millisecond,
+			Lat:        rng.Float64()*170 - 85,
+			Lon:        rng.Float64()*350 - 175,
+			Quality:    FixGPS,
+			Satellites: 4 + rng.Intn(10),
+			HDOP:       1 + rng.Float64()*4,
+			AltMeters:  rng.Float64() * 400,
+		}
+		got, err := ParseGGA(EncodeGGA(want))
+		if err != nil {
+			t.Fatalf("ParseGGA: %v", err)
+		}
+		if math.Abs(got.Lat-want.Lat) > 1e-6 || math.Abs(got.Lon-want.Lon) > 1e-6 {
+			t.Fatalf("coords mismatch")
+		}
+		if math.Abs(got.AltMeters-want.AltMeters) > 0.05 {
+			t.Fatalf("altitude: got %v want %v", got.AltMeters, want.AltMeters)
+		}
+		if got.Satellites != want.Satellites {
+			t.Fatalf("satellites: got %v want %v", got.Satellites, want.Satellites)
+		}
+		if (got.TimeOfDay - want.TimeOfDay).Abs() > time.Millisecond {
+			t.Fatalf("time of day: got %v want %v", got.TimeOfDay, want.TimeOfDay)
+		}
+	}
+}
+
+func TestGGAInvalidFix(t *testing.T) {
+	s := EncodeGGA(GGA{Quality: FixInvalid, Lat: 40, Lon: -88})
+	if _, err := ParseGGA(s); !errors.Is(err, ErrNoFix) {
+		t.Errorf("invalid fix err = %v, want ErrNoFix", err)
+	}
+}
+
+func TestCorruptedSentenceRejected(t *testing.T) {
+	// Flip one payload byte of a valid sentence: the checksum must catch it.
+	framed := EncodeRMC(RMC{
+		Time:  time.Date(2018, 3, 1, 12, 0, 0, 0, time.UTC),
+		Valid: true, Lat: 40.1106, Lon: -88.2073, SpeedKnots: 10,
+	})
+	for i := 1; i < len(framed)-3; i++ {
+		if framed[i] == ',' || framed[i] == '.' {
+			continue
+		}
+		corrupted := framed[:i] + string(framed[i]^0x01) + framed[i+1:]
+		if _, err := ParseRMC(corrupted); err == nil {
+			// A flip inside a digit could occasionally still parse if it
+			// kept the checksum valid, which XOR single-bit flips cannot.
+			t.Fatalf("corrupted sentence at byte %d accepted: %q", i, corrupted)
+		}
+	}
+}
+
+func TestParseCoordErrors(t *testing.T) {
+	if _, err := parseCoord("12", "N", 2); !errors.Is(err, ErrMissingFields) {
+		t.Errorf("short coord err = %v", err)
+	}
+	if _, err := parseCoord("4807.038", "X", 2); err == nil {
+		t.Error("bad hemisphere should error")
+	}
+	if _, err := parseCoord("ab07.038", "N", 2); err == nil {
+		t.Error("bad degrees should error")
+	}
+	if _, err := parseCoord("48xx.038", "N", 2); err == nil {
+		t.Error("bad minutes should error")
+	}
+}
+
+func TestEncodeRMCFieldLayout(t *testing.T) {
+	r := RMC{
+		Time:  time.Date(2018, 3, 1, 12, 34, 56, 789e6, time.UTC),
+		Valid: true, Lat: 40.1106, Lon: -88.2073,
+		SpeedKnots: 12.5, CourseDeg: 270,
+	}
+	s := EncodeRMC(r)
+	if !strings.HasPrefix(s, "$GPRMC,123456.789,A,") {
+		t.Errorf("unexpected prefix: %q", s)
+	}
+	if !strings.Contains(s, ",010318,") {
+		t.Errorf("date field missing: %q", s)
+	}
+	if !strings.Contains(s, ",W,") {
+		t.Errorf("west hemisphere missing: %q", s)
+	}
+}

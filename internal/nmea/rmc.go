@@ -1,0 +1,118 @@
+package nmea
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RMC is a parsed $GPRMC (recommended minimum) sentence: the sentence the
+// paper's GPS driver extracts, carrying position, speed over ground, and a
+// full date+time stamp.
+type RMC struct {
+	Time       time.Time // UTC fix time (date + time of day)
+	Valid      bool      // status field: A = valid, V = void
+	Lat        float64   // decimal degrees, south negative
+	Lon        float64   // decimal degrees, west negative
+	SpeedKnots float64   // speed over ground
+	CourseDeg  float64   // course over ground, degrees true
+}
+
+// EncodeRMC renders the fix as a complete framed $GPRMC sentence.
+func EncodeRMC(r RMC) string {
+	status := "A"
+	if !r.Valid {
+		status = "V"
+	}
+	latStr, latHemi := formatLat(r.Lat)
+	lonStr, lonHemi := formatLon(r.Lon)
+	t := r.Time.UTC()
+
+	payload := strings.Join([]string{
+		"GPRMC",
+		fmt.Sprintf("%02d%02d%02d.%03d", t.Hour(), t.Minute(), t.Second(), t.Nanosecond()/1e6),
+		status,
+		latStr, latHemi,
+		lonStr, lonHemi,
+		fmt.Sprintf("%.2f", r.SpeedKnots),
+		fmt.Sprintf("%.2f", r.CourseDeg),
+		fmt.Sprintf("%02d%02d%02d", t.Day(), int(t.Month()), t.Year()%100),
+		"", "", // magnetic variation (unused by the driver)
+	}, ",")
+	return Frame(payload)
+}
+
+// ParseRMC decodes a framed $GPRMC sentence. It returns ErrNoFix when the
+// status field reports a void fix; the GPS driver skips such sentences.
+func ParseRMC(raw string) (RMC, error) {
+	s, err := ParseSentence(raw)
+	if err != nil {
+		return RMC{}, err
+	}
+	if s.Type != "GPRMC" {
+		return RMC{}, fmt.Errorf("%w: %q", ErrUnknownTalker, s.Type)
+	}
+	if len(s.Fields) < 9 {
+		return RMC{}, fmt.Errorf("%w: GPRMC has %d fields", ErrMissingFields, len(s.Fields))
+	}
+
+	var r RMC
+	r.Valid = s.Fields[1] == "A"
+	if !r.Valid {
+		return RMC{}, ErrNoFix
+	}
+
+	if r.Lat, err = parseCoord(s.Fields[2], s.Fields[3], 2); err != nil {
+		return RMC{}, err
+	}
+	if r.Lon, err = parseCoord(s.Fields[4], s.Fields[5], 3); err != nil {
+		return RMC{}, err
+	}
+	if s.Fields[6] != "" {
+		if r.SpeedKnots, err = strconv.ParseFloat(s.Fields[6], 64); err != nil {
+			return RMC{}, fmt.Errorf("nmea: parse speed %q: %w", s.Fields[6], err)
+		}
+	}
+	if s.Fields[7] != "" {
+		if r.CourseDeg, err = strconv.ParseFloat(s.Fields[7], 64); err != nil {
+			return RMC{}, fmt.Errorf("nmea: parse course %q: %w", s.Fields[7], err)
+		}
+	}
+	if r.Time, err = parseDateTime(s.Fields[8], s.Fields[0]); err != nil {
+		return RMC{}, err
+	}
+	return r, nil
+}
+
+// parseDateTime combines the ddmmyy date field and hhmmss.sss time field
+// into a UTC time.Time.
+func parseDateTime(dateField, timeField string) (time.Time, error) {
+	if len(dateField) != 6 {
+		return time.Time{}, fmt.Errorf("%w: date %q", ErrMissingFields, dateField)
+	}
+	if len(timeField) < 6 {
+		return time.Time{}, fmt.Errorf("%w: time %q", ErrMissingFields, timeField)
+	}
+	day, err1 := strconv.Atoi(dateField[0:2])
+	month, err2 := strconv.Atoi(dateField[2:4])
+	year, err3 := strconv.Atoi(dateField[4:6])
+	hour, err4 := strconv.Atoi(timeField[0:2])
+	minute, err5 := strconv.Atoi(timeField[2:4])
+	second, err6 := strconv.Atoi(timeField[4:6])
+	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+		if err != nil {
+			return time.Time{}, fmt.Errorf("nmea: parse date/time %q %q: %w", dateField, timeField, err)
+		}
+	}
+	var nanos int
+	if len(timeField) > 7 && timeField[6] == '.' {
+		frac := timeField[7:]
+		f, err := strconv.ParseFloat("0."+frac, 64)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("nmea: parse time fraction %q: %w", frac, err)
+		}
+		nanos = int(f * 1e9)
+	}
+	return time.Date(2000+year, time.Month(month), day, hour, minute, second, nanos, time.UTC), nil
+}

@@ -1,0 +1,76 @@
+// Package nmea implements the subset of the NMEA 0183 protocol that the
+// AliDrone GPS driver needs: sentence framing with checksum validation,
+// the $GPRMC (recommended minimum) and $GPGGA (fix data) sentences, and the
+// ddmm.mmmm coordinate codec. It substitutes for the Libnmea C library used
+// by the paper's OP-TEE GPS driver, and is used both to parse output from
+// the simulated receiver and to generate replayable sentence streams.
+package nmea
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var (
+	// ErrBadFraming is returned when a sentence does not start with '$'
+	// or lacks the '*' checksum delimiter.
+	ErrBadFraming = errors.New("nmea: bad sentence framing")
+	// ErrBadChecksum is returned when the transmitted checksum does not
+	// match the computed one.
+	ErrBadChecksum = errors.New("nmea: checksum mismatch")
+	// ErrUnknownTalker is returned for sentence types this package does
+	// not implement.
+	ErrUnknownTalker = errors.New("nmea: unsupported sentence type")
+	// ErrMissingFields is returned when a sentence has too few fields.
+	ErrMissingFields = errors.New("nmea: missing fields")
+	// ErrNoFix is returned when parsing a sentence whose status flag says
+	// the receiver has no valid fix.
+	ErrNoFix = errors.New("nmea: receiver reports no fix")
+)
+
+// Sentence is a framed NMEA sentence split into its type tag and data
+// fields, after checksum verification.
+type Sentence struct {
+	Type   string   // e.g. "GPRMC"
+	Fields []string // comma-separated payload fields, tag excluded
+}
+
+// Checksum computes the NMEA checksum (XOR of all bytes between '$' and
+// '*') over the given payload, which must exclude both delimiters.
+func Checksum(payload string) byte {
+	var sum byte
+	for i := 0; i < len(payload); i++ {
+		sum ^= payload[i]
+	}
+	return sum
+}
+
+// Frame wraps a payload (tag plus comma-separated fields, no delimiters)
+// into a complete sentence with '$', '*' and the hex checksum.
+func Frame(payload string) string {
+	return fmt.Sprintf("$%s*%02X", payload, Checksum(payload))
+}
+
+// ParseSentence validates framing and checksum and splits the sentence into
+// its tag and fields. Trailing CR/LF is tolerated.
+func ParseSentence(raw string) (Sentence, error) {
+	raw = strings.TrimRight(raw, "\r\n")
+	if len(raw) < 4 || raw[0] != '$' {
+		return Sentence{}, ErrBadFraming
+	}
+	star := strings.LastIndexByte(raw, '*')
+	if star < 0 || star+3 > len(raw) {
+		return Sentence{}, ErrBadFraming
+	}
+	payload := raw[1:star]
+	var want byte
+	if _, err := fmt.Sscanf(raw[star+1:], "%02X", &want); err != nil {
+		return Sentence{}, fmt.Errorf("%w: bad checksum field %q", ErrBadFraming, raw[star+1:])
+	}
+	if got := Checksum(payload); got != want {
+		return Sentence{}, fmt.Errorf("%w: got %02X want %02X", ErrBadChecksum, got, want)
+	}
+	parts := strings.Split(payload, ",")
+	return Sentence{Type: parts[0], Fields: parts[1:]}, nil
+}

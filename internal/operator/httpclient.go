@@ -1,0 +1,184 @@
+package operator
+
+import (
+	"bytes"
+	"crypto/rsa"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/geo"
+	"repro/internal/protocol"
+	"repro/internal/sigcrypto"
+	"repro/internal/zone"
+)
+
+// HTTPAuditor is a protocol.API implementation that talks to a remote
+// AliDrone Server over its HTTP transport.
+type HTTPAuditor struct {
+	base string
+	hc   *http.Client
+}
+
+var _ protocol.API = (*HTTPAuditor)(nil)
+
+// NewHTTPAuditor creates a client for the auditor at baseURL (no trailing
+// slash). client defaults to http.DefaultClient.
+func NewHTTPAuditor(baseURL string, client *http.Client) *HTTPAuditor {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPAuditor{base: baseURL, hc: client}
+}
+
+// postJSON sends req to path and decodes the response into resp.
+func (c *HTTPAuditor) postJSON(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("marshal request: %w", err)
+	}
+	httpResp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("post %s: %w", path, err)
+	}
+	defer httpResp.Body.Close()
+
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return fmt.Errorf("read %s response: %w", path, err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("auditor %s: %s (HTTP %d)", path, eb.Error, httpResp.StatusCode)
+		}
+		return fmt.Errorf("auditor %s: HTTP %d", path, httpResp.StatusCode)
+	}
+	if err := json.Unmarshal(data, resp); err != nil {
+		return fmt.Errorf("decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// RegisterDrone implements protocol.API.
+func (c *HTTPAuditor) RegisterDrone(req protocol.RegisterDroneRequest) (protocol.RegisterDroneResponse, error) {
+	var resp protocol.RegisterDroneResponse
+	err := c.postJSON(protocol.PathRegisterDrone, req, &resp)
+	return resp, err
+}
+
+// RegisterZone implements protocol.API.
+func (c *HTTPAuditor) RegisterZone(req protocol.RegisterZoneRequest) (protocol.RegisterZoneResponse, error) {
+	var resp protocol.RegisterZoneResponse
+	err := c.postJSON(protocol.PathRegisterZone, req, &resp)
+	return resp, err
+}
+
+// ZoneQuery implements protocol.API.
+func (c *HTTPAuditor) ZoneQuery(req protocol.ZoneQueryRequest) (protocol.ZoneQueryResponse, error) {
+	var resp protocol.ZoneQueryResponse
+	err := c.postJSON(protocol.PathZoneQuery, req, &resp)
+	return resp, err
+}
+
+// SubmitPoA implements protocol.API.
+func (c *HTTPAuditor) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
+	var resp protocol.SubmitPoAResponse
+	err := c.postJSON(protocol.PathSubmitPoA, req, &resp)
+	return resp, err
+}
+
+var _ protocol.ModesAPI = (*HTTPAuditor)(nil)
+
+// SubmitBatchPoA implements protocol.ModesAPI.
+func (c *HTTPAuditor) SubmitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error) {
+	var resp protocol.SubmitPoAResponse
+	err := c.postJSON(protocol.PathSubmitBatchPoA, req, &resp)
+	return resp, err
+}
+
+// StartSession implements protocol.ModesAPI.
+func (c *HTTPAuditor) StartSession(req protocol.StartSessionRequest) (protocol.StartSessionResponse, error) {
+	var resp protocol.StartSessionResponse
+	err := c.postJSON(protocol.PathStartSession, req, &resp)
+	return resp, err
+}
+
+// SubmitMACPoA implements protocol.ModesAPI.
+func (c *HTTPAuditor) SubmitMACPoA(req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error) {
+	var resp protocol.SubmitPoAResponse
+	err := c.postJSON(protocol.PathSubmitMACPoA, req, &resp)
+	return resp, err
+}
+
+var _ protocol.StreamAPI = (*HTTPAuditor)(nil)
+
+// OpenStream implements protocol.StreamAPI.
+func (c *HTTPAuditor) OpenStream(req protocol.OpenStreamRequest) (protocol.OpenStreamResponse, error) {
+	var resp protocol.OpenStreamResponse
+	err := c.postJSON(protocol.PathStreamOpen, req, &resp)
+	return resp, err
+}
+
+// StreamSample implements protocol.StreamAPI.
+func (c *HTTPAuditor) StreamSample(req protocol.StreamSampleRequest) (protocol.StreamSampleResponse, error) {
+	var resp protocol.StreamSampleResponse
+	err := c.postJSON(protocol.PathStreamSample, req, &resp)
+	return resp, err
+}
+
+// CloseStream implements protocol.StreamAPI.
+func (c *HTTPAuditor) CloseStream(req protocol.CloseStreamRequest) (protocol.SubmitPoAResponse, error) {
+	var resp protocol.SubmitPoAResponse
+	err := c.postJSON(protocol.PathStreamClose, req, &resp)
+	return resp, err
+}
+
+// Accuse files a Zone Owner incident report against a drone.
+func (c *HTTPAuditor) Accuse(req protocol.AccusationRequest) (protocol.SubmitPoAResponse, error) {
+	var resp protocol.SubmitPoAResponse
+	err := c.postJSON(protocol.PathAccuse, req, &resp)
+	return resp, err
+}
+
+// FetchPublicZones performs the unauthenticated B4UFLY-style lookup of
+// no-fly zones within radiusMeters of a point.
+func (c *HTTPAuditor) FetchPublicZones(center geo.LatLon, radiusMeters float64) ([]zone.NFZ, error) {
+	url := fmt.Sprintf("%s%s?lat=%g&lon=%g&radiusMeters=%g",
+		c.base, protocol.PathPublicZones, center.Lat, center.Lon, radiusMeters)
+	httpResp, err := c.hc.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("fetch public zones: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch public zones: HTTP %d", httpResp.StatusCode)
+	}
+	var body protocol.ZoneQueryResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("decode public zones: %w", err)
+	}
+	return body.Zones, nil
+}
+
+// FetchEncryptionPub retrieves the Auditor's PoA-encryption public key.
+func (c *HTTPAuditor) FetchEncryptionPub() (*rsa.PublicKey, error) {
+	httpResp, err := c.hc.Get(c.base + protocol.PathAuditorPub)
+	if err != nil {
+		return nil, fmt.Errorf("fetch auditor pub: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetch auditor pub: HTTP %d", httpResp.StatusCode)
+	}
+	var body struct {
+		EncryptionPub string `json:"encryptionPub"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("decode auditor pub: %w", err)
+	}
+	return sigcrypto.UnmarshalPublicKey(body.EncryptionPub)
+}

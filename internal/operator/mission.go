@@ -1,0 +1,196 @@
+package operator
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/planner"
+	"repro/internal/poa"
+	"repro/internal/protocol"
+	"repro/internal/sampling"
+	"repro/internal/trace"
+	"repro/internal/zone"
+)
+
+// SamplingMode selects the Proof-of-Alibi envelope for a mission.
+type SamplingMode int
+
+// Mission sampling modes.
+const (
+	// ModeAdaptive is the paper's production configuration: per-sample
+	// RSA signatures, adaptive rate.
+	ModeAdaptive SamplingMode = iota + 1
+	// ModeFixedRate uses the fix-rate baseline.
+	ModeFixedRate
+	// ModeBatch buffers in the TEE and signs the trace once (§VII-A1b).
+	ModeBatch
+	// ModeMAC establishes a symmetric session first (§VII-A1a).
+	ModeMAC
+	// ModeStreaming transmits samples in real time.
+	ModeStreaming
+)
+
+// MissionConfig describes one complete flight workflow.
+type MissionConfig struct {
+	Mode SamplingMode
+	// FixedRateHz applies to ModeFixedRate.
+	FixedRateHz float64
+	// QueryMargin pads the zone-query rectangle around the route
+	// (default 2000 m).
+	QueryMargin float64
+	// Store, when set, persists the encrypted PoA before submission.
+	Store *Store
+	// FlightID names the persisted record (defaults to the start time).
+	FlightID string
+}
+
+// MissionReport summarises a completed mission.
+type MissionReport struct {
+	FlightID string
+	Zones    []zone.NFZ
+	Run      *sampling.RunResult
+	Verdict  protocol.SubmitPoAResponse
+	// StreamedViolationAt is set in ModeStreaming when the online check
+	// flagged mid-flight (-1 otherwise).
+	StreamedViolationAt int
+}
+
+// RunMission executes the entire protocol workflow for one flight over the
+// given route: zone query → flight with the selected envelope →
+// (persist) → submission. The drone must already be registered.
+func (d *Drone) RunMission(rx *gps.Receiver, route *trace.Route, cfg MissionConfig) (*MissionReport, error) {
+	if d.id == "" {
+		return nil, ErrNotRegistered
+	}
+	if cfg.QueryMargin <= 0 {
+		cfg.QueryMargin = 2000
+	}
+	if cfg.FlightID == "" {
+		cfg.FlightID = fmt.Sprintf("flight-%d", route.Start().Unix())
+	}
+
+	zones, err := d.QueryZones(RouteBounds(route, cfg.QueryMargin))
+	if err != nil {
+		return nil, err
+	}
+	circles := zone.Circles(zones)
+	rep := &MissionReport{FlightID: cfg.FlightID, Zones: zones, StreamedViolationAt: -1}
+
+	switch cfg.Mode {
+	case ModeAdaptive, 0:
+		rep.Run, err = d.FlyAdaptive(rx, circles, route.End())
+		if err != nil {
+			return nil, err
+		}
+		rep.Verdict, err = d.submitWithStore(rep.Run, route, cfg)
+	case ModeFixedRate:
+		if cfg.FixedRateHz <= 0 {
+			return nil, fmt.Errorf("operator: fixed-rate mission needs FixedRateHz")
+		}
+		rep.Run, err = d.FlyFixedRate(rx, cfg.FixedRateHz, route.End())
+		if err != nil {
+			return nil, err
+		}
+		rep.Verdict, err = d.submitWithStore(rep.Run, route, cfg)
+	case ModeBatch:
+		var batch poa.BatchPoA
+		batch, rep.Run, err = d.FlyAdaptiveBatch(rx, circles, route.End())
+		if err != nil {
+			return nil, err
+		}
+		rep.Verdict, err = d.SubmitBatchPoA(batch)
+	case ModeMAC:
+		sessionID, serr := d.StartSession()
+		if serr != nil {
+			return nil, serr
+		}
+		rep.Run, err = d.FlyAdaptiveMAC(rx, circles, route.End())
+		if err != nil {
+			return nil, err
+		}
+		rep.Verdict, err = d.SubmitMACPoA(sessionID, rep.Run.PoA)
+	case ModeStreaming:
+		var sres *StreamingResult
+		sres, err = d.FlyAdaptiveStreaming(rx, circles, route.End())
+		if err != nil {
+			return nil, err
+		}
+		rep.Run = sres.Run
+		rep.Verdict = sres.Final
+		rep.StreamedViolationAt = sres.ViolationAt
+	default:
+		return nil, fmt.Errorf("operator: unknown sampling mode %d", cfg.Mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// submitWithStore encrypts, optionally persists, then submits a PoA run.
+func (d *Drone) submitWithStore(run *sampling.RunResult, route *trace.Route, cfg MissionConfig) (protocol.SubmitPoAResponse, error) {
+	ct, err := d.EncryptPoA(run.PoA)
+	if err != nil {
+		return protocol.SubmitPoAResponse{}, err
+	}
+	if cfg.Store != nil {
+		rec := FlightRecord{
+			FlightID:     cfg.FlightID,
+			DroneID:      d.id,
+			Start:        route.Start(),
+			End:          route.End(),
+			EncryptedPoA: ct,
+		}
+		if err := cfg.Store.Save(rec); err != nil {
+			return protocol.SubmitPoAResponse{}, err
+		}
+		defer func() {
+			rec.Submitted = true
+			// Best effort: the verdict is already in hand; a failed
+			// bookkeeping write must not fail the mission.
+			_ = cfg.Store.Save(rec)
+		}()
+	}
+	return d.Submit(ct)
+}
+
+// RouteBounds computes the zone-query rectangle for a route: its bounding
+// box padded by marginMeters.
+func RouteBounds(r *trace.Route, marginMeters float64) geo.Rect {
+	minLat, maxLat := math.Inf(1), math.Inf(-1)
+	minLon, maxLon := math.Inf(1), math.Inf(-1)
+	for _, wp := range r.Waypoints() {
+		minLat = math.Min(minLat, wp.Pos.Lat)
+		maxLat = math.Max(maxLat, wp.Pos.Lat)
+		minLon = math.Min(minLon, wp.Pos.Lon)
+		maxLon = math.Max(maxLon, wp.Pos.Lon)
+	}
+	rect := geo.Rect{MinLat: minLat, MinLon: minLon, MaxLat: maxLat, MaxLon: maxLon}
+	return rect.Expand(marginMeters)
+}
+
+// PlanCompliantRoute is the full pre-flight pipeline: query the zones over
+// the corridor from start to goal, plan a route that avoids them, and
+// return the flyable trajectory. speedMS sets the cruise speed.
+func (d *Drone) PlanCompliantRoute(start, goal geo.LatLon, departure time.Time, speedMS float64, cfg planner.Config) (*trace.Route, []zone.NFZ, error) {
+	if d.id == "" {
+		return nil, nil, ErrNotRegistered
+	}
+	corridor := geo.NewRect(start, goal).Expand(cfg.MarginMeters + 2000)
+	zones, err := d.QueryZones(corridor)
+	if err != nil {
+		return nil, nil, err
+	}
+	waypoints, err := planner.PlanRoute(start, goal, zone.Circles(zones), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	route, err := planner.ToRoute(waypoints, speedMS, departure)
+	if err != nil {
+		return nil, nil, err
+	}
+	return route, zones, nil
+}

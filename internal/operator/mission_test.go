@@ -1,0 +1,147 @@
+package operator
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/planner"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+)
+
+// missionFixture registers a zone near the corridor and returns a ready
+// stack + route.
+func missionFixture(t *testing.T) (*stack, *trace.Route) {
+	t.Helper()
+	s := newInProcessStack(t)
+	if _, err := s.srv.Zones().Register("alice", geo.GeoCircle{Center: urbana.Offset(0, 1000), R: 100}); err != nil {
+		t.Fatal(err)
+	}
+	route, err := trace.ConstantSpeedLine(urbana, 90, 10, t0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, route
+}
+
+func TestMissionModes(t *testing.T) {
+	modes := []struct {
+		name string
+		cfg  MissionConfig
+	}{
+		{"adaptive", MissionConfig{Mode: ModeAdaptive}},
+		{"default-is-adaptive", MissionConfig{}},
+		{"fixed", MissionConfig{Mode: ModeFixedRate, FixedRateHz: 2}},
+		{"batch", MissionConfig{Mode: ModeBatch}},
+		{"mac", MissionConfig{Mode: ModeMAC}},
+		{"streaming", MissionConfig{Mode: ModeStreaming}},
+	}
+	for _, tt := range modes {
+		t.Run(tt.name, func(t *testing.T) {
+			s, route := missionFixture(t)
+			rx := s.withReceiver(t, route, 5)
+			if err := s.drone.Register(); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := s.drone.RunMission(rx, route, tt.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Verdict.Verdict != protocol.VerdictCompliant {
+				t.Fatalf("verdict = %v (%s)", rep.Verdict.Verdict, rep.Verdict.Reason)
+			}
+			if len(rep.Zones) != 1 {
+				t.Errorf("mission saw %d zones, want 1", len(rep.Zones))
+			}
+			if rep.Run == nil || rep.Run.PoA.Len() < 1 {
+				t.Error("mission recorded no samples")
+			}
+		})
+	}
+}
+
+func TestMissionWithStore(t *testing.T) {
+	s, route := missionFixture(t)
+	rx := s.withReceiver(t, route, 5)
+	if err := s.drone.Register(); err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.drone.RunMission(rx, route, MissionConfig{
+		Mode: ModeAdaptive, Store: store, FlightID: "f-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FlightID != "f-1" {
+		t.Errorf("flight id = %q", rep.FlightID)
+	}
+	rec, err := store.Load("f-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Submitted {
+		t.Error("record not marked submitted")
+	}
+	if len(rec.EncryptedPoA) == 0 {
+		t.Error("record holds no ciphertext")
+	}
+}
+
+func TestMissionValidation(t *testing.T) {
+	s, route := missionFixture(t)
+	rx := s.withReceiver(t, route, 5)
+
+	if _, err := s.drone.RunMission(rx, route, MissionConfig{}); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("unregistered err = %v", err)
+	}
+	if err := s.drone.Register(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.drone.RunMission(rx, route, MissionConfig{Mode: ModeFixedRate}); err == nil {
+		t.Error("fixed mode without rate accepted")
+	}
+	if _, err := s.drone.RunMission(rx, route, MissionConfig{Mode: SamplingMode(99)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestPlanCompliantRoute(t *testing.T) {
+	s := newInProcessStack(t)
+	goal := urbana.Offset(90, 3000)
+	// A zone dead on the straight line.
+	if _, err := s.srv.Zones().Register("alice", geo.GeoCircle{Center: urbana.Offset(90, 1500), R: 300}); err != nil {
+		t.Fatal(err)
+	}
+	route, err := trace.ConstantSpeedLine(urbana, 90, 10, t0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.withReceiver(t, route, 5)
+	if err := s.drone.Register(); err != nil {
+		t.Fatal(err)
+	}
+
+	planned, zones, err := s.drone.PlanCompliantRoute(urbana, goal, t0, 15, planner.Config{ClearanceMeters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 1 {
+		t.Errorf("corridor zones = %d, want 1", len(zones))
+	}
+	// The planned route detours: longer than straight, avoids the zone.
+	if planned.LengthMeters() <= geo.HaversineMeters(urbana, goal) {
+		t.Error("planned route not longer than blocked straight line")
+	}
+	z := zones[0].Circle
+	for dt := time.Duration(0); dt <= planned.Duration(); dt += time.Second {
+		if z.ContainsLatLon(planned.Position(t0.Add(dt)).Pos) {
+			t.Fatalf("planned route enters the zone at %v", dt)
+		}
+	}
+}

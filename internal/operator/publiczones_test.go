@@ -1,0 +1,64 @@
+package operator
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/auditor"
+	"repro/internal/geo"
+)
+
+func TestFetchPublicZones(t *testing.T) {
+	srv, err := auditor.NewServer(auditor.Config{Random: rand.New(rand.NewSource(60))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Zones().Register("alice", geo.GeoCircle{Center: urbana.Offset(0, 500), R: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Zones().Register("bob", geo.GeoCircle{Center: urbana.Offset(0, 50000), R: 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	hs := httptest.NewServer(auditor.NewHandler(srv))
+	defer hs.Close()
+	client := NewHTTPAuditor(hs.URL, hs.Client())
+
+	zones, err := client.FetchPublicZones(urbana, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 1 {
+		t.Fatalf("zones near urbana = %d, want 1", len(zones))
+	}
+
+	// Bad query parameters surface as HTTP errors.
+	resp, err := hs.Client().Get(hs.URL + "/v1/zones?lat=abc&lon=0&radiusMeters=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad lat status = %d", resp.StatusCode)
+	}
+	resp, err = hs.Client().Get(hs.URL + "/v1/zones?lat=91&lon=0&radiusMeters=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("out-of-range lat status = %d", resp.StatusCode)
+	}
+
+	// POST is rejected on the public GET endpoint.
+	resp, err = hs.Client().Post(hs.URL+"/v1/zones", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", resp.StatusCode)
+	}
+}

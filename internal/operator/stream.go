@@ -1,0 +1,88 @@
+package operator
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/poa"
+	"repro/internal/protocol"
+	"repro/internal/sampling"
+	"repro/internal/zone"
+)
+
+// ErrStreamingUnsupported is returned when the configured auditor API does
+// not implement the real-time streaming surface.
+var ErrStreamingUnsupported = errors.New("operator: auditor does not support streaming audit")
+
+// StreamingResult is the outcome of a real-time audited flight.
+type StreamingResult struct {
+	Run *sampling.RunResult
+	// ViolationAt is the index of the first sample whose online check
+	// failed, or -1 when the flight streamed clean.
+	ViolationAt int
+	// Final is the Auditor's close-of-flight verdict.
+	Final protocol.SubmitPoAResponse
+}
+
+// FlyAdaptiveStreaming flies with adaptive sampling while transmitting
+// each signed sample to the Auditor in real time (the alternative noted in
+// the paper's §IV-B task 4: it enables in-flight violation detection at
+// the cost of battery for the radio).
+func (d *Drone) FlyAdaptiveStreaming(rx *gps.Receiver, zones []geo.GeoCircle, until time.Time) (*StreamingResult, error) {
+	if d.id == "" {
+		return nil, ErrNotRegistered
+	}
+	streamAPI, ok := d.api.(protocol.StreamAPI)
+	if !ok {
+		return nil, ErrStreamingUnsupported
+	}
+
+	open, err := streamAPI.OpenStream(protocol.OpenStreamRequest{DroneID: d.id})
+	if err != nil {
+		return nil, fmt.Errorf("open stream: %w", err)
+	}
+
+	// Wrap the secure-world Auth so every recorded sample is pushed to
+	// the Auditor as it is taken.
+	env := sampling.NewTEEEnv(d.dev, d.clock, rx)
+	baseAuth := env.Auth
+	violationAt := -1
+	sampleIdx := 0
+	env.Auth = func() (poa.SignedSample, error) {
+		ss, err := baseAuth()
+		if err != nil {
+			return poa.SignedSample{}, err
+		}
+		resp, err := streamAPI.StreamSample(protocol.StreamSampleRequest{
+			StreamID: open.StreamID,
+			Sample:   ss,
+		})
+		if err != nil {
+			return poa.SignedSample{}, fmt.Errorf("stream sample: %w", err)
+		}
+		if resp.Verdict == protocol.VerdictViolation && violationAt < 0 {
+			violationAt = sampleIdx
+		}
+		sampleIdx++
+		return ss, nil
+	}
+
+	a := &sampling.Adaptive{
+		Env:    env,
+		Index:  zone.NewIndex(zones, 0),
+		VMaxMS: geo.MaxDroneSpeedMPS,
+	}
+	run, err := a.Run(until)
+	if err != nil {
+		return nil, fmt.Errorf("streaming flight: %w", err)
+	}
+
+	final, err := streamAPI.CloseStream(protocol.CloseStreamRequest{StreamID: open.StreamID})
+	if err != nil {
+		return nil, fmt.Errorf("close stream: %w", err)
+	}
+	return &StreamingResult{Run: run, ViolationAt: violationAt, Final: final}, nil
+}

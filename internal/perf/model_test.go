@@ -1,0 +1,154 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/tee"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPowerModel(t *testing.T) {
+	if !almost(Power(0), 1.5778, 1e-9) {
+		t.Errorf("idle power = %v", Power(0))
+	}
+	if !almost(Power(1), 1.7588, 1e-9) {
+		t.Errorf("full power = %v", Power(1))
+	}
+	// The paper's fixed 2 Hz / 1024-bit row: u = 2.17% → 1.5817 W.
+	if got := Power(0.0217); !almost(got, 1.5817, 0.0001) {
+		t.Errorf("Power(0.0217) = %v, want ~1.5817", got)
+	}
+}
+
+// TestTableIIFixedRateCalibration checks that the model reproduces the
+// fixed-rate CPU rows of Table II within a small tolerance.
+func TestTableIIFixedRateCalibration(t *testing.T) {
+	m := DefaultPiModel()
+	elapsed := 5 * time.Minute
+
+	tests := []struct {
+		rateHz  float64
+		keyBits int
+		wantCPU float64 // percent of all four cores
+		tol     float64
+	}{
+		{2, 1024, 2.17, 0.15},
+		{3, 1024, 3.17, 0.20},
+		{5, 1024, 5.59, 0.30},
+		{2, 2048, 10.94, 0.20},
+		{3, 2048, 16.81, 0.40},
+	}
+	for _, tt := range tests {
+		samples := uint64(tt.rateHz * elapsed.Seconds())
+		st := tee.Stats{SMCCalls: samples, Signs: samples, SignedBytes: samples * 50}
+		got := m.Utilization(st, elapsed, tt.keyBits) * 100
+		if !almost(got, tt.wantCPU, tt.tol) {
+			t.Errorf("%v Hz / %d bits: CPU = %.2f%%, want %.2f±%.2f",
+				tt.rateHz, tt.keyBits, got, tt.wantCPU, tt.tol)
+		}
+	}
+}
+
+func TestTableIIFeasibility(t *testing.T) {
+	m := DefaultPiModel()
+	// The "-" cells: 2048-bit at 5 Hz is infeasible; everything in the
+	// 1024-bit column is feasible.
+	if m.Feasible(5, 2048) {
+		t.Error("2048-bit at 5 Hz should be infeasible")
+	}
+	for _, rate := range []float64{1, 2, 3, 5} {
+		if !m.Feasible(rate, 1024) {
+			t.Errorf("1024-bit at %v Hz should be feasible", rate)
+		}
+	}
+	if !m.Feasible(3, 2048) {
+		t.Error("2048-bit at 3 Hz should be feasible (Table II has a value)")
+	}
+	// Max sustainable rate for 2048 bits sits between 3 and 5 Hz.
+	if max := m.MaxRateHz(2048); max < 3 || max > 5 {
+		t.Errorf("MaxRateHz(2048) = %v, want in (3, 5)", max)
+	}
+}
+
+func TestMemoryFraction(t *testing.T) {
+	m := DefaultPiModel()
+	// Table II: 3.27 MB = 0.3% of 1 GB.
+	if got := m.MemoryFraction() * 100; !almost(got, 0.33, 0.05) {
+		t.Errorf("memory fraction = %.3f%%, want ~0.33", got)
+	}
+	empty := &Model{}
+	if empty.MemoryFraction() != 0 {
+		t.Error("zero-RAM model should report 0")
+	}
+}
+
+func TestSignCostExtrapolation(t *testing.T) {
+	m := DefaultPiModel()
+	// Known sizes come straight from the table.
+	if m.signCost(1024) != 43500*time.Microsecond {
+		t.Errorf("signCost(1024) = %v", m.signCost(1024))
+	}
+	// Unknown sizes extrapolate monotonically.
+	c1536 := m.signCost(1536)
+	if c1536 <= m.signCost(1024) || c1536 >= m.signCost(2048) {
+		t.Errorf("signCost(1536) = %v not between 1024 and 2048 costs", c1536)
+	}
+	// A model with no 1024 anchor still works.
+	bare := &Model{SignCost: map[int]time.Duration{}}
+	if bare.signCost(1024) <= 0 {
+		t.Error("bare model sign cost should fall back to a positive default")
+	}
+}
+
+func TestUtilizationEdgeCases(t *testing.T) {
+	m := DefaultPiModel()
+	st := tee.Stats{SMCCalls: 10, Signs: 10}
+	if m.Utilization(st, 0, 1024) != 0 {
+		t.Error("zero elapsed should give 0")
+	}
+	// Overload clamps to 1.
+	huge := tee.Stats{SMCCalls: 1e6, Signs: 1e6}
+	if u := m.Utilization(huge, time.Second, 2048); u != 1 {
+		t.Errorf("overloaded utilisation = %v, want clamp to 1", u)
+	}
+}
+
+func TestMACMode(t *testing.T) {
+	m := DefaultPiModel()
+	// Symmetric mode must be orders of magnitude cheaper than RSA
+	// (the premise of §VII-A1a).
+	if m.PerSampleMACCost() > m.PerSampleCost(1024)/10 {
+		t.Errorf("MAC cost %v not ≪ RSA cost %v", m.PerSampleMACCost(), m.PerSampleCost(1024))
+	}
+	st := tee.Stats{SMCCalls: 1000, MACs: 1000}
+	u := m.Utilization(st, 200*time.Second, 1024)
+	if u > 0.01 {
+		t.Errorf("MAC-mode utilisation = %v, want < 1%%", u)
+	}
+}
+
+func TestMeasureAndReportString(t *testing.T) {
+	m := DefaultPiModel()
+	st := tee.Stats{SMCCalls: 600, Signs: 600}
+	rep := m.Measure("Fixed 2 Hz", st, 5*time.Minute, 1024)
+	if !rep.Feasible {
+		t.Error("measured report should be feasible")
+	}
+	if rep.CPUPercent <= 0 || rep.PowerWatts <= PowerIdleWatts {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Error("empty String()")
+	}
+
+	inf := InfeasibleReport("Fixed 5 Hz", 2048)
+	if inf.Feasible {
+		t.Error("infeasible report marked feasible")
+	}
+	if inf.String() == "" {
+		t.Error("empty infeasible String()")
+	}
+}

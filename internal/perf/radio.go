@@ -1,0 +1,67 @@
+package perf
+
+import "time"
+
+// RadioModel quantifies the communication-energy trade-off behind the
+// paper's §IV-B design decision: "the drone could alternately transmit its
+// PoAs in real-time to the Auditor; however, we do not pursue this
+// solution as it would increase battery drain". The model charges energy
+// per radio transaction and per byte, using figures representative of a
+// small 802.11/LTE module on a drone-class battery budget.
+type RadioModel struct {
+	// TxPowerWatts is the radio's active transmit power draw.
+	TxPowerWatts float64
+	// TxOverhead is the wake/associate/settle time charged per
+	// transaction (connection reuse amortises handshakes, not wake-ups).
+	TxOverhead time.Duration
+	// ThroughputBytesPerSec converts payload size into airtime.
+	ThroughputBytesPerSec float64
+	// IdleListenWatts is the extra draw of keeping the radio attached
+	// between transmissions in streaming mode (0 when the radio sleeps).
+	IdleListenWatts float64
+}
+
+// DefaultRadioModel returns figures for a small WiFi module: ~0.8 W
+// transmitting, 20 ms per wake-up, ~2 MB/s effective uplink, 50 mW extra
+// while attached.
+func DefaultRadioModel() *RadioModel {
+	return &RadioModel{
+		TxPowerWatts:          0.8,
+		TxOverhead:            20 * time.Millisecond,
+		ThroughputBytesPerSec: 2e6,
+		IdleListenWatts:       0.05,
+	}
+}
+
+// TxEnergyJoules returns the energy for one transmission of the given
+// payload size.
+func (r *RadioModel) TxEnergyJoules(payloadBytes int) float64 {
+	airtime := r.TxOverhead.Seconds() + float64(payloadBytes)/r.ThroughputBytesPerSec
+	return r.TxPowerWatts * airtime
+}
+
+// OfflineSubmissionJoules is the radio energy of the paper's chosen
+// design: one bulk upload of the whole encrypted PoA after landing, radio
+// asleep during the flight.
+func (r *RadioModel) OfflineSubmissionJoules(totalPoABytes int) float64 {
+	return r.TxEnergyJoules(totalPoABytes)
+}
+
+// StreamingSubmissionJoules is the real-time alternative: one transmission
+// per sample plus the attached-idle draw for the whole flight.
+func (r *RadioModel) StreamingSubmissionJoules(samples, bytesPerSample int, flight time.Duration) float64 {
+	total := float64(samples) * r.TxEnergyJoules(bytesPerSample)
+	total += r.IdleListenWatts * flight.Seconds()
+	return total
+}
+
+// StreamingOverheadFactor returns how many times more radio energy the
+// streaming mode costs than the offline submission for the same flight —
+// the quantity that justifies the paper's choice (goal G2).
+func (r *RadioModel) StreamingOverheadFactor(samples, bytesPerSample int, flight time.Duration) float64 {
+	offline := r.OfflineSubmissionJoules(samples * bytesPerSample)
+	if offline == 0 {
+		return 0
+	}
+	return r.StreamingSubmissionJoules(samples, bytesPerSample, flight) / offline
+}

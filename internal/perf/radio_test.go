@@ -1,0 +1,42 @@
+package perf
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTxEnergyScalesWithPayload(t *testing.T) {
+	r := DefaultRadioModel()
+	small := r.TxEnergyJoules(100)
+	big := r.TxEnergyJoules(1_000_000)
+	if small <= 0 || big <= small {
+		t.Errorf("energy: small=%v big=%v", small, big)
+	}
+	// The per-wake overhead dominates tiny payloads: doubling a 100-byte
+	// payload barely changes the cost.
+	if r.TxEnergyJoules(200) > small*1.01 {
+		t.Error("overhead should dominate tiny payloads")
+	}
+}
+
+func TestStreamingCostsMoreThanOffline(t *testing.T) {
+	r := DefaultRadioModel()
+	// A residential flight: ~450 samples of ~200 bytes over 155 s.
+	factor := r.StreamingOverheadFactor(450, 200, 155*time.Second)
+	if factor < 5 {
+		t.Errorf("streaming overhead factor = %.1f, want ≫ 1 (the paper's §IV-B rationale)", factor)
+	}
+
+	offline := r.OfflineSubmissionJoules(450 * 200)
+	streaming := r.StreamingSubmissionJoules(450, 200, 155*time.Second)
+	if streaming <= offline {
+		t.Errorf("streaming %v J <= offline %v J", streaming, offline)
+	}
+}
+
+func TestStreamingOverheadDegenerate(t *testing.T) {
+	r := &RadioModel{TxPowerWatts: 0, ThroughputBytesPerSec: 1}
+	if got := r.StreamingOverheadFactor(10, 10, time.Minute); got != 0 {
+		t.Errorf("degenerate factor = %v, want 0", got)
+	}
+}

@@ -1,0 +1,337 @@
+// Package planner computes no-fly-zone-avoiding routes. After the zone
+// query (protocol tasks 2-3) "the drone can use the NFZ information to
+// compute a viable route to its destination" (paper §IV-B); this package
+// is that step: an A* search over a local occupancy grid with the zones
+// inflated by a clearance margin, followed by greedy shortcut smoothing.
+// The output converts directly into a trace.Route the platform can fly.
+package planner
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+var (
+	// ErrStartBlocked is returned when the start position lies inside an
+	// inflated no-fly zone.
+	ErrStartBlocked = errors.New("planner: start position is inside a no-fly zone")
+	// ErrGoalBlocked is returned when the goal lies inside an inflated
+	// no-fly zone.
+	ErrGoalBlocked = errors.New("planner: goal position is inside a no-fly zone")
+	// ErrNoRoute is returned when no collision-free route exists within
+	// the search area.
+	ErrNoRoute = errors.New("planner: no route avoiding the no-fly zones")
+)
+
+// Config tunes the planner.
+type Config struct {
+	// ClearanceMeters inflates every zone: the route keeps at least this
+	// distance from every zone boundary (default 30 m — enough that the
+	// adaptive sampler can prove alibi at the GPS rate while flying the
+	// route at full speed).
+	ClearanceMeters float64
+	// GridStepMeters is the search resolution (default 25 m).
+	GridStepMeters float64
+	// MarginMeters extends the search area beyond the start-goal
+	// bounding box so detours around boundary zones are possible
+	// (default 1000 m).
+	MarginMeters float64
+	// MaxExpansions bounds the A* search (default 400 000 nodes).
+	MaxExpansions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ClearanceMeters == 0 {
+		c.ClearanceMeters = 30
+	}
+	if c.GridStepMeters <= 0 {
+		c.GridStepMeters = 25
+	}
+	if c.MarginMeters <= 0 {
+		c.MarginMeters = 1000
+	}
+	if c.MaxExpansions <= 0 {
+		c.MaxExpansions = 400000
+	}
+	return c
+}
+
+// PlanRoute returns a collision-free waypoint sequence from start to goal
+// (inclusive of both).
+func PlanRoute(start, goal geo.LatLon, zones []geo.GeoCircle, cfg Config) ([]geo.LatLon, error) {
+	cfg = cfg.withDefaults()
+
+	mid := geo.LatLon{Lat: (start.Lat + goal.Lat) / 2, Lon: (start.Lon + goal.Lon) / 2}
+	pr := geo.NewProjection(mid)
+	s := pr.ToLocal(start)
+	g := pr.ToLocal(goal)
+
+	obstacles := make([]geo.Circle, len(zones))
+	for i, z := range zones {
+		obstacles[i] = geo.Circle{Center: pr.ToLocal(z.Center), R: z.R + cfg.ClearanceMeters}
+	}
+
+	if insideAny(obstacles, s) {
+		return nil, ErrStartBlocked
+	}
+	if insideAny(obstacles, g) {
+		return nil, ErrGoalBlocked
+	}
+
+	// Fast path: the straight segment is already clear.
+	if segmentClear(obstacles, s, g) {
+		return []geo.LatLon{start, goal}, nil
+	}
+
+	points, err := astar(obstacles, s, g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	points = shortcut(obstacles, points)
+
+	out := make([]geo.LatLon, len(points))
+	for i, p := range points {
+		out[i] = pr.ToLatLon(p)
+	}
+	// Pin the exact endpoints (grid snapping moves them slightly).
+	out[0] = start
+	out[len(out)-1] = goal
+	return out, nil
+}
+
+// ToRoute converts a planned waypoint sequence into a flyable constant-
+// speed trajectory departing at t0.
+func ToRoute(waypoints []geo.LatLon, speedMS float64, t0 time.Time) (*trace.Route, error) {
+	if len(waypoints) < 2 {
+		return nil, trace.ErrTooFewWaypoints
+	}
+	if speedMS <= 0 {
+		return nil, fmt.Errorf("planner: non-positive speed %v", speedMS)
+	}
+	wps := make([]trace.Waypoint, len(waypoints))
+	at := t0
+	wps[0] = trace.Waypoint{Pos: waypoints[0], Time: at}
+	for i := 1; i < len(waypoints); i++ {
+		dist := geo.HaversineMeters(waypoints[i-1], waypoints[i])
+		dt := dist / speedMS
+		if dt <= 0 {
+			dt = 0.001 // duplicate waypoints: keep time strictly increasing
+		}
+		at = at.Add(time.Duration(dt * float64(time.Second)))
+		wps[i] = trace.Waypoint{Pos: waypoints[i], Time: at}
+	}
+	return trace.NewRoute(wps)
+}
+
+// PathLengthMeters sums the leg lengths of a waypoint sequence.
+func PathLengthMeters(waypoints []geo.LatLon) float64 {
+	var total float64
+	for i := 1; i < len(waypoints); i++ {
+		total += geo.HaversineMeters(waypoints[i-1], waypoints[i])
+	}
+	return total
+}
+
+// insideAny reports whether p lies inside any obstacle.
+func insideAny(obstacles []geo.Circle, p geo.Point) bool {
+	for _, c := range obstacles {
+		if c.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentClear reports whether the segment [a, b] stays outside every
+// obstacle.
+func segmentClear(obstacles []geo.Circle, a, b geo.Point) bool {
+	for _, c := range obstacles {
+		if segmentCircleHit(a, b, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// segmentCircleHit reports whether segment [a, b] intersects circle c.
+func segmentCircleHit(a, b geo.Point, c geo.Circle) bool {
+	ab := b.Sub(a)
+	den := ab.X*ab.X + ab.Y*ab.Y
+	t := 0.0
+	if den > 0 {
+		t = ((c.Center.X-a.X)*ab.X + (c.Center.Y-a.Y)*ab.Y) / den
+		t = math.Max(0, math.Min(1, t))
+	}
+	closest := a.Add(ab.Scale(t))
+	return closest.Dist(c.Center) <= c.R
+}
+
+// --- A* over the occupancy grid -------------------------------------------
+
+type cell struct{ x, y int }
+
+type pqItem struct {
+	c        cell
+	priority float64
+	index    int
+}
+
+type priorityQueue []*pqItem
+
+func (q priorityQueue) Len() int           { return len(q) }
+func (q priorityQueue) Less(i, j int) bool { return q[i].priority < q[j].priority }
+func (q priorityQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *priorityQueue) Push(x any)        { it := x.(*pqItem); it.index = len(*q); *q = append(*q, it) }
+func (q *priorityQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// astar searches an 8-connected grid from s to g.
+func astar(obstacles []geo.Circle, s, g geo.Point, cfg Config) ([]geo.Point, error) {
+	step := cfg.GridStepMeters
+
+	minX := math.Min(s.X, g.X) - cfg.MarginMeters
+	maxX := math.Max(s.X, g.X) + cfg.MarginMeters
+	minY := math.Min(s.Y, g.Y) - cfg.MarginMeters
+	maxY := math.Max(s.Y, g.Y) + cfg.MarginMeters
+
+	toPoint := func(c cell) geo.Point {
+		return geo.Point{X: float64(c.x) * step, Y: float64(c.y) * step}
+	}
+	toCell := func(p geo.Point) cell {
+		return cell{x: int(math.Round(p.X / step)), y: int(math.Round(p.Y / step))}
+	}
+	inBounds := func(c cell) bool {
+		p := toPoint(c)
+		return p.X >= minX && p.X <= maxX && p.Y >= minY && p.Y <= maxY
+	}
+	blocked := func(c cell) bool { return insideAny(obstacles, toPoint(c)) }
+
+	startCell, goalCell := toCell(s), toCell(g)
+	// Grid snapping can land the endpoints inside an obstacle even
+	// though the true positions are clear; nudge to the nearest free
+	// neighbour.
+	var ok bool
+	if startCell, ok = nudgeFree(startCell, blocked, inBounds); !ok {
+		return nil, ErrStartBlocked
+	}
+	if goalCell, ok = nudgeFree(goalCell, blocked, inBounds); !ok {
+		return nil, ErrGoalBlocked
+	}
+
+	hdist := func(a, b cell) float64 {
+		dx, dy := float64(a.x-b.x), float64(a.y-b.y)
+		return math.Hypot(dx, dy) * step
+	}
+
+	gScore := map[cell]float64{startCell: 0}
+	parent := map[cell]cell{}
+	open := &priorityQueue{}
+	heap.Init(open)
+	heap.Push(open, &pqItem{c: startCell, priority: hdist(startCell, goalCell)})
+	closed := map[cell]bool{}
+
+	dirs := [8]cell{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}}
+	expansions := 0
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(*pqItem).c
+		if closed[cur] {
+			continue
+		}
+		closed[cur] = true
+		if cur == goalCell {
+			return reconstruct(parent, cur, s, g, toPoint), nil
+		}
+		if expansions++; expansions > cfg.MaxExpansions {
+			return nil, fmt.Errorf("%w: search exceeded %d expansions", ErrNoRoute, cfg.MaxExpansions)
+		}
+
+		for _, d := range dirs {
+			next := cell{x: cur.x + d.x, y: cur.y + d.y}
+			if closed[next] || !inBounds(next) || blocked(next) {
+				continue
+			}
+			// Diagonal moves must not cut zone corners.
+			if d.x != 0 && d.y != 0 && !segmentClear(obstacles, toPoint(cur), toPoint(next)) {
+				continue
+			}
+			cost := gScore[cur] + hdist(cur, next)
+			if old, seen := gScore[next]; seen && cost >= old {
+				continue
+			}
+			gScore[next] = cost
+			parent[next] = cur
+			heap.Push(open, &pqItem{c: next, priority: cost + hdist(next, goalCell)})
+		}
+	}
+	return nil, ErrNoRoute
+}
+
+// nudgeFree returns c or its nearest unblocked neighbour within two rings.
+func nudgeFree(c cell, blocked func(cell) bool, inBounds func(cell) bool) (cell, bool) {
+	if inBounds(c) && !blocked(c) {
+		return c, true
+	}
+	for ring := 1; ring <= 2; ring++ {
+		for dx := -ring; dx <= ring; dx++ {
+			for dy := -ring; dy <= ring; dy++ {
+				n := cell{x: c.x + dx, y: c.y + dy}
+				if inBounds(n) && !blocked(n) {
+					return n, true
+				}
+			}
+		}
+	}
+	return cell{}, false
+}
+
+// reconstruct walks the parent chain and prepends/appends the true
+// endpoints.
+func reconstruct(parent map[cell]cell, goal cell, s, g geo.Point, toPoint func(cell) geo.Point) []geo.Point {
+	var cells []cell
+	for c, ok := goal, true; ok; c, ok = parentLookup(parent, c) {
+		cells = append(cells, c)
+	}
+	pts := make([]geo.Point, 0, len(cells)+2)
+	pts = append(pts, s)
+	for i := len(cells) - 1; i >= 0; i-- {
+		pts = append(pts, toPoint(cells[i]))
+	}
+	pts = append(pts, g)
+	return pts
+}
+
+func parentLookup(parent map[cell]cell, c cell) (cell, bool) {
+	p, ok := parent[c]
+	return p, ok
+}
+
+// shortcut greedily removes intermediate waypoints whose bypass segment is
+// collision free, smoothing the staircase grid path.
+func shortcut(obstacles []geo.Circle, pts []geo.Point) []geo.Point {
+	if len(pts) <= 2 {
+		return pts
+	}
+	out := []geo.Point{pts[0]}
+	i := 0
+	for i < len(pts)-1 {
+		j := len(pts) - 1
+		for j > i+1 && !segmentClear(obstacles, pts[i], pts[j]) {
+			j--
+		}
+		out = append(out, pts[j])
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package planner
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+var (
+	t0     = time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+	urbana = geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+)
+
+// pathClearOf verifies a waypoint polyline never comes within clearance of
+// any zone, by dense sampling.
+func pathClearOf(t *testing.T, wps []geo.LatLon, zones []geo.GeoCircle, clearance float64) {
+	t.Helper()
+	for i := 1; i < len(wps); i++ {
+		dist := geo.HaversineMeters(wps[i-1], wps[i])
+		steps := int(dist/5) + 2
+		for s := 0; s <= steps; s++ {
+			frac := float64(s) / float64(steps)
+			bearing := geo.InitialBearing(wps[i-1], wps[i])
+			p := wps[i-1].Offset(bearing, dist*frac)
+			for zi, z := range zones {
+				if d := z.BoundaryDistMeters(p); d < clearance-5 { // 5 m slack for spherical vs planar
+					t.Fatalf("leg %d enters clearance of zone %d: %.1f m < %.1f", i, zi, d, clearance)
+				}
+			}
+		}
+	}
+}
+
+func TestDirectRouteWhenClear(t *testing.T) {
+	goal := urbana.Offset(90, 3000)
+	zones := []geo.GeoCircle{{Center: urbana.Offset(0, 2000), R: 100}}
+	wps, err := PlanRoute(urbana, goal, zones, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wps) != 2 {
+		t.Errorf("clear corridor should give the direct 2-point route, got %d points", len(wps))
+	}
+}
+
+func TestDetourAroundSingleZone(t *testing.T) {
+	goal := urbana.Offset(90, 3000)
+	// Zone dead centre on the straight line.
+	block := geo.GeoCircle{Center: urbana.Offset(90, 1500), R: 300}
+	zones := []geo.GeoCircle{block}
+
+	wps, err := PlanRoute(urbana, goal, zones, Config{ClearanceMeters: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wps) < 3 {
+		t.Fatalf("blocked corridor should need a detour, got %d points", len(wps))
+	}
+	pathClearOf(t, wps, zones, 30)
+
+	straight := geo.HaversineMeters(urbana, goal)
+	length := PathLengthMeters(wps)
+	if length <= straight {
+		t.Errorf("detour length %v not longer than straight %v", length, straight)
+	}
+	if length > straight*1.5 {
+		t.Errorf("detour length %v unreasonably long vs straight %v", length, straight)
+	}
+}
+
+func TestRouteThroughGap(t *testing.T) {
+	goal := urbana.Offset(90, 2000)
+	// Two zones leaving a ~200 m gap on the direct line.
+	zones := []geo.GeoCircle{
+		{Center: urbana.Offset(90, 1000).Offset(0, 250), R: 120},
+		{Center: urbana.Offset(90, 1000).Offset(180, 250), R: 120},
+	}
+	wps, err := PlanRoute(urbana, goal, zones, Config{ClearanceMeters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pathClearOf(t, wps, zones, 20)
+	// The gap is wide enough that the route should not balloon.
+	if PathLengthMeters(wps) > geo.HaversineMeters(urbana, goal)*1.3 {
+		t.Errorf("route through gap too long: %v", PathLengthMeters(wps))
+	}
+}
+
+func TestStartGoalBlocked(t *testing.T) {
+	goal := urbana.Offset(90, 1000)
+	inStart := []geo.GeoCircle{{Center: urbana, R: 100}}
+	if _, err := PlanRoute(urbana, goal, inStart, Config{}); !errors.Is(err, ErrStartBlocked) {
+		t.Errorf("err = %v, want ErrStartBlocked", err)
+	}
+	inGoal := []geo.GeoCircle{{Center: goal, R: 100}}
+	if _, err := PlanRoute(urbana, goal, inGoal, Config{}); !errors.Is(err, ErrGoalBlocked) {
+		t.Errorf("err = %v, want ErrGoalBlocked", err)
+	}
+}
+
+func TestNoRouteWhenWalled(t *testing.T) {
+	goal := urbana.Offset(90, 2000)
+	// Ring of overlapping zones enclosing the goal.
+	var wall []geo.GeoCircle
+	for deg := 0.0; deg < 360; deg += 20 {
+		wall = append(wall, geo.GeoCircle{Center: goal.Offset(deg, 400), R: 120})
+	}
+	_, err := PlanRoute(urbana, goal, wall, Config{ClearanceMeters: 20, MarginMeters: 800})
+	if !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestRandomFieldsAlwaysClear(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	goal := urbana.Offset(90, 4000)
+	for trial := 0; trial < 15; trial++ {
+		var zones []geo.GeoCircle
+		for i := 0; i < 12; i++ {
+			zones = append(zones, geo.GeoCircle{
+				Center: urbana.Offset(90, 500+rng.Float64()*3000).Offset(rng.Float64()*360, rng.Float64()*400),
+				R:      50 + rng.Float64()*150,
+			})
+		}
+		wps, err := PlanRoute(urbana, goal, zones, Config{ClearanceMeters: 25})
+		switch {
+		case errors.Is(err, ErrStartBlocked), errors.Is(err, ErrGoalBlocked):
+			continue // random layout swallowed an endpoint; fine
+		case errors.Is(err, ErrNoRoute):
+			continue // fully walled; fine
+		case err != nil:
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		pathClearOf(t, wps, zones, 25)
+	}
+}
+
+func TestToRoute(t *testing.T) {
+	goal := urbana.Offset(90, 3000)
+	block := geo.GeoCircle{Center: urbana.Offset(90, 1500), R: 300}
+	wps, err := PlanRoute(urbana, goal, []geo.GeoCircle{block}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := ToRoute(wps, 15, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(route.LengthMeters()-PathLengthMeters(wps)) > 5 {
+		t.Errorf("route length %v vs path length %v", route.LengthMeters(), PathLengthMeters(wps))
+	}
+	wantDur := PathLengthMeters(wps) / 15
+	if math.Abs(route.Duration().Seconds()-wantDur) > 1 {
+		t.Errorf("route duration %v, want ~%vs", route.Duration(), wantDur)
+	}
+
+	if _, err := ToRoute(wps[:1], 15, t0); err == nil {
+		t.Error("single waypoint accepted")
+	}
+	if _, err := ToRoute(wps, 0, t0); err == nil {
+		t.Error("zero speed accepted")
+	}
+}
+
+func TestPathLengthMeters(t *testing.T) {
+	wps := []geo.LatLon{urbana, urbana.Offset(90, 1000), urbana.Offset(90, 1000).Offset(0, 500)}
+	if got := PathLengthMeters(wps); math.Abs(got-1500) > 2 {
+		t.Errorf("PathLengthMeters = %v, want ~1500", got)
+	}
+	if PathLengthMeters(nil) != 0 {
+		t.Error("empty path should have zero length")
+	}
+}

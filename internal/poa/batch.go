@@ -1,0 +1,50 @@
+package poa
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// BatchPoA is the sign-all-traces-at-once alternative from the paper's
+// §VII-A1b: the TEE buffers samples in secure memory during the flight and
+// signs the entire trace once at the end, amortising the asymmetric
+// signature cost. Verification still checks the same sufficiency condition
+// over the samples; only the authenticity envelope differs.
+type BatchPoA struct {
+	Samples []Sample `json:"samples"`
+	Sig     []byte   `json:"sig"` // one signature over MarshalBatch(Samples)
+}
+
+// batchSeparator joins canonical sample encodings; '\n' cannot appear in
+// the canonical encoding, so the framing is unambiguous.
+const batchSeparator = '\n'
+
+// MarshalBatch produces the canonical byte encoding of a whole trace that
+// the TEE signs in batch mode.
+func MarshalBatch(samples []Sample) []byte {
+	var buf bytes.Buffer
+	for i, s := range samples {
+		if i > 0 {
+			buf.WriteByte(batchSeparator)
+		}
+		buf.Write(s.Marshal())
+	}
+	return buf.Bytes()
+}
+
+// UnmarshalBatch decodes a canonical batch encoding.
+func UnmarshalBatch(b []byte) ([]Sample, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	parts := bytes.Split(b, []byte{batchSeparator})
+	out := make([]Sample, len(parts))
+	for i, p := range parts {
+		s, err := UnmarshalSample(p)
+		if err != nil {
+			return nil, fmt.Errorf("batch sample %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

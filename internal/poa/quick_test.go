@@ -1,0 +1,169 @@
+package poa
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// quickSample is a generator type for testing/quick: it produces samples
+// with physically meaningful ranges.
+type quickSample Sample
+
+// Generate implements quick.Generator.
+func (quickSample) Generate(rng *rand.Rand, _ int) reflect.Value {
+	s := quickSample{
+		Pos: geo.LatLon{
+			Lat: rng.Float64()*170 - 85,
+			Lon: rng.Float64()*350 - 175,
+		},
+		AltMeters: rng.Float64() * 500,
+		Time:      base.Add(time.Duration(rng.Int63n(int64(2 * time.Hour)))),
+	}
+	return reflect.ValueOf(s)
+}
+
+// TestQuickMarshalRoundTrip: Unmarshal(Marshal(s)) is the identity on
+// canonical samples.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	fn := func(qs quickSample) bool {
+		c := Sample(qs).Canon()
+		back, err := UnmarshalSample(c.Marshal())
+		return err == nil && back == c
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCanonClose: canonicalisation moves a sample by less than the
+// wire resolution (1e-7 deg ≈ 1.1 cm, 1 cm altitude, 1 ms time).
+func TestQuickCanonClose(t *testing.T) {
+	fn := func(qs quickSample) bool {
+		s := Sample(qs)
+		c := s.Canon()
+		return math.Abs(c.Pos.Lat-s.Pos.Lat) <= 5e-8+1e-12 &&
+			math.Abs(c.Pos.Lon-s.Pos.Lon) <= 5e-8+1e-12 &&
+			math.Abs(c.AltMeters-s.AltMeters) <= 0.005+1e-12 &&
+			c.Time.Sub(s.Time).Abs() <= time.Millisecond
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSufficiencyMonotoneInTime: if a pair is insufficient for a gap,
+// it stays insufficient for any longer gap (larger travel budget can only
+// reach more area). Equivalently, sufficiency is monotone downward in dt.
+func TestQuickSufficiencyMonotoneInTime(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s1 := Sample{Pos: ref.Offset(rng.Float64()*360, rng.Float64()*2000), Time: base}
+		shortGap := time.Duration(1+rng.Int63n(10000)) * time.Millisecond
+		longGap := shortGap + time.Duration(1+rng.Int63n(10000))*time.Millisecond
+		pos2 := s1.Pos.Offset(rng.Float64()*360, rng.Float64()*100)
+		z := geo.GeoCircle{Center: ref.Offset(rng.Float64()*360, rng.Float64()*3000), R: 1 + rng.Float64()*300}
+
+		short := Sample{Pos: pos2, Time: base.Add(shortGap)}
+		long := Sample{Pos: pos2, Time: base.Add(longGap)}
+		for _, mode := range []TestMode{Conservative, Exact} {
+			if !PairSufficient(s1, short, z, vmax, mode) && PairSufficient(s1, long, z, vmax, mode) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSufficiencyMonotoneInRadius: growing a zone can only turn
+// sufficient pairs insufficient, never the reverse.
+func TestQuickSufficiencyMonotoneInRadius(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s1 := Sample{Pos: ref.Offset(rng.Float64()*360, rng.Float64()*2000), Time: base}
+		s2 := Sample{
+			Pos:  s1.Pos.Offset(rng.Float64()*360, rng.Float64()*100),
+			Time: base.Add(time.Duration(1+rng.Int63n(10000)) * time.Millisecond),
+		}
+		center := ref.Offset(rng.Float64()*360, rng.Float64()*3000)
+		small := geo.GeoCircle{Center: center, R: 1 + rng.Float64()*200}
+		big := geo.GeoCircle{Center: center, R: small.R + rng.Float64()*200}
+
+		for _, mode := range []TestMode{Conservative, Exact} {
+			if !PairSufficient(s1, s2, small, vmax, mode) && PairSufficient(s1, s2, big, vmax, mode) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBatchRoundTrip: UnmarshalBatch(MarshalBatch(xs)) == xs for
+// canonical samples.
+func TestQuickBatchRoundTrip(t *testing.T) {
+	fn := func(raw []quickSample) bool {
+		in := make([]Sample, len(raw))
+		for i, qs := range raw {
+			in[i] = Sample(qs).Canon()
+		}
+		out, err := UnmarshalBatch(MarshalBatch(in))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInsufficientCountMatchesVerify: the Fig 8-(c) counter and the
+// conservative verifier agree on which pairs fail when a single zone is in
+// force.
+func TestQuickInsufficientCountMatchesVerify(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		samples := make([]Sample, n)
+		pos := ref
+		at := base
+		for i := range samples {
+			pos = pos.Offset(rng.Float64()*360, rng.Float64()*50)
+			at = at.Add(time.Duration(1+rng.Int63n(5000)) * time.Millisecond)
+			samples[i] = Sample{Pos: pos, Time: at}
+		}
+		z := geo.GeoCircle{Center: ref.Offset(rng.Float64()*360, rng.Float64()*500), R: 1 + rng.Float64()*100}
+
+		counts := CountInsufficient(samples, []geo.GeoCircle{z}, vmax)
+		rep, err := VerifySufficiency(samples, []geo.GeoCircle{z}, vmax, Conservative)
+		if err != nil {
+			return false
+		}
+		return counts[len(counts)-1] == rep.InsufficientPairs()
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

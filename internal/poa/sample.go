@@ -1,0 +1,150 @@
+// Package poa implements the heart of AliDrone: the Proof-of-Alibi data
+// model and its sufficiency verification (paper §IV-C).
+//
+// A drone's flight is a series of GPS samples. Between two consecutive
+// samples the drone can only have been inside the possible-travel-range
+// ellipse whose foci are the two sample positions and whose focal-sum bound
+// is vmax*(t2-t1) (the FAA caps drone speed at 100 mph). An alibi is
+// *sufficient* for a set of no-fly zones when, for every consecutive sample
+// pair, that ellipse is disjoint from every zone (eq. 1): the drone provably
+// could not have entered any zone at any moment of the flight.
+//
+// The package provides both the paper's conservative boundary-distance test
+// (cheap, projection-free, used online by the sampler) and an exact
+// ellipse-disk intersection (used by the auditor and as an ablation).
+package poa
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/geo"
+)
+
+var (
+	// ErrNotChronological is returned when samples are not strictly
+	// increasing in time.
+	ErrNotChronological = errors.New("poa: samples not in strictly increasing time order")
+	// ErrTooFewSamples is returned when a trace has fewer than two
+	// samples and therefore constrains nothing.
+	ErrTooFewSamples = errors.New("poa: need at least two samples")
+	// ErrBadSampleEncoding is returned when unmarshalling a corrupted
+	// canonical sample encoding.
+	ErrBadSampleEncoding = errors.New("poa: bad canonical sample encoding")
+)
+
+// Sample is one GPS observation S = (lat, lon, t), extended with altitude
+// for the 3-D model (§VII-B1). Altitude is zero and ignored in the 2-D
+// protocol.
+type Sample struct {
+	Pos       geo.LatLon `json:"pos"`
+	AltMeters float64    `json:"altMeters"`
+	Time      time.Time  `json:"time"`
+}
+
+// sampleEncodingVersion tags the canonical byte encoding so future format
+// changes cannot be confused with v1 signatures.
+const sampleEncodingVersion = "ADS1"
+
+// Marshal produces the canonical byte encoding of the sample that the TEE
+// signs. The encoding is deterministic: fixed decimal precision (1e-7 deg,
+// below NMEA wire resolution; centimetre altitude; millisecond time), so
+// that signer and verifier agree bit-for-bit.
+func (s Sample) Marshal() []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, sampleEncodingVersion...)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, s.Pos.Lat, 'f', 7, 64)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, s.Pos.Lon, 'f', 7, 64)
+	b = append(b, '|')
+	b = strconv.AppendFloat(b, s.AltMeters, 'f', 2, 64)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, s.Time.UnixMilli(), 10)
+	return b
+}
+
+// UnmarshalSample decodes a canonical encoding produced by Marshal.
+func UnmarshalSample(b []byte) (Sample, error) {
+	fields := make([]string, 0, 5)
+	start := 0
+	for i := 0; i <= len(b); i++ {
+		if i == len(b) || b[i] == '|' {
+			fields = append(fields, string(b[start:i]))
+			start = i + 1
+		}
+	}
+	if len(fields) != 5 || fields[0] != sampleEncodingVersion {
+		return Sample{}, ErrBadSampleEncoding
+	}
+	lat, err1 := strconv.ParseFloat(fields[1], 64)
+	lon, err2 := strconv.ParseFloat(fields[2], 64)
+	alt, err3 := strconv.ParseFloat(fields[3], 64)
+	ms, err4 := strconv.ParseInt(fields[4], 10, 64)
+	for _, err := range []error{err1, err2, err3, err4} {
+		if err != nil {
+			return Sample{}, fmt.Errorf("%w: %v", ErrBadSampleEncoding, err)
+		}
+	}
+	s := Sample{
+		Pos:       geo.LatLon{Lat: lat, Lon: lon},
+		AltMeters: alt,
+		Time:      time.UnixMilli(ms).UTC(),
+	}
+	// Strict canonical form: signed messages must have exactly one valid
+	// encoding, so a decode that would not re-marshal to the same bytes
+	// is rejected (e.g. extra precision, missing digits, leading zeros).
+	if !bytes.Equal(s.Marshal(), b) {
+		return Sample{}, fmt.Errorf("%w: non-canonical encoding", ErrBadSampleEncoding)
+	}
+	return s, nil
+}
+
+// Canon returns the sample quantised to its canonical wire precision —
+// the value a verifier reconstructs from the signed bytes. Signers must
+// sign the canonical form so equality is exact.
+func (s Sample) Canon() Sample {
+	c, _ := UnmarshalSample(s.Marshal())
+	return c
+}
+
+// SignedSample is one Proof-of-Alibi entry: (S_i, Sig(S_i, T-)).
+type SignedSample struct {
+	Sample Sample `json:"sample"`
+	Sig    []byte `json:"sig"`
+}
+
+// PoA is the Proof-of-Alibi: the series of signed GPS samples the drone
+// submits to the Auditor after a flight.
+type PoA struct {
+	Samples []SignedSample `json:"samples"`
+}
+
+// Alibi extracts the bare sample series (the alibi of §IV-C1) from the PoA.
+func (p PoA) Alibi() []Sample {
+	out := make([]Sample, len(p.Samples))
+	for i, s := range p.Samples {
+		out[i] = s.Sample
+	}
+	return out
+}
+
+// Append adds a signed sample to the PoA.
+func (p *PoA) Append(s SignedSample) { p.Samples = append(p.Samples, s) }
+
+// Len returns the number of samples in the PoA.
+func (p PoA) Len() int { return len(p.Samples) }
+
+// CheckChronology verifies strict time ordering of a sample series.
+func CheckChronology(samples []Sample) error {
+	for i := 1; i < len(samples); i++ {
+		if !samples[i].Time.After(samples[i-1].Time) {
+			return fmt.Errorf("%w: sample %d at %v, sample %d at %v",
+				ErrNotChronological, i-1, samples[i-1].Time, i, samples[i].Time)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package poa
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+var base = time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+
+func sampleAt(lat, lon float64, dt time.Duration) Sample {
+	return Sample{Pos: geo.LatLon{Lat: lat, Lon: lon}, Time: base.Add(dt)}
+}
+
+func TestSampleMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		s := Sample{
+			Pos: geo.LatLon{
+				Lat: rng.Float64()*180 - 90,
+				Lon: rng.Float64()*360 - 180,
+			},
+			AltMeters: rng.Float64() * 500,
+			Time:      base.Add(time.Duration(rng.Int63n(int64(time.Hour)))),
+		}
+		got, err := UnmarshalSample(s.Marshal())
+		if err != nil {
+			t.Fatalf("UnmarshalSample: %v", err)
+		}
+		if math.Abs(got.Pos.Lat-s.Pos.Lat) > 1e-7 || math.Abs(got.Pos.Lon-s.Pos.Lon) > 1e-7 {
+			t.Fatalf("position mismatch: %v vs %v", got.Pos, s.Pos)
+		}
+		if math.Abs(got.AltMeters-s.AltMeters) > 0.005 {
+			t.Fatalf("altitude mismatch: %v vs %v", got.AltMeters, s.AltMeters)
+		}
+		if got.Time.Sub(s.Time).Abs() >= time.Millisecond {
+			t.Fatalf("time mismatch: %v vs %v", got.Time, s.Time)
+		}
+	}
+}
+
+func TestCanonIdempotent(t *testing.T) {
+	s := Sample{
+		Pos:       geo.LatLon{Lat: 40.11060001234, Lon: -88.20730009876},
+		AltMeters: 123.456789,
+		Time:      base.Add(123456789 * time.Nanosecond),
+	}
+	c := s.Canon()
+	if !bytes.Equal(c.Marshal(), c.Canon().Marshal()) {
+		t.Error("Canon is not idempotent")
+	}
+	// Canonical form must survive marshal/unmarshal exactly.
+	back, err := UnmarshalSample(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Errorf("canonical round trip changed the sample: %+v vs %+v", back, c)
+	}
+}
+
+func TestUnmarshalSampleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"wrong version", []byte("ADX1|1|2|3|4")},
+		{"too few fields", []byte("ADS1|1|2|3")},
+		{"too many fields", []byte("ADS1|1|2|3|4|5")},
+		{"bad lat", []byte("ADS1|x|2|3|4")},
+		{"bad lon", []byte("ADS1|1|x|3|4")},
+		{"bad alt", []byte("ADS1|1|2|x|4")},
+		{"bad time", []byte("ADS1|1|2|3|x")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalSample(tt.in); !errors.Is(err, ErrBadSampleEncoding) {
+				t.Errorf("err = %v, want ErrBadSampleEncoding", err)
+			}
+		})
+	}
+}
+
+func TestCheckChronology(t *testing.T) {
+	good := []Sample{
+		sampleAt(40, -88, 0),
+		sampleAt(40, -88, time.Second),
+		sampleAt(40, -88, 2*time.Second),
+	}
+	if err := CheckChronology(good); err != nil {
+		t.Errorf("chronological trace rejected: %v", err)
+	}
+
+	dup := []Sample{sampleAt(40, -88, 0), sampleAt(40, -88, 0)}
+	if err := CheckChronology(dup); !errors.Is(err, ErrNotChronological) {
+		t.Errorf("duplicate timestamps: err = %v", err)
+	}
+
+	rev := []Sample{sampleAt(40, -88, time.Second), sampleAt(40, -88, 0)}
+	if err := CheckChronology(rev); !errors.Is(err, ErrNotChronological) {
+		t.Errorf("reversed timestamps: err = %v", err)
+	}
+
+	if err := CheckChronology(nil); err != nil {
+		t.Errorf("empty trace should be trivially chronological: %v", err)
+	}
+}
+
+func TestPoAAccessors(t *testing.T) {
+	var p PoA
+	if p.Len() != 0 {
+		t.Error("empty PoA should have length 0")
+	}
+	p.Append(SignedSample{Sample: sampleAt(40, -88, 0), Sig: []byte("sig0")})
+	p.Append(SignedSample{Sample: sampleAt(40.001, -88, time.Second), Sig: []byte("sig1")})
+	if p.Len() != 2 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	alibi := p.Alibi()
+	if len(alibi) != 2 || alibi[1].Pos.Lat != 40.001 {
+		t.Errorf("Alibi = %+v", alibi)
+	}
+}

@@ -1,0 +1,61 @@
+package poa
+
+import (
+	"repro/internal/geo"
+)
+
+// CylinderZone is a 3-D no-fly region z' = (lat, lon, alt, r) interpreted,
+// as in the paper's §VII-B1, as a cylinder of horizontal radius R over the
+// property from ground (AltMin) up to AltMax metres.
+type CylinderZone struct {
+	Center geo.LatLon `json:"center"`
+	R      float64    `json:"r"`      // horizontal radius, metres
+	AltMin float64    `json:"altMin"` // bottom of protected airspace, metres
+	AltMax float64    `json:"altMax"` // top of protected airspace, metres
+}
+
+// PairSufficient3D reports whether the consecutive pair (s1, s2) proves the
+// drone could not have entered the cylindrical zone: the travel ellipsoid
+// E'(S1, S2) must be disjoint from the cylinder (ε' ∩ z' = ∅).
+func PairSufficient3D(s1, s2 Sample, z CylinderZone, vmaxMS float64) bool {
+	dt := s2.Time.Sub(s1.Time).Seconds()
+	if dt < 0 {
+		dt = 0
+	}
+	pr := geo.NewProjection(s1.Pos)
+	p1, p2 := pr.ToLocal(s1.Pos), pr.ToLocal(s2.Pos)
+	e := geo.NewTravelEllipsoid(
+		geo.Point3{X: p1.X, Y: p1.Y, Z: s1.AltMeters},
+		geo.Point3{X: p2.X, Y: p2.Y, Z: s2.AltMeters},
+		dt, vmaxMS,
+	)
+	cyl := geo.Cylinder{
+		Center: pr.ToLocal(z.Center),
+		R:      z.R,
+		ZMin:   z.AltMin,
+		ZMax:   z.AltMax,
+	}
+	return !cyl.IntersectsEllipsoid(e)
+}
+
+// VerifySufficiency3D checks the 3-D analogue of eq. 1 over a trace of
+// altitude-bearing samples and cylindrical zones.
+func VerifySufficiency3D(samples []Sample, zones []CylinderZone, vmaxMS float64) (Report, error) {
+	if len(samples) < 2 {
+		return Report{}, ErrTooFewSamples
+	}
+	if err := CheckChronology(samples); err != nil {
+		return Report{}, err
+	}
+
+	var rep Report
+	rep.Pairs = len(samples) - 1
+	for i := 0; i+1 < len(samples); i++ {
+		for zi, z := range zones {
+			if !PairSufficient3D(samples[i], samples[i+1], z, vmaxMS) {
+				rep.Insufficiencies = append(rep.Insufficiencies, Insufficiency{PairIndex: i, ZoneIndex: zi})
+			}
+		}
+	}
+	return rep, nil
+}

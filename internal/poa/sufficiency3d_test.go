@@ -1,0 +1,85 @@
+package poa
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func TestPairSufficient3DOverflight(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	z := CylinderZone{Center: ref, R: 50, AltMin: 0, AltMax: 120}
+
+	// Drone crosses directly over the zone at 400 m, well above the
+	// 120 m ceiling, with a tight 1 s gap (budget 44.7 m): the ellipsoid
+	// cannot dip below ~377 m, so the pair is sufficient in 3-D.
+	s1 := Sample{Pos: ref.Offset(270, 20), AltMeters: 400, Time: base}
+	s2 := Sample{Pos: ref.Offset(90, 20), AltMeters: 400, Time: base.Add(time.Second)}
+	if !PairSufficient3D(s1, s2, z, vmax) {
+		t.Error("high overflight should be sufficient in 3-D")
+	}
+
+	// The same horizontal geometry in 2-D is insufficient: the planar
+	// ellipse passes straight through the zone. This is the value of the
+	// 3-D extension.
+	z2d := geo.GeoCircle{Center: ref, R: 50}
+	if PairSufficient(s1, s2, z2d, vmax, Exact) {
+		t.Error("2-D projection of the overflight should be insufficient")
+	}
+}
+
+func TestPairSufficient3DLowPass(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	z := CylinderZone{Center: ref, R: 50, AltMin: 0, AltMax: 120}
+
+	// Crossing over the zone at 80 m, inside the protected band.
+	s1 := Sample{Pos: ref.Offset(270, 100), AltMeters: 80, Time: base}
+	s2 := Sample{Pos: ref.Offset(90, 100), AltMeters: 80, Time: base.Add(10 * time.Second)}
+	if PairSufficient3D(s1, s2, z, vmax) {
+		t.Error("low pass through the protected band should be insufficient")
+	}
+}
+
+func TestPairSufficient3DFarAway(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	z := CylinderZone{Center: ref, R: 50, AltMin: 0, AltMax: 120}
+
+	s1 := Sample{Pos: ref.Offset(0, 5000), AltMeters: 60, Time: base}
+	s2 := Sample{Pos: ref.Offset(0, 5010), AltMeters: 60, Time: base.Add(time.Second)}
+	if !PairSufficient3D(s1, s2, z, vmax) {
+		t.Error("zone 5 km away should be sufficient")
+	}
+}
+
+func TestVerifySufficiency3D(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	z := CylinderZone{Center: ref, R: 50, AltMin: 0, AltMax: 120}
+
+	// Climb profile: approach at altitude, with one long gap low down.
+	samples := []Sample{
+		{Pos: ref.Offset(270, 300), AltMeters: 300, Time: base},
+		{Pos: ref.Offset(270, 280), AltMeters: 300, Time: base.Add(1 * time.Second)},
+		{Pos: ref.Offset(270, 100), AltMeters: 60, Time: base.Add(40 * time.Second)}, // long gap, low
+		{Pos: ref.Offset(270, 90), AltMeters: 60, Time: base.Add(41 * time.Second)},
+	}
+	rep, err := VerifySufficiency3D(samples, []CylinderZone{z}, vmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sufficient() {
+		t.Error("long low-altitude gap near zone should be insufficient")
+	}
+	if rep.Pairs != 3 {
+		t.Errorf("Pairs = %d, want 3", rep.Pairs)
+	}
+
+	if _, err := VerifySufficiency3D(samples[:1], []CylinderZone{z}, vmax); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v, want ErrTooFewSamples", err)
+	}
+	rev := []Sample{samples[1], samples[0]}
+	if _, err := VerifySufficiency3D(rev, []CylinderZone{z}, vmax); !errors.Is(err, ErrNotChronological) {
+		t.Errorf("err = %v, want ErrNotChronological", err)
+	}
+}

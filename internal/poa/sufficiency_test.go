@@ -1,0 +1,233 @@
+package poa
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// vmax is the FAA 100 mph bound in m/s.
+var vmax = geo.MaxDroneSpeedMPS
+
+// zoneAt builds a circular NFZ at a bearing/distance from a reference
+// point.
+func zoneAt(ref geo.LatLon, bearing, distMeters, radiusMeters float64) geo.GeoCircle {
+	return geo.GeoCircle{Center: ref.Offset(bearing, distMeters), R: radiusMeters}
+}
+
+func TestPairSufficientFarZone(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	// Two samples 1 s apart, zone 10 km away with 100 m radius: the
+	// ellipse (max span ~45 m) cannot reach it.
+	s1 := Sample{Pos: ref, Time: base}
+	s2 := Sample{Pos: ref.Offset(90, 10), Time: base.Add(time.Second)}
+	z := zoneAt(ref, 0, 10000, 100)
+
+	for _, mode := range []TestMode{Conservative, Exact} {
+		if !PairSufficient(s1, s2, z, vmax, mode) {
+			t.Errorf("mode %v: far zone should be sufficient", mode)
+		}
+	}
+}
+
+func TestPairSufficientNearZone(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	// Two samples 10 s apart (travel budget 447 m) with a zone boundary
+	// only 50 m away: the drone could have detoured into the zone.
+	s1 := Sample{Pos: ref, Time: base}
+	s2 := Sample{Pos: ref.Offset(90, 30), Time: base.Add(10 * time.Second)}
+	z := zoneAt(ref, 0, 80, 30) // boundary ~50 m north
+
+	for _, mode := range []TestMode{Conservative, Exact} {
+		if PairSufficient(s1, s2, z, vmax, mode) {
+			t.Errorf("mode %v: reachable zone should be insufficient", mode)
+		}
+	}
+}
+
+func TestPairSufficientSampleInsideZone(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	s1 := Sample{Pos: ref, Time: base}
+	s2 := Sample{Pos: ref.Offset(90, 10), Time: base.Add(time.Second)}
+	z := geo.GeoCircle{Center: ref, R: 50} // sample 1 is inside
+
+	for _, mode := range []TestMode{Conservative, Exact} {
+		if PairSufficient(s1, s2, z, vmax, mode) {
+			t.Errorf("mode %v: sample inside zone must be insufficient", mode)
+		}
+	}
+}
+
+// TestConservativeSoundness: whenever the conservative test accepts
+// (sufficient), the exact test must accept as well.
+func TestConservativeSoundness(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 1500; i++ {
+		s1 := Sample{Pos: ref.Offset(rng.Float64()*360, rng.Float64()*2000), Time: base}
+		s2 := Sample{
+			Pos:  s1.Pos.Offset(rng.Float64()*360, rng.Float64()*300),
+			Time: base.Add(time.Duration(rng.Float64()*20*float64(time.Second)) + time.Millisecond),
+		}
+		z := zoneAt(ref, rng.Float64()*360, rng.Float64()*3000, rng.Float64()*500+1)
+
+		cons := PairSufficient(s1, s2, z, vmax, Conservative)
+		exact := PairSufficient(s1, s2, z, vmax, Exact)
+		if cons && !exact {
+			t.Fatalf("conservative sufficient but exact insufficient:\n s1=%+v\n s2=%+v\n z=%+v", s1, s2, z)
+		}
+	}
+}
+
+func TestVerifySufficiencyCleanTrace(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	z := zoneAt(ref, 0, 5000, 100)
+
+	// 1 Hz trace moving east at 20 m/s, zone 5 km north: always
+	// sufficient (D1+D2 ~ 9.8 km > 44.7 m budget).
+	samples := make([]Sample, 60)
+	for i := range samples {
+		samples[i] = Sample{
+			Pos:  ref.Offset(90, float64(i)*20),
+			Time: base.Add(time.Duration(i) * time.Second),
+		}
+	}
+	rep, err := VerifySufficiency(samples, []geo.GeoCircle{z}, vmax, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sufficient() {
+		t.Errorf("clean trace reported insufficient: %+v", rep.Insufficiencies)
+	}
+	if rep.Pairs != 59 {
+		t.Errorf("Pairs = %d, want 59", rep.Pairs)
+	}
+}
+
+func TestVerifySufficiencySparseTraceNearZone(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	z := zoneAt(ref, 0, 100, 30)
+
+	// 30 s between samples right next to the zone: budget 1341 m, zone
+	// boundary 70 m away — insufficient.
+	samples := []Sample{
+		{Pos: ref, Time: base},
+		{Pos: ref.Offset(90, 200), Time: base.Add(30 * time.Second)},
+		{Pos: ref.Offset(90, 400), Time: base.Add(60 * time.Second)},
+	}
+	rep, err := VerifySufficiency(samples, []geo.GeoCircle{z}, vmax, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sufficient() {
+		t.Error("sparse trace near zone should be insufficient")
+	}
+	if got := rep.InsufficientPairs(); got == 0 {
+		t.Error("expected at least one insufficient pair")
+	}
+}
+
+func TestVerifySufficiencyMultiZoneIndices(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	far := zoneAt(ref, 0, 20000, 100)
+	near := zoneAt(ref, 0, 60, 30)
+
+	samples := []Sample{
+		{Pos: ref, Time: base},
+		{Pos: ref.Offset(90, 100), Time: base.Add(20 * time.Second)},
+	}
+	rep, err := VerifySufficiency(samples, []geo.GeoCircle{far, near}, vmax, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Insufficiencies) != 1 {
+		t.Fatalf("Insufficiencies = %+v, want exactly one", rep.Insufficiencies)
+	}
+	if rep.Insufficiencies[0].ZoneIndex != 1 {
+		t.Errorf("ZoneIndex = %d, want 1 (the near zone)", rep.Insufficiencies[0].ZoneIndex)
+	}
+	if rep.InsufficientPairs() != 1 {
+		t.Errorf("InsufficientPairs = %d, want 1", rep.InsufficientPairs())
+	}
+}
+
+func TestVerifySufficiencyErrors(t *testing.T) {
+	ref := geo.LatLon{Lat: 40, Lon: -88}
+	one := []Sample{{Pos: ref, Time: base}}
+	if _, err := VerifySufficiency(one, nil, vmax, Conservative); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v, want ErrTooFewSamples", err)
+	}
+
+	bad := []Sample{{Pos: ref, Time: base.Add(time.Second)}, {Pos: ref, Time: base}}
+	if _, err := VerifySufficiency(bad, nil, vmax, Conservative); !errors.Is(err, ErrNotChronological) {
+		t.Errorf("err = %v, want ErrNotChronological", err)
+	}
+}
+
+func TestCountInsufficient(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	z := zoneAt(ref, 0, 100, 30)
+
+	samples := []Sample{
+		{Pos: ref, Time: base},                                      // pair 0: 1 s gap, ok? D1+D2 ~140 vs 44.7 -> fine
+		{Pos: ref.Offset(90, 10), Time: base.Add(time.Second)},      //
+		{Pos: ref.Offset(90, 20), Time: base.Add(31 * time.Second)}, // pair 1: 30 s gap -> insufficient
+		{Pos: ref.Offset(90, 30), Time: base.Add(32 * time.Second)}, // pair 2: 1 s gap -> fine
+	}
+	counts := CountInsufficient(samples, []geo.GeoCircle{z}, vmax)
+	want := []int{0, 1, 1}
+	if len(counts) != len(want) {
+		t.Fatalf("len(counts) = %d, want %d", len(counts), len(want))
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+
+	if got := CountInsufficient(samples[:1], []geo.GeoCircle{z}, vmax); got != nil {
+		t.Errorf("single-sample count = %v, want nil", got)
+	}
+}
+
+func TestCountInsufficientNoZones(t *testing.T) {
+	samples := []Sample{
+		{Pos: geo.LatLon{Lat: 40, Lon: -88}, Time: base},
+		{Pos: geo.LatLon{Lat: 40, Lon: -88.001}, Time: base.Add(time.Hour)},
+	}
+	counts := CountInsufficient(samples, nil, vmax)
+	if counts[len(counts)-1] != 0 {
+		t.Error("no zones should never be insufficient")
+	}
+}
+
+func TestSpeedFeasible(t *testing.T) {
+	ref := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	ok := []Sample{
+		{Pos: ref, Time: base},
+		{Pos: ref.Offset(90, 40), Time: base.Add(time.Second)}, // 40 m/s < 44.7
+	}
+	if err := SpeedFeasible(ok, vmax); err != nil {
+		t.Errorf("feasible trace rejected: %v", err)
+	}
+
+	tooFast := []Sample{
+		{Pos: ref, Time: base},
+		{Pos: ref.Offset(90, 100), Time: base.Add(time.Second)}, // 100 m/s
+	}
+	if err := SpeedFeasible(tooFast, vmax); err == nil {
+		t.Error("infeasible trace accepted")
+	}
+}
+
+func TestTestModeString(t *testing.T) {
+	if Conservative.String() != "conservative" || Exact.String() != "exact" {
+		t.Error("TestMode String broken")
+	}
+	if TestMode(99).String() == "" {
+		t.Error("unknown mode should still render")
+	}
+}

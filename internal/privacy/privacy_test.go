@@ -1,0 +1,235 @@
+package privacy
+
+import (
+	"bytes"
+	"crypto/rsa"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/poa"
+	"repro/internal/sigcrypto"
+)
+
+var (
+	t0     = time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+	urbana = geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+)
+
+// buildSignedPoA creates a TEE-signed straight-line PoA for tests.
+func buildSignedPoA(t *testing.T, n int, gap time.Duration) (poa.PoA, *rsa.PrivateKey) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	key, err := sigcrypto.GenerateKeyPair(rng, sigcrypto.KeySize1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p poa.PoA
+	for i := 0; i < n; i++ {
+		s := poa.Sample{
+			Pos:  urbana.Offset(90, 10*float64(i)*gap.Seconds()),
+			Time: t0.Add(time.Duration(i) * gap),
+		}.Canon()
+		sig, err := sigcrypto.Sign(key, s.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Append(poa.SignedSample{Sample: s, Sig: sig})
+	}
+	return p, key
+}
+
+func TestSealProducesDistinctKeysAndCiphertexts(t *testing.T) {
+	p, _ := buildSignedPoA(t, 10, time.Second)
+	rng := rand.New(rand.NewSource(2))
+	sealed, ring, err := Seal(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed.Entries) != 10 || ring.Len() != 10 {
+		t.Fatalf("entries=%d keys=%d", len(sealed.Entries), ring.Len())
+	}
+
+	for i := 0; i < ring.Len(); i++ {
+		ki, err := ring.Reveal(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := i + 1; j < ring.Len(); j++ {
+			kj, _ := ring.Reveal(j)
+			if bytes.Equal(ki, kj) {
+				t.Fatalf("keys %d and %d are equal", i, j)
+			}
+		}
+	}
+	// Timestamps are public and preserved in order.
+	for i, e := range sealed.Entries {
+		if !e.Time.Equal(p.Samples[i].Sample.Time) {
+			t.Errorf("entry %d time mismatch", i)
+		}
+	}
+}
+
+func TestRevealRange(t *testing.T) {
+	p, _ := buildSignedPoA(t, 3, time.Second)
+	_, ring, err := Seal(p, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ring.Reveal(-1); !errors.Is(err, ErrKeyIndex) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := ring.Reveal(3); !errors.Is(err, ErrKeyIndex) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOpenRoundTripAndTamperDetection(t *testing.T) {
+	p, _ := buildSignedPoA(t, 5, time.Second)
+	sealed, ring, err := Seal(p, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k2, _ := ring.Reveal(2)
+	s, err := Open(sealed.Entries[2], k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != p.Samples[2].Sample {
+		t.Errorf("opened sample mismatch: %+v vs %+v", s, p.Samples[2].Sample)
+	}
+
+	// Wrong key fails.
+	k1, _ := ring.Reveal(1)
+	if _, err := Open(sealed.Entries[2], k1); !errors.Is(err, ErrBadKey) {
+		t.Errorf("wrong key err = %v, want ErrBadKey", err)
+	}
+
+	// Tampered ciphertext fails GCM.
+	bad := sealed.Entries[2]
+	bad.Ciphertext = append([]byte(nil), bad.Ciphertext...)
+	bad.Ciphertext[0] ^= 1
+	if _, err := Open(bad, k2); !errors.Is(err, ErrBadKey) {
+		t.Errorf("tampered err = %v, want ErrBadKey", err)
+	}
+
+	// Lying about the public timestamp is caught.
+	lied := sealed.Entries[2]
+	lied.Time = lied.Time.Add(time.Hour)
+	if _, err := Open(lied, k2); !errors.Is(err, ErrTimeMismatch) {
+		t.Errorf("time-lie err = %v, want ErrTimeMismatch", err)
+	}
+}
+
+func TestFindPair(t *testing.T) {
+	p, _ := buildSignedPoA(t, 5, 10*time.Second) // samples at 0,10,...,40 s
+	sealed, _, err := Seal(p, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		at      time.Duration
+		want    int
+		wantErr error
+	}{
+		{15 * time.Second, 1, nil},
+		{0, 0, nil},
+		{40 * time.Second, 3, nil},
+		{-time.Second, 0, ErrNoPairCovers},
+		{41 * time.Second, 0, ErrNoPairCovers},
+	}
+	for _, tt := range tests {
+		got, err := FindPair(sealed, t0.Add(tt.at))
+		if tt.wantErr != nil {
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("FindPair(%v) err = %v, want %v", tt.at, err, tt.wantErr)
+			}
+			continue
+		}
+		if err != nil || got != tt.want {
+			t.Errorf("FindPair(%v) = %d, %v; want %d", tt.at, got, err, tt.want)
+		}
+	}
+}
+
+func TestJudgeAccusationCompliant(t *testing.T) {
+	p, kh := buildSignedPoA(t, 20, time.Second)
+	sealed, ring, err := Seal(p, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zone 5 km away: the 1 s pairs prove alibi.
+	z := geo.GeoCircle{Center: urbana.Offset(0, 5000), R: 100}
+	i, err := FindPair(sealed, t0.Add(7500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, _ := ring.Reveal(i)
+	k2, _ := ring.Reveal(i + 1)
+	ok, err := JudgeAccusation(sealed.Entries[i], sealed.Entries[i+1], k1, k2,
+		&kh.PublicKey, z, geo.MaxDroneSpeedMPS, poa.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("far zone accusation should be exonerated")
+	}
+}
+
+func TestJudgeAccusationCannotExonerate(t *testing.T) {
+	// 60 s gaps next to a close zone: the pair cannot rule out presence.
+	p, kh := buildSignedPoA(t, 3, 60*time.Second)
+	sealed, ring, err := Seal(p, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := geo.GeoCircle{Center: urbana.Offset(0, 200), R: 50}
+	k1, _ := ring.Reveal(0)
+	k2, _ := ring.Reveal(1)
+	ok, err := JudgeAccusation(sealed.Entries[0], sealed.Entries[1], k1, k2,
+		&kh.PublicKey, z, geo.MaxDroneSpeedMPS, poa.Exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("close zone with sparse samples should not be exonerated")
+	}
+}
+
+func TestJudgeAccusationRejectsForgedSignature(t *testing.T) {
+	p, _ := buildSignedPoA(t, 5, time.Second)
+	// Replace signatures with ones from a different key (forgery).
+	otherKey, err := sigcrypto.GenerateKeyPair(rand.New(rand.NewSource(8)), sigcrypto.KeySize1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Samples {
+		sig, err := sigcrypto.Sign(otherKey, p.Samples[i].Sample.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Samples[i].Sig = sig
+	}
+	sealed, ring, err := Seal(p, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Judge against the *registered* TEE key (not the forger's): fails.
+	realKey, err := sigcrypto.GenerateKeyPair(rand.New(rand.NewSource(10)), sigcrypto.KeySize1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := geo.GeoCircle{Center: urbana.Offset(0, 5000), R: 100}
+	k1, _ := ring.Reveal(0)
+	k2, _ := ring.Reveal(1)
+	if _, err := JudgeAccusation(sealed.Entries[0], sealed.Entries[1], k1, k2,
+		&realKey.PublicKey, z, geo.MaxDroneSpeedMPS, poa.Exact); err == nil {
+		t.Error("forged signatures accepted")
+	}
+}

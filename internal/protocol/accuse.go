@@ -1,0 +1,16 @@
+package protocol
+
+import "time"
+
+// AccusationRequest is a Zone Owner's incident report (paper §III-A): she
+// spotted the drone's visible identifier near her property and reports
+// (zone, drone, time) to the Auditor, who checks the retained
+// Proof-of-Alibi.
+type AccusationRequest struct {
+	DroneID string    `json:"droneId"`
+	ZoneID  string    `json:"zoneId"`
+	At      time.Time `json:"at"`
+}
+
+// PathAccuse is the accusation endpoint.
+const PathAccuse = "/v1/accuse"

@@ -1,0 +1,37 @@
+package protocol
+
+// API is the Auditor-side protocol surface. The in-process auditor.Server
+// implements it directly; auditor.Handler exposes it over HTTP and
+// operator.HTTPAuditor consumes that — so drone-side code is transport
+// agnostic.
+type API interface {
+	RegisterDrone(RegisterDroneRequest) (RegisterDroneResponse, error)
+	RegisterZone(RegisterZoneRequest) (RegisterZoneResponse, error)
+	ZoneQuery(ZoneQueryRequest) (ZoneQueryResponse, error)
+	SubmitPoA(SubmitPoARequest) (SubmitPoAResponse, error)
+}
+
+// Endpoint paths of the HTTP transport.
+const (
+	PathRegisterDrone = "/v1/register-drone"
+	PathRegisterZone  = "/v1/register-zone"
+	PathZoneQuery     = "/v1/zone-query"
+	PathSubmitPoA     = "/v1/submit-poa"
+	PathAuditorPub    = "/v1/auditor-pub"
+	// PathPublicZones is the unauthenticated B4UFLY-style lookup: anyone
+	// may ask which no-fly zones are near a point (the FAA publishes the
+	// same information through its mobile app, which the paper cites).
+	PathPublicZones = "/v1/zones"
+	// PathStatus is the operational status endpoint.
+	PathStatus = "/v1/status"
+)
+
+// StatusResponse summarises the Auditor's operational state.
+type StatusResponse struct {
+	Drones       int `json:"drones"`
+	Zones        int `json:"zones"`
+	Zones3D      int `json:"zones3d"`
+	RetainedPoAs int `json:"retainedPoAs"`
+	OpenStreams  int `json:"openStreams"`
+	Sessions     int `json:"sessions"`
+}

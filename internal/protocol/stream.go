@@ -1,0 +1,52 @@
+package protocol
+
+import "repro/internal/poa"
+
+// Real-time auditing (paper §IV-B task 4 note): instead of persisting the
+// PoA and submitting after landing, the drone may transmit each signed
+// sample as it is taken, letting the Auditor detect violations while the
+// flight is still in the air. The paper does not pursue this mode for
+// battery reasons; it is implemented here as the protocol's streaming
+// variant.
+
+// OpenStreamRequest starts a real-time audit stream for a flight.
+type OpenStreamRequest struct {
+	DroneID string `json:"droneId"`
+}
+
+// OpenStreamResponse returns the stream handle.
+type OpenStreamResponse struct {
+	StreamID string `json:"streamId"`
+}
+
+// StreamSampleRequest pushes one signed sample into the stream.
+type StreamSampleRequest struct {
+	StreamID string           `json:"streamId"`
+	Sample   poa.SignedSample `json:"sample"`
+}
+
+// StreamSampleResponse reports the online verdict so far: a violation is
+// flagged the moment the incremental check fails.
+type StreamSampleResponse struct {
+	Verdict Verdict `json:"verdict"`
+	Reason  string  `json:"reason,omitempty"`
+}
+
+// CloseStreamRequest ends the flight's stream.
+type CloseStreamRequest struct {
+	StreamID string `json:"streamId"`
+}
+
+// Streaming endpoint paths.
+const (
+	PathStreamOpen   = "/v1/stream/open"
+	PathStreamSample = "/v1/stream/sample"
+	PathStreamClose  = "/v1/stream/close"
+)
+
+// StreamAPI is the Auditor's real-time surface.
+type StreamAPI interface {
+	OpenStream(OpenStreamRequest) (OpenStreamResponse, error)
+	StreamSample(StreamSampleRequest) (StreamSampleResponse, error)
+	CloseStream(CloseStreamRequest) (SubmitPoAResponse, error)
+}

@@ -1,0 +1,98 @@
+package sigcrypto
+
+import (
+	"crypto"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha1"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"io"
+)
+
+// Sign produces an RSASSA-PKCS1-v1.5/SHA-1 signature over msg — the
+// paper's TEE_ALG_RSASSA_PKCS1_V1_5_SHA1.
+func Sign(key *rsa.PrivateKey, msg []byte) ([]byte, error) {
+	digest := sha1.Sum(msg)
+	sig, err := rsa.SignPKCS1v15(nil, key, crypto.SHA1, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("sign: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify checks an RSASSA-PKCS1-v1.5/SHA-1 signature. It returns
+// ErrBadSignature on mismatch.
+func Verify(pub *rsa.PublicKey, msg, sig []byte) error {
+	digest := sha1.Sum(msg)
+	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA1, digest[:], sig); err != nil {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// Encrypt encrypts msg to the recipient public key using RSAES-PKCS1-v1.5,
+// the algorithm the Adapter uses on Proof-of-Alibi records before they
+// leave the drone. Messages longer than the RSA block are split into
+// maximal chunks, each encrypted independently (the per-sample PoA records
+// are small, so in practice one block suffices).
+func Encrypt(random io.Reader, pub *rsa.PublicKey, msg []byte) ([]byte, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	maxChunk := pub.Size() - 11 // PKCS#1 v1.5 padding overhead
+	if maxChunk <= 0 {
+		return nil, fmt.Errorf("encrypt: key too small (%d bytes)", pub.Size())
+	}
+	out := make([]byte, 0, ((len(msg)/maxChunk)+1)*pub.Size())
+	for len(msg) > 0 {
+		n := len(msg)
+		if n > maxChunk {
+			n = maxChunk
+		}
+		block, err := rsa.EncryptPKCS1v15(random, pub, msg[:n])
+		if err != nil {
+			return nil, fmt.Errorf("encrypt: %w", err)
+		}
+		out = append(out, block...)
+		msg = msg[n:]
+	}
+	return out, nil
+}
+
+// Decrypt reverses Encrypt with the recipient private key.
+func Decrypt(key *rsa.PrivateKey, ct []byte) ([]byte, error) {
+	block := key.Size()
+	if len(ct)%block != 0 {
+		return nil, fmt.Errorf("decrypt: ciphertext length %d not a multiple of %d", len(ct), block)
+	}
+	var out []byte
+	for off := 0; off < len(ct); off += block {
+		pt, err := rsa.DecryptPKCS1v15(nil, key, ct[off:off+block])
+		if err != nil {
+			return nil, fmt.Errorf("decrypt: %w", err)
+		}
+		out = append(out, pt...)
+	}
+	return out, nil
+}
+
+// MAC computes an HMAC-SHA256 tag over msg — the symmetric alternative to
+// per-sample RSA signatures sketched in the paper's §VII-A1a, where the
+// drone TEE and Auditor establish an ephemeral session key before flight.
+func MAC(key, msg []byte) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(msg)
+	return m.Sum(nil)
+}
+
+// VerifyMAC checks an HMAC-SHA256 tag in constant time.
+func VerifyMAC(key, msg, tag []byte) error {
+	want := MAC(key, msg)
+	if subtle.ConstantTimeCompare(want, tag) != 1 {
+		return ErrBadSignature
+	}
+	return nil
+}

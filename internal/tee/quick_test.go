@@ -1,0 +1,63 @@
+package tee
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickSegmentsRoundTrip: DecodeSegments inverts encodeSegments for
+// any byte-slice list.
+func TestQuickSegmentsRoundTrip(t *testing.T) {
+	fn := func(segs [][]byte) bool {
+		encoded := encodeSegments(segs...)
+		decoded, err := DecodeSegments(encoded)
+		if err != nil {
+			return false
+		}
+		if len(decoded) != len(segs) {
+			// nil-slice lists decode to nil; treat empty as equal.
+			return len(segs) == 0 && len(decoded) == 0
+		}
+		for i := range segs {
+			if !bytes.Equal(decoded[i], segs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSegmentsRejectTruncation: removing trailing bytes from a valid
+// encoding either still decodes to a prefix (when cut exactly on a
+// boundary) or errors — it never fabricates data.
+func TestQuickSegmentsRejectTruncation(t *testing.T) {
+	fn := func(a, b []byte, cut uint8) bool {
+		encoded := encodeSegments(a, b)
+		if len(encoded) == 0 {
+			return true
+		}
+		n := int(cut) % len(encoded)
+		decoded, err := DecodeSegments(encoded[:n])
+		if err != nil {
+			return true
+		}
+		// A successful decode must reproduce only genuine prefixes.
+		switch len(decoded) {
+		case 0:
+			return n == 0
+		case 1:
+			return bytes.Equal(decoded[0], a)
+		case 2:
+			return bytes.Equal(decoded[0], a) && bytes.Equal(decoded[1], b)
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,44 @@
+package tee
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"io"
+
+	"repro/internal/sigcrypto"
+)
+
+// KeyVault holds the device's TEE keypair T = (T+, T-). The private key is
+// an unexported field: only code in this package (the trusted applications)
+// can reach it, modelling TrustZone's hardware isolation. The normal world
+// sees only Sign results and the public verification key.
+type KeyVault struct {
+	signKey *rsa.PrivateKey
+}
+
+// ManufactureVault generates the TEE keypair, as done by the hardware
+// manufacturer before the device is merchandised (paper §IV-B step 0).
+func ManufactureVault(random io.Reader, bits int) (*KeyVault, error) {
+	key, err := sigcrypto.GenerateKeyPair(random, bits)
+	if err != nil {
+		return nil, fmt.Errorf("manufacture vault: %w", err)
+	}
+	return &KeyVault{signKey: key}, nil
+}
+
+// PublicKey returns the verification key T+, which the manufacturer
+// discloses to the device owner for registration with the Auditor.
+func (v *KeyVault) PublicKey() *rsa.PublicKey { return &v.signKey.PublicKey }
+
+// KeyBits returns the modulus size of the sign key (Table II sweeps this).
+func (v *KeyVault) KeyBits() int { return v.signKey.N.BitLen() }
+
+// sign computes the TEE signature over msg. Unexported: callable only from
+// trusted applications within this package.
+func (v *KeyVault) sign(msg []byte) ([]byte, error) {
+	sig, err := sigcrypto.Sign(v.signKey, msg)
+	if err != nil {
+		return nil, fmt.Errorf("vault sign: %w", err)
+	}
+	return sig, nil
+}

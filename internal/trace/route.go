@@ -1,0 +1,152 @@
+// Package trace generates the flight/drive trajectories used by the
+// evaluation: generic waypoint routes plus faithful reconstructions of the
+// paper's two field studies (the airport drive-away and the residential
+// drive-through). The paper recorded real GPS traces from a car and
+// replayed them into the GPS Sampler; we generate equivalent trajectories
+// from the parameters the paper reports and replay them through the same
+// receiver → driver → sampler path.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/gps"
+)
+
+var (
+	// ErrTooFewWaypoints is returned when a route has fewer than two
+	// waypoints.
+	ErrTooFewWaypoints = errors.New("trace: route needs at least two waypoints")
+	// ErrNotChronological is returned when waypoints are not strictly
+	// time ordered.
+	ErrNotChronological = errors.New("trace: waypoints not in increasing time order")
+)
+
+// Waypoint is one vertex of a route.
+type Waypoint struct {
+	Pos       geo.LatLon `json:"pos"`
+	AltMeters float64    `json:"altMeters"`
+	Time      time.Time  `json:"time"`
+}
+
+// Route is a piecewise-linear trajectory through waypoints. It implements
+// gps.Path by interpolating position, altitude, speed and course.
+type Route struct {
+	wps []Waypoint
+}
+
+var _ gps.Path = (*Route)(nil)
+
+// NewRoute validates and wraps a waypoint series.
+func NewRoute(wps []Waypoint) (*Route, error) {
+	if len(wps) < 2 {
+		return nil, ErrTooFewWaypoints
+	}
+	for i := 1; i < len(wps); i++ {
+		if !wps[i].Time.After(wps[i-1].Time) {
+			return nil, fmt.Errorf("%w: waypoint %d", ErrNotChronological, i)
+		}
+	}
+	cp := make([]Waypoint, len(wps))
+	copy(cp, wps)
+	return &Route{wps: cp}, nil
+}
+
+// Start implements gps.Path.
+func (r *Route) Start() time.Time { return r.wps[0].Time }
+
+// End implements gps.Path.
+func (r *Route) End() time.Time { return r.wps[len(r.wps)-1].Time }
+
+// Duration is the total route time.
+func (r *Route) Duration() time.Duration { return r.End().Sub(r.Start()) }
+
+// Waypoints returns a copy of the route's waypoints.
+func (r *Route) Waypoints() []Waypoint {
+	cp := make([]Waypoint, len(r.wps))
+	copy(cp, r.wps)
+	return cp
+}
+
+// LengthMeters returns the total path length.
+func (r *Route) LengthMeters() float64 {
+	var total float64
+	for i := 1; i < len(r.wps); i++ {
+		total += geo.HaversineMeters(r.wps[i-1].Pos, r.wps[i].Pos)
+	}
+	return total
+}
+
+// Position implements gps.Path by linear interpolation along the segment
+// containing the queried instant, clamped to the route's time range.
+func (r *Route) Position(at time.Time) gps.Fix {
+	if !at.After(r.Start()) {
+		return r.fixOnSegment(0, 0)
+	}
+	if !at.Before(r.End()) {
+		last := len(r.wps) - 2
+		return r.fixOnSegment(last, 1)
+	}
+
+	// Binary search for the segment with wps[i].Time <= at < wps[i+1].Time.
+	lo, hi := 0, len(r.wps)-2
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.wps[mid].Time.After(at) {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	seg := lo
+	segDur := r.wps[seg+1].Time.Sub(r.wps[seg].Time).Seconds()
+	frac := at.Sub(r.wps[seg].Time).Seconds() / segDur
+	fix := r.fixOnSegment(seg, frac)
+	fix.Time = at
+	return fix
+}
+
+// fixOnSegment interpolates the fix at fraction frac in [0,1] of segment i.
+func (r *Route) fixOnSegment(i int, frac float64) gps.Fix {
+	a, b := r.wps[i], r.wps[i+1]
+	dist := geo.HaversineMeters(a.Pos, b.Pos)
+	bearing := geo.InitialBearing(a.Pos, b.Pos)
+	segSec := b.Time.Sub(a.Time).Seconds()
+
+	var speed float64
+	if segSec > 0 {
+		speed = dist / segSec
+	}
+	pos := a.Pos
+	if dist > 0 {
+		pos = a.Pos.Offset(bearing, dist*frac)
+	}
+	return gps.Fix{
+		Pos:       pos,
+		AltMeters: a.AltMeters + (b.AltMeters-a.AltMeters)*frac,
+		SpeedMS:   speed,
+		CourseDeg: bearing,
+		Time:      a.Time.Add(time.Duration(frac * segSec * float64(time.Second))),
+	}
+}
+
+// ConstantSpeedLine builds a straight route from start along bearing at the
+// given speed for the given duration.
+func ConstantSpeedLine(start geo.LatLon, bearingDeg, speedMS float64, t0 time.Time, dur time.Duration) (*Route, error) {
+	// One intermediate waypoint per ~10 s keeps spherical interpolation
+	// indistinguishable from true constant motion at scenario scales.
+	steps := int(dur.Seconds()/10) + 1
+	wps := make([]Waypoint, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		frac := float64(i) / float64(steps)
+		dt := time.Duration(frac * float64(dur))
+		wps = append(wps, Waypoint{
+			Pos:  start.Offset(bearingDeg, speedMS*dur.Seconds()*frac),
+			Time: t0.Add(dt),
+		})
+	}
+	return NewRoute(wps)
+}

@@ -1,0 +1,130 @@
+package zone
+
+import (
+	"math"
+
+	"repro/internal/geo"
+)
+
+// Index is a uniform-grid spatial index over a fixed zone set, built once
+// per flight from the zone query response. The Adapter calls Nearest once
+// per GPS update (up to 5 Hz), so lookup cost matters when a residential
+// area holds hundreds of zones; the grid turns the O(n) scan into a ring
+// search over a handful of cells.
+type Index struct {
+	zones    []geo.GeoCircle
+	pr       *geo.Projection
+	cellSize float64
+	cells    map[[2]int][]int // cell coordinate -> zone indices
+	maxR     float64
+	// local caches the projected centres so queries do not re-project.
+	local []geo.Point
+}
+
+// DefaultCellSizeMeters is a reasonable grid pitch for residential zone
+// densities (tens of metres between houses).
+const DefaultCellSizeMeters = 200
+
+// NewIndex builds a grid index over the zones. cellSizeMeters <= 0 selects
+// the default pitch.
+func NewIndex(zones []geo.GeoCircle, cellSizeMeters float64) *Index {
+	if cellSizeMeters <= 0 {
+		cellSizeMeters = DefaultCellSizeMeters
+	}
+	idx := &Index{
+		zones:    append([]geo.GeoCircle(nil), zones...),
+		cellSize: cellSizeMeters,
+		cells:    make(map[[2]int][]int),
+	}
+	if len(zones) == 0 {
+		return idx
+	}
+
+	// Project around the centroid of the zone centres.
+	var lat, lon float64
+	for _, z := range zones {
+		lat += z.Center.Lat
+		lon += z.Center.Lon
+	}
+	idx.pr = geo.NewProjection(geo.LatLon{Lat: lat / float64(len(zones)), Lon: lon / float64(len(zones))})
+
+	idx.local = make([]geo.Point, len(zones))
+	for i, z := range zones {
+		p := idx.pr.ToLocal(z.Center)
+		idx.local[i] = p
+		c := idx.cellOf(p)
+		idx.cells[c] = append(idx.cells[c], i)
+		if z.R > idx.maxR {
+			idx.maxR = z.R
+		}
+	}
+	return idx
+}
+
+// Len returns the number of indexed zones.
+func (idx *Index) Len() int { return len(idx.zones) }
+
+// Zones returns the indexed zone geometry (shared, do not mutate).
+func (idx *Index) Zones() []geo.GeoCircle { return idx.zones }
+
+func (idx *Index) cellOf(p geo.Point) [2]int {
+	return [2]int{int(math.Floor(p.X / idx.cellSize)), int(math.Floor(p.Y / idx.cellSize))}
+}
+
+// Nearest returns the index of the zone whose boundary is closest to p and
+// that signed boundary distance. It expands square rings of cells outward
+// until no unexplored ring can possibly contain a closer boundary.
+func (idx *Index) Nearest(p geo.LatLon) (int, float64, error) {
+	if len(idx.zones) == 0 {
+		return 0, 0, ErrNoZones
+	}
+	lp := idx.pr.ToLocal(p)
+	center := idx.cellOf(lp)
+
+	bestIdx, bestDist := -1, math.Inf(1)
+	consider := func(zi int) {
+		// Planar distance is accurate at ring-search scale; recompute the
+		// final answer with haversine below for exactness.
+		d := idx.local[zi].Dist(lp) - idx.zones[zi].R
+		if d < bestDist {
+			bestIdx, bestDist = zi, d
+		}
+	}
+
+	for ring := 0; ; ring++ {
+		// Lower bound on centre distance for cells in this ring.
+		ringMin := float64(ring-1) * idx.cellSize
+		if ring == 0 {
+			ringMin = 0
+		}
+		if bestIdx >= 0 && ringMin-idx.maxR > bestDist {
+			break
+		}
+		if float64(ring)*idx.cellSize > 1e7 { // paranoia bound: ~Earth scale
+			break
+		}
+		for _, c := range ringCells(center, ring) {
+			for _, zi := range idx.cells[c] {
+				consider(zi)
+			}
+		}
+	}
+
+	// Refine with the geodesic distance for the reported value.
+	return bestIdx, idx.zones[bestIdx].BoundaryDistMeters(p), nil
+}
+
+// ringCells enumerates the cells forming square ring r around c.
+func ringCells(c [2]int, r int) [][2]int {
+	if r == 0 {
+		return [][2]int{c}
+	}
+	out := make([][2]int, 0, 8*r)
+	for dx := -r; dx <= r; dx++ {
+		out = append(out, [2]int{c[0] + dx, c[1] - r}, [2]int{c[0] + dx, c[1] + r})
+	}
+	for dy := -r + 1; dy <= r-1; dy++ {
+		out = append(out, [2]int{c[0] - r, c[1] + dy}, [2]int{c[0] + r, c[1] + dy})
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package zone
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/trace"
+)
+
+var (
+	urbana = geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	t0     = time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+)
+
+func TestRegistryRegisterAndGet(t *testing.T) {
+	r := NewRegistry()
+	id, err := r.Register("alice", geo.GeoCircle{Center: urbana, R: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, ok := r.Get(id)
+	if !ok {
+		t.Fatal("registered zone not found")
+	}
+	if z.Owner != "alice" || z.Circle.R != 100 {
+		t.Errorf("zone = %+v", z)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if _, ok := r.Get("zone-9999"); ok {
+		t.Error("missing zone found")
+	}
+}
+
+func TestRegistryRejectsInvalid(t *testing.T) {
+	r := NewRegistry()
+	bad := []geo.GeoCircle{
+		{Center: urbana, R: 0},
+		{Center: urbana, R: -5},
+		{Center: geo.LatLon{Lat: 91, Lon: 0}, R: 10},
+	}
+	for _, c := range bad {
+		if _, err := r.Register("x", c); !errors.Is(err, ErrInvalidZone) {
+			t.Errorf("Register(%+v) err = %v, want ErrInvalidZone", c, err)
+		}
+	}
+}
+
+func TestRegistryIDsUniqueAndOrdered(t *testing.T) {
+	r := NewRegistry()
+	seen := make(map[string]bool)
+	for i := 0; i < 50; i++ {
+		id, err := r.Register("o", geo.GeoCircle{Center: urbana.Offset(float64(i), 100), R: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+	all := r.All()
+	if len(all) != 50 {
+		t.Fatalf("All() returned %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatal("All() not in registration order")
+		}
+	}
+}
+
+func TestRegisterPolygon(t *testing.T) {
+	r := NewRegistry()
+	pr := geo.NewProjection(urbana)
+	pg := geo.Polygon{Vertices: []geo.Point{{X: -30, Y: -40}, {X: 30, Y: -40}, {X: 30, Y: 40}, {X: -30, Y: 40}}}
+	id, err := r.RegisterPolygon("poly-owner", pr, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, _ := r.Get(id)
+	if math.Abs(z.Circle.R-50) > 0.5 {
+		t.Errorf("polygon SEC radius = %v, want 50", z.Circle.R)
+	}
+	if d := geo.HaversineMeters(z.Circle.Center, urbana); d > 1 {
+		t.Errorf("polygon SEC centre %v m from origin", d)
+	}
+
+	if _, err := r.RegisterPolygon("x", pr, geo.Polygon{Vertices: []geo.Point{{}, {X: 1}}}); err == nil {
+		t.Error("degenerate polygon accepted")
+	}
+}
+
+func TestQueryRect(t *testing.T) {
+	r := NewRegistry()
+	inside, err := r.Register("a", geo.GeoCircle{Center: urbana, R: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centre outside the rect but the 2 km radius reaches in.
+	straddling, err := r.Register("b", geo.GeoCircle{Center: urbana.Offset(0, 6000), R: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register("c", geo.GeoCircle{Center: urbana.Offset(0, 50000), R: 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	rect := geo.NewRect(urbana.Offset(225, 7000), urbana.Offset(45, 7000))
+	got := r.QueryRect(rect)
+	if len(got) != 2 {
+		t.Fatalf("QueryRect returned %d zones, want 2", len(got))
+	}
+	ids := map[string]bool{got[0].ID: true, got[1].ID: true}
+	if !ids[inside] || !ids[straddling] {
+		t.Errorf("QueryRect = %v, want {%s, %s}", ids, inside, straddling)
+	}
+
+	circles := Circles(got)
+	if len(circles) != 2 || circles[0] != got[0].Circle {
+		t.Error("Circles extraction broken")
+	}
+}
+
+func TestNearestLinear(t *testing.T) {
+	zs := []geo.GeoCircle{
+		{Center: urbana.Offset(0, 1000), R: 10},
+		{Center: urbana.Offset(90, 500), R: 400}, // boundary only 100 m away
+		{Center: urbana.Offset(180, 2000), R: 10},
+	}
+	idx, dist, err := NearestLinear(zs, urbana)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Errorf("nearest = %d, want 1 (big radius wins)", idx)
+	}
+	if math.Abs(dist-100) > 2 {
+		t.Errorf("dist = %v, want ~100", dist)
+	}
+
+	if _, _, err := NearestLinear(nil, urbana); !errors.Is(err, ErrNoZones) {
+		t.Errorf("err = %v, want ErrNoZones", err)
+	}
+}
+
+// TestIndexMatchesLinear cross-validates the grid index against the linear
+// scan on random layouts and query points.
+func TestIndexMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		zs := make([]geo.GeoCircle, n)
+		for i := range zs {
+			zs[i] = geo.GeoCircle{
+				Center: urbana.Offset(rng.Float64()*360, rng.Float64()*5000),
+				R:      1 + rng.Float64()*300,
+			}
+		}
+		idx := NewIndex(zs, 0)
+		if idx.Len() != n {
+			t.Fatalf("index Len = %d, want %d", idx.Len(), n)
+		}
+
+		for q := 0; q < 50; q++ {
+			p := urbana.Offset(rng.Float64()*360, rng.Float64()*6000)
+			li, ld, err := NearestLinear(zs, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gi, gd, err := idx.Nearest(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Ties between different zones at equal distance are legal;
+			// compare distances.
+			if math.Abs(ld-gd) > 0.5 {
+				t.Fatalf("trial %d: linear (%d, %.2f) vs grid (%d, %.2f) at %v",
+					trial, li, ld, gi, gd, p)
+			}
+		}
+	}
+}
+
+func TestIndexEmpty(t *testing.T) {
+	idx := NewIndex(nil, 0)
+	if _, _, err := idx.Nearest(urbana); !errors.Is(err, ErrNoZones) {
+		t.Errorf("err = %v, want ErrNoZones", err)
+	}
+}
+
+func TestIndexResidentialScenario(t *testing.T) {
+	sc, err := trace.NewResidentialScenario(trace.DefaultResidentialConfig(t0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewIndex(sc.Zones, 0)
+
+	// Along the whole route the index must agree with the linear scan.
+	for dt := time.Duration(0); dt <= sc.Route.Duration(); dt += 2 * time.Second {
+		p := sc.Route.Position(t0.Add(dt)).Pos
+		_, ld, err := NearestLinear(sc.Zones, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gd, err := idx.Nearest(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ld-gd) > 0.5 {
+			t.Fatalf("at %v: linear %.2f vs grid %.2f", dt, ld, gd)
+		}
+	}
+}
+
+func TestIndexSmallCells(t *testing.T) {
+	// Tiny cells force many-ring searches; results must stay correct.
+	zs := []geo.GeoCircle{
+		{Center: urbana.Offset(0, 3000), R: 20},
+		{Center: urbana.Offset(90, 200), R: 5},
+	}
+	idx := NewIndex(zs, 10)
+	gi, gd, err := idx.Nearest(urbana)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi != 1 {
+		t.Errorf("nearest = %d, want 1", gi)
+	}
+	if math.Abs(gd-195) > 2 {
+		t.Errorf("dist = %v, want ~195", gd)
+	}
+}

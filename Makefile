@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the tier-1 gate: vet + build + tests under the race detector.
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

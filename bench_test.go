@@ -17,13 +17,16 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/auditor"
 	"repro/internal/experiments"
 	"repro/internal/flightsim"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/gps"
 	"repro/internal/nmea"
 	"repro/internal/planner"
 	"repro/internal/poa"
+	"repro/internal/protocol"
 	"repro/internal/sampling"
 	"repro/internal/sigcrypto"
 	"repro/internal/tee"
@@ -427,3 +430,89 @@ func BenchmarkEncryptPoAResidential(b *testing.B) {
 
 // jsonMarshal keeps the benchmark body tidy.
 func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+// --- Observability overhead -------------------------------------------------
+
+// benchVerifySetup builds an auditor (with or without a metrics registry),
+// one registered drone and an encrypted sparse-trace PoA. The trace is
+// insufficient against the registered zone, so every submission is a
+// violation verdict — violations are not recorded for replay detection,
+// which makes the same ciphertext resubmittable b.N times while still
+// exercising all four verification stages.
+func benchVerifySetup(b *testing.B, reg *obs.Registry) (*auditor.Server, string, []byte) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	srv, err := auditor.NewServer(auditor.Config{Random: rng, Metrics: reg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opKey := benchKey(b, 1024)
+	teeKey, err := sigcrypto.GenerateKeyPair(rand.New(rand.NewSource(10)), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opPub, err := sigcrypto.MarshalPublicKey(&opKey.PublicKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	teePub, err := sigcrypto.MarshalPublicKey(&teeKey.PublicKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := srv.RegisterDrone(protocol.RegisterDroneRequest{OperatorPub: opPub, TEEPub: teePub})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	home := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	if _, err := srv.RegisterZone(protocol.RegisterZoneRequest{
+		Owner: "bench", Zone: geo.GeoCircle{Center: home.Offset(0, 60), R: 30},
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	var p poa.PoA
+	for i := 0; i < 20; i++ {
+		s := poa.Sample{
+			Pos:  home.Offset(90, 10*float64(i)*20),
+			Time: benchStart.Add(time.Duration(i) * 20 * time.Second),
+		}.Canon()
+		sig, err := sigcrypto.Sign(teeKey, s.Marshal())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Append(poa.SignedSample{Sample: s, Sig: sig})
+	}
+	plaintext, err := jsonMarshal(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := sigcrypto.Encrypt(rng, srv.EncryptionPub(), plaintext)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, resp.DroneID, ct
+}
+
+// BenchmarkVerifyPipeline measures the full submission path (decrypt →
+// signature → chronology → speed → sufficiency) with the metrics registry
+// off and on. The two sub-benchmarks quantify the observability layer's
+// overhead, which must stay in the noise (<5%) because the stage spans
+// sit on the auditor's hot path.
+func BenchmarkVerifyPipeline(b *testing.B) {
+	run := func(b *testing.B, reg *obs.Registry) {
+		srv, droneID, ct := benchVerifySetup(b, reg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: droneID, EncryptedPoA: ct})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Verdict != protocol.VerdictViolation {
+				b.Fatalf("verdict = %v, want repeatable violation", resp.Verdict)
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) { run(b, obs.NewRegistry(nil)) })
+}

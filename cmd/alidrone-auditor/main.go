@@ -6,10 +6,13 @@
 //
 //	alidrone-auditor -listen :8470 [-retention 48h] [-mode exact|conservative]
 //	                 [-state /var/lib/alidrone/state.json] [-save-every 1m]
+//	                 [-metrics=false]
 //
 // With -state, the server restores its registries and retained PoAs from
 // the file at startup (if present) and checkpoints back periodically and
-// on shutdown.
+// on shutdown. Unless -metrics=false, the server exposes Prometheus-style
+// counters on GET /metrics and a liveness probe on GET /healthz (see the
+// README "Observability" section for the metric names).
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/auditor"
+	"repro/internal/obs"
 	"repro/internal/poa"
 )
 
@@ -33,15 +37,16 @@ func main() {
 	mode := flag.String("mode", "exact", "sufficiency test: exact or conservative")
 	statePath := flag.String("state", "", "state file for persistence (empty = in-memory only)")
 	saveEvery := flag.Duration("save-every", time.Minute, "state checkpoint interval (with -state)")
+	metrics := flag.Bool("metrics", true, "serve GET /metrics and per-stage instrumentation")
 	flag.Parse()
 
-	if err := run(*listen, *retention, *mode, *statePath, *saveEvery); err != nil {
+	if err := run(*listen, *retention, *mode, *statePath, *saveEvery, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "alidrone-auditor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, retention time.Duration, mode, statePath string, saveEvery time.Duration) error {
+func run(listen string, retention time.Duration, mode, statePath string, saveEvery time.Duration, metrics bool) error {
 	var testMode poa.TestMode
 	switch mode {
 	case "exact":
@@ -53,6 +58,9 @@ func run(listen string, retention time.Duration, mode, statePath string, saveEve
 	}
 
 	cfg := auditor.Config{Mode: testMode, Retention: retention}
+	if metrics {
+		cfg.Metrics = obs.NewRegistry(nil)
+	}
 	srv, err := openServer(cfg, statePath)
 	if err != nil {
 		return err
@@ -61,21 +69,15 @@ func run(listen string, retention time.Duration, mode, statePath string, saveEve
 	// Housekeeping: purge expired PoAs and checkpoint state until stop.
 	stop := make(chan struct{})
 	done := make(chan struct{})
+	sweeper := &auditor.Sweeper{
+		Server:    srv,
+		StatePath: statePath,
+		Interval:  saveEvery,
+		Logf:      log.Printf,
+	}
 	go func() {
 		defer close(done)
-		ticker := time.NewTicker(saveEvery)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-ticker.C:
-				if n := srv.PurgeExpired(); n > 0 {
-					log.Printf("purged %d expired PoAs", n)
-				}
-				checkpoint(srv, statePath)
-			case <-stop:
-				return
-			}
-		}
+		sweeper.Run(stop)
 	}()
 
 	httpSrv := &http.Server{Addr: listen, Handler: auditor.NewHandler(srv)}

@@ -8,7 +8,12 @@
 //
 //	alidrone-drone -auditor http://localhost:8470 -scenario residential \
 //	               [-mode adaptive|fixed|batch|mac|streaming] \
-//	               [-fixed-rate 2] [-store ./flights] [-gps-rate 5]
+//	               [-fixed-rate 2] [-store ./flights] [-gps-rate 5] \
+//	               [-dump-metrics]
+//
+// With -dump-metrics, the drone-side counters (secure-world SMCs, sign
+// latency, sampler reads/auths, HTTP client retries) are printed in the
+// Prometheus text format after the mission completes.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/operator"
 	"repro/internal/sigcrypto"
 	"repro/internal/trace"
@@ -30,15 +36,16 @@ func main() {
 	fixedRate := flag.Float64("fixed-rate", 2, "sampling rate for -mode fixed (Hz)")
 	storeDir := flag.String("store", "", "directory for persisted flight records (empty = do not persist)")
 	gpsRate := flag.Float64("gps-rate", 5, "GPS receiver update rate in Hz (1-5)")
+	dumpMetrics := flag.Bool("dump-metrics", false, "print drone-side metrics after the mission")
 	flag.Parse()
 
-	if err := run(*auditorURL, *scenario, *mode, *storeDir, *fixedRate, *gpsRate); err != nil {
+	if err := run(*auditorURL, *scenario, *mode, *storeDir, *fixedRate, *gpsRate, *dumpMetrics); err != nil {
 		fmt.Fprintln(os.Stderr, "alidrone-drone:", err)
 		os.Exit(1)
 	}
 }
 
-func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64) error {
+func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64, dumpMetrics bool) error {
 	start := time.Now().UTC().Truncate(time.Second)
 
 	var sc *trace.Scenario
@@ -80,6 +87,11 @@ func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64
 
 	// Talk to the auditor and fetch its PoA-encryption key.
 	api := operator.NewHTTPAuditor(auditorURL, nil)
+	var reg *obs.Registry
+	if dumpMetrics {
+		reg = obs.NewRegistry(nil)
+		api.SetMetrics(reg)
+	}
 	auditorPub, err := api.FetchEncryptionPub()
 	if err != nil {
 		return fmt.Errorf("contact auditor at %s: %w", auditorURL, err)
@@ -94,6 +106,9 @@ func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64
 		sigcrypto.KeySize1024, nil)
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		drone.SetMetrics(reg)
 	}
 	if err := drone.Register(); err != nil {
 		return err
@@ -118,5 +133,11 @@ func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64
 		fmt.Printf(" (%s)", rep.Verdict.Reason)
 	}
 	fmt.Println()
+	if reg != nil {
+		fmt.Println("--- drone metrics ---")
+		if err := reg.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }

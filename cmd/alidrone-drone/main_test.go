@@ -29,7 +29,9 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.fixed, tt.gpsRate); err != nil {
+			// Metrics on for the first case exercises the -dump-metrics path.
+			dump := tt.mode == "adaptive"
+			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.fixed, tt.gpsRate, dump); err != nil {
 				t.Fatalf("drone run failed: %v", err)
 			}
 		})
@@ -37,10 +39,10 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run("http://localhost:1", "mars", "adaptive", "", 0, 5); err == nil {
+	if err := run("http://localhost:1", "mars", "adaptive", "", 0, 5, false); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("http://localhost:1", "airport", "warp", "", 0, 5); err == nil {
+	if err := run("http://localhost:1", "airport", "warp", "", 0, 5, false); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

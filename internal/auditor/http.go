@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
 )
@@ -26,22 +27,68 @@ var _ http.Handler = (*Handler)(nil)
 // NewHandler wraps a server.
 func NewHandler(srv *Server) *Handler {
 	h := &Handler{srv: srv, mux: http.NewServeMux()}
-	h.mux.HandleFunc(protocol.PathRegisterDrone, post(h.registerDrone))
-	h.mux.HandleFunc(protocol.PathRegisterZone, post(h.registerZone))
-	h.mux.HandleFunc(protocol.PathRegisterPolygonZone, post(h.registerPolygonZone))
-	h.mux.HandleFunc(protocol.PathZoneQuery, post(h.zoneQuery))
-	h.mux.HandleFunc(protocol.PathSubmitPoA, post(h.submitPoA))
-	h.mux.HandleFunc(protocol.PathSubmitBatchPoA, post(h.submitBatchPoA))
-	h.mux.HandleFunc(protocol.PathStartSession, post(h.startSession))
-	h.mux.HandleFunc(protocol.PathSubmitMACPoA, post(h.submitMACPoA))
-	h.mux.HandleFunc(protocol.PathAccuse, post(h.accuse))
-	h.mux.HandleFunc(protocol.PathStreamOpen, post(h.streamOpen))
-	h.mux.HandleFunc(protocol.PathStreamSample, post(h.streamSample))
-	h.mux.HandleFunc(protocol.PathStreamClose, post(h.streamClose))
-	h.mux.HandleFunc(protocol.PathAuditorPub, h.auditorPub)
-	h.mux.HandleFunc(protocol.PathPublicZones, h.publicZones)
-	h.mux.HandleFunc(protocol.PathStatus, h.status)
+	h.handle(protocol.PathRegisterDrone, post(h.registerDrone))
+	h.handle(protocol.PathRegisterZone, post(h.registerZone))
+	h.handle(protocol.PathRegisterPolygonZone, post(h.registerPolygonZone))
+	h.handle(protocol.PathZoneQuery, post(h.zoneQuery))
+	h.handle(protocol.PathSubmitPoA, post(h.submitPoA))
+	h.handle(protocol.PathSubmitBatchPoA, post(h.submitBatchPoA))
+	h.handle(protocol.PathStartSession, post(h.startSession))
+	h.handle(protocol.PathSubmitMACPoA, post(h.submitMACPoA))
+	h.handle(protocol.PathAccuse, post(h.accuse))
+	h.handle(protocol.PathStreamOpen, post(h.streamOpen))
+	h.handle(protocol.PathStreamSample, post(h.streamSample))
+	h.handle(protocol.PathStreamClose, post(h.streamClose))
+	h.handle(protocol.PathAuditorPub, h.auditorPub)
+	h.handle(protocol.PathPublicZones, h.publicZones)
+	h.handle(protocol.PathStatus, h.status)
+	h.mux.HandleFunc(PathMetrics, h.metrics)
+	h.mux.HandleFunc(PathHealthz, h.healthz)
 	return h
+}
+
+// handle registers an endpoint wrapped in the per-endpoint request
+// counter and latency histogram. The operational endpoints (/metrics,
+// /healthz) are registered bare so scrapes do not count as traffic.
+func (h *Handler) handle(path string, fn http.HandlerFunc) {
+	reg := h.srv.Metrics()
+	if reg == nil {
+		h.mux.HandleFunc(path, fn)
+		return
+	}
+	requests := reg.Counter(obs.L(MetricHTTPRequestsTotal, "path", path))
+	latency := reg.Histogram(obs.L(MetricHTTPRequestSeconds, "path", path), obs.DurationBuckets)
+	h.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		sp := reg.StartSpan(latency)
+		fn(w, r)
+		sp.End()
+	})
+}
+
+// metrics serves the Prometheus text exposition of the server registry.
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	reg := h.srv.Metrics()
+	if reg == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = reg.WriteText(w)
+}
+
+// healthz is the liveness probe: the server answers as soon as it serves.
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
 }
 
 // ServeHTTP implements http.Handler.

@@ -1,0 +1,78 @@
+package auditor
+
+import (
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// Operational endpoints served next to the protocol API.
+const (
+	// PathMetrics serves the Prometheus text exposition of the server's
+	// metrics registry.
+	PathMetrics = "/metrics"
+	// PathHealthz is the liveness probe.
+	PathHealthz = "/healthz"
+)
+
+// Metric names exported by the auditor. The per-stage series mirror the
+// paper's §V evaluation: what bench_test.go measures offline, a running
+// server reports live (see README "Observability").
+const (
+	// MetricVerifyStageSeconds is a histogram of per-stage verification
+	// latency, labelled stage=signature|chronology|speed|sufficiency.
+	MetricVerifyStageSeconds = "alidrone_auditor_verify_stage_seconds"
+	// MetricVerifyStageTotal counts stage outcomes, labelled
+	// stage=... and result=pass|fail.
+	MetricVerifyStageTotal = "alidrone_auditor_verify_stage_total"
+	// MetricSubmissionsTotal counts PoA submissions by final verdict,
+	// labelled verdict=compliant|violation.
+	MetricSubmissionsTotal = "alidrone_auditor_submissions_total"
+	// MetricRetainedPoAs gauges the current retention-store size.
+	MetricRetainedPoAs = "alidrone_auditor_retained_poas"
+	// MetricEvictedPoAsTotal counts PoAs dropped by retention expiry.
+	MetricEvictedPoAsTotal = "alidrone_auditor_evicted_poas_total"
+	// MetricHTTPRequestsTotal counts requests per endpoint, labelled
+	// path=<endpoint path>.
+	MetricHTTPRequestsTotal = "alidrone_auditor_http_requests_total"
+	// MetricHTTPRequestSeconds is the per-endpoint latency histogram,
+	// labelled path=<endpoint path>.
+	MetricHTTPRequestSeconds = "alidrone_auditor_http_request_seconds"
+)
+
+// Verification pipeline stage labels, in pipeline order.
+const (
+	StageSignature   = "signature"
+	StageChronology  = "chronology"
+	StageSpeed       = "speed"
+	StageSufficiency = "sufficiency"
+)
+
+// Metrics returns the server's metrics registry (nil when disabled).
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// stage runs one verification stage under its latency span and pass/fail
+// counters. With no registry configured this reduces to fn().
+func (s *Server) stage(name string, fn func() error) error {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return fn()
+	}
+	sp := reg.StartSpan(reg.Histogram(obs.L(MetricVerifyStageSeconds, "stage", name), obs.DurationBuckets))
+	err := fn()
+	sp.End()
+	result := "pass"
+	if err != nil {
+		result = "fail"
+	}
+	reg.Counter(obs.L(MetricVerifyStageTotal, "stage", name, "result", result)).Inc()
+	return err
+}
+
+// countVerdict records the final verdict of one PoA submission.
+func (s *Server) countVerdict(resp protocol.SubmitPoAResponse) {
+	verdict := "violation"
+	if resp.Verdict == protocol.VerdictCompliant {
+		verdict = "compliant"
+	}
+	s.cfg.Metrics.Counter(obs.L(MetricSubmissionsTotal, "verdict", verdict)).Inc()
+}

@@ -17,11 +17,23 @@ var (
 	ErrUnknownSession = errors.New("auditor: unknown session id")
 )
 
+// errInsufficient marks a sufficiency-stage failure that carries its own
+// response shape (insufficient-pair count) rather than a bare reason.
+var errInsufficient = errors.New("auditor: insufficient alibi")
+
 var _ protocol.ModesAPI = (*Server)(nil)
 
 // SubmitBatchPoA verifies a batch-signed trace (§VII-A1b): one TEE
 // signature covers the canonical encoding of the whole sample series.
 func (s *Server) SubmitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error) {
+	resp, err := s.submitBatchPoA(req)
+	if err == nil {
+		s.countVerdict(resp)
+	}
+	return resp, err
+}
+
+func (s *Server) submitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error) {
 	s.mu.RLock()
 	rec, ok := s.drones[req.DroneID]
 	s.mu.RUnlock()
@@ -40,7 +52,9 @@ func (s *Server) SubmitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.Su
 
 	// Authenticity: the single signature must cover the exact canonical
 	// batch encoding under the registered T+.
-	if err := sigcrypto.Verify(rec.TEEPub, poa.MarshalBatch(batch.Samples), batch.Sig); err != nil {
+	if err := s.stage(StageSignature, func() error {
+		return sigcrypto.Verify(rec.TEEPub, poa.MarshalBatch(batch.Samples), batch.Sig)
+	}); err != nil {
 		return violation("batch signature verification failed"), nil
 	}
 	return s.verifyAlibi(req.DroneID, batch.Samples), nil
@@ -79,6 +93,14 @@ func (s *Server) StartSession(req protocol.StartSessionRequest) (protocol.StartS
 // SubmitMACPoA verifies a symmetric-mode PoA: every sample's tag must be a
 // valid HMAC under the flight's session key.
 func (s *Server) SubmitMACPoA(req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error) {
+	resp, err := s.submitMACPoA(req)
+	if err == nil {
+		s.countVerdict(resp)
+	}
+	return resp, err
+}
+
+func (s *Server) submitMACPoA(req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error) {
 	s.mu.RLock()
 	_, droneKnown := s.drones[req.DroneID]
 	sess, sessKnown := s.sessions[req.SessionID]
@@ -102,10 +124,15 @@ func (s *Server) SubmitMACPoA(req protocol.SubmitMACPoARequest) (protocol.Submit
 		return violation(fmt.Sprintf("malformed PoA: %v", err)), nil
 	}
 
-	for i, ss := range p.Samples {
-		if err := sigcrypto.VerifyMAC(sess.Key, ss.Sample.Marshal(), ss.Sig); err != nil {
-			return violation(fmt.Sprintf("MAC verification failed at sample %d", i)), nil
+	if err := s.stage(StageSignature, func() error {
+		for i, ss := range p.Samples {
+			if err := sigcrypto.VerifyMAC(sess.Key, ss.Sample.Marshal(), ss.Sig); err != nil {
+				return fmt.Errorf("MAC verification failed at sample %d", i)
+			}
 		}
+		return nil
+	}); err != nil {
+		return violation(err.Error()), nil
 	}
 	return s.verifyAlibi(req.DroneID, p.Alibi()), nil
 }
@@ -123,15 +150,29 @@ func (s *Server) verifyAlibi(droneID string, alibi []poa.Sample) protocol.Submit
 	if len(alibi) < 2 {
 		return violation("PoA has fewer than two samples")
 	}
-	if err := poa.CheckChronology(alibi); err != nil {
+	if err := s.stage(StageChronology, func() error {
+		return poa.CheckChronology(alibi)
+	}); err != nil {
 		return violation(err.Error())
 	}
-	if err := poa.SpeedFeasible(alibi, s.cfg.VMaxMS); err != nil {
+	if err := s.stage(StageSpeed, func() error {
+		return poa.SpeedFeasible(alibi, s.cfg.VMaxMS)
+	}); err != nil {
 		return violation(err.Error())
 	}
-	zones := s.zonesForTrace(alibi)
-	rep, err := poa.VerifySufficiency(alibi, zones, s.cfg.VMaxMS, s.cfg.Mode)
-	if err != nil {
+	var rep poa.Report
+	if err := s.stage(StageSufficiency, func() error {
+		zones := s.zonesForTrace(alibi)
+		var err error
+		rep, err = poa.VerifySufficiency(alibi, zones, s.cfg.VMaxMS, s.cfg.Mode)
+		if err != nil {
+			return err
+		}
+		if !rep.Sufficient() {
+			return errInsufficient
+		}
+		return nil
+	}); err != nil && err != errInsufficient {
 		return violation(err.Error())
 	}
 	if !rep.Sufficient() {

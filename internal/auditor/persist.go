@@ -96,6 +96,63 @@ func (s *Server) SaveState(path string) error {
 	return nil
 }
 
+// Sweeper is the retention housekeeping loop: it periodically purges
+// expired PoAs from the retention store and (optionally) checkpoints the
+// server state file. Expiry itself is computed against the server's
+// injectable clock, so tests drive the Ticks channel and a fake clock
+// instead of sleeping.
+type Sweeper struct {
+	Server *Server
+	// StatePath, when non-empty, is checkpointed after every sweep.
+	StatePath string
+	// Interval is the production tick period (ignored when Ticks set).
+	Interval time.Duration
+	// Ticks overrides the internal time.Ticker; tests send on it to
+	// trigger sweeps deterministically.
+	Ticks <-chan time.Time
+	// Logf receives housekeeping log lines (nil = silent).
+	Logf func(format string, args ...any)
+	// AfterSweep, when set, is called with the purge count after every
+	// sweep completes (including zero-purge sweeps).
+	AfterSweep func(purged int)
+}
+
+// RunOnce performs a single sweep: purge, checkpoint, notify.
+func (sw *Sweeper) RunOnce() int {
+	purged := sw.Server.PurgeExpired()
+	if purged > 0 && sw.Logf != nil {
+		sw.Logf("purged %d expired PoAs", purged)
+	}
+	if sw.StatePath != "" {
+		if err := sw.Server.SaveState(sw.StatePath); err != nil && sw.Logf != nil {
+			// The serving path must not die because the disk hiccuped.
+			sw.Logf("state checkpoint failed: %v", err)
+		}
+	}
+	if sw.AfterSweep != nil {
+		sw.AfterSweep(purged)
+	}
+	return purged
+}
+
+// Run sweeps on every tick until stop closes.
+func (sw *Sweeper) Run(stop <-chan struct{}) {
+	ticks := sw.Ticks
+	if ticks == nil {
+		t := time.NewTicker(sw.Interval)
+		defer t.Stop()
+		ticks = t.C
+	}
+	for {
+		select {
+		case <-ticks:
+			sw.RunOnce()
+		case <-stop:
+			return
+		}
+	}
+}
+
 // LoadServer restores a server from a state file written by SaveState.
 // The config's key size is ignored (the persisted key wins).
 func LoadServer(cfg Config, path string) (*Server, error) {
@@ -143,6 +200,10 @@ func LoadServer(cfg Config, path string) (*Server, error) {
 	for _, r := range snap.Retained {
 		srv.retained = append(srv.retained, retainedPoA(r))
 	}
+	// Re-seed the retention gauge so a scrape right after a restart
+	// reflects the restored store instead of reporting no data until
+	// the next submission or sweep.
+	cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(len(srv.retained)))
 	for _, n := range snap.Nonces {
 		srv.nonces[n] = true
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/poa"
 	"repro/internal/protocol"
 )
@@ -35,7 +36,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 
 	restored, err := LoadServer(Config{
 		Random: rand.New(rand.NewSource(1)),
-		Now:    func() time.Time { return t0 },
+		Clock:  obs.ClockFunc(func() time.Time { return t0 }),
 	}, path)
 	if err != nil {
 		t.Fatal(err)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/poa"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
@@ -68,8 +69,13 @@ type Config struct {
 	Retention time.Duration
 	// Random supplies entropy (crypto/rand.Reader when nil).
 	Random io.Reader
-	// Now supplies time (time.Now when nil) so retention is testable.
-	Now func() time.Time
+	// Clock supplies time (obs.System when nil) so retention expiry is
+	// deterministically testable.
+	Clock obs.Clock
+	// Metrics, when set, receives the verification-pipeline and
+	// retention-store metrics. Nil disables instrumentation at the cost
+	// of one pointer comparison per call.
+	Metrics *obs.Registry
 }
 
 // Server is the AliDrone Server.
@@ -109,8 +115,8 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Random == nil {
 		cfg.Random = rand.Reader
 	}
-	if cfg.Now == nil {
-		cfg.Now = time.Now
+	if cfg.Clock == nil {
+		cfg.Clock = obs.System
 	}
 	key, err := sigcrypto.GenerateKeyPair(cfg.Random, cfg.EncKeyBits)
 	if err != nil {
@@ -239,6 +245,14 @@ func (s *Server) ZoneQuery(req protocol.ZoneQueryRequest) (protocol.ZoneQueryRes
 // SubmitPoA implements protocol task 4: decrypt, authenticate and verify a
 // Proof-of-Alibi, retaining it for later accusations when it verifies.
 func (s *Server) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
+	resp, err := s.submitPoA(req)
+	if err == nil {
+		s.countVerdict(resp)
+	}
+	return resp, err
+}
+
+func (s *Server) submitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
 	s.mu.RLock()
 	rec, ok := s.drones[req.DroneID]
 	s.mu.RUnlock()
@@ -279,8 +293,15 @@ func (s *Server) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoARes
 // per-sample TEE signatures (goal G3), then the shared alibi pipeline
 // (chronology → flyability → sufficiency, see verifyAlibi in modes.go).
 func (s *Server) verify(droneID string, rec DroneRecord, p poa.PoA) protocol.SubmitPoAResponse {
-	if idx, err := protocol.VerifyPoASignatures(p, rec.TEEPub); err != nil {
-		return violation(fmt.Sprintf("signature check failed at sample %d: %v", idx, err))
+	err := s.stage(StageSignature, func() error {
+		idx, err := protocol.VerifyPoASignatures(p, rec.TEEPub)
+		if err != nil {
+			return fmt.Errorf("signature check failed at sample %d: %w", idx, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return violation(err.Error())
 	}
 	return s.verifyAlibi(droneID, p.Alibi())
 }
@@ -310,20 +331,22 @@ func (s *Server) zonesForTrace(alibi []poa.Sample) []geo.GeoCircle {
 // retain stores a verified alibi for the configured retention window.
 func (s *Server) retain(droneID string, alibi []poa.Sample) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	n := len(s.retained) + 1
 	s.retained = append(s.retained, retainedPoA{
 		DroneID:    droneID,
 		Samples:    alibi,
-		SubmitTime: s.cfg.Now(),
+		SubmitTime: s.cfg.Clock.Now(),
 	})
+	s.mu.Unlock()
+	s.cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(n))
 }
 
 // PurgeExpired drops retained PoAs older than the retention window and
-// returns how many were removed.
+// returns how many were removed. A PoA expires exactly at SubmitTime +
+// Retention: a purge run at that instant removes it.
 func (s *Server) PurgeExpired() int {
-	cutoff := s.cfg.Now().Add(-s.cfg.Retention)
+	cutoff := s.cfg.Clock.Now().Add(-s.cfg.Retention)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	kept := s.retained[:0]
 	removed := 0
 	for _, r := range s.retained {
@@ -334,6 +357,10 @@ func (s *Server) PurgeExpired() int {
 		}
 	}
 	s.retained = kept
+	n := len(kept)
+	s.mu.Unlock()
+	s.cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(n))
+	s.cfg.Metrics.Counter(MetricEvictedPoAsTotal).Add(uint64(removed))
 	return removed
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/poa"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
@@ -30,8 +31,21 @@ type droneKeys struct {
 // drone's keys.
 func newFixture(t *testing.T) (*Server, string, droneKeys) {
 	t.Helper()
+	return newFixtureConfig(t, Config{
+		Clock:   obs.ClockFunc(func() time.Time { return t0 }),
+		Metrics: obs.NewRegistry(nil),
+	})
+}
+
+// newFixtureConfig is newFixture with an explicit config; the Random
+// source is filled in when unset.
+func newFixtureConfig(t *testing.T, cfg Config) (*Server, string, droneKeys) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(42))
-	srv, err := NewServer(Config{Random: rng, Now: func() time.Time { return t0 }})
+	if cfg.Random == nil {
+		cfg.Random = rng
+	}
+	srv, err := NewServer(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,12 +345,12 @@ func TestAccusationFlow(t *testing.T) {
 }
 
 func TestRetentionPurge(t *testing.T) {
-	now := t0
+	clock := obs.NewFakeClock(t0)
 	rng := rand.New(rand.NewSource(11))
 	srv, err := NewServer(Config{
 		Random:    rng,
 		Retention: 48 * time.Hour,
-		Now:       func() time.Time { return now },
+		Clock:     clock,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -359,12 +373,12 @@ func TestRetentionPurge(t *testing.T) {
 	}
 
 	// One day later: still retained.
-	now = t0.Add(24 * time.Hour)
+	clock.Set(t0.Add(24 * time.Hour))
 	if removed := srv.PurgeExpired(); removed != 0 {
 		t.Errorf("purged %d too early", removed)
 	}
 	// Three days later: purged.
-	now = t0.Add(72 * time.Hour)
+	clock.Set(t0.Add(72 * time.Hour))
 	if removed := srv.PurgeExpired(); removed != 1 {
 		t.Errorf("purged %d, want 1", removed)
 	}

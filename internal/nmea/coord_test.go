@@ -1,0 +1,126 @@
+package nmea
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseCoordEdgeCases pins the ddmm.mmmm codec on the inputs real
+// receivers emit at the edges: zero-padded minutes near the equator and
+// prime meridian, both hemisphere signs, and the malformed shapes the
+// parser must reject rather than misread.
+func TestParseCoordEdgeCases(t *testing.T) {
+	const eps = 1e-9
+	good := []struct {
+		name      string
+		field     string
+		hemi      string
+		degDigits int
+		want      float64
+	}{
+		{"canonical lat", "4807.0380", "N", 2, 48 + 7.038/60},
+		{"southern hemisphere", "4807.0380", "S", 2, -(48 + 7.038/60)},
+		{"western hemisphere", "01131.0000", "W", 3, -(11 + 31.0/60)},
+		{"zero-padded minutes lat", "0007.0000", "N", 2, 7.0 / 60},
+		{"zero-padded minutes lon", "00007.0000", "E", 3, 7.0 / 60},
+		{"equator", "0000.0000", "N", 2, 0},
+		{"prime meridian", "00000.0000", "E", 3, 0},
+		{"southern zero is still zero", "0000.0000", "S", 2, 0},
+		{"minutes without decimals", "4030.0", "N", 2, 40.5},
+		{"max longitude degrees", "17959.9999", "W", 3, -(179 + 59.9999/60)},
+	}
+	for _, tt := range good {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := parseCoord(tt.field, tt.hemi, tt.degDigits)
+			if err != nil {
+				t.Fatalf("parseCoord(%q, %q, %d): %v", tt.field, tt.hemi, tt.degDigits, err)
+			}
+			if math.Abs(got-tt.want) > eps {
+				t.Errorf("parseCoord(%q, %q, %d) = %v, want %v", tt.field, tt.hemi, tt.degDigits, got, tt.want)
+			}
+		})
+	}
+
+	bad := []struct {
+		name      string
+		field     string
+		hemi      string
+		degDigits int
+	}{
+		{"empty field", "", "N", 2},
+		{"too short for degrees+minutes", "480", "N", 2},
+		{"lon field with lat digits", "4807", "E", 3},
+		{"non-numeric degrees", "ab07.0000", "N", 2},
+		{"non-numeric minutes", "48xx.0000", "N", 2},
+		{"bad hemisphere letter", "4807.0380", "Q", 2},
+		{"lowercase hemisphere", "4807.0380", "n", 2},
+		{"empty hemisphere", "4807.0380", "", 2},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			if got, err := parseCoord(tt.field, tt.hemi, tt.degDigits); err == nil {
+				t.Errorf("parseCoord(%q, %q, %d) = %v, want error", tt.field, tt.hemi, tt.degDigits, got)
+			}
+		})
+	}
+}
+
+// TestSentenceFramingEdgeCases covers the checksum-trailer shapes that a
+// byte-truncated serial stream produces.
+func TestSentenceFramingEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		raw  string
+		want error
+	}{
+		{"truncated one-digit checksum", "$GPRMC,1*4", ErrBadFraming},
+		{"truncated no-digit checksum", "$GPRMC,1*", ErrBadFraming},
+		{"missing star", "$GPRMC,123519,A", ErrBadFraming},
+		{"non-hex checksum", "$GPRMC,1*ZZ", ErrBadFraming},
+		{"wrong checksum", "$GPRMC,1*00", ErrBadChecksum},
+		{"empty input", "", ErrBadFraming},
+		{"no dollar prefix", "GPRMC,1*76", ErrBadFraming},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseSentence(tt.raw)
+			if !errors.Is(err, tt.want) {
+				t.Errorf("ParseSentence(%q) err = %v, want %v", tt.raw, err, tt.want)
+			}
+		})
+	}
+}
+
+// TestParseRMCZeroPaddedCoordinates: a fix just north-east of the
+// origin survives the wire round trip with its leading zeros intact.
+func TestParseRMCZeroPaddedCoordinates(t *testing.T) {
+	raw := Frame("GPRMC,150000,A,0007.0000,N,00007.0000,E,0.0,0.0,010618,,")
+	rmc, err := ParseRMC(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 7.0 / 60
+	if math.Abs(rmc.Lat-want) > 1e-9 || math.Abs(rmc.Lon-want) > 1e-9 {
+		t.Errorf("lat/lon = %v/%v, want %v/%v", rmc.Lat, rmc.Lon, want, want)
+	}
+	// Re-encoding keeps the zero padding: the field must stay parseable
+	// and the value must not drift.
+	back, err := ParseRMC(EncodeRMC(rmc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back.Lat-rmc.Lat) > 1e-4/60 {
+		t.Errorf("lat drifted across round trip: %v -> %v", rmc.Lat, back.Lat)
+	}
+}
+
+// TestParseRMCBadHemisphere: corrupted hemisphere letters must error, not
+// silently parse as north/east.
+func TestParseRMCBadHemisphere(t *testing.T) {
+	raw := Frame("GPRMC,150000,A,4807.0380,X,01131.0000,E,0.0,0.0,010618,,")
+	if _, err := ParseRMC(raw); err == nil || !strings.Contains(err.Error(), "hemisphere") {
+		t.Errorf("bad hemisphere err = %v", err)
+	}
+}

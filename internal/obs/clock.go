@@ -1,0 +1,73 @@
+// Package obs is the dependency-free observability substrate of the
+// reproduction: a metrics registry (counters, gauges, histograms with
+// fixed bucket layouts), span-style timing hooks, and an injectable Clock
+// so every time-dependent component can be driven deterministically in
+// tests instead of sleeping.
+//
+// The design follows the paper's evaluation section: everything §V
+// measures offline (signing latency, SMC counts, verification stage
+// costs) is mirrored as a live metric, exported in the Prometheus text
+// exposition format by Registry.WriteText and served by the auditor's
+// GET /metrics endpoint.
+//
+// All Registry and metric methods are safe on nil receivers: a component
+// instrumented against a nil registry pays a single pointer comparison
+// and records nothing, so instrumentation never needs to be guarded at
+// call sites.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts wall time. Production code uses System; tests inject a
+// FakeClock (or ClockFunc) to control expiry windows, sampling intervals
+// and span durations without sleeping.
+type Clock interface {
+	Now() time.Time
+}
+
+// System is the production clock.
+var System Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// ClockFunc adapts a plain function to the Clock interface.
+type ClockFunc func() time.Time
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Time { return f() }
+
+// FakeClock is a manually advanced clock for deterministic tests.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock creates a fake clock frozen at t.
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{now: t} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Set moves the clock to t.
+func (c *FakeClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *FakeClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/gps"
+	"repro/internal/obs"
 	"repro/internal/poa"
 	"repro/internal/protocol"
 	"repro/internal/sampling"
@@ -39,6 +40,7 @@ type Drone struct {
 	api        protocol.API
 	auditorPub *rsa.PublicKey // Auditor's PoA-encryption key
 	random     io.Reader
+	metrics    *obs.Registry
 
 	id string // issued by the Auditor at registration
 }
@@ -68,6 +70,17 @@ func (d *Drone) ID() string { return d.id }
 
 // Device exposes the TrustZone device (for performance counters).
 func (d *Drone) Device() *tee.Device { return d.dev }
+
+// SetMetrics attaches a metrics registry to the drone stack: the samplers
+// and the TEE device all report into it. Call before flying; if the API
+// client is an HTTPAuditor, attach the registry there separately.
+func (d *Drone) SetMetrics(reg *obs.Registry) {
+	d.metrics = reg
+	d.dev.SetMetrics(reg)
+}
+
+// Metrics returns the drone registry (nil when disabled).
+func (d *Drone) Metrics() *obs.Registry { return d.metrics }
 
 // Register performs protocol task 0: export T+ from the TEE, send it with
 // D+ to the Auditor, and adopt the issued id_drone.
@@ -118,9 +131,10 @@ func (d *Drone) FlyAdaptive(rx *gps.Receiver, zones []geo.GeoCircle, until time.
 		return nil, ErrNotRegistered
 	}
 	a := &sampling.Adaptive{
-		Env:    sampling.NewTEEEnv(d.dev, d.clock, rx),
-		Index:  zone.NewIndex(zones, 0),
-		VMaxMS: geo.MaxDroneSpeedMPS,
+		Env:     sampling.NewTEEEnv(d.dev, d.clock, rx),
+		Index:   zone.NewIndex(zones, 0),
+		VMaxMS:  geo.MaxDroneSpeedMPS,
+		Metrics: d.metrics,
 	}
 	res, err := a.Run(until)
 	if err != nil {
@@ -135,8 +149,9 @@ func (d *Drone) FlyFixedRate(rx *gps.Receiver, rateHz float64, until time.Time) 
 		return nil, ErrNotRegistered
 	}
 	f := &sampling.FixedRate{
-		Env:    sampling.NewTEEEnv(d.dev, d.clock, rx),
-		RateHz: rateHz,
+		Env:     sampling.NewTEEEnv(d.dev, d.clock, rx),
+		RateHz:  rateHz,
+		Metrics: d.metrics,
 	}
 	res, err := f.Run(until)
 	if err != nil {

@@ -7,18 +7,50 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
 	"repro/internal/zone"
 )
 
+// Metric names exported by the drone-side HTTP client.
+const (
+	// MetricClientRequestsTotal counts protocol calls per endpoint path
+	// (one per logical call, not per retry attempt).
+	MetricClientRequestsTotal = "alidrone_client_requests_total"
+	// MetricClientRetriesTotal counts retry attempts per endpoint path.
+	MetricClientRetriesTotal = "alidrone_client_retries_total"
+	// MetricClientRequestSeconds is the per-endpoint latency histogram,
+	// covering all attempts of a call including backoff.
+	MetricClientRequestSeconds = "alidrone_client_request_seconds"
+)
+
+// RetryPolicy controls the client's re-send behaviour on transport errors
+// and gateway-style statuses (502/503/504). Backoff is the delay before
+// the first retry and doubles on each subsequent one. The zero value
+// disables retries.
+//
+// Note the submission endpoints are not strictly idempotent: a request
+// the Auditor processed but whose response was lost resubmits a PoA the
+// replay filter may then flag. The retry statuses are chosen so only
+// responses produced *in front of* the Auditor (dead upstream, overload
+// shedding) are retried.
+type RetryPolicy struct {
+	Max     int           // retries after the first attempt
+	Backoff time.Duration // initial retry delay, doubling per retry
+}
+
 // HTTPAuditor is a protocol.API implementation that talks to a remote
 // AliDrone Server over its HTTP transport.
 type HTTPAuditor struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retry   RetryPolicy
+	metrics *obs.Registry
+	sleep   func(time.Duration)
 }
 
 var _ protocol.API = (*HTTPAuditor)(nil)
@@ -29,7 +61,51 @@ func NewHTTPAuditor(baseURL string, client *http.Client) *HTTPAuditor {
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &HTTPAuditor{base: baseURL, hc: client}
+	return &HTTPAuditor{base: baseURL, hc: client, sleep: time.Sleep}
+}
+
+// SetRetryPolicy enables transparent retries. Call before issuing
+// requests.
+func (c *HTTPAuditor) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
+// SetMetrics attaches a metrics registry (nil disables, the default).
+func (c *HTTPAuditor) SetMetrics(reg *obs.Registry) { c.metrics = reg }
+
+// setSleep replaces the backoff sleeper; tests inject a recorder so
+// retry timing is observable without real delays.
+func (c *HTTPAuditor) setSleep(fn func(time.Duration)) { c.sleep = fn }
+
+// retryableStatus reports whether a status indicates the request likely
+// never reached the Auditor's handler.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// do issues fn under the per-path metrics and the retry policy. fn must
+// be repeatable (bodies are byte slices re-wrapped per attempt).
+func (c *HTTPAuditor) do(path string, fn func() (*http.Response, error)) (*http.Response, error) {
+	reg := c.metrics
+	reg.Counter(obs.L(MetricClientRequestsTotal, "path", path)).Inc()
+	sp := reg.StartSpan(reg.Histogram(obs.L(MetricClientRequestSeconds, "path", path), obs.DurationBuckets))
+	defer sp.End()
+
+	backoff := c.retry.Backoff
+	for attempt := 0; ; attempt++ {
+		httpResp, err := fn()
+		retryable := err != nil || retryableStatus(httpResp.StatusCode)
+		if !retryable || attempt >= c.retry.Max {
+			return httpResp, err
+		}
+		if err == nil {
+			httpResp.Body.Close()
+		}
+		reg.Counter(obs.L(MetricClientRetriesTotal, "path", path)).Inc()
+		if backoff > 0 {
+			c.sleep(backoff)
+			backoff *= 2
+		}
+	}
 }
 
 // postJSON sends req to path and decodes the response into resp.
@@ -38,7 +114,9 @@ func (c *HTTPAuditor) postJSON(path string, req, resp any) error {
 	if err != nil {
 		return fmt.Errorf("marshal request: %w", err)
 	}
-	httpResp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	httpResp, err := c.do(path, func() (*http.Response, error) {
+		return c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	})
 	if err != nil {
 		return fmt.Errorf("post %s: %w", path, err)
 	}
@@ -149,7 +227,9 @@ func (c *HTTPAuditor) Accuse(req protocol.AccusationRequest) (protocol.SubmitPoA
 func (c *HTTPAuditor) FetchPublicZones(center geo.LatLon, radiusMeters float64) ([]zone.NFZ, error) {
 	url := fmt.Sprintf("%s%s?lat=%g&lon=%g&radiusMeters=%g",
 		c.base, protocol.PathPublicZones, center.Lat, center.Lon, radiusMeters)
-	httpResp, err := c.hc.Get(url)
+	httpResp, err := c.do(protocol.PathPublicZones, func() (*http.Response, error) {
+		return c.hc.Get(url)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("fetch public zones: %w", err)
 	}
@@ -166,7 +246,9 @@ func (c *HTTPAuditor) FetchPublicZones(center geo.LatLon, radiusMeters float64) 
 
 // FetchEncryptionPub retrieves the Auditor's PoA-encryption public key.
 func (c *HTTPAuditor) FetchEncryptionPub() (*rsa.PublicKey, error) {
-	httpResp, err := c.hc.Get(c.base + protocol.PathAuditorPub)
+	httpResp, err := c.do(protocol.PathAuditorPub, func() (*http.Response, error) {
+		return c.hc.Get(c.base + protocol.PathAuditorPub)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("fetch auditor pub: %w", err)
 	}

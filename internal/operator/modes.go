@@ -37,9 +37,10 @@ func (d *Drone) FlyAdaptiveBatch(rx *gps.Receiver, zones []geo.GeoCircle, until 
 		return poa.BatchPoA{}, nil, ErrNotRegistered
 	}
 	a := &sampling.Adaptive{
-		Env:    sampling.NewTEEBatchEnv(d.dev, d.clock, rx),
-		Index:  zone.NewIndex(zones, 0),
-		VMaxMS: geo.MaxDroneSpeedMPS,
+		Env:     sampling.NewTEEBatchEnv(d.dev, d.clock, rx),
+		Index:   zone.NewIndex(zones, 0),
+		VMaxMS:  geo.MaxDroneSpeedMPS,
+		Metrics: d.metrics,
 	}
 	res, err := a.Run(until)
 	if err != nil {
@@ -109,9 +110,10 @@ func (d *Drone) FlyAdaptiveMAC(rx *gps.Receiver, zones []geo.GeoCircle, until ti
 		return nil, ErrNotRegistered
 	}
 	a := &sampling.Adaptive{
-		Env:    sampling.NewTEEMACEnv(d.dev, d.clock, rx),
-		Index:  zone.NewIndex(zones, 0),
-		VMaxMS: geo.MaxDroneSpeedMPS,
+		Env:     sampling.NewTEEMACEnv(d.dev, d.clock, rx),
+		Index:   zone.NewIndex(zones, 0),
+		VMaxMS:  geo.MaxDroneSpeedMPS,
+		Metrics: d.metrics,
 	}
 	res, err := a.Run(until)
 	if err != nil {
@@ -125,7 +127,7 @@ func (d *Drone) FlyFixedRateMAC(rx *gps.Receiver, rateHz float64, until time.Tim
 	if d.id == "" {
 		return nil, ErrNotRegistered
 	}
-	f := &sampling.FixedRate{Env: sampling.NewTEEMACEnv(d.dev, d.clock, rx), RateHz: rateHz}
+	f := &sampling.FixedRate{Env: sampling.NewTEEMACEnv(d.dev, d.clock, rx), RateHz: rateHz, Metrics: d.metrics}
 	res, err := f.Run(until)
 	if err != nil {
 		return nil, fmt.Errorf("mac fixed-rate flight: %w", err)

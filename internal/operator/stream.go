@@ -71,9 +71,10 @@ func (d *Drone) FlyAdaptiveStreaming(rx *gps.Receiver, zones []geo.GeoCircle, un
 	}
 
 	a := &sampling.Adaptive{
-		Env:    env,
-		Index:  zone.NewIndex(zones, 0),
-		VMaxMS: geo.MaxDroneSpeedMPS,
+		Env:     env,
+		Index:   zone.NewIndex(zones, 0),
+		VMaxMS:  geo.MaxDroneSpeedMPS,
+		Metrics: d.metrics,
 	}
 	run, err := a.Run(until)
 	if err != nil {

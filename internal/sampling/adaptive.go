@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/poa"
 	"repro/internal/zone"
 )
@@ -36,6 +37,10 @@ type Adaptive struct {
 	// sample was taken for this long (e.g. when no zone is nearby at
 	// all). Zero disables the heartbeat.
 	MaxGap time.Duration
+
+	// Metrics, when set, receives read/auth counters and the
+	// samples-per-zone-crossing histogram under mode="adaptive".
+	Metrics *obs.Registry
 }
 
 // Run executes the adaptive loop from the receiver's first update until the
@@ -50,6 +55,19 @@ func (a *Adaptive) Run(until time.Time) (*RunResult, error) {
 	start := a.Env.Receiver.FirstUpdate()
 	if start.After(until) {
 		return nil, ErrNoSamples
+	}
+
+	// crossing tracks the burst of consecutive zone-triggered samples:
+	// each approach to a zone shows up as one histogram observation of
+	// how many authenticated samples it cost.
+	heartbeats := a.Metrics.Counter(obs.L(MetricHeartbeatsTotal, "mode", "adaptive"))
+	crossing := a.Metrics.Histogram(obs.L(MetricZoneCrossingSamples, "mode", "adaptive"), obs.CountBuckets)
+	burst := 0
+	flushBurst := func() {
+		if burst > 0 {
+			crossing.Observe(float64(burst))
+			burst = 0
+		}
 	}
 
 	// The first PoA sample anchors the trace at the start of the flight
@@ -89,17 +107,28 @@ func (a *Adaptive) Run(until time.Time) (*RunResult, error) {
 				record = cond3
 			}
 		}
+		zoneTriggered := record
 		if !record && a.MaxGap > 0 && s2.Time.Sub(last.Time) >= a.MaxGap {
 			record = true
 		}
 
-		if record {
+		switch {
+		case record:
 			last, err = a.authSample(res)
 			if err != nil {
 				return nil, fmt.Errorf("adaptive auth at %v: %w", at, err)
 			}
+			if zoneTriggered {
+				burst++
+			} else {
+				heartbeats.Inc()
+				flushBurst()
+			}
+		default:
+			flushBurst()
 		}
 	}
+	flushBurst()
 
 	// Close the trace with a final sample so the PoA covers the entire
 	// flight period (goal G1): without it, nothing constrains the drone
@@ -122,6 +151,7 @@ func (a *Adaptive) readSample(res *RunResult) (poa.Sample, error) {
 		return poa.Sample{}, err
 	}
 	res.Stats.Reads++
+	a.Metrics.Counter(obs.L(MetricReadsTotal, "mode", "adaptive")).Inc()
 	return s, nil
 }
 
@@ -132,6 +162,7 @@ func (a *Adaptive) authSample(res *RunResult) (poa.Sample, error) {
 		return poa.Sample{}, err
 	}
 	res.Stats.AuthCalls++
+	a.Metrics.Counter(obs.L(MetricAuthTotal, "mode", "adaptive")).Inc()
 	res.record(ss)
 	return ss.Sample, nil
 }

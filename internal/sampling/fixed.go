@@ -3,6 +3,8 @@ package sampling
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FixedRate is the paper's baseline sampler (§VI-A1 "Fix Rate Sampling"):
@@ -14,6 +16,10 @@ import (
 type FixedRate struct {
 	Env    Env
 	RateHz float64
+
+	// Metrics, when set, receives the auth-call counter under
+	// mode="fixed".
+	Metrics *obs.Registry
 }
 
 // Run samples from the receiver's first update until the end instant,
@@ -24,6 +30,7 @@ func (f *FixedRate) Run(until time.Time) (poa *RunResult, err error) {
 	}
 
 	res := newRunResult()
+	auths := f.Metrics.Counter(obs.L(MetricAuthTotal, "mode", "fixed"))
 	period := time.Duration(float64(time.Second) / f.RateHz)
 
 	// The sampler starts with the first hardware update of the flight.
@@ -48,6 +55,7 @@ func (f *FixedRate) Run(until time.Time) (poa *RunResult, err error) {
 			return nil, fmt.Errorf("fixed-rate sample %d: %w", k, err)
 		}
 		res.Stats.AuthCalls++
+		auths.Inc()
 		res.record(ss)
 
 		wake = start.Add(time.Duration(k+1) * period)

@@ -1,0 +1,18 @@
+package sampling
+
+// Metric names exported by the drone-side samplers. All series carry a
+// mode=adaptive|fixed label so both strategies can run side by side
+// against one registry.
+const (
+	// MetricReadsTotal counts cheap normal-world GPS reads.
+	MetricReadsTotal = "alidrone_sampler_reads_total"
+	// MetricAuthTotal counts secure-world GetGPSAuth invocations.
+	MetricAuthTotal = "alidrone_sampler_auth_total"
+	// MetricHeartbeatsTotal counts samples forced by the MaxGap
+	// heartbeat rather than by zone proximity.
+	MetricHeartbeatsTotal = "alidrone_sampler_heartbeats_total"
+	// MetricZoneCrossingSamples is a histogram of how many consecutive
+	// authenticated samples one zone approach triggered: the burst length
+	// of each crossing (Fig 8-(b) bursts, live).
+	MetricZoneCrossingSamples = "alidrone_sampler_zone_crossing_samples"
+)

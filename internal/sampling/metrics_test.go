@@ -1,0 +1,85 @@
+package sampling
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/zone"
+)
+
+// TestAdaptiveMetricsMirrorStats checks the live counters agree exactly
+// with the run statistics, and that a zone pass produces at least one
+// burst observation in the crossing histogram.
+func TestAdaptiveMetricsMirrorStats(t *testing.T) {
+	start := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	route := straightRoute(t, 10, 2*time.Minute)
+	mid := start.Offset(90, 600)
+	z := geo.GeoCircle{Center: mid.Offset(0, 60), R: 20}
+
+	env, _ := buildEnv(t, route, 5)
+	reg := obs.NewRegistry(nil)
+	a := &Adaptive{
+		Env: env, Index: zone.NewIndex([]geo.GeoCircle{z}, 0),
+		VMaxMS: geo.MaxDroneSpeedMPS, Metrics: reg,
+	}
+	res, err := a.Run(route.End())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter(obs.L(MetricReadsTotal, "mode", "adaptive")).Value(); got != uint64(res.Stats.Reads) {
+		t.Errorf("reads counter = %d, Stats.Reads = %d", got, res.Stats.Reads)
+	}
+	if got := reg.Counter(obs.L(MetricAuthTotal, "mode", "adaptive")).Value(); got != uint64(res.Stats.AuthCalls) {
+		t.Errorf("auth counter = %d, Stats.AuthCalls = %d", got, res.Stats.AuthCalls)
+	}
+	h := reg.Histogram(obs.L(MetricZoneCrossingSamples, "mode", "adaptive"), obs.CountBuckets)
+	if h.Count() == 0 {
+		t.Error("no zone-crossing bursts recorded on a route passing a zone")
+	}
+	// The bursts account for the zone-triggered samples: the anchor and
+	// the final sample are the only ones outside a burst here.
+	if sum := h.Sum(); sum > float64(res.Stats.AuthCalls) {
+		t.Errorf("burst sum %v exceeds total auth calls %d", sum, res.Stats.AuthCalls)
+	}
+}
+
+// TestAdaptiveHeartbeatCounter: with no zones and a MaxGap, every sample
+// after the anchor is a heartbeat.
+func TestAdaptiveHeartbeatCounter(t *testing.T) {
+	route := straightRoute(t, 10, time.Minute)
+	env, _ := buildEnv(t, route, 5)
+	reg := obs.NewRegistry(nil)
+	a := &Adaptive{
+		Env: env, Index: zone.NewIndex(nil, 0), VMaxMS: geo.MaxDroneSpeedMPS,
+		MaxGap: 10 * time.Second, Metrics: reg,
+	}
+	res, err := a.Run(route.End())
+	if err != nil {
+		t.Fatal(err)
+	}
+	beats := reg.Counter(obs.L(MetricHeartbeatsTotal, "mode", "adaptive")).Value()
+	if beats == 0 {
+		t.Fatal("no heartbeats counted")
+	}
+	// Anchor + heartbeats + possibly one closing sample.
+	if int(beats) > res.Stats.AuthCalls-1 {
+		t.Errorf("heartbeats = %d with only %d auth calls", beats, res.Stats.AuthCalls)
+	}
+}
+
+func TestFixedRateMetrics(t *testing.T) {
+	route := straightRoute(t, 10, 10*time.Second)
+	env, _ := buildEnv(t, route, 5)
+	reg := obs.NewRegistry(nil)
+	f := &FixedRate{Env: env, RateHz: 2, Metrics: reg}
+	res, err := f.Run(route.End())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(obs.L(MetricAuthTotal, "mode", "fixed")).Value(); got != uint64(res.Stats.AuthCalls) {
+		t.Errorf("auth counter = %d, Stats.AuthCalls = %d", got, res.Stats.AuthCalls)
+	}
+}

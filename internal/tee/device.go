@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 var (
@@ -36,10 +38,9 @@ var (
 )
 
 // Clock abstracts time so simulations can drive the secure world
-// deterministically.
-type Clock interface {
-	Now() time.Time
-}
+// deterministically. It is the shared obs.Clock contract, so the same
+// fake clock can drive the secure world and the metrics registry.
+type Clock = obs.Clock
 
 // SystemClock is the production clock.
 type SystemClock struct{}
@@ -95,10 +96,27 @@ type Stats struct {
 	SignedBytes uint64 // total bytes covered by signatures/MACs
 }
 
+// Metric names exported by the drone's secure world. They mirror the
+// Stats counters one-to-one so the perf model and a live scrape agree.
+const (
+	// MetricSMCTotal counts world switches (one per Invoke).
+	MetricSMCTotal = "alidrone_tee_smc_total"
+	// MetricSignsTotal counts asymmetric signatures computed in the TEE.
+	MetricSignsTotal = "alidrone_tee_signs_total"
+	// MetricMACsTotal counts symmetric MAC tags computed in the TEE.
+	MetricMACsTotal = "alidrone_tee_macs_total"
+	// MetricSignedBytesTotal counts bytes covered by signatures/MACs.
+	MetricSignedBytesTotal = "alidrone_tee_signed_bytes_total"
+	// MetricSignSeconds is the latency histogram of in-TEE signing,
+	// labelled op=sign|seal.
+	MetricSignSeconds = "alidrone_tee_sign_seconds"
+)
+
 // Device models one TrustZone-capable SoC with its secure world.
 type Device struct {
-	clock Clock
-	vault *KeyVault
+	clock   Clock
+	vault   *KeyVault
+	metrics *obs.Registry
 
 	mu    sync.Mutex
 	tas   map[UUID]TrustedApp
@@ -122,6 +140,22 @@ func NewDevice(clock Clock, vault *KeyVault) *Device {
 // Clock returns the device clock (TAs read time through this).
 func (d *Device) Clock() Clock { return d.clock }
 
+// SetMetrics attaches a metrics registry to the device. Call before the
+// device starts serving SMCs; a nil registry (the default) disables
+// instrumentation at the cost of one pointer comparison per call.
+func (d *Device) SetMetrics(reg *obs.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.metrics = reg
+}
+
+// Metrics returns the device registry (nil when disabled).
+func (d *Device) Metrics() *obs.Registry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.metrics
+}
+
 // Vault exposes the key vault to trusted applications at install time.
 // The returned handle only allows signing and public-key export; the
 // private key never crosses the package boundary.
@@ -144,6 +178,7 @@ func (d *Device) Install(ta TrustedApp) error {
 func (d *Device) Invoke(id UUID, cmd uint32, req []byte) ([]byte, error) {
 	d.mu.Lock()
 	ta, ok := d.tas[id]
+	reg := d.metrics
 	if ok {
 		d.stats.SMCCalls++
 	}
@@ -151,6 +186,7 @@ func (d *Device) Invoke(id UUID, cmd uint32, req []byte) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchTA, id)
 	}
+	reg.Counter(MetricSMCTotal).Inc()
 	return ta.Invoke(cmd, req)
 }
 
@@ -172,15 +208,21 @@ func (d *Device) ResetStats() {
 // counters stay accurate.
 func (d *Device) chargeSign(coveredBytes int) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.stats.Signs++
 	d.stats.SignedBytes += uint64(coveredBytes)
+	reg := d.metrics
+	d.mu.Unlock()
+	reg.Counter(MetricSignsTotal).Inc()
+	reg.Counter(MetricSignedBytesTotal).Add(uint64(coveredBytes))
 }
 
 // chargeMAC is called by TAs after computing a symmetric tag.
 func (d *Device) chargeMAC(coveredBytes int) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.stats.MACs++
 	d.stats.SignedBytes += uint64(coveredBytes)
+	reg := d.metrics
+	d.mu.Unlock()
+	reg.Counter(MetricMACsTotal).Inc()
+	reg.Counter(MetricSignedBytesTotal).Add(uint64(coveredBytes))
 }

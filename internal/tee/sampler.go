@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/gps"
+	"repro/internal/obs"
 	"repro/internal/poa"
 	"repro/internal/sigcrypto"
 )
@@ -150,12 +151,22 @@ func (ta *GPSSamplerTA) getGPSAuth(with3D bool) ([]byte, error) {
 		return nil, err
 	}
 	msg := s.Marshal()
-	sig, err := ta.dev.Vault().sign(msg)
+	sig, err := ta.timedSign("sign", msg)
 	if err != nil {
 		return nil, err
 	}
 	ta.dev.chargeSign(len(msg))
 	return encodeSegments(msg, sig), nil
+}
+
+// timedSign signs msg in the vault under the op-labelled sign-latency
+// histogram (a straight vault.sign when metrics are disabled).
+func (ta *GPSSamplerTA) timedSign(op string, msg []byte) ([]byte, error) {
+	reg := ta.dev.Metrics()
+	sp := reg.StartSpan(reg.Histogram(obs.L(MetricSignSeconds, "op", op), obs.DurationBuckets))
+	sig, err := ta.dev.Vault().sign(msg)
+	sp.End()
+	return sig, err
 }
 
 func (ta *GPSSamplerTA) bufferSample() ([]byte, error) {
@@ -172,7 +183,7 @@ func (ta *GPSSamplerTA) sealTrace() ([]byte, error) {
 		return nil, ErrEmptyTraceBuffer
 	}
 	msg := poa.MarshalBatch(ta.buffer)
-	sig, err := ta.dev.Vault().sign(msg)
+	sig, err := ta.timedSign("seal", msg)
 	if err != nil {
 		return nil, err
 	}

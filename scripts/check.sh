@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh is the repository gate: everything a change must pass before
+# merging. The race detector is part of the gate because the observability
+# layer is read concurrently (scrapes) with the serving path.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go build ./..."
+go build ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "all checks passed"

@@ -18,5 +18,8 @@ vet:
 check:
 	./scripts/check.sh
 
+# bench runs the suite with -benchmem, writes a dated BENCH_<date>.json
+# snapshot and diffs ns/op against the previous snapshot when one exists.
+# Tune with BENCHTIME=2s or BENCH=<regexp>.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	./scripts/bench.sh

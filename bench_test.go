@@ -516,3 +516,157 @@ func BenchmarkVerifyPipeline(b *testing.B) {
 	b.Run("bare", func(b *testing.B) { run(b, nil) })
 	b.Run("instrumented", func(b *testing.B) { run(b, obs.NewRegistry(nil)) })
 }
+
+// --- Parallel verification engine -------------------------------------------
+
+// benchParallelSetup builds an auditor with the given worker-pool size,
+// one registered drone and an encrypted PoA of n TEE-signed samples. The
+// sparse trace is insufficient against the registered zone, so every
+// submission is a repeatable violation (see benchVerifySetup) that still
+// pays the full per-sample RSA cost — the work the pool parallelises.
+func benchParallelSetup(b *testing.B, workers, n int) (*auditor.Server, string, []byte) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	srv, err := auditor.NewServer(auditor.Config{Random: rng, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opKey := benchKey(b, 1024)
+	teeKey, err := sigcrypto.GenerateKeyPair(rand.New(rand.NewSource(10)), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opPub, err := sigcrypto.MarshalPublicKey(&opKey.PublicKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	teePub, err := sigcrypto.MarshalPublicKey(&teeKey.PublicKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := srv.RegisterDrone(protocol.RegisterDroneRequest{OperatorPub: opPub, TEEPub: teePub})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	home := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	if _, err := srv.RegisterZone(protocol.RegisterZoneRequest{
+		Owner: "bench", Zone: geo.GeoCircle{Center: home.Offset(0, 60), R: 30},
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	var p poa.PoA
+	for i := 0; i < n; i++ {
+		s := poa.Sample{
+			Pos:  home.Offset(90, 10*float64(i)*20),
+			Time: benchStart.Add(time.Duration(i) * 20 * time.Second),
+		}.Canon()
+		sig, err := sigcrypto.Sign(teeKey, s.Marshal())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Append(poa.SignedSample{Sample: s, Sig: sig})
+	}
+	plaintext, err := jsonMarshal(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := sigcrypto.Encrypt(rng, srv.EncryptionPub(), plaintext)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, resp.DroneID, ct
+}
+
+// BenchmarkVerifyPipelineWorkers compares the sequential pipeline
+// (Workers: 1 — the paper-fidelity configuration) against the pooled one
+// (Workers: 0 = GOMAXPROCS) on a 400-sample PoA. On a multi-core runner
+// the parallel variant should verify the same submission at a multiple of
+// the sequential rate; on one core the two are equivalent by design.
+func BenchmarkVerifyPipelineWorkers(b *testing.B) {
+	const samples = 400
+	run := func(b *testing.B, workers int) {
+		srv, droneID, ct := benchParallelSetup(b, workers, samples)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: droneID, EncryptedPoA: ct})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Verdict != protocol.VerdictViolation {
+				b.Fatalf("verdict = %v, want repeatable violation", resp.Verdict)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkSubmitPoAThroughput measures aggregate submission throughput
+// under concurrent load (b.RunParallel): many callers sharing one server,
+// its worker pool and its sharded stores. This is the server-sizing
+// number — submissions per second, not per-submission latency.
+func BenchmarkSubmitPoAThroughput(b *testing.B) {
+	srv, droneID, ct := benchParallelSetup(b, 0, 20)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: droneID, EncryptedPoA: ct})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Verdict != protocol.VerdictViolation {
+				b.Fatal("want repeatable violation")
+			}
+		}
+	})
+}
+
+// --- Zone rect-query ablation ------------------------------------------------
+
+// benchRegistry builds a registry of n registered zones around the bench
+// home point.
+func benchRegistry(b *testing.B, n int) *zone.Registry {
+	b.Helper()
+	r := zone.NewRegistry()
+	for _, z := range benchZones(n) {
+		if _, err := r.Register("bench", z); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+// benchQueryArea is a ~1 km navigation area near the bench home point —
+// the shape of rect a zone query or zonesForTrace issues.
+func benchQueryArea() geo.Rect {
+	home := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	return geo.NewRect(home.Offset(225, 700), home.Offset(45, 700))
+}
+
+// BenchmarkZoneQueryRectLinear2000 is the historical O(n) registry scan
+// at city scale.
+func BenchmarkZoneQueryRectLinear2000(b *testing.B) {
+	r := benchRegistry(b, 2000)
+	area := benchQueryArea()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.QueryRectLinear(area)) == 0 {
+			b.Fatal("query found no zones")
+		}
+	}
+}
+
+// BenchmarkZoneQueryRectIndexed2000 is the same query through the grid
+// index the registry now maintains incrementally.
+func BenchmarkZoneQueryRectIndexed2000(b *testing.B) {
+	r := benchRegistry(b, 2000)
+	area := benchQueryArea()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(r.QueryRect(area)) == 0 {
+			b.Fatal("query found no zones")
+		}
+	}
+}

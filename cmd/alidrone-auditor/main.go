@@ -6,7 +6,7 @@
 //
 //	alidrone-auditor -listen :8470 [-retention 48h] [-mode exact|conservative]
 //	                 [-state /var/lib/alidrone/state.json] [-save-every 1m]
-//	                 [-metrics=false]
+//	                 [-metrics=false] [-workers 0] [-nonce-ttl 1h]
 //
 // With -state, the server restores its registries and retained PoAs from
 // the file at startup (if present) and checkpoints back periodically and
@@ -38,15 +38,17 @@ func main() {
 	statePath := flag.String("state", "", "state file for persistence (empty = in-memory only)")
 	saveEvery := flag.Duration("save-every", time.Minute, "state checkpoint interval (with -state)")
 	metrics := flag.Bool("metrics", true, "serve GET /metrics and per-stage instrumentation")
+	workers := flag.Int("workers", 0, "verification worker pool size (0 = GOMAXPROCS, 1 = sequential pipeline)")
+	nonceTTL := flag.Duration("nonce-ttl", auditor.DefaultNonceTTL, "how long zone-query nonces are remembered for replay rejection")
 	flag.Parse()
 
-	if err := run(*listen, *retention, *mode, *statePath, *saveEvery, *metrics); err != nil {
+	if err := run(*listen, *retention, *mode, *statePath, *saveEvery, *metrics, *workers, *nonceTTL); err != nil {
 		fmt.Fprintln(os.Stderr, "alidrone-auditor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, retention time.Duration, mode, statePath string, saveEvery time.Duration, metrics bool) error {
+func run(listen string, retention time.Duration, mode, statePath string, saveEvery time.Duration, metrics bool, workers int, nonceTTL time.Duration) error {
 	var testMode poa.TestMode
 	switch mode {
 	case "exact":
@@ -57,7 +59,7 @@ func run(listen string, retention time.Duration, mode, statePath string, saveEve
 		return fmt.Errorf("unknown mode %q (want exact or conservative)", mode)
 	}
 
-	cfg := auditor.Config{Mode: testMode, Retention: retention}
+	cfg := auditor.Config{Mode: testMode, Retention: retention, Workers: workers, NonceTTL: nonceTTL}
 	if metrics {
 		cfg.Metrics = obs.NewRegistry(nil)
 	}
@@ -91,8 +93,8 @@ func run(listen string, retention time.Duration, mode, statePath string, saveEve
 		_ = httpSrv.Close()
 	}()
 
-	log.Printf("alidrone-auditor listening on %s (mode=%s, retention=%v, state=%q)",
-		listen, mode, retention, statePath)
+	log.Printf("alidrone-auditor listening on %s (mode=%s, retention=%v, state=%q, workers=%d)",
+		listen, mode, retention, statePath, srv.Workers())
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -48,7 +48,7 @@ func TestOpenServerFreshAndRestore(t *testing.T) {
 }
 
 func TestRunRejectsBadMode(t *testing.T) {
-	if err := run(":0", time.Hour, "sloppy", "", time.Minute, true); err == nil {
+	if err := run(":0", time.Hour, "sloppy", "", time.Minute, true, 0, time.Hour); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

@@ -37,6 +37,18 @@ const (
 	// MetricHTTPRequestSeconds is the per-endpoint latency histogram,
 	// labelled path=<endpoint path>.
 	MetricHTTPRequestSeconds = "alidrone_auditor_http_request_seconds"
+	// MetricVerifyWorkers gauges the configured size of the verification
+	// worker pool.
+	MetricVerifyWorkers = "alidrone_auditor_verify_workers"
+	// MetricVerifyWorkersBusy gauges how many pool workers are currently
+	// executing a verification shard.
+	MetricVerifyWorkersBusy = "alidrone_auditor_verify_workers_busy"
+	// MetricExpiredNoncesTotal counts zone-query nonces dropped by TTL
+	// expiry.
+	MetricExpiredNoncesTotal = "alidrone_auditor_expired_nonces_total"
+	// MetricExpiredDigestsTotal counts replay-detection digests dropped
+	// when they aged out of the retention window.
+	MetricExpiredDigestsTotal = "alidrone_auditor_expired_digests_total"
 )
 
 // Verification pipeline stage labels, in pipeline order.

@@ -34,9 +34,7 @@ func (s *Server) SubmitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.Su
 }
 
 func (s *Server) submitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error) {
-	s.mu.RLock()
-	rec, ok := s.drones[req.DroneID]
-	s.mu.RUnlock()
+	rec, ok := s.drones.get(req.DroneID)
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
 	}
@@ -64,10 +62,7 @@ func (s *Server) submitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.Su
 // unwraps the TEE-generated HMAC key with its private encryption key and
 // remembers it for the flight.
 func (s *Server) StartSession(req protocol.StartSessionRequest) (protocol.StartSessionResponse, error) {
-	s.mu.RLock()
-	_, ok := s.drones[req.DroneID]
-	s.mu.RUnlock()
-	if !ok {
+	if _, ok := s.drones.get(req.DroneID); !ok {
 		return protocol.StartSessionResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
 	}
 
@@ -79,14 +74,7 @@ func (s *Server) StartSession(req protocol.StartSessionRequest) (protocol.StartS
 		return protocol.StartSessionResponse{}, fmt.Errorf("auditor: session key too short (%d bytes)", len(key))
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextSession++
-	id := fmt.Sprintf("session-%04d", s.nextSession)
-	if s.sessions == nil {
-		s.sessions = make(map[string]sessionRecord)
-	}
-	s.sessions[id] = sessionRecord{DroneID: req.DroneID, Key: key}
+	id := s.sessions.add(sessionRecord{DroneID: req.DroneID, Key: key})
 	return protocol.StartSessionResponse{SessionID: id}, nil
 }
 
@@ -101,10 +89,8 @@ func (s *Server) SubmitMACPoA(req protocol.SubmitMACPoARequest) (protocol.Submit
 }
 
 func (s *Server) submitMACPoA(req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error) {
-	s.mu.RLock()
-	_, droneKnown := s.drones[req.DroneID]
-	sess, sessKnown := s.sessions[req.SessionID]
-	s.mu.RUnlock()
+	_, droneKnown := s.drones.get(req.DroneID)
+	sess, sessKnown := s.sessions.get(req.SessionID)
 	if !droneKnown {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
 	}
@@ -124,13 +110,17 @@ func (s *Server) submitMACPoA(req protocol.SubmitMACPoARequest) (protocol.Submit
 		return violation(fmt.Sprintf("malformed PoA: %v", err)), nil
 	}
 
+	// HMAC checks are independent per sample, so they fan out across the
+	// worker pool exactly like the RSA path; FirstError reports the
+	// lowest failing index, keeping the violation reason deterministic.
 	if err := s.stage(StageSignature, func() error {
-		for i, ss := range p.Samples {
-			if err := sigcrypto.VerifyMAC(sess.Key, ss.Sample.Marshal(), ss.Sig); err != nil {
+		_, err := s.pool.FirstError(len(p.Samples), func(i int) error {
+			if err := sigcrypto.VerifyMAC(sess.Key, p.Samples[i].Sample.Marshal(), p.Samples[i].Sig); err != nil {
 				return fmt.Errorf("MAC verification failed at sample %d", i)
 			}
-		}
-		return nil
+			return nil
+		})
+		return err
 	}); err != nil {
 		return violation(err.Error()), nil
 	}
@@ -164,7 +154,7 @@ func (s *Server) verifyAlibi(droneID string, alibi []poa.Sample) protocol.Submit
 	if err := s.stage(StageSufficiency, func() error {
 		zones := s.zonesForTrace(alibi)
 		var err error
-		rep, err = poa.VerifySufficiency(alibi, zones, s.cfg.VMaxMS, s.cfg.Mode)
+		rep, err = poa.VerifySufficiencyPool(alibi, zones, s.cfg.VMaxMS, s.cfg.Mode, s.pool)
 		if err != nil {
 			return err
 		}

@@ -15,7 +15,8 @@ import (
 // snapshot is the JSON state file of a server: everything needed to
 // restart the Auditor without re-registering the fleet. The private
 // encryption key is included — the file must be protected like a key file
-// (written 0600).
+// (written 0600). Nonces and replay digests carry their first-seen times
+// so a restored server keeps expiring them on the original schedule.
 type snapshot struct {
 	EncKey     string             `json:"encKey"`
 	Drones     []droneSnapshot    `json:"drones"`
@@ -24,8 +25,8 @@ type snapshot struct {
 	Zones3D    []cylinderRecord   `json:"zones3d"`
 	NextZone3D int                `json:"nextZone3d"`
 	Retained   []retainedSnapshot `json:"retained"`
-	Nonces     []string           `json:"nonces"`
-	PoADigests []string           `json:"poaDigests"`
+	Nonces     []nonceSnapshot    `json:"nonces"`
+	PoADigests []digestSnapshot   `json:"poaDigests"`
 }
 
 // droneSnapshot serialises a registered drone.
@@ -42,38 +43,53 @@ type retainedSnapshot struct {
 	SubmitTime time.Time    `json:"submitTime"`
 }
 
+// nonceSnapshot serialises one zone-query nonce with its first-seen time.
+type nonceSnapshot struct {
+	Nonce string    `json:"nonce"`
+	Seen  time.Time `json:"seen"`
+}
+
+// digestSnapshot serialises one replay-detection digest with its claim
+// time.
+type digestSnapshot struct {
+	Digest string    `json:"digest"`
+	Seen   time.Time `json:"seen"`
+}
+
 // SaveState writes the server's full state to path (mode 0600: it holds
 // the private encryption key). Sessions and open streams are deliberately
 // ephemeral and not persisted.
 func (s *Server) SaveState(path string) error {
-	s.mu.RLock()
-	snap := snapshot{NextDrone: s.nextDrone, NextZone3D: s.nextZone3D}
-	for _, rec := range s.drones {
+	var snap snapshot
+	drones := s.drones.all()
+	s.drones.mu.RLock()
+	snap.NextDrone = s.drones.next
+	s.drones.mu.RUnlock()
+	for _, rec := range drones {
 		opPub, err := sigcrypto.MarshalPublicKey(rec.OperatorPub)
 		if err != nil {
-			s.mu.RUnlock()
 			return fmt.Errorf("save state: %w", err)
 		}
 		teePub, err := sigcrypto.MarshalPublicKey(rec.TEEPub)
 		if err != nil {
-			s.mu.RUnlock()
 			return fmt.Errorf("save state: %w", err)
 		}
 		snap.Drones = append(snap.Drones, droneSnapshot{ID: rec.ID, OperatorPub: opPub, TEEPub: teePub})
 	}
-	for _, r := range s.retained {
+	for _, r := range s.retained.all() {
 		snap.Retained = append(snap.Retained, retainedSnapshot(r))
 	}
-	for n := range s.nonces {
-		snap.Nonces = append(snap.Nonces, n)
+	snap.Nonces = s.nonces.all()
+	for _, e := range s.seen.all() {
+		snap.PoADigests = append(snap.PoADigests, digestSnapshot{
+			Digest: hex.EncodeToString(e.digest[:]),
+			Seen:   e.seen,
+		})
 	}
-	for d := range s.poaSeen {
-		snap.PoADigests = append(snap.PoADigests, hex.EncodeToString(d[:]))
-	}
-	for _, z := range s.zones3D {
-		snap.Zones3D = append(snap.Zones3D, z)
-	}
-	s.mu.RUnlock()
+	snap.Zones3D = s.zones3D.all()
+	s.zones3D.mu.RLock()
+	snap.NextZone3D = s.zones3D.next
+	s.zones3D.mu.RUnlock()
 
 	snap.Zones = s.zones.All()
 	encKey, err := sigcrypto.MarshalPrivateKey(s.encKey)
@@ -184,37 +200,34 @@ func LoadServer(cfg Config, path string) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("load state: drone %s: %w", d.ID, err)
 		}
-		srv.drones[d.ID] = DroneRecord{ID: d.ID, OperatorPub: opPub, TEEPub: teePub}
+		srv.drones.restore(DroneRecord{ID: d.ID, OperatorPub: opPub, TEEPub: teePub}, snap.NextDrone)
 	}
-	srv.nextDrone = snap.NextDrone
 
 	if err := srv.zones.Import(snap.Zones); err != nil {
 		return nil, fmt.Errorf("load state: %w", err)
 	}
-	srv.zones3D = make(map[string]cylinderRecord, len(snap.Zones3D))
 	for _, z := range snap.Zones3D {
-		srv.zones3D[z.ID] = z
+		srv.zones3D.restore(z, snap.NextZone3D)
 	}
-	srv.nextZone3D = snap.NextZone3D
 
 	for _, r := range snap.Retained {
-		srv.retained = append(srv.retained, retainedPoA(r))
+		srv.retained.restore(retainedPoA(r))
 	}
 	// Re-seed the retention gauge so a scrape right after a restart
 	// reflects the restored store instead of reporting no data until
 	// the next submission or sweep.
-	cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(len(srv.retained)))
+	cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(srv.retained.len()))
 	for _, n := range snap.Nonces {
-		srv.nonces[n] = true
+		srv.nonces.restore(n)
 	}
-	for _, dstr := range snap.PoADigests {
-		raw, err := hex.DecodeString(dstr)
+	for _, d := range snap.PoADigests {
+		raw, err := hex.DecodeString(d.Digest)
 		if err != nil || len(raw) != 32 {
-			return nil, fmt.Errorf("load state: bad PoA digest %q", dstr)
+			return nil, fmt.Errorf("load state: bad PoA digest %q", d.Digest)
 		}
-		var d [32]byte
-		copy(d[:], raw)
-		srv.poaSeen[d] = true
+		var dg [32]byte
+		copy(dg[:], raw)
+		srv.seen.restore(dg, d.Seen)
 	}
 	return srv, nil
 }

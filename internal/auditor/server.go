@@ -5,6 +5,12 @@
 // the PoA retention store used to answer Zone Owner accusations after the
 // fact (paper §IV-C2: "the AliDrone Server should save the PoAs for a
 // couple of days").
+//
+// The verification hot path is parallel: per-sample signature checks and
+// the sufficiency scan fan out across a bounded worker pool shared by all
+// requests, and the server state is split into independently locked
+// stores so submissions from different drones never serialize on a global
+// lock (see DESIGN.md "Concurrency architecture").
 package auditor
 
 import (
@@ -15,11 +21,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 	"time"
 
 	"repro/internal/geo"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/poa"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
@@ -55,6 +61,11 @@ type retainedPoA struct {
 	SubmitTime time.Time
 }
 
+// DefaultNonceTTL bounds the zone-query anti-replay cache: a nonce only
+// needs to stay unique for as long as its signed query is plausibly in
+// flight, not forever.
+const DefaultNonceTTL = time.Hour
+
 // Config parameterises the server.
 type Config struct {
 	// VMaxMS is the speed bound used in sufficiency checks (the FAA
@@ -67,6 +78,15 @@ type Config struct {
 	EncKeyBits int
 	// Retention is how long verified PoAs are kept for accusations.
 	Retention time.Duration
+	// Workers sizes the verification worker pool shared by all parallel
+	// stages (per-sample RSA/HMAC checks, sufficiency sharding). 0
+	// selects GOMAXPROCS; 1 reproduces the historical sequential
+	// pipeline exactly — the paper-fidelity configuration.
+	Workers int
+	// NonceTTL is how long zone-query nonces are remembered for replay
+	// rejection. 0 selects DefaultNonceTTL; negative disables expiry
+	// (the cache then grows without bound — test use only).
+	NonceTTL time.Duration
 	// Random supplies entropy (crypto/rand.Reader when nil).
 	Random io.Reader
 	// Clock supplies time (obs.System when nil) so retention expiry is
@@ -78,24 +98,22 @@ type Config struct {
 	Metrics *obs.Registry
 }
 
-// Server is the AliDrone Server.
+// Server is the AliDrone Server. Its state lives in independently locked
+// stores (see stores.go) so concurrent submissions from different drones
+// contend only on data they actually share.
 type Server struct {
 	cfg    Config
 	encKey *rsa.PrivateKey
+	pool   *parallel.Pool
 
-	mu          sync.RWMutex
-	drones      map[string]DroneRecord
-	nextDrone   int
-	zones       *zone.Registry
-	nonces      map[string]bool
-	retained    []retainedPoA
-	poaSeen     map[[32]byte]bool // digests of accepted PoAs, for replay detection
-	sessions    map[string]sessionRecord
-	nextSession int
-	zones3D     map[string]cylinderRecord
-	nextZone3D  int
-	streams     map[string]*streamState
-	nextStream  int
+	drones   *droneStore
+	zones    *zone.Registry
+	nonces   *nonceStore
+	seen     *digestStore // accepted-PoA digests, for replay detection
+	retained *retentionStore
+	sessions *sessionStore
+	zones3D  *zone3DStore
+	streams  *streamStore
 }
 
 // NewServer creates an AliDrone Server with the given configuration.
@@ -112,6 +130,9 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Retention == 0 {
 		cfg.Retention = 48 * time.Hour
 	}
+	if cfg.NonceTTL == 0 {
+		cfg.NonceTTL = DefaultNonceTTL
+	}
 	if cfg.Random == nil {
 		cfg.Random = rand.Reader
 	}
@@ -122,28 +143,39 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("auditor keypair: %w", err)
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		encKey:   key,
-		drones:   make(map[string]DroneRecord),
+		pool:     parallel.NewPool(cfg.Workers),
+		drones:   newDroneStore(),
 		zones:    zone.NewRegistry(),
-		nonces:   make(map[string]bool),
-		poaSeen:  make(map[[32]byte]bool),
-		sessions: make(map[string]sessionRecord),
-	}, nil
+		nonces:   newNonceStore(cfg.NonceTTL),
+		seen:     newDigestStore(),
+		retained: &retentionStore{},
+		sessions: newSessionStore(),
+		zones3D:  newZone3DStore(),
+		streams:  newStreamStore(),
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Gauge(MetricVerifyWorkers).Set(float64(s.pool.Size()))
+		busy := cfg.Metrics.Gauge(MetricVerifyWorkersBusy)
+		s.pool.OnBusy = func(delta int) { busy.Add(float64(delta)) }
+	}
+	return s, nil
 }
+
+// Workers returns the size of the verification worker pool.
+func (s *Server) Workers() int { return s.pool.Size() }
 
 // Status summarises the server's operational state.
 func (s *Server) Status() protocol.StatusResponse {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return protocol.StatusResponse{
-		Drones:       len(s.drones),
+		Drones:       s.drones.len(),
 		Zones:        s.zones.Len(),
-		Zones3D:      len(s.zones3D),
-		RetainedPoAs: len(s.retained),
-		OpenStreams:  len(s.streams),
-		Sessions:     len(s.sessions),
+		Zones3D:      s.zones3D.len(),
+		RetainedPoAs: s.retained.len(),
+		OpenStreams:  s.streams.len(),
+		Sessions:     s.sessions.len(),
 	}
 }
 
@@ -164,12 +196,7 @@ func (s *Server) RegisterDrone(req protocol.RegisterDroneRequest) (protocol.Regi
 	if err != nil {
 		return protocol.RegisterDroneResponse{}, fmt.Errorf("tee key: %w", err)
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextDrone++
-	id := fmt.Sprintf("drone-%04d", s.nextDrone)
-	s.drones[id] = DroneRecord{ID: id, OperatorPub: opPub, TEEPub: teePub}
+	id := s.drones.register(DroneRecord{OperatorPub: opPub, TEEPub: teePub})
 	return protocol.RegisterDroneResponse{DroneID: id}, nil
 }
 
@@ -218,24 +245,16 @@ func (s *Server) RegisterPolygonZone(req protocol.RegisterPolygonZoneRequest) (p
 // the registered drone, reject replays, and return the zones intersecting
 // the navigation area.
 func (s *Server) ZoneQuery(req protocol.ZoneQueryRequest) (protocol.ZoneQueryResponse, error) {
-	s.mu.RLock()
-	rec, ok := s.drones[req.DroneID]
-	s.mu.RUnlock()
+	rec, ok := s.drones.get(req.DroneID)
 	if !ok {
 		return protocol.ZoneQueryResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
 	}
 	if err := protocol.VerifyZoneQuery(req, rec.OperatorPub); err != nil {
 		return protocol.ZoneQueryResponse{}, err
 	}
-
-	s.mu.Lock()
-	if s.nonces[req.Nonce] {
-		s.mu.Unlock()
+	if !s.nonces.claim(req.Nonce, s.cfg.Clock.Now()) {
 		return protocol.ZoneQueryResponse{}, fmt.Errorf("%w: replayed", protocol.ErrBadNonce)
 	}
-	s.nonces[req.Nonce] = true
-	s.mu.Unlock()
-
 	if !req.Area.Valid() {
 		return protocol.ZoneQueryResponse{}, fmt.Errorf("auditor: invalid query area %+v", req.Area)
 	}
@@ -253,9 +272,7 @@ func (s *Server) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoARes
 }
 
 func (s *Server) submitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
-	s.mu.RLock()
-	rec, ok := s.drones[req.DroneID]
-	s.mu.RUnlock()
+	rec, ok := s.drones.get(req.DroneID)
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
 	}
@@ -271,20 +288,20 @@ func (s *Server) submitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoARes
 
 	// Replay detection: a PoA describing one physical flight can only be
 	// submitted once. Re-reporting a previously accepted route is the
-	// replay attack from the threat model.
+	// replay attack from the threat model. The digest is claimed
+	// *atomically before* verification — claim-check-set as one step —
+	// so two concurrent submissions of the same bytes cannot both pass
+	// the check and both be accepted; the loser of the claim race is
+	// rejected here. A claim whose verification fails is released below,
+	// keeping failed submissions resubmittable.
 	digest := sha256.Sum256(plaintext)
-	s.mu.Lock()
-	replayed := s.poaSeen[digest]
-	s.mu.Unlock()
-	if replayed {
+	if !s.seen.claim(digest, s.cfg.Clock.Now()) {
 		return violation("replayed PoA: this trace was already reported"), nil
 	}
 
 	resp := s.verify(req.DroneID, rec, p)
-	if resp.Verdict == protocol.VerdictCompliant {
-		s.mu.Lock()
-		s.poaSeen[digest] = true
-		s.mu.Unlock()
+	if resp.Verdict != protocol.VerdictCompliant {
+		s.seen.release(digest)
 	}
 	return resp, nil
 }
@@ -294,7 +311,7 @@ func (s *Server) submitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoARes
 // (chronology → flyability → sufficiency, see verifyAlibi in modes.go).
 func (s *Server) verify(droneID string, rec DroneRecord, p poa.PoA) protocol.SubmitPoAResponse {
 	err := s.stage(StageSignature, func() error {
-		idx, err := protocol.VerifyPoASignatures(p, rec.TEEPub)
+		idx, err := protocol.VerifyPoASignaturesPool(p, rec.TEEPub, s.pool)
 		if err != nil {
 			return fmt.Errorf("signature check failed at sample %d: %w", idx, err)
 		}
@@ -308,7 +325,9 @@ func (s *Server) verify(droneID string, rec DroneRecord, p poa.PoA) protocol.Sub
 
 // zonesForTrace pulls the zones whose boundary could matter for a trace:
 // everything within the trace bounding box expanded by the maximum travel
-// budget between consecutive samples.
+// budget between consecutive samples. The lookup goes through the zone
+// registry's grid index, so it scales with the zones near the trace, not
+// with registry size.
 func (s *Server) zonesForTrace(alibi []poa.Sample) []geo.GeoCircle {
 	minLat, maxLat := alibi[0].Pos.Lat, alibi[0].Pos.Lat
 	minLon, maxLon := alibi[0].Pos.Lon, alibi[0].Pos.Lon
@@ -330,46 +349,38 @@ func (s *Server) zonesForTrace(alibi []poa.Sample) []geo.GeoCircle {
 
 // retain stores a verified alibi for the configured retention window.
 func (s *Server) retain(droneID string, alibi []poa.Sample) {
-	s.mu.Lock()
-	n := len(s.retained) + 1
-	s.retained = append(s.retained, retainedPoA{
+	n := s.retained.add(retainedPoA{
 		DroneID:    droneID,
 		Samples:    alibi,
 		SubmitTime: s.cfg.Clock.Now(),
 	})
-	s.mu.Unlock()
 	s.cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(n))
 }
 
 // PurgeExpired drops retained PoAs older than the retention window and
 // returns how many were removed. A PoA expires exactly at SubmitTime +
-// Retention: a purge run at that instant removes it.
+// Retention: a purge run at that instant removes it. The sweep also
+// expires the replay-digest set (same retention cutoff) and the
+// zone-query nonce cache (NonceTTL), so neither map grows without bound
+// under sustained traffic.
 func (s *Server) PurgeExpired() int {
-	cutoff := s.cfg.Clock.Now().Add(-s.cfg.Retention)
-	s.mu.Lock()
-	kept := s.retained[:0]
-	removed := 0
-	for _, r := range s.retained {
-		if r.SubmitTime.After(cutoff) {
-			kept = append(kept, r)
-		} else {
-			removed++
-		}
-	}
-	s.retained = kept
-	n := len(kept)
-	s.mu.Unlock()
-	s.cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(n))
+	now := s.cfg.Clock.Now()
+	cutoff := now.Add(-s.cfg.Retention)
+	removed, kept := s.retained.purge(cutoff)
+	s.cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(kept))
 	s.cfg.Metrics.Counter(MetricEvictedPoAsTotal).Add(uint64(removed))
+
+	if n := s.seen.sweep(cutoff); n > 0 {
+		s.cfg.Metrics.Counter(MetricExpiredDigestsTotal).Add(uint64(n))
+	}
+	if n := s.nonces.sweep(now); n > 0 {
+		s.cfg.Metrics.Counter(MetricExpiredNoncesTotal).Add(uint64(n))
+	}
 	return removed
 }
 
 // RetainedCount returns the number of PoAs currently retained.
-func (s *Server) RetainedCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.retained)
-}
+func (s *Server) RetainedCount() int { return s.retained.len() }
 
 // HandleAccusation resolves a Zone Owner report "(zone, drone, time)": it
 // locates the retained sample pair spanning the incident instant and
@@ -380,20 +391,11 @@ func (s *Server) HandleAccusation(droneID, zoneID string, at time.Time) (protoco
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownZone, zoneID)
 	}
-	s.mu.RLock()
-	_, droneKnown := s.drones[droneID]
-	var candidates []retainedPoA
-	for _, r := range s.retained {
-		if r.DroneID == droneID {
-			candidates = append(candidates, r)
-		}
-	}
-	s.mu.RUnlock()
-	if !droneKnown {
+	if _, known := s.drones.get(droneID); !known {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, droneID)
 	}
 
-	for _, r := range candidates {
+	for _, r := range s.retained.byDrone(droneID) {
 		for i := 0; i+1 < len(r.Samples); i++ {
 			s1, s2 := r.Samples[i], r.Samples[i+1]
 			if at.Before(s1.Time) || at.After(s2.Time) {

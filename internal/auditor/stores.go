@@ -1,0 +1,448 @@
+package auditor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/poa"
+)
+
+// This file holds the server's state stores. Historically every field sat
+// behind one Server.mu, which serialized concurrent submissions from
+// unrelated drones; the stores below are locked independently (and the
+// replay-digest set is sharded) so the only contention left between two
+// submissions is genuine contention on the same data.
+//
+// Lock ordering: no store method calls into another store, so no two
+// store locks are ever held at once and lock-order cycles are impossible
+// by construction.
+
+// droneStore is the registered-drone registry: (id_drone, D+, T+).
+type droneStore struct {
+	mu   sync.RWMutex
+	m    map[string]DroneRecord
+	next int
+}
+
+func newDroneStore() *droneStore { return &droneStore{m: make(map[string]DroneRecord)} }
+
+// register issues the next drone ID and files the record under it.
+func (st *droneStore) register(rec DroneRecord) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	rec.ID = fmt.Sprintf("drone-%04d", st.next)
+	st.m[rec.ID] = rec
+	return rec.ID
+}
+
+func (st *droneStore) get(id string) (DroneRecord, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	rec, ok := st.m[id]
+	return rec, ok
+}
+
+func (st *droneStore) len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.m)
+}
+
+// all returns every record sorted by ID (deterministic persistence).
+func (st *droneStore) all() []DroneRecord {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]DroneRecord, 0, len(st.m))
+	for _, rec := range st.m {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// restore files a record under its persisted ID and bumps the sequence.
+func (st *droneStore) restore(rec DroneRecord, next int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.m[rec.ID] = rec
+	if next > st.next {
+		st.next = next
+	}
+}
+
+// nonceStore is the zone-query anti-replay cache. Entries carry the time
+// they were first seen so they can expire after the configured TTL —
+// without expiry the map grows forever under sustained traffic.
+type nonceStore struct {
+	mu  sync.Mutex
+	m   map[string]time.Time
+	ttl time.Duration
+}
+
+func newNonceStore(ttl time.Duration) *nonceStore {
+	return &nonceStore{m: make(map[string]time.Time), ttl: ttl}
+}
+
+// claim records the nonce as used. It returns false — a replay — when
+// the nonce is already present and has not yet expired.
+func (st *nonceStore) claim(nonce string, now time.Time) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if seen, ok := st.m[nonce]; ok && (st.ttl <= 0 || now.Sub(seen) < st.ttl) {
+		return false
+	}
+	st.m[nonce] = now
+	return true
+}
+
+// sweep drops every expired nonce and returns how many were removed.
+func (st *nonceStore) sweep(now time.Time) int {
+	if st.ttl <= 0 {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	removed := 0
+	for n, seen := range st.m {
+		if now.Sub(seen) >= st.ttl {
+			delete(st.m, n)
+			removed++
+		}
+	}
+	return removed
+}
+
+func (st *nonceStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// all returns the live entries sorted by nonce (deterministic persistence).
+func (st *nonceStore) all() []nonceSnapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]nonceSnapshot, 0, len(st.m))
+	for n, seen := range st.m {
+		out = append(out, nonceSnapshot{Nonce: n, Seen: seen})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Nonce < out[j].Nonce })
+	return out
+}
+
+func (st *nonceStore) restore(n nonceSnapshot) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.m[n.Nonce] = n.Seen
+}
+
+// digestShards is the shard count of the replay-detection set. Shard
+// selection keys on the first digest byte; SHA-256 output is uniform, so
+// shards load-balance regardless of the submission pattern.
+const digestShards = 32
+
+// digestStore is the sharded set of accepted-PoA digests, for replay
+// detection. claim is atomic — the digest is reserved *before*
+// verification runs, closing the check-then-set window in which two
+// concurrent submissions of the same PoA could both be accepted.
+type digestStore struct {
+	shards [digestShards]struct {
+		mu sync.Mutex
+		m  map[[32]byte]time.Time
+	}
+}
+
+func newDigestStore() *digestStore {
+	st := &digestStore{}
+	for i := range st.shards {
+		st.shards[i].m = make(map[[32]byte]time.Time)
+	}
+	return st
+}
+
+// claim atomically reserves a digest. It returns false when the digest
+// is already present (a replay, or a concurrent duplicate in flight).
+func (st *digestStore) claim(d [32]byte, now time.Time) bool {
+	sh := &st.shards[d[0]%digestShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[d]; ok {
+		return false
+	}
+	sh.m[d] = now
+	return true
+}
+
+// release frees a claimed digest — called when the claimed submission
+// fails verification, so a later honest submission of the same bytes is
+// not shadowed by a failed one.
+func (st *digestStore) release(d [32]byte) {
+	sh := &st.shards[d[0]%digestShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.m, d)
+}
+
+// sweep drops digests claimed at or before the cutoff and returns how
+// many were removed. A replayed PoA older than the retention window has
+// no retained counterpart to contradict, so keeping its digest buys
+// nothing.
+func (st *digestStore) sweep(cutoff time.Time) int {
+	removed := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for d, seen := range sh.m {
+			if !seen.After(cutoff) {
+				delete(sh.m, d)
+				removed++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return removed
+}
+
+func (st *digestStore) len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// all returns the live digests sorted lexically (deterministic
+// persistence).
+func (st *digestStore) all() []digestEntry {
+	var out []digestEntry
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for d, seen := range sh.m {
+			out = append(out, digestEntry{digest: d, seen: seen})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for b := 0; b < 32; b++ {
+			if out[i].digest[b] != out[j].digest[b] {
+				return out[i].digest[b] < out[j].digest[b]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func (st *digestStore) restore(d [32]byte, seen time.Time) {
+	sh := &st.shards[d[0]%digestShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m[d] = seen
+}
+
+// digestEntry is one replay-set member with its claim time.
+type digestEntry struct {
+	digest [32]byte
+	seen   time.Time
+}
+
+// retentionStore holds verified PoAs for the accusation window.
+type retentionStore struct {
+	mu   sync.RWMutex
+	poas []retainedPoA
+}
+
+// add appends one retained PoA and returns the new store size.
+func (st *retentionStore) add(r retainedPoA) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.poas = append(st.poas, r)
+	return len(st.poas)
+}
+
+// purge drops PoAs submitted at or before the cutoff; returns how many
+// were removed and how many remain.
+func (st *retentionStore) purge(cutoff time.Time) (removed, kept int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	remaining := st.poas[:0]
+	for _, r := range st.poas {
+		if r.SubmitTime.After(cutoff) {
+			remaining = append(remaining, r)
+		} else {
+			removed++
+		}
+	}
+	st.poas = remaining
+	return removed, len(remaining)
+}
+
+func (st *retentionStore) len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.poas)
+}
+
+// byDrone returns the retained PoAs of one drone, in submission order.
+func (st *retentionStore) byDrone(droneID string) []retainedPoA {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []retainedPoA
+	for _, r := range st.poas {
+		if r.DroneID == droneID {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// all returns every retained PoA in submission order.
+func (st *retentionStore) all() []retainedPoA {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return append([]retainedPoA(nil), st.poas...)
+}
+
+func (st *retentionStore) restore(r retainedPoA) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.poas = append(st.poas, r)
+}
+
+// sessionStore holds the §VII-A1a symmetric flight sessions.
+type sessionStore struct {
+	mu   sync.RWMutex
+	m    map[string]sessionRecord
+	next int
+}
+
+func newSessionStore() *sessionStore { return &sessionStore{m: make(map[string]sessionRecord)} }
+
+func (st *sessionStore) add(rec sessionRecord) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	id := fmt.Sprintf("session-%04d", st.next)
+	st.m[id] = rec
+	return id
+}
+
+func (st *sessionStore) get(id string) (sessionRecord, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	rec, ok := st.m[id]
+	return rec, ok
+}
+
+func (st *sessionStore) len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.m)
+}
+
+// zone3DStore holds the §VII-B1 cylindrical no-fly regions.
+type zone3DStore struct {
+	mu   sync.RWMutex
+	m    map[string]cylinderRecord
+	next int
+}
+
+func newZone3DStore() *zone3DStore { return &zone3DStore{m: make(map[string]cylinderRecord)} }
+
+func (st *zone3DStore) add(owner string, z poa.CylinderZone) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	id := fmt.Sprintf("zone3d-%04d", st.next)
+	st.m[id] = cylinderRecord{ID: id, Owner: owner, Zone: z}
+	return id
+}
+
+func (st *zone3DStore) len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.m)
+}
+
+// zones returns the bare cylinder geometry (verification hot path).
+func (st *zone3DStore) zones() []poa.CylinderZone {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]poa.CylinderZone, 0, len(st.m))
+	for _, r := range st.m {
+		out = append(out, r.Zone)
+	}
+	return out
+}
+
+// all returns every record sorted by ID (deterministic persistence).
+func (st *zone3DStore) all() []cylinderRecord {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]cylinderRecord, 0, len(st.m))
+	for _, r := range st.m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (st *zone3DStore) restore(rec cylinderRecord, next int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.m[rec.ID] = rec
+	if next > st.next {
+		st.next = next
+	}
+}
+
+// streamStore holds the in-flight real-time audits. Each streamState has
+// its own lock so per-sample verification serializes per stream (samples
+// are ordered within a flight) while distinct streams proceed in
+// parallel.
+type streamStore struct {
+	mu   sync.Mutex
+	m    map[string]*streamState
+	next int
+}
+
+func newStreamStore() *streamStore { return &streamStore{m: make(map[string]*streamState)} }
+
+func (st *streamStore) open(droneID string) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	id := fmt.Sprintf("stream-%04d", st.next)
+	st.m[id] = &streamState{DroneID: droneID}
+	return id
+}
+
+func (st *streamStore) get(id string) (*streamState, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.m[id]
+	return s, ok
+}
+
+func (st *streamStore) remove(id string) (*streamState, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.m[id]
+	if ok {
+		delete(st.m, id)
+	}
+	return s, ok
+}
+
+func (st *streamStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}

@@ -3,6 +3,7 @@ package auditor
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/geo"
 	"repro/internal/poa"
@@ -17,8 +18,11 @@ var ErrUnknownStream = errors.New("auditor: unknown stream id")
 
 var _ protocol.StreamAPI = (*Server)(nil)
 
-// streamState is one in-flight real-time audit.
+// streamState is one in-flight real-time audit. Its own lock serializes
+// sample processing per stream (samples within a flight are ordered)
+// while distinct streams proceed fully in parallel.
 type streamState struct {
+	mu       sync.Mutex
 	DroneID  string
 	Samples  []poa.Sample
 	Violated bool
@@ -27,18 +31,10 @@ type streamState struct {
 
 // OpenStream starts a real-time audit for a registered drone.
 func (s *Server) OpenStream(req protocol.OpenStreamRequest) (protocol.OpenStreamResponse, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.drones[req.DroneID]; !ok {
+	if _, ok := s.drones.get(req.DroneID); !ok {
 		return protocol.OpenStreamResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
 	}
-	s.nextStream++
-	id := fmt.Sprintf("stream-%04d", s.nextStream)
-	if s.streams == nil {
-		s.streams = make(map[string]*streamState)
-	}
-	s.streams[id] = &streamState{DroneID: req.DroneID}
-	return protocol.OpenStreamResponse{StreamID: id}, nil
+	return protocol.OpenStreamResponse{StreamID: s.streams.open(req.DroneID)}, nil
 }
 
 // StreamSample verifies one incoming signed sample incrementally:
@@ -47,25 +43,21 @@ func (s *Server) OpenStream(req protocol.OpenStreamRequest) (protocol.OpenStream
 // The first failing check marks the whole stream violated — the real-time
 // property the mode exists for.
 func (s *Server) StreamSample(req protocol.StreamSampleRequest) (protocol.StreamSampleResponse, error) {
-	s.mu.Lock()
-	st, ok := s.streams[req.StreamID]
-	var rec DroneRecord
-	if ok {
-		rec = s.drones[st.DroneID]
-	}
-	s.mu.Unlock()
+	st, ok := s.streams.get(req.StreamID)
 	if !ok {
 		return protocol.StreamSampleResponse{}, fmt.Errorf("%w: %q", ErrUnknownStream, req.StreamID)
 	}
+	rec, _ := s.drones.get(st.DroneID)
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.Violated {
 		return protocol.StreamSampleResponse{Verdict: protocol.VerdictViolation, Reason: st.Reason}, nil
 	}
 
 	flag := func(reason string) (protocol.StreamSampleResponse, error) {
-		s.mu.Lock()
 		st.Violated = true
 		st.Reason = reason
-		s.mu.Unlock()
 		return protocol.StreamSampleResponse{Verdict: protocol.VerdictViolation, Reason: reason}, nil
 	}
 
@@ -74,33 +66,23 @@ func (s *Server) StreamSample(req protocol.StreamSampleRequest) (protocol.Stream
 		return flag("sample signature verification failed")
 	}
 
-	s.mu.Lock()
-	var prev *poa.Sample
 	if n := len(st.Samples); n > 0 {
-		p := st.Samples[n-1]
-		prev = &p
-	}
-	s.mu.Unlock()
-
-	if prev != nil {
+		prev := st.Samples[n-1]
 		if !sample.Time.After(prev.Time) {
 			return flag("sample out of chronological order")
 		}
-		pair := []poa.Sample{*prev, sample}
+		pair := []poa.Sample{prev, sample}
 		if err := poa.SpeedFeasible(pair, s.cfg.VMaxMS); err != nil {
 			return flag(err.Error())
 		}
-		zones := s.zonesForPair(*prev, sample)
-		for _, z := range zones {
-			if !poa.PairSufficient(*prev, sample, z, s.cfg.VMaxMS, s.cfg.Mode) {
+		for _, z := range s.zonesForPair(prev, sample) {
+			if !poa.PairSufficient(prev, sample, z, s.cfg.VMaxMS, s.cfg.Mode) {
 				return flag("pair insufficient: the drone may have entered a no-fly zone")
 			}
 		}
 	}
 
-	s.mu.Lock()
 	st.Samples = append(st.Samples, sample)
-	s.mu.Unlock()
 	return protocol.StreamSampleResponse{Verdict: protocol.VerdictCompliant}, nil
 }
 
@@ -108,15 +90,12 @@ func (s *Server) StreamSample(req protocol.StreamSampleRequest) (protocol.Stream
 // a clean stream with at least two samples is retained like a submitted
 // PoA.
 func (s *Server) CloseStream(req protocol.CloseStreamRequest) (protocol.SubmitPoAResponse, error) {
-	s.mu.Lock()
-	st, ok := s.streams[req.StreamID]
-	if ok {
-		delete(s.streams, req.StreamID)
-	}
-	s.mu.Unlock()
+	st, ok := s.streams.remove(req.StreamID)
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownStream, req.StreamID)
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	if st.Violated {
 		return violation(st.Reason), nil
 	}

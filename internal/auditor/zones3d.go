@@ -23,27 +23,11 @@ func (s *Server) RegisterZone3D(owner string, z poa.CylinderZone) (string, error
 	if !z.Center.Valid() || z.R <= 0 || z.AltMax < z.AltMin {
 		return "", fmt.Errorf("%w: %+v", ErrInvalidCylinder, z)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextZone3D++
-	id := fmt.Sprintf("zone3d-%04d", s.nextZone3D)
-	if s.zones3D == nil {
-		s.zones3D = make(map[string]cylinderRecord)
-	}
-	s.zones3D[id] = cylinderRecord{ID: id, Owner: owner, Zone: z}
-	return id, nil
+	return s.zones3D.add(owner, z), nil
 }
 
 // Zones3D returns all registered cylindrical zones.
-func (s *Server) Zones3D() []poa.CylinderZone {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]poa.CylinderZone, 0, len(s.zones3D))
-	for _, r := range s.zones3D {
-		out = append(out, r.Zone)
-	}
-	return out
-}
+func (s *Server) Zones3D() []poa.CylinderZone { return s.zones3D.zones() }
 
 // cylinderRecord is one registered 3-D zone.
 type cylinderRecord struct {

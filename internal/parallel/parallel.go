@@ -1,0 +1,200 @@
+// Package parallel is the worker-pool substrate of the auditor's
+// verification engine. A Pool bounds the number of goroutines doing
+// CPU-bound verification work (RSA/HMAC per-sample checks, sufficiency
+// geometry) across *all* concurrent requests, so a burst of submissions
+// degrades gracefully instead of spawning submissions × samples
+// goroutines.
+//
+// Determinism is a design requirement, not an accident: every helper is
+// specified so that a Pool with one worker (or a nil Pool) produces
+// byte-identical results to the historical sequential loops, and a Pool
+// with many workers produces the *same* results faster. FirstError
+// returns the lowest failing index — exactly what a sequential scan
+// would report — and Shard preserves input order by handing out
+// contiguous ranges.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: values <= 0 select
+// GOMAXPROCS, the "as fast as the hardware allows" default.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Pool is a bounded set of verification workers shared by all parallel
+// stages of a server. The zero value is unusable; use NewPool. A nil
+// *Pool is valid everywhere and means "run sequentially".
+type Pool struct {
+	workers int
+	sem     chan struct{}
+	// OnBusy, when set, is called with +1 when a worker slot is taken
+	// and -1 when it is returned. The auditor points this at its
+	// pool-depth gauge. It must be safe for concurrent use.
+	OnBusy func(delta int)
+}
+
+// NewPool creates a pool with the given number of worker slots
+// (<= 0 selects GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	w := Workers(workers)
+	return &Pool{workers: w, sem: make(chan struct{}, w)}
+}
+
+// Size returns the number of worker slots (1 for a nil pool).
+func (p *Pool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Sequential reports whether this pool degenerates to the sequential
+// path: nil or a single worker slot.
+func (p *Pool) Sequential() bool { return p == nil || p.workers == 1 }
+
+func (p *Pool) acquire() {
+	p.sem <- struct{}{}
+	if p.OnBusy != nil {
+		p.OnBusy(1)
+	}
+}
+
+func (p *Pool) release() {
+	if p.OnBusy != nil {
+		p.OnBusy(-1)
+	}
+	<-p.sem
+}
+
+// FirstError runs check(0) … check(n-1) and returns the lowest index
+// whose check failed together with its error, or (-1, nil) when every
+// check passes — the exact contract of a sequential early-return loop.
+//
+// On a multi-worker pool the indices are claimed from a shared counter
+// by up to Size() workers; once a failure at index f is known, indices
+// above f are cancelled (never claimed), so a forged sample near the
+// front of a long trace does not pay for verifying the whole tail.
+// Indices below f are always fully checked, which is what makes the
+// reported index deterministic: it is the global minimum failing index,
+// not merely the first one observed.
+func (p *Pool) FirstError(n int, check func(int) error) (int, error) {
+	if n <= 0 {
+		return -1, nil
+	}
+	if p.Sequential() || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := check(i); err != nil {
+				return i, err
+			}
+		}
+		return -1, nil
+	}
+
+	var (
+		next    atomic.Int64 // next index to claim
+		minFail atomic.Int64 // lowest failing index seen so far
+		mu      sync.Mutex
+		errs    map[int]error
+		wg      sync.WaitGroup
+	)
+	minFail.Store(int64(n))
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.acquire()
+			defer p.release()
+			for {
+				i := int(next.Add(1) - 1)
+				// Cancellation: nothing at or above a known failure can
+				// change the answer, so stop claiming.
+				if i >= n || int64(i) >= minFail.Load() {
+					return
+				}
+				if err := check(i); err != nil {
+					mu.Lock()
+					if errs == nil {
+						errs = make(map[int]error)
+					}
+					errs[i] = err
+					mu.Unlock()
+					for {
+						cur := minFail.Load()
+						if int64(i) >= cur || minFail.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if f := int(minFail.Load()); f < n {
+		return f, errs[f]
+	}
+	return -1, nil
+}
+
+// Shards splits [0, n) into at most workers contiguous half-open ranges
+// of near-equal size, in order. It returns nil for n <= 0.
+func Shards(n, workers int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([][2]int, 0, workers)
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := (n - lo) / (workers - w)
+		out = append(out, [2]int{lo, lo + size})
+		lo += size
+	}
+	return out
+}
+
+// Each runs fn over contiguous shards of [0, n) and waits for all of
+// them. Shard s covers [lo, hi). With a nil or single-worker pool it is
+// one synchronous call fn(0, 0, n); otherwise up to Size() workers each
+// take one shard, so callers can collect per-shard results into a slice
+// indexed by s and concatenate to preserve input order.
+func (p *Pool) Each(n int, fn func(s, lo, hi int)) int {
+	shards := Shards(n, p.Size())
+	if len(shards) == 0 {
+		return 0
+	}
+	if p.Sequential() || len(shards) == 1 {
+		fn(0, shards[0][0], shards[0][1])
+		return 1
+	}
+	var wg sync.WaitGroup
+	for s, sh := range shards {
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			p.acquire()
+			defer p.release()
+			fn(s, lo, hi)
+		}(s, sh[0], sh[1])
+	}
+	wg.Wait()
+	return len(shards)
+}

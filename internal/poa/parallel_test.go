@@ -1,0 +1,108 @@
+package poa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/parallel"
+)
+
+// TestVerifySufficiencyPoolDeterminism: the sharded scan must reproduce
+// the sequential Report exactly — same insufficiency ordering, same
+// InsufficientPairs — for traces with scattered failures.
+func TestVerifySufficiencyPoolDeterminism(t *testing.T) {
+	start := time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+	home := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	rng := rand.New(rand.NewSource(11))
+
+	// A sparse trace through a random zone field: long gaps make many
+	// pairs insufficient, in no particular pattern.
+	samples := make([]Sample, 120)
+	for i := range samples {
+		samples[i] = Sample{
+			Pos:  home.Offset(90, float64(i)*120),
+			Time: start.Add(time.Duration(i) * 15 * time.Second),
+		}
+	}
+	zones := make([]geo.GeoCircle, 40)
+	for i := range zones {
+		zones[i] = geo.GeoCircle{
+			Center: home.Offset(rng.Float64()*360, rng.Float64()*12000),
+			R:      20 + rng.Float64()*200,
+		}
+	}
+
+	for _, mode := range []TestMode{Conservative, Exact} {
+		seq, err := VerifySufficiency(samples, zones, geo.MaxDroneSpeedMPS, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Insufficiencies) == 0 {
+			t.Fatalf("mode %v: fixture produced no insufficiencies — test is vacuous", mode)
+		}
+		for _, workers := range []int{1, 2, 3, 8} {
+			par, err := VerifySufficiencyPool(samples, zones, geo.MaxDroneSpeedMPS, mode, parallel.NewPool(workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("mode %v workers %d: parallel report diverges:\nseq %+v\npar %+v",
+					mode, workers, seq, par)
+			}
+			if seq.InsufficientPairs() != par.InsufficientPairs() {
+				t.Errorf("mode %v workers %d: InsufficientPairs %d != %d",
+					mode, workers, seq.InsufficientPairs(), par.InsufficientPairs())
+			}
+		}
+	}
+}
+
+// TestVerifySufficiencyPoolCleanTrace: a fully sufficient trace must
+// return an identical (empty-insufficiency) report at every pool size.
+func TestVerifySufficiencyPoolCleanTrace(t *testing.T) {
+	start := time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+	home := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	samples := make([]Sample, 50)
+	for i := range samples {
+		samples[i] = Sample{Pos: home.Offset(90, float64(i)*5), Time: start.Add(time.Duration(i) * time.Second)}
+	}
+	zones := []geo.GeoCircle{{Center: home.Offset(0, 5000), R: 50}}
+
+	seq, err := VerifySufficiency(samples, zones, geo.MaxDroneSpeedMPS, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := VerifySufficiencyPool(samples, zones, geo.MaxDroneSpeedMPS, Conservative, parallel.NewPool(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Sufficient() || !par.Sufficient() {
+		t.Fatalf("clean trace flagged: seq %+v par %+v", seq, par)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("reports diverge: seq %+v par %+v", seq, par)
+	}
+}
+
+// TestVerifySufficiencyPoolErrors: validation errors must be identical
+// regardless of pool shape.
+func TestVerifySufficiencyPoolErrors(t *testing.T) {
+	pool := parallel.NewPool(4)
+	if _, err := VerifySufficiencyPool(nil, nil, 40, Conservative, pool); err != ErrTooFewSamples {
+		t.Errorf("too-few error = %v", err)
+	}
+	start := time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)
+	home := geo.LatLon{Lat: 40.1106, Lon: -88.2073}
+	backwards := []Sample{
+		{Pos: home, Time: start.Add(time.Second)},
+		{Pos: home, Time: start},
+	}
+	seqErr := func() error { _, err := VerifySufficiency(backwards, nil, 40, Conservative); return err }()
+	parErr := func() error { _, err := VerifySufficiencyPool(backwards, nil, 40, Conservative, pool); return err }()
+	if seqErr == nil || parErr == nil || seqErr.Error() != parErr.Error() {
+		t.Errorf("chronology errors diverge: seq %v par %v", seqErr, parErr)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/geo"
+	"repro/internal/parallel"
 )
 
 // TestMode selects how ellipse-zone disjointness is decided.
@@ -86,6 +87,17 @@ func (r Report) InsufficientPairs() int {
 // pair must prove impossibility of travelling into every zone. Samples must
 // be strictly chronological and number at least two.
 func VerifySufficiency(samples []Sample, zones []geo.GeoCircle, vmaxMS float64, mode TestMode) (Report, error) {
+	return VerifySufficiencyPool(samples, zones, vmaxMS, mode, nil)
+}
+
+// VerifySufficiencyPool is VerifySufficiency with the (pair × zone)
+// checks sharded across a worker pool: consecutive-sample pairs are split
+// into contiguous ranges, one per worker, and the per-shard insufficiency
+// lists are concatenated in shard order. Because the shards are contiguous
+// and each shard scans pairs then zones in ascending order — exactly the
+// sequential nesting — the resulting Report is identical (same ordering,
+// same InsufficientPairs) to the nil-pool sequential scan.
+func VerifySufficiencyPool(samples []Sample, zones []geo.GeoCircle, vmaxMS float64, mode TestMode, pool *parallel.Pool) (Report, error) {
 	if len(samples) < 2 {
 		return Report{}, ErrTooFewSamples
 	}
@@ -95,12 +107,30 @@ func VerifySufficiency(samples []Sample, zones []geo.GeoCircle, vmaxMS float64, 
 
 	var rep Report
 	rep.Pairs = len(samples) - 1
-	for i := 0; i+1 < len(samples); i++ {
-		for zi, z := range zones {
-			if !PairSufficient(samples[i], samples[i+1], z, vmaxMS, mode) {
-				rep.Insufficiencies = append(rep.Insufficiencies, Insufficiency{PairIndex: i, ZoneIndex: zi})
+
+	scan := func(lo, hi int) []Insufficiency {
+		var out []Insufficiency
+		for i := lo; i < hi; i++ {
+			for zi, z := range zones {
+				if !PairSufficient(samples[i], samples[i+1], z, vmaxMS, mode) {
+					out = append(out, Insufficiency{PairIndex: i, ZoneIndex: zi})
+				}
 			}
 		}
+		return out
+	}
+
+	if pool.Sequential() {
+		rep.Insufficiencies = scan(0, rep.Pairs)
+		return rep, nil
+	}
+
+	perShard := make([][]Insufficiency, pool.Size())
+	n := pool.Each(rep.Pairs, func(s, lo, hi int) {
+		perShard[s] = scan(lo, hi)
+	})
+	for _, ins := range perShard[:n] {
+		rep.Insufficiencies = append(rep.Insufficiencies, ins...)
 	}
 	return rep, nil
 }

@@ -13,6 +13,7 @@ import (
 	"io"
 
 	"repro/internal/geo"
+	"repro/internal/parallel"
 	"repro/internal/poa"
 	"repro/internal/sigcrypto"
 	"repro/internal/zone"
@@ -156,10 +157,26 @@ func VerifyZoneQuery(req ZoneQueryRequest, operatorPub *rsa.PublicKey) error {
 // against the registered TEE verification key T+. It returns the index of
 // the first bad sample, or -1 with a nil error when all verify.
 func VerifyPoASignatures(p poa.PoA, teePub *rsa.PublicKey) (int, error) {
-	for i, ss := range p.Samples {
+	return VerifyPoASignaturesPool(p, teePub, nil)
+}
+
+// VerifyPoASignaturesPool is VerifyPoASignatures fanned across a worker
+// pool. RSA verification dominates the auditor's per-submission cost
+// (paper §V, Table II), and the per-sample checks are independent, so
+// they parallelise embarrassingly; pool.FirstError guarantees the
+// reported index is still the lowest failing sample — identical to the
+// sequential scan — and cancels the tail once a forgery is found. A nil
+// pool runs the historical sequential loop.
+func VerifyPoASignaturesPool(p poa.PoA, teePub *rsa.PublicKey, pool *parallel.Pool) (int, error) {
+	idx, err := pool.FirstError(len(p.Samples), func(i int) error {
+		ss := p.Samples[i]
 		if err := sigcrypto.Verify(teePub, ss.Sample.Marshal(), ss.Sig); err != nil {
-			return i, fmt.Errorf("sample %d: %w", i, ErrBadSignature)
+			return fmt.Errorf("sample %d: %w", i, ErrBadSignature)
 		}
+		return nil
+	})
+	if err != nil {
+		return idx, err
 	}
 	return -1, nil
 }

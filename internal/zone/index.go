@@ -2,15 +2,24 @@ package zone
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/geo"
 )
 
-// Index is a uniform-grid spatial index over a fixed zone set, built once
-// per flight from the zone query response. The Adapter calls Nearest once
-// per GPS update (up to 5 Hz), so lookup cost matters when a residential
-// area holds hundreds of zones; the grid turns the O(n) scan into a ring
-// search over a handful of cells.
+// Index is a uniform-grid spatial index over a zone set. It serves two
+// callers with different shapes:
+//
+//   - The Adapter builds one per flight from the zone query response and
+//     calls Nearest once per GPS update (up to 5 Hz), so lookup cost
+//     matters when a residential area holds hundreds of zones; the grid
+//     turns the O(n) scan into a ring search over a handful of cells.
+//   - The Auditor's Registry keeps one incrementally up to date as zones
+//     register (Add) and answers navigation-rectangle queries through
+//     QueryRect, so zonesForTrace stays sublinear in registry size.
+//
+// Index is not itself safe for concurrent mutation; the Registry guards
+// it with its own lock, and per-flight indexes are read-only after build.
 type Index struct {
 	zones    []geo.GeoCircle
 	pr       *geo.Projection
@@ -19,6 +28,9 @@ type Index struct {
 	maxR     float64
 	// local caches the projected centres so queries do not re-project.
 	local []geo.Point
+	// Populated cell bounding box, so rect queries never enumerate the
+	// empty plane between a huge query rectangle and the data.
+	minCell, maxCell [2]int
 }
 
 // DefaultCellSizeMeters is a reasonable grid pitch for residential zone
@@ -32,7 +44,8 @@ func NewIndex(zones []geo.GeoCircle, cellSizeMeters float64) *Index {
 		cellSizeMeters = DefaultCellSizeMeters
 	}
 	idx := &Index{
-		zones:    append([]geo.GeoCircle(nil), zones...),
+		zones:    make([]geo.GeoCircle, 0, len(zones)),
+		local:    make([]geo.Point, 0, len(zones)),
 		cellSize: cellSizeMeters,
 		cells:    make(map[[2]int][]int),
 	}
@@ -48,17 +61,38 @@ func NewIndex(zones []geo.GeoCircle, cellSizeMeters float64) *Index {
 	}
 	idx.pr = geo.NewProjection(geo.LatLon{Lat: lat / float64(len(zones)), Lon: lon / float64(len(zones))})
 
-	idx.local = make([]geo.Point, len(zones))
-	for i, z := range zones {
-		p := idx.pr.ToLocal(z.Center)
-		idx.local[i] = p
-		c := idx.cellOf(p)
-		idx.cells[c] = append(idx.cells[c], i)
-		if z.R > idx.maxR {
-			idx.maxR = z.R
-		}
+	for _, z := range zones {
+		idx.Add(z)
 	}
 	return idx
+}
+
+// Add appends one zone to the index and returns its position. The first
+// Add on an empty index anchors the projection at that zone's centre; the
+// equirectangular projection is linear, so anchor choice affects only the
+// cell layout, never query results.
+func (idx *Index) Add(z geo.GeoCircle) int {
+	if idx.pr == nil {
+		idx.pr = geo.NewProjection(z.Center)
+	}
+	i := len(idx.zones)
+	idx.zones = append(idx.zones, z)
+	p := idx.pr.ToLocal(z.Center)
+	idx.local = append(idx.local, p)
+	c := idx.cellOf(p)
+	idx.cells[c] = append(idx.cells[c], i)
+	if z.R > idx.maxR {
+		idx.maxR = z.R
+	}
+	if i == 0 {
+		idx.minCell, idx.maxCell = c, c
+	} else {
+		idx.minCell[0] = min(idx.minCell[0], c[0])
+		idx.minCell[1] = min(idx.minCell[1], c[1])
+		idx.maxCell[0] = max(idx.maxCell[0], c[0])
+		idx.maxCell[1] = max(idx.maxCell[1], c[1])
+	}
+	return i
 }
 
 // Len returns the number of indexed zones.
@@ -112,6 +146,63 @@ func (idx *Index) Nearest(p geo.LatLon) (int, float64, error) {
 
 	// Refine with the geodesic distance for the reported value.
 	return bestIdx, idx.zones[bestIdx].BoundaryDistMeters(p), nil
+}
+
+// QueryRect returns the positions (ascending) of every zone whose
+// boundary reaches into the rectangle, under the registry's query
+// semantics: zone z matches iff rect.Expand(z.R).Contains(z.Center).
+//
+// The grid prunes candidates instead of scanning all zones: any matching
+// centre must lie inside rect.Expand(maxR) (Expand is monotone in its
+// margin), and because the equirectangular projection is separable and
+// monotone in lat and lon, that degree-rectangle maps to exactly a local
+// rectangle — so the candidate cells are a simple 2-D cell range. Each
+// candidate then gets the exact per-zone test, keeping results identical
+// to the linear scan.
+func (idx *Index) QueryRect(rect geo.Rect) []int {
+	if len(idx.zones) == 0 {
+		return nil
+	}
+	outer := rect.Expand(idx.maxR)
+	lo := idx.cellOf(idx.pr.ToLocal(geo.LatLon{Lat: outer.MinLat, Lon: outer.MinLon}))
+	hi := idx.cellOf(idx.pr.ToLocal(geo.LatLon{Lat: outer.MaxLat, Lon: outer.MaxLon}))
+	// Clamp to the populated bounding box so a continent-sized query
+	// rectangle costs O(populated cells), not O(area).
+	lo[0], lo[1] = max(lo[0], idx.minCell[0]), max(lo[1], idx.minCell[1])
+	hi[0], hi[1] = min(hi[0], idx.maxCell[0]), min(hi[1], idx.maxCell[1])
+	if lo[0] > hi[0] || lo[1] > hi[1] {
+		return nil
+	}
+
+	var out []int
+	match := func(zi int) {
+		z := idx.zones[zi]
+		if rect.Expand(z.R).Contains(z.Center) {
+			out = append(out, zi)
+		}
+	}
+	// Two ways to enumerate candidates; pick the cheaper one.
+	span := (hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1)
+	if span <= len(idx.cells) {
+		for cx := lo[0]; cx <= hi[0]; cx++ {
+			for cy := lo[1]; cy <= hi[1]; cy++ {
+				for _, zi := range idx.cells[[2]int{cx, cy}] {
+					match(zi)
+				}
+			}
+		}
+	} else {
+		for c, zis := range idx.cells {
+			if c[0] < lo[0] || c[0] > hi[0] || c[1] < lo[1] || c[1] > hi[1] {
+				continue
+			}
+			for _, zi := range zis {
+				match(zi)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // ringCells enumerates the cells forming square ring r around c.

@@ -32,16 +32,20 @@ type NFZ struct {
 }
 
 // Registry is the Auditor's NFZ database. It is safe for concurrent use.
+// A grid Index is maintained incrementally as zones register, so
+// rectangle queries (the auditor's zonesForTrace hot path) are sublinear
+// in registry size instead of scanning every zone.
 type Registry struct {
 	mu    sync.RWMutex
 	zones map[string]NFZ
 	order []string // registration order, for deterministic listings
+	idx   *Index   // position i indexes the zone registered i-th (order[i])
 	next  int
 }
 
 // NewRegistry creates an empty NFZ database.
 func NewRegistry() *Registry {
-	return &Registry{zones: make(map[string]NFZ)}
+	return &Registry{zones: make(map[string]NFZ), idx: NewIndex(nil, 0)}
 }
 
 // Register adds a circular zone and returns its issued ID (paper §IV-B
@@ -56,6 +60,7 @@ func (r *Registry) Register(owner string, c geo.GeoCircle) (string, error) {
 	id := fmt.Sprintf("zone-%04d", r.next)
 	r.zones[id] = NFZ{ID: id, Circle: c, Owner: owner}
 	r.order = append(r.order, id)
+	r.idx.Add(c)
 	return id, nil
 }
 
@@ -111,6 +116,7 @@ func (r *Registry) Import(zs []NFZ) error {
 		}
 		r.zones[z.ID] = z
 		r.order = append(r.order, z.ID)
+		r.idx.Add(z.Circle)
 		var n int
 		if _, err := fmt.Sscanf(z.ID, "zone-%04d", &n); err == nil && n > r.next {
 			r.next = n
@@ -122,8 +128,24 @@ func (r *Registry) Import(zs []NFZ) error {
 // QueryRect returns the zones relevant to a navigation rectangle: every
 // zone whose boundary reaches into the rectangle. The rectangle is
 // expanded by each zone's radius so zones centred outside but overlapping
-// the area are included (the drone must plan around those too).
+// the area are included (the drone must plan around those too). The
+// lookup goes through the incrementally maintained grid index, so its
+// cost scales with the zones near the rectangle, not the registry size.
 func (r *Registry) QueryRect(rect geo.Rect) []NFZ {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []NFZ
+	for _, pos := range r.idx.QueryRect(rect) {
+		out = append(out, r.zones[r.order[pos]])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// QueryRectLinear is the historical O(n) scan, kept as the equivalence
+// oracle for tests and the ablation baseline for BenchmarkZoneQueryRect*;
+// production callers use QueryRect.
+func (r *Registry) QueryRectLinear(rect geo.Rect) []NFZ {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var out []NFZ

@@ -1,0 +1,61 @@
+#!/bin/sh
+# bench.sh runs the benchmark suite with -benchmem and records the raw
+# output as a dated snapshot, so performance work leaves an auditable
+# trail. Each run writes BENCH_<yyyy-mm-dd>.json next to this repo's root
+# and, when an older snapshot exists, prints a per-benchmark ns/op
+# comparison against the most recent one.
+#
+# Usage:
+#
+#   scripts/bench.sh                 # full suite, -benchtime 1x (smoke)
+#   BENCHTIME=2s scripts/bench.sh    # real measurement run
+#   BENCH='VerifyPipeline' scripts/bench.sh   # subset by regexp
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-.}"
+BENCHTIME="${BENCHTIME:-1x}"
+DATE="$(date +%Y-%m-%d)"
+OUT="BENCH_${DATE}.json"
+
+PREV="$(ls BENCH_*.json 2>/dev/null | grep -v "^${OUT}\$" | sort | tail -1 || true)"
+
+echo ">> go test -bench ${BENCH} -benchtime ${BENCHTIME} -benchmem -run '^$' ."
+RAW="$(go test -bench "${BENCH}" -benchtime "${BENCHTIME}" -benchmem -run '^$' .)"
+echo "${RAW}"
+
+# Snapshot as JSON: one object per benchmark line, plus run metadata.
+{
+	printf '{\n  "date": "%s",\n  "benchtime": "%s",\n  "results": [\n' "${DATE}" "${BENCHTIME}"
+	echo "${RAW}" | awk '
+		/^Benchmark/ {
+			line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", $1, $2, $3)
+			for (i = 4; i <= NF; i++) {
+				if ($i == "B/op")      line = line sprintf(", \"bytes_per_op\": %s", $(i-1))
+				if ($i == "allocs/op") line = line sprintf(", \"allocs_per_op\": %s", $(i-1))
+			}
+			lines[++n] = line "}"
+		}
+		END {
+			for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+		}'
+	printf '  ]\n}\n'
+} >"${OUT}"
+echo ">> wrote ${OUT}"
+
+if [ -n "${PREV}" ]; then
+	echo ">> comparing against ${PREV} (ns/op, old -> new)"
+	awk -F'"' '
+		/"name"/ {
+			name = $4
+			split($0, parts, /"ns_per_op": /)
+			split(parts[2], v, /[,}]/)
+			if (FILENAME == ARGV[1]) old[name] = v[1]
+			else if (name in old) {
+				delta = (v[1] - old[name]) / old[name] * 100
+				printf "%-60s %14.0f -> %14.0f  (%+.1f%%)\n", name, old[name], v[1], delta
+			}
+		}' "${PREV}" "${OUT}"
+else
+	echo ">> no previous snapshot; nothing to compare"
+fi

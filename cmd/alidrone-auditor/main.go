@@ -5,14 +5,24 @@
 // Usage:
 //
 //	alidrone-auditor -listen :8470 [-retention 48h] [-mode exact|conservative]
+//	                 [-state-dir /var/lib/alidrone] [-compact-every 4096] [-fsync=true]
 //	                 [-state /var/lib/alidrone/state.json] [-save-every 1m]
 //	                 [-metrics=false] [-workers 0] [-nonce-ttl 1h]
 //
-// With -state, the server restores its registries and retained PoAs from
-// the file at startup (if present) and checkpoints back periodically and
-// on shutdown. Unless -metrics=false, the server exposes Prometheus-style
-// counters on GET /metrics and a liveness probe on GET /healthz (see the
-// README "Observability" section for the metric names).
+// With -state-dir, the server persists through the write-ahead-log
+// storage engine: every committed mutation is durable before the request
+// returns, and restart recovery replays the WAL tail over the latest
+// compacted snapshot (see DESIGN.md "Durability architecture"). If the
+// directory is empty and a legacy -state file exists, the file is
+// migrated into the engine on first start.
+//
+// With only -state, the server runs in the legacy whole-file mode:
+// restore at startup, checkpoint periodically and on shutdown. Mutations
+// between checkpoints are lost on a crash.
+//
+// Unless -metrics=false, the server exposes Prometheus-style counters on
+// GET /metrics and a liveness probe on GET /healthz (see the README
+// "Observability" section for the metric names).
 package main
 
 import (
@@ -29,52 +39,85 @@ import (
 	"repro/internal/auditor"
 	"repro/internal/obs"
 	"repro/internal/poa"
+	"repro/internal/storage"
 )
 
+// options collects the CLI configuration run() executes.
+type options struct {
+	listen       string
+	retention    time.Duration
+	mode         string
+	statePath    string // legacy monolithic state file
+	stateDir     string // WAL + snapshot storage engine directory
+	saveEvery    time.Duration
+	compactEvery int
+	fsync        bool
+	metrics      bool
+	workers      int
+	nonceTTL     time.Duration
+}
+
 func main() {
-	listen := flag.String("listen", ":8470", "address to serve the auditor API on")
-	retention := flag.Duration("retention", 48*time.Hour, "how long verified PoAs are kept for accusations")
-	mode := flag.String("mode", "exact", "sufficiency test: exact or conservative")
-	statePath := flag.String("state", "", "state file for persistence (empty = in-memory only)")
-	saveEvery := flag.Duration("save-every", time.Minute, "state checkpoint interval (with -state)")
-	metrics := flag.Bool("metrics", true, "serve GET /metrics and per-stage instrumentation")
-	workers := flag.Int("workers", 0, "verification worker pool size (0 = GOMAXPROCS, 1 = sequential pipeline)")
-	nonceTTL := flag.Duration("nonce-ttl", auditor.DefaultNonceTTL, "how long zone-query nonces are remembered for replay rejection")
+	var o options
+	flag.StringVar(&o.listen, "listen", ":8470", "address to serve the auditor API on")
+	flag.DurationVar(&o.retention, "retention", 48*time.Hour, "how long verified PoAs are kept for accusations")
+	flag.StringVar(&o.mode, "mode", "exact", "sufficiency test: exact or conservative")
+	flag.StringVar(&o.stateDir, "state-dir", "", "storage-engine directory: WAL + snapshot persistence (empty = no engine)")
+	flag.IntVar(&o.compactEvery, "compact-every", 0, "WAL records between snapshot compactions (0 = default, negative = never)")
+	flag.BoolVar(&o.fsync, "fsync", true, "fsync the WAL on every commit (-fsync=false trades durability for throughput)")
+	flag.StringVar(&o.statePath, "state", "", "legacy state file; with -state-dir it is the migration source")
+	flag.DurationVar(&o.saveEvery, "save-every", time.Minute, "retention sweep interval (and checkpoint interval in legacy -state mode)")
+	flag.BoolVar(&o.metrics, "metrics", true, "serve GET /metrics and per-stage instrumentation")
+	flag.IntVar(&o.workers, "workers", 0, "verification worker pool size (0 = GOMAXPROCS, 1 = sequential pipeline)")
+	flag.DurationVar(&o.nonceTTL, "nonce-ttl", auditor.DefaultNonceTTL, "how long zone-query nonces are remembered for replay rejection")
 	flag.Parse()
 
-	if err := run(*listen, *retention, *mode, *statePath, *saveEvery, *metrics, *workers, *nonceTTL); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "alidrone-auditor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, retention time.Duration, mode, statePath string, saveEvery time.Duration, metrics bool, workers int, nonceTTL time.Duration) error {
+func run(o options) error {
 	var testMode poa.TestMode
-	switch mode {
+	switch o.mode {
 	case "exact":
 		testMode = poa.Exact
 	case "conservative":
 		testMode = poa.Conservative
 	default:
-		return fmt.Errorf("unknown mode %q (want exact or conservative)", mode)
+		return fmt.Errorf("unknown mode %q (want exact or conservative)", o.mode)
 	}
 
-	cfg := auditor.Config{Mode: testMode, Retention: retention, Workers: workers, NonceTTL: nonceTTL}
-	if metrics {
+	cfg := auditor.Config{
+		Mode:         testMode,
+		Retention:    o.retention,
+		Workers:      o.workers,
+		NonceTTL:     o.nonceTTL,
+		CompactEvery: o.compactEvery,
+	}
+	if o.metrics {
 		cfg.Metrics = obs.NewRegistry(nil)
 	}
-	srv, err := openServer(cfg, statePath)
+	srv, store, err := openServer(cfg, o)
 	if err != nil {
 		return err
 	}
 
-	// Housekeeping: purge expired PoAs and checkpoint state until stop.
+	// Housekeeping: purge expired PoAs (and, in legacy mode, checkpoint
+	// the state file) until stop. With the storage engine attached the
+	// purge itself is WAL-logged and compaction is automatic, so the
+	// sweeper only sweeps.
+	legacyCheckpoint := ""
+	if store == nil {
+		legacyCheckpoint = o.statePath
+	}
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	sweeper := &auditor.Sweeper{
 		Server:    srv,
-		StatePath: statePath,
-		Interval:  saveEvery,
+		StatePath: legacyCheckpoint,
+		Interval:  o.saveEvery,
 		Logf:      log.Printf,
 	}
 	go func() {
@@ -82,43 +125,76 @@ func run(listen string, retention time.Duration, mode, statePath string, saveEve
 		sweeper.Run(stop)
 	}()
 
-	httpSrv := &http.Server{Addr: listen, Handler: auditor.NewHandler(srv)}
+	httpSrv := &http.Server{Addr: o.listen, Handler: auditor.NewHandler(srv)}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		close(stop)
 		<-done
-		checkpoint(srv, statePath)
+		shutdown(srv, store, legacyCheckpoint)
 		_ = httpSrv.Close()
 	}()
 
-	log.Printf("alidrone-auditor listening on %s (mode=%s, retention=%v, state=%q, workers=%d)",
-		listen, mode, retention, statePath, srv.Workers())
+	log.Printf("alidrone-auditor listening on %s (mode=%s, retention=%v, state-dir=%q, state=%q, workers=%d)",
+		o.listen, o.mode, o.retention, o.stateDir, o.statePath, srv.Workers())
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return nil
 }
 
-// openServer restores from the state file when it exists, otherwise
-// creates a fresh server.
-func openServer(cfg auditor.Config, statePath string) (*auditor.Server, error) {
-	if statePath != "" {
-		if _, err := os.Stat(statePath); err == nil {
-			srv, err := auditor.LoadServer(cfg, statePath)
+// openServer opens the configured persistence: the storage engine when
+// -state-dir is set (with the legacy -state file as migration source),
+// the legacy whole-file restore when only -state is set, a purely
+// in-memory server otherwise. The returned store is nil outside engine
+// mode.
+func openServer(cfg auditor.Config, o options) (*auditor.Server, storage.Store, error) {
+	if o.stateDir != "" {
+		st, err := storage.OpenFileStore(o.stateDir, storage.Options{NoFsync: !o.fsync, Metrics: cfg.Metrics})
+		if err != nil {
+			return nil, nil, fmt.Errorf("open state dir: %w", err)
+		}
+		srv, err := auditor.OpenServer(cfg, st, o.statePath)
+		if err != nil {
+			_ = st.Close()
+			return nil, nil, fmt.Errorf("recover state: %w", err)
+		}
+		log.Printf("storage engine open in %s", o.stateDir)
+		return srv, st, nil
+	}
+	if o.statePath != "" {
+		if _, err := os.Stat(o.statePath); err == nil {
+			srv, err := auditor.LoadServer(cfg, o.statePath)
 			if err != nil {
-				return nil, fmt.Errorf("restore state: %w", err)
+				return nil, nil, fmt.Errorf("restore state: %w", err)
 			}
-			log.Printf("restored state from %s", statePath)
-			return srv, nil
+			log.Printf("restored state from %s", o.statePath)
+			return srv, nil, nil
 		}
 	}
-	return auditor.NewServer(cfg)
+	srv, err := auditor.NewServer(cfg)
+	return srv, nil, err
 }
 
-// checkpoint writes the state file, logging (not failing) on error — the
-// serving path must not die because the disk hiccuped.
+// shutdown flushes state on the way out: a final compacted snapshot and
+// store close in engine mode, a legacy checkpoint otherwise. Errors are
+// logged, not fatal — the process is exiting either way.
+func shutdown(srv *auditor.Server, store storage.Store, legacyCheckpoint string) {
+	if store != nil {
+		if err := srv.Checkpoint(); err != nil {
+			log.Printf("final checkpoint failed: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			log.Printf("store close failed: %v", err)
+		}
+		return
+	}
+	checkpoint(srv, legacyCheckpoint)
+}
+
+// checkpoint writes the legacy state file, logging (not failing) on error
+// — the serving path must not die because the disk hiccuped.
 func checkpoint(srv *auditor.Server, statePath string) {
 	if statePath == "" {
 		return

@@ -10,25 +10,33 @@ import (
 	"repro/internal/protocol"
 )
 
-func TestOpenServerFreshAndRestore(t *testing.T) {
-	statePath := filepath.Join(t.TempDir(), "state.json")
-	cfg := auditor.Config{Retention: time.Hour}
-
-	// Fresh start: no state file yet.
-	srv, err := openServer(cfg, statePath)
-	if err != nil {
-		t.Fatal(err)
-	}
+func registerTestZone(t *testing.T, srv *auditor.Server) {
+	t.Helper()
 	if _, err := srv.RegisterZone(protocol.RegisterZoneRequest{
 		Owner: "alice",
 		Zone:  geo.GeoCircle{Center: geo.LatLon{Lat: 40.1, Lon: -88.2}, R: 100},
 	}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestOpenServerFreshAndRestore(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	cfg := auditor.Config{Retention: time.Hour}
+
+	// Fresh start: no state file yet.
+	srv, store, err := openServer(cfg, options{statePath: statePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store != nil {
+		t.Fatal("legacy mode should not open a storage engine")
+	}
+	registerTestZone(t, srv)
 	checkpoint(srv, statePath)
 
 	// Restart: the zone survives.
-	restored, err := openServer(cfg, statePath)
+	restored, _, err := openServer(cfg, options{statePath: statePath})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +46,7 @@ func TestOpenServerFreshAndRestore(t *testing.T) {
 
 	// Empty state path: checkpoint is a no-op and open always fresh.
 	checkpoint(srv, "")
-	fresh, err := openServer(cfg, "")
+	fresh, _, err := openServer(cfg, options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,8 +55,49 @@ func TestOpenServerFreshAndRestore(t *testing.T) {
 	}
 }
 
+// TestOpenServerEngine covers the -state-dir path: mutations are durable
+// through the WAL with no explicit checkpoint, and a legacy -state file
+// migrates into an empty engine directory.
+func TestOpenServerEngine(t *testing.T) {
+	dir := t.TempDir()
+	stateDir := filepath.Join(dir, "state")
+	cfg := auditor.Config{Retention: time.Hour}
+
+	srv, store, err := openServer(cfg, options{stateDir: stateDir, fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerTestZone(t, srv)
+	shutdown(srv, store, "")
+
+	restored, store2, err := openServer(cfg, options{stateDir: stateDir, fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(restored, store2, "")
+	if restored.Zones().Len() != 1 {
+		t.Errorf("restored zones = %d, want 1", restored.Zones().Len())
+	}
+
+	// Migration: a legacy state file seeds a fresh engine directory.
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := restored.SaveState(legacy); err != nil {
+		t.Fatal(err)
+	}
+	migratedDir := filepath.Join(dir, "migrated")
+	migrated, store3, err := openServer(cfg, options{stateDir: migratedDir, statePath: legacy, fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(migrated, store3, "")
+	if migrated.Zones().Len() != 1 {
+		t.Errorf("migrated zones = %d, want 1", migrated.Zones().Len())
+	}
+}
+
 func TestRunRejectsBadMode(t *testing.T) {
-	if err := run(":0", time.Hour, "sloppy", "", time.Minute, true, 0, time.Hour); err == nil {
+	err := run(options{listen: ":0", retention: time.Hour, mode: "sloppy", saveEvery: time.Minute, metrics: true, nonceTTL: time.Hour})
+	if err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

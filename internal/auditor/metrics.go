@@ -49,6 +49,10 @@ const (
 	// MetricExpiredDigestsTotal counts replay-detection digests dropped
 	// when they aged out of the retention window.
 	MetricExpiredDigestsTotal = "alidrone_auditor_expired_digests_total"
+	// MetricWALErrorsTotal counts failed write-ahead-log appends and
+	// compactions. Nonzero means the in-memory state has run ahead of the
+	// durable state — a page-the-operator condition.
+	MetricWALErrorsTotal = "alidrone_auditor_wal_errors_total"
 )
 
 // Verification pipeline stage labels, in pipeline order.

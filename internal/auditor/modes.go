@@ -55,7 +55,7 @@ func (s *Server) submitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.Su
 	}); err != nil {
 		return violation("batch signature verification failed"), nil
 	}
-	return s.verifyAlibi(req.DroneID, batch.Samples), nil
+	return s.verifyAlibi(req.DroneID, batch.Samples)
 }
 
 // StartSession establishes a §VII-A1a symmetric flight session: the server
@@ -124,7 +124,7 @@ func (s *Server) submitMACPoA(req protocol.SubmitMACPoARequest) (protocol.Submit
 	}); err != nil {
 		return violation(err.Error()), nil
 	}
-	return s.verifyAlibi(req.DroneID, p.Alibi()), nil
+	return s.verifyAlibi(req.DroneID, p.Alibi())
 }
 
 // sessionRecord is one established symmetric flight session.
@@ -135,20 +135,22 @@ type sessionRecord struct {
 
 // verifyAlibi runs the authenticity-independent part of the pipeline
 // (chronology → flyability → sufficiency) over a bare sample trace and
-// retains it on success. Shared by all three PoA envelopes.
-func (s *Server) verifyAlibi(droneID string, alibi []poa.Sample) protocol.SubmitPoAResponse {
+// retains it on success. Shared by all three PoA envelopes. The error
+// return is reserved for retention-durability failures: a verdict the
+// server cannot make durable is not issued.
+func (s *Server) verifyAlibi(droneID string, alibi []poa.Sample) (protocol.SubmitPoAResponse, error) {
 	if len(alibi) < 2 {
-		return violation("PoA has fewer than two samples")
+		return violation("PoA has fewer than two samples"), nil
 	}
 	if err := s.stage(StageChronology, func() error {
 		return poa.CheckChronology(alibi)
 	}); err != nil {
-		return violation(err.Error())
+		return violation(err.Error()), nil
 	}
 	if err := s.stage(StageSpeed, func() error {
 		return poa.SpeedFeasible(alibi, s.cfg.VMaxMS)
 	}); err != nil {
-		return violation(err.Error())
+		return violation(err.Error()), nil
 	}
 	var rep poa.Report
 	if err := s.stage(StageSufficiency, func() error {
@@ -163,18 +165,20 @@ func (s *Server) verifyAlibi(droneID string, alibi []poa.Sample) protocol.Submit
 		}
 		return nil
 	}); err != nil && err != errInsufficient {
-		return violation(err.Error())
+		return violation(err.Error()), nil
 	}
 	if !rep.Sufficient() {
 		return protocol.SubmitPoAResponse{
 			Verdict:           protocol.VerdictViolation,
 			Reason:            "insufficient alibi: the drone may have entered a no-fly zone",
 			InsufficientPairs: rep.InsufficientPairs(),
-		}
+		}, nil
 	}
 	if resp3d := s.verify3D(alibi); resp3d != nil {
-		return *resp3d
+		return *resp3d, nil
 	}
-	s.retain(droneID, alibi)
-	return protocol.SubmitPoAResponse{Verdict: protocol.VerdictCompliant}
+	if err := s.retain(droneID, alibi); err != nil {
+		return protocol.SubmitPoAResponse{}, err
+	}
+	return protocol.SubmitPoAResponse{Verdict: protocol.VerdictCompliant}, nil
 }

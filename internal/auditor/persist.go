@@ -3,12 +3,14 @@ package auditor
 import (
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/poa"
 	"repro/internal/sigcrypto"
+	"repro/internal/storage"
 	"repro/internal/zone"
 )
 
@@ -36,11 +38,13 @@ type droneSnapshot struct {
 	TEEPub      string `json:"teePub"`
 }
 
-// retainedSnapshot serialises one retained alibi.
+// retainedSnapshot serialises one retained alibi. Seq is absent from
+// legacy (pre-WAL) state files; zero means "always restore".
 type retainedSnapshot struct {
 	DroneID    string       `json:"droneId"`
 	Samples    []poa.Sample `json:"samples"`
 	SubmitTime time.Time    `json:"submitTime"`
+	Seq        uint64       `json:"seq,omitempty"`
 }
 
 // nonceSnapshot serialises one zone-query nonce with its first-seen time.
@@ -56,10 +60,11 @@ type digestSnapshot struct {
 	Seen   time.Time `json:"seen"`
 }
 
-// SaveState writes the server's full state to path (mode 0600: it holds
-// the private encryption key). Sessions and open streams are deliberately
-// ephemeral and not persisted.
-func (s *Server) SaveState(path string) error {
+// buildSnapshot captures the server's durable state. Each store is read
+// under its own lock; no store lock is held across another store's, so
+// the capture can run concurrently with submissions (each mutation is
+// either fully captured here or replayed from the WAL — see wal.go).
+func (s *Server) buildSnapshot() (snapshot, error) {
 	var snap snapshot
 	drones := s.drones.all()
 	s.drones.mu.RLock()
@@ -68,11 +73,11 @@ func (s *Server) SaveState(path string) error {
 	for _, rec := range drones {
 		opPub, err := sigcrypto.MarshalPublicKey(rec.OperatorPub)
 		if err != nil {
-			return fmt.Errorf("save state: %w", err)
+			return snapshot{}, fmt.Errorf("save state: %w", err)
 		}
 		teePub, err := sigcrypto.MarshalPublicKey(rec.TEEPub)
 		if err != nil {
-			return fmt.Errorf("save state: %w", err)
+			return snapshot{}, fmt.Errorf("save state: %w", err)
 		}
 		snap.Drones = append(snap.Drones, droneSnapshot{ID: rec.ID, OperatorPub: opPub, TEEPub: teePub})
 	}
@@ -94,19 +99,38 @@ func (s *Server) SaveState(path string) error {
 	snap.Zones = s.zones.All()
 	encKey, err := sigcrypto.MarshalPrivateKey(s.encKey)
 	if err != nil {
-		return fmt.Errorf("save state: %w", err)
+		return snapshot{}, fmt.Errorf("save state: %w", err)
 	}
 	snap.EncKey = encKey
+	return snap, nil
+}
 
+// snapshotBytes serialises the current state; it is the capture function
+// handed to storage.Store.Snapshot.
+func (s *Server) snapshotBytes() ([]byte, error) {
+	snap, err := s.buildSnapshot()
+	if err != nil {
+		return nil, err
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
-		return fmt.Errorf("save state: %w", err)
+		return nil, fmt.Errorf("save state: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o600); err != nil {
-		return fmt.Errorf("save state: %w", err)
+	return data, nil
+}
+
+// SaveState writes the server's full state to path (mode 0600: it holds
+// the private encryption key). Sessions and open streams are deliberately
+// ephemeral and not persisted. The replace is crash-safe: the temp file
+// and the directory entry are both fsynced before SaveState returns, so a
+// power cut leaves either the old state or the new — never a torn or
+// unlinked file.
+func (s *Server) SaveState(path string) error {
+	data, err := s.snapshotBytes()
+	if err != nil {
+		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := storage.WriteFileAtomic(path, data, 0o600, true); err != nil {
 		return fmt.Errorf("save state: %w", err)
 	}
 	return nil
@@ -176,6 +200,15 @@ func LoadServer(cfg Config, path string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("load state: %w", err)
 	}
+	return loadServerBytes(cfg, data)
+}
+
+// loadServerBytes restores a server from serialised snapshot bytes —
+// whether they came from a legacy monolithic state file or the storage
+// engine's latest compacted snapshot. On any decode or restore error the
+// half-built server is discarded and a clean error returned; a corrupt
+// snapshot never yields a partially restored server.
+func loadServerBytes(cfg Config, data []byte) (*Server, error) {
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return nil, fmt.Errorf("load state: %w", err)
@@ -228,6 +261,65 @@ func LoadServer(cfg Config, path string) (*Server, error) {
 		var dg [32]byte
 		copy(dg[:], raw)
 		srv.seen.restore(dg, d.Seen)
+	}
+	return srv, nil
+}
+
+// OpenServer recovers a server from a storage engine and attaches it, so
+// every subsequent mutation is logged durably. Recovery is snapshot +
+// WAL-tail replay; see internal/storage for the on-disk contract.
+//
+// legacyState, when non-empty, names a pre-WAL monolithic state file
+// (SaveState's output). It is the migration path: if the store is empty
+// but the legacy file exists, the server loads from it and immediately
+// compacts it into the store. The legacy file is left in place untouched.
+//
+// A fresh store (no snapshot, no WAL) gets an initial snapshot before
+// OpenServer returns: the just-generated encryption key must be durable
+// before any drone encrypts a PoA to it.
+func OpenServer(cfg Config, st storage.Store, legacyState string) (*Server, error) {
+	snapBytes, tail, err := st.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("open server: %w", err)
+	}
+	if snapBytes == nil && len(tail) > 0 {
+		return nil, errors.New("open server: state dir has WAL records but no snapshot")
+	}
+
+	var srv *Server
+	switch {
+	case snapBytes != nil:
+		if srv, err = loadServerBytes(cfg, snapBytes); err != nil {
+			return nil, fmt.Errorf("open server: %w", err)
+		}
+	case legacyState != "":
+		if _, statErr := os.Stat(legacyState); statErr == nil {
+			if srv, err = LoadServer(cfg, legacyState); err != nil {
+				return nil, fmt.Errorf("open server: migrate %s: %w", legacyState, err)
+			}
+		}
+	}
+	if srv == nil {
+		if srv, err = NewServer(cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	for i, rec := range tail {
+		if err := srv.applyRecord(rec); err != nil {
+			return nil, fmt.Errorf("open server: replay WAL record %d: %w", i, err)
+		}
+	}
+	if len(tail) > 0 {
+		cfg.Metrics.Gauge(storage.MetricRecoveryReplayedRecords).Set(float64(len(tail)))
+		cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(srv.retained.len()))
+	}
+
+	srv.attachStore(st)
+	if snapBytes == nil {
+		if err := srv.Checkpoint(); err != nil {
+			return nil, fmt.Errorf("open server: initial snapshot: %w", err)
+		}
 	}
 	return srv, nil
 }

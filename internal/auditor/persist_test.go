@@ -1,7 +1,9 @@
 package auditor
 
 import (
+	"encoding/json"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -86,4 +88,88 @@ func TestLoadServerErrors(t *testing.T) {
 	if _, err := LoadServer(Config{}, filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing state file accepted")
 	}
+}
+
+// TestLoadServerRejectsCorruptSnapshots feeds damaged state files to the
+// loader: every one must come back as a clean error — no panic, no
+// half-restored server.
+func TestLoadServerRejectsCorruptSnapshots(t *testing.T) {
+	srv, _, _ := newFixture(t)
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := srv.SaveState(path); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":         {},
+		"garbage":       []byte("\x00\xff\x1fnot json at all"),
+		"truncated":     valid[:len(valid)/2],
+		"wrong type":    []byte(`[1,2,3]`),
+		"no key":        []byte(`{"drones":[]}`),
+		"bad key":       []byte(`{"encKey":"AAAA"}`),
+		"bad drone key": []byte(`{"encKey":"` + snapshotField(t, valid, "encKey") + `","drones":[{"id":"drone-0001","operatorPub":"!!","teePub":"!!"}]}`),
+		"bad digest":    []byte(`{"encKey":"` + snapshotField(t, valid, "encKey") + `","poaDigests":[{"digest":"zz","seen":"2018-06-01T15:00:00Z"}]}`),
+	}
+	for name, data := range cases {
+		if _, err := loadServerBytes(Config{Random: rand.New(rand.NewSource(1))}, data); err == nil {
+			t.Errorf("%s snapshot accepted", name)
+		}
+	}
+}
+
+// snapshotField extracts one top-level string field from serialised
+// snapshot JSON.
+func snapshotField(t *testing.T, data []byte, field string) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := m[field].(string)
+	if !ok {
+		t.Fatalf("snapshot field %q missing", field)
+	}
+	return s
+}
+
+// FuzzLoadSnapshot throws arbitrary bytes at the snapshot loader. The
+// invariant is the satellite requirement: corrupt input yields an error,
+// never a panic, and an accepted input yields a serviceable server.
+func FuzzLoadSnapshot(f *testing.F) {
+	srv, err := NewServer(Config{Random: rand.New(rand.NewSource(1)), EncKeyBits: 512})
+	if err != nil {
+		f.Fatal(err)
+	}
+	path := filepath.Join(f.TempDir(), "state.json")
+	if err := srv.SaveState(path); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"encKey":"AAAA","retained":[{"seq":18446744073709551615}]}`))
+	f.Add([]byte(`{"zones":[{"id":"zone-9999","circle":{"center":{"lat":1e308,"lon":-1e308},"r":1}}]}`))
+	f.Add([]byte("\x00\x01\x02garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Small key: the fuzz loop pays one keygen per exec.
+		cfg := Config{Random: rand.New(rand.NewSource(2)), EncKeyBits: 512}
+		srv, err := loadServerBytes(cfg, data)
+		if err != nil {
+			return
+		}
+		// Accepted snapshots must produce a server that answers.
+		_ = srv.Status()
+		if err := srv.SaveState(filepath.Join(t.TempDir(), "resave.json")); err != nil {
+			t.Fatalf("accepted snapshot cannot re-save: %v", err)
+		}
+	})
 }

@@ -17,10 +17,12 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geo"
@@ -29,6 +31,7 @@ import (
 	"repro/internal/poa"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
+	"repro/internal/storage"
 	"repro/internal/zone"
 )
 
@@ -54,11 +57,14 @@ type DroneRecord struct {
 	TEEPub      *rsa.PublicKey // T+: verifies PoA sample signatures
 }
 
-// retainedPoA is a verified submission kept for later accusations.
+// retainedPoA is a verified submission kept for later accusations. Seq is
+// assigned by the retention store when the PoA is first added; WAL replay
+// uses it to skip records whose effect is already in a loaded snapshot.
 type retainedPoA struct {
 	DroneID    string
 	Samples    []poa.Sample
 	SubmitTime time.Time
+	Seq        uint64
 }
 
 // DefaultNonceTTL bounds the zone-query anti-replay cache: a nonce only
@@ -96,6 +102,11 @@ type Config struct {
 	// retention-store metrics. Nil disables instrumentation at the cost
 	// of one pointer comparison per call.
 	Metrics *obs.Registry
+	// CompactEvery is the number of WAL records between automatic
+	// snapshot compactions when a storage engine is attached (see
+	// OpenServer). 0 selects DefaultCompactEvery; negative disables
+	// automatic compaction (explicit Checkpoint calls only).
+	CompactEvery int
 }
 
 // Server is the AliDrone Server. Its state lives in independently locked
@@ -114,6 +125,15 @@ type Server struct {
 	sessions *sessionStore
 	zones3D  *zone3DStore
 	streams  *streamStore
+
+	// Durability (nil/zero when running purely in memory, e.g. tests).
+	// store receives one typed record per committed mutation; walSince
+	// counts records since the last snapshot; compacting serialises
+	// inline auto-compaction (see wal.go).
+	store        storage.Store
+	walSince     atomic.Uint64
+	compacting   atomic.Bool
+	compactEvery uint64
 }
 
 // NewServer creates an AliDrone Server with the given configuration.
@@ -197,6 +217,9 @@ func (s *Server) RegisterDrone(req protocol.RegisterDroneRequest) (protocol.Regi
 		return protocol.RegisterDroneResponse{}, fmt.Errorf("tee key: %w", err)
 	}
 	id := s.drones.register(DroneRecord{OperatorPub: opPub, TEEPub: teePub})
+	if err := s.wal(recDroneRegistered, walDrone{ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub}); err != nil {
+		return protocol.RegisterDroneResponse{}, err
+	}
 	return protocol.RegisterDroneResponse{DroneID: id}, nil
 }
 
@@ -252,8 +275,12 @@ func (s *Server) ZoneQuery(req protocol.ZoneQueryRequest) (protocol.ZoneQueryRes
 	if err := protocol.VerifyZoneQuery(req, rec.OperatorPub); err != nil {
 		return protocol.ZoneQueryResponse{}, err
 	}
-	if !s.nonces.claim(req.Nonce, s.cfg.Clock.Now()) {
+	now := s.cfg.Clock.Now()
+	if !s.nonces.claim(req.Nonce, now) {
 		return protocol.ZoneQueryResponse{}, fmt.Errorf("%w: replayed", protocol.ErrBadNonce)
+	}
+	if err := s.wal(recNonceSeen, nonceSnapshot{Nonce: req.Nonce, Seen: now}); err != nil {
+		return protocol.ZoneQueryResponse{}, err
 	}
 	if !req.Area.Valid() {
 		return protocol.ZoneQueryResponse{}, fmt.Errorf("auditor: invalid query area %+v", req.Area)
@@ -295,13 +322,22 @@ func (s *Server) submitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoARes
 	// rejected here. A claim whose verification fails is released below,
 	// keeping failed submissions resubmittable.
 	digest := sha256.Sum256(plaintext)
-	if !s.seen.claim(digest, s.cfg.Clock.Now()) {
+	claimed := s.cfg.Clock.Now()
+	if !s.seen.claim(digest, claimed) {
 		return violation("replayed PoA: this trace was already reported"), nil
 	}
 
-	resp := s.verify(req.DroneID, rec, p)
-	if resp.Verdict != protocol.VerdictCompliant {
+	resp, err := s.verify(req.DroneID, rec, p)
+	if err != nil || resp.Verdict != protocol.VerdictCompliant {
 		s.seen.release(digest)
+		return resp, err
+	}
+	// The digest claim commits — and is logged — only with the compliant
+	// verdict, so the WAL records the accepted history and a crashed
+	// verification leaves the trace resubmittable.
+	if err := s.wal(recDigestClaimed, digestSnapshot{Digest: hex.EncodeToString(digest[:]), Seen: claimed}); err != nil {
+		s.seen.release(digest)
+		return protocol.SubmitPoAResponse{}, err
 	}
 	return resp, nil
 }
@@ -309,7 +345,7 @@ func (s *Server) submitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoARes
 // verify runs the full verification pipeline over a decrypted PoA:
 // per-sample TEE signatures (goal G3), then the shared alibi pipeline
 // (chronology → flyability → sufficiency, see verifyAlibi in modes.go).
-func (s *Server) verify(droneID string, rec DroneRecord, p poa.PoA) protocol.SubmitPoAResponse {
+func (s *Server) verify(droneID string, rec DroneRecord, p poa.PoA) (protocol.SubmitPoAResponse, error) {
 	err := s.stage(StageSignature, func() error {
 		idx, err := protocol.VerifyPoASignaturesPool(p, rec.TEEPub, s.pool)
 		if err != nil {
@@ -318,7 +354,7 @@ func (s *Server) verify(droneID string, rec DroneRecord, p poa.PoA) protocol.Sub
 		return nil
 	})
 	if err != nil {
-		return violation(err.Error())
+		return violation(err.Error()), nil
 	}
 	return s.verifyAlibi(droneID, p.Alibi())
 }
@@ -347,14 +383,17 @@ func (s *Server) zonesForTrace(alibi []poa.Sample) []geo.GeoCircle {
 	return zone.Circles(s.zones.QueryRect(rect))
 }
 
-// retain stores a verified alibi for the configured retention window.
-func (s *Server) retain(droneID string, alibi []poa.Sample) {
-	n := s.retained.add(retainedPoA{
+// retain stores a verified alibi for the configured retention window and
+// logs it; the mutation is committed before the append so a snapshot
+// captured between the two still covers it (replay dedups on Seq).
+func (s *Server) retain(droneID string, alibi []poa.Sample) error {
+	r, n := s.retained.add(retainedPoA{
 		DroneID:    droneID,
 		Samples:    alibi,
 		SubmitTime: s.cfg.Clock.Now(),
 	})
 	s.cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(n))
+	return s.wal(recPoARetained, retainedSnapshot(r))
 }
 
 // PurgeExpired drops retained PoAs older than the retention window and
@@ -370,11 +409,21 @@ func (s *Server) PurgeExpired() int {
 	s.cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(kept))
 	s.cfg.Metrics.Counter(MetricEvictedPoAsTotal).Add(uint64(removed))
 
+	swept := 0
 	if n := s.seen.sweep(cutoff); n > 0 {
 		s.cfg.Metrics.Counter(MetricExpiredDigestsTotal).Add(uint64(n))
+		swept += n
 	}
 	if n := s.nonces.sweep(now); n > 0 {
 		s.cfg.Metrics.Counter(MetricExpiredNoncesTotal).Add(uint64(n))
+		swept += n
+	}
+	if removed+swept > 0 {
+		// Log the sweep with its commit-time cutoffs so the expiry
+		// schedule survives a restart. A failed append is already counted
+		// in the WAL-error metric; the in-memory purge stands either way,
+		// and an unlogged purge merely replays as a no-op sweep.
+		_ = s.wal(recPurge, walPurge{Cutoff: cutoff, Now: now})
 	}
 	return removed
 }

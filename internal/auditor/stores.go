@@ -253,18 +253,24 @@ type digestEntry struct {
 	seen   time.Time
 }
 
-// retentionStore holds verified PoAs for the accusation window.
+// retentionStore holds verified PoAs for the accusation window. seq is a
+// monotonic counter stamped onto every added PoA; WAL replay uses it to
+// recognise records whose effect is already in a restored snapshot.
 type retentionStore struct {
 	mu   sync.RWMutex
 	poas []retainedPoA
+	seq  uint64
 }
 
-// add appends one retained PoA and returns the new store size.
-func (st *retentionStore) add(r retainedPoA) int {
+// add stamps the next sequence number onto r, appends it, and returns the
+// stamped record along with the new store size.
+func (st *retentionStore) add(r retainedPoA) (retainedPoA, int) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.seq++
+	r.Seq = st.seq
 	st.poas = append(st.poas, r)
-	return len(st.poas)
+	return r, len(st.poas)
 }
 
 // purge drops PoAs submitted at or before the cutoff; returns how many
@@ -310,10 +316,20 @@ func (st *retentionStore) all() []retainedPoA {
 	return append([]retainedPoA(nil), st.poas...)
 }
 
+// restore re-files a persisted PoA. Records whose sequence number is not
+// beyond the store's high-water mark are already present (snapshot overlap
+// during WAL replay) and are skipped; legacy seq-0 entries from pre-WAL
+// snapshots always restore.
 func (st *retentionStore) restore(r retainedPoA) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if r.Seq != 0 && r.Seq <= st.seq {
+		return
+	}
 	st.poas = append(st.poas, r)
+	if r.Seq > st.seq {
+		st.seq = r.Seq
+	}
 }
 
 // sessionStore holds the §VII-A1a symmetric flight sessions.

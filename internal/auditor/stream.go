@@ -105,7 +105,9 @@ func (s *Server) CloseStream(req protocol.CloseStreamRequest) (protocol.SubmitPo
 	if resp3d := s.verify3D(st.Samples); resp3d != nil {
 		return *resp3d, nil
 	}
-	s.retain(st.DroneID, st.Samples)
+	if err := s.retain(st.DroneID, st.Samples); err != nil {
+		return protocol.SubmitPoAResponse{}, err
+	}
 	return protocol.SubmitPoAResponse{Verdict: protocol.VerdictCompliant}, nil
 }
 

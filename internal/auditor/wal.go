@@ -1,0 +1,196 @@
+package auditor
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/sigcrypto"
+	"repro/internal/storage"
+	"repro/internal/zone"
+)
+
+// The auditor's WAL schema. Every durable state mutation — and only
+// committed ones — emits exactly one typed record at its commit point:
+//
+//	drone registered, zone registered (circular or polygon-enclosed),
+//	3-D zone registered, PoA retained, zone-query nonce claimed,
+//	accepted-PoA replay digest claimed, retention purge.
+//
+// Sessions and open streams stay deliberately ephemeral, exactly as in
+// the legacy whole-state snapshot. Replay-digest claims that *fail*
+// verification are released before commit and never logged, so the WAL
+// records the accepted history only.
+//
+// Replay is idempotent: applying a record whose effect is already in the
+// loaded snapshot is a no-op (keyed stores overwrite by key; retained
+// PoAs carry a monotonic sequence number; purges are cutoff-driven).
+// That tolerance is what lets the storage engine capture snapshots
+// concurrently with new appends — see internal/storage.
+const (
+	recDroneRegistered  byte = 1
+	recZoneRegistered   byte = 2
+	recZone3DRegistered byte = 3
+	recPoARetained      byte = 4
+	recNonceSeen        byte = 5
+	recDigestClaimed    byte = 6
+	recPurge            byte = 7
+)
+
+// DefaultCompactEvery is the number of WAL records between automatic
+// snapshot compactions when Config.CompactEvery is zero.
+const DefaultCompactEvery = 4096
+
+// walDrone is the payload of recDroneRegistered.
+type walDrone struct {
+	ID          string `json:"id"`
+	OperatorPub string `json:"operatorPub"`
+	TEEPub      string `json:"teePub"`
+}
+
+// walPurge is the payload of recPurge: the sweep is replayed with the
+// cutoffs computed at commit time, not recovery time, so a restart keeps
+// expiring retained PoAs, digests and nonces on the original schedule.
+type walPurge struct {
+	Cutoff time.Time `json:"cutoff"` // retention cutoff (PoAs + digests)
+	Now    time.Time `json:"now"`    // sweep instant (nonce TTL)
+}
+
+// wal appends one typed record to the attached store, durable at return.
+// With no store attached it is a no-op. Crossing the compaction
+// threshold triggers an inline snapshot compaction (one writer pays the
+// amortised cost; concurrent writers skip past the CAS).
+func (s *Server) wal(kind byte, v any) error {
+	if s.store == nil {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err == nil {
+		err = s.store.Append(storage.Record{Kind: kind, Data: data})
+	}
+	if err != nil {
+		s.cfg.Metrics.Counter(MetricWALErrorsTotal).Inc()
+		return fmt.Errorf("auditor: wal append: %w", err)
+	}
+	if n := s.walSince.Add(1); n >= s.compactEvery && s.compacting.CompareAndSwap(false, true) {
+		defer s.compacting.Store(false)
+		if err := s.Checkpoint(); err != nil {
+			s.cfg.Metrics.Counter(MetricWALErrorsTotal).Inc()
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes a compacted snapshot through the attached store,
+// truncating the WAL it covers. No-op without a store.
+func (s *Server) Checkpoint() error {
+	if s.store == nil {
+		return nil
+	}
+	if err := s.store.Snapshot(s.snapshotBytes); err != nil {
+		return fmt.Errorf("auditor: checkpoint: %w", err)
+	}
+	s.walSince.Store(0)
+	return nil
+}
+
+// attachStore wires the storage engine into the server's mutation
+// points. Called once, before the server starts serving.
+func (s *Server) attachStore(st storage.Store) {
+	s.store = st
+	s.compactEvery = uint64(DefaultCompactEvery)
+	switch {
+	case s.cfg.CompactEvery > 0:
+		s.compactEvery = uint64(s.cfg.CompactEvery)
+	case s.cfg.CompactEvery < 0:
+		s.compactEvery = ^uint64(0) // never auto-compact
+	}
+	// Zones can be registered through the exposed registry as well as the
+	// protocol endpoint; the registry hook catches both paths.
+	s.zones.SetOnAdd(func(z zone.NFZ) error {
+		return s.wal(recZoneRegistered, z)
+	})
+}
+
+// applyRecord replays one WAL record onto the in-memory state. Every
+// branch is idempotent over the snapshot the record may already be part
+// of, and none recomputes verification — the WAL records verdicts the
+// server already committed.
+func (s *Server) applyRecord(rec storage.Record) error {
+	switch rec.Kind {
+	case recDroneRegistered:
+		var d walDrone
+		if err := json.Unmarshal(rec.Data, &d); err != nil {
+			return fmt.Errorf("drone record: %w", err)
+		}
+		opPub, err := sigcrypto.UnmarshalPublicKey(d.OperatorPub)
+		if err != nil {
+			return fmt.Errorf("drone record %s: operator key: %w", d.ID, err)
+		}
+		teePub, err := sigcrypto.UnmarshalPublicKey(d.TEEPub)
+		if err != nil {
+			return fmt.Errorf("drone record %s: tee key: %w", d.ID, err)
+		}
+		s.drones.restore(DroneRecord{ID: d.ID, OperatorPub: opPub, TEEPub: teePub}, seqFromID(d.ID, "drone-%04d"))
+	case recZoneRegistered:
+		var z zone.NFZ
+		if err := json.Unmarshal(rec.Data, &z); err != nil {
+			return fmt.Errorf("zone record: %w", err)
+		}
+		if err := s.zones.Restore(z); err != nil {
+			return fmt.Errorf("zone record: %w", err)
+		}
+	case recZone3DRegistered:
+		var z cylinderRecord
+		if err := json.Unmarshal(rec.Data, &z); err != nil {
+			return fmt.Errorf("zone3d record: %w", err)
+		}
+		s.zones3D.restore(z, seqFromID(z.ID, "zone3d-%04d"))
+	case recPoARetained:
+		var r retainedSnapshot
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fmt.Errorf("retained record: %w", err)
+		}
+		s.retained.restore(retainedPoA(r))
+	case recNonceSeen:
+		var n nonceSnapshot
+		if err := json.Unmarshal(rec.Data, &n); err != nil {
+			return fmt.Errorf("nonce record: %w", err)
+		}
+		s.nonces.restore(n)
+	case recDigestClaimed:
+		var d digestSnapshot
+		if err := json.Unmarshal(rec.Data, &d); err != nil {
+			return fmt.Errorf("digest record: %w", err)
+		}
+		raw, err := hex.DecodeString(d.Digest)
+		if err != nil || len(raw) != 32 {
+			return fmt.Errorf("digest record: bad digest %q", d.Digest)
+		}
+		var dg [32]byte
+		copy(dg[:], raw)
+		s.seen.restore(dg, d.Seen)
+	case recPurge:
+		var p walPurge
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return fmt.Errorf("purge record: %w", err)
+		}
+		s.retained.purge(p.Cutoff)
+		s.seen.sweep(p.Cutoff)
+		s.nonces.sweep(p.Now)
+	default:
+		return fmt.Errorf("unknown WAL record kind %d", rec.Kind)
+	}
+	return nil
+}
+
+// seqFromID recovers the issue counter from a formatted store ID so
+// replayed registrations keep the sequence monotonic.
+func seqFromID(id, format string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, format, &n); err != nil {
+		return 0
+	}
+	return n
+}

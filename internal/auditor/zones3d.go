@@ -23,7 +23,11 @@ func (s *Server) RegisterZone3D(owner string, z poa.CylinderZone) (string, error
 	if !z.Center.Valid() || z.R <= 0 || z.AltMax < z.AltMin {
 		return "", fmt.Errorf("%w: %+v", ErrInvalidCylinder, z)
 	}
-	return s.zones3D.add(owner, z), nil
+	id := s.zones3D.add(owner, z)
+	if err := s.wal(recZone3DRegistered, cylinderRecord{ID: id, Owner: owner, Zone: z}); err != nil {
+		return "", err
+	}
+	return id, nil
 }
 
 // Zones3D returns all registered cylindrical zones.

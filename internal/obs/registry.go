@@ -26,6 +26,13 @@ var (
 	// CountBuckets covers discrete sizes: samples per zone crossing,
 	// samples per PoA, retries per request.
 	CountBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+	// SyncBuckets covers commit-latency observations (WAL fsyncs): finer
+	// than DurationBuckets below a millisecond, where the difference
+	// between an SSD (~100 µs) and a spinning disk (~10 ms) lives.
+	SyncBuckets = []float64{
+		25e-6, 50e-6, 100e-6, 200e-6, 400e-6, 800e-6,
+		1.6e-3, 3e-3, 6e-3, 12e-3, 25e-3, 50e-3, 100e-3, 250e-3, 1,
+	}
 )
 
 // Counter is a monotonically increasing metric.

@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// tmpCounter distinguishes concurrent atomic writes within one process;
+// the PID distinguishes processes. Together they make temp names unique,
+// and O_EXCL turns any residual collision into an error instead of two
+// writers interleaving into one file.
+var tmpCounter atomic.Uint64
+
+// WriteFileAtomic durably replaces path with data: write to an exclusive
+// temp file, fsync it, rename over path, then fsync the parent directory
+// so the rename itself survives a crash. A bare rename without the two
+// syncs can leave either an empty file (data never reached the platter)
+// or the old directory entry (the rename never did) after power loss.
+// With sync=false the fsyncs are skipped (test/benchmark use).
+func WriteFileAtomic(path string, data []byte, perm os.FileMode, sync bool) error {
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), tmpCounter.Add(1))
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, perm)
+	if err != nil {
+		return fmt.Errorf("atomic write: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomic write: %w", err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("atomic write: sync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomic write: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomic write: %w", err)
+	}
+	if sync {
+		if err := SyncDir(filepath.Dir(path)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory, making recent entry creations, renames and
+// removals inside it durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	return nil
+}

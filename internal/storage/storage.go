@@ -1,0 +1,86 @@
+// Package storage is the auditor's pluggable persistence engine. The
+// paper makes the Auditor the system of record for alibis ("the Auditor
+// retains the PoA as evidence"), so durability cannot hinge on periodic
+// whole-state rewrites: a Store accepts an append-only stream of typed
+// mutation records (the write-ahead log), durable at the moment Append
+// returns, plus periodic compacted snapshots that bound the log length.
+// Recovery is snapshot + WAL-tail replay.
+//
+// Two backends implement Store: MemStore (tests, benchmark baseline) and
+// FileStore (a CRC32-framed, length-prefixed on-disk log with
+// fsync-on-commit group commit and segment-rotating compaction).
+//
+// The contract the auditor relies on:
+//
+//   - Append(recs...) returns only after every record in the call is
+//     durable (FileStore: flushed and fsynced — batched across concurrent
+//     callers, so commit latency amortises under load).
+//   - Snapshot(capture) rotates the log *before* invoking capture, so any
+//     mutation applied before its record was appended is either in the
+//     captured state or in a segment that survives pruning. Replay is
+//     therefore required to be idempotent: a record whose effect is
+//     already present in the snapshot must be a no-op to re-apply.
+//   - Recover() returns the newest durable snapshot (nil if none) and
+//     every record appended after the segment that snapshot covers, in
+//     append order. A torn tail — a crash mid-record — is truncated at
+//     the last whole record, never surfaced as data.
+package storage
+
+import "errors"
+
+var (
+	// ErrClosed is returned by operations on a closed store.
+	ErrClosed = errors.New("storage: store is closed")
+	// ErrCorrupt is returned when a sealed WAL segment or snapshot fails
+	// its integrity checks. A torn *tail* of the active segment is not
+	// corruption — it is the expected shape of a crash and is repaired
+	// silently — but a bad frame with committed data after it means the
+	// disk lied, and recovery must not guess.
+	ErrCorrupt = errors.New("storage: corrupt log")
+)
+
+// Record is one typed mutation. Kind is interpreted by the layer above
+// (the auditor's WAL schema); the store treats Data as opaque bytes.
+type Record struct {
+	Kind byte
+	Data []byte
+}
+
+// Store is the persistence engine interface.
+type Store interface {
+	// Append durably commits the records, in order, as one batch.
+	Append(recs ...Record) error
+	// Snapshot persists a compacted snapshot: it rotates the log, calls
+	// capture for the serialized state, writes it durably, and prunes
+	// segments the snapshot covers. See the package comment for the
+	// consistency contract (replay over the snapshot must be idempotent).
+	Snapshot(capture func() ([]byte, error)) error
+	// Recover returns the latest snapshot (nil when none was ever
+	// written) and the WAL records appended after it, in order. It must
+	// be called before the first Append.
+	Recover() (snapshot []byte, tail []Record, err error)
+	// Close releases the backing resources. Further calls fail with
+	// ErrClosed.
+	Close() error
+}
+
+// Metric names exported by the file-backed engine (see README
+// "Observability"). The append/fsync pair quantifies group commit: under
+// concurrent load appends-per-fsync rises above 1.
+const (
+	// MetricWALAppendsTotal counts records appended to the WAL.
+	MetricWALAppendsTotal = "alidrone_storage_wal_appends_total"
+	// MetricWALBytesTotal counts framed bytes appended to the WAL.
+	MetricWALBytesTotal = "alidrone_storage_wal_bytes_total"
+	// MetricFsyncsTotal counts fsync batches (group commits).
+	MetricFsyncsTotal = "alidrone_storage_fsyncs_total"
+	// MetricFsyncSeconds is the fsync latency histogram.
+	MetricFsyncSeconds = "alidrone_storage_fsync_seconds"
+	// MetricCompactionsTotal counts completed snapshot compactions.
+	MetricCompactionsTotal = "alidrone_storage_compactions_total"
+	// MetricCompactionSeconds is the compaction duration histogram.
+	MetricCompactionSeconds = "alidrone_storage_compaction_seconds"
+	// MetricRecoveryReplayedRecords gauges how many WAL records the last
+	// recovery replayed on top of the snapshot.
+	MetricRecoveryReplayedRecords = "alidrone_storage_recovery_replayed_records"
+)

@@ -41,11 +41,30 @@ type Registry struct {
 	order []string // registration order, for deterministic listings
 	idx   *Index   // position i indexes the zone registered i-th (order[i])
 	next  int
+
+	// onAdd, when set, observes every newly registered zone — the
+	// auditor's write-ahead log hooks in here so zones registered through
+	// the exposed registry are as durable as those registered through the
+	// protocol endpoint. Called outside the registry lock.
+	onAdd func(NFZ) error
 }
 
 // NewRegistry creates an empty NFZ database.
 func NewRegistry() *Registry {
 	return &Registry{zones: make(map[string]NFZ), idx: NewIndex(nil, 0)}
+}
+
+// SetOnAdd installs a commit hook observing every newly registered zone
+// (Register and RegisterPolygon; Import and Restore replay already-durable
+// state and do not fire it). The hook runs after the zone is filed, with
+// the registry lock released, so it may call back into the registry. A
+// hook error propagates to the registering caller; the zone stays filed —
+// the hook's durable log has fallen behind, which the hook reports
+// through its own channel.
+func (r *Registry) SetOnAdd(fn func(NFZ) error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onAdd = fn
 }
 
 // Register adds a circular zone and returns its issued ID (paper §IV-B
@@ -55,13 +74,43 @@ func (r *Registry) Register(owner string, c geo.GeoCircle) (string, error) {
 		return "", fmt.Errorf("%w: %+v", ErrInvalidZone, c)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.next++
 	id := fmt.Sprintf("zone-%04d", r.next)
-	r.zones[id] = NFZ{ID: id, Circle: c, Owner: owner}
+	z := NFZ{ID: id, Circle: c, Owner: owner}
+	r.zones[id] = z
 	r.order = append(r.order, id)
 	r.idx.Add(c)
+	hook := r.onAdd
+	r.mu.Unlock()
+	if hook != nil {
+		if err := hook(z); err != nil {
+			return "", err
+		}
+	}
 	return id, nil
+}
+
+// Restore re-files one previously registered zone under its issued ID,
+// bumping the ID sequence past it. Unlike Import it is idempotent — a zone
+// already present (e.g. restored from a snapshot that a replayed WAL
+// record also covers) is left untouched — and it does not fire the onAdd
+// hook.
+func (r *Registry) Restore(z NFZ) error {
+	if !z.Circle.Valid() {
+		return fmt.Errorf("%w: %+v", ErrInvalidZone, z.Circle)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.zones[z.ID]; !ok {
+		r.zones[z.ID] = z
+		r.order = append(r.order, z.ID)
+		r.idx.Add(z.Circle)
+	}
+	var n int
+	if _, err := fmt.Sscanf(z.ID, "zone-%04d", &n); err == nil && n > r.next {
+		r.next = n
+	}
+	return nil
 }
 
 // RegisterPolygon adds a polygonal zone (paper §VII-B2): the registry

@@ -75,6 +75,72 @@ func TestRegistryIDsUniqueAndOrdered(t *testing.T) {
 	}
 }
 
+func TestRegistryOnAdd(t *testing.T) {
+	r := NewRegistry()
+	var observed []NFZ
+	r.SetOnAdd(func(z NFZ) error {
+		observed = append(observed, z)
+		// The hook runs outside the registry lock: reads must not
+		// deadlock (the auditor's WAL compaction snapshots from here).
+		_ = r.Len()
+		return nil
+	})
+
+	id, err := r.Register("alice", geo.GeoCircle{Center: urbana, R: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(observed) != 1 || observed[0].ID != id || observed[0].Owner != "alice" {
+		t.Fatalf("hook observed %+v, want the registered zone %q", observed, id)
+	}
+
+	// Restore replays already-durable state and must not re-fire the hook.
+	if err := r.Restore(NFZ{ID: "zone-0009", Circle: geo.GeoCircle{Center: urbana.Offset(90, 500), R: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(observed) != 1 {
+		t.Fatalf("hook fired on Restore (observed %d zones)", len(observed))
+	}
+
+	// A hook failure propagates to the registering caller.
+	hookErr := errors.New("wal down")
+	r.SetOnAdd(func(NFZ) error { return hookErr })
+	if _, err := r.Register("bob", geo.GeoCircle{Center: urbana.Offset(180, 500), R: 10}); !errors.Is(err, hookErr) {
+		t.Errorf("Register err = %v, want the hook error", err)
+	}
+}
+
+func TestRegistryRestore(t *testing.T) {
+	r := NewRegistry()
+	z := NFZ{ID: "zone-0007", Circle: geo.GeoCircle{Center: urbana, R: 100}, Owner: "alice"}
+	if err := r.Restore(z); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent: replaying the same record is a no-op, not a duplicate.
+	if err := r.Restore(z); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate restore, want 1", r.Len())
+	}
+	// The ID sequence continues past the restored zone.
+	id, err := r.Register("bob", geo.GeoCircle{Center: urbana.Offset(90, 500), R: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "zone-0008" {
+		t.Errorf("next id = %q, want zone-0008", id)
+	}
+	// Restored zones are indexed for rectangle queries.
+	hits := r.QueryRect(geo.NewRect(urbana.Offset(225, 1000), urbana.Offset(45, 1000)))
+	if len(hits) != 2 {
+		t.Errorf("QueryRect found %d zones, want 2", len(hits))
+	}
+	if err := r.Restore(NFZ{ID: "zone-bad"}); err == nil {
+		t.Error("invalid geometry accepted by Restore")
+	}
+}
+
 func TestRegisterPolygon(t *testing.T) {
 	r := NewRegistry()
 	pr := geo.NewProjection(urbana)

@@ -20,8 +20,9 @@ OUT="BENCH_${DATE}.json"
 
 PREV="$(ls BENCH_*.json 2>/dev/null | grep -v "^${OUT}\$" | sort | tail -1 || true)"
 
-echo ">> go test -bench ${BENCH} -benchtime ${BENCHTIME} -benchmem -run '^$' ."
-RAW="$(go test -bench "${BENCH}" -benchtime "${BENCHTIME}" -benchmem -run '^$' .)"
+PKGS=". ./internal/storage"
+echo ">> go test -bench ${BENCH} -benchtime ${BENCHTIME} -benchmem -run '^$' ${PKGS}"
+RAW="$(go test -bench "${BENCH}" -benchtime "${BENCHTIME}" -benchmem -run '^$' ${PKGS})"
 echo "${RAW}"
 
 # Snapshot as JSON: one object per benchmark line, plus run metadata.

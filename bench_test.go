@@ -22,9 +22,10 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/flightsim"
 	"repro/internal/geo"
-	"repro/internal/obs"
 	"repro/internal/gps"
 	"repro/internal/nmea"
+	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/planner"
 	"repro/internal/poa"
 	"repro/internal/protocol"
@@ -441,10 +442,10 @@ func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }
 // violation verdict — violations are not recorded for replay detection,
 // which makes the same ciphertext resubmittable b.N times while still
 // exercising all four verification stages.
-func benchVerifySetup(b *testing.B, reg *obs.Registry) (*auditor.Server, string, []byte) {
+func benchVerifySetup(b *testing.B, reg *obs.Registry, tr *otrace.Tracer) (*auditor.Server, string, []byte) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(9))
-	srv, err := auditor.NewServer(auditor.Config{Random: rng, Metrics: reg})
+	srv, err := auditor.NewServer(auditor.Config{Random: rng, Metrics: reg, Tracer: tr})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -498,12 +499,14 @@ func benchVerifySetup(b *testing.B, reg *obs.Registry) (*auditor.Server, string,
 
 // BenchmarkVerifyPipeline measures the full submission path (decrypt →
 // signature → chronology → speed → sufficiency) with the metrics registry
-// off and on. The two sub-benchmarks quantify the observability layer's
-// overhead, which must stay in the noise (<5%) because the stage spans
-// sit on the auditor's hot path.
+// off and on, and with the tracer compiled in at sampling rate 0. The
+// sub-benchmarks quantify the observability layer's overhead, which must
+// stay in the noise (<5%) because the stage spans sit on the auditor's
+// hot path: traced-sampling-off pays only the unsampled span creation
+// per stage, never a record.
 func BenchmarkVerifyPipeline(b *testing.B) {
-	run := func(b *testing.B, reg *obs.Registry) {
-		srv, droneID, ct := benchVerifySetup(b, reg)
+	run := func(b *testing.B, reg *obs.Registry, tr *otrace.Tracer) {
+		srv, droneID, ct := benchVerifySetup(b, reg, tr)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: droneID, EncryptedPoA: ct})
@@ -515,8 +518,11 @@ func BenchmarkVerifyPipeline(b *testing.B) {
 			}
 		}
 	}
-	b.Run("bare", func(b *testing.B) { run(b, nil) })
-	b.Run("instrumented", func(b *testing.B) { run(b, obs.NewRegistry(nil)) })
+	b.Run("bare", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("instrumented", func(b *testing.B) { run(b, obs.NewRegistry(nil), nil) })
+	b.Run("traced-sampling-off", func(b *testing.B) {
+		run(b, nil, otrace.New(otrace.Options{Sample: 0, Sink: otrace.NewRingCollector(otrace.DefaultRingSize)}))
+	})
 }
 
 // --- Parallel verification engine -------------------------------------------

@@ -23,6 +23,14 @@
 // Unless -metrics=false, the server exposes Prometheus-style counters on
 // GET /metrics and a liveness probe on GET /healthz (see the README
 // "Observability" section for the metric names).
+//
+// Tracing: every request continues the submitter's trace when it carries
+// a W3C traceparent header; -trace-sample additionally samples traces
+// that start at the auditor. Finished spans land in an in-memory ring
+// buffer (-trace-buffer spans) served as JSONL on GET /debug/traces.
+// Requests slower than -slow-ms are logged with their trace ID.
+// -debug-addr serves /debug/traces and /debug/pprof/* on a separate
+// listener for operational debugging.
 package main
 
 import (
@@ -31,6 +39,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +47,8 @@ import (
 
 	"repro/internal/auditor"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/poa"
 	"repro/internal/storage"
 )
@@ -55,6 +66,10 @@ type options struct {
 	metrics      bool
 	workers      int
 	nonceTTL     time.Duration
+	traceSample  float64
+	traceBuffer  int
+	debugAddr    string
+	slowMS       int
 }
 
 func main() {
@@ -70,6 +85,10 @@ func main() {
 	flag.BoolVar(&o.metrics, "metrics", true, "serve GET /metrics and per-stage instrumentation")
 	flag.IntVar(&o.workers, "workers", 0, "verification worker pool size (0 = GOMAXPROCS, 1 = sequential pipeline)")
 	flag.DurationVar(&o.nonceTTL, "nonce-ttl", auditor.DefaultNonceTTL, "how long zone-query nonces are remembered for replay rejection")
+	flag.Float64Var(&o.traceSample, "trace-sample", 0, "probability of tracing a request that arrives without a traceparent (submitter-sampled traces are always honoured)")
+	flag.IntVar(&o.traceBuffer, "trace-buffer", otrace.DefaultRingSize, "finished spans kept in the in-memory ring served at /debug/traces")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "separate listener for /debug/traces and /debug/pprof/* (empty = disabled)")
+	flag.IntVar(&o.slowMS, "slow-ms", 0, "log requests slower than this many milliseconds with their trace ID (0 = disabled)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -98,7 +117,11 @@ func run(o options) error {
 	}
 	if o.metrics {
 		cfg.Metrics = obs.NewRegistry(nil)
+		cfg.Metrics.AddCollector(obs.CollectRuntime)
 	}
+	collector := otrace.NewRingCollector(o.traceBuffer)
+	cfg.Tracer = otrace.New(otrace.Options{Sample: o.traceSample, Sink: collector})
+	logger := olog.New(os.Stderr, olog.LevelInfo, nil)
 	srv, store, err := openServer(cfg, o)
 	if err != nil {
 		return err
@@ -125,7 +148,22 @@ func run(o options) error {
 		sweeper.Run(stop)
 	}()
 
-	httpSrv := &http.Server{Addr: o.listen, Handler: auditor.NewHandler(srv)}
+	handler := auditor.NewHandlerOpts(srv, auditor.HandlerOptions{
+		Collector: collector,
+		Logger:    logger,
+		Slow:      time.Duration(o.slowMS) * time.Millisecond,
+	})
+	httpSrv := &http.Server{Addr: o.listen, Handler: handler}
+	var debugSrv *http.Server
+	if o.debugAddr != "" {
+		debugSrv = &http.Server{Addr: o.debugAddr, Handler: debugMux(collector)}
+		go func() {
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener failed: %v", err)
+			}
+		}()
+		log.Printf("debug endpoints on %s (/debug/traces, /debug/pprof/)", o.debugAddr)
+	}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -133,6 +171,9 @@ func run(o options) error {
 		close(stop)
 		<-done
 		shutdown(srv, store, legacyCheckpoint)
+		if debugSrv != nil {
+			_ = debugSrv.Close()
+		}
 		_ = httpSrv.Close()
 	}()
 
@@ -142,6 +183,20 @@ func run(o options) error {
 		return err
 	}
 	return nil
+}
+
+// debugMux assembles the -debug-addr surface: the trace ring dump and
+// the pprof profiling handlers, registered explicitly so they stay off
+// the protocol listener.
+func debugMux(collector *otrace.RingCollector) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle(auditor.PathDebugTraces, collector)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // openServer opens the configured persistence: the storage engine when

@@ -9,11 +9,16 @@
 //	alidrone-drone -auditor http://localhost:8470 -scenario residential \
 //	               [-mode adaptive|fixed|batch|mac|streaming] \
 //	               [-fixed-rate 2] [-store ./flights] [-gps-rate 5] \
-//	               [-dump-metrics]
+//	               [-dump-metrics] [-trace-sample 1] [-dump-traces]
 //
 // With -dump-metrics, the drone-side counters (secure-world SMCs, sign
 // latency, sampler reads/auths, HTTP client retries) are printed in the
 // Prometheus text format after the mission completes.
+//
+// With -trace-sample > 0, the mission runs under a "drone.proof" trace
+// whose identity propagates to the auditor on every HTTP call (W3C
+// traceparent). -dump-traces prints the drone-side spans as JSONL after
+// the mission and implies -trace-sample 1 when the rate is unset.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/operator"
 	"repro/internal/sigcrypto"
 	"repro/internal/trace"
@@ -37,15 +43,21 @@ func main() {
 	storeDir := flag.String("store", "", "directory for persisted flight records (empty = do not persist)")
 	gpsRate := flag.Float64("gps-rate", 5, "GPS receiver update rate in Hz (1-5)")
 	dumpMetrics := flag.Bool("dump-metrics", false, "print drone-side metrics after the mission")
+	traceSample := flag.Float64("trace-sample", 0, "probability of tracing the mission (0 disables, 1 traces every proof)")
+	dumpTraces := flag.Bool("dump-traces", false, "print drone-side trace spans as JSONL after the mission (implies -trace-sample 1 when unset)")
 	flag.Parse()
 
-	if err := run(*auditorURL, *scenario, *mode, *storeDir, *fixedRate, *gpsRate, *dumpMetrics); err != nil {
+	sample := *traceSample
+	if *dumpTraces && sample == 0 {
+		sample = 1
+	}
+	if err := run(*auditorURL, *scenario, *mode, *storeDir, *fixedRate, *gpsRate, *dumpMetrics, sample, *dumpTraces); err != nil {
 		fmt.Fprintln(os.Stderr, "alidrone-drone:", err)
 		os.Exit(1)
 	}
 }
 
-func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64, dumpMetrics bool) error {
+func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64, dumpMetrics bool, traceSample float64, dumpTraces bool) error {
 	start := time.Now().UTC().Truncate(time.Second)
 
 	var sc *trace.Scenario
@@ -92,6 +104,13 @@ func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64
 		reg = obs.NewRegistry(nil)
 		api.SetMetrics(reg)
 	}
+	var spans *otrace.RingCollector
+	var tracer *otrace.Tracer
+	if traceSample > 0 {
+		spans = otrace.NewRingCollector(otrace.DefaultRingSize)
+		tracer = otrace.New(otrace.Options{Sample: traceSample, Sink: spans})
+		api.SetTracer(tracer)
+	}
 	auditorPub, err := api.FetchEncryptionPub()
 	if err != nil {
 		return fmt.Errorf("contact auditor at %s: %w", auditorURL, err)
@@ -109,6 +128,9 @@ func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64
 	}
 	if reg != nil {
 		drone.SetMetrics(reg)
+	}
+	if tracer != nil {
+		drone.SetTracer(tracer)
 	}
 	if err := drone.Register(); err != nil {
 		return err
@@ -136,6 +158,12 @@ func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64
 	if reg != nil {
 		fmt.Println("--- drone metrics ---")
 		if err := reg.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if dumpTraces && spans != nil {
+		fmt.Println("--- drone trace spans (JSONL) ---")
+		if err := otrace.WriteJSONL(os.Stdout, spans.Snapshot()); err != nil {
 			return err
 		}
 	}

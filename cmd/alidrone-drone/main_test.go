@@ -29,9 +29,14 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			// Metrics on for the first case exercises the -dump-metrics path.
+			// Metrics and trace dumping on for the first case exercise
+			// the -dump-metrics and -dump-traces paths.
 			dump := tt.mode == "adaptive"
-			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.fixed, tt.gpsRate, dump); err != nil {
+			sample := 0.0
+			if dump {
+				sample = 1
+			}
+			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.fixed, tt.gpsRate, dump, sample, dump); err != nil {
 				t.Fatalf("drone run failed: %v", err)
 			}
 		})
@@ -39,10 +44,10 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run("http://localhost:1", "mars", "adaptive", "", 0, 5, false); err == nil {
+	if err := run("http://localhost:1", "mars", "adaptive", "", 0, 5, false, 0, false); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("http://localhost:1", "airport", "warp", "", 0, 5, false); err == nil {
+	if err := run("http://localhost:1", "airport", "warp", "", 0, 5, false, 0, false); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

@@ -1,13 +1,17 @@
 package auditor
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/geo"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
 )
@@ -15,18 +19,38 @@ import (
 // compile-time check: the server implements the protocol surface.
 var _ protocol.API = (*Server)(nil)
 
+// HandlerOptions configures the operational side of the HTTP transport.
+// The zero value mounts the bare protocol surface.
+type HandlerOptions struct {
+	// Collector, when set, is mounted at PathDebugTraces for JSONL trace
+	// dumps. It should be the same collector the server's Tracer sinks to.
+	Collector *otrace.RingCollector
+	// Logger receives the handler's structured log lines (slow requests).
+	// Nil disables them.
+	Logger *olog.Logger
+	// Slow is the latency threshold above which a request is logged with
+	// its trace ID (the slow-request log). Zero disables it.
+	Slow time.Duration
+}
+
 // Handler exposes a Server over HTTP with JSON bodies. Register it on any
 // mux or serve it directly.
 type Handler struct {
-	srv *Server
-	mux *http.ServeMux
+	srv  *Server
+	mux  *http.ServeMux
+	opts HandlerOptions
 }
 
 var _ http.Handler = (*Handler)(nil)
 
-// NewHandler wraps a server.
+// NewHandler wraps a server with default (zero) options.
 func NewHandler(srv *Server) *Handler {
-	h := &Handler{srv: srv, mux: http.NewServeMux()}
+	return NewHandlerOpts(srv, HandlerOptions{})
+}
+
+// NewHandlerOpts wraps a server with explicit operational options.
+func NewHandlerOpts(srv *Server, opts HandlerOptions) *Handler {
+	h := &Handler{srv: srv, mux: http.NewServeMux(), opts: opts}
 	h.handle(protocol.PathRegisterDrone, post(h.registerDrone))
 	h.handle(protocol.PathRegisterZone, post(h.registerZone))
 	h.handle(protocol.PathRegisterPolygonZone, post(h.registerPolygonZone))
@@ -44,25 +68,43 @@ func NewHandler(srv *Server) *Handler {
 	h.handle(protocol.PathStatus, h.status)
 	h.mux.HandleFunc(PathMetrics, h.metrics)
 	h.mux.HandleFunc(PathHealthz, h.healthz)
+	if opts.Collector != nil {
+		h.mux.Handle(PathDebugTraces, opts.Collector)
+	}
 	return h
 }
 
 // handle registers an endpoint wrapped in the per-endpoint request
-// counter and latency histogram. The operational endpoints (/metrics,
-// /healthz) are registered bare so scrapes do not count as traffic.
+// counter and latency histogram, the server-side trace span — continuing
+// the submitter's trace when the request carries a traceparent header —
+// and the slow-request log. The operational endpoints (/metrics,
+// /healthz, /debug/traces) are registered bare so scrapes do not count
+// as traffic.
 func (h *Handler) handle(path string, fn http.HandlerFunc) {
 	reg := h.srv.Metrics()
-	if reg == nil {
+	tr := h.srv.Tracer()
+	if reg == nil && tr == nil && h.opts.Slow <= 0 {
 		h.mux.HandleFunc(path, fn)
 		return
 	}
 	requests := reg.Counter(obs.L(MetricHTTPRequestsTotal, "path", path))
 	latency := reg.Histogram(obs.L(MetricHTTPRequestSeconds, "path", path), obs.DurationBuckets)
+	clock := reg.Clock()
 	h.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		requests.Inc()
-		sp := reg.StartSpan(latency)
+		ctx, sp := tr.StartRemote(r.Context(), r.Header.Get(protocol.HeaderTraceParent), "auditor "+path)
+		sp.SetAttr("path", path)
+		if ctx != r.Context() {
+			r = r.WithContext(ctx)
+		}
+		start := clock.Now()
 		fn(w, r)
+		dur := clock.Now().Sub(start)
+		latency.Observe(dur.Seconds())
 		sp.End()
+		if h.opts.Slow > 0 && dur >= h.opts.Slow {
+			h.opts.Logger.Warn(ctx, "slow request", "path", path, "ms", dur.Milliseconds())
+		}
 	})
 }
 
@@ -121,24 +163,35 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, protocol.ErrBadNonce), errors.Is(err, protocol.ErrBadSignature):
 		return http.StatusForbidden
+	case isCtxErr(err):
+		// The client went away (or timed out) mid-verification; nothing
+		// was wrong with the request itself.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
 }
 
-// handleJSON decodes the request, runs fn and encodes the response.
-func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(Req) (Resp, error)) {
+// handleJSON decodes the request, runs fn under the request context and
+// encodes the response.
+func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(context.Context, Req) (Resp, error)) {
 	var req Req
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed JSON: " + err.Error()})
 		return
 	}
-	resp, err := fn(req)
+	resp, err := fn(r.Context(), req)
 	if err != nil {
 		writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// dropCtx adapts a context-less server method to handleJSON's shape, for
+// endpoints whose implementation has no context-aware work.
+func dropCtx[Req, Resp any](fn func(Req) (Resp, error)) func(context.Context, Req) (Resp, error) {
+	return func(_ context.Context, req Req) (Resp, error) { return fn(req) }
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -150,51 +203,51 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (h *Handler) registerDrone(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, h.srv.RegisterDrone)
+	handleJSON(w, r, h.srv.RegisterDroneCtx)
 }
 
 func (h *Handler) registerZone(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, h.srv.RegisterZone)
+	handleJSON(w, r, dropCtx(h.srv.RegisterZone))
 }
 
 func (h *Handler) registerPolygonZone(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, h.srv.RegisterPolygonZone)
+	handleJSON(w, r, dropCtx(h.srv.RegisterPolygonZone))
 }
 
 func (h *Handler) zoneQuery(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, h.srv.ZoneQuery)
+	handleJSON(w, r, h.srv.ZoneQueryCtx)
 }
 
 func (h *Handler) submitPoA(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, h.srv.SubmitPoA)
+	handleJSON(w, r, h.srv.SubmitPoACtx)
 }
 
 func (h *Handler) submitBatchPoA(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, h.srv.SubmitBatchPoA)
+	handleJSON(w, r, h.srv.SubmitBatchPoACtx)
 }
 
 func (h *Handler) startSession(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, h.srv.StartSession)
+	handleJSON(w, r, dropCtx(h.srv.StartSession))
 }
 
 func (h *Handler) submitMACPoA(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, h.srv.SubmitMACPoA)
+	handleJSON(w, r, h.srv.SubmitMACPoACtx)
 }
 
 func (h *Handler) streamOpen(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, h.srv.OpenStream)
+	handleJSON(w, r, dropCtx(h.srv.OpenStream))
 }
 
 func (h *Handler) streamSample(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, h.srv.StreamSample)
+	handleJSON(w, r, dropCtx(h.srv.StreamSample))
 }
 
 func (h *Handler) streamClose(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, h.srv.CloseStream)
+	handleJSON(w, r, dropCtx(h.srv.CloseStream))
 }
 
 func (h *Handler) accuse(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, func(req protocol.AccusationRequest) (protocol.SubmitPoAResponse, error) {
+	handleJSON(w, r, func(_ context.Context, req protocol.AccusationRequest) (protocol.SubmitPoAResponse, error) {
 		return h.srv.HandleAccusation(req.DroneID, req.ZoneID, req.At)
 	})
 }

@@ -1,7 +1,10 @@
 package auditor
 
 import (
+	"context"
+
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/protocol"
 )
 
@@ -12,6 +15,9 @@ const (
 	PathMetrics = "/metrics"
 	// PathHealthz is the liveness probe.
 	PathHealthz = "/healthz"
+	// PathDebugTraces dumps the span ring buffer as JSONL (when a
+	// collector is mounted — see HandlerOptions and the -debug-addr flag).
+	PathDebugTraces = "/debug/traces"
 )
 
 // Metric names exported by the auditor. The per-stage series mirror the
@@ -66,16 +72,25 @@ const (
 // Metrics returns the server's metrics registry (nil when disabled).
 func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 
-// stage runs one verification stage under its latency span and pass/fail
-// counters. With no registry configured this reduces to fn().
-func (s *Server) stage(name string, fn func() error) error {
+// Tracer returns the server's tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *otrace.Tracer { return s.cfg.Tracer }
+
+// stage runs one verification stage under its latency histogram,
+// pass/fail counters and a "verify.<stage>" trace span, so a submission's
+// trace shows the same pipeline decomposition the metrics aggregate.
+// With neither a registry nor a tracer configured this reduces to
+// fn(ctx).
+func (s *Server) stage(ctx context.Context, name string, fn func(context.Context) error) error {
 	reg := s.cfg.Metrics
-	if reg == nil {
-		return fn()
+	if reg == nil && s.cfg.Tracer == nil {
+		return fn(ctx)
 	}
+	tctx, tsp := s.cfg.Tracer.StartSpan(ctx, "verify."+name)
 	sp := reg.StartSpan(reg.Histogram(obs.L(MetricVerifyStageSeconds, "stage", name), obs.DurationBuckets))
-	err := fn()
+	err := fn(tctx)
 	sp.End()
+	tsp.SetError(err)
+	tsp.End()
 	result := "pass"
 	if err != nil {
 		result = "fail"

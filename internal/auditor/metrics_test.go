@@ -85,18 +85,18 @@ func TestMetricsEndpointExposition(t *testing.T) {
 	body := scrape(t, hs.URL)
 
 	wantSeries := map[string]float64{
-		`alidrone_auditor_verify_stage_seconds_count{stage="signature"}`:           2,
-		`alidrone_auditor_verify_stage_seconds_count{stage="chronology"}`:          2,
-		`alidrone_auditor_verify_stage_seconds_count{stage="speed"}`:               2,
-		`alidrone_auditor_verify_stage_seconds_count{stage="sufficiency"}`:         2,
-		`alidrone_auditor_verify_stage_total{result="pass",stage="signature"}`:     2,
-		`alidrone_auditor_verify_stage_total{result="pass",stage="sufficiency"}`:   1,
-		`alidrone_auditor_verify_stage_total{result="fail",stage="sufficiency"}`:   1,
-		`alidrone_auditor_submissions_total{verdict="compliant"}`:                  1,
-		`alidrone_auditor_submissions_total{verdict="violation"}`:                  1,
-		`alidrone_auditor_retained_poas`:                                           1,
-		`alidrone_auditor_http_requests_total{path="/v1/submit-poa"}`:              2,
-		`alidrone_auditor_http_request_seconds_count{path="/v1/submit-poa"}`:       2,
+		`alidrone_auditor_verify_stage_seconds_count{stage="signature"}`:         2,
+		`alidrone_auditor_verify_stage_seconds_count{stage="chronology"}`:        2,
+		`alidrone_auditor_verify_stage_seconds_count{stage="speed"}`:             2,
+		`alidrone_auditor_verify_stage_seconds_count{stage="sufficiency"}`:       2,
+		`alidrone_auditor_verify_stage_total{result="pass",stage="signature"}`:   2,
+		`alidrone_auditor_verify_stage_total{result="pass",stage="sufficiency"}`: 1,
+		`alidrone_auditor_verify_stage_total{result="fail",stage="sufficiency"}`: 1,
+		`alidrone_auditor_submissions_total{verdict="compliant"}`:                1,
+		`alidrone_auditor_submissions_total{verdict="violation"}`:                1,
+		`alidrone_auditor_retained_poas`:                                         1,
+		`alidrone_auditor_http_requests_total{path="/v1/submit-poa"}`:            2,
+		`alidrone_auditor_http_request_seconds_count{path="/v1/submit-poa"}`:     2,
 	}
 	for series, want := range wantSeries {
 		if got := metricValue(body, series); got != want {

@@ -1,6 +1,7 @@
 package auditor
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,14 +27,19 @@ var _ protocol.ModesAPI = (*Server)(nil)
 // SubmitBatchPoA verifies a batch-signed trace (§VII-A1b): one TEE
 // signature covers the canonical encoding of the whole sample series.
 func (s *Server) SubmitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error) {
-	resp, err := s.submitBatchPoA(req)
+	return s.SubmitBatchPoACtx(context.Background(), req)
+}
+
+// SubmitBatchPoACtx is SubmitBatchPoA under a caller context.
+func (s *Server) SubmitBatchPoACtx(ctx context.Context, req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error) {
+	resp, err := s.submitBatchPoA(ctx, req)
 	if err == nil {
 		s.countVerdict(resp)
 	}
 	return resp, err
 }
 
-func (s *Server) submitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error) {
+func (s *Server) submitBatchPoA(ctx context.Context, req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error) {
 	rec, ok := s.drones.get(req.DroneID)
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
@@ -50,12 +56,12 @@ func (s *Server) submitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.Su
 
 	// Authenticity: the single signature must cover the exact canonical
 	// batch encoding under the registered T+.
-	if err := s.stage(StageSignature, func() error {
+	if err := s.stage(ctx, StageSignature, func(context.Context) error {
 		return sigcrypto.Verify(rec.TEEPub, poa.MarshalBatch(batch.Samples), batch.Sig)
 	}); err != nil {
 		return violation("batch signature verification failed"), nil
 	}
-	return s.verifyAlibi(req.DroneID, batch.Samples)
+	return s.verifyAlibi(ctx, req.DroneID, batch.Samples)
 }
 
 // StartSession establishes a §VII-A1a symmetric flight session: the server
@@ -81,14 +87,19 @@ func (s *Server) StartSession(req protocol.StartSessionRequest) (protocol.StartS
 // SubmitMACPoA verifies a symmetric-mode PoA: every sample's tag must be a
 // valid HMAC under the flight's session key.
 func (s *Server) SubmitMACPoA(req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error) {
-	resp, err := s.submitMACPoA(req)
+	return s.SubmitMACPoACtx(context.Background(), req)
+}
+
+// SubmitMACPoACtx is SubmitMACPoA under a caller context.
+func (s *Server) SubmitMACPoACtx(ctx context.Context, req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error) {
+	resp, err := s.submitMACPoA(ctx, req)
 	if err == nil {
 		s.countVerdict(resp)
 	}
 	return resp, err
 }
 
-func (s *Server) submitMACPoA(req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error) {
+func (s *Server) submitMACPoA(ctx context.Context, req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error) {
 	_, droneKnown := s.drones.get(req.DroneID)
 	sess, sessKnown := s.sessions.get(req.SessionID)
 	if !droneKnown {
@@ -113,8 +124,8 @@ func (s *Server) submitMACPoA(req protocol.SubmitMACPoARequest) (protocol.Submit
 	// HMAC checks are independent per sample, so they fan out across the
 	// worker pool exactly like the RSA path; FirstError reports the
 	// lowest failing index, keeping the violation reason deterministic.
-	if err := s.stage(StageSignature, func() error {
-		_, err := s.pool.FirstError(len(p.Samples), func(i int) error {
+	if err := s.stage(ctx, StageSignature, func(ctx context.Context) error {
+		_, err := s.pool.FirstErrorCtx(ctx, len(p.Samples), func(i int) error {
 			if err := sigcrypto.VerifyMAC(sess.Key, p.Samples[i].Sample.Marshal(), p.Samples[i].Sig); err != nil {
 				return fmt.Errorf("MAC verification failed at sample %d", i)
 			}
@@ -122,9 +133,12 @@ func (s *Server) submitMACPoA(req protocol.SubmitMACPoARequest) (protocol.Submit
 		})
 		return err
 	}); err != nil {
+		if isCtxErr(err) {
+			return protocol.SubmitPoAResponse{}, err
+		}
 		return violation(err.Error()), nil
 	}
-	return s.verifyAlibi(req.DroneID, p.Alibi())
+	return s.verifyAlibi(ctx, req.DroneID, p.Alibi())
 }
 
 // sessionRecord is one established symmetric flight session.
@@ -138,22 +152,22 @@ type sessionRecord struct {
 // retains it on success. Shared by all three PoA envelopes. The error
 // return is reserved for retention-durability failures: a verdict the
 // server cannot make durable is not issued.
-func (s *Server) verifyAlibi(droneID string, alibi []poa.Sample) (protocol.SubmitPoAResponse, error) {
+func (s *Server) verifyAlibi(ctx context.Context, droneID string, alibi []poa.Sample) (protocol.SubmitPoAResponse, error) {
 	if len(alibi) < 2 {
 		return violation("PoA has fewer than two samples"), nil
 	}
-	if err := s.stage(StageChronology, func() error {
+	if err := s.stage(ctx, StageChronology, func(context.Context) error {
 		return poa.CheckChronology(alibi)
 	}); err != nil {
 		return violation(err.Error()), nil
 	}
-	if err := s.stage(StageSpeed, func() error {
+	if err := s.stage(ctx, StageSpeed, func(context.Context) error {
 		return poa.SpeedFeasible(alibi, s.cfg.VMaxMS)
 	}); err != nil {
 		return violation(err.Error()), nil
 	}
 	var rep poa.Report
-	if err := s.stage(StageSufficiency, func() error {
+	if err := s.stage(ctx, StageSufficiency, func(context.Context) error {
 		zones := s.zonesForTrace(alibi)
 		var err error
 		rep, err = poa.VerifySufficiencyPool(alibi, zones, s.cfg.VMaxMS, s.cfg.Mode, s.pool)
@@ -177,7 +191,7 @@ func (s *Server) verifyAlibi(droneID string, alibi []poa.Sample) (protocol.Submi
 	if resp3d := s.verify3D(alibi); resp3d != nil {
 		return *resp3d, nil
 	}
-	if err := s.retain(droneID, alibi); err != nil {
+	if err := s.retain(ctx, droneID, alibi); err != nil {
 		return protocol.SubmitPoAResponse{}, err
 	}
 	return protocol.SubmitPoAResponse{Verdict: protocol.VerdictCompliant}, nil

@@ -14,6 +14,7 @@
 package auditor
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/parallel"
 	"repro/internal/poa"
 	"repro/internal/protocol"
@@ -102,6 +104,10 @@ type Config struct {
 	// retention-store metrics. Nil disables instrumentation at the cost
 	// of one pointer comparison per call.
 	Metrics *obs.Registry
+	// Tracer, when set, records distributed-tracing spans for the
+	// verification pipeline and WAL commits, continuing traces started by
+	// submitting drones (see internal/obs/trace). Nil disables tracing.
+	Tracer *otrace.Tracer
 	// CompactEvery is the number of WAL records between automatic
 	// snapshot compactions when a storage engine is attached (see
 	// OpenServer). 0 selects DefaultCompactEvery; negative disables
@@ -208,6 +214,12 @@ func (s *Server) Zones() *zone.Registry { return s.zones }
 
 // RegisterDrone implements protocol task 0.
 func (s *Server) RegisterDrone(req protocol.RegisterDroneRequest) (protocol.RegisterDroneResponse, error) {
+	return s.RegisterDroneCtx(context.Background(), req)
+}
+
+// RegisterDroneCtx is RegisterDrone under a caller context (trace
+// propagation into the WAL commit).
+func (s *Server) RegisterDroneCtx(ctx context.Context, req protocol.RegisterDroneRequest) (protocol.RegisterDroneResponse, error) {
 	opPub, err := sigcrypto.UnmarshalPublicKey(req.OperatorPub)
 	if err != nil {
 		return protocol.RegisterDroneResponse{}, fmt.Errorf("operator key: %w", err)
@@ -217,7 +229,7 @@ func (s *Server) RegisterDrone(req protocol.RegisterDroneRequest) (protocol.Regi
 		return protocol.RegisterDroneResponse{}, fmt.Errorf("tee key: %w", err)
 	}
 	id := s.drones.register(DroneRecord{OperatorPub: opPub, TEEPub: teePub})
-	if err := s.wal(recDroneRegistered, walDrone{ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub}); err != nil {
+	if err := s.wal(ctx, recDroneRegistered, walDrone{ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub}); err != nil {
 		return protocol.RegisterDroneResponse{}, err
 	}
 	return protocol.RegisterDroneResponse{DroneID: id}, nil
@@ -268,6 +280,11 @@ func (s *Server) RegisterPolygonZone(req protocol.RegisterPolygonZoneRequest) (p
 // the registered drone, reject replays, and return the zones intersecting
 // the navigation area.
 func (s *Server) ZoneQuery(req protocol.ZoneQueryRequest) (protocol.ZoneQueryResponse, error) {
+	return s.ZoneQueryCtx(context.Background(), req)
+}
+
+// ZoneQueryCtx is ZoneQuery under a caller context.
+func (s *Server) ZoneQueryCtx(ctx context.Context, req protocol.ZoneQueryRequest) (protocol.ZoneQueryResponse, error) {
 	rec, ok := s.drones.get(req.DroneID)
 	if !ok {
 		return protocol.ZoneQueryResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
@@ -279,7 +296,7 @@ func (s *Server) ZoneQuery(req protocol.ZoneQueryRequest) (protocol.ZoneQueryRes
 	if !s.nonces.claim(req.Nonce, now) {
 		return protocol.ZoneQueryResponse{}, fmt.Errorf("%w: replayed", protocol.ErrBadNonce)
 	}
-	if err := s.wal(recNonceSeen, nonceSnapshot{Nonce: req.Nonce, Seen: now}); err != nil {
+	if err := s.wal(ctx, recNonceSeen, nonceSnapshot{Nonce: req.Nonce, Seen: now}); err != nil {
 		return protocol.ZoneQueryResponse{}, err
 	}
 	if !req.Area.Valid() {
@@ -291,14 +308,22 @@ func (s *Server) ZoneQuery(req protocol.ZoneQueryRequest) (protocol.ZoneQueryRes
 // SubmitPoA implements protocol task 4: decrypt, authenticate and verify a
 // Proof-of-Alibi, retaining it for later accusations when it verifies.
 func (s *Server) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
-	resp, err := s.submitPoA(req)
+	return s.SubmitPoACtx(context.Background(), req)
+}
+
+// SubmitPoACtx is SubmitPoA under a caller context: the verification
+// stages and WAL commit become child spans of the context's trace, and a
+// cancelled context aborts verification with the context error — never a
+// violation verdict, since no check actually failed.
+func (s *Server) SubmitPoACtx(ctx context.Context, req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
+	resp, err := s.submitPoA(ctx, req)
 	if err == nil {
 		s.countVerdict(resp)
 	}
 	return resp, err
 }
 
-func (s *Server) submitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
+func (s *Server) submitPoA(ctx context.Context, req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
 	rec, ok := s.drones.get(req.DroneID)
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
@@ -327,7 +352,7 @@ func (s *Server) submitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoARes
 		return violation("replayed PoA: this trace was already reported"), nil
 	}
 
-	resp, err := s.verify(req.DroneID, rec, p)
+	resp, err := s.verify(ctx, req.DroneID, rec, p)
 	if err != nil || resp.Verdict != protocol.VerdictCompliant {
 		s.seen.release(digest)
 		return resp, err
@@ -335,7 +360,7 @@ func (s *Server) submitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoARes
 	// The digest claim commits — and is logged — only with the compliant
 	// verdict, so the WAL records the accepted history and a crashed
 	// verification leaves the trace resubmittable.
-	if err := s.wal(recDigestClaimed, digestSnapshot{Digest: hex.EncodeToString(digest[:]), Seen: claimed}); err != nil {
+	if err := s.wal(ctx, recDigestClaimed, digestSnapshot{Digest: hex.EncodeToString(digest[:]), Seen: claimed}); err != nil {
 		s.seen.release(digest)
 		return protocol.SubmitPoAResponse{}, err
 	}
@@ -345,18 +370,31 @@ func (s *Server) submitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoARes
 // verify runs the full verification pipeline over a decrypted PoA:
 // per-sample TEE signatures (goal G3), then the shared alibi pipeline
 // (chronology → flyability → sufficiency, see verifyAlibi in modes.go).
-func (s *Server) verify(droneID string, rec DroneRecord, p poa.PoA) (protocol.SubmitPoAResponse, error) {
-	err := s.stage(StageSignature, func() error {
-		idx, err := protocol.VerifyPoASignaturesPool(p, rec.TEEPub, s.pool)
+func (s *Server) verify(ctx context.Context, droneID string, rec DroneRecord, p poa.PoA) (protocol.SubmitPoAResponse, error) {
+	err := s.stage(ctx, StageSignature, func(ctx context.Context) error {
+		idx, err := protocol.VerifyPoASignaturesPoolCtx(ctx, p, rec.TEEPub, s.pool)
 		if err != nil {
+			if isCtxErr(err) {
+				return err
+			}
 			return fmt.Errorf("signature check failed at sample %d: %w", idx, err)
 		}
 		return nil
 	})
 	if err != nil {
+		if isCtxErr(err) {
+			return protocol.SubmitPoAResponse{}, err
+		}
 		return violation(err.Error()), nil
 	}
-	return s.verifyAlibi(droneID, p.Alibi())
+	return s.verifyAlibi(ctx, droneID, p.Alibi())
+}
+
+// isCtxErr reports whether err is a context cancellation/deadline error.
+// An aborted verification must surface as an error, never as a violation
+// verdict: no check failed, the caller just went away.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // zonesForTrace pulls the zones whose boundary could matter for a trace:
@@ -386,14 +424,14 @@ func (s *Server) zonesForTrace(alibi []poa.Sample) []geo.GeoCircle {
 // retain stores a verified alibi for the configured retention window and
 // logs it; the mutation is committed before the append so a snapshot
 // captured between the two still covers it (replay dedups on Seq).
-func (s *Server) retain(droneID string, alibi []poa.Sample) error {
+func (s *Server) retain(ctx context.Context, droneID string, alibi []poa.Sample) error {
 	r, n := s.retained.add(retainedPoA{
 		DroneID:    droneID,
 		Samples:    alibi,
 		SubmitTime: s.cfg.Clock.Now(),
 	})
 	s.cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(n))
-	return s.wal(recPoARetained, retainedSnapshot(r))
+	return s.wal(ctx, recPoARetained, retainedSnapshot(r))
 }
 
 // PurgeExpired drops retained PoAs older than the retention window and
@@ -423,7 +461,7 @@ func (s *Server) PurgeExpired() int {
 		// schedule survives a restart. A failed append is already counted
 		// in the WAL-error metric; the in-memory purge stands either way,
 		// and an unlogged purge merely replays as a no-op sweep.
-		_ = s.wal(recPurge, walPurge{Cutoff: cutoff, Now: now})
+		_ = s.wal(context.Background(), recPurge, walPurge{Cutoff: cutoff, Now: now})
 	}
 	return removed
 }

@@ -1,6 +1,7 @@
 package auditor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -105,7 +106,7 @@ func (s *Server) CloseStream(req protocol.CloseStreamRequest) (protocol.SubmitPo
 	if resp3d := s.verify3D(st.Samples); resp3d != nil {
 		return *resp3d, nil
 	}
-	if err := s.retain(st.DroneID, st.Samples); err != nil {
+	if err := s.retain(context.Background(), st.DroneID, st.Samples); err != nil {
 		return protocol.SubmitPoAResponse{}, err
 	}
 	return protocol.SubmitPoAResponse{Verdict: protocol.VerdictCompliant}, nil

@@ -1,6 +1,7 @@
 package auditor
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -57,18 +58,47 @@ type walPurge struct {
 	Now    time.Time `json:"now"`    // sweep instant (nonce TTL)
 }
 
+// walKindName names a record kind for trace attributes.
+func walKindName(kind byte) string {
+	switch kind {
+	case recDroneRegistered:
+		return "drone-registered"
+	case recZoneRegistered:
+		return "zone-registered"
+	case recZone3DRegistered:
+		return "zone3d-registered"
+	case recPoARetained:
+		return "poa-retained"
+	case recNonceSeen:
+		return "nonce-seen"
+	case recDigestClaimed:
+		return "digest-claimed"
+	case recPurge:
+		return "purge"
+	default:
+		return fmt.Sprintf("kind-%d", kind)
+	}
+}
+
 // wal appends one typed record to the attached store, durable at return.
-// With no store attached it is a no-op. Crossing the compaction
-// threshold triggers an inline snapshot compaction (one writer pays the
-// amortised cost; concurrent writers skip past the CAS).
-func (s *Server) wal(kind byte, v any) error {
+// With no store attached it is a no-op. The append runs under a
+// "wal.append" child span of whatever the context carries, so a traced
+// submission shows its durability cost (and group-commit role — see
+// FileStore.Append). Crossing the compaction threshold triggers an
+// inline snapshot compaction (one writer pays the amortised cost;
+// concurrent writers skip past the CAS).
+func (s *Server) wal(ctx context.Context, kind byte, v any) error {
 	if s.store == nil {
 		return nil
 	}
+	wctx, sp := s.cfg.Tracer.StartSpan(ctx, "wal.append")
+	sp.SetAttr("kind", walKindName(kind))
 	data, err := json.Marshal(v)
 	if err == nil {
-		err = s.store.Append(storage.Record{Kind: kind, Data: data})
+		err = s.store.Append(wctx, storage.Record{Kind: kind, Data: data})
 	}
+	sp.SetError(err)
+	sp.End()
 	if err != nil {
 		s.cfg.Metrics.Counter(MetricWALErrorsTotal).Inc()
 		return fmt.Errorf("auditor: wal append: %w", err)
@@ -108,8 +138,10 @@ func (s *Server) attachStore(st storage.Store) {
 	}
 	// Zones can be registered through the exposed registry as well as the
 	// protocol endpoint; the registry hook catches both paths.
+	// The registry hook has no request context to inherit; zone
+	// registrations log under their own (unparented) WAL span.
 	s.zones.SetOnAdd(func(z zone.NFZ) error {
-		return s.wal(recZoneRegistered, z)
+		return s.wal(context.Background(), recZoneRegistered, z)
 	})
 }
 

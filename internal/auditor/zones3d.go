@@ -1,6 +1,7 @@
 package auditor
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/poa"
@@ -24,7 +25,7 @@ func (s *Server) RegisterZone3D(owner string, z poa.CylinderZone) (string, error
 		return "", fmt.Errorf("%w: %+v", ErrInvalidCylinder, z)
 	}
 	id := s.zones3D.add(owner, z)
-	if err := s.wal(recZone3DRegistered, cylinderRecord{ID: id, Owner: owner, Zone: z}); err != nil {
+	if err := s.wal(context.Background(), recZone3DRegistered, cylinderRecord{ID: id, Owner: owner, Zone: z}); err != nil {
 		return "", err
 	}
 	return id, nil

@@ -158,10 +158,24 @@ func (h *Histogram) Snapshot() (bounds []float64, cumulative []uint64) {
 type Registry struct {
 	clock Clock
 
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	collectors []func(*Registry)
+}
+
+// AddCollector registers a hook run at the start of every WriteText
+// call, before any series is rendered — the place to refresh gauges
+// that sample external state (see CollectRuntime). Hooks run outside
+// the registry lock and must be safe for concurrent WriteText calls.
+func (r *Registry) AddCollector(fn func(*Registry)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
 }
 
 // NewRegistry creates a registry. clock feeds span timing and defaults to
@@ -334,6 +348,14 @@ func splitSeries(name string) (family, labels string) {
 func (r *Registry) WriteText(w io.Writer) error {
 	if r == nil {
 		return nil
+	}
+	// Run collector hooks before taking the read lock: hooks set gauges,
+	// which themselves acquire the lock.
+	r.mu.RLock()
+	hooks := append([]func(*Registry){}, r.collectors...)
+	r.mu.RUnlock()
+	for _, fn := range hooks {
+		fn(r)
 	}
 	type series struct {
 		name string

@@ -1,0 +1,38 @@
+package obs
+
+import "runtime"
+
+// Go runtime gauge names exported by CollectRuntime. They surface the
+// process-health signals the service dashboards need next to the
+// domain metrics: goroutine leaks, heap growth, GC pressure and the
+// parallelism the scheduler actually has.
+const (
+	// MetricGoGoroutines gauges the live goroutine count.
+	MetricGoGoroutines = "alidrone_go_goroutines"
+	// MetricGoHeapAllocBytes gauges bytes of allocated heap objects.
+	MetricGoHeapAllocBytes = "alidrone_go_heap_alloc_bytes"
+	// MetricGoGCPauseSecondsTotal gauges the cumulative stop-the-world
+	// GC pause time since process start.
+	MetricGoGCPauseSecondsTotal = "alidrone_go_gc_pause_seconds_total"
+	// MetricGoGOMAXPROCS gauges the scheduler's processor limit.
+	MetricGoGOMAXPROCS = "alidrone_go_gomaxprocs"
+)
+
+// CollectRuntime refreshes the Go runtime gauges on r. Register it with
+// AddCollector so every /metrics scrape reports current values:
+//
+//	reg.AddCollector(obs.CollectRuntime)
+//
+// ReadMemStats costs a brief stop-the-world, which is why collection
+// happens per scrape (seconds apart) rather than per request.
+func CollectRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(MetricGoGoroutines).Set(float64(runtime.NumGoroutine()))
+	r.Gauge(MetricGoHeapAllocBytes).Set(float64(ms.HeapAlloc))
+	r.Gauge(MetricGoGCPauseSecondsTotal).Set(float64(ms.PauseTotalNs) / 1e9)
+	r.Gauge(MetricGoGOMAXPROCS).Set(float64(runtime.GOMAXPROCS(0)))
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCollectRuntimeSetsGauges(t *testing.T) {
+	r := NewRegistry(nil)
+	CollectRuntime(r)
+	if v := r.Gauge(MetricGoGoroutines).Value(); v < 1 {
+		t.Errorf("%s = %v, want >= 1", MetricGoGoroutines, v)
+	}
+	if v := r.Gauge(MetricGoHeapAllocBytes).Value(); v <= 0 {
+		t.Errorf("%s = %v, want > 0", MetricGoHeapAllocBytes, v)
+	}
+	if v := r.Gauge(MetricGoGOMAXPROCS).Value(); v < 1 {
+		t.Errorf("%s = %v, want >= 1", MetricGoGOMAXPROCS, v)
+	}
+	if v := r.Gauge(MetricGoGCPauseSecondsTotal).Value(); v < 0 {
+		t.Errorf("%s = %v, want >= 0", MetricGoGCPauseSecondsTotal, v)
+	}
+	// Nil registry: must be a no-op, not a panic.
+	CollectRuntime(nil)
+}
+
+func TestCollectorHookRunsPerScrape(t *testing.T) {
+	r := NewRegistry(nil)
+	r.AddCollector(CollectRuntime)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, name := range []string{
+		MetricGoGoroutines, MetricGoHeapAllocBytes, MetricGoGCPauseSecondsTotal, MetricGoGOMAXPROCS,
+	} {
+		if !strings.Contains(text, name+" ") {
+			t.Errorf("exposition missing %s:\n%s", name, text)
+		}
+	}
+
+	// The hook must re-run on every scrape, refreshing the gauges even
+	// if something zeroed them in between.
+	r.Gauge(MetricGoGOMAXPROCS).Set(0)
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Gauge(MetricGoGOMAXPROCS).Value(); v < 1 {
+		t.Errorf("hook did not refresh %s on second scrape: %v", MetricGoGOMAXPROCS, v)
+	}
+}

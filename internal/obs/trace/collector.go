@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultRingSize is the span capacity of a RingCollector created with a
+// non-positive size. At typical span counts (~10 spans per submission)
+// it holds the last few hundred proofs — enough to pull the trace of a
+// request that just misbehaved.
+const DefaultRingSize = 4096
+
+// RingCollector is the in-process span sink: a bounded ring buffer that
+// overwrites the oldest span once full, so a long-running auditor keeps
+// a recent window of traces at fixed memory cost. It is safe for
+// concurrent Collect calls and concurrent reads (/debug/traces scrapes
+// race submissions in production; see the -race stress test).
+type RingCollector struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	next  int    // next write position
+	n     int    // live records (== len(buf) once the ring has wrapped)
+	total uint64 // spans ever collected (total - n = overwritten)
+}
+
+// NewRingCollector creates a collector holding the last size spans
+// (DefaultRingSize when size <= 0).
+func NewRingCollector(size int) *RingCollector {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &RingCollector{buf: make([]SpanRecord, size)}
+}
+
+// Collect implements Collector.
+func (c *RingCollector) Collect(r SpanRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf[c.next] = r
+	c.next = (c.next + 1) % len(c.buf)
+	if c.n < len(c.buf) {
+		c.n++
+	}
+	c.total++
+}
+
+// Len returns the number of spans currently held.
+func (c *RingCollector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Total returns the number of spans ever collected (Total() - Len() have
+// been overwritten).
+func (c *RingCollector) Total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Snapshot copies the held spans, oldest first.
+func (c *RingCollector) Snapshot() []SpanRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SpanRecord, 0, c.n)
+	start := c.next - c.n
+	if start < 0 {
+		start += len(c.buf)
+	}
+	for i := 0; i < c.n; i++ {
+		out = append(out, c.buf[(start+i)%len(c.buf)])
+	}
+	return out
+}
+
+// Trace returns the held spans of one trace (hex trace ID), in collection
+// order — for a finished request that is close to span-start order with
+// the root last.
+func (c *RingCollector) Trace(traceID string) []SpanRecord {
+	var out []SpanRecord
+	for _, r := range c.Snapshot() {
+		if r.TraceID == traceID {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TraceIDs lists the distinct trace IDs currently held, most recently
+// collected last.
+func (c *RingCollector) TraceIDs() []string {
+	seen := make(map[string]int)
+	for i, r := range c.Snapshot() {
+		seen[r.TraceID] = i // last collection index wins
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return seen[ids[i]] < seen[ids[j]] })
+	return ids
+}

@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func rec(traceID, name string) SpanRecord {
+	return SpanRecord{TraceID: traceID, SpanID: name + "-span", Name: name}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	c := NewRingCollector(3)
+	for i := 0; i < 5; i++ {
+		c.Collect(rec("t", fmt.Sprintf("s%d", i)))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", c.Total())
+	}
+	got := c.Snapshot()
+	want := []string{"s2", "s3", "s4"}
+	for i, w := range want {
+		if got[i].Name != w {
+			t.Errorf("Snapshot[%d] = %s, want %s (oldest first)", i, got[i].Name, w)
+		}
+	}
+}
+
+func TestRingDefaultSize(t *testing.T) {
+	if got := len(NewRingCollector(0).buf); got != DefaultRingSize {
+		t.Errorf("size 0 ring holds %d, want %d", got, DefaultRingSize)
+	}
+}
+
+func TestTraceAndTraceIDs(t *testing.T) {
+	c := NewRingCollector(8)
+	c.Collect(rec("aaa", "a1"))
+	c.Collect(rec("bbb", "b1"))
+	c.Collect(rec("aaa", "a2"))
+
+	spans := c.Trace("aaa")
+	if len(spans) != 2 || spans[0].Name != "a1" || spans[1].Name != "a2" {
+		t.Errorf("Trace(aaa) = %+v", spans)
+	}
+	if spans := c.Trace("nope"); len(spans) != 0 {
+		t.Errorf("Trace(nope) = %+v", spans)
+	}
+	ids := c.TraceIDs()
+	if len(ids) != 2 || ids[0] != "bbb" || ids[1] != "aaa" {
+		t.Errorf("TraceIDs = %v, want [bbb aaa] (most recent last)", ids)
+	}
+}
+
+// serveTraces runs one GET against the collector's debug endpoint and
+// decodes the JSONL body.
+func serveTraces(t *testing.T, c *RingCollector, query string) ([]SpanRecord, *http.Response) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/debug/traces"+query, nil)
+	w := httptest.NewRecorder()
+	c.ServeHTTP(w, req)
+	resp := w.Result()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp
+	}
+	var out []SpanRecord
+	scan := bufio.NewScanner(resp.Body)
+	for scan.Scan() {
+		var r SpanRecord
+		if err := json.Unmarshal(scan.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", scan.Text(), err)
+		}
+		out = append(out, r)
+	}
+	return out, resp
+}
+
+func TestServeHTTP(t *testing.T) {
+	c := NewRingCollector(8)
+	c.Collect(rec("aaa", "a1"))
+	c.Collect(rec("bbb", "b1"))
+	c.Collect(rec("aaa", "a2"))
+
+	all, resp := serveTraces(t, c, "")
+	if len(all) != 3 {
+		t.Errorf("unfiltered dump = %d spans, want 3", len(all))
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	one, _ := serveTraces(t, c, "?trace=aaa")
+	if len(one) != 2 {
+		t.Errorf("?trace=aaa = %d spans, want 2", len(one))
+	}
+	last, _ := serveTraces(t, c, "?limit=1")
+	if len(last) != 1 || last[0].Name != "a2" {
+		t.Errorf("?limit=1 = %+v, want just a2", last)
+	}
+
+	if _, resp := serveTraces(t, c, "?limit=-1"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit: status %d", resp.StatusCode)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/debug/traces", strings.NewReader("x"))
+	w := httptest.NewRecorder()
+	c.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d", w.Code)
+	}
+}
+
+// TestRingConcurrency is the -race stress test: concurrent span Ends,
+// snapshots and debug scrapes against one ring must be data-race free
+// and never corrupt the ring's bookkeeping.
+func TestRingConcurrency(t *testing.T) {
+	const (
+		writers       = 8
+		spansPerWrite = 200
+	)
+	ring := NewRingCollector(64)
+	tr := testTracer(1, ring)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spansPerWrite; i++ {
+				ctx, root := tr.StartSpan(context.Background(), fmt.Sprintf("w%d-root", w))
+				_, child := tr.StartSpan(ctx, "child")
+				child.SetAttr("i", fmt.Sprint(i))
+				child.End()
+				root.End()
+			}
+		}(w)
+	}
+	// Readers race the writers: snapshots, per-trace reads and HTTP
+	// scrapes all while the ring wraps.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := ring.Snapshot()
+				if len(snap) > 64 {
+					t.Errorf("snapshot larger than ring: %d", len(snap))
+					return
+				}
+				for _, id := range ring.TraceIDs() {
+					ring.Trace(id)
+				}
+				req := httptest.NewRequest(http.MethodGet, "/debug/traces?limit=10", nil)
+				ring.ServeHTTP(httptest.NewRecorder(), req)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got, want := ring.Total(), uint64(writers*spansPerWrite*2); got != want {
+		t.Errorf("Total = %d, want %d", got, want)
+	}
+	if ring.Len() != 64 {
+		t.Errorf("Len = %d, want full ring 64", ring.Len())
+	}
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WriteJSONL writes span records one JSON object per line — the export
+// format of /debug/traces and the drone CLI's -dump-traces.
+func WriteJSONL(w io.Writer, recs []SpanRecord) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServeHTTP makes the collector the /debug/traces endpoint: a JSONL dump
+// of the held spans, oldest first.
+//
+//	GET /debug/traces              all held spans
+//	GET /debug/traces?trace=<id>   one trace
+//	GET /debug/traces?limit=<n>    at most the n most recent spans
+func (c *RingCollector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var recs []SpanRecord
+	if id := r.URL.Query().Get("trace"); id != "" {
+		recs = c.Trace(id)
+	} else {
+		recs = c.Snapshot()
+	}
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		if n < len(recs) {
+			recs = recs[len(recs)-n:]
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = WriteJSONL(w, recs)
+}

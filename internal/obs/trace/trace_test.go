@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// seqReader is a deterministic entropy source for reproducible IDs.
+type seqReader struct{ n byte }
+
+func (r *seqReader) Read(p []byte) (int, error) {
+	for i := range p {
+		r.n++
+		p[i] = r.n
+	}
+	return len(p), nil
+}
+
+func testTracer(sample float64, sink Collector) *Tracer {
+	return New(Options{
+		Sample: sample,
+		Clock:  obs.NewFakeClock(time.Date(2018, 6, 1, 15, 0, 0, 0, time.UTC)),
+		Rand:   &seqReader{},
+		Sink:   sink,
+	})
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	sc := SpanContext{Sampled: true}
+	copy(sc.TraceID[:], bytes.Repeat([]byte{0xab}, 16))
+	copy(sc.SpanID[:], bytes.Repeat([]byte{0xcd}, 8))
+
+	h := sc.Header()
+	if want := "00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("cd", 8) + "-01"; h != want {
+		t.Fatalf("Header() = %q, want %q", h, want)
+	}
+	got, ok := ParseHeader(h)
+	if !ok || got != sc {
+		t.Fatalf("ParseHeader(%q) = %+v, %v; want %+v, true", h, got, ok, sc)
+	}
+
+	sc.Sampled = false
+	got, ok = ParseHeader(sc.Header())
+	if !ok || got.Sampled {
+		t.Fatalf("unsampled round-trip = %+v, %v", got, ok)
+	}
+}
+
+func TestParseHeaderRejectsMalformed(t *testing.T) {
+	valid := SpanContext{TraceID: TraceID{1}, SpanID: SpanID{2}, Sampled: true}.Header()
+	bad := []string{
+		"",
+		"garbage",
+		valid[:54],                          // truncated
+		valid + "0",                         // too long
+		"01" + valid[2:],                    // unknown version
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		"00-" + strings.Repeat("zz", 16) + "-" + strings.Repeat("cd", 8) + "-01", // non-hex trace id
+		"00-" + strings.Repeat("00", 16) + "-" + strings.Repeat("cd", 8) + "-01", // all-zero trace id
+		"00-" + strings.Repeat("ab", 16) + "-" + strings.Repeat("00", 8) + "-01", // all-zero span id
+	}
+	for _, h := range bad {
+		if sc, ok := ParseHeader(h); ok {
+			t.Errorf("ParseHeader(%q) accepted: %+v", h, sc)
+		}
+	}
+}
+
+func TestParentChildLinksAndDelivery(t *testing.T) {
+	ring := NewRingCollector(16)
+	tr := testTracer(1, ring)
+
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	_, child := tr.StartSpan(ctx, "child")
+	child.SetAttr("k", "v")
+	child.SetInt("n", 42)
+	child.Event("hello")
+	child.SetError(errors.New("boom"))
+	child.End()
+	root.End()
+
+	spans := ring.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("collected %d spans, want 2", len(spans))
+	}
+	c, r := spans[0], spans[1]
+	if c.Name != "child" || r.Name != "root" {
+		t.Fatalf("unexpected order: %q, %q", c.Name, r.Name)
+	}
+	if c.TraceID != r.TraceID {
+		t.Errorf("trace ids differ: %s vs %s", c.TraceID, r.TraceID)
+	}
+	if c.Parent != r.SpanID {
+		t.Errorf("child parent = %s, want %s", c.Parent, r.SpanID)
+	}
+	if r.Parent != "" {
+		t.Errorf("root parent = %s, want none", r.Parent)
+	}
+	if len(c.Attrs) != 2 || c.Attrs[0] != (Attr{K: "k", V: "v"}) || c.Attrs[1] != (Attr{K: "n", V: "42"}) {
+		t.Errorf("child attrs = %+v", c.Attrs)
+	}
+	if len(c.Events) != 1 || c.Events[0].Msg != "hello" {
+		t.Errorf("child events = %+v", c.Events)
+	}
+	if c.Error != "boom" {
+		t.Errorf("child error = %q", c.Error)
+	}
+}
+
+func TestEndDeliversOnce(t *testing.T) {
+	ring := NewRingCollector(16)
+	tr := testTracer(1, ring)
+	_, sp := tr.StartSpan(context.Background(), "once")
+	sp.End()
+	sp.End()
+	if n := ring.Len(); n != 1 {
+		t.Fatalf("double End delivered %d records", n)
+	}
+}
+
+func TestSamplingRates(t *testing.T) {
+	ring := NewRingCollector(16)
+	tr := testTracer(0, ring)
+	ctx, sp := tr.StartSpan(context.Background(), "unsampled")
+	if sp.Recording() {
+		t.Error("sample 0 root is recording")
+	}
+	// Identity still propagates for downstream continuation.
+	if FromContext(ctx) == nil || FromContext(ctx).Context().TraceID.IsZero() {
+		t.Error("unsampled span carries no trace identity")
+	}
+	sp.End()
+	if ring.Len() != 0 {
+		t.Errorf("sample 0 delivered %d spans", ring.Len())
+	}
+
+	tr = testTracer(1, ring)
+	_, sp = tr.StartSpan(context.Background(), "sampled")
+	if !sp.Recording() {
+		t.Error("sample 1 root not recording")
+	}
+	sp.End()
+	if ring.Len() != 1 {
+		t.Errorf("sample 1 delivered %d spans", ring.Len())
+	}
+}
+
+func TestStartRemoteContinuesTrace(t *testing.T) {
+	ring := NewRingCollector(16)
+	remote := SpanContext{Sampled: true}
+	copy(remote.TraceID[:], bytes.Repeat([]byte{0x11}, 16))
+	copy(remote.SpanID[:], bytes.Repeat([]byte{0x22}, 8))
+
+	// The receiving tracer samples nothing locally: the span below is
+	// recorded purely because the remote parent was sampled.
+	tr := testTracer(0, ring)
+	_, sp := tr.StartRemote(context.Background(), remote.Header(), "server")
+	if got := sp.Context().TraceID; got != remote.TraceID {
+		t.Errorf("trace id = %s, want remote %s", got, remote.TraceID)
+	}
+	if !sp.Recording() {
+		t.Error("remote-sampled continuation not recording at local sample 0")
+	}
+	sp.End()
+	if ring.Len() != 1 {
+		t.Fatalf("delivered %d spans", ring.Len())
+	}
+	if p := ring.Snapshot()[0].Parent; p != remote.SpanID.String() {
+		t.Errorf("parent = %s, want remote span %s", p, remote.SpanID)
+	}
+
+	// An unsampled remote parent suppresses recording the same way.
+	remote.Sampled = false
+	_, sp = testTracer(1, ring).StartRemote(context.Background(), remote.Header(), "server")
+	if sp.Recording() {
+		t.Error("remote-unsampled continuation recording at local sample 1")
+	}
+
+	// A malformed header falls back to a local root.
+	_, sp = testTracer(1, ring).StartRemote(context.Background(), "bogus", "server")
+	if !sp.Recording() || sp.Context().TraceID == remote.TraceID {
+		t.Error("malformed header did not fall back to a local root")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartSpan(context.Background(), "x")
+	if ctx != context.Background() || sp != nil {
+		t.Error("nil tracer StartSpan not a no-op")
+	}
+	ctx, sp = tr.StartRemote(context.Background(), "h", "x")
+	if ctx != context.Background() || sp != nil {
+		t.Error("nil tracer StartRemote not a no-op")
+	}
+	// All span methods must be callable on nil.
+	sp.SetAttr("k", "v")
+	sp.SetInt("k", 1)
+	sp.Event("e")
+	sp.SetError(errors.New("x"))
+	sp.End()
+	if sp.Recording() {
+		t.Error("nil span recording")
+	}
+	if sp.Context().Valid() {
+		t.Error("nil span has a valid context")
+	}
+	if HeaderFromContext(context.Background()) != "" {
+		t.Error("empty context renders a header")
+	}
+}
+
+func TestHeaderFromContext(t *testing.T) {
+	tr := testTracer(1, nil)
+	ctx, sp := tr.StartSpan(context.Background(), "x")
+	h := HeaderFromContext(ctx)
+	sc, ok := ParseHeader(h)
+	if !ok || sc != sp.Context() {
+		t.Fatalf("HeaderFromContext = %q (parsed %+v, %v), want context of %+v", h, sc, ok, sp.Context())
+	}
+}

@@ -6,6 +6,7 @@
 package operator
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"encoding/json"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/gps"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/poa"
 	"repro/internal/protocol"
 	"repro/internal/sampling"
@@ -41,6 +43,7 @@ type Drone struct {
 	auditorPub *rsa.PublicKey // Auditor's PoA-encryption key
 	random     io.Reader
 	metrics    *obs.Registry
+	tracer     *otrace.Tracer
 
 	id string // issued by the Auditor at registration
 }
@@ -81,6 +84,22 @@ func (d *Drone) SetMetrics(reg *obs.Registry) {
 
 // Metrics returns the drone registry (nil when disabled).
 func (d *Drone) Metrics() *obs.Registry { return d.metrics }
+
+// SetTracer attaches a tracer: each mission then runs under a
+// "drone.proof" root span whose identity propagates through the API
+// client to the auditor. If the API client is an HTTPAuditor, attach the
+// tracer there separately (SetTracer on the client) for per-call
+// http.client spans.
+func (d *Drone) SetTracer(tr *otrace.Tracer) { d.tracer = tr }
+
+// Tracer returns the drone tracer (nil when disabled).
+func (d *Drone) Tracer() *otrace.Tracer { return d.tracer }
+
+// apiFor resolves the API to call under ctx (trace propagation and
+// cancellation when the transport supports context binding).
+func (d *Drone) apiFor(ctx context.Context) protocol.API {
+	return protocol.BindContext(ctx, d.api)
+}
 
 // Register performs protocol task 0: export T+ from the TEE, send it with
 // D+ to the Auditor, and adopt the issued id_drone.
@@ -176,10 +195,16 @@ func (d *Drone) EncryptPoA(p poa.PoA) ([]byte, error) {
 
 // Submit performs protocol task 4 with an already-encrypted PoA.
 func (d *Drone) Submit(encryptedPoA []byte) (protocol.SubmitPoAResponse, error) {
+	return d.SubmitCtx(context.Background(), encryptedPoA)
+}
+
+// SubmitCtx is Submit under a caller context: the submission call carries
+// the context's trace span across the wire.
+func (d *Drone) SubmitCtx(ctx context.Context, encryptedPoA []byte) (protocol.SubmitPoAResponse, error) {
 	if d.id == "" {
 		return protocol.SubmitPoAResponse{}, ErrNotRegistered
 	}
-	resp, err := d.api.SubmitPoA(protocol.SubmitPoARequest{
+	resp, err := d.apiFor(ctx).SubmitPoA(protocol.SubmitPoARequest{
 		DroneID:      d.id,
 		EncryptedPoA: encryptedPoA,
 	})

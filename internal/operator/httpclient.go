@@ -2,6 +2,7 @@ package operator
 
 import (
 	"bytes"
+	"context"
 	"crypto/rsa"
 	"encoding/json"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
 	"repro/internal/zone"
@@ -26,6 +28,13 @@ const (
 	// MetricClientRequestSeconds is the per-endpoint latency histogram,
 	// covering all attempts of a call including backoff.
 	MetricClientRequestSeconds = "alidrone_client_request_seconds"
+	// MetricRetryAttemptsTotal counts individual retry attempts per
+	// endpoint path (same events as MetricClientRetriesTotal under the
+	// conventional operator_* name).
+	MetricRetryAttemptsTotal = "operator_retry_attempts_total"
+	// MetricRetryExhaustedTotal counts calls that still failed after the
+	// configured retry budget was spent.
+	MetricRetryExhaustedTotal = "operator_retry_exhausted_total"
 )
 
 // RetryPolicy controls the client's re-send behaviour on transport errors
@@ -50,10 +59,15 @@ type HTTPAuditor struct {
 	hc      *http.Client
 	retry   RetryPolicy
 	metrics *obs.Registry
+	tracer  *otrace.Tracer
+	ctx     context.Context // bound call context (nil = Background)
 	sleep   func(time.Duration)
 }
 
-var _ protocol.API = (*HTTPAuditor)(nil)
+var (
+	_ protocol.API           = (*HTTPAuditor)(nil)
+	_ protocol.ContextBinder = (*HTTPAuditor)(nil)
+)
 
 // NewHTTPAuditor creates a client for the auditor at baseURL (no trailing
 // slash). client defaults to http.DefaultClient.
@@ -71,6 +85,32 @@ func (c *HTTPAuditor) SetRetryPolicy(p RetryPolicy) { c.retry = p }
 // SetMetrics attaches a metrics registry (nil disables, the default).
 func (c *HTTPAuditor) SetMetrics(reg *obs.Registry) { c.metrics = reg }
 
+// SetTracer attaches a tracer: every call then runs under an
+// "http.client <path>" span and the request carries the traceparent
+// header, so the auditor continues the drone's trace.
+func (c *HTTPAuditor) SetTracer(tr *otrace.Tracer) { c.tracer = tr }
+
+// WithContext returns a shallow copy of the client whose calls run under
+// ctx: requests are cancellable, backoff sleeps abort on cancellation,
+// and the context's trace span propagates into the wire header. The
+// receiver is not modified.
+func (c *HTTPAuditor) WithContext(ctx context.Context) *HTTPAuditor {
+	d := *c
+	d.ctx = ctx
+	return &d
+}
+
+// BindContext implements protocol.ContextBinder.
+func (c *HTTPAuditor) BindContext(ctx context.Context) protocol.API { return c.WithContext(ctx) }
+
+// callCtx resolves the bound call context.
+func (c *HTTPAuditor) callCtx() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
 // setSleep replaces the backoff sleeper; tests inject a recorder so
 // retry timing is observable without real delays.
 func (c *HTTPAuditor) setSleep(fn func(time.Duration)) { c.sleep = fn }
@@ -82,30 +122,83 @@ func retryableStatus(code int) bool {
 		code == http.StatusGatewayTimeout
 }
 
-// do issues fn under the per-path metrics and the retry policy. fn must
-// be repeatable (bodies are byte slices re-wrapped per attempt).
-func (c *HTTPAuditor) do(path string, fn func() (*http.Response, error)) (*http.Response, error) {
+// sleepCtx waits for d or for ctx cancellation, whichever first. A
+// context that cannot be cancelled uses the injected sleeper directly
+// (tests record backoff timing through it).
+func (c *HTTPAuditor) sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		c.sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// do issues fn under the per-path metrics, the client span and the retry
+// policy. fn must be repeatable (bodies are byte slices re-wrapped per
+// attempt) and must issue its request under the given context.
+func (c *HTTPAuditor) do(path string, fn func(ctx context.Context) (*http.Response, error)) (*http.Response, error) {
 	reg := c.metrics
 	reg.Counter(obs.L(MetricClientRequestsTotal, "path", path)).Inc()
+	ctx, tsp := c.tracer.StartSpan(c.callCtx(), "http.client "+path)
+	defer tsp.End()
 	sp := reg.StartSpan(reg.Histogram(obs.L(MetricClientRequestSeconds, "path", path), obs.DurationBuckets))
 	defer sp.End()
 
 	backoff := c.retry.Backoff
 	for attempt := 0; ; attempt++ {
-		httpResp, err := fn()
+		httpResp, err := fn(ctx)
 		retryable := err != nil || retryableStatus(httpResp.StatusCode)
-		if !retryable || attempt >= c.retry.Max {
+		if !retryable {
+			tsp.SetError(err)
+			tsp.SetInt("attempts", int64(attempt+1))
+			return httpResp, err
+		}
+		if attempt >= c.retry.Max {
+			if c.retry.Max > 0 {
+				reg.Counter(obs.L(MetricRetryExhaustedTotal, "path", path)).Inc()
+				tsp.Event("retries exhausted")
+			}
+			tsp.SetError(err)
+			tsp.SetInt("attempts", int64(attempt+1))
 			return httpResp, err
 		}
 		if err == nil {
 			httpResp.Body.Close()
 		}
 		reg.Counter(obs.L(MetricClientRetriesTotal, "path", path)).Inc()
+		reg.Counter(obs.L(MetricRetryAttemptsTotal, "path", path)).Inc()
+		tsp.Event("retry")
 		if backoff > 0 {
-			c.sleep(backoff)
+			if serr := c.sleepCtx(ctx, backoff); serr != nil {
+				tsp.SetError(serr)
+				return nil, serr
+			}
 			backoff *= 2
 		}
 	}
+}
+
+// newRequest builds one attempt's request under ctx, injecting the
+// traceparent header when the context carries an active span.
+func newRequest(ctx context.Context, method, url, contentType string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if h := otrace.HeaderFromContext(ctx); h != "" {
+		req.Header.Set(protocol.HeaderTraceParent, h)
+	}
+	return req, nil
 }
 
 // postJSON sends req to path and decodes the response into resp.
@@ -114,8 +207,12 @@ func (c *HTTPAuditor) postJSON(path string, req, resp any) error {
 	if err != nil {
 		return fmt.Errorf("marshal request: %w", err)
 	}
-	httpResp, err := c.do(path, func() (*http.Response, error) {
-		return c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	httpResp, err := c.do(path, func(ctx context.Context) (*http.Response, error) {
+		hr, err := newRequest(ctx, http.MethodPost, c.base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		return c.hc.Do(hr)
 	})
 	if err != nil {
 		return fmt.Errorf("post %s: %w", path, err)
@@ -227,8 +324,12 @@ func (c *HTTPAuditor) Accuse(req protocol.AccusationRequest) (protocol.SubmitPoA
 func (c *HTTPAuditor) FetchPublicZones(center geo.LatLon, radiusMeters float64) ([]zone.NFZ, error) {
 	url := fmt.Sprintf("%s%s?lat=%g&lon=%g&radiusMeters=%g",
 		c.base, protocol.PathPublicZones, center.Lat, center.Lon, radiusMeters)
-	httpResp, err := c.do(protocol.PathPublicZones, func() (*http.Response, error) {
-		return c.hc.Get(url)
+	httpResp, err := c.do(protocol.PathPublicZones, func(ctx context.Context) (*http.Response, error) {
+		hr, err := newRequest(ctx, http.MethodGet, url, "", nil)
+		if err != nil {
+			return nil, err
+		}
+		return c.hc.Do(hr)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fetch public zones: %w", err)
@@ -246,8 +347,12 @@ func (c *HTTPAuditor) FetchPublicZones(center geo.LatLon, radiusMeters float64) 
 
 // FetchEncryptionPub retrieves the Auditor's PoA-encryption public key.
 func (c *HTTPAuditor) FetchEncryptionPub() (*rsa.PublicKey, error) {
-	httpResp, err := c.do(protocol.PathAuditorPub, func() (*http.Response, error) {
-		return c.hc.Get(c.base + protocol.PathAuditorPub)
+	httpResp, err := c.do(protocol.PathAuditorPub, func(ctx context.Context) (*http.Response, error) {
+		hr, err := newRequest(ctx, http.MethodGet, c.base+protocol.PathAuditorPub, "", nil)
+		if err != nil {
+			return nil, err
+		}
+		return c.hc.Do(hr)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fetch auditor pub: %w", err)

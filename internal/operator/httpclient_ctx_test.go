@@ -1,0 +1,160 @@
+package operator
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
+	"repro/internal/protocol"
+)
+
+func TestClientRetryCountersExported(t *testing.T) {
+	fh := &flakyHandler{fails: 100, status: http.StatusBadGateway,
+		ok: func(w http.ResponseWriter, r *http.Request) {}}
+	hs := httptest.NewServer(fh)
+	defer hs.Close()
+
+	reg := obs.NewRegistry(nil)
+	c := NewHTTPAuditor(hs.URL, nil)
+	c.SetRetryPolicy(RetryPolicy{Max: 2})
+	c.SetMetrics(reg)
+	c.setSleep(func(time.Duration) {})
+	if _, err := c.RegisterDrone(protocol.RegisterDroneRequest{}); err == nil {
+		t.Fatal("exhausted retries did not surface an error")
+	}
+	path := protocol.PathRegisterDrone
+	if got := reg.Counter(obs.L(MetricRetryAttemptsTotal, "path", path)).Value(); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricRetryAttemptsTotal, got)
+	}
+	if got := reg.Counter(obs.L(MetricRetryExhaustedTotal, "path", path)).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricRetryExhaustedTotal, got)
+	}
+
+	// A call that succeeds within the budget must not count as exhausted.
+	fh2 := &flakyHandler{fails: 1, status: http.StatusServiceUnavailable,
+		ok: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"droneId":"drone-1"}`))
+		}}
+	hs2 := httptest.NewServer(fh2)
+	defer hs2.Close()
+	c2 := NewHTTPAuditor(hs2.URL, nil)
+	c2.SetRetryPolicy(RetryPolicy{Max: 2})
+	c2.SetMetrics(reg)
+	c2.setSleep(func(time.Duration) {})
+	if _, err := c2.RegisterDrone(protocol.RegisterDroneRequest{}); err != nil {
+		t.Fatalf("call failed despite retry budget: %v", err)
+	}
+	if got := reg.Counter(obs.L(MetricRetryAttemptsTotal, "path", path)).Value(); got != 3 {
+		t.Errorf("%s = %d, want 3 after one more retry", MetricRetryAttemptsTotal, got)
+	}
+	if got := reg.Counter(obs.L(MetricRetryExhaustedTotal, "path", path)).Value(); got != 1 {
+		t.Errorf("%s = %d, want still 1", MetricRetryExhaustedTotal, got)
+	}
+}
+
+func TestClientCancellationAbortsBackoff(t *testing.T) {
+	var hits int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&hits, 1)
+		http.Error(w, "unavailable", http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewHTTPAuditor(hs.URL, nil)
+	// A backoff far longer than the test: only cancellation can end it.
+	c.SetRetryPolicy(RetryPolicy{Max: 5, Backoff: time.Hour})
+	bound := c.WithContext(ctx)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := bound.RegisterDrone(protocol.RegisterDroneRequest{})
+		done <- err
+	}()
+	// Let the first attempt land, then cancel mid-backoff.
+	for atomic.LoadInt32(&hits) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not abort the backoff sleep")
+	}
+	if got := atomic.LoadInt32(&hits); got != 1 {
+		t.Errorf("server saw %d requests after cancellation, want 1", got)
+	}
+	// The original client is unchanged: it still runs under Background.
+	if c.ctx != nil {
+		t.Error("WithContext mutated the receiver")
+	}
+}
+
+func TestClientInjectsTraceparent(t *testing.T) {
+	var header atomic.Value
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		header.Store(r.Header.Get(protocol.HeaderTraceParent))
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"droneId":"drone-1"}`))
+	}))
+	defer hs.Close()
+
+	// Without a span in context and without a tracer, no header goes out.
+	c := NewHTTPAuditor(hs.URL, nil)
+	if _, err := c.RegisterDrone(protocol.RegisterDroneRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := header.Load().(string); h != "" {
+		t.Errorf("untraced call sent traceparent %q", h)
+	}
+
+	// A caller span bound via WithContext propagates even when the
+	// client itself has no tracer.
+	tr := otrace.New(otrace.Options{Sample: 1})
+	ctx, root := tr.StartSpan(context.Background(), "drone.proof")
+	if _, err := c.WithContext(ctx).RegisterDrone(protocol.RegisterDroneRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := header.Load().(string)
+	sc, ok := otrace.ParseHeader(h)
+	if !ok {
+		t.Fatalf("bound call sent unparseable traceparent %q", h)
+	}
+	if sc.TraceID != root.Context().TraceID || !sc.Sampled {
+		t.Errorf("traceparent %q does not carry the caller's trace %s", h, root.Context().TraceID)
+	}
+
+	// With a client tracer attached, the wire header names the client
+	// span (a child of the caller's), keeping the trace contiguous.
+	ring := otrace.NewRingCollector(8)
+	ctr := otrace.New(otrace.Options{Sample: 1, Sink: ring})
+	c.SetTracer(ctr)
+	if _, err := c.WithContext(ctx).RegisterDrone(protocol.RegisterDroneRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	h, _ = header.Load().(string)
+	sc, ok = otrace.ParseHeader(h)
+	if !ok || sc.TraceID != root.Context().TraceID {
+		t.Fatalf("traced call header %q not in the caller's trace", h)
+	}
+	spans := ring.Snapshot()
+	if len(spans) != 1 || spans[0].Name != "http.client "+protocol.PathRegisterDrone {
+		t.Fatalf("client spans = %+v", spans)
+	}
+	if spans[0].SpanID != sc.SpanID.String() {
+		t.Errorf("wire header span %s is not the client span %s", sc.SpanID, spans[0].SpanID)
+	}
+	if spans[0].Parent != root.Context().SpanID.String() {
+		t.Errorf("client span parent = %s, want caller span %s", spans[0].Parent, root.Context().SpanID)
+	}
+}

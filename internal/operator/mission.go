@@ -1,6 +1,7 @@
 package operator
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -58,9 +59,53 @@ type MissionReport struct {
 	StreamedViolationAt int
 }
 
+// modeName names a sampling mode for trace attributes.
+func modeName(m SamplingMode) string {
+	switch m {
+	case ModeAdaptive, 0:
+		return "adaptive"
+	case ModeFixedRate:
+		return "fixed-rate"
+	case ModeBatch:
+		return "batch"
+	case ModeMAC:
+		return "mac"
+	case ModeStreaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("mode-%d", int(m))
+	}
+}
+
+// teeSign runs fn — a flight whose sampling invokes the TEE — under a
+// "tee.sign" span annotated with the secure-world work it caused (SMC
+// world switches, signatures, MACs, bytes covered), read as deltas of the
+// device's monotonic counters.
+func (d *Drone) teeSign(ctx context.Context, fn func() error) error {
+	if d.tracer == nil {
+		return fn()
+	}
+	before := d.dev.Snapshot()
+	_, sp := d.tracer.StartSpan(ctx, "tee.sign")
+	err := fn()
+	after := d.dev.Snapshot()
+	sp.SetInt("smcCalls", int64(after.SMCCalls-before.SMCCalls))
+	sp.SetInt("signs", int64(after.Signs-before.Signs))
+	sp.SetInt("macs", int64(after.MACs-before.MACs))
+	sp.SetInt("signedBytes", int64(after.SignedBytes-before.SignedBytes))
+	sp.SetError(err)
+	sp.End()
+	return err
+}
+
 // RunMission executes the entire protocol workflow for one flight over the
 // given route: zone query → flight with the selected envelope →
 // (persist) → submission. The drone must already be registered.
+//
+// With a tracer attached (SetTracer) the flight-and-submit phase runs
+// under a "drone.proof" root span — one trace per proof — with child
+// spans for the TEE signing work and, through a context-binding API
+// client, the HTTP submission and the auditor's verification pipeline.
 func (d *Drone) RunMission(rx *gps.Receiver, route *trace.Route, cfg MissionConfig) (*MissionReport, error) {
 	if d.id == "" {
 		return nil, ErrNotRegistered
@@ -79,43 +124,68 @@ func (d *Drone) RunMission(rx *gps.Receiver, route *trace.Route, cfg MissionConf
 	circles := zone.Circles(zones)
 	rep := &MissionReport{FlightID: cfg.FlightID, Zones: zones, StreamedViolationAt: -1}
 
+	ctx, root := d.tracer.StartSpan(context.Background(), "drone.proof")
+	root.SetAttr("flight", cfg.FlightID)
+	root.SetAttr("mode", modeName(cfg.Mode))
+	defer root.End()
+
 	switch cfg.Mode {
 	case ModeAdaptive, 0:
-		rep.Run, err = d.FlyAdaptive(rx, circles, route.End())
+		err = d.teeSign(ctx, func() error {
+			rep.Run, err = d.FlyAdaptive(rx, circles, route.End())
+			return err
+		})
 		if err != nil {
+			root.SetError(err)
 			return nil, err
 		}
-		rep.Verdict, err = d.submitWithStore(rep.Run, route, cfg)
+		rep.Verdict, err = d.submitWithStore(ctx, rep.Run, route, cfg)
 	case ModeFixedRate:
 		if cfg.FixedRateHz <= 0 {
 			return nil, fmt.Errorf("operator: fixed-rate mission needs FixedRateHz")
 		}
-		rep.Run, err = d.FlyFixedRate(rx, cfg.FixedRateHz, route.End())
+		err = d.teeSign(ctx, func() error {
+			rep.Run, err = d.FlyFixedRate(rx, cfg.FixedRateHz, route.End())
+			return err
+		})
 		if err != nil {
+			root.SetError(err)
 			return nil, err
 		}
-		rep.Verdict, err = d.submitWithStore(rep.Run, route, cfg)
+		rep.Verdict, err = d.submitWithStore(ctx, rep.Run, route, cfg)
 	case ModeBatch:
 		var batch poa.BatchPoA
-		batch, rep.Run, err = d.FlyAdaptiveBatch(rx, circles, route.End())
+		err = d.teeSign(ctx, func() error {
+			var ferr error
+			batch, rep.Run, ferr = d.FlyAdaptiveBatch(rx, circles, route.End())
+			return ferr
+		})
 		if err != nil {
+			root.SetError(err)
 			return nil, err
 		}
-		rep.Verdict, err = d.SubmitBatchPoA(batch)
+		rep.Verdict, err = d.SubmitBatchPoACtx(ctx, batch)
 	case ModeMAC:
 		sessionID, serr := d.StartSession()
 		if serr != nil {
+			root.SetError(serr)
 			return nil, serr
 		}
-		rep.Run, err = d.FlyAdaptiveMAC(rx, circles, route.End())
+		err = d.teeSign(ctx, func() error {
+			var ferr error
+			rep.Run, ferr = d.FlyAdaptiveMAC(rx, circles, route.End())
+			return ferr
+		})
 		if err != nil {
+			root.SetError(err)
 			return nil, err
 		}
-		rep.Verdict, err = d.SubmitMACPoA(sessionID, rep.Run.PoA)
+		rep.Verdict, err = d.SubmitMACPoACtx(ctx, sessionID, rep.Run.PoA)
 	case ModeStreaming:
 		var sres *StreamingResult
 		sres, err = d.FlyAdaptiveStreaming(rx, circles, route.End())
 		if err != nil {
+			root.SetError(err)
 			return nil, err
 		}
 		rep.Run = sres.Run
@@ -125,13 +195,15 @@ func (d *Drone) RunMission(rx *gps.Receiver, route *trace.Route, cfg MissionConf
 		return nil, fmt.Errorf("operator: unknown sampling mode %d", cfg.Mode)
 	}
 	if err != nil {
+		root.SetError(err)
 		return nil, err
 	}
+	root.SetAttr("verdict", string(rep.Verdict.Verdict))
 	return rep, nil
 }
 
 // submitWithStore encrypts, optionally persists, then submits a PoA run.
-func (d *Drone) submitWithStore(run *sampling.RunResult, route *trace.Route, cfg MissionConfig) (protocol.SubmitPoAResponse, error) {
+func (d *Drone) submitWithStore(ctx context.Context, run *sampling.RunResult, route *trace.Route, cfg MissionConfig) (protocol.SubmitPoAResponse, error) {
 	ct, err := d.EncryptPoA(run.PoA)
 	if err != nil {
 		return protocol.SubmitPoAResponse{}, err
@@ -154,7 +226,7 @@ func (d *Drone) submitWithStore(run *sampling.RunResult, route *trace.Route, cfg
 			_ = cfg.Store.Save(rec)
 		}()
 	}
-	return d.Submit(ct)
+	return d.SubmitCtx(ctx, ct)
 }
 
 // RouteBounds computes the zone-query rectangle for a route: its bounding

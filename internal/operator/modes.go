@@ -1,6 +1,7 @@
 package operator
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,7 +23,13 @@ var ErrModesUnsupported = errors.New("operator: auditor does not support alterna
 
 // modesAPI returns the extended API surface when available.
 func (d *Drone) modesAPI() (protocol.ModesAPI, error) {
-	m, ok := d.api.(protocol.ModesAPI)
+	return d.modesAPICtx(context.Background())
+}
+
+// modesAPICtx returns the extended API surface bound to ctx when the
+// transport supports context binding.
+func (d *Drone) modesAPICtx(ctx context.Context) (protocol.ModesAPI, error) {
+	m, ok := protocol.BindContext(ctx, d.api).(protocol.ModesAPI)
 	if !ok {
 		return nil, ErrModesUnsupported
 	}
@@ -55,10 +62,15 @@ func (d *Drone) FlyAdaptiveBatch(rx *gps.Receiver, zones []geo.GeoCircle, until 
 
 // SubmitBatchPoA encrypts and submits a batch-signed trace.
 func (d *Drone) SubmitBatchPoA(batch poa.BatchPoA) (protocol.SubmitPoAResponse, error) {
+	return d.SubmitBatchPoACtx(context.Background(), batch)
+}
+
+// SubmitBatchPoACtx is SubmitBatchPoA under a caller context.
+func (d *Drone) SubmitBatchPoACtx(ctx context.Context, batch poa.BatchPoA) (protocol.SubmitPoAResponse, error) {
 	if d.id == "" {
 		return protocol.SubmitPoAResponse{}, ErrNotRegistered
 	}
-	m, err := d.modesAPI()
+	m, err := d.modesAPICtx(ctx)
 	if err != nil {
 		return protocol.SubmitPoAResponse{}, err
 	}
@@ -137,10 +149,15 @@ func (d *Drone) FlyFixedRateMAC(rx *gps.Receiver, rateHz float64, until time.Tim
 
 // SubmitMACPoA encrypts and submits a symmetric-mode PoA under a session.
 func (d *Drone) SubmitMACPoA(sessionID string, p poa.PoA) (protocol.SubmitPoAResponse, error) {
+	return d.SubmitMACPoACtx(context.Background(), sessionID, p)
+}
+
+// SubmitMACPoACtx is SubmitMACPoA under a caller context.
+func (d *Drone) SubmitMACPoACtx(ctx context.Context, sessionID string, p poa.PoA) (protocol.SubmitPoAResponse, error) {
 	if d.id == "" {
 		return protocol.SubmitPoAResponse{}, ErrNotRegistered
 	}
-	m, err := d.modesAPI()
+	m, err := d.modesAPICtx(ctx)
 	if err != nil {
 		return protocol.SubmitPoAResponse{}, err
 	}

@@ -15,6 +15,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -86,11 +87,29 @@ func (p *Pool) release() {
 // reported index deterministic: it is the global minimum failing index,
 // not merely the first one observed.
 func (p *Pool) FirstError(n int, check func(int) error) (int, error) {
+	return p.FirstErrorCtx(context.Background(), n, check)
+}
+
+// FirstErrorCtx is FirstError with cooperative cancellation: when ctx is
+// done, workers stop claiming new indices and the call returns
+// (-1, ctx.Err()) — unless a genuine check failure was already recorded,
+// in which case the lowest failure seen wins so a found forgery is never
+// masked by the caller going away. A context that can never be cancelled
+// (context.Background()) adds no per-index overhead.
+func (p *Pool) FirstErrorCtx(ctx context.Context, n int, check func(int) error) (int, error) {
 	if n <= 0 {
 		return -1, nil
 	}
+	done := ctx.Done()
 	if p.Sequential() || n == 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return -1, ctx.Err()
+				default:
+				}
+			}
 			if err := check(i); err != nil {
 				return i, err
 			}
@@ -118,6 +137,13 @@ func (p *Pool) FirstError(n int, check func(int) error) (int, error) {
 			p.acquire()
 			defer p.release()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1) - 1)
 				// Cancellation: nothing at or above a known failure can
 				// change the answer, so stop claiming.
@@ -145,6 +171,9 @@ func (p *Pool) FirstError(n int, check func(int) error) (int, error) {
 
 	if f := int(minFail.Load()); f < n {
 		return f, errs[f]
+	}
+	if err := ctx.Err(); err != nil {
+		return -1, err
 	}
 	return -1, nil
 }

@@ -1,5 +1,7 @@
 package protocol
 
+import "context"
+
 // API is the Auditor-side protocol surface. The in-process auditor.Server
 // implements it directly; auditor.Handler exposes it over HTTP and
 // operator.HTTPAuditor consumes that — so drone-side code is transport
@@ -10,6 +12,31 @@ type API interface {
 	ZoneQuery(ZoneQueryRequest) (ZoneQueryResponse, error)
 	SubmitPoA(SubmitPoARequest) (SubmitPoAResponse, error)
 }
+
+// ContextBinder is implemented by API transports that can carry a
+// context.Context across calls — cancellation and trace propagation —
+// without widening the API interface itself. BindContext returns an API
+// whose calls run under ctx; implementations must not mutate the
+// receiver, so one client can serve many concurrent missions.
+type ContextBinder interface {
+	BindContext(ctx context.Context) API
+}
+
+// BindContext resolves the API to use for calls under ctx: api's bound
+// form when it implements ContextBinder, api itself otherwise.
+func BindContext(ctx context.Context, api API) API {
+	if b, ok := api.(ContextBinder); ok {
+		return b.BindContext(ctx)
+	}
+	return api
+}
+
+// HeaderTraceParent is the HTTP header carrying the trace context of the
+// submitting drone across the wire, in the W3C traceparent shape
+// produced by obs/trace.SpanContext.Header. The auditor continues the
+// drone's trace from it; absence (or malformation) simply starts a local
+// trace.
+const HeaderTraceParent = "Traceparent"
 
 // Endpoint paths of the HTTP transport.
 const (

@@ -6,6 +6,7 @@
 package protocol
 
 import (
+	"context"
 	"crypto/rsa"
 	"encoding/hex"
 	"errors"
@@ -168,7 +169,16 @@ func VerifyPoASignatures(p poa.PoA, teePub *rsa.PublicKey) (int, error) {
 // sequential scan — and cancels the tail once a forgery is found. A nil
 // pool runs the historical sequential loop.
 func VerifyPoASignaturesPool(p poa.PoA, teePub *rsa.PublicKey, pool *parallel.Pool) (int, error) {
-	idx, err := pool.FirstError(len(p.Samples), func(i int) error {
+	return VerifyPoASignaturesPoolCtx(context.Background(), p, teePub, pool)
+}
+
+// VerifyPoASignaturesPoolCtx is VerifyPoASignaturesPool with cooperative
+// cancellation: when ctx is done, remaining samples are skipped and the
+// context error is returned. A forged sample found before cancellation
+// still wins (parallel.FirstErrorCtx semantics), so verdicts never
+// regress under cancellation.
+func VerifyPoASignaturesPoolCtx(ctx context.Context, p poa.PoA, teePub *rsa.PublicKey, pool *parallel.Pool) (int, error) {
+	idx, err := pool.FirstErrorCtx(ctx, len(p.Samples), func(i int) error {
 		ss := p.Samples[i]
 		if err := sigcrypto.Verify(teePub, ss.Sample.Marshal(), ss.Sig); err != nil {
 			return fmt.Errorf("sample %d: %w", i, ErrBadSignature)

@@ -5,6 +5,7 @@ package storage
 // scripts/bench.sh tracks these next to the verification benchmarks.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -32,7 +33,7 @@ func BenchmarkWALAppend(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := fs.Append(benchRecord(i)); err != nil {
+				if err := fs.Append(context.Background(), benchRecord(i)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -54,7 +55,7 @@ func BenchmarkWALAppend(b *testing.B) {
 		b.RunParallel(func(pb *testing.PB) {
 			i := 0
 			for pb.Next() {
-				if err := fs.Append(benchRecord(i)); err != nil {
+				if err := fs.Append(context.Background(), benchRecord(i)); err != nil {
 					b.Fatal(err)
 				}
 				i++
@@ -75,7 +76,7 @@ func BenchmarkRecovery(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < records; i++ {
-				if err := fs.Append(benchRecord(i)); err != nil {
+				if err := fs.Append(context.Background(), benchRecord(i)); err != nil {
 					b.Fatal(err)
 				}
 			}

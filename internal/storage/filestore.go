@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
 )
 
 // On-disk layout: a state directory holding numbered WAL segments and
@@ -171,12 +173,19 @@ func scanDir(dir string) (wals, snaps []uint64, err error) {
 	return wals, snaps, nil
 }
 
-// Append durably commits the records as one batch (group commit).
-func (fs *FileStore) Append(recs ...Record) error {
+// Append durably commits the records as one batch (group commit). The
+// context's trace span (if any) receives events marking the commit role
+// this call played — sync leader (it ran the fsync) or follower (a
+// concurrent leader's fsync covered its records) — which is how a trace
+// of one submission shows whether its WAL commit paid for a disk flush
+// or rode a shared one.
+func (fs *FileStore) Append(ctx context.Context, recs ...Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
 	reg := fs.opts.Metrics
+	tsp := otrace.FromContext(ctx)
+	led := false
 
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -218,8 +227,10 @@ func (fs *FileStore) Append(recs ...Record) error {
 		}
 		f := fs.f
 		fs.mu.Unlock()
+		led = true
 		var serr error
 		if !fs.opts.NoFsync {
+			tsp.Event("fsync (leader)")
 			sp := reg.StartSpan(reg.Histogram(MetricFsyncSeconds, obs.SyncBuckets))
 			serr = f.Sync()
 			sp.End()
@@ -233,6 +244,9 @@ func (fs *FileStore) Append(recs ...Record) error {
 			fs.syncSeq = target
 		}
 		fs.cond.Broadcast()
+	}
+	if fs.err == nil && !led {
+		tsp.Event("committed (follower)")
 	}
 	return fs.err
 }

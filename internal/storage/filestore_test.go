@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -29,10 +30,10 @@ func rec(kind byte, data string) Record { return Record{Kind: kind, Data: []byte
 func TestFileStoreAppendRecoverRoundTrip(t *testing.T) {
 	fs := openTest(t)
 	want := []Record{rec(1, "alpha"), rec(2, ""), rec(3, "gamma")}
-	if err := fs.Append(want[0]); err != nil {
+	if err := fs.Append(context.Background(), want[0]); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Append(want[1], want[2]); err != nil {
+	if err := fs.Append(context.Background(), want[1], want[2]); err != nil {
 		t.Fatal(err)
 	}
 	if err := fs.Close(); err != nil {
@@ -64,14 +65,14 @@ func TestFileStoreAppendRecoverRoundTrip(t *testing.T) {
 func TestFileStoreSnapshotCompactsAndPrunes(t *testing.T) {
 	fs := openTest(t)
 	for i := 0; i < 5; i++ {
-		if err := fs.Append(rec(1, fmt.Sprintf("r%d", i))); err != nil {
+		if err := fs.Append(context.Background(), rec(1, fmt.Sprintf("r%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := fs.Snapshot(func() ([]byte, error) { return []byte("state-after-5"), nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Append(rec(2, "post-snap")); err != nil {
+	if err := fs.Append(context.Background(), rec(2, "post-snap")); err != nil {
 		t.Fatal(err)
 	}
 	if err := fs.Close(); err != nil {
@@ -109,20 +110,20 @@ func TestFileStoreSnapshotCompactsAndPrunes(t *testing.T) {
 // previous snapshot and replay both segments.
 func TestFileStoreRecoverySurvivesMissedSnapshot(t *testing.T) {
 	fs := openTest(t)
-	if err := fs.Append(rec(1, "first")); err != nil {
+	if err := fs.Append(context.Background(), rec(1, "first")); err != nil {
 		t.Fatal(err)
 	}
 	if err := fs.Snapshot(func() ([]byte, error) { return []byte("snap1"), nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Append(rec(2, "second")); err != nil {
+	if err := fs.Append(context.Background(), rec(2, "second")); err != nil {
 		t.Fatal(err)
 	}
 	// Rotation succeeded, snapshot write "crashed".
 	if err := fs.Snapshot(func() ([]byte, error) { return nil, errors.New("simulated crash") }); err == nil {
 		t.Fatal("capture error not surfaced")
 	}
-	if err := fs.Append(rec(3, "third")); err != nil {
+	if err := fs.Append(context.Background(), rec(3, "third")); err != nil {
 		t.Fatal(err)
 	}
 	if err := fs.Close(); err != nil {
@@ -187,7 +188,7 @@ func TestFileStoreTornTail(t *testing.T) {
 	off := int64(0)
 	for i := 0; i < 4; i++ {
 		r := rec(byte(i+1), fmt.Sprintf("payload-%d", i))
-		if err := fs.Append(r); err != nil {
+		if err := fs.Append(context.Background(), r); err != nil {
 			t.Fatal(err)
 		}
 		off += frameHeaderBytes + 1 + int64(len(r.Data))
@@ -226,7 +227,7 @@ func TestFileStoreTornTail(t *testing.T) {
 		}
 		// Recovery repaired the tail: appending after a torn cut must
 		// produce a log whose re-recovery sees prefix + new record.
-		if err := re.Append(rec(9, "appended-after-repair")); err != nil {
+		if err := re.Append(context.Background(), rec(9, "appended-after-repair")); err != nil {
 			t.Fatalf("cut %d: append after repair: %v", cut, err)
 		}
 		if err := re.Close(); err != nil {
@@ -252,14 +253,14 @@ func TestFileStoreTornTail(t *testing.T) {
 // recovery must refuse with ErrCorrupt rather than guess.
 func TestFileStoreCorruptSealedSegment(t *testing.T) {
 	fs := openTest(t)
-	if err := fs.Append(rec(1, "sealed-record")); err != nil {
+	if err := fs.Append(context.Background(), rec(1, "sealed-record")); err != nil {
 		t.Fatal(err)
 	}
 	// Rotate via a failed snapshot: wal-1 is sealed but not pruned.
 	if err := fs.Snapshot(func() ([]byte, error) { return nil, errors.New("boom") }); err == nil {
 		t.Fatal("capture error not surfaced")
 	}
-	if err := fs.Append(rec(2, "active-record")); err != nil {
+	if err := fs.Append(context.Background(), rec(2, "active-record")); err != nil {
 		t.Fatal(err)
 	}
 	if err := fs.Close(); err != nil {
@@ -301,7 +302,7 @@ func TestFileStoreGroupCommitConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
-				if err := fs.Append(rec(1, fmt.Sprintf("w%d-%d", w, i))); err != nil {
+				if err := fs.Append(context.Background(), rec(1, fmt.Sprintf("w%d-%d", w, i))); err != nil {
 					t.Error(err)
 					return
 				}
@@ -341,7 +342,7 @@ func TestFileStoreAppendAfterCloseFails(t *testing.T) {
 	if err := fs.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Append(rec(1, "late")); !errors.Is(err, ErrClosed) {
+	if err := fs.Append(context.Background(), rec(1, "late")); !errors.Is(err, ErrClosed) {
 		t.Errorf("append after close: %v, want ErrClosed", err)
 	}
 	if err := fs.Snapshot(func() ([]byte, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
@@ -351,13 +352,13 @@ func TestFileStoreAppendAfterCloseFails(t *testing.T) {
 
 func TestMemStoreRoundTrip(t *testing.T) {
 	m := NewMemStore()
-	if err := m.Append(rec(1, "a"), rec(2, "b")); err != nil {
+	if err := m.Append(context.Background(), rec(1, "a"), rec(2, "b")); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Snapshot(func() ([]byte, error) { return []byte("snap"), nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Append(rec(3, "c")); err != nil {
+	if err := m.Append(context.Background(), rec(3, "c")); err != nil {
 		t.Fatal(err)
 	}
 	snap, tail, err := m.Recover()
@@ -370,7 +371,7 @@ func TestMemStoreRoundTrip(t *testing.T) {
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Append(rec(4, "d")); !errors.Is(err, ErrClosed) {
+	if err := m.Append(context.Background(), rec(4, "d")); !errors.Is(err, ErrClosed) {
 		t.Errorf("append after close: %v", err)
 	}
 }

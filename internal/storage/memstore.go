@@ -1,6 +1,9 @@
 package storage
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // MemStore is the in-memory Store: the test backend and the baseline the
 // file engine is benchmarked against (BenchmarkSubmitPoAThroughput
@@ -17,7 +20,7 @@ type MemStore struct {
 func NewMemStore() *MemStore { return &MemStore{} }
 
 // Append commits the records to the in-memory log.
-func (m *MemStore) Append(recs ...Record) error {
+func (m *MemStore) Append(_ context.Context, recs ...Record) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {

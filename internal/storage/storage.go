@@ -26,7 +26,10 @@
 //     the last whole record, never surfaced as data.
 package storage
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 var (
 	// ErrClosed is returned by operations on a closed store.
@@ -48,8 +51,13 @@ type Record struct {
 
 // Store is the persistence engine interface.
 type Store interface {
-	// Append durably commits the records, in order, as one batch.
-	Append(recs ...Record) error
+	// Append durably commits the records, in order, as one batch. The
+	// context carries observability state only — the active trace span, so
+	// the commit's fsync role is visible on the submission's trace — never
+	// cancellation: once Append is called the records WILL be committed
+	// (or the store fails), because a half-applied mutation with no WAL
+	// record would be unrecoverable.
+	Append(ctx context.Context, recs ...Record) error
 	// Snapshot persists a compacted snapshot: it rotates the log, calls
 	// capture for the serialized state, writes it durably, and prunes
 	// segments the snapshot covers. See the package comment for the

@@ -5,6 +5,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo ">> gofmt -l"
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "${UNFORMATTED}" ]; then
+	echo "gofmt needed on:" >&2
+	echo "${UNFORMATTED}" >&2
+	exit 1
+fi
+
 echo ">> go vet ./..."
 go vet ./...
 

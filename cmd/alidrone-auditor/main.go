@@ -34,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,6 +43,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -65,6 +67,8 @@ type options struct {
 	fsync        bool
 	metrics      bool
 	workers      int
+	maxInflight  int
+	queueDepth   int
 	nonceTTL     time.Duration
 	traceSample  float64
 	traceBuffer  int
@@ -84,6 +88,8 @@ func main() {
 	flag.DurationVar(&o.saveEvery, "save-every", time.Minute, "retention sweep interval (and checkpoint interval in legacy -state mode)")
 	flag.BoolVar(&o.metrics, "metrics", true, "serve GET /metrics and per-stage instrumentation")
 	flag.IntVar(&o.workers, "workers", 0, "verification worker pool size (0 = GOMAXPROCS, 1 = sequential pipeline)")
+	flag.IntVar(&o.maxInflight, "max-inflight", 0, "verification requests admitted concurrently before queueing/shedding (0 = 4 per worker, negative = no admission control)")
+	flag.IntVar(&o.queueDepth, "queue-depth", 0, "per-drone fairness queue for requests over the in-flight budget (0 = default 16, negative = shed immediately)")
 	flag.DurationVar(&o.nonceTTL, "nonce-ttl", auditor.DefaultNonceTTL, "how long zone-query nonces are remembered for replay rejection")
 	flag.Float64Var(&o.traceSample, "trace-sample", 0, "probability of tracing a request that arrives without a traceparent (submitter-sampled traces are always honoured)")
 	flag.IntVar(&o.traceBuffer, "trace-buffer", otrace.DefaultRingSize, "finished spans kept in the in-memory ring served at /debug/traces")
@@ -108,12 +114,31 @@ func run(o options) error {
 		return fmt.Errorf("unknown mode %q (want exact or conservative)", o.mode)
 	}
 
+	// Admission budget: -max-inflight 0 scales from the worker pool so an
+	// untuned deployment sheds before it thrashes; negative disables the
+	// controller entirely.
+	maxInflight := o.maxInflight
+	if maxInflight == 0 {
+		workers := o.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		maxInflight = auditor.DefaultInflightPerWorker * workers
+	}
+	if maxInflight < 0 {
+		maxInflight = 0
+	}
+
+	logger := olog.New(os.Stderr, olog.LevelInfo, nil)
 	cfg := auditor.Config{
 		Mode:         testMode,
 		Retention:    o.retention,
 		Workers:      o.workers,
 		NonceTTL:     o.nonceTTL,
 		CompactEvery: o.compactEvery,
+		MaxInflight:  maxInflight,
+		QueueDepth:   o.queueDepth,
+		Logger:       logger,
 	}
 	if o.metrics {
 		cfg.Metrics = obs.NewRegistry(nil)
@@ -121,7 +146,6 @@ func run(o options) error {
 	}
 	collector := otrace.NewRingCollector(o.traceBuffer)
 	cfg.Tracer = otrace.New(otrace.Options{Sample: o.traceSample, Sink: collector})
-	logger := olog.New(os.Stderr, olog.LevelInfo, nil)
 	srv, store, err := openServer(cfg, o)
 	if err != nil {
 		return err
@@ -143,9 +167,11 @@ func run(o options) error {
 		Interval:  o.saveEvery,
 		Logf:      log.Printf,
 	}
+	sweepCtx, cancelSweep := context.WithCancel(context.Background())
+	defer cancelSweep()
 	go func() {
 		defer close(done)
-		sweeper.Run(stop)
+		sweeper.Run(sweepCtx, stop)
 	}()
 
 	handler := auditor.NewHandlerOpts(srv, auditor.HandlerOptions{
@@ -177,8 +203,8 @@ func run(o options) error {
 		_ = httpSrv.Close()
 	}()
 
-	log.Printf("alidrone-auditor listening on %s (mode=%s, retention=%v, state-dir=%q, state=%q, workers=%d)",
-		o.listen, o.mode, o.retention, o.stateDir, o.statePath, srv.Workers())
+	log.Printf("alidrone-auditor listening on %s (mode=%s, retention=%v, state-dir=%q, state=%q, workers=%d, max-inflight=%d)",
+		o.listen, o.mode, o.retention, o.stateDir, o.statePath, srv.Workers(), srv.MaxInflight())
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

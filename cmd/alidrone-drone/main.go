@@ -43,6 +43,8 @@ func main() {
 	storeDir := flag.String("store", "", "directory for persisted flight records (empty = do not persist)")
 	gpsRate := flag.Float64("gps-rate", 5, "GPS receiver update rate in Hz (1-5)")
 	dumpMetrics := flag.Bool("dump-metrics", false, "print drone-side metrics after the mission")
+	retries := flag.Int("retries", 3, "HTTP retries after the first attempt (429/502/503/504 and transport errors; 0 disables)")
+	retryBackoff := flag.Duration("retry-backoff", 500*time.Millisecond, "initial retry delay, doubling per retry; a 429's Retry-After hint overrides shorter delays")
 	traceSample := flag.Float64("trace-sample", 0, "probability of tracing the mission (0 disables, 1 traces every proof)")
 	dumpTraces := flag.Bool("dump-traces", false, "print drone-side trace spans as JSONL after the mission (implies -trace-sample 1 when unset)")
 	flag.Parse()
@@ -51,13 +53,14 @@ func main() {
 	if *dumpTraces && sample == 0 {
 		sample = 1
 	}
-	if err := run(*auditorURL, *scenario, *mode, *storeDir, *fixedRate, *gpsRate, *dumpMetrics, sample, *dumpTraces); err != nil {
+	retry := operator.RetryPolicy{Max: *retries, Backoff: *retryBackoff}
+	if err := run(*auditorURL, *scenario, *mode, *storeDir, *fixedRate, *gpsRate, *dumpMetrics, sample, *dumpTraces, retry); err != nil {
 		fmt.Fprintln(os.Stderr, "alidrone-drone:", err)
 		os.Exit(1)
 	}
 }
 
-func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64, dumpMetrics bool, traceSample float64, dumpTraces bool) error {
+func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64, dumpMetrics bool, traceSample float64, dumpTraces bool, retry operator.RetryPolicy) error {
 	start := time.Now().UTC().Truncate(time.Second)
 
 	var sc *trace.Scenario
@@ -99,6 +102,7 @@ func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64
 
 	// Talk to the auditor and fetch its PoA-encryption key.
 	api := operator.NewHTTPAuditor(auditorURL, nil)
+	api.SetRetryPolicy(retry)
 	var reg *obs.Registry
 	if dumpMetrics {
 		reg = obs.NewRegistry(nil)

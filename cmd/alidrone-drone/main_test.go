@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/auditor"
+	"repro/internal/operator"
 )
 
 func TestEndToEndAgainstHTTPServer(t *testing.T) {
@@ -36,7 +37,7 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 			if dump {
 				sample = 1
 			}
-			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.fixed, tt.gpsRate, dump, sample, dump); err != nil {
+			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.fixed, tt.gpsRate, dump, sample, dump, operator.RetryPolicy{}); err != nil {
 				t.Fatalf("drone run failed: %v", err)
 			}
 		})
@@ -44,10 +45,10 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run("http://localhost:1", "mars", "adaptive", "", 0, 5, false, 0, false); err == nil {
+	if err := run("http://localhost:1", "mars", "adaptive", "", 0, 5, false, 0, false, operator.RetryPolicy{}); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("http://localhost:1", "airport", "warp", "", 0, 5, false, 0, false); err == nil {
+	if err := run("http://localhost:1", "airport", "warp", "", 0, 5, false, 0, false, operator.RetryPolicy{}); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

@@ -1,0 +1,147 @@
+package auditor
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/obs/olog"
+	"repro/internal/protocol"
+	"repro/internal/sigcrypto"
+	"repro/internal/storage"
+)
+
+// TestAccusationScansAllRetainedPoAs is the regression test for the
+// first-spanning-pair bug: an accusation used to return the violation
+// verdict from the first retained PoA whose pair spanned the incident
+// instant, even when a later retained PoA for the same drone covered the
+// same instant with a pair fine-grained enough to exonerate. Any
+// exonerating pair proves the drone was elsewhere; the scan must prefer
+// it.
+func TestAccusationScansAllRetainedPoAs(t *testing.T) {
+	srv, id, keys := newFixture(t)
+
+	// Trace A: two stationary samples 60 s apart. Its only pair has a
+	// ~2.7 km travel ellipse — far too coarse to rule out the zone.
+	coarse := signedTrace(t, keys, urbana, 0, 0, 2, time.Minute)
+	resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, coarse)})
+	if err != nil || resp.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("coarse submit: %v / %v (%s)", err, resp.Verdict, resp.Reason)
+	}
+
+	// Trace B: the same stationary minute at 1 Hz. Every pair's travel
+	// budget is ~45 m against a zone 1.3 km away — a decisive alibi.
+	fine := signedTrace(t, keys, urbana, 0, 0, 61, time.Second)
+	resp, err = srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, fine)})
+	if err != nil || resp.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("fine submit: %v / %v (%s)", err, resp.Verdict, resp.Reason)
+	}
+
+	zoneID := mustRegisterZone(t, srv, geo.GeoCircle{Center: urbana.Offset(90, 1300), R: 50})
+
+	// Both retained traces span t0+30s; only trace B can exonerate. The
+	// buggy scan stopped at trace A's insufficient pair.
+	acc, err := srv.HandleAccusation(id, zoneID, t0.Add(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Verdict != protocol.VerdictCompliant {
+		t.Errorf("verdict = %v (%s), want compliant from the later fine-grained trace", acc.Verdict, acc.Reason)
+	}
+
+	// With only coarse coverage (outside trace B's window nothing else
+	// spans), the accusation still stands... and an uncovered instant is
+	// still ErrNoPoA.
+	if _, err := srv.HandleAccusation(id, zoneID, t0.Add(2*time.Hour)); !errors.Is(err, ErrNoPoA) {
+		t.Errorf("uncovered instant err = %v, want ErrNoPoA", err)
+	}
+}
+
+// registerDrone registers a fresh drone on an existing server and returns
+// its ID and keys (newFixtureConfig builds its own server, which the
+// storage-backed tests cannot use).
+func registerDrone(t *testing.T, srv *Server) (string, droneKeys) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(43))
+	op, err := sigcrypto.GenerateKeyPair(rng, sigcrypto.KeySize1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tee, err := sigcrypto.GenerateKeyPair(rng, sigcrypto.KeySize1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opPub, err := sigcrypto.MarshalPublicKey(&op.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teePub, err := sigcrypto.MarshalPublicKey(&tee.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.RegisterDrone(protocol.RegisterDroneRequest{OperatorPub: opPub, TEEPub: teePub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.DroneID, droneKeys{op: op, tee: tee}
+}
+
+// flakyStore wraps a Store with a switchable Append failure.
+type flakyStore struct {
+	storage.Store
+	fail atomic.Bool
+}
+
+func (f *flakyStore) Append(ctx context.Context, recs ...storage.Record) error {
+	if f.fail.Load() {
+		return errors.New("disk full")
+	}
+	return f.Store.Append(ctx, recs...)
+}
+
+// TestPurgeExpiredLogsWALFailure pins the sweeper-observability fix:
+// PurgeExpired used to fire its WAL record on context.Background and
+// swallow the error beyond the metric. Now the sweeper's context threads
+// through and a failed append lands in the structured log.
+func TestPurgeExpiredLogsWALFailure(t *testing.T) {
+	clock := obs.NewFakeClock(t0)
+	var logBuf bytes.Buffer
+	st := &flakyStore{Store: storage.NewMemStore()}
+	srv, err := OpenServer(Config{
+		Clock:     clock,
+		Retention: time.Hour,
+		Logger:    olog.New(&logBuf, olog.LevelWarn, clock),
+	}, st, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, keys := registerDrone(t, srv)
+
+	// Nothing expired yet: no purge, no log line.
+	if n := srv.PurgeExpiredCtx(context.Background()); n != 0 {
+		t.Fatalf("premature purge of %d", n)
+	}
+
+	// Retain one PoA, expire it, and make the WAL fail.
+	resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, signedTrace(t, keys, urbana, 0, 10, 5, time.Second))})
+	if err != nil || resp.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("submit: %v / %v (%s)", err, resp.Verdict, resp.Reason)
+	}
+	clock.Advance(2 * time.Hour)
+	st.fail.Store(true)
+
+	if n := srv.PurgeExpiredCtx(context.Background()); n != 1 {
+		t.Fatalf("purged = %d, want 1", n)
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "retention purge WAL append failed") || !strings.Contains(logged, "disk full") {
+		t.Errorf("log = %q, want the WAL failure warning", logged)
+	}
+}

@@ -163,6 +163,10 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, protocol.ErrBadNonce), errors.Is(err, protocol.ErrBadSignature):
 		return http.StatusForbidden
+	case errors.Is(err, protocol.ErrOverloaded):
+		// Load shed by the admission controller: nothing about the
+		// submission was judged, the client should retry after backoff.
+		return http.StatusTooManyRequests
 	case isCtxErr(err):
 		// The client went away (or timed out) mid-verification; nothing
 		// was wrong with the request itself.
@@ -182,6 +186,14 @@ func handleJSON[Req, Resp any](w http.ResponseWriter, r *http.Request, fn func(c
 	}
 	resp, err := fn(r.Context(), req)
 	if err != nil {
+		var over *protocol.OverloadedError
+		if errors.As(err, &over) {
+			secs := int(over.RetryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set(protocol.RetryAfterHeader, strconv.Itoa(secs))
+		}
 		writeJSON(w, statusFor(err), errorBody{Error: err.Error()})
 		return
 	}
@@ -239,16 +251,16 @@ func (h *Handler) streamOpen(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) streamSample(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, dropCtx(h.srv.StreamSample))
+	handleJSON(w, r, h.srv.StreamSampleCtx)
 }
 
 func (h *Handler) streamClose(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, dropCtx(h.srv.CloseStream))
+	handleJSON(w, r, h.srv.CloseStreamCtx)
 }
 
 func (h *Handler) accuse(w http.ResponseWriter, r *http.Request) {
-	handleJSON(w, r, func(_ context.Context, req protocol.AccusationRequest) (protocol.SubmitPoAResponse, error) {
-		return h.srv.HandleAccusation(req.DroneID, req.ZoneID, req.At)
+	handleJSON(w, r, func(ctx context.Context, req protocol.AccusationRequest) (protocol.SubmitPoAResponse, error) {
+		return h.srv.HandleAccusationCtx(ctx, req.DroneID, req.ZoneID, req.At)
 	})
 }
 

@@ -1,8 +1,6 @@
 package auditor
 
 import (
-	"context"
-
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/protocol"
@@ -59,14 +57,34 @@ const (
 	// compactions. Nonzero means the in-memory state has run ahead of the
 	// durable state — a page-the-operator condition.
 	MetricWALErrorsTotal = "alidrone_auditor_wal_errors_total"
+	// MetricAdmissionInflight gauges the verification requests currently
+	// admitted past the admission controller.
+	MetricAdmissionInflight = "alidrone_auditor_admission_inflight"
+	// MetricAdmissionQueued gauges the requests waiting in the per-drone
+	// fairness queues for an in-flight slot.
+	MetricAdmissionQueued = "alidrone_auditor_admission_queued"
+	// MetricAdmissionShedTotal counts requests shed with ErrOverloaded
+	// because both the in-flight budget and the drone's queue were full.
+	MetricAdmissionShedTotal = "alidrone_auditor_admission_shed_total"
+	// MetricAdmissionAdmittedTotal counts requests admitted past the
+	// controller (immediately or after queueing).
+	MetricAdmissionAdmittedTotal = "alidrone_auditor_admission_admitted_total"
 )
 
-// Verification pipeline stage labels, in pipeline order.
+// Verification pipeline stage labels (the stage= label of the
+// MetricVerifyStage* series), in pipeline order.
 const (
+	StageDecrypt     = "decrypt"
+	StageDecode      = "decode"
+	StageReplay      = "replay"
 	StageSignature   = "signature"
+	StageMinSamples  = "samples"
 	StageChronology  = "chronology"
 	StageSpeed       = "speed"
 	StageSufficiency = "sufficiency"
+	StageZones3D     = "zones3d"
+	StageRetain      = "retain"
+	StageCommit      = "commit"
 )
 
 // Metrics returns the server's metrics registry (nil when disabled).
@@ -74,30 +92,6 @@ func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 
 // Tracer returns the server's tracer (nil when tracing is disabled).
 func (s *Server) Tracer() *otrace.Tracer { return s.cfg.Tracer }
-
-// stage runs one verification stage under its latency histogram,
-// pass/fail counters and a "verify.<stage>" trace span, so a submission's
-// trace shows the same pipeline decomposition the metrics aggregate.
-// With neither a registry nor a tracer configured this reduces to
-// fn(ctx).
-func (s *Server) stage(ctx context.Context, name string, fn func(context.Context) error) error {
-	reg := s.cfg.Metrics
-	if reg == nil && s.cfg.Tracer == nil {
-		return fn(ctx)
-	}
-	tctx, tsp := s.cfg.Tracer.StartSpan(ctx, "verify."+name)
-	sp := reg.StartSpan(reg.Histogram(obs.L(MetricVerifyStageSeconds, "stage", name), obs.DurationBuckets))
-	err := fn(tctx)
-	sp.End()
-	tsp.SetError(err)
-	tsp.End()
-	result := "pass"
-	if err != nil {
-		result = "fail"
-	}
-	reg.Counter(obs.L(MetricVerifyStageTotal, "stage", name, "result", result)).Inc()
-	return err
-}
 
 // countVerdict records the final verdict of one PoA submission.
 func (s *Server) countVerdict(resp protocol.SubmitPoAResponse) {

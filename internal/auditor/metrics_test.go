@@ -2,6 +2,7 @@ package auditor
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -270,7 +271,7 @@ func TestSweeperDeterministic(t *testing.T) {
 	}
 	stop := make(chan struct{})
 	done := make(chan struct{})
-	go func() { defer close(done); sw.Run(stop) }()
+	go func() { defer close(done); sw.Run(context.Background(), stop) }()
 
 	// Tick before expiry: nothing purged, but state checkpointed.
 	ticks <- clock.Now()

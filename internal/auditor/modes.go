@@ -2,11 +2,10 @@ package auditor
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 
-	"repro/internal/poa"
+	"repro/internal/auditor/pipeline"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
 )
@@ -17,10 +16,6 @@ var (
 	// server never established.
 	ErrUnknownSession = errors.New("auditor: unknown session id")
 )
-
-// errInsufficient marks a sufficiency-stage failure that carries its own
-// response shape (insufficient-pair count) rather than a bare reason.
-var errInsufficient = errors.New("auditor: insufficient alibi")
 
 var _ protocol.ModesAPI = (*Server)(nil)
 
@@ -44,24 +39,16 @@ func (s *Server) submitBatchPoA(ctx context.Context, req protocol.SubmitBatchPoA
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
 	}
-
-	plaintext, err := sigcrypto.Decrypt(s.encKey, req.EncryptedBatch)
-	if err != nil {
-		return violation(fmt.Sprintf("undecryptable batch PoA: %v", err)), nil
+	if err := s.admission.Acquire(ctx, req.DroneID); err != nil {
+		return protocol.SubmitPoAResponse{}, err
 	}
-	var batch poa.BatchPoA
-	if err := json.Unmarshal(plaintext, &batch); err != nil {
-		return violation(fmt.Sprintf("malformed batch PoA: %v", err)), nil
+	defer s.admission.Release()
+	sub := &pipeline.Submission{
+		DroneID:    req.DroneID,
+		Ciphertext: req.EncryptedBatch,
+		TEEPub:     rec.TEEPub,
 	}
-
-	// Authenticity: the single signature must cover the exact canonical
-	// batch encoding under the registered T+.
-	if err := s.stage(ctx, StageSignature, func(context.Context) error {
-		return sigcrypto.Verify(rec.TEEPub, poa.MarshalBatch(batch.Samples), batch.Sig)
-	}); err != nil {
-		return violation("batch signature verification failed"), nil
-	}
-	return s.verifyAlibi(ctx, req.DroneID, batch.Samples)
+	return s.runSubmission(ctx, sub, s.seqBatch)
 }
 
 // StartSession establishes a §VII-A1a symmetric flight session: the server
@@ -111,88 +98,20 @@ func (s *Server) submitMACPoA(ctx context.Context, req protocol.SubmitMACPoARequ
 	if sess.DroneID != req.DroneID {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: session belongs to another drone", ErrUnknownSession)
 	}
-
-	plaintext, err := sigcrypto.Decrypt(s.encKey, req.EncryptedPoA)
-	if err != nil {
-		return violation(fmt.Sprintf("undecryptable PoA: %v", err)), nil
+	if err := s.admission.Acquire(ctx, req.DroneID); err != nil {
+		return protocol.SubmitPoAResponse{}, err
 	}
-	var p poa.PoA
-	if err := json.Unmarshal(plaintext, &p); err != nil {
-		return violation(fmt.Sprintf("malformed PoA: %v", err)), nil
+	defer s.admission.Release()
+	sub := &pipeline.Submission{
+		DroneID:    req.DroneID,
+		Ciphertext: req.EncryptedPoA,
+		MACKey:     sess.Key,
 	}
-
-	// HMAC checks are independent per sample, so they fan out across the
-	// worker pool exactly like the RSA path; FirstError reports the
-	// lowest failing index, keeping the violation reason deterministic.
-	if err := s.stage(ctx, StageSignature, func(ctx context.Context) error {
-		_, err := s.pool.FirstErrorCtx(ctx, len(p.Samples), func(i int) error {
-			if err := sigcrypto.VerifyMAC(sess.Key, p.Samples[i].Sample.Marshal(), p.Samples[i].Sig); err != nil {
-				return fmt.Errorf("MAC verification failed at sample %d", i)
-			}
-			return nil
-		})
-		return err
-	}); err != nil {
-		if isCtxErr(err) {
-			return protocol.SubmitPoAResponse{}, err
-		}
-		return violation(err.Error()), nil
-	}
-	return s.verifyAlibi(ctx, req.DroneID, p.Alibi())
+	return s.runSubmission(ctx, sub, s.seqMAC)
 }
 
 // sessionRecord is one established symmetric flight session.
 type sessionRecord struct {
 	DroneID string
 	Key     []byte
-}
-
-// verifyAlibi runs the authenticity-independent part of the pipeline
-// (chronology → flyability → sufficiency) over a bare sample trace and
-// retains it on success. Shared by all three PoA envelopes. The error
-// return is reserved for retention-durability failures: a verdict the
-// server cannot make durable is not issued.
-func (s *Server) verifyAlibi(ctx context.Context, droneID string, alibi []poa.Sample) (protocol.SubmitPoAResponse, error) {
-	if len(alibi) < 2 {
-		return violation("PoA has fewer than two samples"), nil
-	}
-	if err := s.stage(ctx, StageChronology, func(context.Context) error {
-		return poa.CheckChronology(alibi)
-	}); err != nil {
-		return violation(err.Error()), nil
-	}
-	if err := s.stage(ctx, StageSpeed, func(context.Context) error {
-		return poa.SpeedFeasible(alibi, s.cfg.VMaxMS)
-	}); err != nil {
-		return violation(err.Error()), nil
-	}
-	var rep poa.Report
-	if err := s.stage(ctx, StageSufficiency, func(context.Context) error {
-		zones := s.zonesForTrace(alibi)
-		var err error
-		rep, err = poa.VerifySufficiencyPool(alibi, zones, s.cfg.VMaxMS, s.cfg.Mode, s.pool)
-		if err != nil {
-			return err
-		}
-		if !rep.Sufficient() {
-			return errInsufficient
-		}
-		return nil
-	}); err != nil && err != errInsufficient {
-		return violation(err.Error()), nil
-	}
-	if !rep.Sufficient() {
-		return protocol.SubmitPoAResponse{
-			Verdict:           protocol.VerdictViolation,
-			Reason:            "insufficient alibi: the drone may have entered a no-fly zone",
-			InsufficientPairs: rep.InsufficientPairs(),
-		}, nil
-	}
-	if resp3d := s.verify3D(alibi); resp3d != nil {
-		return *resp3d, nil
-	}
-	if err := s.retain(ctx, droneID, alibi); err != nil {
-		return protocol.SubmitPoAResponse{}, err
-	}
-	return protocol.SubmitPoAResponse{Verdict: protocol.VerdictCompliant}, nil
 }

@@ -1,0 +1,185 @@
+package auditor
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/auditor/pipeline"
+	"repro/internal/obs"
+	"repro/internal/operator"
+	"repro/internal/protocol"
+)
+
+// gateAtSignature stalls every submission at the signature stage until
+// gate is closed, and closes entered the first time a submission reaches
+// it — the deterministic way to hold the admission slot without sleeping.
+func gateAtSignature(srv *Server, gate, entered chan struct{}) {
+	var once sync.Once
+	srv.runner.OnStage = func(_ context.Context, stage string, _ *pipeline.Submission) {
+		if stage == StageSignature {
+			once.Do(func() { close(entered) })
+			<-gate
+		}
+	}
+}
+
+// TestOverloadShedsWithRetryAfter saturates a MaxInflight=1 server with a
+// stalled submission and asserts the load-shedding contract: excess
+// requests fail fast with ErrOverloaded (HTTP 429 + Retry-After), a shed
+// submission never claims its replay digest, and the admitted one still
+// completes normally once unstalled.
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	srv, id, keys := newFixtureConfig(t, Config{
+		Clock:       obs.ClockFunc(func() time.Time { return t0 }),
+		Metrics:     reg,
+		MaxInflight: 1,
+		QueueDepth:  -1, // shed immediately, no waiting
+		RetryAfter:  2 * time.Second,
+	})
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	gateAtSignature(srv, gate, entered)
+
+	poaA := encryptFor(t, srv, signedTrace(t, keys, urbana, 0, 10, 5, time.Second))
+	poaB := encryptFor(t, srv, signedTrace(t, keys, urbana, 90, 10, 6, time.Second))
+
+	// Hold the only slot with a stalled submission of trace A.
+	held := make(chan protocol.SubmitPoAResponse, 1)
+	go func() {
+		resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: poaA})
+		if err != nil {
+			t.Errorf("stalled submission: %v", err)
+		}
+		held <- resp
+	}()
+	<-entered
+
+	// Server level: the excess submission is shed with the typed error and
+	// no verdict.
+	resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: poaB})
+	if !errors.Is(err, protocol.ErrOverloaded) {
+		t.Fatalf("shed err = %v, want ErrOverloaded", err)
+	}
+	if resp.Verdict != "" {
+		t.Errorf("shed submission got verdict %q — shedding must not judge", resp.Verdict)
+	}
+
+	// HTTP level: 429 plus the Retry-After hint in whole seconds.
+	hs := httptest.NewServer(NewHandler(srv))
+	defer hs.Close()
+	hresp := postJSON(t, hs.URL+protocol.PathSubmitPoA, protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: poaB})
+	if hresp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", hresp.StatusCode)
+	}
+	if got := hresp.Header.Get(protocol.RetryAfterHeader); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+
+	// Drain: the admitted submission completes compliant.
+	close(gate)
+	if v := (<-held).Verdict; v != protocol.VerdictCompliant {
+		t.Fatalf("stalled submission verdict = %v", v)
+	}
+
+	// No replay-digest leak: the shed trace B was never claimed, so the
+	// retry verifies cleanly instead of tripping the replay guard.
+	resp, err = srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: poaB})
+	if err != nil || resp.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("retry of shed PoA: %v / %v (%s) — digest leaked?", err, resp.Verdict, resp.Reason)
+	}
+	// ...while the committed trace A is genuinely replay-guarded.
+	resp, err = srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: poaA})
+	if err != nil || resp.Verdict != protocol.VerdictViolation || !strings.Contains(resp.Reason, "replayed PoA") {
+		t.Errorf("replay of committed PoA = %v / %v (%s), want replay violation", err, resp.Verdict, resp.Reason)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		MetricAdmissionShedTotal + " 2",
+		MetricAdmissionInflight + " 0",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestOverloadOperatorClientRetries drives the operator client against a
+// saturated auditor: the first attempt is shed with 429, the client backs
+// off by the Retry-After hint, and the retry succeeds once load drains.
+func TestOverloadOperatorClientRetries(t *testing.T) {
+	srv, id, keys := newFixtureConfig(t, Config{
+		Clock:       obs.ClockFunc(func() time.Time { return t0 }),
+		MaxInflight: 1,
+		QueueDepth:  -1,
+		RetryAfter:  time.Millisecond, // header floors at 1 s
+	})
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	gateAtSignature(srv, gate, entered)
+
+	// Middleware releases the stalled submission as soon as one request
+	// has actually been shed, so the client's retry finds a free slot.
+	shedSeen := make(chan struct{})
+	var once sync.Once
+	inner := NewHandler(srv)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		inner.ServeHTTP(sw, r)
+		if sw.status == http.StatusTooManyRequests {
+			once.Do(func() { close(shedSeen) })
+		}
+	}))
+	defer hs.Close()
+	go func() {
+		<-shedSeen
+		close(gate)
+	}()
+
+	held := make(chan struct{})
+	go func() {
+		defer close(held)
+		if _, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, signedTrace(t, keys, urbana, 0, 10, 5, time.Second))}); err != nil {
+			t.Errorf("stalled submission: %v", err)
+		}
+	}()
+	<-entered
+
+	api := operator.NewHTTPAuditor(hs.URL, hs.Client())
+	api.SetRetryPolicy(operator.RetryPolicy{Max: 3, Backoff: 10 * time.Millisecond})
+	resp, err := api.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, signedTrace(t, keys, urbana, 90, 10, 6, time.Second))})
+	if err != nil {
+		t.Fatalf("client never recovered from overload: %v", err)
+	}
+	if resp.Verdict != protocol.VerdictCompliant {
+		t.Errorf("verdict = %v (%s)", resp.Verdict, resp.Reason)
+	}
+	select {
+	case <-shedSeen:
+	default:
+		t.Error("client succeeded without ever being shed — test did not exercise overload")
+	}
+	<-held
+}
+
+// statusWriter records the status code written by the wrapped handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

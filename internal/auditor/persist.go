@@ -1,6 +1,7 @@
 package auditor
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -158,8 +159,13 @@ type Sweeper struct {
 }
 
 // RunOnce performs a single sweep: purge, checkpoint, notify.
-func (sw *Sweeper) RunOnce() int {
-	purged := sw.Server.PurgeExpired()
+func (sw *Sweeper) RunOnce() int { return sw.RunOnceCtx(context.Background()) }
+
+// RunOnceCtx is RunOnce under a caller context: the purge's WAL append
+// runs under it, so tearing down the sweeper cancels in-flight
+// housekeeping I/O instead of orphaning it on a background context.
+func (sw *Sweeper) RunOnceCtx(ctx context.Context) int {
+	purged := sw.Server.PurgeExpiredCtx(ctx)
 	if purged > 0 && sw.Logf != nil {
 		sw.Logf("purged %d expired PoAs", purged)
 	}
@@ -175,8 +181,8 @@ func (sw *Sweeper) RunOnce() int {
 	return purged
 }
 
-// Run sweeps on every tick until stop closes.
-func (sw *Sweeper) Run(stop <-chan struct{}) {
+// Run sweeps on every tick until stop closes or ctx is cancelled.
+func (sw *Sweeper) Run(ctx context.Context, stop <-chan struct{}) {
 	ticks := sw.Ticks
 	if ticks == nil {
 		t := time.NewTicker(sw.Interval)
@@ -186,8 +192,10 @@ func (sw *Sweeper) Run(stop <-chan struct{}) {
 	for {
 		select {
 		case <-ticks:
-			sw.RunOnce()
+			sw.RunOnceCtx(ctx)
 		case <-stop:
+			return
+		case <-ctx.Done():
 			return
 		}
 	}

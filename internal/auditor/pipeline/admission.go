@@ -1,0 +1,257 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// DefaultRetryAfter is the backoff hint attached to shed requests when
+// the admission controller has no better estimate.
+const DefaultRetryAfter = time.Second
+
+// DefaultQueueDepth is the per-drone waiter budget when admission is
+// enabled with an unspecified queue depth.
+const DefaultQueueDepth = 16
+
+// Admission is the load gate in front of the verification pipeline: a
+// bounded in-flight budget plus a per-drone fairness queue. When the
+// budget is exhausted a request waits in its drone's queue (so one chatty
+// drone cannot starve the rest — released slots are handed out
+// round-robin across drones, not FIFO across requests), and when that
+// drone's queue is also full the request is shed immediately with a typed
+// overload error the transport maps to 429 + Retry-After.
+//
+// A nil *Admission admits everything; entry points never guard the calls.
+type Admission struct {
+	max        int           // in-flight budget
+	depth      int           // per-drone waiter budget
+	retryAfter time.Duration // backoff hint attached to shed requests
+
+	mu       sync.Mutex
+	inflight int
+	waiting  int
+	queues   map[string][]chan struct{} // per-drone FIFO of waiters
+	order    []string                   // drones with waiters, round-robin
+	rr       int                        // next drone index in order
+
+	// Gauges/counters (nil-safe via obs semantics is not assumed here;
+	// the hooks are plain funcs set once at construction).
+	onInflight func(n int) // in-flight gauge
+	onQueued   func(n int) // queued-waiter gauge
+	onShed     func()      // shed counter
+	onAdmitted func()      // admitted counter
+}
+
+// NewAdmission builds an admission controller. maxInflight <= 0 returns
+// nil — admission disabled, every request admitted immediately.
+// queueDepth semantics: 0 selects DefaultQueueDepth, negative disables
+// queueing entirely (budget exhausted → shed immediately). retryAfter 0
+// selects DefaultRetryAfter.
+func NewAdmission(maxInflight, queueDepth int, retryAfter time.Duration) *Admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	switch {
+	case queueDepth == 0:
+		queueDepth = DefaultQueueDepth
+	case queueDepth < 0:
+		queueDepth = 0
+	}
+	if retryAfter <= 0 {
+		retryAfter = DefaultRetryAfter
+	}
+	return &Admission{
+		max:        maxInflight,
+		depth:      queueDepth,
+		retryAfter: retryAfter,
+		queues:     make(map[string][]chan struct{}),
+	}
+}
+
+// Instrument attaches the admission gauges and counters. Any hook may be
+// nil. Call before serving.
+func (a *Admission) Instrument(inflight, queued func(n int), shed, admitted func()) {
+	if a == nil {
+		return
+	}
+	a.onInflight = inflight
+	a.onQueued = queued
+	a.onShed = shed
+	a.onAdmitted = admitted
+}
+
+// Max returns the in-flight budget (0 for a nil controller).
+func (a *Admission) Max() int {
+	if a == nil {
+		return 0
+	}
+	return a.max
+}
+
+// Acquire admits one request for the given drone, blocking in the
+// drone's fairness queue when the budget is exhausted. It returns a
+// *protocol.OverloadedError (matching protocol.ErrOverloaded) when the
+// request must be shed, or ctx.Err() when the caller gave up while
+// queued. A nil error means the caller holds one in-flight slot and must
+// Release it exactly once.
+func (a *Admission) Acquire(ctx context.Context, droneID string) error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	if a.inflight < a.max {
+		a.inflight++
+		n := a.inflight
+		a.mu.Unlock()
+		a.gauge(a.onInflight, n)
+		a.count(a.onAdmitted)
+		return nil
+	}
+	if a.depth == 0 || len(a.queues[droneID]) >= a.depth {
+		a.mu.Unlock()
+		a.count(a.onShed)
+		return &protocol.OverloadedError{RetryAfter: a.retryAfter}
+	}
+	ready := make(chan struct{})
+	if len(a.queues[droneID]) == 0 {
+		a.order = append(a.order, droneID)
+	}
+	a.queues[droneID] = append(a.queues[droneID], ready)
+	a.waiting++
+	w := a.waiting
+	a.mu.Unlock()
+	a.gauge(a.onQueued, w)
+
+	select {
+	case <-ready:
+		// The releasing request transferred its slot to us; inflight was
+		// never decremented.
+		a.count(a.onAdmitted)
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if a.dequeue(droneID, ready) {
+			a.waiting--
+			w := a.waiting
+			a.mu.Unlock()
+			a.gauge(a.onQueued, w)
+			return ctx.Err()
+		}
+		// Lost the race: a Release already granted us the slot. Pass it
+		// on so the budget is not leaked.
+		a.mu.Unlock()
+		a.Release()
+		return ctx.Err()
+	}
+}
+
+// Release returns one in-flight slot. If a waiter is queued the slot is
+// transferred directly — round-robin across drones — instead of being
+// freed and re-contended.
+func (a *Admission) Release() {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	if ready, ok := a.grant(); ok {
+		a.waiting--
+		w := a.waiting
+		a.mu.Unlock()
+		a.gauge(a.onQueued, w)
+		close(ready)
+		return
+	}
+	a.inflight--
+	n := a.inflight
+	a.mu.Unlock()
+	a.gauge(a.onInflight, n)
+}
+
+// grant pops the next waiter in round-robin drone order. Caller holds
+// a.mu.
+func (a *Admission) grant() (chan struct{}, bool) {
+	for len(a.order) > 0 {
+		if a.rr >= len(a.order) {
+			a.rr = 0
+		}
+		drone := a.order[a.rr]
+		q := a.queues[drone]
+		if len(q) == 0 {
+			// Drained (waiters cancelled); drop the drone from rotation.
+			delete(a.queues, drone)
+			a.order = append(a.order[:a.rr], a.order[a.rr+1:]...)
+			continue
+		}
+		ready := q[0]
+		q = q[1:]
+		if len(q) == 0 {
+			delete(a.queues, drone)
+			a.order = append(a.order[:a.rr], a.order[a.rr+1:]...)
+		} else {
+			a.queues[drone] = q
+			a.rr++
+		}
+		return ready, true
+	}
+	return nil, false
+}
+
+// dequeue removes a specific waiter from a drone's queue; false means the
+// waiter was already granted. Caller holds a.mu.
+func (a *Admission) dequeue(droneID string, ready chan struct{}) bool {
+	q := a.queues[droneID]
+	for i, ch := range q {
+		if ch == ready {
+			a.queues[droneID] = append(q[:i:i], q[i+1:]...)
+			if len(a.queues[droneID]) == 0 {
+				delete(a.queues, droneID)
+				for j, d := range a.order {
+					if d == droneID {
+						a.order = append(a.order[:j], a.order[j+1:]...)
+						if a.rr > j {
+							a.rr--
+						}
+						break
+					}
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Inflight returns the currently admitted request count (diagnostics).
+func (a *Admission) Inflight() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Queued returns the currently waiting request count (diagnostics).
+func (a *Admission) Queued() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waiting
+}
+
+func (a *Admission) gauge(fn func(int), n int) {
+	if fn != nil {
+		fn(n)
+	}
+}
+
+func (a *Admission) count(fn func()) {
+	if fn != nil {
+		fn()
+	}
+}

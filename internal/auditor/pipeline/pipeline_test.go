@@ -1,0 +1,141 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+func pass(name string) Stage {
+	return Stage{Name: name, Run: func(context.Context, *Submission) error { return nil }}
+}
+
+func TestRegistryComposesSequencesByKey(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", pass("a"))
+	r.Add("b.one", pass("b"))
+	r.Add("b.two", pass("b")) // distinct keys may share a metric label
+
+	seq := r.Sequence("b.two", "a")
+	if len(seq) != 2 || seq[0].Name != "b" || seq[1].Name != "a" {
+		t.Fatalf("sequence = %v", seq)
+	}
+	if got := len(r.Keys()); got != 3 {
+		t.Errorf("keys = %d, want 3", got)
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Add("a", pass("a"))
+	expectPanic("duplicate key", func() { r.Add("a", pass("other")) })
+	expectPanic("empty key", func() { r.Add("", pass("x")) })
+	expectPanic("no run func", func() { r.Add("y", Stage{Name: "y"}) })
+	expectPanic("unknown key", func() { r.Sequence("a", "missing") })
+}
+
+func TestRunnerClassifiesOutcomes(t *testing.T) {
+	boom := errors.New("boom")
+	tests := []struct {
+		name    string
+		stage   Stage
+		verdict protocol.Verdict
+		reason  string
+		pairs   int
+		err     error
+	}{
+		{"all pass", pass("x"), protocol.VerdictCompliant, "", 0, nil},
+		{"violation is a verdict", Stage{Name: "x", Run: func(context.Context, *Submission) error {
+			return &Violation{Reason: "bad trace", InsufficientPairs: 3}
+		}}, protocol.VerdictViolation, "bad trace", 3, nil},
+		{"internal error withholds the verdict", Stage{Name: "x", Run: func(context.Context, *Submission) error {
+			return boom
+		}}, "", "", 0, boom},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var r Runner
+			resp, err := r.Run(context.Background(), &Submission{}, []Stage{tt.stage})
+			if !errors.Is(err, tt.err) {
+				t.Fatalf("err = %v, want %v", err, tt.err)
+			}
+			if resp.Verdict != tt.verdict || resp.Reason != tt.reason || resp.InsufficientPairs != tt.pairs {
+				t.Errorf("resp = %+v", resp)
+			}
+		})
+	}
+}
+
+func TestRunnerStopsAtFirstFailure(t *testing.T) {
+	var ran []string
+	record := func(name string, err error) Stage {
+		return Stage{Name: name, Run: func(context.Context, *Submission) error {
+			ran = append(ran, name)
+			return err
+		}}
+	}
+	var r Runner
+	resp, err := r.Run(context.Background(), &Submission{}, []Stage{
+		record("first", nil),
+		record("second", &Violation{Reason: "stop here"}),
+		record("third", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != protocol.VerdictViolation {
+		t.Errorf("verdict = %v", resp.Verdict)
+	}
+	if strings.Join(ran, ",") != "first,second" {
+		t.Errorf("ran = %v, want first,second", ran)
+	}
+}
+
+func TestRunnerInstrumentsStages(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	r := Runner{
+		Metrics:            reg,
+		MetricStageSeconds: "stage_seconds",
+		MetricStageTotal:   "stage_total",
+	}
+	var hooks []string
+	r.OnStage = func(_ context.Context, stage string, _ *Submission) { hooks = append(hooks, stage) }
+
+	stages := []Stage{pass("sig"), {Name: "suff", Run: func(context.Context, *Submission) error {
+		return &Violation{Reason: "no"}
+	}}}
+	if _, err := r.Run(context.Background(), &Submission{}, stages); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`stage_total{result="pass",stage="sig"} 1`,
+		`stage_total{result="fail",stage="suff"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Join(hooks, ",") != "sig,suff" {
+		t.Errorf("OnStage hooks = %v", hooks)
+	}
+}

@@ -17,17 +17,16 @@ import (
 	"context"
 	"crypto/rand"
 	"crypto/rsa"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/auditor/pipeline"
 	"repro/internal/geo"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/parallel"
 	"repro/internal/poa"
@@ -113,7 +112,30 @@ type Config struct {
 	// OpenServer). 0 selects DefaultCompactEvery; negative disables
 	// automatic compaction (explicit Checkpoint calls only).
 	CompactEvery int
+	// MaxInflight bounds the verification requests admitted concurrently
+	// (submissions and stream samples). 0 disables admission control —
+	// the in-process/test default; the alidrone-auditor binary defaults
+	// it to DefaultInflightPerWorker × the worker pool size.
+	MaxInflight int
+	// QueueDepth is the per-drone fairness-queue budget used when the
+	// in-flight budget is exhausted: up to this many requests per drone
+	// wait for a slot, the rest are shed with protocol.ErrOverloaded.
+	// 0 selects pipeline.DefaultQueueDepth; negative disables queueing
+	// (budget exhausted → shed immediately).
+	QueueDepth int
+	// RetryAfter is the backoff hint attached to shed requests (the
+	// Retry-After header). 0 selects pipeline.DefaultRetryAfter.
+	RetryAfter time.Duration
+	// Logger receives the server's structured operational log lines
+	// (e.g. failed WAL appends during retention sweeps). Nil disables.
+	Logger *olog.Logger
 }
+
+// DefaultInflightPerWorker scales the admission budget from the worker
+// pool: each worker can have a few submissions in flight (decrypt, JSON
+// decode and store commits overlap with another request's pool time)
+// before queueing sets in.
+const DefaultInflightPerWorker = 4
 
 // Server is the AliDrone Server. Its state lives in independently locked
 // stores (see stores.go) so concurrent submissions from different drones
@@ -122,6 +144,20 @@ type Server struct {
 	cfg    Config
 	encKey *rsa.PrivateKey
 	pool   *parallel.Pool
+
+	// Staged verification pipeline (see stages.go): the stage registry,
+	// the instrumented runner, the per-entry-point stage sequences, and
+	// the admission controller gating them all.
+	registry       *pipeline.Registry
+	runner         *pipeline.Runner
+	admission      *pipeline.Admission
+	seqSubmit      []pipeline.Stage
+	seqBatch       []pipeline.Stage
+	seqMAC         []pipeline.Stage
+	seqStreamSig   []pipeline.Stage
+	seqStreamPair  []pipeline.Stage
+	seqStreamClose []pipeline.Stage
+	seqAccuse      []pipeline.Stage
 
 	drones   *droneStore
 	zones    *zone.Registry
@@ -187,8 +223,26 @@ func NewServer(cfg Config) (*Server, error) {
 		busy := cfg.Metrics.Gauge(MetricVerifyWorkersBusy)
 		s.pool.OnBusy = func(delta int) { busy.Add(float64(delta)) }
 	}
+	s.buildPipeline()
+	s.admission = pipeline.NewAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.RetryAfter)
+	if cfg.Metrics != nil && s.admission != nil {
+		inflight := cfg.Metrics.Gauge(MetricAdmissionInflight)
+		queued := cfg.Metrics.Gauge(MetricAdmissionQueued)
+		shed := cfg.Metrics.Counter(MetricAdmissionShedTotal)
+		admitted := cfg.Metrics.Counter(MetricAdmissionAdmittedTotal)
+		s.admission.Instrument(
+			func(n int) { inflight.Set(float64(n)) },
+			func(n int) { queued.Set(float64(n)) },
+			func() { shed.Inc() },
+			func() { admitted.Inc() },
+		)
+	}
 	return s, nil
 }
+
+// MaxInflight returns the admission controller's in-flight budget (0 when
+// admission control is disabled).
+func (s *Server) MaxInflight() int { return s.admission.Max() }
 
 // Workers returns the size of the verification worker pool.
 func (s *Server) Workers() int { return s.pool.Size() }
@@ -328,66 +382,29 @@ func (s *Server) submitPoA(ctx context.Context, req protocol.SubmitPoARequest) (
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
 	}
-
-	plaintext, err := sigcrypto.Decrypt(s.encKey, req.EncryptedPoA)
-	if err != nil {
-		return violation(fmt.Sprintf("undecryptable PoA: %v", err)), nil
-	}
-	var p poa.PoA
-	if err := json.Unmarshal(plaintext, &p); err != nil {
-		return violation(fmt.Sprintf("malformed PoA: %v", err)), nil
-	}
-
-	// Replay detection: a PoA describing one physical flight can only be
-	// submitted once. Re-reporting a previously accepted route is the
-	// replay attack from the threat model. The digest is claimed
-	// *atomically before* verification — claim-check-set as one step —
-	// so two concurrent submissions of the same bytes cannot both pass
-	// the check and both be accepted; the loser of the claim race is
-	// rejected here. A claim whose verification fails is released below,
-	// keeping failed submissions resubmittable.
-	digest := sha256.Sum256(plaintext)
-	claimed := s.cfg.Clock.Now()
-	if !s.seen.claim(digest, claimed) {
-		return violation("replayed PoA: this trace was already reported"), nil
-	}
-
-	resp, err := s.verify(ctx, req.DroneID, rec, p)
-	if err != nil || resp.Verdict != protocol.VerdictCompliant {
-		s.seen.release(digest)
-		return resp, err
-	}
-	// The digest claim commits — and is logged — only with the compliant
-	// verdict, so the WAL records the accepted history and a crashed
-	// verification leaves the trace resubmittable.
-	if err := s.wal(ctx, recDigestClaimed, digestSnapshot{Digest: hex.EncodeToString(digest[:]), Seen: claimed}); err != nil {
-		s.seen.release(digest)
+	if err := s.admission.Acquire(ctx, req.DroneID); err != nil {
 		return protocol.SubmitPoAResponse{}, err
 	}
-	return resp, nil
+	defer s.admission.Release()
+	sub := &pipeline.Submission{
+		DroneID:    req.DroneID,
+		Ciphertext: req.EncryptedPoA,
+		TEEPub:     rec.TEEPub,
+	}
+	return s.runSubmission(ctx, sub, s.seqSubmit)
 }
 
-// verify runs the full verification pipeline over a decrypted PoA:
-// per-sample TEE signatures (goal G3), then the shared alibi pipeline
-// (chronology → flyability → sufficiency, see verifyAlibi in modes.go).
-func (s *Server) verify(ctx context.Context, droneID string, rec DroneRecord, p poa.PoA) (protocol.SubmitPoAResponse, error) {
-	err := s.stage(ctx, StageSignature, func(ctx context.Context) error {
-		idx, err := protocol.VerifyPoASignaturesPoolCtx(ctx, p, rec.TEEPub, s.pool)
-		if err != nil {
-			if isCtxErr(err) {
-				return err
-			}
-			return fmt.Errorf("signature check failed at sample %d: %w", idx, err)
-		}
-		return nil
-	})
-	if err != nil {
-		if isCtxErr(err) {
-			return protocol.SubmitPoAResponse{}, err
-		}
-		return violation(err.Error()), nil
+// runSubmission executes a stage sequence and settles the replay-digest
+// claim: a submission that does not commit (violation verdict or internal
+// error, including a failed digest WAL append) releases its claim, so a
+// later honest submission of the same bytes is never shadowed by a failed
+// one.
+func (s *Server) runSubmission(ctx context.Context, sub *pipeline.Submission, seq []pipeline.Stage) (protocol.SubmitPoAResponse, error) {
+	resp, err := s.runner.Run(ctx, sub, seq)
+	if sub.DigestClaimed && (err != nil || resp.Verdict != protocol.VerdictCompliant) {
+		s.seen.release(sub.Digest)
 	}
-	return s.verifyAlibi(ctx, droneID, p.Alibi())
+	return resp, err
 }
 
 // isCtxErr reports whether err is a context cancellation/deadline error.
@@ -440,7 +457,12 @@ func (s *Server) retain(ctx context.Context, droneID string, alibi []poa.Sample)
 // expires the replay-digest set (same retention cutoff) and the
 // zone-query nonce cache (NonceTTL), so neither map grows without bound
 // under sustained traffic.
-func (s *Server) PurgeExpired() int {
+func (s *Server) PurgeExpired() int { return s.PurgeExpiredCtx(context.Background()) }
+
+// PurgeExpiredCtx is PurgeExpired under a caller context: the retention
+// sweeper threads its run context through, so a sweeper shutdown cancels
+// the purge's WAL append instead of leaving it on a background context.
+func (s *Server) PurgeExpiredCtx(ctx context.Context) int {
 	now := s.cfg.Clock.Now()
 	cutoff := now.Add(-s.cfg.Retention)
 	removed, kept := s.retained.purge(cutoff)
@@ -458,10 +480,14 @@ func (s *Server) PurgeExpired() int {
 	}
 	if removed+swept > 0 {
 		// Log the sweep with its commit-time cutoffs so the expiry
-		// schedule survives a restart. A failed append is already counted
-		// in the WAL-error metric; the in-memory purge stands either way,
-		// and an unlogged purge merely replays as a no-op sweep.
-		_ = s.wal(context.Background(), recPurge, walPurge{Cutoff: cutoff, Now: now})
+		// schedule survives a restart. The in-memory purge stands either
+		// way — an unlogged purge merely replays as a no-op sweep — but a
+		// failed append means durable state is behind, so it is surfaced
+		// in the structured log on top of the WAL-error metric.
+		if err := s.wal(ctx, recPurge, walPurge{Cutoff: cutoff, Now: now}); err != nil {
+			s.cfg.Logger.Warn(ctx, "retention purge WAL append failed",
+				"err", err, "removed", removed, "swept", swept)
+		}
 	}
 	return removed
 }
@@ -470,10 +496,19 @@ func (s *Server) PurgeExpired() int {
 func (s *Server) RetainedCount() int { return s.retained.len() }
 
 // HandleAccusation resolves a Zone Owner report "(zone, drone, time)": it
-// locates the retained sample pair spanning the incident instant and
-// re-checks that pair against the accused zone. A compliant verdict proves
-// the drone could not have been in the zone at that time.
+// re-checks every retained sample pair spanning the incident instant
+// against the accused zone through the shared sufficiency stage. A
+// compliant verdict proves the drone could not have been in the zone at
+// that time — so *any* spanning pair that exonerates decides the case,
+// even when an earlier retained PoA for the same drone is too coarse to
+// rule the zone out. Only when every spanning pair fails does the
+// accusation stand.
 func (s *Server) HandleAccusation(droneID, zoneID string, at time.Time) (protocol.SubmitPoAResponse, error) {
+	return s.HandleAccusationCtx(context.Background(), droneID, zoneID, at)
+}
+
+// HandleAccusationCtx is HandleAccusation under a caller context.
+func (s *Server) HandleAccusationCtx(ctx context.Context, droneID, zoneID string, at time.Time) (protocol.SubmitPoAResponse, error) {
 	z, ok := s.zones.Get(zoneID)
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownZone, zoneID)
@@ -482,21 +517,33 @@ func (s *Server) HandleAccusation(droneID, zoneID string, at time.Time) (protoco
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, droneID)
 	}
 
+	spanning := false
 	for _, r := range s.retained.byDrone(droneID) {
 		for i := 0; i+1 < len(r.Samples); i++ {
 			s1, s2 := r.Samples[i], r.Samples[i+1]
 			if at.Before(s1.Time) || at.After(s2.Time) {
 				continue
 			}
-			if poa.PairSufficient(s1, s2, z.Circle, s.cfg.VMaxMS, s.cfg.Mode) {
-				return protocol.SubmitPoAResponse{Verdict: protocol.VerdictCompliant}, nil
+			spanning = true
+			sub := &pipeline.Submission{
+				DroneID: droneID,
+				Samples: []poa.Sample{s1, s2},
+				Zones:   []geo.GeoCircle{z.Circle},
 			}
-			return violation("retained alibi cannot rule out presence in the accused zone"), nil
+			resp, err := s.runner.Run(ctx, sub, s.seqAccuse)
+			if err != nil {
+				return protocol.SubmitPoAResponse{}, err
+			}
+			if resp.Verdict == protocol.VerdictCompliant {
+				return resp, nil
+			}
 		}
 	}
+	if spanning {
+		return protocol.SubmitPoAResponse{
+			Verdict: protocol.VerdictViolation,
+			Reason:  "retained alibi cannot rule out presence in the accused zone",
+		}, nil
+	}
 	return protocol.SubmitPoAResponse{}, ErrNoPoA
-}
-
-func violation(reason string) protocol.SubmitPoAResponse {
-	return protocol.SubmitPoAResponse{Verdict: protocol.VerdictViolation, Reason: reason}
 }

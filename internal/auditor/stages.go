@@ -1,0 +1,267 @@
+package auditor
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/auditor/pipeline"
+	"repro/internal/poa"
+	"repro/internal/protocol"
+	"repro/internal/sigcrypto"
+)
+
+// This file declares the verification pipeline once: every check the
+// AliDrone Server performs is a pipeline.Stage registered here, and the
+// batch submission path, the alternative envelopes, the real-time stream
+// path and the accusation re-check are just different Sequence calls over
+// the same registry (see DESIGN.md "Pipeline architecture"). Adding a
+// check means adding a stage and naming it in the sequences that want it
+// — not editing three hand-rolled copies of the pipeline.
+
+// Registry keys. Distinct keys may share a metric label: all three
+// signature envelopes report as stage="signature".
+const (
+	keyDecrypt     = "decrypt"
+	keyDecodePoA   = "decode.poa"
+	keyDecodeBatch = "decode.batch"
+	keyReplayClaim = "replay.claim"
+	keySigSamples  = "signature.samples"
+	keySigBatch    = "signature.batch"
+	keySigMAC      = "signature.mac"
+	keyMinSamples  = "minsamples"
+	keyChronology  = "chronology"
+	keySpeed       = "speed"
+	keySufficiency = "sufficiency"
+	keyZones3D     = "zones3d"
+	keyRetain      = "retain"
+	keyCommit      = "commit"
+)
+
+// buildPipeline constructs the stage registry, the runner and the
+// per-entry-point sequences. Called once from NewServer.
+func (s *Server) buildPipeline() {
+	r := pipeline.NewRegistry()
+
+	r.Add(keyDecrypt, pipeline.Stage{Name: StageDecrypt, Run: s.stageDecrypt})
+	r.Add(keyDecodePoA, pipeline.Stage{Name: StageDecode, Run: s.stageDecodePoA})
+	r.Add(keyDecodeBatch, pipeline.Stage{Name: StageDecode, Run: s.stageDecodeBatch})
+	r.Add(keyReplayClaim, pipeline.Stage{Name: StageReplay, Run: s.stageReplayClaim})
+	r.Add(keySigSamples, pipeline.Stage{Name: StageSignature, Run: s.stageSignatureSamples})
+	r.Add(keySigBatch, pipeline.Stage{Name: StageSignature, Run: s.stageSignatureBatch})
+	r.Add(keySigMAC, pipeline.Stage{Name: StageSignature, Run: s.stageSignatureMAC})
+	r.Add(keyMinSamples, pipeline.Stage{Name: StageMinSamples, Run: stageMinSamples})
+	r.Add(keyChronology, pipeline.Stage{Name: StageChronology, Run: stageChronology})
+	r.Add(keySpeed, pipeline.Stage{Name: StageSpeed, Run: s.stageSpeed})
+	r.Add(keySufficiency, pipeline.Stage{Name: StageSufficiency, Run: s.stageSufficiency})
+	r.Add(keyZones3D, pipeline.Stage{Name: StageZones3D, Run: s.stageZones3D})
+	r.Add(keyRetain, pipeline.Stage{Name: StageRetain, Run: s.stageRetain})
+	r.Add(keyCommit, pipeline.Stage{Name: StageCommit, Run: s.stageCommitDigest})
+
+	s.registry = r
+	s.runner = &pipeline.Runner{
+		Metrics:            s.cfg.Metrics,
+		Tracer:             s.cfg.Tracer,
+		MetricStageSeconds: MetricVerifyStageSeconds,
+		MetricStageTotal:   MetricVerifyStageTotal,
+	}
+
+	// The alibi core shared by every envelope: the paper's §IV-C pipeline
+	// (chronology → speed feasibility → sufficiency) plus the §VII-B1 3-D
+	// extension and retention for later accusations.
+	alibi := []string{keyMinSamples, keyChronology, keySpeed, keySufficiency, keyZones3D, keyRetain}
+
+	s.seqSubmit = r.Sequence(append([]string{keyDecrypt, keyDecodePoA, keyReplayClaim, keySigSamples}, append(alibi, keyCommit)...)...)
+	s.seqBatch = r.Sequence(append([]string{keyDecrypt, keyDecodeBatch, keySigBatch}, alibi...)...)
+	s.seqMAC = r.Sequence(append([]string{keyDecrypt, keyDecodePoA, keySigMAC}, alibi...)...)
+	s.seqStreamSig = r.Sequence(keySigSamples)
+	s.seqStreamPair = r.Sequence(keySigSamples, keyChronology, keySpeed, keySufficiency)
+	s.seqStreamClose = r.Sequence(keyZones3D, keyRetain)
+	s.seqAccuse = r.Sequence(keySufficiency)
+}
+
+// stageDecrypt opens the encrypted envelope with the Auditor's private
+// key. Undecryptable bytes are a violation: the submitter did not encrypt
+// to the Auditor, so the content is unverifiable by construction.
+func (s *Server) stageDecrypt(_ context.Context, sub *pipeline.Submission) error {
+	plaintext, err := sigcrypto.Decrypt(s.encKey, sub.Ciphertext)
+	if err != nil {
+		return pipeline.Violationf("undecryptable PoA: %v", err)
+	}
+	sub.Plaintext = plaintext
+	return nil
+}
+
+// stageDecodePoA parses the per-sample-signed envelope (regular and MAC
+// modes) and extracts the bare alibi trace.
+func (s *Server) stageDecodePoA(_ context.Context, sub *pipeline.Submission) error {
+	var p poa.PoA
+	if err := json.Unmarshal(sub.Plaintext, &p); err != nil {
+		return pipeline.Violationf("malformed PoA: %v", err)
+	}
+	sub.PoA = p
+	sub.Samples = p.Alibi()
+	return nil
+}
+
+// stageDecodeBatch parses the batch envelope (§VII-A1b): bare samples
+// plus one signature over the canonical batch encoding.
+func (s *Server) stageDecodeBatch(_ context.Context, sub *pipeline.Submission) error {
+	var batch poa.BatchPoA
+	if err := json.Unmarshal(sub.Plaintext, &batch); err != nil {
+		return pipeline.Violationf("malformed batch PoA: %v", err)
+	}
+	sub.Samples = batch.Samples
+	sub.BatchSig = batch.Sig
+	return nil
+}
+
+// stageReplayClaim atomically claims the plaintext digest before
+// verification — claim-check-set as one step — so two concurrent
+// submissions of the same bytes cannot both pass the check and both be
+// accepted; the loser of the claim race is rejected here. The entry point
+// releases a claim whose submission does not commit, keeping failed
+// submissions resubmittable.
+func (s *Server) stageReplayClaim(_ context.Context, sub *pipeline.Submission) error {
+	sub.Digest = sha256.Sum256(sub.Plaintext)
+	sub.DigestSeen = s.cfg.Clock.Now()
+	if !s.seen.claim(sub.Digest, sub.DigestSeen) {
+		return &pipeline.Violation{Reason: "replayed PoA: this trace was already reported"}
+	}
+	sub.DigestClaimed = true
+	return nil
+}
+
+// stageSignatureSamples checks every per-sample TEE signature (goal G3)
+// against the registered T+, fanned across the worker pool.
+func (s *Server) stageSignatureSamples(ctx context.Context, sub *pipeline.Submission) error {
+	idx, err := protocol.VerifyPoASignaturesPoolCtx(ctx, sub.PoA, sub.TEEPub, s.pool)
+	if err != nil {
+		if isCtxErr(err) {
+			return err
+		}
+		return pipeline.Violationf("signature check failed at sample %d: %v", idx, err)
+	}
+	return nil
+}
+
+// stageSignatureBatch checks the single batch signature over the exact
+// canonical batch encoding under the registered T+.
+func (s *Server) stageSignatureBatch(_ context.Context, sub *pipeline.Submission) error {
+	if err := sigcrypto.Verify(sub.TEEPub, poa.MarshalBatch(sub.Samples), sub.BatchSig); err != nil {
+		return &pipeline.Violation{Reason: "batch signature verification failed"}
+	}
+	return nil
+}
+
+// stageSignatureMAC checks every sample's HMAC tag under the flight's
+// session key. The checks are independent per sample, so they fan out
+// across the worker pool exactly like the RSA path; FirstError keeps the
+// reported index deterministic (the lowest failing sample).
+func (s *Server) stageSignatureMAC(ctx context.Context, sub *pipeline.Submission) error {
+	samples := sub.PoA.Samples
+	_, err := s.pool.FirstErrorCtx(ctx, len(samples), func(i int) error {
+		if err := sigcrypto.VerifyMAC(sub.MACKey, samples[i].Sample.Marshal(), samples[i].Sig); err != nil {
+			return fmt.Errorf("MAC verification failed at sample %d", i)
+		}
+		return nil
+	})
+	if err != nil {
+		if isCtxErr(err) {
+			return err
+		}
+		return &pipeline.Violation{Reason: err.Error()}
+	}
+	return nil
+}
+
+// stageMinSamples rejects traces that constrain nothing: a single sample
+// (or none) pins the drone at isolated instants only.
+func stageMinSamples(_ context.Context, sub *pipeline.Submission) error {
+	if len(sub.Samples) < 2 {
+		return &pipeline.Violation{Reason: "PoA has fewer than two samples"}
+	}
+	return nil
+}
+
+// stageChronology verifies strict time ordering of the trace.
+func stageChronology(_ context.Context, sub *pipeline.Submission) error {
+	if err := poa.CheckChronology(sub.Samples); err != nil {
+		return &pipeline.Violation{Reason: err.Error()}
+	}
+	return nil
+}
+
+// stageSpeed verifies physical flyability: every consecutive pair must be
+// reachable under the speed bound, or the trace itself is impossible — a
+// strong forgery signal.
+func (s *Server) stageSpeed(_ context.Context, sub *pipeline.Submission) error {
+	if err := poa.SpeedFeasible(sub.Samples, s.cfg.VMaxMS); err != nil {
+		return &pipeline.Violation{Reason: err.Error()}
+	}
+	return nil
+}
+
+// stageSufficiency checks the paper's eq. 1 over the zones near the trace
+// (or the pinned zone set of an accusation re-check): every consecutive
+// pair's travel ellipse must be disjoint from every zone.
+func (s *Server) stageSufficiency(_ context.Context, sub *pipeline.Submission) error {
+	zones := sub.Zones
+	if zones == nil {
+		zones = s.zonesForTrace(sub.Samples)
+	}
+	rep, err := poa.VerifySufficiencyPool(sub.Samples, zones, s.cfg.VMaxMS, s.cfg.Mode, s.pool)
+	if err != nil {
+		return &pipeline.Violation{Reason: err.Error()}
+	}
+	sub.Report = rep
+	if !rep.Sufficient() {
+		return &pipeline.Violation{
+			Reason:            "insufficient alibi: the drone may have entered a no-fly zone",
+			InsufficientPairs: rep.InsufficientPairs(),
+		}
+	}
+	return nil
+}
+
+// stageZones3D checks the trace against the §VII-B1 cylindrical zones
+// with the travel-ellipsoid test. A no-op when none are registered.
+func (s *Server) stageZones3D(_ context.Context, sub *pipeline.Submission) error {
+	zones := s.Zones3D()
+	if len(zones) == 0 {
+		return nil
+	}
+	rep, err := poa.VerifySufficiency3D(sub.Samples, zones, s.cfg.VMaxMS)
+	if err != nil {
+		return &pipeline.Violation{Reason: err.Error()}
+	}
+	if !rep.Sufficient() {
+		return &pipeline.Violation{
+			Reason:            "insufficient alibi: the drone may have entered a 3-D no-fly region",
+			InsufficientPairs: rep.InsufficientPairs(),
+		}
+	}
+	return nil
+}
+
+// stageRetain stores the verified alibi for the accusation window and
+// WAL-logs it. A retention failure is an internal error, never a verdict:
+// a verdict the server cannot make durable is not issued.
+func (s *Server) stageRetain(ctx context.Context, sub *pipeline.Submission) error {
+	return s.retain(ctx, sub.DroneID, sub.Samples)
+}
+
+// stageCommitDigest makes the replay-digest claim durable. It runs last,
+// so the WAL records the accepted history only and a crashed verification
+// leaves the trace resubmittable.
+func (s *Server) stageCommitDigest(ctx context.Context, sub *pipeline.Submission) error {
+	if !sub.DigestClaimed {
+		return nil
+	}
+	return s.wal(ctx, recDigestClaimed, digestSnapshot{
+		Digest: hex.EncodeToString(sub.Digest[:]),
+		Seen:   sub.DigestSeen,
+	})
+}

@@ -6,11 +6,9 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/geo"
+	"repro/internal/auditor/pipeline"
 	"repro/internal/poa"
 	"repro/internal/protocol"
-	"repro/internal/sigcrypto"
-	"repro/internal/zone"
 )
 
 // ErrUnknownStream is returned for operations on a stream that was never
@@ -38,17 +36,27 @@ func (s *Server) OpenStream(req protocol.OpenStreamRequest) (protocol.OpenStream
 	return protocol.OpenStreamResponse{StreamID: s.streams.open(req.DroneID)}, nil
 }
 
-// StreamSample verifies one incoming signed sample incrementally:
-// signature, chronology against the previous sample, physical flyability
-// of the new pair, and pair sufficiency against the zones near the pair.
-// The first failing check marks the whole stream violated — the real-time
-// property the mode exists for.
+// StreamSample verifies one incoming signed sample incrementally through
+// the shared pipeline stages: signature, then chronology, flyability and
+// pair sufficiency of the (previous, new) pair. The first failing check
+// marks the whole stream violated — the real-time property the mode
+// exists for.
 func (s *Server) StreamSample(req protocol.StreamSampleRequest) (protocol.StreamSampleResponse, error) {
+	return s.StreamSampleCtx(context.Background(), req)
+}
+
+// StreamSampleCtx is StreamSample under a caller context: an aborted check
+// surfaces as the context error, never as a stream violation.
+func (s *Server) StreamSampleCtx(ctx context.Context, req protocol.StreamSampleRequest) (protocol.StreamSampleResponse, error) {
 	st, ok := s.streams.get(req.StreamID)
 	if !ok {
 		return protocol.StreamSampleResponse{}, fmt.Errorf("%w: %q", ErrUnknownStream, req.StreamID)
 	}
 	rec, _ := s.drones.get(st.DroneID)
+	if err := s.admission.Acquire(ctx, st.DroneID); err != nil {
+		return protocol.StreamSampleResponse{}, err
+	}
+	defer s.admission.Release()
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -56,31 +64,28 @@ func (s *Server) StreamSample(req protocol.StreamSampleRequest) (protocol.Stream
 		return protocol.StreamSampleResponse{Verdict: protocol.VerdictViolation, Reason: st.Reason}, nil
 	}
 
-	flag := func(reason string) (protocol.StreamSampleResponse, error) {
-		st.Violated = true
-		st.Reason = reason
-		return protocol.StreamSampleResponse{Verdict: protocol.VerdictViolation, Reason: reason}, nil
-	}
-
+	// The signature stage sees a one-sample PoA; the pair stages see the
+	// (previous, new) window — the incremental slice of the same checks
+	// the batch path runs over the whole trace.
 	sample := req.Sample.Sample
-	if err := sigcrypto.Verify(rec.TEEPub, sample.Marshal(), req.Sample.Sig); err != nil {
-		return flag("sample signature verification failed")
+	sub := &pipeline.Submission{
+		DroneID: st.DroneID,
+		PoA:     poa.PoA{Samples: []poa.SignedSample{req.Sample}},
+		TEEPub:  rec.TEEPub,
 	}
-
+	seq := s.seqStreamSig
 	if n := len(st.Samples); n > 0 {
-		prev := st.Samples[n-1]
-		if !sample.Time.After(prev.Time) {
-			return flag("sample out of chronological order")
-		}
-		pair := []poa.Sample{prev, sample}
-		if err := poa.SpeedFeasible(pair, s.cfg.VMaxMS); err != nil {
-			return flag(err.Error())
-		}
-		for _, z := range s.zonesForPair(prev, sample) {
-			if !poa.PairSufficient(prev, sample, z, s.cfg.VMaxMS, s.cfg.Mode) {
-				return flag("pair insufficient: the drone may have entered a no-fly zone")
-			}
-		}
+		sub.Samples = []poa.Sample{st.Samples[n-1], sample}
+		seq = s.seqStreamPair
+	}
+	resp, err := s.runner.Run(ctx, sub, seq)
+	if err != nil {
+		return protocol.StreamSampleResponse{}, err
+	}
+	if resp.Verdict != protocol.VerdictCompliant {
+		st.Violated = true
+		st.Reason = resp.Reason
+		return protocol.StreamSampleResponse{Verdict: protocol.VerdictViolation, Reason: resp.Reason}, nil
 	}
 
 	st.Samples = append(st.Samples, sample)
@@ -88,9 +93,14 @@ func (s *Server) StreamSample(req protocol.StreamSampleRequest) (protocol.Stream
 }
 
 // CloseStream finalises the flight: a violated stream stays a violation;
-// a clean stream with at least two samples is retained like a submitted
-// PoA.
+// a clean stream with at least two samples runs the closing stages (3-D
+// zones, retention) and is kept like a submitted PoA.
 func (s *Server) CloseStream(req protocol.CloseStreamRequest) (protocol.SubmitPoAResponse, error) {
+	return s.CloseStreamCtx(context.Background(), req)
+}
+
+// CloseStreamCtx is CloseStream under a caller context.
+func (s *Server) CloseStreamCtx(ctx context.Context, req protocol.CloseStreamRequest) (protocol.SubmitPoAResponse, error) {
 	st, ok := s.streams.remove(req.StreamID)
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownStream, req.StreamID)
@@ -98,24 +108,11 @@ func (s *Server) CloseStream(req protocol.CloseStreamRequest) (protocol.SubmitPo
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.Violated {
-		return violation(st.Reason), nil
+		return protocol.SubmitPoAResponse{Verdict: protocol.VerdictViolation, Reason: st.Reason}, nil
 	}
 	if len(st.Samples) < 2 {
-		return violation("stream ended with fewer than two samples"), nil
+		return protocol.SubmitPoAResponse{Verdict: protocol.VerdictViolation, Reason: "stream ended with fewer than two samples"}, nil
 	}
-	if resp3d := s.verify3D(st.Samples); resp3d != nil {
-		return *resp3d, nil
-	}
-	if err := s.retain(context.Background(), st.DroneID, st.Samples); err != nil {
-		return protocol.SubmitPoAResponse{}, err
-	}
-	return protocol.SubmitPoAResponse{Verdict: protocol.VerdictCompliant}, nil
-}
-
-// zonesForPair pulls the zones whose boundary could matter for one sample
-// pair.
-func (s *Server) zonesForPair(a, b poa.Sample) []geo.GeoCircle {
-	rect := geo.NewRect(a.Pos, b.Pos)
-	budget := b.Time.Sub(a.Time).Seconds() * s.cfg.VMaxMS
-	return zone.Circles(s.zones.QueryRect(rect.Expand(budget + 1)))
+	sub := &pipeline.Submission{DroneID: st.DroneID, Samples: st.Samples}
+	return s.runner.Run(ctx, sub, s.seqStreamClose)
 }

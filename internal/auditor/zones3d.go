@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/poa"
-	"repro/internal/protocol"
 )
 
 // This file adds the paper's §VII-B1 3-D physical model to the server:
@@ -39,28 +38,4 @@ type cylinderRecord struct {
 	ID    string
 	Owner string
 	Zone  poa.CylinderZone
-}
-
-// verify3D checks a trace against the cylindrical zones. Returns the
-// violation response, or nil when the trace is sufficient (or no 3-D
-// zones exist).
-func (s *Server) verify3D(alibi []poa.Sample) *protocol.SubmitPoAResponse {
-	zones := s.Zones3D()
-	if len(zones) == 0 {
-		return nil
-	}
-	rep, err := poa.VerifySufficiency3D(alibi, zones, s.cfg.VMaxMS)
-	if err != nil {
-		r := violation(err.Error())
-		return &r
-	}
-	if !rep.Sufficient() {
-		r := protocol.SubmitPoAResponse{
-			Verdict:           protocol.VerdictViolation,
-			Reason:            "insufficient alibi: the drone may have entered a 3-D no-fly region",
-			InsufficientPairs: rep.InsufficientPairs(),
-		}
-		return &r
-	}
-	return nil
 }

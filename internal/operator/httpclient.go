@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/geo"
@@ -116,10 +117,24 @@ func (c *HTTPAuditor) callCtx() context.Context {
 func (c *HTTPAuditor) setSleep(fn func(time.Duration)) { c.sleep = fn }
 
 // retryableStatus reports whether a status indicates the request likely
-// never reached the Auditor's handler.
+// never reached the Auditor's handler. 429 qualifies: the admission
+// controller shed the request before any verification stage judged it.
 func retryableStatus(code int) bool {
 	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable ||
-		code == http.StatusGatewayTimeout
+		code == http.StatusGatewayTimeout || code == http.StatusTooManyRequests
+}
+
+// retryAfter extracts the server's Retry-After hint (integral seconds) from
+// a shed response; zero means no usable hint.
+func retryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get(protocol.RetryAfterHeader))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // sleepCtx waits for d or for ctx cancellation, whichever first. A
@@ -169,18 +184,26 @@ func (c *HTTPAuditor) do(path string, fn func(ctx context.Context) (*http.Respon
 			tsp.SetInt("attempts", int64(attempt+1))
 			return httpResp, err
 		}
+		var hinted time.Duration
 		if err == nil {
+			hinted = retryAfter(httpResp)
 			httpResp.Body.Close()
 		}
 		reg.Counter(obs.L(MetricClientRetriesTotal, "path", path)).Inc()
 		reg.Counter(obs.L(MetricRetryAttemptsTotal, "path", path)).Inc()
 		tsp.Event("retry")
-		if backoff > 0 {
-			if serr := c.sleepCtx(ctx, backoff); serr != nil {
+		// A shed response's Retry-After hint overrides shorter local
+		// backoff: the server knows how loaded it is better than the
+		// client's doubling schedule does.
+		wait := max(backoff, hinted)
+		if wait > 0 {
+			if serr := c.sleepCtx(ctx, wait); serr != nil {
 				tsp.SetError(serr)
 				return nil, serr
 			}
-			backoff *= 2
+			if backoff > 0 {
+				backoff *= 2
+			}
 		}
 	}
 }

@@ -1,0 +1,34 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOverloaded is the sentinel for load-shedding: the Auditor's
+// admission controller refused the request because the verification
+// budget is exhausted. It is a *retryable* condition — nothing about the
+// submission itself was judged — and the HTTP transport maps it to
+// 429 Too Many Requests with a Retry-After header.
+var ErrOverloaded = errors.New("protocol: auditor overloaded")
+
+// OverloadedError is the typed load-shedding error: it matches
+// ErrOverloaded via errors.Is and carries the backoff hint the transport
+// serialises as Retry-After.
+type OverloadedError struct {
+	// RetryAfter is how long the client should wait before retrying.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", ErrOverloaded, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) hold.
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// RetryAfterHeader is the HTTP header carrying the shed request's backoff
+// hint, in integral seconds (RFC 9110 §10.2.3).
+const RetryAfterHeader = "Retry-After"

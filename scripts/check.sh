@@ -16,6 +16,17 @@ fi
 echo ">> go vet ./..."
 go vet ./...
 
+# staticcheck is part of the merge gate but is not vendored: CI installs a
+# pinned version (see .github/workflows/ci.yml). Locally it runs when the
+# binary is on PATH and is skipped with a notice otherwise, so offline
+# checkouts still pass the rest of the gate.
+if command -v staticcheck >/dev/null 2>&1; then
+	echo ">> staticcheck ./..."
+	staticcheck ./...
+else
+	echo ">> staticcheck not found; skipping (CI runs it — go install honnef.co/go/tools/cmd/staticcheck@2025.1.1)"
+fi
+
 echo ">> go build ./..."
 go build ./...
 

@@ -139,6 +139,108 @@ func BenchmarkVerifySample1024(b *testing.B) {
 	}
 }
 
+// benchSuiteKey generates one private key of the given suite.
+func benchSuiteKey(b *testing.B, suiteID string) sigcrypto.PrivateKey {
+	b.Helper()
+	suite, err := sigcrypto.SuiteByID(suiteID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key, err := suite.GenerateKey(rand.New(rand.NewSource(17)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return key
+}
+
+// benchTrace builds n canonical 1 Hz samples.
+func benchTrace(n int) []poa.Sample {
+	samples := make([]poa.Sample, n)
+	for i := range samples {
+		samples[i] = poa.Sample{
+			Pos:  geo.LatLon{Lat: 40.1, Lon: -88.2},
+			Time: benchStart.Add(time.Duration(i) * time.Second),
+		}.Canon()
+	}
+	return samples
+}
+
+// BenchmarkVerifySamples is the auditor-side cost of verifying one
+// 100-sample submission under each signature suite. The per-sample
+// suites pay one asymmetric verify per sample (through the suite's
+// BatchVerify, as the verify stage does); ed25519-batch is the
+// §VII-A1b seal — the whole trace under ONE Ed25519 signature — which
+// is where the suite's cheap signing turns into a per-submission
+// verification win over rsa2048.
+func BenchmarkVerifySamples(b *testing.B) {
+	const nSamples = 100
+	samples := benchTrace(nSamples)
+
+	for _, suiteID := range []string{"rsa2048", "ed25519"} {
+		b.Run(suiteID, func(b *testing.B) {
+			key := benchSuiteKey(b, suiteID)
+			suite, err := sigcrypto.SuiteByID(suiteID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pub := key.Public()
+			msgs := make([][]byte, nSamples)
+			sigs := make([][]byte, nSamples)
+			for i, s := range samples {
+				msgs[i] = s.Marshal()
+				if sigs[i], err = key.Sign(msgs[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if idx, err := suite.BatchVerify(pub, msgs, sigs); err != nil {
+					b.Fatalf("sample %d: %v", idx, err)
+				}
+			}
+		})
+	}
+
+	b.Run("ed25519-batch", func(b *testing.B) {
+		key := benchSuiteKey(b, "ed25519")
+		pub := key.Public()
+		msg := poa.MarshalBatch(samples)
+		sig, err := key.Sign(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := pub.Verify(msg, sig); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSignRate is the Table II axis across suites: one TEE sample
+// signature per op, reported also as achievable signing rate. Ed25519
+// signs far faster than even the paper's short RSA key, lifting the
+// signing bottleneck that caps the sampling rate.
+func BenchmarkSignRate(b *testing.B) {
+	for _, suiteID := range []string{"rsa1024", "rsa2048", "ed25519"} {
+		b.Run(suiteID, func(b *testing.B) {
+			key := benchSuiteKey(b, suiteID)
+			msg := benchSample().Marshal()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, err := key.Sign(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed, "signs/sec")
+			}
+		})
+	}
+}
+
 // BenchmarkHMACSample is the §VII-A1a symmetric alternative: orders of
 // magnitude cheaper than RSA.
 func BenchmarkHMACSample(b *testing.B) {

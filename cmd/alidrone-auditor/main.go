@@ -44,6 +44,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,6 +53,7 @@ import (
 	"repro/internal/obs/olog"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/poa"
+	"repro/internal/sigcrypto"
 	"repro/internal/storage"
 )
 
@@ -70,6 +72,8 @@ type options struct {
 	maxInflight  int
 	queueDepth   int
 	nonceTTL     time.Duration
+	suites       string
+	rotationWin  time.Duration
 	traceSample  float64
 	traceBuffer  int
 	debugAddr    string
@@ -91,6 +95,8 @@ func main() {
 	flag.IntVar(&o.maxInflight, "max-inflight", 0, "verification requests admitted concurrently before queueing/shedding (0 = 4 per worker, negative = no admission control)")
 	flag.IntVar(&o.queueDepth, "queue-depth", 0, "per-drone fairness queue for requests over the in-flight budget (0 = default 16, negative = shed immediately)")
 	flag.DurationVar(&o.nonceTTL, "nonce-ttl", auditor.DefaultNonceTTL, "how long zone-query nonces are remembered for replay rejection")
+	flag.StringVar(&o.suites, "suite", "", "comma-separated signature suites drones may register with, e.g. rsa2048,ed25519 (empty = all registered suites)")
+	flag.DurationVar(&o.rotationWin, "rotation-window", 0, "how long a retired TEE key epoch keeps verifying PoAs after rotation (0 = default 15m, negative = reject immediately)")
 	flag.Float64Var(&o.traceSample, "trace-sample", 0, "probability of tracing a request that arrives without a traceparent (submitter-sampled traces are always honoured)")
 	flag.IntVar(&o.traceBuffer, "trace-buffer", otrace.DefaultRingSize, "finished spans kept in the in-memory ring served at /debug/traces")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "separate listener for /debug/traces and /debug/pprof/* (empty = disabled)")
@@ -129,16 +135,32 @@ func run(o options) error {
 		maxInflight = 0
 	}
 
+	var allowedSuites []string
+	if o.suites != "" {
+		for _, s := range strings.Split(o.suites, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			if _, err := sigcrypto.SuiteByID(s); err != nil {
+				return fmt.Errorf("-suite %q: %w (registered: %v)", s, err, sigcrypto.Suites())
+			}
+			allowedSuites = append(allowedSuites, s)
+		}
+	}
+
 	logger := olog.New(os.Stderr, olog.LevelInfo, nil)
 	cfg := auditor.Config{
-		Mode:         testMode,
-		Retention:    o.retention,
-		Workers:      o.workers,
-		NonceTTL:     o.nonceTTL,
-		CompactEvery: o.compactEvery,
-		MaxInflight:  maxInflight,
-		QueueDepth:   o.queueDepth,
-		Logger:       logger,
+		Mode:           testMode,
+		Retention:      o.retention,
+		Workers:        o.workers,
+		NonceTTL:       o.nonceTTL,
+		CompactEvery:   o.compactEvery,
+		MaxInflight:    maxInflight,
+		QueueDepth:     o.queueDepth,
+		RotationWindow: o.rotationWin,
+		AllowedSuites:  allowedSuites,
+		Logger:         logger,
 	}
 	if o.metrics {
 		cfg.Metrics = obs.NewRegistry(nil)

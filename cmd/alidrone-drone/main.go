@@ -41,6 +41,8 @@ func main() {
 	mode := flag.String("mode", "adaptive", "sampling mode: adaptive, fixed, batch, mac or streaming")
 	fixedRate := flag.Float64("fixed-rate", 2, "sampling rate for -mode fixed (Hz)")
 	storeDir := flag.String("store", "", "directory for persisted flight records (empty = do not persist)")
+	suite := flag.String("suite", "", "TEE signature suite: rsa1024, rsa2048, rsa3072 or ed25519 (empty = legacy rsa1024 provisioning)")
+	rotateEvery := flag.Duration("rotate-every", 0, "rotate the TEE sign key after a flight once this much flight time has passed since the last rotation (0 disables)")
 	gpsRate := flag.Float64("gps-rate", 5, "GPS receiver update rate in Hz (1-5)")
 	dumpMetrics := flag.Bool("dump-metrics", false, "print drone-side metrics after the mission")
 	retries := flag.Int("retries", 3, "HTTP retries after the first attempt (429/502/503/504 and transport errors; 0 disables)")
@@ -54,13 +56,13 @@ func main() {
 		sample = 1
 	}
 	retry := operator.RetryPolicy{Max: *retries, Backoff: *retryBackoff}
-	if err := run(*auditorURL, *scenario, *mode, *storeDir, *fixedRate, *gpsRate, *dumpMetrics, sample, *dumpTraces, retry); err != nil {
+	if err := run(*auditorURL, *scenario, *mode, *storeDir, *suite, *rotateEvery, *fixedRate, *gpsRate, *dumpMetrics, sample, *dumpTraces, retry); err != nil {
 		fmt.Fprintln(os.Stderr, "alidrone-drone:", err)
 		os.Exit(1)
 	}
 }
 
-func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64, dumpMetrics bool, traceSample float64, dumpTraces bool, retry operator.RetryPolicy) error {
+func run(auditorURL, scenario, mode, storeDir, suite string, rotateEvery time.Duration, fixedRate, gpsRate float64, dumpMetrics bool, traceSample float64, dumpTraces bool, retry operator.RetryPolicy) error {
 	start := time.Now().UTC().Truncate(time.Second)
 
 	var sc *trace.Scenario
@@ -77,7 +79,7 @@ func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64
 		return err
 	}
 
-	cfg := operator.MissionConfig{FixedRateHz: fixedRate}
+	cfg := operator.MissionConfig{FixedRateHz: fixedRate, RotateEvery: rotateEvery}
 	switch mode {
 	case "adaptive":
 		cfg.Mode = operator.ModeAdaptive
@@ -121,7 +123,7 @@ func run(auditorURL, scenario, mode, storeDir string, fixedRate, gpsRate float64
 	}
 
 	// Manufacture the drone platform over the scenario route.
-	platform, err := core.NewPlatform(core.PlatformConfig{Path: sc.Route, GPSRateHz: gpsRate})
+	platform, err := core.NewPlatform(core.PlatformConfig{Path: sc.Route, GPSRateHz: gpsRate, Suite: suite})
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/auditor"
 	"repro/internal/operator"
@@ -20,24 +21,29 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 		name           string
 		scenario, mode string
 		storeDir       string
+		suite          string
+		rotateEvery    time.Duration
 		fixed, gpsRate float64
 	}{
-		{"airport adaptive", "airport", "adaptive", "", 0, 1},
-		{"airport fixed with store", "airport", "fixed", t.TempDir(), 1, 5},
-		{"airport batch", "airport", "batch", "", 0, 1},
-		{"airport mac", "airport", "mac", "", 0, 1},
-		{"airport streaming", "airport", "streaming", "", 0, 1},
+		{"airport adaptive", "airport", "adaptive", "", "", 0, 0, 1},
+		{"airport fixed with store", "airport", "fixed", t.TempDir(), "", 0, 1, 5},
+		{"airport batch", "airport", "batch", "", "", 0, 0, 1},
+		{"airport mac", "airport", "mac", "", "", 0, 0, 1},
+		{"airport streaming", "airport", "streaming", "", "", 0, 0, 1},
+		{"airport adaptive ed25519", "airport", "adaptive", "", "ed25519", 0, 0, 1},
+		{"airport adaptive ed25519 rotating", "airport", "adaptive", "", "ed25519", time.Minute, 0, 1},
+		{"airport batch rsa2048 rotating", "airport", "batch", "", "rsa2048", time.Minute, 0, 1},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			// Metrics and trace dumping on for the first case exercise
 			// the -dump-metrics and -dump-traces paths.
-			dump := tt.mode == "adaptive"
+			dump := tt.mode == "adaptive" && tt.suite == ""
 			sample := 0.0
 			if dump {
 				sample = 1
 			}
-			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.fixed, tt.gpsRate, dump, sample, dump, operator.RetryPolicy{}); err != nil {
+			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.suite, tt.rotateEvery, tt.fixed, tt.gpsRate, dump, sample, dump, operator.RetryPolicy{}); err != nil {
 				t.Fatalf("drone run failed: %v", err)
 			}
 		})
@@ -45,10 +51,10 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run("http://localhost:1", "mars", "adaptive", "", 0, 5, false, 0, false, operator.RetryPolicy{}); err == nil {
+	if err := run("http://localhost:1", "mars", "adaptive", "", "", 0, 0, 5, false, 0, false, operator.RetryPolicy{}); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("http://localhost:1", "airport", "warp", "", 0, 5, false, 0, false, operator.RetryPolicy{}); err == nil {
+	if err := run("http://localhost:1", "airport", "warp", "", "", 0, 0, 5, false, 0, false, operator.RetryPolicy{}); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

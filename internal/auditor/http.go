@@ -16,8 +16,12 @@ import (
 	"repro/internal/sigcrypto"
 )
 
-// compile-time check: the server implements the protocol surface.
-var _ protocol.API = (*Server)(nil)
+// compile-time check: the server implements the protocol surface,
+// including the optional key-rotation extension.
+var (
+	_ protocol.API         = (*Server)(nil)
+	_ protocol.RotationAPI = (*Server)(nil)
+)
 
 // HandlerOptions configures the operational side of the HTTP transport.
 // The zero value mounts the bare protocol surface.
@@ -60,6 +64,7 @@ func NewHandlerOpts(srv *Server, opts HandlerOptions) *Handler {
 	h.handle(protocol.PathStartSession, post(h.startSession))
 	h.handle(protocol.PathSubmitMACPoA, post(h.submitMACPoA))
 	h.handle(protocol.PathAccuse, post(h.accuse))
+	h.handle(protocol.PathRotateKey, post(h.rotateKey))
 	h.handle(protocol.PathStreamOpen, post(h.streamOpen))
 	h.handle(protocol.PathStreamSample, post(h.streamSample))
 	h.handle(protocol.PathStreamClose, post(h.streamClose))
@@ -161,7 +166,8 @@ func statusFor(err error) int {
 		errors.Is(err, ErrNoPoA), errors.Is(err, ErrUnknownSession),
 		errors.Is(err, ErrUnknownStream):
 		return http.StatusNotFound
-	case errors.Is(err, protocol.ErrBadNonce), errors.Is(err, protocol.ErrBadSignature):
+	case errors.Is(err, protocol.ErrBadNonce), errors.Is(err, protocol.ErrBadSignature),
+		errors.Is(err, sigcrypto.ErrBadHandover):
 		return http.StatusForbidden
 	case errors.Is(err, protocol.ErrOverloaded):
 		// Load shed by the admission controller: nothing about the
@@ -244,6 +250,10 @@ func (h *Handler) startSession(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) submitMACPoA(w http.ResponseWriter, r *http.Request) {
 	handleJSON(w, r, h.srv.SubmitMACPoACtx)
+}
+
+func (h *Handler) rotateKey(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.RotateKeyCtx)
 }
 
 func (h *Handler) streamOpen(w http.ResponseWriter, r *http.Request) {

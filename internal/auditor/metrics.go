@@ -69,6 +69,14 @@ const (
 	// MetricAdmissionAdmittedTotal counts requests admitted past the
 	// controller (immediately or after queueing).
 	MetricAdmissionAdmittedTotal = "alidrone_auditor_admission_admitted_total"
+	// MetricSigVerifySeconds is a histogram of signature-verification
+	// latency per submission, labelled suite=rsa2048|ed25519|... — the
+	// live counterpart of Table II's verification column, split by the
+	// drone's negotiated signature suite.
+	MetricSigVerifySeconds = "alidrone_auditor_sig_verify_seconds"
+	// MetricKeyRotationsTotal counts accepted TEE key rotations, labelled
+	// suite=....
+	MetricKeyRotationsTotal = "alidrone_auditor_key_rotations_total"
 )
 
 // Verification pipeline stage labels (the stage= label of the

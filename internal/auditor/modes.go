@@ -46,7 +46,8 @@ func (s *Server) submitBatchPoA(ctx context.Context, req protocol.SubmitBatchPoA
 	sub := &pipeline.Submission{
 		DroneID:    req.DroneID,
 		Ciphertext: req.EncryptedBatch,
-		TEEPub:     rec.TEEPub,
+		Keys:       s.ring(rec),
+		Suite:      rec.Suite,
 	}
 	return s.runSubmission(ctx, sub, s.seqBatch)
 }

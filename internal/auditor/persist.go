@@ -32,11 +32,23 @@ type snapshot struct {
 	PoADigests []digestSnapshot   `json:"poaDigests"`
 }
 
-// droneSnapshot serialises a registered drone.
+// droneSnapshot serialises a registered drone. TEEPub remains the active
+// key so legacy state files round-trip; Keys carries the full rotation
+// ring and is absent in legacy snapshots (restore then treats TEEPub as
+// the sole epoch-0 key).
 type droneSnapshot struct {
-	ID          string `json:"id"`
-	OperatorPub string `json:"operatorPub"`
-	TEEPub      string `json:"teePub"`
+	ID          string           `json:"id"`
+	OperatorPub string           `json:"operatorPub"`
+	TEEPub      string           `json:"teePub"`
+	Suite       string           `json:"suite,omitempty"`
+	Keys        []teeKeySnapshot `json:"keys,omitempty"`
+}
+
+// teeKeySnapshot serialises one entry of the T+ key ring.
+type teeKeySnapshot struct {
+	Pub       string    `json:"pub"`
+	Epoch     int       `json:"epoch"`
+	RetiredAt time.Time `json:"retiredAt"`
 }
 
 // retainedSnapshot serialises one retained alibi. Seq is absent from
@@ -76,11 +88,20 @@ func (s *Server) buildSnapshot() (snapshot, error) {
 		if err != nil {
 			return snapshot{}, fmt.Errorf("save state: %w", err)
 		}
-		teePub, err := sigcrypto.MarshalPublicKey(rec.TEEPub)
-		if err != nil {
-			return snapshot{}, fmt.Errorf("save state: %w", err)
+		ds := droneSnapshot{ID: rec.ID, OperatorPub: opPub, Suite: rec.Suite}
+		for _, k := range rec.TEEKeys {
+			pub, err := k.Pub.Marshal()
+			if err != nil {
+				return snapshot{}, fmt.Errorf("save state: %w", err)
+			}
+			ds.Keys = append(ds.Keys, teeKeySnapshot{Pub: pub, Epoch: k.Epoch, RetiredAt: k.RetiredAt})
 		}
-		snap.Drones = append(snap.Drones, droneSnapshot{ID: rec.ID, OperatorPub: opPub, TEEPub: teePub})
+		if active := rec.ActiveKey(); active.Pub != nil {
+			if ds.TEEPub, err = active.Pub.Marshal(); err != nil {
+				return snapshot{}, fmt.Errorf("save state: %w", err)
+			}
+		}
+		snap.Drones = append(snap.Drones, ds)
 	}
 	for _, r := range s.retained.all() {
 		snap.Retained = append(snap.Retained, retainedSnapshot(r))
@@ -237,11 +258,27 @@ func loadServerBytes(cfg Config, data []byte) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("load state: drone %s: %w", d.ID, err)
 		}
-		teePub, err := sigcrypto.UnmarshalPublicKey(d.TEEPub)
-		if err != nil {
-			return nil, fmt.Errorf("load state: drone %s: %w", d.ID, err)
+		var keys []TEEKey
+		for _, k := range d.Keys {
+			pub, err := sigcrypto.ParsePublicKey(k.Pub)
+			if err != nil {
+				return nil, fmt.Errorf("load state: drone %s: %w", d.ID, err)
+			}
+			keys = append(keys, TEEKey{Pub: pub, Epoch: k.Epoch, RetiredAt: k.RetiredAt})
 		}
-		srv.drones.restore(DroneRecord{ID: d.ID, OperatorPub: opPub, TEEPub: teePub}, snap.NextDrone)
+		if len(keys) == 0 {
+			// Legacy snapshot: TEEPub is the sole epoch-0 key.
+			pub, err := sigcrypto.ParsePublicKey(d.TEEPub)
+			if err != nil {
+				return nil, fmt.Errorf("load state: drone %s: %w", d.ID, err)
+			}
+			keys = []TEEKey{{Pub: pub}}
+		}
+		suite := d.Suite
+		if suite == "" {
+			suite = keys[len(keys)-1].Pub.SuiteID()
+		}
+		srv.drones.restore(DroneRecord{ID: d.ID, OperatorPub: opPub, Suite: suite, TEEKeys: keys}, snap.NextDrone)
 	}
 
 	if err := srv.zones.Import(snap.Zones); err != nil {

@@ -1,0 +1,186 @@
+package pipeline
+
+// VerifyBatcher tests: the batcher must be observationally identical to
+// a sequential loop of Verify — same lowest failing index, same typed
+// error — under every span layout (mixed keys, long single-key runs) and
+// under heavy concurrency through the shared pool.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/sigcrypto"
+)
+
+// batchKeys generates one private key per suite ID given, reusing a
+// deterministic stream.
+func batchKeys(t testing.TB, suiteIDs ...string) []sigcrypto.PrivateKey {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	keys := make([]sigcrypto.PrivateKey, len(suiteIDs))
+	for i, id := range suiteIDs {
+		suite, err := sigcrypto.SuiteByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i], err = suite.GenerateKey(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+// signedItems builds n valid items cycling through the given keys, so
+// consecutive items alternate keys when more than one key is supplied —
+// exercising the span-splitting paths.
+func signedItems(t testing.TB, keys []sigcrypto.PrivateKey, n int) []VerifyItem {
+	t.Helper()
+	items := make([]VerifyItem, n)
+	for i := range items {
+		key := keys[i%len(keys)]
+		msg := fmt.Appendf(nil, "item %d", i)
+		sig, err := key.Sign(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = VerifyItem{Key: key.Public(), Msg: msg, Sig: sig}
+	}
+	return items
+}
+
+// loopOfVerify is the reference the batcher must match.
+func loopOfVerify(items []VerifyItem) (int, error) {
+	for i, it := range items {
+		if err := it.Key.Verify(it.Msg, it.Sig); err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
+func TestVerifyBatcherAgreesWithLoop(t *testing.T) {
+	keysets := map[string][]sigcrypto.PrivateKey{
+		"one ed25519 key":  batchKeys(t, sigcrypto.SuiteEd25519),
+		"one rsa key":      batchKeys(t, sigcrypto.SuiteRSA1024),
+		"alternating keys": batchKeys(t, sigcrypto.SuiteEd25519, sigcrypto.SuiteRSA1024, sigcrypto.SuiteEd25519),
+	}
+	pools := map[string]*parallel.Pool{"pool-4": parallel.NewPool(4), "pool-1": parallel.NewPool(1)}
+
+	for keysName, keys := range keysets {
+		for poolName, pool := range pools {
+			b := &VerifyBatcher{Pool: pool}
+			prefix := keysName + "/" + poolName + "/"
+
+			check := func(name string, items []VerifyItem) {
+				t.Run(prefix+name, func(t *testing.T) {
+					wantIdx, wantErr := loopOfVerify(items)
+					gotIdx, gotErr := b.Verify(context.Background(), items)
+					if gotIdx != wantIdx || (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("batcher = (%d, %v), loop = (%d, %v)", gotIdx, gotErr, wantIdx, wantErr)
+					}
+					if gotErr != nil && !errors.Is(gotErr, sigcrypto.ErrBadSignature) {
+						t.Fatalf("batcher error %v is not typed ErrBadSignature", gotErr)
+					}
+				})
+			}
+
+			valid := signedItems(t, keys, 24)
+			check("all valid", valid)
+			check("empty", nil)
+			check("singleton", valid[:1])
+
+			tamper := func(n, at int, f func(*VerifyItem)) []VerifyItem {
+				items := signedItems(t, keys, n)
+				f(&items[at])
+				return items
+			}
+			check("one tampered sig", tamper(24, 7, func(it *VerifyItem) {
+				it.Sig = append([]byte(nil), it.Sig...)
+				it.Sig[0] ^= 0x01
+			}))
+			check("one tampered msg", tamper(24, 13, func(it *VerifyItem) {
+				it.Msg = append([]byte(nil), it.Msg...)
+				it.Msg[0] ^= 0x01
+			}))
+			check("first invalid", tamper(24, 0, func(it *VerifyItem) { it.Sig = []byte("garbage") }))
+			check("last invalid", tamper(24, 23, func(it *VerifyItem) { it.Sig = []byte("garbage") }))
+		}
+	}
+}
+
+// TestVerifyBatcherLowestIndexDeterminism plants several bad items; the
+// reported index must always be the lowest one regardless of which span
+// or worker finds its failure first.
+func TestVerifyBatcherLowestIndexDeterminism(t *testing.T) {
+	keys := batchKeys(t, sigcrypto.SuiteEd25519)
+	b := &VerifyBatcher{Pool: parallel.NewPool(8)}
+	for round := 0; round < 20; round++ {
+		items := signedItems(t, keys, 64)
+		for _, at := range []int{11, 30, 31, 60} {
+			items[at].Sig = []byte("bad")
+		}
+		idx, err := b.Verify(context.Background(), items)
+		if idx != 11 || err == nil {
+			t.Fatalf("round %d: idx = %d (err %v), want 11", round, idx, err)
+		}
+	}
+}
+
+// TestVerifyBatcherConcurrentStress drives many goroutines through one
+// batcher so leaders drain followers' queues (run under -race in make
+// check). Every caller must still get its own batch's result.
+func TestVerifyBatcherConcurrentStress(t *testing.T) {
+	keys := batchKeys(t, sigcrypto.SuiteEd25519, sigcrypto.SuiteRSA1024)
+	b := &VerifyBatcher{Pool: parallel.NewPool(4)}
+
+	const callers = 32
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			items := signedItems(t, keys, 8+c%5)
+			wantIdx := -1
+			if c%3 == 0 { // a third of the batches carry one bad signature
+				wantIdx = c % len(items)
+				items[wantIdx].Sig = []byte("tampered")
+			}
+			idx, err := b.Verify(context.Background(), items)
+			if idx != wantIdx || (err == nil) != (wantIdx == -1) {
+				errs[c] = fmt.Errorf("caller %d: got (%d, %v), want idx %d", c, idx, err, wantIdx)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestVerifyBatcherCancelledFollower cancels a follower's context while
+// a leader holds the queue; the follower must return the context error
+// promptly and the batcher must stay usable.
+func TestVerifyBatcherCancelledFollower(t *testing.T) {
+	keys := batchKeys(t, sigcrypto.SuiteEd25519)
+	b := &VerifyBatcher{Pool: parallel.NewPool(2)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if idx, err := b.Verify(ctx, signedItems(t, keys, 4)); !errors.Is(err, context.Canceled) && err != nil {
+		// A pre-cancelled context may still win the race and verify; all
+		// that is required is no deadlock and a coherent result.
+		t.Logf("pre-cancelled verify returned (%d, %v)", idx, err)
+	}
+	if idx, err := b.Verify(context.Background(), signedItems(t, keys, 4)); idx != -1 || err != nil {
+		t.Fatalf("batcher unusable after cancellation: (%d, %v)", idx, err)
+	}
+}

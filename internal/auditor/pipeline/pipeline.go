@@ -22,7 +22,6 @@ package pipeline
 
 import (
 	"context"
-	"crypto/rsa"
 	"errors"
 	"fmt"
 	"time"
@@ -70,10 +69,17 @@ type Submission struct {
 
 	// PoA is the per-sample-signed envelope (regular and MAC modes).
 	PoA poa.PoA
-	// BatchSig is the single trace signature of the batch envelope.
-	BatchSig []byte
-	// TEEPub is the registered TEE verification key T+ of the drone.
-	TEEPub *rsa.PublicKey
+	// BatchSig is the single trace signature of the batch envelope, and
+	// BatchEpoch the key rotation epoch it was sealed under.
+	BatchSig   []byte
+	BatchEpoch int
+	// Keys resolves the drone's registered TEE verification keys T+ by
+	// rotation epoch (the whole ring, so traces spanning a rotation
+	// verify correctly).
+	Keys protocol.KeyRing
+	// Suite names the drone's negotiated signature suite, labelling the
+	// signature-verify metrics.
+	Suite string
 	// MACKey is the flight-session HMAC key (symmetric mode only).
 	MACKey []byte
 

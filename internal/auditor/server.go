@@ -51,11 +51,17 @@ var (
 	ErrInvalidCylinder = errors.New("auditor: invalid cylindrical zone")
 )
 
-// DroneRecord is one registered drone: (id_drone, D+, T+).
+// DroneRecord is one registered drone: (id_drone, D+, T+). T+ is a key
+// ring, not a single key: rotation appends successor epochs and the
+// previous key enters its acceptance window (see rotation.go).
 type DroneRecord struct {
 	ID          string
 	OperatorPub *rsa.PublicKey // D+: verifies zone-query nonces
-	TEEPub      *rsa.PublicKey // T+: verifies PoA sample signatures
+	// Suite is the signature suite negotiated at registration; every key
+	// in the ring (and every rotation) stays within it.
+	Suite string
+	// TEEKeys is the T+ key ring in epoch order; the last entry is active.
+	TEEKeys []TEEKey
 }
 
 // retainedPoA is a verified submission kept for later accusations. Seq is
@@ -112,6 +118,15 @@ type Config struct {
 	// OpenServer). 0 selects DefaultCompactEvery; negative disables
 	// automatic compaction (explicit Checkpoint calls only).
 	CompactEvery int
+	// RotationWindow is how long a retired TEE key epoch keeps verifying
+	// PoAs after rotation (flights that straddled the rotation land and
+	// submit under the old key). 0 selects DefaultRotationWindow;
+	// negative closes retired epochs immediately.
+	RotationWindow time.Duration
+	// AllowedSuites restricts the signature suites drones may register
+	// with (e.g. ["rsa2048", "ed25519"]). Empty admits every registered
+	// suite.
+	AllowedSuites []string
 	// MaxInflight bounds the verification requests admitted concurrently
 	// (submissions and stream samples). 0 disables admission control —
 	// the in-process/test default; the alidrone-auditor binary defaults
@@ -151,6 +166,7 @@ type Server struct {
 	registry       *pipeline.Registry
 	runner         *pipeline.Runner
 	admission      *pipeline.Admission
+	sigBatcher     *pipeline.VerifyBatcher
 	seqSubmit      []pipeline.Stage
 	seqBatch       []pipeline.Stage
 	seqMAC         []pipeline.Stage
@@ -223,6 +239,7 @@ func NewServer(cfg Config) (*Server, error) {
 		busy := cfg.Metrics.Gauge(MetricVerifyWorkersBusy)
 		s.pool.OnBusy = func(delta int) { busy.Add(float64(delta)) }
 	}
+	s.sigBatcher = &pipeline.VerifyBatcher{Pool: s.pool}
 	s.buildPipeline()
 	s.admission = pipeline.NewAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.RetryAfter)
 	if cfg.Metrics != nil && s.admission != nil {
@@ -278,15 +295,37 @@ func (s *Server) RegisterDroneCtx(ctx context.Context, req protocol.RegisterDron
 	if err != nil {
 		return protocol.RegisterDroneResponse{}, fmt.Errorf("operator key: %w", err)
 	}
-	teePub, err := sigcrypto.UnmarshalPublicKey(req.TEEPub)
+	teeKey, err := sigcrypto.ParsePublicKey(req.TEEPub)
 	if err != nil {
 		return protocol.RegisterDroneResponse{}, fmt.Errorf("tee key: %w", err)
 	}
-	id := s.drones.register(DroneRecord{OperatorPub: opPub, TEEPub: teePub})
-	if err := s.wal(ctx, recDroneRegistered, walDrone{ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub}); err != nil {
+	suite := teeKey.SuiteID()
+	if req.Suite != "" && req.Suite != suite {
+		return protocol.RegisterDroneResponse{}, fmt.Errorf(
+			"auditor: requested suite %q does not match the key envelope (%s)", req.Suite, suite)
+	}
+	if err := s.suiteAllowed(suite); err != nil {
+		return protocol.RegisterDroneResponse{}, err
+	}
+	id := s.drones.register(DroneRecord{OperatorPub: opPub, Suite: suite, TEEKeys: []TEEKey{{Pub: teeKey}}})
+	if err := s.wal(ctx, recDroneRegistered, walDrone{ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub, Suite: suite}); err != nil {
 		return protocol.RegisterDroneResponse{}, err
 	}
 	return protocol.RegisterDroneResponse{DroneID: id}, nil
+}
+
+// suiteAllowed enforces Config.AllowedSuites at registration time; an
+// empty list admits every suite the binary registered.
+func (s *Server) suiteAllowed(suite string) error {
+	if len(s.cfg.AllowedSuites) == 0 {
+		return nil
+	}
+	for _, a := range s.cfg.AllowedSuites {
+		if a == suite {
+			return nil
+		}
+	}
+	return fmt.Errorf("auditor: signature suite %q is not accepted here (allowed: %v)", suite, s.cfg.AllowedSuites)
 }
 
 // RegisterZone implements protocol task 1. Ownership proofs are accepted
@@ -389,7 +428,8 @@ func (s *Server) submitPoA(ctx context.Context, req protocol.SubmitPoARequest) (
 	sub := &pipeline.Submission{
 		DroneID:    req.DroneID,
 		Ciphertext: req.EncryptedPoA,
-		TEEPub:     rec.TEEPub,
+		Keys:       s.ring(rec),
+		Suite:      rec.Suite,
 	}
 	return s.runSubmission(ctx, sub, s.seqSubmit)
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/auditor/pipeline"
+	"repro/internal/obs"
 	"repro/internal/poa"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
@@ -115,6 +116,7 @@ func (s *Server) stageDecodeBatch(_ context.Context, sub *pipeline.Submission) e
 	}
 	sub.Samples = batch.Samples
 	sub.BatchSig = batch.Sig
+	sub.BatchEpoch = batch.KeyEpoch
 	return nil
 }
 
@@ -135,25 +137,78 @@ func (s *Server) stageReplayClaim(_ context.Context, sub *pipeline.Submission) e
 }
 
 // stageSignatureSamples checks every per-sample TEE signature (goal G3)
-// against the registered T+, fanned across the worker pool.
+// against the registered T+ key ring, resolving each sample's key by its
+// rotation epoch and verifying through the shared VerifyBatcher so the
+// checks amortise across this submission's samples and across
+// admission-queued submissions.
 func (s *Server) stageSignatureSamples(ctx context.Context, sub *pipeline.Submission) error {
-	idx, err := protocol.VerifyPoASignaturesPoolCtx(ctx, sub.PoA, sub.TEEPub, s.pool)
+	samples := sub.PoA.Samples
+	items := make([]pipeline.VerifyItem, len(samples))
+	for i, ss := range samples {
+		key, err := sub.Keys.KeyFor(ss.KeyEpoch)
+		if err != nil {
+			return classifySigError(fmt.Errorf("sample %d: %w", i, err))
+		}
+		items[i] = pipeline.VerifyItem{Key: key, Msg: ss.Sample.Marshal(), Sig: ss.Sig}
+	}
+	idx, err := s.timedSigVerify(sub.Suite, func() (int, error) {
+		return s.sigBatcher.Verify(ctx, items)
+	})
 	if err != nil {
 		if isCtxErr(err) {
 			return err
 		}
-		return pipeline.Violationf("signature check failed at sample %d: %v", idx, err)
+		return classifySigError(fmt.Errorf("signature check failed at sample %d: %w", idx, err))
 	}
 	return nil
 }
 
 // stageSignatureBatch checks the single batch signature over the exact
-// canonical batch encoding under the registered T+.
-func (s *Server) stageSignatureBatch(_ context.Context, sub *pipeline.Submission) error {
-	if err := sigcrypto.Verify(sub.TEEPub, poa.MarshalBatch(sub.Samples), sub.BatchSig); err != nil {
-		return &pipeline.Violation{Reason: "batch signature verification failed"}
+// canonical batch encoding under the T+ key of the epoch the batch was
+// sealed under.
+func (s *Server) stageSignatureBatch(ctx context.Context, sub *pipeline.Submission) error {
+	key, err := sub.Keys.KeyFor(sub.BatchEpoch)
+	if err != nil {
+		return classifySigError(fmt.Errorf("batch key: %w", err))
+	}
+	_, err = s.timedSigVerify(sub.Suite, func() (int, error) {
+		return s.sigBatcher.Verify(ctx, []pipeline.VerifyItem{
+			{Key: key, Msg: poa.MarshalBatch(sub.Samples), Sig: sub.BatchSig},
+		})
+	})
+	if err != nil {
+		if isCtxErr(err) {
+			return err
+		}
+		return classifySigError(fmt.Errorf("batch signature verification failed: %w", err))
 	}
 	return nil
+}
+
+// classifySigError applies the pipeline classification contract to a
+// signature-path error: typed authenticity failures (bad signature,
+// unknown or expired key epoch) are violation verdicts; anything else —
+// store faults, malformed batches — is an internal error and the verdict
+// is withheld.
+func classifySigError(err error) error {
+	if protocol.IsVerdictError(err) {
+		return &pipeline.Violation{Reason: err.Error()}
+	}
+	return err
+}
+
+// timedSigVerify wraps a signature verification under the per-suite
+// latency histogram, so RSA and Ed25519 drone fleets are observable
+// separately (Table II's verification axis).
+func (s *Server) timedSigVerify(suite string, fn func() (int, error)) (int, error) {
+	if suite == "" {
+		suite = "unknown"
+	}
+	reg := s.cfg.Metrics
+	sp := reg.StartSpan(reg.Histogram(obs.L(MetricSigVerifySeconds, "suite", suite), obs.DurationBuckets))
+	idx, err := fn()
+	sp.End()
+	return idx, err
 }
 
 // stageSignatureMAC checks every sample's HMAC tag under the flight's

@@ -71,7 +71,8 @@ func (s *Server) StreamSampleCtx(ctx context.Context, req protocol.StreamSampleR
 	sub := &pipeline.Submission{
 		DroneID: st.DroneID,
 		PoA:     poa.PoA{Samples: []poa.SignedSample{req.Sample}},
-		TEEPub:  rec.TEEPub,
+		Keys:    s.ring(rec),
+		Suite:   rec.Suite,
 	}
 	seq := s.seqStreamSig
 	if n := len(st.Samples); n > 0 {

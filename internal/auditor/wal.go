@@ -37,17 +37,32 @@ const (
 	recNonceSeen        byte = 5
 	recDigestClaimed    byte = 6
 	recPurge            byte = 7
+	recKeyRotated       byte = 8
 )
 
 // DefaultCompactEvery is the number of WAL records between automatic
 // snapshot compactions when Config.CompactEvery is zero.
 const DefaultCompactEvery = 4096
 
-// walDrone is the payload of recDroneRegistered.
+// walDrone is the payload of recDroneRegistered. Suite is empty in
+// pre-rotation records; replay then infers it from the key envelope.
 type walDrone struct {
 	ID          string `json:"id"`
 	OperatorPub string `json:"operatorPub"`
 	TEEPub      string `json:"teePub"`
+	Suite       string `json:"suite,omitempty"`
+}
+
+// walRotation is the payload of recKeyRotated: the accepted handover's
+// effect (new active key, retirement instant of the old one). The
+// handover itself was already verified at commit time, so replay applies
+// the outcome without re-checking signatures.
+type walRotation struct {
+	DroneID   string    `json:"droneId"`
+	OldEpoch  int       `json:"oldEpoch"`
+	NewEpoch  int       `json:"newEpoch"`
+	NewPub    string    `json:"newPub"`
+	RetiredAt time.Time `json:"retiredAt"`
 }
 
 // walPurge is the payload of recPurge: the sweep is replayed with the
@@ -75,6 +90,8 @@ func walKindName(kind byte) string {
 		return "digest-claimed"
 	case recPurge:
 		return "purge"
+	case recKeyRotated:
+		return "key-rotated"
 	default:
 		return fmt.Sprintf("kind-%d", kind)
 	}
@@ -160,11 +177,20 @@ func (s *Server) applyRecord(rec storage.Record) error {
 		if err != nil {
 			return fmt.Errorf("drone record %s: operator key: %w", d.ID, err)
 		}
-		teePub, err := sigcrypto.UnmarshalPublicKey(d.TEEPub)
+		teeKey, err := sigcrypto.ParsePublicKey(d.TEEPub)
 		if err != nil {
 			return fmt.Errorf("drone record %s: tee key: %w", d.ID, err)
 		}
-		s.drones.restore(DroneRecord{ID: d.ID, OperatorPub: opPub, TEEPub: teePub}, seqFromID(d.ID, "drone-%04d"))
+		suite := d.Suite
+		if suite == "" {
+			suite = teeKey.SuiteID()
+		}
+		s.drones.restore(DroneRecord{
+			ID:          d.ID,
+			OperatorPub: opPub,
+			Suite:       suite,
+			TEEKeys:     []TEEKey{{Pub: teeKey}},
+		}, seqFromID(d.ID, "drone-%04d"))
 	case recZoneRegistered:
 		var z zone.NFZ
 		if err := json.Unmarshal(rec.Data, &z); err != nil {
@@ -211,6 +237,18 @@ func (s *Server) applyRecord(rec storage.Record) error {
 		s.retained.purge(p.Cutoff)
 		s.seen.sweep(p.Cutoff)
 		s.nonces.sweep(p.Now)
+	case recKeyRotated:
+		var r walRotation
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fmt.Errorf("rotation record: %w", err)
+		}
+		newPub, err := sigcrypto.ParsePublicKey(r.NewPub)
+		if err != nil {
+			return fmt.Errorf("rotation record %s: new key: %w", r.DroneID, err)
+		}
+		if err := s.drones.applyRotation(r.DroneID, TEEKey{Pub: newPub, Epoch: r.NewEpoch}, r.RetiredAt); err != nil {
+			return fmt.Errorf("rotation record: %w", err)
+		}
 	default:
 		return fmt.Errorf("unknown WAL record kind %d", rec.Kind)
 	}

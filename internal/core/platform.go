@@ -29,8 +29,12 @@ type PlatformConfig struct {
 	// GPSRateHz is the receiver update rate (1-5 Hz; default 5).
 	GPSRateHz float64
 	// KeyBits sizes the TEE sign key (default 1024, the paper's
-	// 5 Hz-capable configuration).
+	// 5 Hz-capable configuration). Ignored when Suite is set.
 	KeyBits int
+	// Suite selects the signature suite of the TEE sign key ("rsa1024",
+	// "rsa2048", "ed25519", ...). Empty selects the legacy RSA-by-bits
+	// provisioning via KeyBits.
+	Suite string
 	// Seed makes the build deterministic when non-zero; zero uses
 	// crypto-grade randomness.
 	Seed int64
@@ -70,7 +74,12 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: receiver: %w", err)
 	}
-	vault, err := tee.ManufactureVault(random, cfg.KeyBits)
+	var vault *tee.KeyVault
+	if cfg.Suite != "" {
+		vault, err = tee.ManufactureSuiteVault(random, cfg.Suite)
+	} else {
+		vault, err = tee.ManufactureVault(random, cfg.KeyBits)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: vault: %w", err)
 	}

@@ -46,6 +46,10 @@ type Drone struct {
 	tracer     *otrace.Tracer
 
 	id string // issued by the Auditor at registration
+	// lastRotate is the flight-clock instant of the last key rotation
+	// (registration counts as epoch 0's start); RunMission compares it
+	// against MissionConfig.RotateEvery.
+	lastRotate time.Time
 }
 
 // NewDrone assembles a drone client. The device must already have the GPS
@@ -115,11 +119,45 @@ func (d *Drone) Register() error {
 	resp, err := d.api.RegisterDrone(protocol.RegisterDroneRequest{
 		OperatorPub: opPub,
 		TEEPub:      string(teePubBytes),
+		Suite:       d.dev.Vault().SuiteID(),
 	})
 	if err != nil {
 		return fmt.Errorf("register drone: %w", err)
 	}
 	d.id = resp.DroneID
+	d.lastRotate = d.clock.Now()
+	return nil
+}
+
+// RotateKey rotates the TEE sign key: the TA generates a successor under
+// the same suite, signs the handover record with the outgoing key, and
+// the drone announces it to the Auditor, which then accepts the new epoch
+// and starts the old key's acceptance window. The Auditor transport must
+// implement protocol.RotationAPI.
+func (d *Drone) RotateKey() error {
+	if d.id == "" {
+		return ErrNotRegistered
+	}
+	rot, ok := d.api.(protocol.RotationAPI)
+	if !ok {
+		return fmt.Errorf("operator: auditor transport %T does not support key rotation", d.api)
+	}
+	raw, err := d.dev.Invoke(tee.GPSSamplerUUID, tee.CmdRotateKey, []byte(d.id))
+	if err != nil {
+		return fmt.Errorf("tee key rotation: %w", err)
+	}
+	var h sigcrypto.Handover
+	if err := json.Unmarshal(raw, &h); err != nil {
+		return fmt.Errorf("decode handover: %w", err)
+	}
+	resp, err := rot.RotateKey(protocol.RotateKeyRequest{DroneID: d.id, Handover: h})
+	if err != nil {
+		return fmt.Errorf("announce key rotation: %w", err)
+	}
+	if resp.Epoch != h.NewEpoch {
+		return fmt.Errorf("operator: auditor acknowledged epoch %d, expected %d", resp.Epoch, h.NewEpoch)
+	}
+	d.lastRotate = d.clock.Now()
 	return nil
 }
 

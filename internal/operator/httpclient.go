@@ -289,6 +289,15 @@ func (c *HTTPAuditor) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitP
 	return resp, err
 }
 
+var _ protocol.RotationAPI = (*HTTPAuditor)(nil)
+
+// RotateKey implements protocol.RotationAPI.
+func (c *HTTPAuditor) RotateKey(req protocol.RotateKeyRequest) (protocol.RotateKeyResponse, error) {
+	var resp protocol.RotateKeyResponse
+	err := c.postJSON(protocol.PathRotateKey, req, &resp)
+	return resp, err
+}
+
 var _ protocol.ModesAPI = (*HTTPAuditor)(nil)
 
 // SubmitBatchPoA implements protocol.ModesAPI.

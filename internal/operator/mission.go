@@ -46,6 +46,15 @@ type MissionConfig struct {
 	Store *Store
 	// FlightID names the persisted record (defaults to the start time).
 	FlightID string
+	// RotateEvery, when positive, rotates the TEE sign key after a flight
+	// once that much flight-clock time has passed since the last rotation
+	// (or registration). The rotation runs between landing and
+	// submission, so the just-flown samples submit under the now-retired
+	// epoch — inside the Auditor's acceptance window. Zero disables
+	// rotation. Applies to the per-sample and batch envelopes (the MAC
+	// envelope does not use the TEE sign key; streaming submits
+	// in-flight).
+	RotateEvery time.Duration
 }
 
 // MissionReport summarises a completed mission.
@@ -135,6 +144,9 @@ func (d *Drone) RunMission(rx *gps.Receiver, route *trace.Route, cfg MissionConf
 			rep.Run, err = d.FlyAdaptive(rx, circles, route.End())
 			return err
 		})
+		if err == nil {
+			err = d.maybeRotate(cfg.RotateEvery)
+		}
 		if err != nil {
 			root.SetError(err)
 			return nil, err
@@ -148,6 +160,9 @@ func (d *Drone) RunMission(rx *gps.Receiver, route *trace.Route, cfg MissionConf
 			rep.Run, err = d.FlyFixedRate(rx, cfg.FixedRateHz, route.End())
 			return err
 		})
+		if err == nil {
+			err = d.maybeRotate(cfg.RotateEvery)
+		}
 		if err != nil {
 			root.SetError(err)
 			return nil, err
@@ -160,6 +175,9 @@ func (d *Drone) RunMission(rx *gps.Receiver, route *trace.Route, cfg MissionConf
 			batch, rep.Run, ferr = d.FlyAdaptiveBatch(rx, circles, route.End())
 			return ferr
 		})
+		if err == nil {
+			err = d.maybeRotate(cfg.RotateEvery)
+		}
 		if err != nil {
 			root.SetError(err)
 			return nil, err
@@ -200,6 +218,19 @@ func (d *Drone) RunMission(rx *gps.Receiver, route *trace.Route, cfg MissionConf
 	}
 	root.SetAttr("verdict", string(rep.Verdict.Verdict))
 	return rep, nil
+}
+
+// maybeRotate rotates the TEE key when at least `every` of flight-clock
+// time has passed since the last rotation (or registration). Zero or
+// negative disables rotation.
+func (d *Drone) maybeRotate(every time.Duration) error {
+	if every <= 0 {
+		return nil
+	}
+	if d.clock.Now().Sub(d.lastRotate) < every {
+		return nil
+	}
+	return d.RotateKey()
 }
 
 // submitWithStore encrypts, optionally persists, then submits a PoA run.

@@ -13,6 +13,10 @@ import (
 type BatchPoA struct {
 	Samples []Sample `json:"samples"`
 	Sig     []byte   `json:"sig"` // one signature over MarshalBatch(Samples)
+	// KeyEpoch routes verification to the TEE key rotation epoch the
+	// seal was signed under (zero = manufacture-time key). Like
+	// SignedSample.KeyEpoch it is a hint, not an authenticated claim.
+	KeyEpoch int `json:"keyEpoch,omitempty"`
 }
 
 // batchSeparator joins canonical sample encodings; '\n' cannot appear in

@@ -115,6 +115,12 @@ func (s Sample) Canon() Sample {
 type SignedSample struct {
 	Sample Sample `json:"sample"`
 	Sig    []byte `json:"sig"`
+	// KeyEpoch names the TEE key rotation epoch the sample was signed
+	// under, so the Auditor picks the matching verification key. It is a
+	// routing hint, not an authenticated claim: a wrong epoch simply
+	// fails verification under that epoch's key. Zero (omitted on the
+	// wire) is the manufacture-time key.
+	KeyEpoch int `json:"keyEpoch,omitempty"`
 }
 
 // PoA is the Proof-of-Alibi: the series of signed GPS samples the drone

@@ -36,6 +36,12 @@ const NonceBytes = 16
 type RegisterDroneRequest struct {
 	OperatorPub string `json:"operatorPub"` // marshalled D+
 	TEEPub      string `json:"teePub"`      // marshalled T+
+	// Suite names the signature suite T+ belongs to ("rsa2048",
+	// "ed25519", ...). Empty means "whatever the key envelope says" —
+	// legacy bare-base64 registrations negotiate an RSA suite inferred
+	// from the modulus size. When set, it must match the key envelope;
+	// the Auditor rejects a mismatch.
+	Suite string `json:"suite,omitempty"`
 }
 
 // RegisterDroneResponse carries the issued drone identifier.
@@ -178,15 +184,7 @@ func VerifyPoASignaturesPool(p poa.PoA, teePub *rsa.PublicKey, pool *parallel.Po
 // still wins (parallel.FirstErrorCtx semantics), so verdicts never
 // regress under cancellation.
 func VerifyPoASignaturesPoolCtx(ctx context.Context, p poa.PoA, teePub *rsa.PublicKey, pool *parallel.Pool) (int, error) {
-	idx, err := pool.FirstErrorCtx(ctx, len(p.Samples), func(i int) error {
-		ss := p.Samples[i]
-		if err := sigcrypto.Verify(teePub, ss.Sample.Marshal(), ss.Sig); err != nil {
-			return fmt.Errorf("sample %d: %w", i, ErrBadSignature)
-		}
-		return nil
-	})
-	if err != nil {
-		return idx, err
-	}
-	return -1, nil
+	// Epochs are ignored, matching the pre-rotation behaviour of these
+	// helpers: every sample verifies against the one supplied key.
+	return VerifyPoASamplesRingCtx(ctx, p, anyEpochKey{pub: sigcrypto.WrapRSA(teePub)}, pool)
 }

@@ -1,0 +1,105 @@
+package protocol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/poa"
+	"repro/internal/sigcrypto"
+)
+
+var (
+	// ErrUnknownEpoch is returned when a PoA names a key rotation epoch
+	// the Auditor has no record of for that drone.
+	ErrUnknownEpoch = errors.New("protocol: unknown key epoch")
+	// ErrEpochExpired is returned when a PoA is signed under a retired
+	// key whose acceptance window has closed.
+	ErrEpochExpired = errors.New("protocol: key epoch outside the rotation acceptance window")
+)
+
+// PathRotateKey is the key-rotation endpoint.
+const PathRotateKey = "/v1/rotate-key"
+
+// RotateKeyRequest carries a TEE key handover to the Auditor: the new
+// verification key at epoch NewEpoch, vouched for by the outgoing key's
+// signature inside the handover record.
+type RotateKeyRequest struct {
+	DroneID  string             `json:"droneId"`
+	Handover sigcrypto.Handover `json:"handover"`
+}
+
+// RotateKeyResponse acknowledges the now-active key epoch.
+type RotateKeyResponse struct {
+	Epoch int `json:"epoch"`
+}
+
+// RotationAPI is the optional key-rotation surface of an Auditor
+// transport. It is separate from API so transports and test doubles that
+// predate rotation keep compiling; callers type-assert for it.
+type RotationAPI interface {
+	RotateKey(req RotateKeyRequest) (RotateKeyResponse, error)
+}
+
+// KeyRing resolves a drone's TEE verification key for a key rotation
+// epoch. Implementations decide the acceptance policy for retired epochs
+// (the Auditor keys it off its injectable clock).
+type KeyRing interface {
+	KeyFor(epoch int) (sigcrypto.PublicKey, error)
+}
+
+// StaticKey is a single-key ring for drones that have never rotated: it
+// serves epoch zero and reports ErrUnknownEpoch for everything else.
+type StaticKey struct {
+	Pub sigcrypto.PublicKey
+}
+
+// KeyFor implements KeyRing.
+func (k StaticKey) KeyFor(epoch int) (sigcrypto.PublicKey, error) {
+	if epoch != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownEpoch, epoch)
+	}
+	return k.Pub, nil
+}
+
+// anyEpochKey ignores the epoch entirely — the pre-rotation behaviour the
+// legacy *rsa.PublicKey verify helpers preserve.
+type anyEpochKey struct {
+	pub sigcrypto.PublicKey
+}
+
+func (k anyEpochKey) KeyFor(int) (sigcrypto.PublicKey, error) { return k.pub, nil }
+
+// VerifyPoASamplesRingCtx checks every per-sample TEE signature in a PoA,
+// resolving the verification key per sample through the ring so traces
+// that span a key rotation verify correctly. It returns the index of the
+// first bad sample, or -1 with a nil error when all verify; pool and ctx
+// behave as in VerifyPoASignaturesPoolCtx.
+func VerifyPoASamplesRingCtx(ctx context.Context, p poa.PoA, ring KeyRing, pool *parallel.Pool) (int, error) {
+	idx, err := pool.FirstErrorCtx(ctx, len(p.Samples), func(i int) error {
+		ss := p.Samples[i]
+		key, err := ring.KeyFor(ss.KeyEpoch)
+		if err != nil {
+			return fmt.Errorf("sample %d: %w", i, err)
+		}
+		if err := key.Verify(ss.Sample.Marshal(), ss.Sig); err != nil {
+			return fmt.Errorf("sample %d: %w", i, ErrBadSignature)
+		}
+		return nil
+	})
+	if err != nil {
+		return idx, err
+	}
+	return -1, nil
+}
+
+// IsVerdictError reports whether a signature-verification error is a
+// typed authenticity failure — one that should become a violation verdict
+// — rather than an internal fault that must withhold the verdict.
+func IsVerdictError(err error) bool {
+	return errors.Is(err, ErrBadSignature) ||
+		errors.Is(err, sigcrypto.ErrBadSignature) ||
+		errors.Is(err, ErrUnknownEpoch) ||
+		errors.Is(err, ErrEpochExpired)
+}

@@ -1,0 +1,97 @@
+package sigcrypto
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSuiteEnvelope: arbitrary strings never panic, and every
+// accepted envelope obeys the split invariants — a bare body is the
+// legacy form, a prefixed one reconstructs and re-parses to the same
+// pair.
+func FuzzParseSuiteEnvelope(f *testing.F) {
+	f.Add("ed25519:AAAA")
+	f.Add("rsa2048:MIIBCgKCAQEA")
+	f.Add("MIGJAoGBAK")  // legacy bare base64
+	f.Add("ed25519:")    // empty body
+	f.Add(":body")       // empty suite
+	f.Add("RSA2048:abc") // uppercase suite id
+	f.Add("a:b:c")       // colon in body
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		suiteID, body, err := ParseSuiteEnvelope(s)
+		if err != nil {
+			return
+		}
+		if suiteID == "" {
+			if body != s {
+				t.Fatalf("legacy split of %q lost bytes: body %q", s, body)
+			}
+			return
+		}
+		if suiteID+":"+body != s {
+			t.Fatalf("split of %q does not reassemble: %q + %q", s, suiteID, body)
+		}
+		for _, c := range suiteID {
+			if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+				t.Fatalf("accepted suite id %q with invalid rune %q", suiteID, c)
+			}
+		}
+		s2, b2, err := ParseSuiteEnvelope(suiteID + ":" + body)
+		if err != nil || s2 != suiteID || b2 != body {
+			t.Fatalf("re-parse of %q unstable: %q/%q, %v", s, s2, b2, err)
+		}
+	})
+}
+
+// FuzzParsePublicKey: arbitrary strings never panic, and every key that
+// parses round-trips through Marshal to an equal key in the same suite.
+func FuzzParsePublicKey(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for _, id := range Suites() {
+		suite, err := SuiteByID(id)
+		if err != nil {
+			f.Fatal(err)
+		}
+		key, err := suite.GenerateKey(rng)
+		if err != nil {
+			f.Fatal(err)
+		}
+		env, err := key.Public().Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(env)
+		// The RSA suites marshal in the legacy bare form; also seed the
+		// explicit prefixed form so the fuzzer explores both branches.
+		if !strings.Contains(env, ":") {
+			f.Add(id + ":" + env)
+		}
+	}
+	f.Add("ed25519:AAAA")       // wrong length
+	f.Add("ed25519:!not-b64!")  // bad base64
+	f.Add("nosuchsuite:AAAA")   // unregistered
+	f.Add("rsa2048:MIGJAoGBAK") // truncated DER
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		key, err := ParsePublicKey(s)
+		if err != nil {
+			return
+		}
+		env, err := key.Marshal()
+		if err != nil {
+			t.Fatalf("parsed key from %q does not marshal: %v", s, err)
+		}
+		again, err := ParsePublicKey(env)
+		if err != nil {
+			t.Fatalf("marshalled form %q of %q does not re-parse: %v", env, s, err)
+		}
+		if !again.Equal(key) {
+			t.Fatalf("round trip of %q changed the key", s)
+		}
+		if again.SuiteID() != key.SuiteID() {
+			t.Fatalf("round trip of %q changed suite: %s vs %s", s, again.SuiteID(), key.SuiteID())
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package sigcrypto
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBadHandover is returned when a key-rotation handover record fails
+// validation — most importantly when it is not signed by the outgoing key.
+var ErrBadHandover = errors.New("sigcrypto: invalid key-rotation handover")
+
+// Handover is the audit-logged record of one TEE key rotation: the
+// outgoing key (epoch OldEpoch) vouches for its successor by signing the
+// new public key and epoch. The Auditor accepts a rotation only when this
+// signature verifies under the key it currently holds for the drone, so a
+// compromised normal world cannot swap in an attacker key.
+type Handover struct {
+	DroneID  string `json:"droneId"`
+	OldEpoch int    `json:"oldEpoch"`
+	NewEpoch int    `json:"newEpoch"`
+	// NewPub is the successor verification key in its wire envelope.
+	NewPub string    `json:"newPub"`
+	At     time.Time `json:"at"`
+	// Sig is the outgoing key's signature over SigningBytes.
+	Sig []byte `json:"sig"`
+}
+
+// handoverPrefix domain-separates handover signatures from sample and
+// zone-query signatures.
+const handoverPrefix = "ALIDRONE-HO1"
+
+// SigningBytes is the canonical byte string the outgoing key signs. The
+// timestamp is millisecond-quantised like poa.Sample times.
+func (h Handover) SigningBytes() []byte {
+	return fmt.Appendf(nil, "%s|%s|%d|%d|%s|%d",
+		handoverPrefix, h.DroneID, h.OldEpoch, h.NewEpoch, h.NewPub, h.At.UnixMilli())
+}
+
+// SignHandover fills h.Sig with the outgoing key's signature.
+func SignHandover(h *Handover, outgoing PrivateKey) error {
+	sig, err := outgoing.Sign(h.SigningBytes())
+	if err != nil {
+		return fmt.Errorf("sign handover: %w", err)
+	}
+	h.Sig = sig
+	return nil
+}
+
+// VerifyHandover checks the structural invariants of a handover record and
+// its signature under the outgoing verification key. It returns an error
+// wrapping ErrBadHandover on any mismatch.
+func VerifyHandover(h Handover, outgoing PublicKey) error {
+	if h.DroneID == "" || h.NewPub == "" {
+		return fmt.Errorf("%w: missing fields", ErrBadHandover)
+	}
+	if h.NewEpoch != h.OldEpoch+1 {
+		return fmt.Errorf("%w: epoch %d does not succeed %d", ErrBadHandover, h.NewEpoch, h.OldEpoch)
+	}
+	if err := outgoing.Verify(h.SigningBytes(), h.Sig); err != nil {
+		return fmt.Errorf("%w: not signed by the outgoing key", ErrBadHandover)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package sigcrypto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrUnknownSuite is returned when a key envelope or negotiation request
+// names a signature suite this build does not implement.
+var ErrUnknownSuite = errors.New("sigcrypto: unknown signature suite")
+
+// Suite identifiers. RSA suites keep the paper's
+// TEE_ALG_RSASSA_PKCS1_V1_5_SHA1 algorithm at the three Table II modulus
+// sizes; SuiteEd25519 is the modern-curve alternative (ROADMAP item 3).
+const (
+	SuiteRSA1024 = "rsa1024"
+	SuiteRSA2048 = "rsa2048"
+	SuiteRSA3072 = "rsa3072"
+	SuiteEd25519 = "ed25519"
+)
+
+// PublicKey is a verification key under some registered suite.
+type PublicKey interface {
+	// SuiteID names the suite this key belongs to.
+	SuiteID() string
+	// Verify checks sig over msg, returning ErrBadSignature on mismatch.
+	Verify(msg, sig []byte) error
+	// Marshal renders the key in its wire envelope. RSA keys emit the
+	// legacy bare-base64 PKIX form (so old snapshots, WAL records and
+	// peers keep working); other suites emit "<suite>:<base64>".
+	Marshal() (string, error)
+	// Equal reports whether other is the same key.
+	Equal(other PublicKey) bool
+}
+
+// PrivateKey is a signing key under some registered suite.
+type PrivateKey interface {
+	SuiteID() string
+	Sign(msg []byte) ([]byte, error)
+	Public() PublicKey
+}
+
+// Suite bundles one signature algorithm behind a stable identifier so the
+// drone and Auditor can negotiate it at registration and carry it in the
+// PoA envelope.
+type Suite interface {
+	ID() string
+	// GenerateKey creates a fresh keypair (crypto/rand.Reader when
+	// random is nil).
+	GenerateKey(random io.Reader) (PrivateKey, error)
+	// ParsePublicKey decodes the suite-specific body of a key envelope
+	// (the part after "<suite>:").
+	ParsePublicKey(body string) (PublicKey, error)
+	// BatchVerify checks sigs[i] over msgs[i] for all i under one key,
+	// returning (-1, nil) when every signature is valid and otherwise
+	// the lowest failing index with its error. Implementations may
+	// amortise work across the batch but must agree exactly with a
+	// loop of Verify calls.
+	BatchVerify(pub PublicKey, msgs, sigs [][]byte) (int, error)
+}
+
+var (
+	suitesMu sync.RWMutex
+	suites   = make(map[string]Suite)
+)
+
+// RegisterSuite adds a suite to the registry. It panics on a duplicate ID:
+// suites are registered from init functions and a collision is a
+// programming error.
+func RegisterSuite(s Suite) {
+	suitesMu.Lock()
+	defer suitesMu.Unlock()
+	if _, ok := suites[s.ID()]; ok {
+		panic(fmt.Sprintf("sigcrypto: suite %q registered twice", s.ID()))
+	}
+	suites[s.ID()] = s
+}
+
+// SuiteByID looks up a registered suite, returning ErrUnknownSuite when the
+// identifier is not implemented.
+func SuiteByID(id string) (Suite, error) {
+	suitesMu.RLock()
+	defer suitesMu.RUnlock()
+	s, ok := suites[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSuite, id)
+	}
+	return s, nil
+}
+
+// Suites returns the registered suite identifiers, sorted.
+func Suites() []string {
+	suitesMu.RLock()
+	defer suitesMu.RUnlock()
+	ids := make([]string, 0, len(suites))
+	for id := range suites {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ParseSuiteEnvelope splits a key envelope "<suite>:<body>" into its suite
+// identifier and body. A string with no colon is the legacy bare-base64
+// RSA form and yields an empty suite ID; the standard base64 alphabet has
+// no ':' so the split is unambiguous. The suite ID is validated for shape
+// (lowercase alphanumeric) but not for registration — use ParsePublicKey
+// to resolve it.
+func ParseSuiteEnvelope(s string) (suiteID, body string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("%w: empty key", ErrBadKeyEncoding)
+	}
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return "", s, nil
+	}
+	suiteID, body = s[:i], s[i+1:]
+	if suiteID == "" || body == "" {
+		return "", "", fmt.Errorf("%w: malformed suite envelope", ErrBadKeyEncoding)
+	}
+	for _, c := range suiteID {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return "", "", fmt.Errorf("%w: bad suite id %q", ErrBadKeyEncoding, suiteID)
+		}
+	}
+	return suiteID, body, nil
+}
+
+// ParsePublicKey decodes a key envelope into a typed public key,
+// dispatching on the suite prefix. Legacy bare-base64 keys parse as RSA
+// with the suite inferred from the modulus size.
+func ParsePublicKey(s string) (PublicKey, error) {
+	suiteID, body, err := ParseSuiteEnvelope(s)
+	if err != nil {
+		return nil, err
+	}
+	if suiteID == "" {
+		pub, err := UnmarshalPublicKey(body)
+		if err != nil {
+			return nil, err
+		}
+		return WrapRSA(pub), nil
+	}
+	suite, err := SuiteByID(suiteID)
+	if err != nil {
+		return nil, err
+	}
+	return suite.ParsePublicKey(body)
+}
+
+// loopBatchVerify is the reference BatchVerify: a straight loop of Verify
+// calls. Suites without an algebraic batch equation use it directly so
+// batch and per-signature verification agree by construction.
+func loopBatchVerify(pub PublicKey, msgs, sigs [][]byte) (int, error) {
+	if len(msgs) != len(sigs) {
+		return -1, fmt.Errorf("sigcrypto: batch verify: %d messages but %d signatures", len(msgs), len(sigs))
+	}
+	for i := range msgs {
+		if err := pub.Verify(msgs[i], sigs[i]); err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}

@@ -1,0 +1,194 @@
+package sigcrypto
+
+// Suite-registry tests: BatchVerify must agree exactly with a loop of
+// Verify for every registered suite, and the envelope codec must keep
+// legacy bare-RSA keys parseable.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// suiteBatch builds n (msg, sig) pairs under one fresh key of the suite.
+func suiteBatch(t *testing.T, suiteID string, n int) (PublicKey, [][]byte, [][]byte) {
+	t.Helper()
+	suite, err := SuiteByID(suiteID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := suite.GenerateKey(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([][]byte, n)
+	sigs := make([][]byte, n)
+	for i := range msgs {
+		msgs[i] = fmt.Appendf(nil, "sample %d at urbana", i)
+		sigs[i], err = key.Sign(msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return key.Public(), msgs, sigs
+}
+
+// loopVerify is the reference implementation BatchVerify must match.
+func loopVerify(pub PublicKey, msgs, sigs [][]byte) (int, error) {
+	for i := range msgs {
+		if err := pub.Verify(msgs[i], sigs[i]); err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
+func TestBatchVerifyAgreesWithLoop(t *testing.T) {
+	// rsa3072 behaves like the other RSA suites and is slow to keygen;
+	// rsa1024/rsa2048 cover the shared implementation.
+	for _, suiteID := range []string{SuiteRSA1024, SuiteRSA2048, SuiteEd25519} {
+		suite, err := SuiteByID(suiteID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(suiteID, func(t *testing.T) {
+			pub, msgs, sigs := suiteBatch(t, suiteID, 8)
+
+			mutate := func(name string, f func(msgs, sigs [][]byte)) {
+				t.Run(name, func(t *testing.T) {
+					m := make([][]byte, len(msgs))
+					s := make([][]byte, len(sigs))
+					for i := range msgs {
+						m[i] = append([]byte(nil), msgs[i]...)
+						s[i] = append([]byte(nil), sigs[i]...)
+					}
+					f(m, s)
+					wantIdx, wantErr := loopVerify(pub, m, s)
+					gotIdx, gotErr := suite.BatchVerify(pub, m, s)
+					if gotIdx != wantIdx || (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("BatchVerify = (%d, %v), loop = (%d, %v)", gotIdx, gotErr, wantIdx, wantErr)
+					}
+					if gotErr != nil && !errors.Is(gotErr, ErrBadSignature) {
+						t.Fatalf("BatchVerify error %v is not typed ErrBadSignature", gotErr)
+					}
+				})
+			}
+
+			mutate("all valid", func(_, _ [][]byte) {})
+			mutate("one tampered sig", func(_, s [][]byte) { s[3][0] ^= 0x01 })
+			mutate("one tampered msg", func(m, _ [][]byte) { m[5][0] ^= 0x01 })
+			mutate("two tampered reports lowest", func(_, s [][]byte) {
+				s[2][0] ^= 0x01
+				s[6][0] ^= 0x01
+			})
+			mutate("first tampered", func(_, s [][]byte) { s[0][0] ^= 0x01 })
+			mutate("last tampered", func(m, _ [][]byte) { m[7][0] ^= 0x01 })
+
+			t.Run("empty", func(t *testing.T) {
+				if idx, err := suite.BatchVerify(pub, nil, nil); idx != -1 || err != nil {
+					t.Fatalf("empty batch = (%d, %v), want (-1, nil)", idx, err)
+				}
+			})
+			t.Run("singleton", func(t *testing.T) {
+				if idx, err := suite.BatchVerify(pub, msgs[:1], sigs[:1]); idx != -1 || err != nil {
+					t.Fatalf("singleton = (%d, %v), want (-1, nil)", idx, err)
+				}
+				if idx, _ := suite.BatchVerify(pub, msgs[:1], sigs[1:2]); idx != 0 {
+					t.Fatalf("bad singleton idx = %d, want 0", idx)
+				}
+			})
+			t.Run("length mismatch", func(t *testing.T) {
+				if _, err := suite.BatchVerify(pub, msgs, sigs[:3]); err == nil {
+					t.Fatal("mismatched batch lengths accepted")
+				}
+			})
+		})
+	}
+}
+
+func TestSuitesRegistry(t *testing.T) {
+	ids := Suites()
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("Suites() not sorted: %v", ids)
+	}
+	for _, want := range []string{SuiteRSA1024, SuiteRSA2048, SuiteRSA3072, SuiteEd25519} {
+		suite, err := SuiteByID(want)
+		if err != nil {
+			t.Fatalf("SuiteByID(%q): %v", want, err)
+		}
+		if suite.ID() != want {
+			t.Errorf("suite %q reports ID %q", want, suite.ID())
+		}
+	}
+	if _, err := SuiteByID("dsa"); !errors.Is(err, ErrUnknownSuite) {
+		t.Errorf("SuiteByID(dsa) = %v, want ErrUnknownSuite", err)
+	}
+}
+
+func TestParsePublicKeyLegacyRSA(t *testing.T) {
+	key, err := GenerateKeyPair(rand.New(rand.NewSource(4)), KeySize1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := MarshalPublicKey(&key.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := ParsePublicKey(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.SuiteID() != SuiteRSA1024 {
+		t.Fatalf("legacy key suite = %q, want rsa1024", pub.SuiteID())
+	}
+	// RSA keys keep marshalling in the bare legacy form so existing
+	// snapshots and WALs stay readable.
+	env, err := pub.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env != bare {
+		t.Fatalf("RSA marshal changed encoding:\n  %q\n  %q", env, bare)
+	}
+}
+
+func TestHandoverRoundTrip(t *testing.T) {
+	for _, suiteID := range []string{SuiteRSA1024, SuiteEd25519} {
+		t.Run(suiteID, func(t *testing.T) {
+			suite, err := SuiteByID(suiteID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(6))
+			old, err := suite.GenerateKey(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			next, err := suite.GenerateKey(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			newPub, err := next.Public().Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := Handover{DroneID: "drone-0001", OldEpoch: 0, NewEpoch: 1, NewPub: newPub}
+			if err := SignHandover(&h, old); err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyHandover(h, old.Public()); err != nil {
+				t.Fatalf("valid handover rejected: %v", err)
+			}
+			if err := VerifyHandover(h, next.Public()); !errors.Is(err, ErrBadHandover) {
+				t.Fatalf("handover verified under the wrong key: %v", err)
+			}
+			bad := h
+			bad.NewEpoch = 3
+			if err := VerifyHandover(bad, old.Public()); !errors.Is(err, ErrBadHandover) {
+				t.Fatalf("non-successor epoch accepted: %v", err)
+			}
+		})
+	}
+}

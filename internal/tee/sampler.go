@@ -3,6 +3,7 @@ package tee
 import (
 	"crypto/rand"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -42,6 +43,11 @@ const (
 	// CmdGetGPSMAC reads the latest fix and returns sample || HMAC tag
 	// computed with the established session key.
 	CmdGetGPSMAC
+	// CmdRotateKey generates a successor TEE keypair inside the vault and
+	// returns the JSON handover record signed by the outgoing key. The
+	// payload is the drone's registered identifier, which the handover
+	// binds the new key to.
+	CmdRotateKey
 )
 
 var (
@@ -107,7 +113,7 @@ func (ta *GPSSamplerTA) Invoke(cmd uint32, req []byte) ([]byte, error) {
 	case CmdGetGPSAuth3D:
 		return ta.getGPSAuth(true)
 	case CmdGetPublicKey:
-		pub, err := sigcrypto.MarshalPublicKey(ta.dev.Vault().PublicKey())
+		pub, err := ta.dev.Vault().SuiteKey().Marshal()
 		if err != nil {
 			return nil, err
 		}
@@ -120,6 +126,8 @@ func (ta *GPSSamplerTA) Invoke(cmd uint32, req []byte) ([]byte, error) {
 		return ta.establishSessionKey(req)
 	case CmdGetGPSMAC:
 		return ta.getGPSMAC()
+	case CmdRotateKey:
+		return ta.rotateKey(req)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadCommand, cmd)
 	}
@@ -151,22 +159,37 @@ func (ta *GPSSamplerTA) getGPSAuth(with3D bool) ([]byte, error) {
 		return nil, err
 	}
 	msg := s.Marshal()
-	sig, err := ta.timedSign("sign", msg)
+	sig, epoch, err := ta.timedSign("sign", msg)
 	if err != nil {
 		return nil, err
 	}
 	ta.dev.chargeSign(len(msg))
-	return encodeSegments(msg, sig), nil
+	return encodeAuthSegments(msg, sig, epoch), nil
 }
 
 // timedSign signs msg in the vault under the op-labelled sign-latency
-// histogram (a straight vault.sign when metrics are disabled).
-func (ta *GPSSamplerTA) timedSign(op string, msg []byte) ([]byte, error) {
+// histogram (a straight vault.sign when metrics are disabled) and reports
+// the key epoch the signature was produced under.
+func (ta *GPSSamplerTA) timedSign(op string, msg []byte) ([]byte, int, error) {
 	reg := ta.dev.Metrics()
 	sp := reg.StartSpan(reg.Histogram(obs.L(MetricSignSeconds, "op", op), obs.DurationBuckets))
-	sig, err := ta.dev.Vault().sign(msg)
+	sig, epoch, err := ta.dev.Vault().sign(msg)
 	sp.End()
-	return sig, err
+	return sig, epoch, err
+}
+
+// rotateKey rotates the vault keypair and returns the JSON handover record
+// for the normal world to forward to the Auditor.
+func (ta *GPSSamplerTA) rotateKey(req []byte) ([]byte, error) {
+	droneID := string(req)
+	if droneID == "" {
+		return nil, fmt.Errorf("%w: rotate-key needs the drone id", ErrBadPayload)
+	}
+	h, err := ta.dev.Vault().rotate(droneID, ta.dev.Clock().Now())
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(h)
 }
 
 func (ta *GPSSamplerTA) bufferSample() ([]byte, error) {
@@ -183,13 +206,13 @@ func (ta *GPSSamplerTA) sealTrace() ([]byte, error) {
 		return nil, ErrEmptyTraceBuffer
 	}
 	msg := poa.MarshalBatch(ta.buffer)
-	sig, err := ta.timedSign("seal", msg)
+	sig, epoch, err := ta.timedSign("seal", msg)
 	if err != nil {
 		return nil, err
 	}
 	ta.dev.chargeSign(len(msg))
 	ta.buffer = nil
-	return encodeSegments(msg, sig), nil
+	return encodeAuthSegments(msg, sig, epoch), nil
 }
 
 func (ta *GPSSamplerTA) establishSessionKey(req []byte) ([]byte, error) {
@@ -239,6 +262,30 @@ func encodeSegments(segs ...[]byte) []byte {
 	return out
 }
 
+// encodeAuthSegments frames a signed payload, appending the key epoch as a
+// third 4-byte segment when the vault has rotated. Epoch-zero responses
+// keep the original two-segment wire form, so devices that never rotate
+// stay byte-compatible with pre-rotation decoders.
+func encodeAuthSegments(msg, sig []byte, epoch int) []byte {
+	if epoch == 0 {
+		return encodeSegments(msg, sig)
+	}
+	var e [4]byte
+	binary.BigEndian.PutUint32(e[:], uint32(epoch))
+	return encodeSegments(msg, sig, e[:])
+}
+
+// decodeEpochSegment reads the optional third response segment.
+func decodeEpochSegment(segs [][]byte) (int, error) {
+	if len(segs) < 3 {
+		return 0, nil
+	}
+	if len(segs[2]) != 4 {
+		return 0, fmt.Errorf("%w: epoch segment is %d bytes, want 4", ErrBadPayload, len(segs[2]))
+	}
+	return int(binary.BigEndian.Uint32(segs[2])), nil
+}
+
 // DecodeSegments reverses encodeSegments; exported because the normal-world
 // Adapter needs it to unpack TA responses.
 func DecodeSegments(b []byte) ([][]byte, error) {
@@ -265,14 +312,18 @@ func DecodeAuthSample(resp []byte) (poa.SignedSample, error) {
 	if err != nil {
 		return poa.SignedSample{}, err
 	}
-	if len(segs) != 2 {
-		return poa.SignedSample{}, fmt.Errorf("%w: want 2 segments, got %d", ErrBadPayload, len(segs))
+	if len(segs) != 2 && len(segs) != 3 {
+		return poa.SignedSample{}, fmt.Errorf("%w: want 2 or 3 segments, got %d", ErrBadPayload, len(segs))
+	}
+	epoch, err := decodeEpochSegment(segs)
+	if err != nil {
+		return poa.SignedSample{}, err
 	}
 	s, err := poa.UnmarshalSample(segs[0])
 	if err != nil {
 		return poa.SignedSample{}, err
 	}
-	return poa.SignedSample{Sample: s, Sig: segs[1]}, nil
+	return poa.SignedSample{Sample: s, Sig: segs[1], KeyEpoch: epoch}, nil
 }
 
 // DecodeSealedTrace unpacks a CmdSealTrace response into the batch PoA it
@@ -282,12 +333,16 @@ func DecodeSealedTrace(resp []byte) (poa.BatchPoA, error) {
 	if err != nil {
 		return poa.BatchPoA{}, err
 	}
-	if len(segs) != 2 {
-		return poa.BatchPoA{}, fmt.Errorf("%w: want 2 segments, got %d", ErrBadPayload, len(segs))
+	if len(segs) != 2 && len(segs) != 3 {
+		return poa.BatchPoA{}, fmt.Errorf("%w: want 2 or 3 segments, got %d", ErrBadPayload, len(segs))
+	}
+	epoch, err := decodeEpochSegment(segs)
+	if err != nil {
+		return poa.BatchPoA{}, err
 	}
 	samples, err := poa.UnmarshalBatch(segs[0])
 	if err != nil {
 		return poa.BatchPoA{}, err
 	}
-	return poa.BatchPoA{Samples: samples, Sig: segs[1]}, nil
+	return poa.BatchPoA{Samples: samples, Sig: segs[1], KeyEpoch: epoch}, nil
 }

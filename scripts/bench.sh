@@ -25,9 +25,21 @@ echo ">> go test -bench ${BENCH} -benchtime ${BENCHTIME} -benchmem -run '^$' ${P
 RAW="$(go test -bench "${BENCH}" -benchtime "${BENCHTIME}" -benchmem -run '^$' ${PKGS})"
 echo "${RAW}"
 
+# Headline signature-suite ratio: how many times cheaper verifying one
+# batch-sealed Ed25519 submission is than per-sample RSA-2048 (integer
+# factor; empty when the suite benchmarks were filtered out).
+SPEEDUP="$(echo "${RAW}" | awk '
+	$1 ~ /^BenchmarkVerifySamples\/rsa2048/       { rsa = $3 }
+	$1 ~ /^BenchmarkVerifySamples\/ed25519-batch/ { batch = $3 }
+	END { if (rsa && batch && batch > 0) printf "%d", rsa / batch }')"
+
 # Snapshot as JSON: one object per benchmark line, plus run metadata.
 {
-	printf '{\n  "date": "%s",\n  "benchtime": "%s",\n  "results": [\n' "${DATE}" "${BENCHTIME}"
+	printf '{\n  "date": "%s",\n  "benchtime": "%s",\n' "${DATE}" "${BENCHTIME}"
+	if [ -n "${SPEEDUP}" ]; then
+		printf '  "verify_speedup_ed25519_batch_vs_rsa2048": %s,\n' "${SPEEDUP}"
+	fi
+	printf '  "results": [\n'
 	echo "${RAW}" | awk '
 		/^Benchmark/ {
 			line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", $1, $2, $3)

@@ -39,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -60,6 +61,7 @@ import (
 // options collects the CLI configuration run() executes.
 type options struct {
 	listen       string
+	wireAddr     string
 	retention    time.Duration
 	mode         string
 	statePath    string // legacy monolithic state file
@@ -83,6 +85,7 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.listen, "listen", ":8470", "address to serve the auditor API on")
+	flag.StringVar(&o.wireAddr, "wire-addr", "", "address to serve the binary wire transport on, e.g. :8471 (empty = disabled)")
 	flag.DurationVar(&o.retention, "retention", 48*time.Hour, "how long verified PoAs are kept for accusations")
 	flag.StringVar(&o.mode, "mode", "exact", "sufficiency test: exact or conservative")
 	flag.StringVar(&o.stateDir, "state-dir", "", "storage-engine directory: WAL + snapshot persistence (empty = no engine)")
@@ -202,6 +205,25 @@ func run(o options) error {
 		Slow:      time.Duration(o.slowMS) * time.Millisecond,
 	})
 	httpSrv := &http.Server{Addr: o.listen, Handler: handler}
+
+	// The binary wire transport serves the same verification pipeline on
+	// its own listener: persistent connections, batched submissions,
+	// coalesced acks (see DESIGN.md "Wire protocol & transport").
+	var wireSrv *auditor.WireServer
+	if o.wireAddr != "" {
+		lis, err := net.Listen("tcp", o.wireAddr)
+		if err != nil {
+			return fmt.Errorf("wire listener: %w", err)
+		}
+		wireSrv = auditor.NewWireServer(srv, auditor.WireOptions{Logger: logger})
+		go func() {
+			if err := wireSrv.Serve(lis); err != nil {
+				log.Printf("wire listener failed: %v", err)
+			}
+		}()
+		log.Printf("binary wire transport on %s", o.wireAddr)
+	}
+
 	var debugSrv *http.Server
 	if o.debugAddr != "" {
 		debugSrv = &http.Server{Addr: o.debugAddr, Handler: debugMux(collector)}
@@ -218,6 +240,9 @@ func run(o options) error {
 		<-sig
 		close(stop)
 		<-done
+		if wireSrv != nil {
+			_ = wireSrv.Close()
+		}
 		shutdown(srv, store, legacyCheckpoint)
 		if debugSrv != nil {
 			_ = debugSrv.Close()

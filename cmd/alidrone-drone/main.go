@@ -31,6 +31,7 @@ import (
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/operator"
+	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
 	"repro/internal/trace"
 )
@@ -47,6 +48,9 @@ func main() {
 	dumpMetrics := flag.Bool("dump-metrics", false, "print drone-side metrics after the mission")
 	retries := flag.Int("retries", 3, "HTTP retries after the first attempt (429/502/503/504 and transport errors; 0 disables)")
 	retryBackoff := flag.Duration("retry-backoff", 500*time.Millisecond, "initial retry delay, doubling per retry; a 429's Retry-After hint overrides shorter delays")
+	wireAddr := flag.String("wire-addr", "", "auditor binary wire transport address, e.g. localhost:8471; submissions then use the batched binary channel instead of HTTP (empty = HTTP only)")
+	wireBatch := flag.Int("wire-batch", 16, "submissions buffered before a wire flush (with -wire-addr)")
+	wireFlushMS := flag.Int("wire-flush-ms", 2, "milliseconds before a partial wire batch is flushed anyway (with -wire-addr)")
 	traceSample := flag.Float64("trace-sample", 0, "probability of tracing the mission (0 disables, 1 traces every proof)")
 	dumpTraces := flag.Bool("dump-traces", false, "print drone-side trace spans as JSONL after the mission (implies -trace-sample 1 when unset)")
 	flag.Parse()
@@ -56,13 +60,23 @@ func main() {
 		sample = 1
 	}
 	retry := operator.RetryPolicy{Max: *retries, Backoff: *retryBackoff}
-	if err := run(*auditorURL, *scenario, *mode, *storeDir, *suite, *rotateEvery, *fixedRate, *gpsRate, *dumpMetrics, sample, *dumpTraces, retry); err != nil {
+	wire := wireOptions{addr: *wireAddr, batch: *wireBatch, flush: time.Duration(*wireFlushMS) * time.Millisecond}
+	if err := run(*auditorURL, *scenario, *mode, *storeDir, *suite, *rotateEvery, *fixedRate, *gpsRate, *dumpMetrics, sample, *dumpTraces, retry, wire); err != nil {
 		fmt.Fprintln(os.Stderr, "alidrone-drone:", err)
 		os.Exit(1)
 	}
 }
 
-func run(auditorURL, scenario, mode, storeDir, suite string, rotateEvery time.Duration, fixedRate, gpsRate float64, dumpMetrics bool, traceSample float64, dumpTraces bool, retry operator.RetryPolicy) error {
+// wireOptions carries the -wire-* flags: when addr is set, PoA
+// submissions travel over the persistent binary transport with
+// client-side batching instead of per-request HTTP.
+type wireOptions struct {
+	addr  string
+	batch int
+	flush time.Duration
+}
+
+func run(auditorURL, scenario, mode, storeDir, suite string, rotateEvery time.Duration, fixedRate, gpsRate float64, dumpMetrics bool, traceSample float64, dumpTraces bool, retry operator.RetryPolicy, wireOpt wireOptions) error {
 	start := time.Now().UTC().Truncate(time.Second)
 
 	var sc *trace.Scenario
@@ -103,21 +117,38 @@ func run(auditorURL, scenario, mode, storeDir, suite string, rotateEvery time.Du
 	}
 
 	// Talk to the auditor and fetch its PoA-encryption key.
-	api := operator.NewHTTPAuditor(auditorURL, nil)
-	api.SetRetryPolicy(retry)
+	httpAPI := operator.NewHTTPAuditor(auditorURL, nil)
+	httpAPI.SetRetryPolicy(retry)
 	var reg *obs.Registry
 	if dumpMetrics {
 		reg = obs.NewRegistry(nil)
-		api.SetMetrics(reg)
+		httpAPI.SetMetrics(reg)
 	}
 	var spans *otrace.RingCollector
 	var tracer *otrace.Tracer
 	if traceSample > 0 {
 		spans = otrace.NewRingCollector(otrace.DefaultRingSize)
 		tracer = otrace.New(otrace.Options{Sample: traceSample, Sink: spans})
-		api.SetTracer(tracer)
+		httpAPI.SetTracer(tracer)
 	}
-	auditorPub, err := api.FetchEncryptionPub()
+	// With -wire-addr, submissions ride the batched binary transport
+	// (registration, zone queries and mode endpoints stay on HTTP); the
+	// wire client honours the auditor's typed overload acks through the
+	// same retry policy as the HTTP path honours 429/Retry-After.
+	var api protocol.API = httpAPI
+	if wireOpt.addr != "" {
+		wa := operator.NewWireAuditor(httpAPI, wireOpt.addr, operator.WireClientOptions{
+			BatchSize:     wireOpt.batch,
+			FlushInterval: wireOpt.flush,
+			Retry:         retry,
+			Metrics:       reg,
+		})
+		defer wa.Close()
+		api = wa
+		fmt.Printf("submitting over binary wire transport at %s (batch=%d, flush=%v)\n",
+			wireOpt.addr, wireOpt.batch, wireOpt.flush)
+	}
+	auditorPub, err := httpAPI.FetchEncryptionPub()
 	if err != nil {
 		return fmt.Errorf("contact auditor at %s: %w", auditorURL, err)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -17,6 +18,15 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 	hs := httptest.NewServer(auditor.NewHandler(srv))
 	defer hs.Close()
 
+	// A wire listener next to the HTTP one, for the -wire-addr cases.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := auditor.NewWireServer(srv, auditor.WireOptions{})
+	go func() { _ = ws.Serve(lis) }()
+	defer ws.Close()
+
 	tests := []struct {
 		name           string
 		scenario, mode string
@@ -24,26 +34,33 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 		suite          string
 		rotateEvery    time.Duration
 		fixed, gpsRate float64
+		wire           bool
 	}{
-		{"airport adaptive", "airport", "adaptive", "", "", 0, 0, 1},
-		{"airport fixed with store", "airport", "fixed", t.TempDir(), "", 0, 1, 5},
-		{"airport batch", "airport", "batch", "", "", 0, 0, 1},
-		{"airport mac", "airport", "mac", "", "", 0, 0, 1},
-		{"airport streaming", "airport", "streaming", "", "", 0, 0, 1},
-		{"airport adaptive ed25519", "airport", "adaptive", "", "ed25519", 0, 0, 1},
-		{"airport adaptive ed25519 rotating", "airport", "adaptive", "", "ed25519", time.Minute, 0, 1},
-		{"airport batch rsa2048 rotating", "airport", "batch", "", "rsa2048", time.Minute, 0, 1},
+		{"airport adaptive", "airport", "adaptive", "", "", 0, 0, 1, false},
+		{"airport fixed with store", "airport", "fixed", t.TempDir(), "", 0, 1, 5, false},
+		{"airport batch", "airport", "batch", "", "", 0, 0, 1, false},
+		{"airport mac", "airport", "mac", "", "", 0, 0, 1, false},
+		{"airport streaming", "airport", "streaming", "", "", 0, 0, 1, false},
+		{"airport adaptive ed25519", "airport", "adaptive", "", "ed25519", 0, 0, 1, false},
+		{"airport adaptive ed25519 rotating", "airport", "adaptive", "", "ed25519", time.Minute, 0, 1, false},
+		{"airport batch rsa2048 rotating", "airport", "batch", "", "rsa2048", time.Minute, 0, 1, false},
+		{"airport adaptive over wire", "airport", "adaptive", "", "", 0, 0, 1, true},
+		{"airport adaptive ed25519 over wire", "airport", "adaptive", "", "ed25519", 0, 0, 1, true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			// Metrics and trace dumping on for the first case exercise
 			// the -dump-metrics and -dump-traces paths.
-			dump := tt.mode == "adaptive" && tt.suite == ""
+			dump := tt.mode == "adaptive" && tt.suite == "" && !tt.wire
 			sample := 0.0
 			if dump {
 				sample = 1
 			}
-			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.suite, tt.rotateEvery, tt.fixed, tt.gpsRate, dump, sample, dump, operator.RetryPolicy{}); err != nil {
+			var w wireOptions
+			if tt.wire {
+				w = wireOptions{addr: lis.Addr().String(), batch: 4, flush: time.Millisecond}
+			}
+			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.suite, tt.rotateEvery, tt.fixed, tt.gpsRate, dump, sample, dump, operator.RetryPolicy{}, w); err != nil {
 				t.Fatalf("drone run failed: %v", err)
 			}
 		})
@@ -51,10 +68,10 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run("http://localhost:1", "mars", "adaptive", "", "", 0, 0, 5, false, 0, false, operator.RetryPolicy{}); err == nil {
+	if err := run("http://localhost:1", "mars", "adaptive", "", "", 0, 0, 5, false, 0, false, operator.RetryPolicy{}, wireOptions{}); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("http://localhost:1", "airport", "warp", "", "", 0, 0, 5, false, 0, false, operator.RetryPolicy{}); err == nil {
+	if err := run("http://localhost:1", "airport", "warp", "", "", 0, 0, 5, false, 0, false, operator.RetryPolicy{}, wireOptions{}); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

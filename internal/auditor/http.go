@@ -1,11 +1,13 @@
 package auditor
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/geo"
@@ -212,12 +214,25 @@ func dropCtx[Req, Resp any](fn func(Req) (Resp, error)) func(context.Context, Re
 	return func(_ context.Context, req Req) (Resp, error) { return fn(req) }
 }
 
+// respBufPool recycles response-encode buffers: encoding into a pooled
+// buffer instead of the ResponseWriter both drops the per-response
+// allocation and lets us set Content-Length, which keeps keep-alive
+// framing cheap (no chunked encoding for these small bodies).
+var respBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := respBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer respBufPool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Nothing was written yet, so the failure is still reportable.
+		http.Error(w, "encode response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	// Encoding failures after the header is written cannot be reported
-	// to the client; the connection will just show a truncated body.
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (h *Handler) registerDrone(w http.ResponseWriter, r *http.Request) {

@@ -77,6 +77,27 @@ const (
 	// MetricKeyRotationsTotal counts accepted TEE key rotations, labelled
 	// suite=....
 	MetricKeyRotationsTotal = "alidrone_auditor_key_rotations_total"
+	// MetricWireConnections gauges the live binary-transport connections.
+	MetricWireConnections = "alidrone_auditor_wire_connections"
+	// MetricWireConnectionsTotal counts connections accepted by the wire
+	// listener over its lifetime.
+	MetricWireConnectionsTotal = "alidrone_auditor_wire_connections_total"
+	// MetricWireFramesTotal counts frames moved over the binary
+	// transport, labelled dir=rx|tx. With ack coalescing, tx stays well
+	// below the ack count under load.
+	MetricWireFramesTotal = "alidrone_auditor_wire_frames_total"
+	// MetricWireBytesTotal counts bytes moved over the binary transport,
+	// labelled dir=rx|tx.
+	MetricWireBytesTotal = "alidrone_auditor_wire_bytes_total"
+	// MetricWireSubmissionsTotal counts PoA submissions arriving through
+	// the wire door (the binary counterpart of the /v1/poa request count).
+	MetricWireSubmissionsTotal = "alidrone_auditor_wire_submissions_total"
+	// MetricWireAcksTotal counts submission acks sent, labelled
+	// status=compliant|violation|overloaded|error.
+	MetricWireAcksTotal = "alidrone_auditor_wire_acks_total"
+	// MetricWireErrorsTotal counts connections torn down on protocol
+	// errors (bad CRC, unknown version/type, malformed messages).
+	MetricWireErrorsTotal = "alidrone_auditor_wire_errors_total"
 )
 
 // Verification pipeline stage labels (the stage= label of the

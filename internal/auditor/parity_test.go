@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/operator"
 	"repro/internal/poa"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
@@ -154,6 +155,19 @@ func TestVerdictParityAcrossEntryPoints(t *testing.T) {
 					t.Fatal(err)
 				}
 				verdicts["stream"] = resp.Verdict
+			}
+
+			{ // binary wire door (same pipeline behind the framing)
+				srv, id, keys := newFixture(t)
+				mustRegisterZone(t, srv, tc.zone)
+				addr := startWire(t, srv, WireOptions{})
+				wc := operator.NewWireClient(addr.String(), operator.WireClientOptions{})
+				resp, err := wc.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, trace(keys))})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wc.Close()
+				verdicts["wire"] = resp.Verdict
 			}
 
 			{ // accusation re-check over the retained trace

@@ -192,6 +192,10 @@ type Server struct {
 	walSince     atomic.Uint64
 	compacting   atomic.Bool
 	compactEvery uint64
+
+	// wireConns tracks the live binary-transport connections (maintained
+	// by WireServer, reported by Status).
+	wireConns atomic.Int64
 }
 
 // NewServer creates an AliDrone Server with the given configuration.
@@ -267,12 +271,13 @@ func (s *Server) Workers() int { return s.pool.Size() }
 // Status summarises the server's operational state.
 func (s *Server) Status() protocol.StatusResponse {
 	return protocol.StatusResponse{
-		Drones:       s.drones.len(),
-		Zones:        s.zones.Len(),
-		Zones3D:      s.zones3D.len(),
-		RetainedPoAs: s.retained.len(),
-		OpenStreams:  s.streams.len(),
-		Sessions:     s.sessions.len(),
+		Drones:          s.drones.len(),
+		Zones:           s.zones.Len(),
+		Zones3D:         s.zones3D.len(),
+		RetainedPoAs:    s.retained.len(),
+		OpenStreams:     s.streams.len(),
+		Sessions:        s.sessions.len(),
+		WireConnections: int(s.wireConns.Load()),
 	}
 }
 

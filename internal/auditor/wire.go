@@ -1,0 +1,462 @@
+package auditor
+
+// The binary wire door: a persistent, multiplexed TCP transport for PoA
+// submissions (DESIGN.md §10). One long-lived connection per drone
+// carries many pipelined submissions; verdicts travel back as coalesced
+// ack frames. Everything behind the framing is the same staged pipeline
+// and admission control the HTTP door uses — this is the sixth
+// verdict-parity entry point, not a second verification path.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/olog"
+	"repro/internal/protocol"
+	"repro/internal/wire"
+)
+
+// WireOptions configures the binary transport listener.
+type WireOptions struct {
+	// Logger receives connection-lifecycle and protocol-error lines.
+	Logger *olog.Logger
+	// MaxFrameBytes bounds one inbound frame payload; 0 means
+	// wire.MaxMessageBytes.
+	MaxFrameBytes int
+	// MaxPipeline bounds the submissions one connection may have in
+	// flight in the verification pipeline; past it the reader stops
+	// consuming frames and TCP backpressure reaches the client. 0 means
+	// 64. (The admission controller still applies on top — a shed
+	// submission occupies its pipeline slot only long enough to produce
+	// an overload ack.)
+	MaxPipeline int
+}
+
+// wireMetrics holds the transport's counters, resolved once at
+// construction: the per-frame path must not pay a registry lookup (and
+// an obs.L render) per increment.
+type wireMetrics struct {
+	connections   *obs.Gauge
+	connsTotal    *obs.Counter
+	rxFrames      *obs.Counter
+	txFrames      *obs.Counter
+	rxBytes       *obs.Counter
+	txBytes       *obs.Counter
+	submissions   *obs.Counter
+	errors        *obs.Counter
+	ackCompliant  *obs.Counter
+	ackViolation  *obs.Counter
+	ackOverloaded *obs.Counter
+	ackError      *obs.Counter
+}
+
+func newWireMetrics(reg *obs.Registry) wireMetrics {
+	return wireMetrics{
+		connections:   reg.Gauge(MetricWireConnections),
+		connsTotal:    reg.Counter(MetricWireConnectionsTotal),
+		rxFrames:      reg.Counter(obs.L(MetricWireFramesTotal, "dir", "rx")),
+		txFrames:      reg.Counter(obs.L(MetricWireFramesTotal, "dir", "tx")),
+		rxBytes:       reg.Counter(obs.L(MetricWireBytesTotal, "dir", "rx")),
+		txBytes:       reg.Counter(obs.L(MetricWireBytesTotal, "dir", "tx")),
+		submissions:   reg.Counter(MetricWireSubmissionsTotal),
+		errors:        reg.Counter(MetricWireErrorsTotal),
+		ackCompliant:  reg.Counter(obs.L(MetricWireAcksTotal, "status", "compliant")),
+		ackViolation:  reg.Counter(obs.L(MetricWireAcksTotal, "status", "violation")),
+		ackOverloaded: reg.Counter(obs.L(MetricWireAcksTotal, "status", "overloaded")),
+		ackError:      reg.Counter(obs.L(MetricWireAcksTotal, "status", "error")),
+	}
+}
+
+// ackCounter returns the counter for one ack status.
+func (m *wireMetrics) ackCounter(status byte) *obs.Counter {
+	switch status {
+	case wire.StatusCompliant:
+		return m.ackCompliant
+	case wire.StatusViolation:
+		return m.ackViolation
+	case wire.StatusOverloaded:
+		return m.ackOverloaded
+	default:
+		return m.ackError
+	}
+}
+
+// WireServer serves the binary transport for one auditor Server.
+type WireServer struct {
+	srv  *Server
+	opts WireOptions
+	met  wireMetrics
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup // accept loop + per-connection handlers
+}
+
+// NewWireServer wraps srv with a binary transport. Call Serve with a
+// listener to start accepting.
+func NewWireServer(srv *Server, opts WireOptions) *WireServer {
+	if opts.MaxFrameBytes <= 0 {
+		opts.MaxFrameBytes = wire.MaxMessageBytes
+	}
+	if opts.MaxPipeline <= 0 {
+		opts.MaxPipeline = 64
+	}
+	return &WireServer{
+		srv:   srv,
+		opts:  opts,
+		met:   newWireMetrics(srv.Metrics()),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on lis until Close. It returns nil after a
+// Close-triggered shutdown and the accept error otherwise.
+func (ws *WireServer) Serve(lis net.Listener) error {
+	ws.mu.Lock()
+	if ws.closed {
+		ws.mu.Unlock()
+		lis.Close()
+		return errors.New("auditor: wire server closed")
+	}
+	ws.lis = lis
+	ws.mu.Unlock()
+
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			ws.mu.Lock()
+			closed := ws.closed
+			ws.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		ws.mu.Lock()
+		if ws.closed {
+			ws.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		ws.conns[c] = struct{}{}
+		ws.wg.Add(1)
+		ws.mu.Unlock()
+
+		ws.met.connsTotal.Inc()
+		go ws.handleConn(c)
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for the
+// handlers to drain.
+func (ws *WireServer) Close() error {
+	ws.mu.Lock()
+	if ws.closed {
+		ws.mu.Unlock()
+		return nil
+	}
+	ws.closed = true
+	lis := ws.lis
+	for c := range ws.conns {
+		c.Close()
+	}
+	ws.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	ws.wg.Wait()
+	return nil
+}
+
+// forget removes a finished connection from the live set.
+func (ws *WireServer) forget(c net.Conn) {
+	ws.mu.Lock()
+	delete(ws.conns, c)
+	ws.mu.Unlock()
+}
+
+// wireConn serialises frame writes on one connection. The ack writer
+// owns the steady-state traffic; handshake and error frames go through
+// the same lock.
+type wireConn struct {
+	c   net.Conn
+	met *wireMetrics
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+// writeFrame writes one pre-encoded frame (or frame sequence) and
+// optionally flushes.
+func (wc *wireConn) writeFrame(frame []byte, flush bool) error {
+	wc.wmu.Lock()
+	defer wc.wmu.Unlock()
+	if _, err := wc.bw.Write(frame); err != nil {
+		return err
+	}
+	if flush {
+		if err := wc.bw.Flush(); err != nil {
+			return err
+		}
+	}
+	wc.met.txFrames.Inc()
+	wc.met.txBytes.Add(uint64(len(frame)))
+	return nil
+}
+
+// sendError emits a fatal protocol error frame; the caller closes the
+// connection after it.
+func (wc *wireConn) sendError(msg string) {
+	_ = wc.writeFrame(wire.EncodeError(nil, wire.WireError{Message: msg}), true)
+}
+
+// handleConn runs one connection: handshake, then a read loop spawning
+// per-submission pipeline calls, with a writer goroutine coalescing
+// their acks.
+func (ws *WireServer) handleConn(c net.Conn) {
+	defer ws.wg.Done()
+	defer ws.forget(c)
+	defer c.Close()
+
+	log := ws.opts.Logger
+	ws.srv.wireConns.Add(1)
+	ws.met.connections.Add(1)
+	defer func() {
+		ws.srv.wireConns.Add(-1)
+		ws.met.connections.Add(-1)
+	}()
+
+	// The connection context cancels in-flight verifications when the
+	// client goes away — the wire equivalent of an aborted HTTP request.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	br := bufio.NewReaderSize(c, 64<<10)
+	wc := &wireConn{c: c, met: &ws.met, bw: bufio.NewWriterSize(c, 64<<10)}
+
+	if !ws.handshake(br, wc) {
+		return
+	}
+
+	// Acks flow from the per-submission goroutines to the writer, which
+	// coalesces whatever is ready into one frame per flush.
+	acks := make(chan wire.Ack, 256)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		ws.ackWriter(wc, acks)
+	}()
+
+	// pipelineSlots bounds this connection's in-flight submissions;
+	// acquiring in the read loop turns overrun into TCP backpressure.
+	pipelineSlots := make(chan struct{}, ws.opts.MaxPipeline)
+	var submitWG sync.WaitGroup
+
+	ws.readLoop(ctx, br, wc, acks, pipelineSlots, &submitWG)
+
+	// Unblock in-flight verifications, let their acks drain, then stop
+	// the writer.
+	cancel()
+	submitWG.Wait()
+	close(acks)
+	writerWG.Wait()
+	log.Debug(ctx, "wire connection closed", "remote", c.RemoteAddr().String())
+}
+
+// handshake enforces the Hello/HelloAck exchange and version agreement.
+func (ws *WireServer) handshake(br *bufio.Reader, wc *wireConn) bool {
+	version, data, err := wire.ReadFrame(br, ws.opts.MaxFrameBytes)
+	if err != nil {
+		ws.met.errors.Inc()
+		return false
+	}
+	ws.met.rxFrames.Inc()
+	ws.met.rxBytes.Add(uint64(wire.HeaderBytes + 1 + len(data)))
+	typ, body, err := wire.SplitType(data)
+	if err != nil || typ != wire.TypeHello {
+		ws.met.errors.Inc()
+		wc.sendError("expected hello")
+		return false
+	}
+	if version != wire.Version1 {
+		// Version negotiation: the server names the version it speaks so
+		// a newer client can downgrade and redial.
+		ws.met.errors.Inc()
+		wc.sendError(wire.ErrUnknownVersion.Error())
+		return false
+	}
+	if _, err := wire.DecodeHello(body); err != nil {
+		ws.met.errors.Inc()
+		wc.sendError(err.Error())
+		return false
+	}
+	return wc.writeFrame(wire.EncodeHelloAck(nil, wire.HelloAck{Version: wire.Version1}), true) == nil
+}
+
+// readLoop consumes frames until EOF or a protocol error, dispatching
+// submissions into the pipeline.
+func (ws *WireServer) readLoop(ctx context.Context, br *bufio.Reader, wc *wireConn,
+	acks chan<- wire.Ack, pipelineSlots chan struct{}, submitWG *sync.WaitGroup) {
+	log := ws.opts.Logger
+	for {
+		version, data, err := wire.ReadFrame(br, ws.opts.MaxFrameBytes)
+		if err != nil {
+			if err != io.EOF {
+				// A torn frame is expected when a client dies mid-write;
+				// CRC or length failures mean a confused peer. Either way
+				// the stream is unreadable from here.
+				ws.met.errors.Inc()
+				log.Debug(ctx, "wire read error", "err", err.Error())
+				if errors.Is(err, wire.ErrBadCRC) || errors.Is(err, wire.ErrFrameTooLarge) || errors.Is(err, wire.ErrEmptyFrame) {
+					wc.sendError(err.Error())
+				}
+			}
+			return
+		}
+		ws.met.rxFrames.Inc()
+		ws.met.rxBytes.Add(uint64(wire.HeaderBytes + 1 + len(data)))
+		if version != wire.Version1 {
+			ws.met.errors.Inc()
+			wc.sendError(wire.ErrUnknownVersion.Error())
+			return
+		}
+		typ, body, err := wire.SplitType(data)
+		if err != nil {
+			ws.met.errors.Inc()
+			wc.sendError(err.Error())
+			return
+		}
+		switch typ {
+		case wire.TypeSubmit:
+			sub, err := wire.DecodeSubmit(body)
+			if err != nil {
+				ws.met.errors.Inc()
+				wc.sendError(err.Error())
+				return
+			}
+			select {
+			case pipelineSlots <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			ws.met.submissions.Inc()
+			submitWG.Add(1)
+			go func() {
+				defer submitWG.Done()
+				defer func() { <-pipelineSlots }()
+				resp, err := ws.srv.SubmitPoACtx(ctx, protocol.SubmitPoARequest{
+					DroneID:      sub.DroneID,
+					EncryptedPoA: sub.Ciphertext,
+				})
+				select {
+				case acks <- ackFor(sub.Seq, resp, err):
+				case <-ctx.Done():
+				}
+			}()
+		case wire.TypeRegister:
+			// Registration is rare and order-sensitive (the drone needs
+			// its ID before submitting), so it runs synchronously.
+			r, err := wire.DecodeRegister(body)
+			if err != nil {
+				ws.met.errors.Inc()
+				wc.sendError(err.Error())
+				return
+			}
+			resp, err := ws.srv.RegisterDroneCtx(ctx, protocol.RegisterDroneRequest{
+				OperatorPub: r.OperatorPub,
+				TEEPub:      r.TEEPub,
+				Suite:       r.Suite,
+			})
+			if err != nil {
+				wc.sendError("register: " + err.Error())
+				return
+			}
+			if wc.writeFrame(wire.EncodeRegisterAck(nil, wire.RegisterAck{DroneID: resp.DroneID}), true) != nil {
+				return
+			}
+		case wire.TypeHello:
+			ws.met.errors.Inc()
+			wc.sendError("duplicate hello")
+			return
+		default:
+			ws.met.errors.Inc()
+			wc.sendError(wire.ErrUnknownType.Error())
+			return
+		}
+	}
+}
+
+// ackWriter drains the ack channel, coalescing every ack available at
+// flush time into a single frame — under pipelined load many verdicts
+// share one write and one TCP segment.
+func (ws *WireServer) ackWriter(wc *wireConn, acks <-chan wire.Ack) {
+	batch := make([]wire.Ack, 0, wire.MaxAcksPerFrame)
+	var buf []byte
+	var dead bool // conn failed: keep draining so submitters never block
+	for a := range acks {
+		batch = append(batch[:0], a)
+	coalesce:
+		for len(batch) < wire.MaxAcksPerFrame {
+			select {
+			case more, ok := <-acks:
+				if !ok {
+					break coalesce
+				}
+				batch = append(batch, more)
+			default:
+				break coalesce
+			}
+		}
+		for _, b := range batch {
+			ws.met.ackCounter(b.Status).Inc()
+		}
+		if dead {
+			continue
+		}
+		var err error
+		buf, err = wire.EncodeAcks(buf[:0], batch)
+		if err != nil {
+			continue // unreachable: batch is 1..MaxAcksPerFrame
+		}
+		if wc.writeFrame(buf, true) != nil {
+			dead = true
+			wc.c.Close() // unblock the read loop
+		}
+	}
+}
+
+// ackFor converts a pipeline outcome into its wire ack, mapping the
+// typed overload error onto the 429/Retry-After equivalent.
+func ackFor(seq uint64, resp protocol.SubmitPoAResponse, err error) wire.Ack {
+	ack := wire.Ack{Seq: seq}
+	if err == nil {
+		ack.Status = wire.StatusViolation
+		if resp.Verdict == protocol.VerdictCompliant {
+			ack.Status = wire.StatusCompliant
+		}
+		ack.Reason = resp.Reason
+		if resp.InsufficientPairs > 0 && resp.InsufficientPairs <= 1<<16-1 {
+			ack.InsufficientPairs = uint16(resp.InsufficientPairs)
+		}
+		return ack
+	}
+	var over *protocol.OverloadedError
+	if errors.As(err, &over) {
+		ack.Status = wire.StatusOverloaded
+		ack.RetryAfterMS = uint32(over.RetryAfter / time.Millisecond)
+		ack.Reason = protocol.ErrOverloaded.Error()
+		return ack
+	}
+	ack.Status = wire.StatusError
+	ack.Reason = err.Error()
+	return ack
+}

@@ -1,6 +1,7 @@
 package operator
 
 import (
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -102,5 +103,35 @@ func TestClientNoRetryOnClientError(t *testing.T) {
 	}
 	if got := atomic.LoadInt32(&hits); got != 1 {
 		t.Errorf("server saw %d requests, want 1", got)
+	}
+}
+
+// TestClientReusesConnectionAcrossRetries: retried responses must have
+// their bodies drained before close, or the Transport abandons the
+// keep-alive connection and every retry pays a fresh TCP handshake.
+func TestClientReusesConnectionAcrossRetries(t *testing.T) {
+	fh := &flakyHandler{fails: 2, status: http.StatusServiceUnavailable,
+		ok: func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"droneId":"drone-1"}`))
+		}}
+	hs := httptest.NewUnstartedServer(fh)
+	var conns int32
+	hs.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			atomic.AddInt32(&conns, 1)
+		}
+	}
+	hs.Start()
+	defer hs.Close()
+
+	c := NewHTTPAuditor(hs.URL, nil)
+	c.SetRetryPolicy(RetryPolicy{Max: 2, Backoff: time.Millisecond})
+	c.setSleep(func(time.Duration) {})
+	if _, err := c.RegisterDrone(protocol.RegisterDroneRequest{}); err != nil {
+		t.Fatalf("call failed despite retries: %v", err)
+	}
+	if got := atomic.LoadInt32(&conns); got != 1 {
+		t.Errorf("server saw %d connections across 3 attempts, want 1 (keep-alive reuse)", got)
 	}
 }

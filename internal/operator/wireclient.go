@@ -1,0 +1,492 @@
+package operator
+
+// WireClient speaks the binary drone→auditor transport (DESIGN.md §10):
+// one persistent connection, client-side batching (buffer N proofs or
+// T ms, flush as one frame sequence in a single write), pipelined
+// submissions correlated by sequence number, and typed overload acks —
+// the binary equivalent of HTTP 429 + Retry-After — honoured through the
+// same RetryPolicy shape the HTTP client uses.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/wire"
+)
+
+// Metric names exported by the binary wire client.
+const (
+	// MetricWireClientSubmitsTotal counts submissions issued over the
+	// binary transport.
+	MetricWireClientSubmitsTotal = "alidrone_client_wire_submits_total"
+	// MetricWireClientFlushesTotal counts batch flushes (network writes).
+	// flushes/submits is the achieved batching factor.
+	MetricWireClientFlushesTotal = "alidrone_client_wire_flushes_total"
+	// MetricWireClientRetriesTotal counts submissions re-sent after a
+	// typed overload ack.
+	MetricWireClientRetriesTotal = "alidrone_client_wire_retries_total"
+	// MetricWireClientDialsTotal counts connection (re)establishments.
+	MetricWireClientDialsTotal = "alidrone_client_wire_dials_total"
+)
+
+// ErrWireConnLost reports that the transport connection failed while
+// submissions were awaiting their acks. The auditor may or may not have
+// verified them; resubmitting risks a replay verdict, so the choice is
+// the caller's.
+var ErrWireConnLost = errors.New("operator: wire connection lost")
+
+// WireClientOptions configures batching and retry behaviour.
+type WireClientOptions struct {
+	// BatchSize flushes the submit buffer when this many submissions are
+	// queued. Default 16.
+	BatchSize int
+	// FlushInterval flushes a non-empty buffer after this long even if
+	// BatchSize was not reached. Default 2ms.
+	FlushInterval time.Duration
+	// Retry controls re-submission after a typed overload ack, honouring
+	// max(backoff, server hint) like the HTTP client does for
+	// 429/Retry-After. The zero value surfaces the overload error.
+	Retry RetryPolicy
+	// DialTimeout bounds connection establishment. Default 10s.
+	DialTimeout time.Duration
+	// Metrics, when set, receives the client's wire series.
+	Metrics *obs.Registry
+}
+
+// wireWaiter carries one pending submission's ack back to its caller.
+type wireWaiter struct {
+	ch chan wire.Ack
+}
+
+// WireClient is a batched, multiplexed binary-transport client. It is
+// safe for concurrent use; concurrent submissions share flushes.
+type WireClient struct {
+	addr  string
+	opts  WireClientOptions
+	sleep func(time.Duration) // injectable for retry tests
+
+	// Counters are resolved once at construction so the per-submission
+	// path skips the registry's name lookup.
+	submits, flushes, retries, dials *obs.Counter
+
+	mu      sync.Mutex
+	conn    net.Conn
+	buf     []byte // encoded frames awaiting flush
+	queued  int    // submissions in buf
+	timer   *time.Timer
+	seq     uint64
+	pending map[uint64]*wireWaiter
+	closed  bool
+}
+
+// NewWireClient creates a client for the auditor's wire listener at
+// addr. The connection is established lazily on the first flush and
+// re-established transparently after a failure.
+func NewWireClient(addr string, opts WireClientOptions) *WireClient {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 16
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = 2 * time.Millisecond
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	return &WireClient{
+		addr:    addr,
+		opts:    opts,
+		sleep:   time.Sleep,
+		submits: opts.Metrics.Counter(MetricWireClientSubmitsTotal),
+		flushes: opts.Metrics.Counter(MetricWireClientFlushesTotal),
+		retries: opts.Metrics.Counter(MetricWireClientRetriesTotal),
+		dials:   opts.Metrics.Counter(MetricWireClientDialsTotal),
+		pending: make(map[uint64]*wireWaiter),
+	}
+}
+
+// Close tears down the connection and fails every pending submission.
+func (c *WireClient) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.failLocked(ErrWireConnLost)
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// failLocked drops the connection state and delivers err-shaped acks to
+// every waiter. Callers hold c.mu.
+func (c *WireClient) failLocked(err error) {
+	c.conn = nil
+	c.buf = c.buf[:0]
+	c.queued = 0
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	for seq, w := range c.pending {
+		delete(c.pending, seq)
+		w.ch <- wire.Ack{Seq: seq, Status: wire.StatusError, Reason: connLostReason(err)}
+	}
+}
+
+// connLostReason marks an ack as transport-failure so the waiter can
+// distinguish it from a server-sent error ack.
+func connLostReason(err error) string { return "\x00connlost:" + err.Error() }
+
+// dialLocked establishes the connection and performs the Hello/HelloAck
+// handshake. Callers hold c.mu.
+func (c *WireClient) dialLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("wire dial %s: %w", c.addr, err)
+	}
+	c.dials.Inc()
+	if _, err := conn.Write(wire.EncodeHello(nil)); err != nil {
+		conn.Close()
+		return fmt.Errorf("wire hello: %w", err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	version, data, err := wire.ReadFrame(br, wire.MaxMessageBytes)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("wire handshake: %w", err)
+	}
+	typ, body, err := wire.SplitType(data)
+	if err != nil || version != wire.Version1 {
+		conn.Close()
+		return fmt.Errorf("wire handshake: %w", wire.ErrUnknownVersion)
+	}
+	if typ == wire.TypeError {
+		we, _ := wire.DecodeError(body)
+		conn.Close()
+		return fmt.Errorf("wire handshake rejected: %s", we.Message)
+	}
+	ack, err := wire.DecodeHelloAck(body)
+	if err != nil || typ != wire.TypeHelloAck {
+		conn.Close()
+		return fmt.Errorf("wire handshake: unexpected reply type %#x", typ)
+	}
+	if ack.Version != wire.Version1 {
+		conn.Close()
+		return fmt.Errorf("%w: server speaks %d", wire.ErrUnknownVersion, ack.Version)
+	}
+	c.conn = conn
+	go c.readLoop(conn, br)
+	return nil
+}
+
+// readLoop dispatches coalesced ack frames to their waiters until the
+// connection dies, then fails whatever is still pending.
+func (c *WireClient) readLoop(conn net.Conn, br *bufio.Reader) {
+	for {
+		version, data, err := wire.ReadFrame(br, wire.MaxMessageBytes)
+		if err != nil {
+			c.connFailed(conn, err)
+			return
+		}
+		typ, body, serr := wire.SplitType(data)
+		if serr != nil || version != wire.Version1 {
+			c.connFailed(conn, wire.ErrBadMessage)
+			return
+		}
+		switch typ {
+		case wire.TypeAck:
+			acks, err := wire.DecodeAcks(body)
+			if err != nil {
+				c.connFailed(conn, err)
+				return
+			}
+			c.mu.Lock()
+			for _, a := range acks {
+				if w, ok := c.pending[a.Seq]; ok {
+					delete(c.pending, a.Seq)
+					w.ch <- a
+				}
+			}
+			c.mu.Unlock()
+		case wire.TypeError:
+			we, _ := wire.DecodeError(body)
+			c.connFailed(conn, fmt.Errorf("auditor wire: %s", we.Message))
+			return
+		default:
+			// RegisterAck and future types are not in the submit path;
+			// ignore them here.
+		}
+	}
+}
+
+// connFailed tears down conn if it is still the active connection.
+func (c *WireClient) connFailed(conn net.Conn, err error) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		c.failLocked(err)
+	}
+	c.mu.Unlock()
+}
+
+// flushLocked dials if needed and writes the buffered frame sequence in
+// one Write. Callers hold c.mu.
+func (c *WireClient) flushLocked() {
+	if c.queued == 0 {
+		return
+	}
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	if c.conn == nil {
+		if err := c.dialLocked(); err != nil {
+			c.failLocked(err)
+			return
+		}
+	}
+	c.flushes.Inc()
+	conn := c.conn
+	buf := c.buf
+	c.buf = nil // readLoop acks may interleave; give the flush its buffer
+	c.queued = 0
+	if _, err := conn.Write(buf); err != nil {
+		conn.Close()
+		if c.conn == conn {
+			c.failLocked(err)
+		}
+		return
+	}
+	if cap(c.buf) == 0 {
+		c.buf = buf[:0] // reuse the flushed buffer for the next batch
+	}
+}
+
+// SubmitPoA submits one PoA over the wire transport, blocking until its
+// ack arrives. Equivalent semantics to HTTPAuditor.SubmitPoA: a
+// violation verdict is a response, not an error; an overload ack
+// surfaces as *protocol.OverloadedError (after the retry budget, if
+// any).
+func (c *WireClient) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
+	return c.SubmitPoACtx(context.Background(), req)
+}
+
+// SubmitPoACtx is SubmitPoA under a caller context.
+func (c *WireClient) SubmitPoACtx(ctx context.Context, req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
+	backoff := c.opts.Retry.Backoff
+	for attempt := 0; ; attempt++ {
+		c.submits.Inc()
+		ack, err := c.submitOnce(ctx, req)
+		if err != nil {
+			return protocol.SubmitPoAResponse{}, err
+		}
+		switch ack.Status {
+		case wire.StatusCompliant:
+			return protocol.SubmitPoAResponse{
+				Verdict:           protocol.VerdictCompliant,
+				Reason:            ack.Reason,
+				InsufficientPairs: int(ack.InsufficientPairs),
+			}, nil
+		case wire.StatusViolation:
+			return protocol.SubmitPoAResponse{
+				Verdict:           protocol.VerdictViolation,
+				Reason:            ack.Reason,
+				InsufficientPairs: int(ack.InsufficientPairs),
+			}, nil
+		case wire.StatusOverloaded:
+			over := &protocol.OverloadedError{RetryAfter: time.Duration(ack.RetryAfterMS) * time.Millisecond}
+			if attempt >= c.opts.Retry.Max {
+				return protocol.SubmitPoAResponse{}, over
+			}
+			// Honour the server's hint over a shorter local backoff, as
+			// the HTTP client does for Retry-After.
+			wait := max(backoff, over.RetryAfter)
+			if wait > 0 {
+				if serr := c.sleepCtx(ctx, wait); serr != nil {
+					return protocol.SubmitPoAResponse{}, serr
+				}
+				if backoff > 0 {
+					backoff *= 2
+				}
+			}
+			c.retries.Inc()
+		default:
+			return protocol.SubmitPoAResponse{}, wireAckError(ack)
+		}
+	}
+}
+
+// submitOnce enqueues the submission into the current batch and waits
+// for its ack.
+func (c *WireClient) submitOnce(ctx context.Context, req protocol.SubmitPoARequest) (wire.Ack, error) {
+	w := &wireWaiter{ch: make(chan wire.Ack, 1)}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return wire.Ack{}, ErrWireConnLost
+	}
+	c.seq++
+	seq := c.seq
+	c.pending[seq] = w
+	c.buf = wire.EncodeSubmit(c.buf, wire.Submit{Seq: seq, DroneID: req.DroneID, Ciphertext: req.EncryptedPoA})
+	c.queued++
+	if c.queued >= c.opts.BatchSize {
+		c.flushLocked()
+	} else if c.timer == nil {
+		c.timer = time.AfterFunc(c.opts.FlushInterval, func() {
+			c.mu.Lock()
+			c.timer = nil
+			c.flushLocked()
+			c.mu.Unlock()
+		})
+	}
+	c.mu.Unlock()
+
+	select {
+	case ack := <-w.ch:
+		return ack, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		return wire.Ack{}, ctx.Err()
+	}
+}
+
+// wireAckError converts an error-status ack into the error the caller
+// sees, unwrapping transport failures to ErrWireConnLost.
+func wireAckError(ack wire.Ack) error {
+	const marker = "\x00connlost:"
+	if len(ack.Reason) > len(marker) && ack.Reason[:len(marker)] == marker {
+		return fmt.Errorf("%w: %s", ErrWireConnLost, ack.Reason[len(marker):])
+	}
+	return fmt.Errorf("auditor wire submit: %s", ack.Reason)
+}
+
+// SetSleep replaces the retry backoff sleeper. Tests inject a recorder
+// to assert on Retry-After hints without sleeping for real.
+func (c *WireClient) SetSleep(fn func(time.Duration)) { c.sleep = fn }
+
+// sleepCtx waits for d or ctx cancellation (mirrors HTTPAuditor).
+func (c *WireClient) sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		c.sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RegisterDrone performs a binary registration over its own short-lived
+// connection (registration happens once, before any submission traffic,
+// so it does not share the batched submit channel).
+func (c *WireClient) RegisterDrone(req protocol.RegisterDroneRequest) (protocol.RegisterDroneResponse, error) {
+	var resp protocol.RegisterDroneResponse
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return resp, fmt.Errorf("wire dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+
+	frames := wire.EncodeHello(nil)
+	frames, err = wire.EncodeRegister(frames, wire.Register{
+		OperatorPub: req.OperatorPub,
+		TEEPub:      req.TEEPub,
+		Suite:       req.Suite,
+	})
+	if err != nil {
+		return resp, fmt.Errorf("encode register: %w", err)
+	}
+	if _, err := conn.Write(frames); err != nil {
+		return resp, fmt.Errorf("wire register: %w", err)
+	}
+	br := bufio.NewReaderSize(conn, 16<<10)
+	for {
+		version, data, err := wire.ReadFrame(br, wire.MaxMessageBytes)
+		if err != nil {
+			return resp, fmt.Errorf("wire register reply: %w", err)
+		}
+		typ, body, serr := wire.SplitType(data)
+		if serr != nil || version != wire.Version1 {
+			return resp, fmt.Errorf("wire register reply: %w", wire.ErrBadMessage)
+		}
+		switch typ {
+		case wire.TypeHelloAck:
+			continue
+		case wire.TypeRegisterAck:
+			ra, err := wire.DecodeRegisterAck(body)
+			if err != nil {
+				return resp, err
+			}
+			resp.DroneID = ra.DroneID
+			return resp, nil
+		case wire.TypeError:
+			we, _ := wire.DecodeError(body)
+			return resp, fmt.Errorf("auditor wire: %s", we.Message)
+		default:
+			return resp, fmt.Errorf("wire register reply: unexpected type %#x", typ)
+		}
+	}
+}
+
+// WireAuditor is a protocol.API implementation that sends PoA
+// submissions over the binary transport and everything else over HTTP.
+// The split matches the traffic shape: submissions are the hot,
+// per-sample-rate path; registration, zone queries and mode endpoints
+// are occasional.
+type WireAuditor struct {
+	*HTTPAuditor
+	wc  *WireClient
+	ctx context.Context // bound call context (nil = Background)
+}
+
+var (
+	_ protocol.API           = (*WireAuditor)(nil)
+	_ protocol.ContextBinder = (*WireAuditor)(nil)
+)
+
+// NewWireAuditor wraps an HTTP client with a binary submit channel to
+// the auditor's wire listener at addr.
+func NewWireAuditor(h *HTTPAuditor, addr string, opts WireClientOptions) *WireAuditor {
+	return &WireAuditor{HTTPAuditor: h, wc: NewWireClient(addr, opts)}
+}
+
+// Wire exposes the underlying wire client (for Close and direct use).
+func (w *WireAuditor) Wire() *WireClient { return w.wc }
+
+// Close tears down the wire connection.
+func (w *WireAuditor) Close() error { return w.wc.Close() }
+
+// SubmitPoA routes submissions over the binary transport.
+func (w *WireAuditor) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
+	ctx := w.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return w.wc.SubmitPoACtx(ctx, req)
+}
+
+// BindContext implements protocol.ContextBinder. It must be overridden
+// here — the promoted HTTPAuditor method would return the bare HTTP
+// client and silently drop the wire path.
+func (w *WireAuditor) BindContext(ctx context.Context) protocol.API {
+	return &WireAuditor{HTTPAuditor: w.HTTPAuditor.WithContext(ctx), wc: w.wc, ctx: ctx}
+}

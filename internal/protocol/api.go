@@ -61,4 +61,7 @@ type StatusResponse struct {
 	RetainedPoAs int `json:"retainedPoAs"`
 	OpenStreams  int `json:"openStreams"`
 	Sessions     int `json:"sessions"`
+	// WireConnections counts the live binary-transport connections
+	// (the -wire-addr listener; zero when it is not serving).
+	WireConnections int `json:"wireConnections,omitempty"`
 }

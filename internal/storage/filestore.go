@@ -3,11 +3,8 @@ package storage
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -16,6 +13,7 @@ import (
 
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
+	"repro/internal/wire"
 )
 
 // On-disk layout: a state directory holding numbered WAL segments and
@@ -42,7 +40,7 @@ import (
 // ErrCorrupt.
 
 const (
-	frameHeaderBytes = 8
+	frameHeaderBytes = wire.HeaderBytes
 	// maxRecordBytes bounds one framed payload, so a garbage length field
 	// cannot drive a huge allocation during recovery.
 	maxRecordBytes = 1 << 26 // 64 MiB
@@ -414,32 +412,22 @@ func (fs *FileStore) Close() error {
 func (fs *FileStore) Dir() string { return fs.dir }
 
 // writeFrame appends one framed record to w and returns the framed size.
+// The framing itself (header layout, CRC, torn-frame taxonomy) lives in
+// internal/wire and is shared with the network transport.
 func writeFrame(w *bufio.Writer, r Record) (int, error) {
-	if len(r.Data)+1 > maxRecordBytes {
+	n, err := wire.WriteFrame(w, r.Kind, r.Data, maxRecordBytes)
+	if errors.Is(err, wire.ErrFrameTooLarge) {
 		return 0, fmt.Errorf("storage: record of %d bytes exceeds frame limit", len(r.Data))
 	}
-	var hdr [frameHeaderBytes]byte
-	crc := crc32.NewIEEE()
-	crc.Write([]byte{r.Kind})
-	crc.Write(r.Data)
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+len(r.Data)))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc.Sum32())
-	if _, err := w.Write(hdr[:]); err != nil {
-		return 0, err
-	}
-	if err := w.WriteByte(r.Kind); err != nil {
-		return 0, err
-	}
-	if _, err := w.Write(r.Data); err != nil {
-		return 0, err
-	}
-	return frameHeaderBytes + 1 + len(r.Data), nil
+	return n, err
 }
 
 // scanSegment reads every whole, checksummed record of one segment.
 // good is the byte offset of the end of the last valid frame; total is
 // the file size. good < total means the bytes after good are torn or
-// corrupt.
+// corrupt. Any framing failure — torn header or payload, CRC mismatch,
+// garbage length — ends the readable prefix; the caller decides whether
+// that is a truncatable crash artefact or ErrCorrupt.
 func scanSegment(path string) (recs []Record, good, total int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -455,23 +443,11 @@ func scanSegment(path string) (recs []Record, good, total int64, err error) {
 	br := bufio.NewReaderSize(f, 1<<16)
 	var off int64
 	for {
-		var hdr [frameHeaderBytes]byte
-		if _, rerr := io.ReadFull(br, hdr[:]); rerr != nil {
-			return recs, off, total, nil // clean EOF or torn header
+		kind, data, rerr := wire.ReadFrame(br, maxRecordBytes)
+		if rerr != nil {
+			return recs, off, total, nil // clean EOF, torn frame, or bit rot
 		}
-		length := binary.LittleEndian.Uint32(hdr[0:4])
-		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
-		if length == 0 || length > maxRecordBytes {
-			return recs, off, total, nil // garbage length: unreadable from here
-		}
-		payload := make([]byte, length)
-		if _, rerr := io.ReadFull(br, payload); rerr != nil {
-			return recs, off, total, nil // torn payload
-		}
-		if crc32.ChecksumIEEE(payload) != wantCRC {
-			return recs, off, total, nil // bit rot or torn overwrite
-		}
-		recs = append(recs, Record{Kind: payload[0], Data: payload[1:]})
-		off += frameHeaderBytes + int64(length)
+		recs = append(recs, Record{Kind: kind, Data: data})
+		off += frameHeaderBytes + int64(1+len(data))
 	}
 }

@@ -1,0 +1,108 @@
+// Package wire implements the length-prefixed CRC32 framing shared by
+// the storage WAL and the binary drone→auditor transport, plus the
+// compact message codec the transport speaks (see DESIGN.md §10).
+//
+// Frame layout (little-endian):
+//
+//	[4B payload length][4B IEEE CRC32 of payload][payload = kind byte + data]
+//
+// The kind byte is interpretation-neutral at this layer: the WAL stores
+// its record kind there, the network transport its protocol version.
+// Both consumers therefore get the same torn-tail and corruption
+// detection from one implementation.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// HeaderBytes is the fixed frame header size: 4-byte payload length plus
+// 4-byte CRC32.
+const HeaderBytes = 8
+
+// Framing error taxonomy. A reader distinguishes a clean end-of-stream
+// (io.EOF from ReadFrame) from a torn frame (ErrTruncated), a frame that
+// fails its checksum (ErrBadCRC) and a length field beyond the caller's
+// bound (ErrFrameTooLarge). The WAL treats all of them as "end of
+// readable prefix"; the network transport treats ErrBadCRC and
+// ErrFrameTooLarge as peer protocol violations.
+var (
+	ErrTruncated     = errors.New("wire: truncated frame")
+	ErrBadCRC        = errors.New("wire: frame CRC mismatch")
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	ErrEmptyFrame    = errors.New("wire: zero-length frame payload")
+)
+
+// WriteFrame appends one frame of kind+data to w and returns the framed
+// size. maxPayload bounds len(data)+1 (the payload including the kind
+// byte); payloads over it are refused before any bytes are written.
+func WriteFrame(w io.Writer, kind byte, data []byte, maxPayload int) (int, error) {
+	if len(data)+1 > maxPayload {
+		return 0, fmt.Errorf("%w: payload of %d bytes over limit %d", ErrFrameTooLarge, len(data)+1, maxPayload)
+	}
+	var hdr [HeaderBytes + 1]byte
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{kind})
+	crc.Write(data)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+len(data)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc.Sum32())
+	hdr[8] = kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(data); err != nil {
+		return 0, err
+	}
+	return HeaderBytes + 1 + len(data), nil
+}
+
+// AppendFrame appends one frame of kind+data to dst and returns the
+// extended slice. The caller bounds payload size; AppendFrame itself
+// never fails. Batched senders use it to build a frame sequence in one
+// buffer and flush it with a single Write.
+func AppendFrame(dst []byte, kind byte, data []byte) []byte {
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{kind})
+	crc.Write(data)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+len(data)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc.Sum32())
+	dst = append(dst, kind)
+	return append(dst, data...)
+}
+
+// ReadFrame reads one frame from br. At a clean frame boundary with no
+// further bytes it returns io.EOF; a frame cut short returns
+// ErrTruncated, a checksum failure ErrBadCRC, a length field of zero or
+// beyond maxPayload ErrEmptyFrame/ErrFrameTooLarge (with the payload
+// unconsumed — the stream is unreadable from there). The returned data
+// aliases a fresh allocation and is the caller's to keep.
+func ReadFrame(br *bufio.Reader, maxPayload int) (kind byte, data []byte, err error) {
+	var hdr [HeaderBytes]byte
+	if _, rerr := io.ReadFull(br, hdr[:]); rerr != nil {
+		if rerr == io.EOF {
+			return 0, nil, io.EOF // clean boundary
+		}
+		return 0, nil, fmt.Errorf("%w: header: %v", ErrTruncated, rerr)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 {
+		return 0, nil, ErrEmptyFrame
+	}
+	if int64(length) > int64(maxPayload) {
+		return 0, nil, fmt.Errorf("%w: payload of %d bytes over limit %d", ErrFrameTooLarge, length, maxPayload)
+	}
+	payload := make([]byte, length)
+	if _, rerr := io.ReadFull(br, payload); rerr != nil {
+		return 0, nil, fmt.Errorf("%w: payload: %v", ErrTruncated, rerr)
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return 0, nil, ErrBadCRC
+	}
+	return payload[0], payload[1:], nil
+}

@@ -1,0 +1,116 @@
+package wire
+
+// Framing invariants: what WriteFrame/AppendFrame produce, ReadFrame
+// must round-trip byte-for-byte; every way a frame can be damaged maps
+// to the documented error; and the layout stays bit-compatible with the
+// storage WAL's historical format (golden bytes pinned below).
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind byte
+		data []byte
+	}{
+		{0x01, nil},
+		{0x01, []byte{}},
+		{0x07, []byte("hello")},
+		{0xff, bytes.Repeat([]byte{0xaa}, 70000)}, // spans bufio chunks
+	}
+	var buf bytes.Buffer
+	for _, c := range cases {
+		n, err := WriteFrame(&buf, c.kind, c.data, MaxMessageBytes)
+		if err != nil {
+			t.Fatalf("WriteFrame(%#x): %v", c.kind, err)
+		}
+		if want := HeaderBytes + 1 + len(c.data); n != want {
+			t.Fatalf("WriteFrame returned %d bytes, want %d", n, want)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for _, c := range cases {
+		kind, data, err := ReadFrame(br, MaxMessageBytes)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if kind != c.kind || !bytes.Equal(data, c.data) {
+			t.Fatalf("round trip: got kind %#x len %d, want kind %#x len %d", kind, len(data), c.kind, len(c.data))
+		}
+	}
+	if _, _, err := ReadFrame(br, MaxMessageBytes); err != io.EOF {
+		t.Fatalf("at clean boundary: got %v, want io.EOF", err)
+	}
+}
+
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	data := []byte("the same bytes either way")
+	var buf bytes.Buffer
+	if _, err := WriteFrame(&buf, 0x42, data, MaxMessageBytes); err != nil {
+		t.Fatal(err)
+	}
+	if got := AppendFrame(nil, 0x42, data); !bytes.Equal(got, buf.Bytes()) {
+		t.Fatalf("AppendFrame produced different bytes:\n%x\nvs\n%x", got, buf.Bytes())
+	}
+}
+
+// TestFrameGoldenLayout pins the on-the-wire layout so a refactor cannot
+// silently change the format the WAL already persisted to disk.
+func TestFrameGoldenLayout(t *testing.T) {
+	frame := AppendFrame(nil, 0x05, []byte("ab"))
+	payload := []byte{0x05, 'a', 'b'}
+	want := binary.LittleEndian.AppendUint32(nil, 3)
+	want = binary.LittleEndian.AppendUint32(want, crc32.ChecksumIEEE(payload))
+	want = append(want, payload...)
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("layout drifted:\ngot  %x\nwant %x", frame, want)
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	whole := AppendFrame(nil, 0x01, []byte("payload"))
+
+	corrupt := append([]byte(nil), whole...)
+	corrupt[len(corrupt)-1] ^= 0xff
+
+	oversized := binary.LittleEndian.AppendUint32(nil, MaxMessageBytes+1)
+	oversized = append(oversized, 0, 0, 0, 0)
+
+	empty := binary.LittleEndian.AppendUint32(nil, 0)
+	empty = append(empty, 0, 0, 0, 0)
+
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"torn header", whole[:5], ErrTruncated},
+		{"torn payload", whole[:HeaderBytes+3], ErrTruncated},
+		{"bad crc", corrupt, ErrBadCRC},
+		{"oversized length", oversized, ErrFrameTooLarge},
+		{"zero length", empty, ErrEmptyFrame},
+	}
+	for _, c := range cases {
+		_, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(c.in)), MaxMessageBytes)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWriteFrameRefusesOversizedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := WriteFrame(&buf, 0x01, make([]byte, 32), 16)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("refused frame still wrote %d bytes", buf.Len())
+	}
+}

@@ -1,0 +1,163 @@
+package wire
+
+// FuzzDecodeFrame drives the whole receive path — framing, type split,
+// per-type decode — with arbitrary bytes. The invariants: never panic,
+// never allocate proportional to a length *field* (only to bytes
+// actually present), and anything that decodes must re-encode to a frame
+// that decodes to the same value (codec is a bijection on its image).
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// fuzzSeeds returns one frame per interesting shape: valid messages of
+// every type, a truncated frame, a corrupted CRC, an unknown version, an
+// unknown message type and an oversized length field.
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	add := func(b []byte, err error) {
+		if err != nil {
+			panic(err)
+		}
+		seeds = append(seeds, b)
+	}
+
+	add(EncodeHello(nil), nil)
+	add(EncodeHelloAck(nil, HelloAck{Version: Version1}), nil)
+	add(EncodeSubmit(nil, Submit{Seq: 42, DroneID: "drone-00000001", Ciphertext: []byte("ct")}), nil)
+	add(EncodeAcks(nil, []Ack{
+		{Seq: 42, Status: StatusViolation, InsufficientPairs: 3, Reason: "insufficient PoA"},
+		{Seq: 43, Status: StatusOverloaded, RetryAfterMS: 2000},
+	}))
+	add(EncodeRegister(nil, Register{
+		OperatorPub: "AAECAwQ=",
+		TEEPub:      "ed25519:MCowBQYDK2VwAyEAGb9ECWmEzf6FQbrBZ9w7lshQhqowtrbLDFw4rXAxZuE=",
+		Suite:       "ed25519",
+	}))
+	add(EncodeRegisterAck(nil, RegisterAck{DroneID: "drone-00000001"}), nil)
+	add(EncodeError(nil, WireError{Message: "unsupported version"}), nil)
+
+	whole := EncodeSubmit(nil, Submit{Seq: 7, DroneID: "d", Ciphertext: []byte("payload")})
+	seeds = append(seeds, whole[:len(whole)-3]) // truncated mid-payload
+	seeds = append(seeds, whole[:5])            // truncated mid-header
+
+	bad := append([]byte(nil), whole...)
+	bad[len(bad)-1] ^= 0xff // CRC mismatch
+	seeds = append(seeds, bad)
+
+	unknownVer := AppendFrame(nil, 0x63, []byte{TypeSubmit, 0, 0})
+	seeds = append(seeds, unknownVer)
+
+	unknownType := AppendFrame(nil, Version1, []byte{0x6e, 1, 2, 3})
+	seeds = append(seeds, unknownType)
+
+	oversized := binary.LittleEndian.AppendUint32(nil, MaxMessageBytes+1)
+	oversized = append(oversized, 0xde, 0xad, 0xbe, 0xef)
+	seeds = append(seeds, oversized)
+
+	// An ack frame whose count field promises more entries than exist.
+	inflated, _ := EncodeAcks(nil, []Ack{{Seq: 1}})
+	inflated = append([]byte(nil), inflated...)
+	inflated[HeaderBytes+2] = 0xff // count low byte, after [version][type]
+	seeds = append(seeds, inflated)
+
+	return seeds
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		br := bufio.NewReader(bytes.NewReader(raw))
+		for {
+			version, data, err := ReadFrame(br, MaxMessageBytes)
+			if err != nil {
+				if err == io.EOF && len(raw) == 0 {
+					return
+				}
+				return // torn/corrupt/oversized: fine, just must not panic
+			}
+			if version != Version1 {
+				continue // next frame; a real peer would reject and close
+			}
+			typ, body, err := SplitType(data)
+			if err != nil {
+				continue
+			}
+			switch typ {
+			case TypeHello:
+				if _, err := DecodeHello(body); err == nil {
+					reencoded := EncodeHello(nil)
+					checkReadsBack(t, reencoded)
+				}
+			case TypeHelloAck:
+				if v, err := DecodeHelloAck(body); err == nil {
+					checkReadsBack(t, EncodeHelloAck(nil, v))
+				}
+			case TypeSubmit:
+				if v, err := DecodeSubmit(body); err == nil {
+					rt := EncodeSubmit(nil, v)
+					v2, err := decodeSubmitFrame(t, rt)
+					if err != nil {
+						t.Fatalf("re-encoded submit does not decode: %v", err)
+					}
+					if v2.Seq != v.Seq || v2.DroneID != v.DroneID || !bytes.Equal(v2.Ciphertext, v.Ciphertext) {
+						t.Fatalf("submit round trip drift: %+v vs %+v", v2, v)
+					}
+				}
+			case TypeAck:
+				if acks, err := DecodeAcks(body); err == nil {
+					rt, err := EncodeAcks(nil, acks)
+					if err != nil {
+						t.Fatalf("decoded acks do not re-encode: %v", err)
+					}
+					checkReadsBack(t, rt)
+				}
+			case TypeRegister:
+				if v, err := DecodeRegister(body); err == nil {
+					// Decoded envelopes are canonical base64, so they must
+					// re-encode; a failure means decode accepted something
+					// encode refuses.
+					if _, err := EncodeRegister(nil, v); err != nil {
+						t.Fatalf("decoded register does not re-encode: %v", err)
+					}
+				}
+			case TypeRegisterAck:
+				if v, err := DecodeRegisterAck(body); err == nil {
+					checkReadsBack(t, EncodeRegisterAck(nil, v))
+				}
+			case TypeError:
+				if v, err := DecodeError(body); err == nil {
+					checkReadsBack(t, EncodeError(nil, v))
+				}
+			}
+		}
+	})
+}
+
+// checkReadsBack asserts an encoder-produced frame reads back cleanly.
+func checkReadsBack(t *testing.T, frame []byte) {
+	t.Helper()
+	br := bufio.NewReader(bytes.NewReader(frame))
+	if _, _, err := ReadFrame(br, MaxMessageBytes); err != nil {
+		t.Fatalf("encoder output does not read back: %v", err)
+	}
+}
+
+func decodeSubmitFrame(t *testing.T, frame []byte) (Submit, error) {
+	t.Helper()
+	br := bufio.NewReader(bytes.NewReader(frame))
+	_, data, err := ReadFrame(br, MaxMessageBytes)
+	if err != nil {
+		return Submit{}, err
+	}
+	_, body, err := SplitType(data)
+	if err != nil {
+		return Submit{}, err
+	}
+	return DecodeSubmit(body)
+}

@@ -1,0 +1,405 @@
+package wire
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sigcrypto"
+)
+
+// Version1 is the only protocol version this build speaks. It travels in
+// the frame kind byte, so a reader rejects an incompatible peer before
+// touching the message body.
+const Version1 byte = 1
+
+// MaxMessageBytes bounds one network frame payload. It is far below the
+// WAL's 64 MiB record bound: a transport peer is untrusted, and no
+// legitimate submission (a few KB of ciphertext) comes anywhere near it.
+const MaxMessageBytes = 1 << 20 // 1 MiB
+
+// MaxAcksPerFrame bounds how many acks one coalesced Ack frame carries.
+const MaxAcksPerFrame = 1024
+
+// Message types, the first byte of every frame payload's data.
+const (
+	// TypeHello opens a connection: the client's first frame, empty body.
+	// The frame kind byte carries the client's protocol version.
+	TypeHello byte = 0x01
+	// TypeHelloAck answers Hello with the version the server accepted.
+	TypeHelloAck byte = 0x02
+	// TypeRegister carries a binary drone registration (suite-envelope
+	// keys in compact form).
+	TypeRegister byte = 0x03
+	// TypeRegisterAck answers Register with the issued drone ID.
+	TypeRegisterAck byte = 0x04
+	// TypeSubmit carries one PoA submission.
+	TypeSubmit byte = 0x10
+	// TypeAck carries a batch of coalesced submission acks.
+	TypeAck byte = 0x11
+	// TypeError is a fatal protocol error; the sender closes after it.
+	TypeError byte = 0x7f
+)
+
+// Ack status codes.
+const (
+	// StatusCompliant / StatusViolation map the auditor's two verdicts.
+	StatusCompliant byte = 0
+	StatusViolation byte = 1
+	// StatusOverloaded is the 429 equivalent: the admission controller
+	// shed the submission; RetryAfterMS carries the backoff hint.
+	StatusOverloaded byte = 2
+	// StatusError is an internal auditor error (HTTP 5xx equivalent).
+	StatusError byte = 3
+)
+
+// Codec error taxonomy.
+var (
+	ErrBadMessage     = errors.New("wire: malformed message")
+	ErrUnknownType    = errors.New("wire: unknown message type")
+	ErrUnknownVersion = errors.New("wire: unsupported protocol version")
+)
+
+// Hello is the connection-opening handshake message.
+type Hello struct{}
+
+// HelloAck acknowledges a Hello with the accepted version.
+type HelloAck struct {
+	Version byte
+}
+
+// Submit is one PoA submission in flight on a wire connection. Seq is a
+// client-chosen correlation number echoed in the matching Ack, which is
+// what lets many submissions share one connection out of order.
+type Submit struct {
+	Seq        uint64
+	DroneID    string
+	Ciphertext []byte
+}
+
+// Ack is the verdict (or shed/error outcome) for one submission.
+type Ack struct {
+	Seq               uint64
+	Status            byte
+	RetryAfterMS      uint32 // backoff hint, StatusOverloaded only
+	InsufficientPairs uint16
+	Reason            string
+}
+
+// Register is a binary drone registration. The key envelopes are the
+// same "<suite>:<base64>" (or legacy bare-base64 RSA) strings the JSON
+// API carries, encoded compactly on the wire (see AppendKeyEnvelope).
+type Register struct {
+	OperatorPub string
+	TEEPub      string
+	Suite       string
+}
+
+// RegisterAck carries the issued drone identifier.
+type RegisterAck struct {
+	DroneID string
+}
+
+// WireError is a fatal protocol error message.
+type WireError struct {
+	Message string
+}
+
+// SplitType splits a frame payload's data into its message-type tag and
+// body.
+func SplitType(data []byte) (typ byte, body []byte, err error) {
+	if len(data) == 0 {
+		return 0, nil, fmt.Errorf("%w: empty message", ErrBadMessage)
+	}
+	return data[0], data[1:], nil
+}
+
+// --- primitive append/consume helpers -----------------------------------
+
+func appendStr16(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func takeStr16(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("%w: short string length", ErrBadMessage)
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("%w: string runs past body", ErrBadMessage)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func appendBytes32(dst []byte, p []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p)))
+	return append(dst, p...)
+}
+
+func takeBytes32(b []byte) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("%w: short byte-slice length", ErrBadMessage)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint64(len(b)) < uint64(n) {
+		return nil, nil, fmt.Errorf("%w: byte slice runs past body", ErrBadMessage)
+	}
+	return b[:n], b[n:], nil
+}
+
+// --- message encode/decode ----------------------------------------------
+//
+// Every Encode* appends a complete frame (header + version + type + body)
+// to dst and returns the extended slice, so a batched sender can stack
+// several messages in one buffer and issue a single Write. Every Decode*
+// takes the body (after SplitType) and must tolerate arbitrary input —
+// the fuzz target drives them with garbage.
+
+// EncodeHello appends a Hello frame.
+func EncodeHello(dst []byte) []byte {
+	return AppendFrame(dst, Version1, []byte{TypeHello})
+}
+
+// DecodeHello decodes a Hello body.
+func DecodeHello(body []byte) (Hello, error) {
+	if len(body) != 0 {
+		return Hello{}, fmt.Errorf("%w: hello carries a body", ErrBadMessage)
+	}
+	return Hello{}, nil
+}
+
+// EncodeHelloAck appends a HelloAck frame.
+func EncodeHelloAck(dst []byte, a HelloAck) []byte {
+	return AppendFrame(dst, Version1, []byte{TypeHelloAck, a.Version})
+}
+
+// DecodeHelloAck decodes a HelloAck body.
+func DecodeHelloAck(body []byte) (HelloAck, error) {
+	if len(body) != 1 {
+		return HelloAck{}, fmt.Errorf("%w: hello-ack body must be 1 byte", ErrBadMessage)
+	}
+	return HelloAck{Version: body[0]}, nil
+}
+
+// EncodeSubmit appends a Submit frame.
+func EncodeSubmit(dst []byte, s Submit) []byte {
+	body := make([]byte, 0, 1+8+2+len(s.DroneID)+4+len(s.Ciphertext))
+	body = append(body, TypeSubmit)
+	body = binary.LittleEndian.AppendUint64(body, s.Seq)
+	body = appendStr16(body, s.DroneID)
+	body = appendBytes32(body, s.Ciphertext)
+	return AppendFrame(dst, Version1, body)
+}
+
+// DecodeSubmit decodes a Submit body. The ciphertext is copied out of
+// the frame buffer, so the caller may retain it.
+func DecodeSubmit(body []byte) (Submit, error) {
+	var s Submit
+	if len(body) < 8 {
+		return s, fmt.Errorf("%w: short submit seq", ErrBadMessage)
+	}
+	s.Seq = binary.LittleEndian.Uint64(body)
+	body = body[8:]
+	var err error
+	if s.DroneID, body, err = takeStr16(body); err != nil {
+		return s, err
+	}
+	var ct []byte
+	if ct, body, err = takeBytes32(body); err != nil {
+		return s, err
+	}
+	if len(body) != 0 {
+		return s, fmt.Errorf("%w: %d trailing bytes after submit", ErrBadMessage, len(body))
+	}
+	s.Ciphertext = append([]byte(nil), ct...)
+	return s, nil
+}
+
+// EncodeAcks appends one coalesced Ack frame carrying every ack in the
+// slice (at most MaxAcksPerFrame).
+func EncodeAcks(dst []byte, acks []Ack) ([]byte, error) {
+	if len(acks) == 0 || len(acks) > MaxAcksPerFrame {
+		return dst, fmt.Errorf("%w: %d acks in one frame", ErrBadMessage, len(acks))
+	}
+	body := make([]byte, 0, 1+2+len(acks)*24)
+	body = append(body, TypeAck)
+	body = binary.LittleEndian.AppendUint16(body, uint16(len(acks)))
+	for _, a := range acks {
+		if len(a.Reason) > math.MaxUint16 {
+			a.Reason = a.Reason[:math.MaxUint16]
+		}
+		body = binary.LittleEndian.AppendUint64(body, a.Seq)
+		body = append(body, a.Status)
+		body = binary.LittleEndian.AppendUint32(body, a.RetryAfterMS)
+		body = binary.LittleEndian.AppendUint16(body, a.InsufficientPairs)
+		body = appendStr16(body, a.Reason)
+	}
+	return AppendFrame(dst, Version1, body), nil
+}
+
+// DecodeAcks decodes an Ack frame body into its ack list.
+func DecodeAcks(body []byte) ([]Ack, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("%w: short ack count", ErrBadMessage)
+	}
+	n := int(binary.LittleEndian.Uint16(body))
+	body = body[2:]
+	if n == 0 || n > MaxAcksPerFrame {
+		return nil, fmt.Errorf("%w: %d acks in one frame", ErrBadMessage, n)
+	}
+	acks := make([]Ack, 0, n)
+	for i := 0; i < n; i++ {
+		if len(body) < 8+1+4+2 {
+			return nil, fmt.Errorf("%w: ack %d runs past body", ErrBadMessage, i)
+		}
+		var a Ack
+		a.Seq = binary.LittleEndian.Uint64(body)
+		a.Status = body[8]
+		a.RetryAfterMS = binary.LittleEndian.Uint32(body[9:])
+		a.InsufficientPairs = binary.LittleEndian.Uint16(body[13:])
+		body = body[15:]
+		var err error
+		if a.Reason, body, err = takeStr16(body); err != nil {
+			return nil, err
+		}
+		acks = append(acks, a)
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after acks", ErrBadMessage, len(body))
+	}
+	return acks, nil
+}
+
+// EncodeRegister appends a Register frame, encoding both key envelopes
+// in compact binary form.
+func EncodeRegister(dst []byte, r Register) ([]byte, error) {
+	body := []byte{TypeRegister}
+	var err error
+	if body, err = AppendKeyEnvelope(body, r.OperatorPub); err != nil {
+		return dst, fmt.Errorf("operator key: %w", err)
+	}
+	if body, err = AppendKeyEnvelope(body, r.TEEPub); err != nil {
+		return dst, fmt.Errorf("tee key: %w", err)
+	}
+	body = appendStr16(body, r.Suite)
+	return AppendFrame(dst, Version1, body), nil
+}
+
+// DecodeRegister decodes a Register body back into envelope strings.
+func DecodeRegister(body []byte) (Register, error) {
+	var r Register
+	var err error
+	if r.OperatorPub, body, err = TakeKeyEnvelope(body); err != nil {
+		return r, err
+	}
+	if r.TEEPub, body, err = TakeKeyEnvelope(body); err != nil {
+		return r, err
+	}
+	if r.Suite, body, err = takeStr16(body); err != nil {
+		return r, err
+	}
+	if len(body) != 0 {
+		return r, fmt.Errorf("%w: %d trailing bytes after register", ErrBadMessage, len(body))
+	}
+	return r, nil
+}
+
+// EncodeRegisterAck appends a RegisterAck frame.
+func EncodeRegisterAck(dst []byte, a RegisterAck) []byte {
+	body := []byte{TypeRegisterAck}
+	body = appendStr16(body, a.DroneID)
+	return AppendFrame(dst, Version1, body)
+}
+
+// DecodeRegisterAck decodes a RegisterAck body.
+func DecodeRegisterAck(body []byte) (RegisterAck, error) {
+	id, rest, err := takeStr16(body)
+	if err != nil {
+		return RegisterAck{}, err
+	}
+	if len(rest) != 0 {
+		return RegisterAck{}, fmt.Errorf("%w: trailing bytes after register-ack", ErrBadMessage)
+	}
+	return RegisterAck{DroneID: id}, nil
+}
+
+// EncodeError appends an Error frame.
+func EncodeError(dst []byte, e WireError) []byte {
+	msg := e.Message
+	if len(msg) > math.MaxUint16 {
+		msg = msg[:math.MaxUint16]
+	}
+	body := []byte{TypeError}
+	body = appendStr16(body, msg)
+	return AppendFrame(dst, Version1, body)
+}
+
+// DecodeError decodes an Error body.
+func DecodeError(body []byte) (WireError, error) {
+	msg, rest, err := takeStr16(body)
+	if err != nil {
+		return WireError{}, err
+	}
+	if len(rest) != 0 {
+		return WireError{}, fmt.Errorf("%w: trailing bytes after error", ErrBadMessage)
+	}
+	return WireError{Message: msg}, nil
+}
+
+// --- suite-envelope key encoding ----------------------------------------
+//
+// The JSON API carries keys as "<suite>:<base64>" envelope strings
+// (legacy bare-base64 for RSA). The wire form drops the base64 expansion:
+//
+//	[1B suite-id length][suite id][4B LE raw key length][raw key bytes]
+//
+// A legacy bare envelope encodes with an empty suite id, so the two wire
+// families round-trip to exactly the string the registry expects and the
+// auditor's envelope-vs-declared-suite validation is unaffected.
+
+// AppendKeyEnvelope appends the compact binary form of a key envelope.
+func AppendKeyEnvelope(dst []byte, envelope string) ([]byte, error) {
+	suiteID, body, err := sigcrypto.ParseSuiteEnvelope(envelope)
+	if err != nil {
+		return dst, err
+	}
+	raw, err := base64.StdEncoding.DecodeString(body)
+	if err != nil {
+		return dst, fmt.Errorf("%w: key body is not base64: %v", ErrBadMessage, err)
+	}
+	if len(suiteID) > math.MaxUint8 {
+		return dst, fmt.Errorf("%w: suite id too long", ErrBadMessage)
+	}
+	dst = append(dst, byte(len(suiteID)))
+	dst = append(dst, suiteID...)
+	return appendBytes32(dst, raw), nil
+}
+
+// TakeKeyEnvelope consumes one compact key envelope and rebuilds the
+// string form the suite registry parses.
+func TakeKeyEnvelope(b []byte) (envelope string, rest []byte, err error) {
+	if len(b) < 1 {
+		return "", nil, fmt.Errorf("%w: short suite-id length", ErrBadMessage)
+	}
+	n := int(b[0])
+	b = b[1:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("%w: suite id runs past body", ErrBadMessage)
+	}
+	suiteID := string(b[:n])
+	b = b[n:]
+	raw, rest, err := takeBytes32(b)
+	if err != nil {
+		return "", nil, err
+	}
+	body := base64.StdEncoding.EncodeToString(raw)
+	if suiteID == "" {
+		return body, rest, nil
+	}
+	return suiteID + ":" + body, rest, nil
+}

@@ -1,0 +1,229 @@
+package wire
+
+// Codec invariants: every message round-trips through its frame,
+// malformed bodies fail with ErrBadMessage rather than panicking, and
+// the compact key-envelope form reproduces exactly the string the
+// sigcrypto registry parses — for both the suite-prefixed and the legacy
+// bare-RSA families.
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sigcrypto"
+)
+
+// readOne decodes a single frame from raw and returns its message type
+// and body.
+func readOne(t *testing.T, raw []byte) (byte, []byte) {
+	t.Helper()
+	kind, data, err := ReadFrame(bufio.NewReader(bytes.NewReader(raw)), MaxMessageBytes)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if kind != Version1 {
+		t.Fatalf("frame version %#x, want %#x", kind, Version1)
+	}
+	typ, body, err := SplitType(data)
+	if err != nil {
+		t.Fatalf("SplitType: %v", err)
+	}
+	return typ, body
+}
+
+func TestSubmitRoundTrip(t *testing.T) {
+	in := Submit{Seq: 0x1122334455667788, DroneID: "drone-00000001", Ciphertext: []byte("ciphertext bytes")}
+	typ, body := readOne(t, EncodeSubmit(nil, in))
+	if typ != TypeSubmit {
+		t.Fatalf("type %#x, want TypeSubmit", typ)
+	}
+	out, err := DecodeSubmit(body)
+	if err != nil {
+		t.Fatalf("DecodeSubmit: %v", err)
+	}
+	if out.Seq != in.Seq || out.DroneID != in.DroneID || !bytes.Equal(out.Ciphertext, in.Ciphertext) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestAcksRoundTrip(t *testing.T) {
+	in := []Ack{
+		{Seq: 1, Status: StatusCompliant},
+		{Seq: 2, Status: StatusViolation, InsufficientPairs: 7, Reason: "insufficient PoA"},
+		{Seq: 3, Status: StatusOverloaded, RetryAfterMS: 2000},
+		{Seq: 4, Status: StatusError, Reason: "store sealed"},
+	}
+	raw, err := EncodeAcks(nil, in)
+	if err != nil {
+		t.Fatalf("EncodeAcks: %v", err)
+	}
+	typ, body := readOne(t, raw)
+	if typ != TypeAck {
+		t.Fatalf("type %#x, want TypeAck", typ)
+	}
+	out, err := DecodeAcks(body)
+	if err != nil {
+		t.Fatalf("DecodeAcks: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d acks, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("ack %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestAcksRejectBadCounts(t *testing.T) {
+	if _, err := EncodeAcks(nil, nil); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("empty batch: got %v", err)
+	}
+	if _, err := EncodeAcks(nil, make([]Ack, MaxAcksPerFrame+1)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("oversized batch: got %v", err)
+	}
+	// A count field larger than the actual entries must not over-allocate
+	// or run past the body.
+	raw, _ := EncodeAcks(nil, []Ack{{Seq: 1}})
+	_, body := readOne(t, raw)
+	body = append([]byte(nil), body...)
+	body[0], body[1] = 0xff, 0x03 // claim 1023 acks
+	if _, err := DecodeAcks(body); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("inflated count: got %v", err)
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	typ, body := readOne(t, EncodeHello(nil))
+	if typ != TypeHello {
+		t.Fatalf("type %#x, want TypeHello", typ)
+	}
+	if _, err := DecodeHello(body); err != nil {
+		t.Fatalf("DecodeHello: %v", err)
+	}
+
+	typ, body = readOne(t, EncodeHelloAck(nil, HelloAck{Version: Version1}))
+	if typ != TypeHelloAck {
+		t.Fatalf("type %#x, want TypeHelloAck", typ)
+	}
+	ack, err := DecodeHelloAck(body)
+	if err != nil || ack.Version != Version1 {
+		t.Fatalf("DecodeHelloAck: %+v, %v", ack, err)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	typ, body := readOne(t, EncodeError(nil, WireError{Message: "unsupported version"}))
+	if typ != TypeError {
+		t.Fatalf("type %#x, want TypeError", typ)
+	}
+	we, err := DecodeError(body)
+	if err != nil || we.Message != "unsupported version" {
+		t.Fatalf("DecodeError: %+v, %v", we, err)
+	}
+}
+
+// TestRegisterRoundTrip drives the suite-envelope key encoding with real
+// keys from every registered suite plus the legacy bare-RSA form, and
+// checks the reassembled envelope still parses in the registry.
+func TestRegisterRoundTrip(t *testing.T) {
+	for _, suiteID := range sigcrypto.Suites() {
+		suite, err := sigcrypto.SuiteByID(suiteID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		priv, err := suite.GenerateKey(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := priv.Public().Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := Register{OperatorPub: env, TEEPub: env, Suite: suiteID}
+		raw, err := EncodeRegister(nil, in)
+		if err != nil {
+			t.Fatalf("%s: EncodeRegister: %v", suiteID, err)
+		}
+		typ, body := readOne(t, raw)
+		if typ != TypeRegister {
+			t.Fatalf("type %#x, want TypeRegister", typ)
+		}
+		out, err := DecodeRegister(body)
+		if err != nil {
+			t.Fatalf("%s: DecodeRegister: %v", suiteID, err)
+		}
+		if out != in {
+			t.Fatalf("%s: round trip mismatch:\n%+v\nvs\n%+v", suiteID, out, in)
+		}
+		// The reassembled envelope must parse back to the same key.
+		pub, err := sigcrypto.ParsePublicKey(out.TEEPub)
+		if err != nil {
+			t.Fatalf("%s: reassembled envelope unparseable: %v", suiteID, err)
+		}
+		if !pub.Equal(priv.Public()) {
+			t.Fatalf("%s: reassembled key differs", suiteID)
+		}
+	}
+}
+
+func TestRegisterAckRoundTrip(t *testing.T) {
+	typ, body := readOne(t, EncodeRegisterAck(nil, RegisterAck{DroneID: "drone-00000009"}))
+	if typ != TypeRegisterAck {
+		t.Fatalf("type %#x, want TypeRegisterAck", typ)
+	}
+	out, err := DecodeRegisterAck(body)
+	if err != nil || out.DroneID != "drone-00000009" {
+		t.Fatalf("DecodeRegisterAck: %+v, %v", out, err)
+	}
+}
+
+func TestKeyEnvelopeLegacyBareForm(t *testing.T) {
+	// A legacy bare-base64 envelope (no suite prefix) must survive the
+	// compact form without growing a prefix.
+	bare := "AAECAwQ=" // base64 of 00 01 02 03 04
+	enc, err := AppendKeyEnvelope(nil, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[0] != 0 {
+		t.Fatalf("bare envelope encoded with suite-id length %d", enc[0])
+	}
+	out, rest, err := TakeKeyEnvelope(enc)
+	if err != nil || len(rest) != 0 || out != bare {
+		t.Fatalf("TakeKeyEnvelope: %q rest=%d err=%v", out, len(rest), err)
+	}
+}
+
+func TestDecodeRejectsTruncatedBodies(t *testing.T) {
+	sub := EncodeSubmit(nil, Submit{Seq: 9, DroneID: "d", Ciphertext: []byte("ct")})
+	_, body := readOne(t, sub)
+	for i := 0; i < len(body); i++ {
+		if _, err := DecodeSubmit(body[:i]); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("truncated submit at %d: got %v", i, err)
+		}
+	}
+	if _, err := DecodeSubmit(append(append([]byte(nil), body...), 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeRegister([]byte{200}); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("short register accepted")
+	}
+	if _, _, err := TakeKeyEnvelope([]byte{3, 'a'}); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("torn suite id accepted")
+	}
+}
+
+func TestEncodeErrorTruncatesHugeMessage(t *testing.T) {
+	raw := EncodeError(nil, WireError{Message: strings.Repeat("x", 1<<17)})
+	_, body := readOne(t, raw)
+	we, err := DecodeError(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(we.Message) != 1<<16-1 {
+		t.Fatalf("message length %d, want clamp to uint16", len(we.Message))
+	}
+}

@@ -33,4 +33,10 @@ go build ./...
 echo ">> go test -race ./..."
 go test -race ./...
 
+# Ten seconds of coverage-guided fuzzing over the wire codec: the decoder
+# faces untrusted bytes from the network, so the gate exercises it beyond
+# the checked-in corpus on every run.
+echo ">> go test ./internal/wire -fuzz FuzzDecodeFrame -fuzztime 10s"
+go test ./internal/wire -run '^$' -fuzz FuzzDecodeFrame -fuzztime 10s
+
 echo "all checks passed"

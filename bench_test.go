@@ -10,17 +10,22 @@
 package alidrone
 
 import (
+	"context"
 	"crypto/rsa"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/auditor"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/flightsim"
 	"repro/internal/geo"
@@ -979,4 +984,164 @@ func BenchmarkSubmitThroughput(b *testing.B) {
 		defer wc.Close()
 		submitLoop(b, wc, droneID)
 	})
+
+	// The cluster pair measures scale-out rather than transport: the same
+	// submissions against a 1-node and a 4-node cluster whose per-node
+	// verification capacity is pinned (Workers=1, MaxInflight=1, plus a
+	// fixed simulated verification budget inside the admission slot — see
+	// Config.SimVerifyCost for why an off-CPU wait, not spin, is the
+	// honest probe on a single-core box). Each drone is pinned to one
+	// submitter goroutine targeting its owning node, so the ns/op ratio
+	// cluster-1node ÷ cluster-4node isolates cross-node overlap: a
+	// routing layer that serialised nodes against each other would hold
+	// the ratio near 1. scripts/bench.sh gates the ratio at > 2.
+	b.Run("cluster-1node", func(b *testing.B) { benchClusterSubmit(b, 1) })
+	b.Run("cluster-4node", func(b *testing.B) { benchClusterSubmit(b, 4) })
+}
+
+const (
+	// benchClusterVerifyCost is the fixed per-submission verification
+	// budget each node pays inside its single admission slot.
+	benchClusterVerifyCost = 2 * time.Millisecond
+	// benchClusterDronesPerNode submitter goroutines per node keep that
+	// slot saturated without any drone ever queueing behind itself.
+	benchClusterDronesPerNode = 4
+)
+
+// benchClusterSubmit drives PoA submissions against an in-process n-node
+// cluster. Drones are registered until every node owns an equal share,
+// and each is submitted through a client for its owning node — the
+// benchmark routes client-side, as a map-aware operator does, so
+// forwarding never enters the measured path.
+func benchClusterSubmit(b *testing.B, n int) {
+	b.Helper()
+	ct := []byte("not-a-ciphertext") // as in the transport pair: instant violation
+
+	encKey, err := sigcrypto.GenerateKeyPair(rand.New(rand.NewSource(11)), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Listeners first so every node knows the full address set; the full
+	// seed list makes the very first map complete, no gossip warm-up.
+	listeners := make([]net.Listener, n)
+	nodes := make([]cluster.Node, n)
+	for i := range listeners {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		listeners[i] = lis
+		nodes[i] = cluster.Node{ID: fmt.Sprintf("bench-node-%d", i), Addr: lis.Addr().String()}
+	}
+	routers := make([]*auditor.Router, n)
+	clients := make(map[string]*operator.HTTPAuditor, n)
+	for i := range routers {
+		r, err := auditor.NewRouter(auditor.RouterConfig{
+			Self:  nodes[i],
+			Seeds: nodes,
+			Server: auditor.Config{
+				Random:        rand.New(rand.NewSource(int64(100 + i))),
+				EncryptionKey: encKey,
+				Workers:       1,
+				MaxInflight:   1,
+				SimVerifyCost: benchClusterVerifyCost,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		routers[i] = r
+		b.Cleanup(func() { r.Close() })
+		hs := &httptest.Server{
+			Listener: listeners[i],
+			Config:   &http.Server{Handler: auditor.NewHandler(r)},
+		}
+		hs.Start()
+		b.Cleanup(hs.Close)
+		clients[nodes[i].ID] = operator.NewHTTPAuditor(hs.URL, nil)
+	}
+
+	// One operator/TEE keypair serves every registration: key generation
+	// is setup cost, not what this benchmark measures.
+	teeKey, err := sigcrypto.GenerateKeyPair(rand.New(rand.NewSource(12)), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opPub, err := sigcrypto.MarshalPublicKey(&benchKey(b, 1024).PublicKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	teePub, err := sigcrypto.MarshalPublicKey(&teeKey.PublicKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	type pinnedDrone struct {
+		id  string
+		api *operator.HTTPAuditor
+	}
+	var drones []pinnedDrone
+	owned := make(map[string]int, n)
+	m := routers[0].Map()
+	for attempts := 0; len(drones) < n*benchClusterDronesPerNode; attempts++ {
+		if attempts > 100*n*benchClusterDronesPerNode {
+			b.Fatalf("could not balance %d drones across %d nodes", n*benchClusterDronesPerNode, n)
+		}
+		resp, err := routers[0].RegisterDroneCtx(context.Background(),
+			protocol.RegisterDroneRequest{OperatorPub: opPub, TEEPub: teePub})
+		if err != nil {
+			b.Fatal(err)
+		}
+		owner, ok := m.Owner(resp.DroneID)
+		if !ok {
+			b.Fatal("registered drone has no owner")
+		}
+		if owned[owner.ID] >= benchClusterDronesPerNode {
+			continue // this node's share is full; try another random ID
+		}
+		owned[owner.ID]++
+		drones = append(drones, pinnedDrone{id: resp.DroneID, api: clients[owner.ID]})
+	}
+
+	// Warm every connection and pin the repeatable-violation verdict
+	// before timing.
+	for _, d := range drones {
+		resp, err := d.api.SubmitPoA(protocol.SubmitPoARequest{DroneID: d.id, EncryptedPoA: ct})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Verdict != protocol.VerdictViolation {
+			b.Fatalf("verdict = %v, want repeatable violation", resp.Verdict)
+		}
+	}
+
+	// Hand-rolled load loop instead of RunParallel: the submitter count
+	// must equal the drone count exactly (RunParallel scales goroutines
+	// by GOMAXPROCS, which would either starve the nodes or overflow the
+	// per-drone fairness queues depending on the machine).
+	b.ReportAllocs()
+	b.ResetTimer()
+	var (
+		next int64
+		wg   sync.WaitGroup
+	)
+	for _, d := range drones {
+		wg.Add(1)
+		go func(d pinnedDrone) {
+			defer wg.Done()
+			for atomic.AddInt64(&next, 1) <= int64(b.N) {
+				resp, err := d.api.SubmitPoA(protocol.SubmitPoARequest{DroneID: d.id, EncryptedPoA: ct})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if resp.Verdict != protocol.VerdictViolation {
+					b.Error("want repeatable violation")
+					return
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
 }

@@ -21,8 +21,17 @@
 // between checkpoints are lost on a crash.
 //
 // Unless -metrics=false, the server exposes Prometheus-style counters on
-// GET /metrics and a liveness probe on GET /healthz (see the README
-// "Observability" section for the metric names).
+// GET /metrics, a liveness probe on GET /healthz and a readiness probe
+// on GET /readyz (see the README "Observability" section for the metric
+// names).
+//
+// Cluster mode: -node-id turns the binary into one node of a sharded
+// auditor cluster. -shards sets the local shard count (each shard is a
+// full Server with its own WAL directory under -state-dir/shard-<i>),
+// -peers lists seed nodes as id=host:port[+wirehost:port], and
+// -advertise is the address peers and routing clients reach this node
+// at. Mis-routed submissions are forwarded to the owning node exactly
+// once (see DESIGN.md "Sharded cluster").
 //
 // Tracing: every request continues the submitter's trace when it carries
 // a W3C traceparent header; -trace-sample additionally samples traces
@@ -46,10 +55,12 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/auditor"
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
 	otrace "repro/internal/obs/trace"
@@ -80,6 +91,12 @@ type options struct {
 	traceBuffer  int
 	debugAddr    string
 	slowMS       int
+
+	// Cluster mode (enabled by -node-id).
+	nodeID    string
+	peers     string
+	shards    int
+	advertise string
 }
 
 func main() {
@@ -104,6 +121,10 @@ func main() {
 	flag.IntVar(&o.traceBuffer, "trace-buffer", otrace.DefaultRingSize, "finished spans kept in the in-memory ring served at /debug/traces")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "separate listener for /debug/traces and /debug/pprof/* (empty = disabled)")
 	flag.IntVar(&o.slowMS, "slow-ms", 0, "log requests slower than this many milliseconds with their trace ID (0 = disabled)")
+	flag.StringVar(&o.nodeID, "node-id", "", "cluster node identity; enables cluster mode (one Server = one shard behind a router)")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated seed peers, id=host:port[+wirehost:port] (cluster mode)")
+	flag.IntVar(&o.shards, "shards", 1, "local shard Servers per node (cluster mode)")
+	flag.StringVar(&o.advertise, "advertise", "", "address peers and routing clients reach this node at (default: -listen)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -171,35 +192,98 @@ func run(o options) error {
 	}
 	collector := otrace.NewRingCollector(o.traceBuffer)
 	cfg.Tracer = otrace.New(otrace.Options{Sample: o.traceSample, Sink: collector})
-	srv, store, err := openServer(cfg, o)
-	if err != nil {
-		return err
+
+	// Backend selection: with -node-id the binary is one cluster node —
+	// N shard Servers behind a Router that owns routing, gossip and
+	// handoff. Without it, the classic single-Server auditor.
+	var (
+		backend auditor.Backend
+		srv     *auditor.Server // shard 0 in cluster mode
+		store   storage.Store
+		router  *auditor.Router
+		err     error
+	)
+	if o.nodeID != "" {
+		if o.statePath != "" {
+			return errors.New("cluster mode persists per shard via -state-dir; -state is not supported")
+		}
+		seeds, perr := cluster.ParsePeers(o.peers)
+		if perr != nil {
+			return fmt.Errorf("-peers: %w", perr)
+		}
+		advertise := o.advertise
+		if advertise == "" {
+			advertise = o.listen
+		}
+		router, err = auditor.NewRouter(auditor.RouterConfig{
+			Self:     cluster.Node{ID: o.nodeID, Addr: advertise, WireAddr: o.wireAddr},
+			Seeds:    seeds,
+			Shards:   o.shards,
+			StateDir: o.stateDir,
+			Server:   cfg,
+			Logger:   logger,
+		})
+		if err != nil {
+			return err
+		}
+		backend = router
+		srv = router.Shard(0)
+	} else {
+		srv, store, err = openServer(cfg, o)
+		if err != nil {
+			return err
+		}
+		backend = srv
 	}
 
 	// Housekeeping: purge expired PoAs (and, in legacy mode, checkpoint
 	// the state file) until stop. With the storage engine attached the
 	// purge itself is WAL-logged and compaction is automatic, so the
-	// sweeper only sweeps.
+	// sweeper only sweeps. Cluster mode sweeps every local shard.
 	legacyCheckpoint := ""
-	if store == nil {
+	if store == nil && router == nil {
 		legacyCheckpoint = o.statePath
 	}
 	stop := make(chan struct{})
 	done := make(chan struct{})
-	sweeper := &auditor.Sweeper{
-		Server:    srv,
-		StatePath: legacyCheckpoint,
-		Interval:  o.saveEvery,
-		Logf:      log.Printf,
+	shards := []*auditor.Server{srv}
+	if router != nil {
+		shards = shards[:0]
+		for i := 0; i < router.NumShards(); i++ {
+			shards = append(shards, router.Shard(i))
+		}
 	}
 	sweepCtx, cancelSweep := context.WithCancel(context.Background())
 	defer cancelSweep()
 	go func() {
 		defer close(done)
-		sweeper.Run(sweepCtx, stop)
+		var wg sync.WaitGroup
+		for i, sh := range shards {
+			statePath := ""
+			if i == 0 {
+				statePath = legacyCheckpoint
+			}
+			sweeper := &auditor.Sweeper{
+				Server:    sh,
+				StatePath: statePath,
+				Interval:  o.saveEvery,
+				Logf:      log.Printf,
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sweeper.Run(sweepCtx, stop)
+			}()
+		}
+		wg.Wait()
 	}()
 
-	handler := auditor.NewHandlerOpts(srv, auditor.HandlerOptions{
+	// Gossip: the membership loop that keeps the cluster map converged.
+	if router != nil {
+		go router.Run(sweepCtx)
+	}
+
+	handler := auditor.NewHandlerOpts(backend, auditor.HandlerOptions{
 		Collector: collector,
 		Logger:    logger,
 		Slow:      time.Duration(o.slowMS) * time.Millisecond,
@@ -215,7 +299,7 @@ func run(o options) error {
 		if err != nil {
 			return fmt.Errorf("wire listener: %w", err)
 		}
-		wireSrv = auditor.NewWireServer(srv, auditor.WireOptions{Logger: logger})
+		wireSrv = auditor.NewWireServer(backend.(auditor.WireBackend), auditor.WireOptions{Logger: logger})
 		go func() {
 			if err := wireSrv.Serve(lis); err != nil {
 				log.Printf("wire listener failed: %v", err)
@@ -243,15 +327,30 @@ func run(o options) error {
 		if wireSrv != nil {
 			_ = wireSrv.Close()
 		}
-		shutdown(srv, store, legacyCheckpoint)
+		if router != nil {
+			cancelSweep()
+			if err := router.Checkpoint(); err != nil {
+				log.Printf("final cluster checkpoint failed: %v", err)
+			}
+			if err := router.Close(); err != nil {
+				log.Printf("router close failed: %v", err)
+			}
+		} else {
+			shutdown(srv, store, legacyCheckpoint)
+		}
 		if debugSrv != nil {
 			_ = debugSrv.Close()
 		}
 		_ = httpSrv.Close()
 	}()
 
-	log.Printf("alidrone-auditor listening on %s (mode=%s, retention=%v, state-dir=%q, state=%q, workers=%d, max-inflight=%d)",
-		o.listen, o.mode, o.retention, o.stateDir, o.statePath, srv.Workers(), srv.MaxInflight())
+	if router != nil {
+		log.Printf("alidrone-auditor cluster node %s listening on %s (shards=%d, peers=%q, state-dir=%q)",
+			o.nodeID, o.listen, router.NumShards(), o.peers, o.stateDir)
+	} else {
+		log.Printf("alidrone-auditor listening on %s (mode=%s, retention=%v, state-dir=%q, state=%q, workers=%d, max-inflight=%d)",
+			o.listen, o.mode, o.retention, o.stateDir, o.statePath, srv.Workers(), srv.MaxInflight())
+	}
 	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -3,6 +3,7 @@ package auditor
 import (
 	"bytes"
 	"context"
+	"crypto/rsa"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -16,6 +17,7 @@ import (
 	otrace "repro/internal/obs/trace"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
+	"repro/internal/zone"
 )
 
 // compile-time check: the server implements the protocol surface,
@@ -23,7 +25,41 @@ import (
 var (
 	_ protocol.API         = (*Server)(nil)
 	_ protocol.RotationAPI = (*Server)(nil)
+	_ Backend              = (*Server)(nil)
 )
+
+// Backend is the verification surface the HTTP transport serves: every
+// protocol endpoint plus the operational introspection the handler
+// mounts next to them. A single-node *Server implements it directly;
+// the cluster *Router implements it by routing each call to the owning
+// shard — local or remote — so the transport layer is identical either
+// way. This interface IS the tentpole refactor: "one Server = one
+// shard", with everything above it backend-agnostic.
+type Backend interface {
+	RegisterDroneCtx(ctx context.Context, req protocol.RegisterDroneRequest) (protocol.RegisterDroneResponse, error)
+	RegisterZone(req protocol.RegisterZoneRequest) (protocol.RegisterZoneResponse, error)
+	RegisterPolygonZone(req protocol.RegisterPolygonZoneRequest) (protocol.RegisterZoneResponse, error)
+	ZoneQueryCtx(ctx context.Context, req protocol.ZoneQueryRequest) (protocol.ZoneQueryResponse, error)
+	SubmitPoACtx(ctx context.Context, req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error)
+	SubmitBatchPoACtx(ctx context.Context, req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error)
+	StartSession(req protocol.StartSessionRequest) (protocol.StartSessionResponse, error)
+	SubmitMACPoACtx(ctx context.Context, req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error)
+	RotateKeyCtx(ctx context.Context, req protocol.RotateKeyRequest) (protocol.RotateKeyResponse, error)
+	OpenStream(req protocol.OpenStreamRequest) (protocol.OpenStreamResponse, error)
+	StreamSampleCtx(ctx context.Context, req protocol.StreamSampleRequest) (protocol.StreamSampleResponse, error)
+	CloseStreamCtx(ctx context.Context, req protocol.CloseStreamRequest) (protocol.SubmitPoAResponse, error)
+	HandleAccusationCtx(ctx context.Context, droneID, zoneID string, at time.Time) (protocol.SubmitPoAResponse, error)
+	EncryptionPub() *rsa.PublicKey
+	Zones() *zone.Registry
+	Status() protocol.StatusResponse
+	Metrics() *obs.Registry
+	Tracer() *otrace.Tracer
+	// Ready distinguishes liveness from readiness: nil once the backend
+	// can serve verdicts (shards recovered, ring joined). A bare Server
+	// is ready as soon as it exists — recovery happens in OpenServer
+	// before anything can reach it.
+	Ready() error
+}
 
 // HandlerOptions configures the operational side of the HTTP transport.
 // The zero value mounts the bare protocol surface.
@@ -39,23 +75,24 @@ type HandlerOptions struct {
 	Slow time.Duration
 }
 
-// Handler exposes a Server over HTTP with JSON bodies. Register it on any
-// mux or serve it directly.
+// Handler exposes a Backend over HTTP with JSON bodies. Register it on
+// any mux or serve it directly. The same handler fronts a single-node
+// Server and a cluster Router; routing is the backend's concern.
 type Handler struct {
-	srv  *Server
+	srv  Backend
 	mux  *http.ServeMux
 	opts HandlerOptions
 }
 
 var _ http.Handler = (*Handler)(nil)
 
-// NewHandler wraps a server with default (zero) options.
-func NewHandler(srv *Server) *Handler {
+// NewHandler wraps a backend with default (zero) options.
+func NewHandler(srv Backend) *Handler {
 	return NewHandlerOpts(srv, HandlerOptions{})
 }
 
-// NewHandlerOpts wraps a server with explicit operational options.
-func NewHandlerOpts(srv *Server, opts HandlerOptions) *Handler {
+// NewHandlerOpts wraps a backend with explicit operational options.
+func NewHandlerOpts(srv Backend, opts HandlerOptions) *Handler {
 	h := &Handler{srv: srv, mux: http.NewServeMux(), opts: opts}
 	h.handle(protocol.PathRegisterDrone, post(h.registerDrone))
 	h.handle(protocol.PathRegisterZone, post(h.registerZone))
@@ -75,8 +112,12 @@ func NewHandlerOpts(srv *Server, opts HandlerOptions) *Handler {
 	h.handle(protocol.PathStatus, h.status)
 	h.mux.HandleFunc(PathMetrics, h.metrics)
 	h.mux.HandleFunc(PathHealthz, h.healthz)
+	h.mux.HandleFunc(PathReadyz, h.readyz)
 	if opts.Collector != nil {
 		h.mux.Handle(PathDebugTraces, opts.Collector)
+	}
+	if cb, ok := srv.(clusterBackend); ok {
+		h.registerClusterRoutes(cb)
 	}
 	return h
 }
@@ -140,9 +181,48 @@ func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte("ok\n"))
 }
 
+// readyz is the readiness probe: 200 once the backend can actually serve
+// verdicts (shards recovered, ring joined), 503 with the reason until
+// then. Liveness (/healthz) stays green the whole time so a slow-joining
+// node is redialed, not restarted.
+func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := h.srv.Ready(); err != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("not ready: " + err.Error() + "\n"))
+		return
+	}
+	_, _ = w.Write([]byte("ready\n"))
+}
+
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(protocol.ForwardedHeader) != "" {
+		// A peer already forwarded this request once; mark the context so
+		// the backend raises ErrMisrouted instead of forwarding again.
+		r = r.WithContext(withForwarded(r.Context()))
+	}
 	h.mux.ServeHTTP(w, r)
+}
+
+// forwardedCtxKey marks a request context as having crossed one
+// node-to-node forward already (the single-hop guard's memory).
+type forwardedCtxKey struct{}
+
+// withForwarded marks ctx as belonging to an already-forwarded request.
+func withForwarded(ctx context.Context) context.Context {
+	return context.WithValue(ctx, forwardedCtxKey{}, true)
+}
+
+// isForwarded reports whether the request behind ctx was already
+// forwarded once between auditor nodes.
+func isForwarded(ctx context.Context) bool {
+	v, _ := ctx.Value(forwardedCtxKey{}).(bool)
+	return v
 }
 
 // post restricts an endpoint to the POST method.
@@ -161,9 +241,26 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// remoteError carries a peer's HTTP failure back through the node that
+// forwarded to it, preserving the peer's status code so the client sees
+// the same answer it would have gotten talking to the owner directly.
+type remoteError struct {
+	status int
+	msg    string
+}
+
+func (e *remoteError) Error() string { return e.msg }
+
 // statusFor maps server errors onto HTTP statuses.
 func statusFor(err error) int {
+	var rerr *remoteError
 	switch {
+	case errors.As(err, &rerr):
+		return rerr.status
+	case errors.Is(err, protocol.ErrMisrouted):
+		// Routing disagreement past the single-hop guard: the client's
+		// cluster map is stale; refresh and retry elsewhere.
+		return http.StatusMisdirectedRequest
 	case errors.Is(err, ErrUnknownDrone), errors.Is(err, ErrUnknownZone),
 		errors.Is(err, ErrNoPoA), errors.Is(err, ErrUnknownSession),
 		errors.Is(err, ErrUnknownStream):

@@ -13,6 +13,10 @@ const (
 	PathMetrics = "/metrics"
 	// PathHealthz is the liveness probe.
 	PathHealthz = "/healthz"
+	// PathReadyz is the readiness probe: 200 once the backend can serve
+	// verdicts (shards recovered, cluster ring joined), 503 until then.
+	// Operator clients treat a non-ready node as a redial target.
+	PathReadyz = protocol.PathReadyz
 	// PathDebugTraces dumps the span ring buffer as JSONL (when a
 	// collector is mounted — see HandlerOptions and the -debug-addr flag).
 	PathDebugTraces = "/debug/traces"
@@ -98,6 +102,17 @@ const (
 	// MetricWireErrorsTotal counts connections torn down on protocol
 	// errors (bad CRC, unknown version/type, malformed messages).
 	MetricWireErrorsTotal = "alidrone_auditor_wire_errors_total"
+	// MetricClusterNodes gauges the nodes in this node's current cluster
+	// map (alive + suspect; dead nodes have left the ring).
+	MetricClusterNodes = "alidrone_cluster_nodes"
+	// MetricClusterForwardsTotal counts submissions this node forwarded to
+	// the owning node because they arrived mis-routed, labelled
+	// dir=out (we forwarded) | in (we executed a peer's forward).
+	MetricClusterForwardsTotal = "alidrone_cluster_forwards_total"
+	// MetricClusterHandoffSeconds is a histogram of shard-handoff
+	// durations: exporting, streaming and importing one node's state after
+	// a ring change.
+	MetricClusterHandoffSeconds = "alidrone_cluster_handoff_seconds"
 )
 
 // Verification pipeline stage labels (the stage= label of the

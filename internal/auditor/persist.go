@@ -254,31 +254,11 @@ func loadServerBytes(cfg Config, data []byte) (*Server, error) {
 	srv.encKey = key
 
 	for _, d := range snap.Drones {
-		opPub, err := sigcrypto.UnmarshalPublicKey(d.OperatorPub)
+		rec, err := decodeDroneSnapshot(d)
 		if err != nil {
-			return nil, fmt.Errorf("load state: drone %s: %w", d.ID, err)
+			return nil, fmt.Errorf("load state: %w", err)
 		}
-		var keys []TEEKey
-		for _, k := range d.Keys {
-			pub, err := sigcrypto.ParsePublicKey(k.Pub)
-			if err != nil {
-				return nil, fmt.Errorf("load state: drone %s: %w", d.ID, err)
-			}
-			keys = append(keys, TEEKey{Pub: pub, Epoch: k.Epoch, RetiredAt: k.RetiredAt})
-		}
-		if len(keys) == 0 {
-			// Legacy snapshot: TEEPub is the sole epoch-0 key.
-			pub, err := sigcrypto.ParsePublicKey(d.TEEPub)
-			if err != nil {
-				return nil, fmt.Errorf("load state: drone %s: %w", d.ID, err)
-			}
-			keys = []TEEKey{{Pub: pub}}
-		}
-		suite := d.Suite
-		if suite == "" {
-			suite = keys[len(keys)-1].Pub.SuiteID()
-		}
-		srv.drones.restore(DroneRecord{ID: d.ID, OperatorPub: opPub, Suite: suite, TEEKeys: keys}, snap.NextDrone)
+		srv.drones.restore(rec, snap.NextDrone)
 	}
 
 	if err := srv.zones.Import(snap.Zones); err != nil {
@@ -308,6 +288,36 @@ func loadServerBytes(cfg Config, data []byte) (*Server, error) {
 		srv.seen.restore(dg, d.Seen)
 	}
 	return srv, nil
+}
+
+// decodeDroneSnapshot rebuilds one registered drone from its snapshot
+// (shared by state-file restore and cluster shard handoff).
+func decodeDroneSnapshot(d droneSnapshot) (DroneRecord, error) {
+	opPub, err := sigcrypto.UnmarshalPublicKey(d.OperatorPub)
+	if err != nil {
+		return DroneRecord{}, fmt.Errorf("drone %s: %w", d.ID, err)
+	}
+	var keys []TEEKey
+	for _, k := range d.Keys {
+		pub, err := sigcrypto.ParsePublicKey(k.Pub)
+		if err != nil {
+			return DroneRecord{}, fmt.Errorf("drone %s: %w", d.ID, err)
+		}
+		keys = append(keys, TEEKey{Pub: pub, Epoch: k.Epoch, RetiredAt: k.RetiredAt})
+	}
+	if len(keys) == 0 {
+		// Legacy snapshot: TEEPub is the sole epoch-0 key.
+		pub, err := sigcrypto.ParsePublicKey(d.TEEPub)
+		if err != nil {
+			return DroneRecord{}, fmt.Errorf("drone %s: %w", d.ID, err)
+		}
+		keys = []TEEKey{{Pub: pub}}
+	}
+	suite := d.Suite
+	if suite == "" {
+		suite = keys[len(keys)-1].Pub.SuiteID()
+	}
+	return DroneRecord{ID: d.ID, OperatorPub: opPub, Suite: suite, TEEKeys: keys}, nil
 }
 
 // OpenServer recovers a server from a storage engine and attaches it, so

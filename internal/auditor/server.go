@@ -144,6 +144,24 @@ type Config struct {
 	// Logger receives the server's structured operational log lines
 	// (e.g. failed WAL appends during retention sweeps). Nil disables.
 	Logger *olog.Logger
+	// EncryptionKey, when set, is used as the PoA-encryption keypair
+	// instead of generating one. Every shard of a cluster node (and every
+	// node of a cluster) must share one key so a drone's ciphertext
+	// decrypts on whichever shard owns it.
+	EncryptionKey *rsa.PrivateKey
+	// ShardTag, when non-empty, is folded into issued session and stream
+	// IDs ("session-<tag>-0001") so shards of a cluster never issue
+	// colliding IDs. Single-node servers leave it empty and keep the
+	// historical formats.
+	ShardTag string
+	// SimVerifyCost, when positive, sleeps that long inside the admission
+	// slot of every submission — a benchmark-only stand-in for a fixed
+	// per-node verification budget. On a single-core box a real CPU-bound
+	// pipeline cannot show cluster scale-out (all nodes share the core);
+	// an off-CPU wait overlaps across nodes, so the cluster benchmark's
+	// 4-node-vs-1-node ratio honestly measures that the routing layer
+	// adds no cross-node serialization. Never set outside benchmarks.
+	SimVerifyCost time.Duration
 }
 
 // DefaultInflightPerWorker scales the admission budget from the worker
@@ -221,9 +239,13 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = obs.System
 	}
-	key, err := sigcrypto.GenerateKeyPair(cfg.Random, cfg.EncKeyBits)
-	if err != nil {
-		return nil, fmt.Errorf("auditor keypair: %w", err)
+	key := cfg.EncryptionKey
+	if key == nil {
+		var err error
+		key, err = sigcrypto.GenerateKeyPair(cfg.Random, cfg.EncKeyBits)
+		if err != nil {
+			return nil, fmt.Errorf("auditor keypair: %w", err)
+		}
 	}
 	s := &Server{
 		cfg:      cfg,
@@ -238,6 +260,8 @@ func NewServer(cfg Config) (*Server, error) {
 		zones3D:  newZone3DStore(),
 		streams:  newStreamStore(),
 	}
+	s.sessions.tag = cfg.ShardTag
+	s.streams.tag = cfg.ShardTag
 	if cfg.Metrics != nil {
 		cfg.Metrics.Gauge(MetricVerifyWorkers).Set(float64(s.pool.Size()))
 		busy := cfg.Metrics.Gauge(MetricVerifyWorkersBusy)
@@ -284,6 +308,18 @@ func (s *Server) Status() protocol.StatusResponse {
 // EncryptionPub returns the Auditor public key drones encrypt PoAs to.
 func (s *Server) EncryptionPub() *rsa.PublicKey { return &s.encKey.PublicKey }
 
+// EncryptionKey returns the full PoA-encryption keypair. The cluster
+// router uses it to share one key across shards and serve it to joining
+// peers; nothing else should need the private half.
+func (s *Server) EncryptionKey() *rsa.PrivateKey { return s.encKey }
+
+// Ready implements the Backend readiness probe. A Server is ready as
+// soon as it exists: OpenServer finishes recovery before returning it.
+func (s *Server) Ready() error { return nil }
+
+// wireConnDelta adjusts the live wire-connection count (WireBackend).
+func (s *Server) wireConnDelta(d int64) { s.wireConns.Add(d) }
+
 // Zones exposes the NFZ registry (zone owners register through it or via
 // the protocol endpoint).
 func (s *Server) Zones() *zone.Registry { return s.zones }
@@ -296,27 +332,60 @@ func (s *Server) RegisterDrone(req protocol.RegisterDroneRequest) (protocol.Regi
 // RegisterDroneCtx is RegisterDrone under a caller context (trace
 // propagation into the WAL commit).
 func (s *Server) RegisterDroneCtx(ctx context.Context, req protocol.RegisterDroneRequest) (protocol.RegisterDroneResponse, error) {
-	opPub, err := sigcrypto.UnmarshalPublicKey(req.OperatorPub)
+	rec, err := s.parseRegistration(req)
 	if err != nil {
-		return protocol.RegisterDroneResponse{}, fmt.Errorf("operator key: %w", err)
-	}
-	teeKey, err := sigcrypto.ParsePublicKey(req.TEEPub)
-	if err != nil {
-		return protocol.RegisterDroneResponse{}, fmt.Errorf("tee key: %w", err)
-	}
-	suite := teeKey.SuiteID()
-	if req.Suite != "" && req.Suite != suite {
-		return protocol.RegisterDroneResponse{}, fmt.Errorf(
-			"auditor: requested suite %q does not match the key envelope (%s)", req.Suite, suite)
-	}
-	if err := s.suiteAllowed(suite); err != nil {
 		return protocol.RegisterDroneResponse{}, err
 	}
-	id := s.drones.register(DroneRecord{OperatorPub: opPub, Suite: suite, TEEKeys: []TEEKey{{Pub: teeKey}}})
-	if err := s.wal(ctx, recDroneRegistered, walDrone{ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub, Suite: suite}); err != nil {
+	id := s.drones.register(rec)
+	if err := s.wal(ctx, recDroneRegistered, walDrone{ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub, Suite: rec.Suite}); err != nil {
 		return protocol.RegisterDroneResponse{}, err
 	}
 	return protocol.RegisterDroneResponse{DroneID: id}, nil
+}
+
+// RegisterDroneWithID files a registration under a caller-chosen ID. The
+// cluster routing layer issues drone IDs ring-side — the ID determines
+// the owning node, so it must exist before the record is placed — and
+// then files the record here on the owner. Single-node deployments keep
+// issuing sequential IDs through RegisterDroneCtx.
+func (s *Server) RegisterDroneWithID(ctx context.Context, id string, req protocol.RegisterDroneRequest) (protocol.RegisterDroneResponse, error) {
+	if id == "" {
+		return protocol.RegisterDroneResponse{}, errors.New("auditor: empty drone id")
+	}
+	rec, err := s.parseRegistration(req)
+	if err != nil {
+		return protocol.RegisterDroneResponse{}, err
+	}
+	rec.ID = id
+	if !s.drones.create(rec) {
+		return protocol.RegisterDroneResponse{}, fmt.Errorf("auditor: drone id %q already registered", id)
+	}
+	if err := s.wal(ctx, recDroneRegistered, walDrone{ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub, Suite: rec.Suite}); err != nil {
+		return protocol.RegisterDroneResponse{}, err
+	}
+	return protocol.RegisterDroneResponse{DroneID: id}, nil
+}
+
+// parseRegistration validates a registration request and builds the
+// unfiled record (ID unassigned).
+func (s *Server) parseRegistration(req protocol.RegisterDroneRequest) (DroneRecord, error) {
+	opPub, err := sigcrypto.UnmarshalPublicKey(req.OperatorPub)
+	if err != nil {
+		return DroneRecord{}, fmt.Errorf("operator key: %w", err)
+	}
+	teeKey, err := sigcrypto.ParsePublicKey(req.TEEPub)
+	if err != nil {
+		return DroneRecord{}, fmt.Errorf("tee key: %w", err)
+	}
+	suite := teeKey.SuiteID()
+	if req.Suite != "" && req.Suite != suite {
+		return DroneRecord{}, fmt.Errorf(
+			"auditor: requested suite %q does not match the key envelope (%s)", req.Suite, suite)
+	}
+	if err := s.suiteAllowed(suite); err != nil {
+		return DroneRecord{}, err
+	}
+	return DroneRecord{OperatorPub: opPub, Suite: suite, TEEKeys: []TEEKey{{Pub: teeKey}}}, nil
 }
 
 // suiteAllowed enforces Config.AllowedSuites at registration time; an
@@ -430,6 +499,7 @@ func (s *Server) submitPoA(ctx context.Context, req protocol.SubmitPoARequest) (
 		return protocol.SubmitPoAResponse{}, err
 	}
 	defer s.admission.Release()
+	s.simVerifyWait(ctx)
 	sub := &pipeline.Submission{
 		DroneID:    req.DroneID,
 		Ciphertext: req.EncryptedPoA,
@@ -437,6 +507,21 @@ func (s *Server) submitPoA(ctx context.Context, req protocol.SubmitPoARequest) (
 		Suite:      rec.Suite,
 	}
 	return s.runSubmission(ctx, sub, s.seqSubmit)
+}
+
+// simVerifyWait sleeps Config.SimVerifyCost inside the admission slot —
+// the benchmark-only fixed verification budget (see the Config field for
+// why). A zero cost (every production configuration) returns instantly.
+func (s *Server) simVerifyWait(ctx context.Context) {
+	if s.cfg.SimVerifyCost <= 0 {
+		return
+	}
+	t := time.NewTimer(s.cfg.SimVerifyCost)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // runSubmission executes a stage sequence and settles the replay-digest

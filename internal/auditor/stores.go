@@ -63,6 +63,19 @@ func (st *droneStore) all() []DroneRecord {
 	return out
 }
 
+// create files a record under a caller-chosen ID — the cluster routing
+// layer issues drone IDs ring-side and files them on the owning shard.
+// It returns false when the ID is already taken.
+func (st *droneStore) create(rec DroneRecord) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[rec.ID]; ok {
+		return false
+	}
+	st.m[rec.ID] = rec
+	return true
+}
+
 // restore files a record under its persisted ID and bumps the sequence.
 func (st *droneStore) restore(rec DroneRecord, next int) {
 	st.mu.Lock()
@@ -332,9 +345,20 @@ func (st *retentionStore) restore(r retainedPoA) {
 	}
 }
 
+// taggedID renders an issued ID, folding in the shard tag when the
+// server runs as one shard of a cluster so IDs issued by different
+// shards never collide ("session-0007" vs "session-a-s1-0007").
+func taggedID(prefix, tag string, n int) string {
+	if tag == "" {
+		return fmt.Sprintf("%s-%04d", prefix, n)
+	}
+	return fmt.Sprintf("%s-%s-%04d", prefix, tag, n)
+}
+
 // sessionStore holds the §VII-A1a symmetric flight sessions.
 type sessionStore struct {
 	mu   sync.RWMutex
+	tag  string
 	m    map[string]sessionRecord
 	next int
 }
@@ -345,7 +369,7 @@ func (st *sessionStore) add(rec sessionRecord) string {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.next++
-	id := fmt.Sprintf("session-%04d", st.next)
+	id := taggedID("session", st.tag, st.next)
 	st.m[id] = rec
 	return id
 }
@@ -425,6 +449,7 @@ func (st *zone3DStore) restore(rec cylinderRecord, next int) {
 // parallel.
 type streamStore struct {
 	mu   sync.Mutex
+	tag  string
 	m    map[string]*streamState
 	next int
 }
@@ -435,7 +460,7 @@ func (st *streamStore) open(droneID string) string {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.next++
-	id := fmt.Sprintf("stream-%04d", st.next)
+	id := taggedID("stream", st.tag, st.next)
 	st.m[id] = &streamState{DroneID: droneID}
 	return id
 }

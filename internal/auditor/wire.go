@@ -87,9 +87,22 @@ func (m *wireMetrics) ackCounter(status byte) *obs.Counter {
 	}
 }
 
-// WireServer serves the binary transport for one auditor Server.
+// WireBackend is what the binary transport needs from a backend: the
+// operations it carries, connection accounting and the metrics registry.
+// Both the single-node *Server and the cluster *Router satisfy it (the
+// unexported method keeps the set closed to this package).
+type WireBackend interface {
+	SubmitPoACtx(ctx context.Context, req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error)
+	RegisterDroneCtx(ctx context.Context, req protocol.RegisterDroneRequest) (protocol.RegisterDroneResponse, error)
+	Metrics() *obs.Registry
+	wireConnDelta(d int64)
+}
+
+var _ WireBackend = (*Server)(nil)
+
+// WireServer serves the binary transport for one auditor backend.
 type WireServer struct {
-	srv  *Server
+	srv  WireBackend
 	opts WireOptions
 	met  wireMetrics
 
@@ -102,7 +115,7 @@ type WireServer struct {
 
 // NewWireServer wraps srv with a binary transport. Call Serve with a
 // listener to start accepting.
-func NewWireServer(srv *Server, opts WireOptions) *WireServer {
+func NewWireServer(srv WireBackend, opts WireOptions) *WireServer {
 	if opts.MaxFrameBytes <= 0 {
 		opts.MaxFrameBytes = wire.MaxMessageBytes
 	}
@@ -227,10 +240,10 @@ func (ws *WireServer) handleConn(c net.Conn) {
 	defer c.Close()
 
 	log := ws.opts.Logger
-	ws.srv.wireConns.Add(1)
+	ws.srv.wireConnDelta(1)
 	ws.met.connections.Add(1)
 	defer func() {
-		ws.srv.wireConns.Add(-1)
+		ws.srv.wireConnDelta(-1)
 		ws.met.connections.Add(-1)
 	}()
 
@@ -362,6 +375,71 @@ func (ws *WireServer) readLoop(ctx context.Context, br *bufio.Reader, wc *wireCo
 				case <-ctx.Done():
 				}
 			}()
+		case wire.TypeForward:
+			// A peer's single-hop forward: same payload as a submit, but the
+			// context is marked forwarded so a routing backend executes it
+			// locally (or raises ErrMisrouted) instead of forwarding again.
+			fwd, err := wire.DecodeForward(body)
+			if err != nil {
+				ws.met.errors.Inc()
+				wc.sendError(err.Error())
+				return
+			}
+			select {
+			case pipelineSlots <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			ws.met.submissions.Inc()
+			submitWG.Add(1)
+			go func() {
+				defer submitWG.Done()
+				defer func() { <-pipelineSlots }()
+				resp, err := ws.srv.SubmitPoACtx(withForwarded(ctx), protocol.SubmitPoARequest{
+					DroneID:      fwd.DroneID,
+					EncryptedPoA: fwd.Ciphertext,
+				})
+				select {
+				case acks <- ackFor(fwd.Seq, resp, err):
+				case <-ctx.Done():
+				}
+			}()
+		case wire.TypeClusterMap:
+			cb, ok := ws.srv.(clusterBackend)
+			if !ok {
+				ws.met.errors.Inc()
+				wc.sendError("cluster map: not a cluster node")
+				return
+			}
+			js, err := cb.clusterMapJSON()
+			if err != nil {
+				wc.sendError("cluster map: " + err.Error())
+				return
+			}
+			if wc.writeFrame(wire.EncodeClusterMap(nil, js), true) != nil {
+				return
+			}
+		case wire.TypeGossip:
+			cb, ok := ws.srv.(clusterBackend)
+			if !ok {
+				ws.met.errors.Inc()
+				wc.sendError("gossip: not a cluster node")
+				return
+			}
+			digest, err := wire.DecodeGossip(body)
+			if err != nil {
+				ws.met.errors.Inc()
+				wc.sendError(err.Error())
+				return
+			}
+			reply, err := cb.gossipExchange(digest)
+			if err != nil {
+				wc.sendError("gossip: " + err.Error())
+				return
+			}
+			if wc.writeFrame(wire.EncodeGossip(nil, reply), true) != nil {
+				return
+			}
 		case wire.TypeRegister:
 			// Registration is rare and order-sensitive (the drone needs
 			// its ID before submitting), so it runs synchronously.

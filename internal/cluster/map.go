@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+)
+
+// Map is the versioned cluster snapshot served at /cluster/map: the node
+// set the ring is built over, plus a version clients compare to detect
+// staleness. A Map is immutable once published — Membership builds a new
+// one on every change — so readers share it without locks. The ring is
+// derived lazily (and exactly once) from the node IDs, which keeps the
+// JSON form small and lets a freshly unmarshalled client map route
+// immediately.
+type Map struct {
+	// Version increases monotonically on every membership change at the
+	// node that observed it; merges adopt the highest version seen. A
+	// client holding version V routes optimistically and refreshes when
+	// a node answers with a newer map (or forwards on its behalf).
+	Version uint64 `json:"version"`
+	// VNodes is the virtual-node count the ring is built with; every
+	// router and client must derive the identical ring.
+	VNodes int `json:"vnodes"`
+	// Nodes is the ring membership, sorted by ID. Suspected nodes stay
+	// listed (flapping ownership on a missed heartbeat would churn
+	// handoffs); only dead nodes drop out.
+	Nodes []Node `json:"nodes"`
+
+	once sync.Once
+	ring *Ring
+}
+
+// NewMap builds a published map over the given nodes (copied, sorted).
+func NewMap(version uint64, vnodes int, nodes []Node) *Map {
+	m := &Map{Version: version, VNodes: vnodes, Nodes: append([]Node(nil), nodes...)}
+	sort.Slice(m.Nodes, func(i, j int) bool { return m.Nodes[i].ID < m.Nodes[j].ID })
+	return m
+}
+
+// Ring returns the consistent-hash ring over the map's node IDs,
+// building it on first use.
+func (m *Map) Ring() *Ring {
+	m.once.Do(func() {
+		ids := make([]string, len(m.Nodes))
+		for i, n := range m.Nodes {
+			ids[i] = n.ID
+		}
+		m.ring = NewRing(ids, m.VNodes)
+	})
+	return m.ring
+}
+
+// Owner returns the node owning droneID. ok is false on an empty map.
+func (m *Map) Owner(droneID string) (Node, bool) {
+	id := m.Ring().Owner(droneID)
+	if id == "" {
+		return Node{}, false
+	}
+	return m.Lookup(id)
+}
+
+// Lookup returns the node with the given ID.
+func (m *Map) Lookup(id string) (Node, bool) {
+	for _, n := range m.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// Has reports whether the map lists a node with the given ID.
+func (m *Map) Has(id string) bool {
+	_, ok := m.Lookup(id)
+	return ok
+}

@@ -1,0 +1,67 @@
+// Package cluster is the auditor's scale-out layer: node identity, a
+// consistent-hash ring partitioning drone IDs across auditor nodes, a
+// versioned cluster-map snapshot that clients fetch for client-side
+// routing, and a dependency-free gossip membership protocol (seed-list
+// bootstrap, periodic heartbeat digests, suspect/dead detection on the
+// injectable clock). The package knows nothing about verification — it
+// answers exactly one question, "which node owns this drone?", and keeps
+// that answer eventually consistent across the fleet.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node identifies one auditor process in the cluster.
+type Node struct {
+	// ID is the stable node name ("a1", "auditor-eu-2", ...). Ring
+	// placement hashes the ID, so renaming a node moves its drones.
+	ID string `json:"id"`
+	// Addr is the advertised HTTP host:port peers and clients reach the
+	// node's protocol API on (forwarding, /cluster/* exchanges).
+	Addr string `json:"addr"`
+	// WireAddr, when non-empty, is the node's binary-transport host:port;
+	// gossip digests prefer it over HTTP.
+	WireAddr string `json:"wireAddr,omitempty"`
+}
+
+// String renders the node in the -peers flag syntax.
+func (n Node) String() string {
+	if n.WireAddr != "" {
+		return n.ID + "=" + n.Addr + "+" + n.WireAddr
+	}
+	return n.ID + "=" + n.Addr
+}
+
+// ParsePeer parses one -peers entry: "id=host:port" or
+// "id=host:port+wirehost:port".
+func ParsePeer(s string) (Node, error) {
+	id, addr, ok := strings.Cut(strings.TrimSpace(s), "=")
+	if !ok || id == "" || addr == "" {
+		return Node{}, fmt.Errorf("cluster: bad peer %q (want id=host:port[+wirehost:port])", s)
+	}
+	n := Node{ID: id}
+	n.Addr, n.WireAddr, _ = strings.Cut(addr, "+")
+	if n.Addr == "" {
+		return Node{}, fmt.Errorf("cluster: bad peer %q: empty address", s)
+	}
+	return n, nil
+}
+
+// ParsePeers parses a comma-separated -peers list. Empty entries are
+// skipped so trailing commas are harmless.
+func ParsePeers(s string) ([]Node, error) {
+	var out []Node
+	for _, part := range strings.Split(s, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		n, err := ParsePeer(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -234,6 +234,23 @@ func newRequest(ctx context.Context, method, url, contentType string, body io.Re
 // allocs/op).
 var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
+// StatusError is a non-200 response from the auditor: the status code
+// plus the server's error body. Routing clients inspect Code — 421
+// Misdirected Request means the node no longer owns the drone and the
+// caller's cluster map is stale.
+type StatusError struct {
+	Path string // endpoint the call hit
+	Code int    // HTTP status
+	Msg  string // server error body, if any
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("auditor %s: %s (HTTP %d)", e.Path, e.Msg, e.Code)
+	}
+	return fmt.Sprintf("auditor %s: HTTP %d", e.Path, e.Code)
+}
+
 // drainClose reads a response body to EOF (bounded) before closing it.
 // Go's HTTP transport only returns a connection to the keep-alive pool
 // when the body was fully consumed; closing early forces a new
@@ -276,10 +293,8 @@ func (c *HTTPAuditor) postJSON(path string, req, resp any) error {
 		var eb struct {
 			Error string `json:"error"`
 		}
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("auditor %s: %s (HTTP %d)", path, eb.Error, httpResp.StatusCode)
-		}
-		return fmt.Errorf("auditor %s: HTTP %d", path, httpResp.StatusCode)
+		_ = json.Unmarshal(data, &eb)
+		return &StatusError{Path: path, Code: httpResp.StatusCode, Msg: eb.Error}
 	}
 	if err := json.Unmarshal(data, resp); err != nil {
 		return fmt.Errorf("decode %s response: %w", path, err)

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -57,6 +58,14 @@ type WireClientOptions struct {
 	Retry RetryPolicy
 	// DialTimeout bounds connection establishment. Default 10s.
 	DialTimeout time.Duration
+	// RedialBackoff is the initial wait after a failed (re)dial before
+	// the next dial attempt; it doubles per consecutive failure up to
+	// RedialMaxBackoff and resets on success. The applied wait is
+	// jittered over [base/2, base) so a fleet of clients that lost the
+	// same auditor does not redial in lockstep. Default 50ms.
+	RedialBackoff time.Duration
+	// RedialMaxBackoff caps the doubling. Default 5s.
+	RedialMaxBackoff time.Duration
 	// Metrics, when set, receives the client's wire series.
 	Metrics *obs.Registry
 }
@@ -77,15 +86,27 @@ type WireClient struct {
 	// path skips the registry's name lookup.
 	submits, flushes, retries, dials *obs.Counter
 
-	mu      sync.Mutex
-	conn    net.Conn
-	buf     []byte // encoded frames awaiting flush
-	queued  int    // submissions in buf
-	timer   *time.Timer
-	seq     uint64
-	pending map[uint64]*wireWaiter
-	closed  bool
+	// Redial backoff state (guarded by mu). now and jitter are
+	// injectable so tests pin the schedule without sleeping.
+	now    func() time.Time
+	jitter func() float64 // uniform [0,1)
+
+	mu         sync.Mutex
+	conn       net.Conn
+	buf        []byte // encoded frames awaiting flush
+	queued     int    // submissions in buf
+	timer      *time.Timer
+	seq        uint64
+	pending    map[uint64]*wireWaiter
+	closed     bool
+	redialWait time.Duration // current (unjittered) backoff base
+	nextDialAt time.Time     // dials before this instant fail fast
 }
+
+// ErrRedialBackoff reports a flush attempted while the client is backing
+// off from a failed dial; the submission fails fast instead of hammering
+// a dead (or restarting, not yet ready) auditor.
+var ErrRedialBackoff = errors.New("operator: wire redial backing off")
 
 // NewWireClient creates a client for the auditor's wire listener at
 // addr. The connection is established lazily on the first flush and
@@ -100,10 +121,18 @@ func NewWireClient(addr string, opts WireClientOptions) *WireClient {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 10 * time.Second
 	}
+	if opts.RedialBackoff <= 0 {
+		opts.RedialBackoff = 50 * time.Millisecond
+	}
+	if opts.RedialMaxBackoff <= 0 {
+		opts.RedialMaxBackoff = 5 * time.Second
+	}
 	return &WireClient{
 		addr:    addr,
 		opts:    opts,
 		sleep:   time.Sleep,
+		now:     time.Now,
+		jitter:  rand.Float64,
 		submits: opts.Metrics.Counter(MetricWireClientSubmitsTotal),
 		flushes: opts.Metrics.Counter(MetricWireClientFlushesTotal),
 		retries: opts.Metrics.Counter(MetricWireClientRetriesTotal),
@@ -145,14 +174,47 @@ func (c *WireClient) failLocked(err error) {
 // distinguish it from a server-sent error ack.
 func connLostReason(err error) string { return "\x00connlost:" + err.Error() }
 
+// noteDialFailureLocked arms (or doubles) the jittered redial backoff
+// after a failed connection attempt. Callers hold c.mu.
+func (c *WireClient) noteDialFailureLocked() {
+	if c.redialWait == 0 {
+		c.redialWait = c.opts.RedialBackoff
+	} else {
+		c.redialWait *= 2
+		if c.redialWait > c.opts.RedialMaxBackoff {
+			c.redialWait = c.opts.RedialMaxBackoff
+		}
+	}
+	half := c.redialWait / 2
+	c.nextDialAt = c.now().Add(half + time.Duration(c.jitter()*float64(half)))
+}
+
 // dialLocked establishes the connection and performs the Hello/HelloAck
-// handshake. Callers hold c.mu.
+// handshake. A failure arms the jittered redial backoff; until it
+// expires further dial attempts fail fast with ErrRedialBackoff. Callers
+// hold c.mu.
 func (c *WireClient) dialLocked() error {
+	if !c.nextDialAt.IsZero() && c.now().Before(c.nextDialAt) {
+		return fmt.Errorf("wire dial %s: %w (next attempt in %v)",
+			c.addr, ErrRedialBackoff, c.nextDialAt.Sub(c.now()).Round(time.Millisecond))
+	}
 	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
 	if err != nil {
+		c.noteDialFailureLocked()
 		return fmt.Errorf("wire dial %s: %w", c.addr, err)
 	}
 	c.dials.Inc()
+	// A handshake failure is a failed dial too: the backoff must also
+	// cover an auditor that accepts TCP but is not yet serving.
+	handshaken := false
+	defer func() {
+		if handshaken {
+			c.redialWait = 0
+			c.nextDialAt = time.Time{}
+		} else {
+			c.noteDialFailureLocked()
+		}
+	}()
 	if _, err := conn.Write(wire.EncodeHello(nil)); err != nil {
 		conn.Close()
 		return fmt.Errorf("wire hello: %w", err)
@@ -182,6 +244,7 @@ func (c *WireClient) dialLocked() error {
 		conn.Close()
 		return fmt.Errorf("%w: server speaks %d", wire.ErrUnknownVersion, ack.Version)
 	}
+	handshaken = true
 	c.conn = conn
 	go c.readLoop(conn, br)
 	return nil

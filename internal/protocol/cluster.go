@@ -1,0 +1,100 @@
+package protocol
+
+// Cluster-layer wire surface: the endpoints auditor nodes use among
+// themselves (forwarding, gossip, state handoff) and that routing
+// clients use to learn the ring (/cluster/map). The payload of the map
+// and gossip exchanges is owned by internal/cluster; this file only
+// names the doors and the cross-node envelopes so operator clients and
+// the auditor agree without importing each other.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Cluster endpoint paths.
+const (
+	// PathClusterMap serves the versioned cluster map (GET): the
+	// client-side routing contract.
+	PathClusterMap = "/cluster/map"
+	// PathClusterGossip accepts one membership digest (POST) and answers
+	// with the receiver's digest — the HTTP fallback for peers without a
+	// wire address.
+	PathClusterGossip = "/cluster/gossip"
+	// PathClusterRegister files a drone registration under a
+	// router-issued ID on the owning node (POST, cluster-internal).
+	PathClusterRegister = "/cluster/register"
+	// PathClusterZone replicates a zone registration to a peer's shards
+	// (POST, cluster-internal; receivers do not re-broadcast).
+	PathClusterZone = "/cluster/zone"
+	// PathClusterHandoff streams shard state to a new owner before the
+	// ring change takes effect (POST, cluster-internal).
+	PathClusterHandoff = "/cluster/handoff"
+	// PathClusterKey serves the cluster's shared PoA encryption key to a
+	// joining node (GET, cluster-internal; production deployments must
+	// front this with an authenticated channel).
+	PathClusterKey = "/cluster/key"
+)
+
+// PathReadyz is the readiness probe (GET): 200 once a node has recovered
+// its shards and joined the ring, 503 with a reason otherwise. Routing
+// clients treat a non-ready node as a redial target, not a routing
+// destination. Distinct from /healthz, which only proves the process is
+// alive.
+const PathReadyz = "/readyz"
+
+// ForwardedHeader marks a request as already forwarded once between
+// auditor nodes. A node receiving a marked request for a drone it does
+// not own answers ErrMisrouted instead of forwarding again — the
+// single-hop guard that turns routing disagreement into a client-visible
+// retry instead of a forwarding loop.
+const ForwardedHeader = "X-Alidrone-Forwarded"
+
+// ErrMisrouted is the sentinel for the single-hop guard: the receiving
+// node does not own the drone and the request was already forwarded (or
+// arrived on a cluster-internal door that never forwards). The HTTP
+// transport maps it to 421 Misdirected Request; clients refresh their
+// cluster map and retry.
+var ErrMisrouted = errors.New("protocol: request misrouted past its owning node")
+
+// MisroutedError carries the routing disagreement's details.
+type MisroutedError struct {
+	// DroneID is the key that was routed.
+	DroneID string
+	// Owner is the node the receiver believes owns it ("" when the
+	// receiver has no ring).
+	Owner string
+}
+
+// Error implements error.
+func (e *MisroutedError) Error() string {
+	return fmt.Sprintf("%v: drone %q (owner here: %q)", ErrMisrouted, e.DroneID, e.Owner)
+}
+
+// Unwrap makes errors.Is(err, ErrMisrouted) hold.
+func (e *MisroutedError) Unwrap() error { return ErrMisrouted }
+
+// ClusterRegisterRequest files a drone under an ID the routing layer
+// already placed on the ring (the router issues IDs, the owner stores
+// them).
+type ClusterRegisterRequest struct {
+	DroneID string               `json:"droneId"`
+	Req     RegisterDroneRequest `json:"req"`
+}
+
+// ClusterHandoffRequest streams one node's shard state to the node that
+// owns (part of) it under a newer map. State is the source shard's
+// snapshot in the auditor's persistence format; the receiver imports the
+// entries the new ring assigns to it and checkpoints before answering,
+// so an acknowledged handoff is durable on the new owner.
+type ClusterHandoffRequest struct {
+	From       string            `json:"from"`
+	MapVersion uint64            `json:"mapVersion"`
+	State      []json.RawMessage `json:"state"` // one snapshot per source shard
+}
+
+// ClusterKeyResponse carries the cluster's shared PoA encryption key.
+type ClusterKeyResponse struct {
+	EncKey string `json:"encKey"`
+}

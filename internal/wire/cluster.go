@@ -1,0 +1,101 @@
+package wire
+
+// Cluster message codecs: forwarded submissions, cluster-map fetch and
+// gossip digests. The map and digest payloads are JSON (they change
+// shape as the cluster layer grows and are far off the hot path); the
+// framing, CRC and length discipline are identical to every other
+// message so the same read loop serves them.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Forward is a cluster-internal submission: a node that received a
+// Submit for a drone it does not own re-emits it to the owner as a
+// Forward. The owner executes it locally only — a Forward is never
+// forwarded again (single-hop guard) — and answers with a normal Ack
+// carrying the same seq.
+type Forward struct {
+	Seq        uint64
+	DroneID    string
+	Ciphertext []byte
+}
+
+// EncodeForward appends a Forward frame.
+func EncodeForward(dst []byte, f Forward) []byte {
+	body := make([]byte, 0, 1+8+2+len(f.DroneID)+4+len(f.Ciphertext))
+	body = append(body, TypeForward)
+	body = binary.LittleEndian.AppendUint64(body, f.Seq)
+	body = appendStr16(body, f.DroneID)
+	body = appendBytes32(body, f.Ciphertext)
+	return AppendFrame(dst, Version1, body)
+}
+
+// DecodeForward decodes a Forward body. The ciphertext is copied out of
+// the frame buffer, so the caller may retain it.
+func DecodeForward(body []byte) (Forward, error) {
+	var f Forward
+	if len(body) < 8 {
+		return f, fmt.Errorf("%w: short forward seq", ErrBadMessage)
+	}
+	f.Seq = binary.LittleEndian.Uint64(body)
+	body = body[8:]
+	var err error
+	if f.DroneID, body, err = takeStr16(body); err != nil {
+		return f, err
+	}
+	var ct []byte
+	if ct, body, err = takeBytes32(body); err != nil {
+		return f, err
+	}
+	if len(body) != 0 {
+		return f, fmt.Errorf("%w: %d trailing bytes after forward", ErrBadMessage, len(body))
+	}
+	f.Ciphertext = append([]byte(nil), ct...)
+	return f, nil
+}
+
+// EncodeClusterMap appends a ClusterMap frame. A nil/empty mapJSON is
+// the request form; a reply carries the serialized cluster.Map.
+func EncodeClusterMap(dst []byte, mapJSON []byte) []byte {
+	body := make([]byte, 0, 1+4+len(mapJSON))
+	body = append(body, TypeClusterMap)
+	body = appendBytes32(body, mapJSON)
+	return AppendFrame(dst, Version1, body)
+}
+
+// DecodeClusterMap decodes a ClusterMap body, returning the JSON payload
+// (empty = request). The payload is copied out of the frame buffer.
+func DecodeClusterMap(body []byte) ([]byte, error) {
+	payload, rest, err := takeBytes32(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after cluster-map", ErrBadMessage, len(rest))
+	}
+	return append([]byte(nil), payload...), nil
+}
+
+// EncodeGossip appends a Gossip frame carrying one JSON membership
+// digest.
+func EncodeGossip(dst []byte, digestJSON []byte) []byte {
+	body := make([]byte, 0, 1+4+len(digestJSON))
+	body = append(body, TypeGossip)
+	body = appendBytes32(body, digestJSON)
+	return AppendFrame(dst, Version1, body)
+}
+
+// DecodeGossip decodes a Gossip body, returning the JSON digest (copied
+// out of the frame buffer).
+func DecodeGossip(body []byte) ([]byte, error) {
+	payload, rest, err := takeBytes32(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after gossip", ErrBadMessage, len(rest))
+	}
+	return append([]byte(nil), payload...), nil
+}

@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// decodeOne reads one frame and returns its split type and body.
+func decodeOne(t *testing.T, frame []byte) (byte, []byte) {
+	t.Helper()
+	br := bufio.NewReader(bytes.NewReader(frame))
+	_, data, err := ReadFrame(br, MaxMessageBytes)
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	typ, body, err := SplitType(data)
+	if err != nil {
+		t.Fatalf("split type: %v", err)
+	}
+	return typ, body
+}
+
+func TestForwardRoundTrip(t *testing.T) {
+	in := Forward{Seq: 77, DroneID: "drone-00deadbeef", Ciphertext: []byte("opaque ct")}
+	typ, body := decodeOne(t, EncodeForward(nil, in))
+	if typ != TypeForward {
+		t.Fatalf("type = %#x, want TypeForward", typ)
+	}
+	out, err := DecodeForward(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != in.Seq || out.DroneID != in.DroneID || !bytes.Equal(out.Ciphertext, in.Ciphertext) {
+		t.Fatalf("round trip drift: %+v vs %+v", out, in)
+	}
+	// The forwarded payload layout is intentionally identical to Submit,
+	// so the owner's pipeline entry needs no translation.
+	sub, err := DecodeSubmit(body)
+	if err != nil || sub.Seq != in.Seq || sub.DroneID != in.DroneID {
+		t.Fatalf("forward body must decode as a submit body: %+v, %v", sub, err)
+	}
+}
+
+func TestForwardDecodeRejectsGarbage(t *testing.T) {
+	for _, body := range [][]byte{
+		nil,
+		{1, 2, 3},                           // short seq
+		append(make([]byte, 8), 0xff, 0xff), // str16 length runs past body
+	} {
+		if _, err := DecodeForward(body); err == nil {
+			t.Errorf("DecodeForward(%v): want error", body)
+		}
+	}
+	// Trailing bytes after a valid forward are a framing error.
+	full := EncodeForward(nil, Forward{Seq: 1, DroneID: "d", Ciphertext: []byte("x")})
+	_, body := decodeOne(t, full)
+	if _, err := DecodeForward(append(body, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestClusterMapRoundTrip(t *testing.T) {
+	// Request form: empty payload.
+	typ, body := decodeOne(t, EncodeClusterMap(nil, nil))
+	if typ != TypeClusterMap {
+		t.Fatalf("type = %#x, want TypeClusterMap", typ)
+	}
+	payload, err := DecodeClusterMap(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 0 {
+		t.Fatalf("request form must decode to empty payload, got %q", payload)
+	}
+	// Reply form carries the JSON verbatim.
+	js := []byte(`{"version":9,"vnodes":64,"nodes":[{"id":"a","addr":"h:1"}]}`)
+	_, body = decodeOne(t, EncodeClusterMap(nil, js))
+	payload, err = DecodeClusterMap(body)
+	if err != nil || !bytes.Equal(payload, js) {
+		t.Fatalf("map reply drift: %q, %v", payload, err)
+	}
+	if _, err := DecodeClusterMap(append(body, 0xaa)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestGossipRoundTrip(t *testing.T) {
+	js := []byte(`{"from":{"id":"a","addr":"h:1"},"version":2,"entries":[]}`)
+	typ, body := decodeOne(t, EncodeGossip(nil, js))
+	if typ != TypeGossip {
+		t.Fatalf("type = %#x, want TypeGossip", typ)
+	}
+	payload, err := DecodeGossip(body)
+	if err != nil || !bytes.Equal(payload, js) {
+		t.Fatalf("gossip drift: %q, %v", payload, err)
+	}
+	if _, err := DecodeGossip(body[:2]); err == nil {
+		t.Error("truncated gossip accepted")
+	}
+}

@@ -39,6 +39,10 @@ func fuzzSeeds() [][]byte {
 	}))
 	add(EncodeRegisterAck(nil, RegisterAck{DroneID: "drone-00000001"}), nil)
 	add(EncodeError(nil, WireError{Message: "unsupported version"}), nil)
+	add(EncodeForward(nil, Forward{Seq: 9, DroneID: "drone-cafe", Ciphertext: []byte("ct")}), nil)
+	add(EncodeClusterMap(nil, nil), nil) // request form
+	add(EncodeClusterMap(nil, []byte(`{"version":3,"nodes":[]}`)), nil)
+	add(EncodeGossip(nil, []byte(`{"from":{"id":"a","addr":"h:1"}}`)), nil)
 
 	whole := EncodeSubmit(nil, Submit{Seq: 7, DroneID: "d", Ciphertext: []byte("payload")})
 	seeds = append(seeds, whole[:len(whole)-3]) // truncated mid-payload
@@ -129,6 +133,18 @@ func FuzzDecodeFrame(f *testing.F) {
 			case TypeRegisterAck:
 				if v, err := DecodeRegisterAck(body); err == nil {
 					checkReadsBack(t, EncodeRegisterAck(nil, v))
+				}
+			case TypeForward:
+				if v, err := DecodeForward(body); err == nil {
+					checkReadsBack(t, EncodeForward(nil, v))
+				}
+			case TypeClusterMap:
+				if v, err := DecodeClusterMap(body); err == nil {
+					checkReadsBack(t, EncodeClusterMap(nil, v))
+				}
+			case TypeGossip:
+				if v, err := DecodeGossip(body); err == nil {
+					checkReadsBack(t, EncodeGossip(nil, v))
 				}
 			case TypeError:
 				if v, err := DecodeError(body); err == nil {

@@ -39,6 +39,17 @@ const (
 	TypeSubmit byte = 0x10
 	// TypeAck carries a batch of coalesced submission acks.
 	TypeAck byte = 0x11
+	// TypeForward carries a submission forwarded between cluster nodes:
+	// the same payload as TypeSubmit, but the receiver executes it on
+	// its local shards only and never re-forwards (the wire door's
+	// single-hop guard). Acked like a Submit.
+	TypeForward byte = 0x12
+	// TypeClusterMap requests (empty payload) or carries (JSON payload)
+	// the versioned cluster map — the wire door's /cluster/map.
+	TypeClusterMap byte = 0x13
+	// TypeGossip carries one membership digest (JSON). A node receiving
+	// a gossip frame merges it and answers with its own digest.
+	TypeGossip byte = 0x14
 	// TypeError is a fatal protocol error; the sender closes after it.
 	TypeError byte = 0x7f
 )

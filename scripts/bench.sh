@@ -55,6 +55,14 @@ WIRE_SPEEDUP="$(echo "${RAW}" | awk '
 	$1 ~ /^BenchmarkSubmitThroughput\/binary/ { bin = $3 }
 	END { if (http && bin && bin > 0) printf "%.1f", http / bin }')"
 
+# Headline scale-out ratio: submission throughput of a 4-node cluster
+# against a 1-node cluster with identical per-node capacity (ns/op of
+# the 1-node run divided by the 4-node run).
+CLUSTER_SPEEDUP="$(echo "${RAW}" | awk '
+	$1 ~ /^BenchmarkSubmitThroughput\/cluster-1node/ { one = $3 }
+	$1 ~ /^BenchmarkSubmitThroughput\/cluster-4node/ { four = $3 }
+	END { if (one && four && four > 0) printf "%.1f", one / four }')"
+
 # Snapshot as JSON: one object per benchmark line, plus run metadata.
 {
 	printf '{\n  "date": "%s",\n  "benchtime": "%s",\n' "${DATE}" "${BENCHTIME}"
@@ -63,6 +71,9 @@ WIRE_SPEEDUP="$(echo "${RAW}" | awk '
 	fi
 	if [ -n "${WIRE_SPEEDUP}" ]; then
 		printf '  "submit_speedup_binary_vs_http": %s,\n' "${WIRE_SPEEDUP}"
+	fi
+	if [ -n "${CLUSTER_SPEEDUP}" ]; then
+		printf '  "cluster_scaleout_4node_vs_1node": %s,\n' "${CLUSTER_SPEEDUP}"
 	fi
 	printf '  "results": [\n'
 	echo "${RAW}" | awk '
@@ -106,4 +117,15 @@ if [ -n "${WIRE_SPEEDUP}" ]; then
 		exit 1
 	fi
 	echo ">> binary wire transport ${WIRE_SPEEDUP}x faster than HTTP/JSON"
+fi
+
+# Scale-out gate: four nodes with identical per-node capacity must push
+# more than twice the submissions of one. A ratio at or under 2 means
+# the routing layer is serialising nodes against each other.
+if [ -n "${CLUSTER_SPEEDUP}" ]; then
+	if awk "BEGIN { exit !(${CLUSTER_SPEEDUP} <= 2.0) }"; then
+		echo ">> FAIL: 4-node cluster only ${CLUSTER_SPEEDUP}x a single node (need > 2x)" >&2
+		exit 1
+	fi
+	echo ">> 4-node cluster ${CLUSTER_SPEEDUP}x single-node submission throughput"
 fi

@@ -39,4 +39,12 @@ go test -race ./...
 echo ">> go test ./internal/wire -fuzz FuzzDecodeFrame -fuzztime 10s"
 go test ./internal/wire -run '^$' -fuzz FuzzDecodeFrame -fuzztime 10s
 
+# Two-node cluster end-to-end smoke: register a drone on node A, submit
+# its PoA through node B, and expect a transparent forward plus a
+# compliant verdict. The full suite above already runs this test; the
+# explicit -count=1 invocation keeps the cluster path in the gate even
+# when test caching or a narrowed suite would skip it.
+echo ">> go test ./internal/auditor -run TestClusterTwoNodeSmoke -count=1"
+go test ./internal/auditor -run 'TestClusterTwoNodeSmoke$' -count=1
+
 echo "all checks passed"

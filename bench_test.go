@@ -889,8 +889,13 @@ func BenchmarkZoneQueryRectIndexed2000(b *testing.B) {
 // benchTransportSetup registers one drone on a fresh zero-config server.
 func benchTransportSetup(b *testing.B) (*auditor.Server, string) {
 	b.Helper()
-	rng := rand.New(rand.NewSource(9))
-	srv, err := auditor.NewServer(auditor.Config{Random: rng})
+	return benchServerSetup(b, auditor.Config{Random: rand.New(rand.NewSource(9))})
+}
+
+// benchServerSetup builds a server from cfg and registers one drone.
+func benchServerSetup(b *testing.B, cfg auditor.Config) (*auditor.Server, string) {
+	b.Helper()
+	srv, err := auditor.NewServer(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1144,4 +1149,41 @@ func benchClusterSubmit(b *testing.B, n int) {
 		}(d)
 	}
 	wg.Wait()
+}
+
+// BenchmarkVerdictSLO isolates the cost of the sliding-window SLO
+// tracker on the hot path: the same instant-violation submission
+// (undecryptable 16-byte ciphertext, rejected at the decrypt stage)
+// against a metrics-enabled server without (bare) and with (slo) the
+// SLO engine attached. Both runs pay the registry instrumentation the
+// server always had, so the ratio isolates exactly what the tracker
+// adds per verdict: two mutex-guarded window observes plus the
+// shed/admitted accounting. The pair is a CI gate: scripts/bench.sh
+// fails when slo costs more than 5% over bare.
+func BenchmarkVerdictSLO(b *testing.B) {
+	run := func(b *testing.B, instrument bool) {
+		cfg := auditor.Config{
+			Random:  rand.New(rand.NewSource(9)),
+			Metrics: obs.NewRegistry(nil),
+		}
+		if instrument {
+			cfg.SLO = obs.NewSLO(obs.SLOOptions{})
+			cfg.SLO.Register(cfg.Metrics, auditor.MetricSLOPrefix)
+		}
+		srv, droneID := benchServerSetup(b, cfg)
+		ct := []byte("not-a-ciphertext")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: droneID, EncryptedPoA: ct})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Verdict != protocol.VerdictViolation {
+				b.Fatal("want repeatable violation")
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false) })
+	b.Run("slo", func(b *testing.B) { run(b, true) })
 }

@@ -23,7 +23,11 @@
 // Unless -metrics=false, the server exposes Prometheus-style counters on
 // GET /metrics, a liveness probe on GET /healthz and a readiness probe
 // on GET /readyz (see the README "Observability" section for the metric
-// names).
+// names). -slo-window sets the sliding window behind the SLO summary
+// (per-door verdict latency quantiles and shed rate); in cluster mode
+// any node additionally serves the fleet-merged exposition on GET
+// /cluster/metrics and the fleet status snapshot on GET /cluster/status
+// (pretty-printed by the alidrone-status command).
 //
 // Cluster mode: -node-id turns the binary into one node of a sharded
 // auditor cluster. -shards sets the local shard count (each shard is a
@@ -81,6 +85,7 @@ type options struct {
 	compactEvery int
 	fsync        bool
 	metrics      bool
+	sloWindow    time.Duration
 	workers      int
 	maxInflight  int
 	queueDepth   int
@@ -111,6 +116,7 @@ func main() {
 	flag.StringVar(&o.statePath, "state", "", "legacy state file; with -state-dir it is the migration source")
 	flag.DurationVar(&o.saveEvery, "save-every", time.Minute, "retention sweep interval (and checkpoint interval in legacy -state mode)")
 	flag.BoolVar(&o.metrics, "metrics", true, "serve GET /metrics and per-stage instrumentation")
+	flag.DurationVar(&o.sloWindow, "slo-window", 5*time.Minute, "sliding window for the SLO latency/shed summary (0 = disabled; requires -metrics)")
 	flag.IntVar(&o.workers, "workers", 0, "verification worker pool size (0 = GOMAXPROCS, 1 = sequential pipeline)")
 	flag.IntVar(&o.maxInflight, "max-inflight", 0, "verification requests admitted concurrently before queueing/shedding (0 = 4 per worker, negative = no admission control)")
 	flag.IntVar(&o.queueDepth, "queue-depth", 0, "per-drone fairness queue for requests over the in-flight budget (0 = default 16, negative = shed immediately)")
@@ -189,6 +195,13 @@ func run(o options) error {
 	if o.metrics {
 		cfg.Metrics = obs.NewRegistry(nil)
 		cfg.Metrics.AddCollector(obs.CollectRuntime)
+		if o.sloWindow > 0 {
+			// One tracker for the whole process: in cluster mode the router
+			// hands the same instance to every shard, so the SLO summary
+			// (and its /metrics gauges) covers the node, not one shard.
+			cfg.SLO = obs.NewSLO(obs.SLOOptions{Window: o.sloWindow})
+			cfg.SLO.Register(cfg.Metrics, auditor.MetricSLOPrefix)
+		}
 	}
 	collector := otrace.NewRingCollector(o.traceBuffer)
 	cfg.Tracer = otrace.New(otrace.Options{Sample: o.traceSample, Sink: collector})
@@ -203,6 +216,12 @@ func run(o options) error {
 		router  *auditor.Router
 		err     error
 	)
+	// In cluster mode every log line this process emits names its node,
+	// so interleaved fleet logs stay attributable.
+	hlogger := logger
+	if o.nodeID != "" {
+		hlogger = logger.With("node", o.nodeID)
+	}
 	if o.nodeID != "" {
 		if o.statePath != "" {
 			return errors.New("cluster mode persists per shard via -state-dir; -state is not supported")
@@ -285,7 +304,7 @@ func run(o options) error {
 
 	handler := auditor.NewHandlerOpts(backend, auditor.HandlerOptions{
 		Collector: collector,
-		Logger:    logger,
+		Logger:    hlogger,
 		Slow:      time.Duration(o.slowMS) * time.Millisecond,
 	})
 	httpSrv := &http.Server{Addr: o.listen, Handler: handler}
@@ -299,7 +318,7 @@ func run(o options) error {
 		if err != nil {
 			return fmt.Errorf("wire listener: %w", err)
 		}
-		wireSrv = auditor.NewWireServer(backend.(auditor.WireBackend), auditor.WireOptions{Logger: logger})
+		wireSrv = auditor.NewWireServer(backend.(auditor.WireBackend), auditor.WireOptions{Logger: hlogger})
 		go func() {
 			if err := wireSrv.Serve(lis); err != nil {
 				log.Printf("wire listener failed: %v", err)

@@ -1,0 +1,158 @@
+// Command alidrone-status pretty-prints a sharded auditor cluster's
+// fleet status. It GETs /cluster/status from one node (any node answers
+// for the whole fleet — the serving node aggregates every ring member's
+// fragment) and renders a per-node table: membership state, ring
+// version, shard totals, durable backlog, wire connections and the
+// sliding-window verdict latency summary.
+//
+// Usage:
+//
+//	alidrone-status [-addr http://127.0.0.1:8470] [-json] [-timeout 5s]
+//
+// -json dumps the raw ClusterStatusResponse instead of the table, for
+// piping into jq or dashboards.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/operator"
+	"repro/internal/protocol"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8470", "base URL of any cluster node")
+	asJSON := flag.Bool("json", false, "print the raw JSON snapshot instead of the table")
+	timeout := flag.Duration("timeout", 5*time.Second, "overall HTTP timeout")
+	flag.Parse()
+
+	st, err := operator.FetchClusterStatus(&http.Client{Timeout: *timeout}, strings.TrimRight(*addr, "/"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alidrone-status:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			fmt.Fprintln(os.Stderr, "alidrone-status:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	render(os.Stdout, st)
+}
+
+// render writes the human-readable fleet table. Split from main so tests
+// can diff its output against a canned snapshot.
+func render(w io.Writer, st protocol.ClusterStatusResponse) {
+	fmt.Fprintf(w, "fleet status from %s (ring v%d, %d nodes)\n\n",
+		st.FetchedFrom, st.RingVersion, len(st.Nodes))
+
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tSTATE\tRING\tSHARDS\tDRONES\tPOAS\tSTREAMS\tWAL\tWIRE\tVERDICT p50/p99")
+	for _, n := range st.Nodes {
+		if n.Err != "" {
+			fmt.Fprintf(tw, "%s\t%s\t-\t-\t-\t-\t-\t-\t-\tunreachable: %s\n", n.ID, n.State, n.Err)
+			continue
+		}
+		var drones, poas, streams int
+		var wal uint64
+		for _, sh := range n.Shards {
+			drones += sh.Drones
+			poas += sh.RetainedPoAs
+			streams += sh.OpenStreams
+			wal += sh.WALSince
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			n.ID, n.State, n.RingVersion, len(n.Shards), drones, poas, streams, wal,
+			n.WireConnections, sloCell(n.SLO))
+	}
+	tw.Flush()
+
+	// Handoff progress, when any node reports it.
+	var lines []string
+	for _, n := range st.Nodes {
+		for _, from := range sortedKeys(n.HandoffsSeen) {
+			lines = append(lines, fmt.Sprintf("  %s imported %s's state at map v%d", n.ID, from, n.HandoffsSeen[from]))
+		}
+	}
+	if len(lines) > 0 {
+		fmt.Fprintln(w, "\nhandoffs:")
+		for _, l := range lines {
+			fmt.Fprintln(w, l)
+		}
+	}
+}
+
+// sloCell summarises a node's SLO JSON into a per-door p50/p99 cell,
+// e.g. "submit 1.2ms/8ms, batch 3ms/20ms". Absent or unparseable SLO
+// data renders as "-": the table must survive a node running with
+// metrics disabled.
+func sloCell(raw json.RawMessage) string {
+	if len(raw) == 0 {
+		return "-"
+	}
+	var s obs.SLOSummary
+	if err := json.Unmarshal(raw, &s); err != nil || len(s.Doors) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(s.Doors))
+	for _, door := range sortedDoorKeys(s.Doors) {
+		d := s.Doors[door]
+		if d.Count == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %s/%s", door, fmtSeconds(d.P50), fmtSeconds(d.P99)))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	cell := strings.Join(parts, ", ")
+	if s.ShedRate > 0 {
+		cell += fmt.Sprintf(" (shed %.1f%%)", s.ShedRate*100)
+	}
+	return cell
+}
+
+// fmtSeconds renders a latency in the most readable unit.
+func fmtSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedDoorKeys(m map[string]obs.LatencySummary) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

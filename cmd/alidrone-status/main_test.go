@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+func TestRenderTable(t *testing.T) {
+	st := protocol.ClusterStatusResponse{
+		FetchedFrom: "node-1",
+		RingVersion: 4,
+		Nodes: []protocol.ClusterNodeStatus{
+			{
+				ID: "node-1", Addr: "127.0.0.1:8470", State: "alive", RingVersion: 4,
+				Shards: []protocol.ClusterShardStatus{
+					{Shard: "node-1-s0", Drones: 3, RetainedPoAs: 12, OpenStreams: 1, WALSince: 7},
+					{Shard: "node-1-s1", Drones: 2, RetainedPoAs: 8, WALSince: 5},
+				},
+				WireConnections: 2,
+				SLO: json.RawMessage(`{"windowSeconds":300,"doors":{"submit":{"count":10,"p50":0.0012,"p99":0.008},` +
+					`"batch":{"count":0}},"shed":1,"admitted":99,"shedRate":0.01}`),
+				HandoffsSeen: map[string]uint64{"node-2": 3},
+			},
+			{ID: "node-2", Addr: "127.0.0.1:8480", State: "suspect", Err: "connection refused"},
+		},
+	}
+	var b strings.Builder
+	render(&b, st)
+	out := b.String()
+
+	for _, want := range []string{
+		"fleet status from node-1 (ring v4, 2 nodes)",
+		"node-1", "alive", "suspect",
+		"unreachable: connection refused",
+		"submit 1.2ms/8.0ms",
+		"(shed 1.0%)",
+		"node-1 imported node-2's state at map v3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Shard totals summed across the node's shards: 5 drones, 20 PoAs.
+	if !strings.Contains(out, "5") || !strings.Contains(out, "20") {
+		t.Errorf("shard totals not summed:\n%s", out)
+	}
+	// A zero-count door must not clutter the cell.
+	if strings.Contains(out, "batch") {
+		t.Errorf("zero-count door rendered:\n%s", out)
+	}
+}
+
+func TestSLOCellDegraded(t *testing.T) {
+	if got := sloCell(nil); got != "-" {
+		t.Errorf("nil SLO = %q, want -", got)
+	}
+	if got := sloCell(json.RawMessage(`not json`)); got != "-" {
+		t.Errorf("bad SLO = %q, want -", got)
+	}
+	if got := sloCell(json.RawMessage(`{"windowSeconds":300}`)); got != "-" {
+		t.Errorf("empty SLO = %q, want -", got)
+	}
+}
+
+func TestFmtSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"}, {0.000003, "3µs"}, {0.0005, "500µs"}, {0.0123, "12.3ms"}, {2.5, "2.50s"},
+	}
+	for _, c := range cases {
+		if got := fmtSeconds(c.in); got != c.want {
+			t.Errorf("fmtSeconds(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package auditor
+
+// Cluster observability end-to-end: fleet-merged metrics under
+// concurrent scrapes, the fleet status snapshot, and the trace-stitching
+// contract — one mis-routed wire submission produces ONE contiguous
+// trace spanning both nodes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	otrace "repro/internal/obs/trace"
+	"repro/internal/protocol"
+	"repro/internal/sigcrypto"
+)
+
+// scrapeFleet GETs one node's /cluster/metrics and parses the merged
+// exposition.
+func scrapeFleet(t *testing.T, base string) *obs.Exposition {
+	t.Helper()
+	resp, err := http.Get(base + protocol.PathClusterMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", protocol.PathClusterMetrics, resp.StatusCode)
+	}
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("fleet exposition does not parse: %v", err)
+	}
+	return exp
+}
+
+// TestClusterFleetMetrics: after traffic through both doors, any node's
+// /cluster/metrics serves the fleet-merged verdict latency histogram per
+// door, with per-node series under a node label, and concurrent scrapes
+// of both nodes race-cleanly.
+func TestClusterFleetMetrics(t *testing.T) {
+	tc := newTestCluster(t, 2, 2, nil)
+	rng := rand.New(rand.NewSource(11))
+
+	// Enough drones that both nodes own at least one, so every node has
+	// verdict observations of its own.
+	for i := 0; i < 6; i++ {
+		droneID, keys := tc.registerDrone(t, 0, rng)
+		trace := signedTrace(t, keys, urbana, 90, 10, 3, time.Second)
+		status, sr := tc.submitVia(t, i%2, protocol.SubmitPoARequest{
+			DroneID:      droneID,
+			EncryptedPoA: encryptPoA(t, tc.routers[0].EncryptionPub(), trace),
+		})
+		if status != http.StatusOK || sr.Verdict != protocol.VerdictCompliant {
+			t.Fatalf("submit %d: HTTP %d verdict %q", i, status, sr.Verdict)
+		}
+	}
+
+	exp := scrapeFleet(t, tc.url(0))
+	// The aggregate verdict histogram exists per door and is the exact
+	// bucket sum of the per-node series.
+	agg := exp.FindHistogram(MetricVerdictLatencySeconds, "door", DoorSubmit)
+	if agg == nil {
+		t.Fatalf("fleet exposition lacks %s{door=%q}", MetricVerdictLatencySeconds, DoorSubmit)
+	}
+	if agg.Count != 6 {
+		t.Errorf("aggregate verdict count = %d, want 6", agg.Count)
+	}
+	var perNode uint64
+	for _, id := range []string{"node-0", "node-1"} {
+		h := exp.FindHistogram(MetricVerdictLatencySeconds, "door", DoorSubmit, "node", id)
+		if h == nil {
+			t.Fatalf("fleet exposition lacks per-node verdict histogram for %s", id)
+		}
+		perNode += h.Count
+	}
+	if perNode != agg.Count {
+		t.Errorf("per-node counts sum to %d, aggregate says %d", perNode, agg.Count)
+	}
+	// Quantiles are answerable from the merged buckets (the p50/p99
+	// dashboards read): with observations present they must be finite.
+	if p99 := agg.Quantile(0.99); p99 < 0 {
+		t.Errorf("p99 from merged buckets = %v", p99)
+	}
+
+	// Concurrent scrapes of both nodes (each scrape itself scrapes the
+	// peer) must be race-clean and always well-formed.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		for node := 0; node < 2; node++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				for k := 0; k < 3; k++ {
+					e := scrapeFleet(t, tc.url(node))
+					if e.FindHistogram(MetricVerdictLatencySeconds, "door", DoorSubmit) == nil {
+						t.Errorf("concurrent scrape of node %d lost the verdict histogram", node)
+						return
+					}
+				}
+			}(node)
+		}
+	}
+	wg.Wait()
+}
+
+// TestClusterStatusEndpoint: /cluster/status on any node aggregates
+// every member's fragment — shard counts, ring version, SLO summary —
+// and an unreachable peer degrades to an Err entry instead of failing
+// the snapshot.
+func TestClusterStatusEndpoint(t *testing.T) {
+	tc := newTestCluster(t, 2, 2, nil)
+	rng := rand.New(rand.NewSource(12))
+	droneID, keys := tc.registerDrone(t, 0, rng)
+	trace := signedTrace(t, keys, urbana, 90, 10, 3, time.Second)
+	status, _ := tc.submitVia(t, tc.ownerIndex(t, droneID), protocol.SubmitPoARequest{
+		DroneID:      droneID,
+		EncryptedPoA: encryptPoA(t, tc.routers[0].EncryptionPub(), trace),
+	})
+	if status != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", status)
+	}
+
+	fetch := func(node int) protocol.ClusterStatusResponse {
+		resp, err := http.Get(tc.url(node) + protocol.PathClusterStatus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", protocol.PathClusterStatus, resp.StatusCode)
+		}
+		var st protocol.ClusterStatusResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st := fetch(0)
+	if st.FetchedFrom != "node-0" || len(st.Nodes) != 2 {
+		t.Fatalf("snapshot from %q with %d nodes, want node-0 with 2", st.FetchedFrom, len(st.Nodes))
+	}
+	ownerID := tc.nodes[tc.ownerIndex(t, droneID)].ID
+	for _, n := range st.Nodes {
+		if n.Err != "" {
+			t.Fatalf("node %s unreachable: %s", n.ID, n.Err)
+		}
+		if n.State != "alive" {
+			t.Errorf("node %s state %q, want alive", n.ID, n.State)
+		}
+		if len(n.Shards) != 2 {
+			t.Errorf("node %s reports %d shards, want 2", n.ID, len(n.Shards))
+		}
+		if n.RingVersion == 0 {
+			t.Errorf("node %s reports ring version 0", n.ID)
+		}
+		var drones int
+		for _, sh := range n.Shards {
+			drones += sh.Drones
+		}
+		if n.ID == ownerID {
+			if drones != 1 {
+				t.Errorf("owner %s reports %d drones, want 1", n.ID, drones)
+			}
+			if len(n.SLO) == 0 {
+				t.Errorf("owner %s has no SLO summary", n.ID)
+			} else {
+				var s obs.SLOSummary
+				if err := json.Unmarshal(n.SLO, &s); err != nil {
+					t.Errorf("owner SLO summary does not parse: %v", err)
+				} else if s.Doors[DoorSubmit].Count == 0 {
+					t.Errorf("owner SLO summary lost the submit observation: %+v", s)
+				}
+			}
+		}
+	}
+
+	// A dead peer degrades the snapshot, never kills it.
+	tc.servers[1].Close()
+	st = fetch(0)
+	var sawErr bool
+	for _, n := range st.Nodes {
+		if n.ID == "node-1" && n.Err != "" {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("dead peer not reported with Err in the degraded snapshot")
+	}
+}
+
+// wireTraceCluster is a two-node cluster with the binary wire transport
+// listening on both nodes, always-sample tracers sinking into one shared
+// collector, and per-node storage engines (so wal.append spans exist).
+type wireTraceCluster struct {
+	*testCluster
+	collector *otrace.RingCollector
+}
+
+func newWireTraceCluster(t *testing.T) *wireTraceCluster {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	encKey, err := sigcrypto.GenerateKeyPair(rng, sigcrypto.KeySize1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := otrace.NewRingCollector(4096)
+	tc := &testCluster{encKey: encKey}
+	wtc := &wireTraceCluster{testCluster: tc, collector: collector}
+
+	listeners := make([]net.Listener, 2)
+	wireLis := make([]net.Listener, 2)
+	for i := 0; i < 2; i++ {
+		if listeners[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		if wireLis[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		tc.nodes = append(tc.nodes, cluster.Node{
+			ID:       fmt.Sprintf("node-%d", i),
+			Addr:     listeners[i].Addr().String(),
+			WireAddr: wireLis[i].Addr().String(),
+		})
+	}
+	for i := 0; i < 2; i++ {
+		r, err := NewRouter(RouterConfig{
+			Self:     tc.nodes[i],
+			Seeds:    tc.nodes,
+			Shards:   2,
+			StateDir: t.TempDir(),
+			Server: Config{
+				Metrics:       obs.NewRegistry(nil),
+				Tracer:        otrace.New(otrace.Options{Sample: 1, Sink: collector}),
+				EncryptionKey: encKey,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.routers = append(tc.routers, r)
+		hs := &httptest.Server{
+			Listener: listeners[i],
+			Config:   &http.Server{Handler: NewHandler(r)},
+		}
+		hs.Start()
+		tc.servers = append(tc.servers, hs)
+		ws := NewWireServer(r, WireOptions{})
+		go func() { _ = ws.Serve(wireLis[i]) }()
+		t.Cleanup(func() { _ = ws.Close() })
+	}
+	t.Cleanup(func() {
+		for i := range tc.servers {
+			tc.servers[i].Close()
+			tc.routers[i].Close()
+		}
+	})
+	return wtc
+}
+
+// TestClusterWireForwardSingleTrace is the trace-stitching contract: a
+// submission entering at the non-owner, forwarded over the binary wire
+// transport, yields ONE trace whose spans cover the routing node (HTTP
+// door, cluster.forward) and the owner (wire.forward, verify.*,
+// wal.append) — every span reachable from the root through recorded
+// parents.
+func TestClusterWireForwardSingleTrace(t *testing.T) {
+	wtc := newWireTraceCluster(t)
+	tc := wtc.testCluster
+	rng := rand.New(rand.NewSource(22))
+
+	droneID, keys := tc.registerDrone(t, 0, rng)
+	nonOwner := 1 - tc.ownerIndex(t, droneID)
+
+	trace := signedTrace(t, keys, urbana, 90, 10, 3, time.Second)
+	status, sr := tc.submitVia(t, nonOwner, protocol.SubmitPoARequest{
+		DroneID:      droneID,
+		EncryptedPoA: encryptPoA(t, tc.routers[0].EncryptionPub(), trace),
+	})
+	if status != http.StatusOK || sr.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("forwarded submit: HTTP %d verdict %q (%s)", status, sr.Verdict, sr.Reason)
+	}
+
+	// Locate the forward's trace via its cluster.forward span, then pull
+	// every span that shares the trace ID.
+	var fwdSpan *otrace.SpanRecord
+	for _, r := range wtc.collector.Snapshot() {
+		if r.Name == "cluster.forward" {
+			r := r
+			fwdSpan = &r
+		}
+	}
+	if fwdSpan == nil {
+		t.Fatal("no cluster.forward span recorded")
+	}
+	spans := wtc.collector.Trace(fwdSpan.TraceID)
+
+	byName := make(map[string][]otrace.SpanRecord)
+	byID := make(map[string]otrace.SpanRecord)
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+		byID[s.SpanID] = s
+	}
+	for _, want := range []string{
+		"auditor " + protocol.PathSubmitPoA, // routing node's HTTP door
+		"cluster.forward",                   // routing decision
+		"wire.forward",                      // owner's wire receive
+		"wal.append",                        // owner's durable commit
+	} {
+		if len(byName[want]) == 0 {
+			t.Errorf("trace %s lacks a %q span; has %v", fwdSpan.TraceID, want, names(spans))
+		}
+	}
+	var sawVerify bool
+	for name := range byName {
+		if strings.HasPrefix(name, "verify.") {
+			sawVerify = true
+		}
+	}
+	if !sawVerify {
+		t.Errorf("trace %s has no verify.* stage spans; has %v", fwdSpan.TraceID, names(spans))
+	}
+	// The forward went over the wire, not the HTTP fallback.
+	wantAttr(t, *fwdSpan, "transport", "wire")
+	wantAttr(t, *fwdSpan, "drone", droneID)
+
+	// Contiguity: every non-root span's parent is a recorded span of the
+	// same trace. (wire.forward's parent is the remote cluster.forward,
+	// recorded on the routing node — same collector here.)
+	roots := 0
+	for _, s := range spans {
+		if s.Parent == "" {
+			roots++
+			continue
+		}
+		if _, ok := byID[s.Parent]; !ok {
+			t.Errorf("span %q has unrecorded parent %s — trace is torn", s.Name, s.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("trace has %d roots, want exactly 1: %v", roots, names(spans))
+	}
+}
+
+// names lists span names for failure messages.
+func names(spans []otrace.SpanRecord) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// wantAttr asserts one span attribute.
+func wantAttr(t *testing.T, s otrace.SpanRecord, key, want string) {
+	t.Helper()
+	for _, a := range s.Attrs {
+		if a.K == key {
+			if a.V != want {
+				t.Errorf("span %q attr %s = %q, want %q", s.Name, key, a.V, want)
+			}
+			return
+		}
+	}
+	t.Errorf("span %q lacks attr %s", s.Name, key)
+}

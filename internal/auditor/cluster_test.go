@@ -5,6 +5,7 @@ import (
 	"crypto/rsa"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -322,23 +323,30 @@ func TestClusterReadyz(t *testing.T) {
 	hs.Start()
 	t.Cleanup(func() { hs.Close(); r.Close() })
 
-	get := func(path string) int {
+	get := func(path string) (int, string) {
 		resp, err := http.Get("http://" + self.Addr + path)
 		if err != nil {
 			t.Fatal(err)
 		}
+		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		return resp.StatusCode
+		return resp.StatusCode, string(body)
 	}
-	if code := get(PathHealthz); code != http.StatusOK {
+	if code, _ := get(PathHealthz); code != http.StatusOK {
 		t.Fatalf("healthz on unjoined node: HTTP %d", code)
 	}
-	if code := get(PathReadyz); code != http.StatusServiceUnavailable {
+	code, body := get(PathReadyz)
+	if code != http.StatusServiceUnavailable {
 		t.Fatalf("readyz on unjoined node: HTTP %d, want 503", code)
+	}
+	// The 503 must say why, so an operator reading the probe output can
+	// tell a slow WAL recovery from a node that never joined the ring.
+	if !strings.HasPrefix(body, "not ready: ") {
+		t.Fatalf("readyz 503 body %q lacks a reason", body)
 	}
 	// One gossip round against a seed joins the ring.
 	r.Gossiper().RunOnce(context.Background())
-	if code := get(PathReadyz); code != http.StatusOK {
+	if code, _ := get(PathReadyz); code != http.StatusOK {
 		t.Fatalf("readyz after gossip join: HTTP %d, want 200", code)
 	}
 }

@@ -1,0 +1,186 @@
+package auditor
+
+// Fleet federation: any cluster node can answer for the whole fleet.
+// GET /cluster/metrics scrapes every peer's /metrics, merges the series
+// (exact bucket addition — every histogram uses a fixed layout) and
+// serves the aggregate plus per-node series under a node label.
+// GET /cluster/status aggregates each node's JSON status fragment.
+// A peer that cannot be scraped is skipped and counted, never fatal:
+// a degraded fleet view from a live node beats no view at all.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// MetricClusterScrapeErrorsTotal counts peer scrape failures during
+// fleet metric/status aggregation, labelled peer=<node id>.
+const MetricClusterScrapeErrorsTotal = "alidrone_cluster_scrape_errors_total"
+
+// nodeStatus builds this node's own status fragment: its shards, ring
+// view, handoff progress and SLO summary.
+func (r *Router) nodeStatus() protocol.ClusterNodeStatus {
+	st := protocol.ClusterNodeStatus{
+		ID:              r.cfg.Self.ID,
+		Addr:            r.cfg.Self.Addr,
+		State:           cluster.StateAlive.String(),
+		RingVersion:     r.Map().Version,
+		WireConnections: int(r.wireConns.Load()),
+	}
+	for _, sh := range r.shards {
+		s := sh.Status()
+		st.Shards = append(st.Shards, protocol.ClusterShardStatus{
+			Shard:        sh.cfg.ShardTag,
+			Drones:       s.Drones,
+			RetainedPoAs: s.RetainedPoAs,
+			OpenStreams:  s.OpenStreams,
+			Sessions:     s.Sessions,
+			WALSince:     sh.WALSince(),
+		})
+	}
+	r.handoffMu.Lock()
+	if len(r.handoffsSeen) > 0 {
+		st.HandoffsSeen = make(map[string]uint64, len(r.handoffsSeen))
+		for from, v := range r.handoffsSeen {
+			st.HandoffsSeen[from] = v
+		}
+	}
+	r.handoffMu.Unlock()
+	if r.slo != nil {
+		if js, err := json.Marshal(r.slo.Summary()); err == nil {
+			st.SLO = js
+		}
+	}
+	return st
+}
+
+// clusterStatus aggregates the fleet status: this node's own fragment
+// plus every ring member's, fetched concurrently. An unreachable peer
+// appears with its Err set and the membership state this node observes.
+func (r *Router) clusterStatus(ctx context.Context) protocol.ClusterStatusResponse {
+	m := r.Map()
+	resp := protocol.ClusterStatusResponse{
+		FetchedFrom: r.cfg.Self.ID,
+		RingVersion: m.Version,
+	}
+	nodes := make([]protocol.ClusterNodeStatus, len(m.Nodes))
+	var wg sync.WaitGroup
+	for i, n := range m.Nodes {
+		if n.ID == r.cfg.Self.ID {
+			nodes[i] = r.nodeStatus()
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n cluster.Node) {
+			defer wg.Done()
+			st, err := r.fetchNodeStatus(ctx, n)
+			if err != nil {
+				r.countScrapeError(n.ID)
+				st = protocol.ClusterNodeStatus{ID: n.ID, Addr: n.Addr, Err: err.Error()}
+			}
+			// The aggregator's membership view, not the peer's self-report
+			// (a node always reports itself alive).
+			st.State = r.membership.State(n.ID).String()
+			nodes[i] = st
+		}(i, n)
+	}
+	wg.Wait()
+	resp.Nodes = nodes
+	return resp
+}
+
+// fetchNodeStatus retrieves one peer's status fragment.
+func (r *Router) fetchNodeStatus(ctx context.Context, n cluster.Node) (protocol.ClusterNodeStatus, error) {
+	body, err := r.clusterGet(ctx, n.Addr, protocol.PathClusterNodeStatus)
+	if err != nil {
+		return protocol.ClusterNodeStatus{}, err
+	}
+	var st protocol.ClusterNodeStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return protocol.ClusterNodeStatus{}, fmt.Errorf("node status from %s: %w", n.ID, err)
+	}
+	return st, nil
+}
+
+// fleetMetrics writes the fleet-merged exposition: this node's registry
+// rendered directly (no HTTP self-call, so aggregation can never
+// recurse) plus every peer's /metrics scrape, all merged through
+// obs.MergeFleet. Unreachable peers are skipped and counted.
+func (r *Router) fleetMetrics(ctx context.Context, w io.Writer) error {
+	reg := r.cfg.Server.Metrics
+	if reg == nil {
+		return fmt.Errorf("metrics disabled on %s", r.cfg.Self.ID)
+	}
+	exps := make(map[string]*obs.Exposition)
+	var mu sync.Mutex
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		return err
+	}
+	self, err := obs.ParseExposition(&buf)
+	if err != nil {
+		return fmt.Errorf("own exposition: %w", err)
+	}
+	exps[r.cfg.Self.ID] = self
+
+	var wg sync.WaitGroup
+	for _, n := range r.Map().Nodes {
+		if n.ID == r.cfg.Self.ID {
+			continue
+		}
+		wg.Add(1)
+		go func(n cluster.Node) {
+			defer wg.Done()
+			body, err := r.clusterGet(ctx, n.Addr, PathMetrics)
+			if err == nil {
+				var exp *obs.Exposition
+				if exp, err = obs.ParseExposition(bytes.NewReader(body)); err == nil {
+					mu.Lock()
+					exps[n.ID] = exp
+					mu.Unlock()
+					return
+				}
+			}
+			r.countScrapeError(n.ID)
+			r.log.Warn(ctx, "fleet metrics scrape failed", "peer", n.ID, "err", err.Error())
+		}(n)
+	}
+	wg.Wait()
+
+	return obs.MergeFleet(exps).WriteText(w)
+}
+
+// clusterGet performs one node-to-node GET and slurps the body.
+func (r *Router) clusterGet(ctx context.Context, addr, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("%s %s: %s", path, addr, resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+}
+
+// countScrapeError bumps the per-peer scrape failure counter.
+func (r *Router) countScrapeError(peer string) {
+	if reg := r.cfg.Server.Metrics; reg != nil {
+		reg.Counter(obs.L(MetricClusterScrapeErrorsTotal, "peer", peer)).Inc()
+	}
+}

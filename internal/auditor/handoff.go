@@ -39,6 +39,12 @@ func (r *Router) Rebalance(ctx context.Context) error {
 	clock := r.clock
 	start := clock.Now()
 
+	// One rebalance = one trace: the export span roots it, each peer
+	// stream is a child, and the peer's install — continuing via the
+	// traceparent clusterPost injects — hangs underneath its stream.
+	ectx, esp := r.tracer().StartSpan(ctx, "cluster.handoff.export")
+	esp.SetAttr("mapVersion", fmt.Sprint(m.Version))
+
 	// Hold the handoff lock only for the export: streaming to peers under
 	// it would deadlock two nodes rebalancing toward each other (each
 	// POST waits on an import that waits on the sender's own lock).
@@ -48,16 +54,24 @@ func (r *Router) Rebalance(ctx context.Context) error {
 		data, err := sh.snapshotBytes()
 		if err != nil {
 			r.handoffMu.Unlock()
+			esp.SetError(err)
+			esp.End()
 			return fmt.Errorf("cluster: handoff export shard %d: %w", i, err)
 		}
 		states = append(states, data)
 	}
 	r.handoffMu.Unlock()
+	esp.End()
 	req := protocol.ClusterHandoffRequest{From: r.cfg.Self.ID, MapVersion: m.Version, State: states}
 
 	var firstErr error
 	for _, peer := range peers {
-		if _, err := clusterPost[struct{}](ctx, r.client, peer.Addr, protocol.PathClusterHandoff, req, false); err != nil {
+		sctx, ssp := r.tracer().StartSpan(ectx, "cluster.handoff.stream")
+		ssp.SetAttr("peer", peer.ID)
+		_, err := clusterPost[struct{}](sctx, r.client, peer.Addr, protocol.PathClusterHandoff, req, false)
+		ssp.SetError(err)
+		ssp.End()
+		if err != nil {
 			r.log.Warn(ctx, "handoff failed", "peer", peer.ID, "err", err.Error())
 			if firstErr == nil {
 				firstErr = err

@@ -82,6 +82,14 @@ type Handler struct {
 	srv  Backend
 	mux  *http.ServeMux
 	opts HandlerOptions
+
+	// Readiness transition log, once per flip: probes hit /readyz every
+	// few seconds, so logging every 503 would drown the reason the line
+	// exists — pinpointing *when* a node fell out of (or came back into)
+	// rotation and why.
+	readyMu    sync.Mutex
+	readyKnown bool
+	readyOK    bool
 }
 
 var _ http.Handler = (*Handler)(nil)
@@ -191,12 +199,33 @@ func (h *Handler) readyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if err := h.srv.Ready(); err != nil {
+	err := h.srv.Ready()
+	h.logReadyTransition(r.Context(), err)
+	if err != nil {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_, _ = w.Write([]byte("not ready: " + err.Error() + "\n"))
 		return
 	}
 	_, _ = w.Write([]byte("ready\n"))
+}
+
+// logReadyTransition logs readiness flips exactly once per transition:
+// the reason when the backend stops being ready, the recovery when it
+// returns. Steady-state probes stay silent.
+func (h *Handler) logReadyTransition(ctx context.Context, err error) {
+	ok := err == nil
+	h.readyMu.Lock()
+	flipped := !h.readyKnown || h.readyOK != ok
+	h.readyKnown, h.readyOK = true, ok
+	h.readyMu.Unlock()
+	if !flipped {
+		return
+	}
+	if ok {
+		h.opts.Logger.Info(ctx, "readiness: ready")
+	} else {
+		h.opts.Logger.Warn(ctx, "readiness: not ready", "reason", err.Error())
+	}
 }
 
 // ServeHTTP implements http.Handler.

@@ -1,6 +1,8 @@
 package auditor
 
 import (
+	"time"
+
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/protocol"
@@ -113,6 +115,26 @@ const (
 	// durations: exporting, streaming and importing one node's state after
 	// a ring change.
 	MetricClusterHandoffSeconds = "alidrone_cluster_handoff_seconds"
+	// MetricVerdictLatencySeconds is the end-to-end verdict latency
+	// histogram — admission wait through commit — labelled door=submit|
+	// batch|mac|stream|accuse on one family and shard=<shard tag> on the
+	// other, so a fleet scrape can quote p50/p99 per client door and
+	// locate a slow shard.
+	MetricVerdictLatencySeconds = "alidrone_auditor_verdict_latency_seconds"
+	// MetricSLOPrefix prefixes the sliding-window SLO gauges
+	// (<prefix>_latency_seconds{door,q}, <prefix>_shed_ratio,
+	// <prefix>_window_seconds) — the recent-window counterparts of the
+	// cumulative histograms above.
+	MetricSLOPrefix = "alidrone_auditor_slo"
+)
+
+// Verdict door labels: the client entry points that end in a verdict.
+const (
+	DoorSubmit = "submit"
+	DoorBatch  = "batch"
+	DoorMAC    = "mac"
+	DoorStream = "stream"
+	DoorAccuse = "accuse"
 )
 
 // Verification pipeline stage labels (the stage= label of the
@@ -144,4 +166,63 @@ func (s *Server) countVerdict(resp protocol.SubmitPoAResponse) {
 		verdict = "compliant"
 	}
 	s.cfg.Metrics.Counter(obs.L(MetricSubmissionsTotal, "verdict", verdict)).Inc()
+}
+
+// verdictObs holds the pre-resolved verdict-latency sinks: histograms
+// are looked up once at construction, not per verdict, so the hot path
+// pays two histogram observes and two SLO observes — nothing else (the
+// slo_observe_overhead benchmark gate holds this to ≤5%).
+type verdictObs struct {
+	clock obs.Clock
+	door  map[string]*obs.Histogram
+	shard *obs.Histogram
+	label string // shard label (ShardTag, or "single" standalone)
+	slo   *obs.SLO
+}
+
+// newVerdictObs builds the verdict sinks; nil when nothing is listening.
+func newVerdictObs(cfg Config) *verdictObs {
+	if cfg.Metrics == nil && cfg.SLO == nil {
+		return nil
+	}
+	label := cfg.ShardTag
+	if label == "" {
+		label = "single"
+	}
+	v := &verdictObs{
+		clock: cfg.Clock,
+		door:  make(map[string]*obs.Histogram, 5),
+		label: label,
+		slo:   cfg.SLO,
+	}
+	for _, door := range []string{DoorSubmit, DoorBatch, DoorMAC, DoorStream, DoorAccuse} {
+		v.door[door] = cfg.Metrics.Histogram(
+			obs.L(MetricVerdictLatencySeconds, "door", door), obs.DurationBuckets)
+	}
+	v.shard = cfg.Metrics.Histogram(
+		obs.L(MetricVerdictLatencySeconds, "shard", label), obs.DurationBuckets)
+	return v
+}
+
+// verdictStart stamps the entry time of a verdict-producing call (zero
+// when verdict observation is disabled, so the clock is never touched).
+func (s *Server) verdictStart() time.Time {
+	if s.verdict == nil {
+		return time.Time{}
+	}
+	return s.verdict.clock.Now()
+}
+
+// observeVerdict records one settled verdict's end-to-end latency into
+// the per-door and per-shard histograms and the SLO window.
+func (s *Server) observeVerdict(door string, start time.Time) {
+	v := s.verdict
+	if v == nil || start.IsZero() {
+		return
+	}
+	el := v.clock.Now().Sub(start).Seconds()
+	v.door[door].Observe(el)
+	v.shard.Observe(el)
+	v.slo.ObserveDoor(door, el)
+	v.slo.ObserveShard(v.label, el)
 }

@@ -27,9 +27,11 @@ func (s *Server) SubmitBatchPoA(req protocol.SubmitBatchPoARequest) (protocol.Su
 
 // SubmitBatchPoACtx is SubmitBatchPoA under a caller context.
 func (s *Server) SubmitBatchPoACtx(ctx context.Context, req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error) {
+	start := s.verdictStart()
 	resp, err := s.submitBatchPoA(ctx, req)
 	if err == nil {
 		s.countVerdict(resp)
+		s.observeVerdict(DoorBatch, start)
 	}
 	return resp, err
 }
@@ -80,9 +82,11 @@ func (s *Server) SubmitMACPoA(req protocol.SubmitMACPoARequest) (protocol.Submit
 
 // SubmitMACPoACtx is SubmitMACPoA under a caller context.
 func (s *Server) SubmitMACPoACtx(ctx context.Context, req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error) {
+	start := s.verdictStart()
 	resp, err := s.submitMACPoA(ctx, req)
 	if err == nil {
 		s.countVerdict(resp)
+		s.observeVerdict(DoorMAC, start)
 	}
 	return resp, err
 }

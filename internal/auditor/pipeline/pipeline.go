@@ -220,6 +220,6 @@ func (r *Runner) runStage(ctx context.Context, st Stage, sub *Submission) error 
 	if err != nil {
 		result = "fail"
 	}
-	reg.Counter(obs.L(r.MetricStageTotal, "stage", st.Name, "result", result)).Inc()
+	reg.Counter(obs.L(r.MetricStageTotal, "result", result, "stage", st.Name)).Inc()
 	return err
 }

@@ -113,6 +113,8 @@ type Router struct {
 	streams   sync.Map // stream ID → streamRoute
 	wireConns atomic.Int64
 	joined    atomic.Bool
+	fwd       *wireForwarder
+	slo       *obs.SLO // shared across shards; nil when untracked
 
 	// handoffMu serialises outgoing rebalances and incoming handoff
 	// imports; handoffsSeen dedups re-deliveries per (source, map
@@ -138,9 +140,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		cfg.Shards = 1
 	}
 	r := &Router{
-		cfg:          cfg,
-		client:       cfg.HTTPClient,
-		log:          cfg.Logger,
+		cfg:    cfg,
+		client: cfg.HTTPClient,
+		// Every line this node logs carries its identity, so interleaved
+		// multi-node output (tests, co-located processes) is attributable.
+		log:          cfg.Logger.With("node", cfg.Self.ID),
+		fwd:          newWireForwarder(),
 		handoffsSeen: make(map[string]uint64),
 	}
 	if r.client == nil {
@@ -164,6 +169,16 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	// A node restarting with shard state skips the fetch: its persisted
 	// key wins over any config or fetched key regardless.
 	scfg := cfg.Server
+	scfg.Logger = scfg.Logger.With("node", cfg.Self.ID)
+	// One SLO tracker shared by every shard: the node-level summary (and
+	// the fleet status endpoint) wants coherent per-door windows, while
+	// the shard= dimension inside the tracker keeps shards tellable
+	// apart.
+	if scfg.SLO == nil && scfg.Metrics != nil {
+		scfg.SLO = obs.NewSLO(obs.SLOOptions{Clock: scfg.Clock})
+		scfg.SLO.Register(scfg.Metrics, MetricSLOPrefix)
+	}
+	r.slo = scfg.SLO
 	if scfg.EncryptionKey == nil && !soleNode(cfg.Self, cfg.Seeds) && !hasShardState(cfg.StateDir) {
 		key, err := r.fetchClusterKeyRetry(cfg.Seeds)
 		if err != nil {
@@ -292,9 +307,11 @@ func (r *Router) closeStores() {
 	}
 }
 
-// Close closes every shard's backing store. The router itself holds no
-// goroutines — Run exits with its context.
+// Close closes every shard's backing store and the pooled forward
+// connections. The router itself holds no goroutines — Run exits with
+// its context.
 func (r *Router) Close() error {
+	r.fwd.Close()
 	r.closeStores()
 	return nil
 }
@@ -369,9 +386,11 @@ func (r *Router) onMapChange(m *cluster.Map) {
 
 // Ready implements the Backend readiness probe: shards are recovered at
 // construction, so readiness is purely "has this node joined the ring".
+// The reason string travels in the /readyz 503 body, so probes and
+// operators see why the node is not serving yet.
 func (r *Router) Ready() error {
 	if !r.joined.Load() {
-		return errors.New("cluster: not joined (no successful gossip exchange yet)")
+		return errors.New("ring not joined (no successful gossip exchange yet)")
 	}
 	return nil
 }
@@ -413,6 +432,22 @@ func (r *Router) countForward(out bool) {
 // instead of hopping again.
 func routeDrone[Resp any](ctx context.Context, r *Router, droneID, path string, req any,
 	local func(*Server) (Resp, error)) (Resp, error) {
+	return routeDroneVia(ctx, r, droneID, local,
+		func(fctx context.Context, owner cluster.Node) (Resp, error) {
+			otrace.FromContext(fctx).SetAttr("transport", "http")
+			return clusterPost[Resp](fctx, r.client, owner.Addr, path, req, true)
+		})
+}
+
+// routeDroneVia is routeDrone with a caller-chosen remote transport (the
+// submission door prefers the binary wire when the owner serves one).
+// The remote branch runs inside a cluster.forward span, so a forwarded
+// request is one contiguous trace: the routing node records the hop, the
+// owner — receiving the span's traceparent — continues underneath it
+// through verify.* down to wal.append.
+func routeDroneVia[Resp any](ctx context.Context, r *Router, droneID string,
+	local func(*Server) (Resp, error),
+	remote func(context.Context, cluster.Node) (Resp, error)) (Resp, error) {
 	owner, isLocal := r.owner(droneID)
 	if isLocal {
 		if isForwarded(ctx) {
@@ -425,8 +460,17 @@ func routeDrone[Resp any](ctx context.Context, r *Router, droneID, path string, 
 		return zero, &protocol.MisroutedError{DroneID: droneID, Owner: owner.ID}
 	}
 	r.countForward(true)
-	return clusterPost[Resp](ctx, r.client, owner.Addr, path, req, true)
+	fctx, sp := r.tracer().StartSpan(ctx, "cluster.forward")
+	sp.SetAttr("drone", droneID)
+	sp.SetAttr("owner", owner.ID)
+	resp, err := remote(fctx, owner)
+	sp.SetError(err)
+	sp.End()
+	return resp, err
 }
+
+// tracer returns the shared tracer (nil when tracing is disabled).
+func (r *Router) tracer() *otrace.Tracer { return r.cfg.Server.Tracer }
 
 // clusterPost performs one node-to-node POST, decoding the peer's JSON
 // reply. Error replies come back as remoteError so the originating door
@@ -442,6 +486,12 @@ func clusterPost[Resp any](ctx context.Context, client *http.Client, addr, path 
 		return zero, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Propagate the active trace across the hop: the receiving door calls
+	// StartRemote with this header, so forwarded work — submissions,
+	// gossip-triggered handoffs — stays one contiguous trace.
+	if tp := otrace.HeaderFromContext(ctx); tp != "" {
+		hreq.Header.Set(protocol.HeaderTraceParent, tp)
+	}
 	if forwarded {
 		hreq.Header.Set(protocol.ForwardedHeader, "1")
 	}
@@ -576,10 +626,28 @@ func (r *Router) ZoneQueryCtx(ctx context.Context, req protocol.ZoneQueryRequest
 		func(s *Server) (protocol.ZoneQueryResponse, error) { return s.ZoneQueryCtx(ctx, req) })
 }
 
-// SubmitPoACtx routes a submission to the shard owning the drone.
+// SubmitPoACtx routes a submission to the shard owning the drone. The
+// forward hop prefers the owner's binary wire door when it advertises
+// one — one Forward frame on a pooled connection instead of an HTTP
+// round trip — falling back to HTTP only when the wire transport could
+// not be reached at all (never after a frame may have been sent, which
+// would trip the owner's replay detection).
 func (r *Router) SubmitPoACtx(ctx context.Context, req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
-	return routeDrone(ctx, r, req.DroneID, protocol.PathSubmitPoA, req,
-		func(s *Server) (protocol.SubmitPoAResponse, error) { return s.SubmitPoACtx(ctx, req) })
+	return routeDroneVia(ctx, r, req.DroneID,
+		func(s *Server) (protocol.SubmitPoAResponse, error) { return s.SubmitPoACtx(ctx, req) },
+		func(fctx context.Context, owner cluster.Node) (protocol.SubmitPoAResponse, error) {
+			if owner.WireAddr != "" {
+				resp, err, used := r.fwd.Submit(fctx, owner.WireAddr, req, otrace.HeaderFromContext(fctx))
+				if used {
+					otrace.FromContext(fctx).SetAttr("transport", "wire")
+					return resp, err
+				}
+				r.log.Debug(fctx, "wire forward unavailable; using http",
+					"owner", owner.ID, "err", err.Error())
+			}
+			otrace.FromContext(fctx).SetAttr("transport", "http")
+			return clusterPost[protocol.SubmitPoAResponse](fctx, r.client, owner.Addr, protocol.PathSubmitPoA, req, true)
+		})
 }
 
 // SubmitBatchPoACtx routes a batch submission.

@@ -6,6 +6,7 @@ package auditor
 // the surface it always did.
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
@@ -29,6 +30,9 @@ type clusterBackend interface {
 	clusterZoneImport(zs []zone.NFZ) error
 	clusterHandoff(ctx context.Context, req protocol.ClusterHandoffRequest) error
 	clusterKey() (protocol.ClusterKeyResponse, error)
+	nodeStatus() protocol.ClusterNodeStatus
+	clusterStatus(ctx context.Context) protocol.ClusterStatusResponse
+	fleetMetrics(ctx context.Context, w io.Writer) error
 }
 
 var _ clusterBackend = (*Router)(nil)
@@ -73,9 +77,18 @@ func (h *Handler) registerClusterRoutes(cb clusterBackend) {
 		})
 	}))
 	h.mux.HandleFunc(protocol.PathClusterHandoff, post(func(w http.ResponseWriter, r *http.Request) {
+		// The install continues the sender's rebalance trace, so one
+		// rebalance reads as export → stream → install across nodes.
+		ctx, sp := h.srv.Tracer().StartRemote(r.Context(),
+			r.Header.Get(protocol.HeaderTraceParent), "cluster.handoff.install")
+		r = r.WithContext(ctx)
 		handleJSON(w, r, func(ctx context.Context, req protocol.ClusterHandoffRequest) (struct{}, error) {
-			return struct{}{}, cb.clusterHandoff(ctx, req)
+			sp.SetAttr("from", req.From)
+			err := cb.clusterHandoff(ctx, req)
+			sp.SetError(err)
+			return struct{}{}, err
 		})
+		sp.End()
 	}))
 	h.mux.HandleFunc(protocol.PathClusterKey, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -89,6 +102,34 @@ func (h *Handler) registerClusterRoutes(cb clusterBackend) {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+	h.mux.HandleFunc(protocol.PathClusterMetrics, get(func(w http.ResponseWriter, r *http.Request) {
+		// Merge into a buffer first so a mid-aggregation failure can still
+		// answer with a clean 500 instead of a torn exposition.
+		var buf bytes.Buffer
+		if err := cb.fleetMetrics(r.Context(), &buf); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	}))
+	h.mux.HandleFunc(protocol.PathClusterStatus, get(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, cb.clusterStatus(r.Context()))
+	}))
+	h.mux.HandleFunc(protocol.PathClusterNodeStatus, get(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, cb.nodeStatus())
+	}))
+}
+
+// get restricts an endpoint to the GET method.
+func get(fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		fn(w, r)
+	}
 }
 
 // readBody slurps a small request body (gossip digests).

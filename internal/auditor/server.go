@@ -113,6 +113,11 @@ type Config struct {
 	// verification pipeline and WAL commits, continuing traces started by
 	// submitting drones (see internal/obs/trace). Nil disables tracing.
 	Tracer *otrace.Tracer
+	// SLO, when set, receives sliding-window verdict-latency and
+	// shed-rate observations (see obs.SLO). A cluster router shares one
+	// tracker across its shards so the node-level summary is coherent.
+	// Nil disables SLO tracking.
+	SLO *obs.SLO
 	// CompactEvery is the number of WAL records between automatic
 	// snapshot compactions when a storage engine is attached (see
 	// OpenServer). 0 selects DefaultCompactEvery; negative disables
@@ -214,6 +219,10 @@ type Server struct {
 	// wireConns tracks the live binary-transport connections (maintained
 	// by WireServer, reported by Status).
 	wireConns atomic.Int64
+
+	// verdict holds the pre-resolved verdict-latency sinks (nil when
+	// neither Metrics nor SLO is configured).
+	verdict *verdictObs
 }
 
 // NewServer creates an AliDrone Server with the given configuration.
@@ -269,21 +278,30 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.sigBatcher = &pipeline.VerifyBatcher{Pool: s.pool}
 	s.buildPipeline()
+	s.verdict = newVerdictObs(cfg)
 	s.admission = pipeline.NewAdmission(cfg.MaxInflight, cfg.QueueDepth, cfg.RetryAfter)
-	if cfg.Metrics != nil && s.admission != nil {
+	if (cfg.Metrics != nil || cfg.SLO != nil) && s.admission != nil {
+		// Registry handles are nil-safe, so one instrument call covers
+		// every combination of Metrics/SLO being present.
 		inflight := cfg.Metrics.Gauge(MetricAdmissionInflight)
 		queued := cfg.Metrics.Gauge(MetricAdmissionQueued)
 		shed := cfg.Metrics.Counter(MetricAdmissionShedTotal)
 		admitted := cfg.Metrics.Counter(MetricAdmissionAdmittedTotal)
+		slo := cfg.SLO
 		s.admission.Instrument(
 			func(n int) { inflight.Set(float64(n)) },
 			func(n int) { queued.Set(float64(n)) },
-			func() { shed.Inc() },
-			func() { admitted.Inc() },
+			func() { shed.Inc(); slo.RecordShed() },
+			func() { admitted.Inc(); slo.RecordAdmitted() },
 		)
 	}
 	return s, nil
 }
+
+// WALSince returns the WAL records appended since the last snapshot
+// compaction — the durable backlog the fleet status endpoint reports
+// per shard.
+func (s *Server) WALSince() uint64 { return s.walSince.Load() }
 
 // MaxInflight returns the admission controller's in-flight budget (0 when
 // admission control is disabled).
@@ -483,9 +501,11 @@ func (s *Server) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPoARes
 // cancelled context aborts verification with the context error — never a
 // violation verdict, since no check actually failed.
 func (s *Server) SubmitPoACtx(ctx context.Context, req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
+	start := s.verdictStart()
 	resp, err := s.submitPoA(ctx, req)
 	if err == nil {
 		s.countVerdict(resp)
+		s.observeVerdict(DoorSubmit, start)
 	}
 	return resp, err
 }
@@ -639,6 +659,15 @@ func (s *Server) HandleAccusation(droneID, zoneID string, at time.Time) (protoco
 
 // HandleAccusationCtx is HandleAccusation under a caller context.
 func (s *Server) HandleAccusationCtx(ctx context.Context, droneID, zoneID string, at time.Time) (protocol.SubmitPoAResponse, error) {
+	start := s.verdictStart()
+	resp, err := s.handleAccusation(ctx, droneID, zoneID, at)
+	if err == nil {
+		s.observeVerdict(DoorAccuse, start)
+	}
+	return resp, err
+}
+
+func (s *Server) handleAccusation(ctx context.Context, droneID, zoneID string, at time.Time) (protocol.SubmitPoAResponse, error) {
 	z, ok := s.zones.Get(zoneID)
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownZone, zoneID)

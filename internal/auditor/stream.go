@@ -102,6 +102,15 @@ func (s *Server) CloseStream(req protocol.CloseStreamRequest) (protocol.SubmitPo
 
 // CloseStreamCtx is CloseStream under a caller context.
 func (s *Server) CloseStreamCtx(ctx context.Context, req protocol.CloseStreamRequest) (protocol.SubmitPoAResponse, error) {
+	start := s.verdictStart()
+	resp, err := s.closeStream(ctx, req)
+	if err == nil {
+		s.observeVerdict(DoorStream, start)
+	}
+	return resp, err
+}
+
+func (s *Server) closeStream(ctx context.Context, req protocol.CloseStreamRequest) (protocol.SubmitPoAResponse, error) {
 	st, ok := s.streams.remove(req.StreamID)
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownStream, req.StreamID)

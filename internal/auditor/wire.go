@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
+	otrace "repro/internal/obs/trace"
 	"repro/internal/protocol"
 	"repro/internal/wire"
 )
@@ -95,6 +96,7 @@ type WireBackend interface {
 	SubmitPoACtx(ctx context.Context, req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error)
 	RegisterDroneCtx(ctx context.Context, req protocol.RegisterDroneRequest) (protocol.RegisterDroneResponse, error)
 	Metrics() *obs.Registry
+	Tracer() *otrace.Tracer
 	wireConnDelta(d int64)
 }
 
@@ -300,7 +302,7 @@ func (ws *WireServer) handshake(br *bufio.Reader, wc *wireConn) bool {
 		wc.sendError("expected hello")
 		return false
 	}
-	if version != wire.Version1 {
+	if !wire.SupportedVersion(version) {
 		// Version negotiation: the server names the version it speaks so
 		// a newer client can downgrade and redial.
 		ws.met.errors.Inc()
@@ -312,7 +314,9 @@ func (ws *WireServer) handshake(br *bufio.Reader, wc *wireConn) bool {
 		wc.sendError(err.Error())
 		return false
 	}
-	return wc.writeFrame(wire.EncodeHelloAck(nil, wire.HelloAck{Version: wire.Version1}), true) == nil
+	// Echo the client's version: every version this build supports it
+	// speaks in full, so the dialer's proposal is always accepted.
+	return wc.writeFrame(wire.EncodeHelloAck(nil, wire.HelloAck{Version: version}), true) == nil
 }
 
 // readLoop consumes frames until EOF or a protocol error, dispatching
@@ -337,7 +341,7 @@ func (ws *WireServer) readLoop(ctx context.Context, br *bufio.Reader, wc *wireCo
 		}
 		ws.met.rxFrames.Inc()
 		ws.met.rxBytes.Add(uint64(wire.HeaderBytes + 1 + len(data)))
-		if version != wire.Version1 {
+		if !wire.SupportedVersion(version) {
 			ws.met.errors.Inc()
 			wc.sendError(wire.ErrUnknownVersion.Error())
 			return
@@ -366,10 +370,14 @@ func (ws *WireServer) readLoop(ctx context.Context, br *bufio.Reader, wc *wireCo
 			go func() {
 				defer submitWG.Done()
 				defer func() { <-pipelineSlots }()
-				resp, err := ws.srv.SubmitPoACtx(ctx, protocol.SubmitPoARequest{
+				sctx, sp := ws.srv.Tracer().StartSpan(ctx, "wire.submit")
+				sp.SetAttr("drone", sub.DroneID)
+				resp, err := ws.srv.SubmitPoACtx(sctx, protocol.SubmitPoARequest{
 					DroneID:      sub.DroneID,
 					EncryptedPoA: sub.Ciphertext,
 				})
+				sp.SetError(err)
+				sp.End()
 				select {
 				case acks <- ackFor(sub.Seq, resp, err):
 				case <-ctx.Done():
@@ -379,7 +387,9 @@ func (ws *WireServer) readLoop(ctx context.Context, br *bufio.Reader, wc *wireCo
 			// A peer's single-hop forward: same payload as a submit, but the
 			// context is marked forwarded so a routing backend executes it
 			// locally (or raises ErrMisrouted) instead of forwarding again.
-			fwd, err := wire.DecodeForward(body)
+			// From Version2 the frame carries the forwarder's traceparent,
+			// so the owner-side span continues the routing node's trace.
+			fwd, err := wire.DecodeForwardV(version, body)
 			if err != nil {
 				ws.met.errors.Inc()
 				wc.sendError(err.Error())
@@ -395,10 +405,14 @@ func (ws *WireServer) readLoop(ctx context.Context, br *bufio.Reader, wc *wireCo
 			go func() {
 				defer submitWG.Done()
 				defer func() { <-pipelineSlots }()
-				resp, err := ws.srv.SubmitPoACtx(withForwarded(ctx), protocol.SubmitPoARequest{
+				sctx, sp := ws.srv.Tracer().StartRemote(withForwarded(ctx), fwd.TraceParent, "wire.forward")
+				sp.SetAttr("drone", fwd.DroneID)
+				resp, err := ws.srv.SubmitPoACtx(sctx, protocol.SubmitPoARequest{
 					DroneID:      fwd.DroneID,
 					EncryptedPoA: fwd.Ciphertext,
 				})
+				sp.SetError(err)
+				sp.End()
 				select {
 				case acks <- ackFor(fwd.Seq, resp, err):
 				case <-ctx.Done():

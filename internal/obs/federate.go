@@ -1,0 +1,412 @@
+package obs
+
+// Fleet federation: parse the text exposition WriteText produces, merge
+// expositions from many nodes, and render a single fleet-wide view.
+// Because every histogram in the system uses a fixed bucket layout
+// (DurationBuckets &c.), cross-node histogram merge is exact bucket
+// addition — no estimation enters until a quantile is asked for.
+//
+// The fleet rendering carries two strata per family: the aggregate
+// series (no node label, values summed across nodes) and each node's
+// own series with a node="<id>" label spliced into sorted position, so
+// one scrape answers both "what is the fleet p99" and "which node is
+// dragging it".
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistogramData is one parsed histogram series: finite upper bounds and
+// the cumulative count at each, with the +Inf bucket last (== Count).
+type HistogramData struct {
+	Bounds     []float64
+	Cumulative []uint64 // len(Bounds)+1
+	Sum        float64
+	Count      uint64
+}
+
+// Quantile estimates the q-quantile of the parsed histogram.
+func (h *HistogramData) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return Quantile(h.Bounds, h.Cumulative, q)
+}
+
+// clone deep-copies the histogram.
+func (h *HistogramData) clone() *HistogramData {
+	return &HistogramData{
+		Bounds:     append([]float64(nil), h.Bounds...),
+		Cumulative: append([]uint64(nil), h.Cumulative...),
+		Sum:        h.Sum,
+		Count:      h.Count,
+	}
+}
+
+// Exposition is a parsed metrics exposition: series values keyed by
+// their full rendered name (family plus sorted label body).
+type Exposition struct {
+	Types      map[string]string // family → counter|gauge|histogram
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]*HistogramData
+}
+
+// NewExposition returns an empty exposition.
+func NewExposition() *Exposition {
+	return &Exposition{
+		Types:      make(map[string]string),
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]*HistogramData),
+	}
+}
+
+// ParseExposition parses the text format Registry.WriteText emits (the
+// version 0.0.4 subset it produces: # TYPE comments, counter/gauge
+// sample lines, histogram _bucket/_sum/_count series).
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	e := NewExposition()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) == 4 {
+				e.Types[fields[2]] = fields[3]
+			}
+			continue
+		case strings.HasPrefix(line, "#"):
+			continue
+		}
+		name, value, err := splitSample(line)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.addSample(name, value); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// splitSample separates a sample line into its series name (which may
+// contain spaces inside quoted label values) and its value string.
+func splitSample(line string) (name, value string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		// Scan to the closing brace, honouring quotes and escapes.
+		inQuote, escaped := false, false
+		for j := i + 1; j < len(line); j++ {
+			c := line[j]
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\':
+				escaped = true
+			case c == '"':
+				inQuote = !inQuote
+			case c == '}' && !inQuote:
+				return line[:j+1], strings.TrimSpace(line[j+1:]), nil
+			}
+		}
+		return "", "", fmt.Errorf("obs: unterminated label body: %q", line)
+	}
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return "", "", fmt.Errorf("obs: sample without value: %q", line)
+	}
+	return line[:i], strings.TrimSpace(line[i:]), nil
+}
+
+// addSample files one parsed sample under the right metric kind.
+func (e *Exposition) addSample(name, value string) error {
+	fam, _ := splitSeries(name)
+	// Histogram component series (fam_bucket/_sum/_count) belong to a
+	// base family announced by its TYPE line.
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(fam, suffix)
+		if base == fam || e.Types[base] != "histogram" {
+			continue
+		}
+		return e.addHistogramSample(base, suffix, name, value)
+	}
+	switch e.Types[fam] {
+	case "counter":
+		v, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("obs: counter %s: %w", name, err)
+		}
+		e.Counters[name] = v
+	case "gauge":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("obs: gauge %s: %w", name, err)
+		}
+		e.Gauges[name] = v
+	default:
+		// Untyped series are ignored rather than guessed at.
+	}
+	return nil
+}
+
+// addHistogramSample folds one _bucket/_sum/_count sample into the base
+// histogram series (the series name with the le label removed).
+func (e *Exposition) addHistogramSample(base, suffix, name, value string) error {
+	_, labels := splitSeries(name)
+	pairs := splitLabels(labels)
+	var le string
+	kept := pairs[:0]
+	for _, p := range pairs {
+		if k, v, ok := strings.Cut(p, "="); ok && k == "le" {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	key := base
+	if len(kept) > 0 {
+		key += "{" + strings.Join(kept, ",") + "}"
+	}
+	h := e.Histograms[key]
+	if h == nil {
+		h = &HistogramData{}
+		e.Histograms[key] = h
+	}
+	switch suffix {
+	case "_bucket":
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("obs: bucket %s: %w", name, err)
+		}
+		if le == "+Inf" {
+			h.Cumulative = append(h.Cumulative, n)
+			return nil
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("obs: bucket bound %s: %w", name, err)
+		}
+		h.Bounds = append(h.Bounds, bound)
+		h.Cumulative = append(h.Cumulative, n)
+	case "_sum":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("obs: sum %s: %w", name, err)
+		}
+		h.Sum = v
+	case "_count":
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("obs: count %s: %w", name, err)
+		}
+		h.Count = n
+	}
+	return nil
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(body string) []string {
+	if body == "" {
+		return nil
+	}
+	var out []string
+	start, inQuote, escaped := 0, false, false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, body[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, body[start:])
+}
+
+// AddLabel splices k="v" into a rendered series name, keeping labels
+// sorted by key (the registry's canonical order).
+func AddLabel(series, k, v string) string {
+	fam, body := splitSeries(series)
+	pairs := splitLabels(body)
+	pairs = append(pairs, k+`="`+escapeLabel(v)+`"`)
+	sort.Strings(pairs)
+	return fam + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// Merge folds other into e: counters and gauges add, histograms with
+// identical bucket layouts add bucket-wise (exact). A histogram whose
+// layout disagrees with the already-merged series is skipped — a
+// partial sum would silently misreport quantiles.
+func (e *Exposition) Merge(other *Exposition) {
+	for fam, t := range other.Types {
+		if _, ok := e.Types[fam]; !ok {
+			e.Types[fam] = t
+		}
+	}
+	for name, v := range other.Counters {
+		e.Counters[name] += v
+	}
+	for name, v := range other.Gauges {
+		e.Gauges[name] += v
+	}
+	for name, h := range other.Histograms {
+		cur := e.Histograms[name]
+		if cur == nil {
+			e.Histograms[name] = h.clone()
+			continue
+		}
+		if !sameBounds(cur.Bounds, h.Bounds) || len(cur.Cumulative) != len(h.Cumulative) {
+			continue
+		}
+		for i, c := range h.Cumulative {
+			cur.Cumulative[i] += c
+		}
+		cur.Sum += h.Sum
+		cur.Count += h.Count
+	}
+}
+
+// sameBounds reports whether two bucket layouts are identical.
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteText renders the exposition in the same deterministic format
+// Registry.WriteText uses, so a merged exposition is itself parseable
+// (and scrapeable) like any node's.
+func (e *Exposition) WriteText(w io.Writer) error {
+	type series struct {
+		name string
+		emit func(io.Writer) error
+	}
+	var all []series
+	for name, v := range e.Counters {
+		n, val := name, v
+		all = append(all, series{n, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %d\n", n, val)
+			return err
+		}})
+	}
+	for name, v := range e.Gauges {
+		n, val := name, v
+		all = append(all, series{n, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %s\n", n, formatFloat(val))
+			return err
+		}})
+	}
+	for name, h := range e.Histograms {
+		n, hd := name, h
+		fam, labels := splitSeries(n)
+		all = append(all, series{n, func(w io.Writer) error {
+			for i, b := range hd.Bounds {
+				if _, err := fmt.Fprintf(w, "%s %d\n",
+					seriesName(fam+"_bucket", labels, "le", formatFloat(b)), hd.Cumulative[i]); err != nil {
+					return err
+				}
+			}
+			if len(hd.Cumulative) > 0 {
+				if _, err := fmt.Fprintf(w, "%s %d\n",
+					seriesName(fam+"_bucket", labels, "le", "+Inf"), hd.Cumulative[len(hd.Cumulative)-1]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(fam+"_sum", labels), formatFloat(hd.Sum)); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s %d\n", seriesName(fam+"_count", labels), hd.Count)
+			return err
+		}})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+	written := make(map[string]bool)
+	for _, s := range all {
+		fam, _ := splitSeries(s.name)
+		// Histogram component families share the base family's TYPE line.
+		base := fam
+		if e.Types[base] == "" {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if b := strings.TrimSuffix(fam, suffix); b != fam && e.Types[b] == "histogram" {
+					base = b
+					break
+				}
+			}
+		}
+		if !written[base] {
+			written[base] = true
+			t := e.Types[base]
+			if t == "" {
+				t = "untyped"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, t); err != nil {
+				return err
+			}
+		}
+		if err := s.emit(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeFleet builds the fleet exposition from per-node expositions: the
+// aggregate stratum (values summed, no node label) plus every node's
+// series re-labelled with node="<id>". Node order does not affect the
+// result; rendering is deterministic.
+func MergeFleet(nodes map[string]*Exposition) *Exposition {
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := NewExposition()
+	for _, id := range ids {
+		exp := nodes[id]
+		out.Merge(exp)
+		for name, v := range exp.Counters {
+			out.Counters[AddLabel(name, "node", id)] = v
+		}
+		for name, v := range exp.Gauges {
+			out.Gauges[AddLabel(name, "node", id)] = v
+		}
+		for name, h := range exp.Histograms {
+			out.Histograms[AddLabel(name, "node", id)] = h.clone()
+		}
+	}
+	return out
+}
+
+// FindHistogram returns the histogram series matching family and label
+// pairs (order-insensitive), or nil. A convenience for tests and the
+// status CLI.
+func (e *Exposition) FindHistogram(family string, kv ...string) *HistogramData {
+	want := family
+	if len(kv) > 0 {
+		want = L(family, kv...)
+	}
+	return e.Histograms[want]
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildRegistry populates a registry the way a node would.
+func buildRegistry(submits uint64, latencies []float64) *Registry {
+	reg := NewRegistry(nil)
+	reg.Counter(L("alidrone_test_total", "door", "submit")).Add(submits)
+	reg.Gauge("alidrone_test_nodes").Set(1)
+	h := reg.Histogram(L("alidrone_test_seconds", "door", "submit"), []float64{0.01, 0.1, 1})
+	for _, v := range latencies {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func parseRegistry(t *testing.T, reg *Registry) *Exposition {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	e, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse own exposition: %v\n%s", err, b.String())
+	}
+	return e
+}
+
+func TestParseExpositionRoundTrip(t *testing.T) {
+	reg := buildRegistry(7, []float64{0.005, 0.05, 0.5, 2})
+	e := parseRegistry(t, reg)
+	if got := e.Counters[L("alidrone_test_total", "door", "submit")]; got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	if got := e.Gauges["alidrone_test_nodes"]; got != 1 {
+		t.Fatalf("gauge = %v, want 1", got)
+	}
+	h := e.FindHistogram("alidrone_test_seconds", "door", "submit")
+	if h == nil {
+		t.Fatal("histogram series missing")
+	}
+	if h.Count != 4 {
+		t.Fatalf("count = %d, want 4", h.Count)
+	}
+	if len(h.Bounds) != 3 || len(h.Cumulative) != 4 {
+		t.Fatalf("layout = %v/%v", h.Bounds, h.Cumulative)
+	}
+	if h.Cumulative[3] != 4 || h.Cumulative[0] != 1 {
+		t.Fatalf("cumulative = %v", h.Cumulative)
+	}
+	// A re-rendered exposition parses identically (parse∘render fixpoint).
+	var b strings.Builder
+	if err := e.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, b.String())
+	}
+	h2 := e2.FindHistogram("alidrone_test_seconds", "door", "submit")
+	if h2 == nil || h2.Count != h.Count || !sameBounds(h2.Bounds, h.Bounds) {
+		t.Fatalf("round-trip drift: %+v vs %+v", h2, h)
+	}
+}
+
+// TestMergeFleetParity is the merge-parity invariant: the fleet-merged
+// aggregate histogram must equal the hand-merged sum of the per-node
+// snapshots, bucket for bucket — fixed layouts make the merge exact.
+func TestMergeFleetParity(t *testing.T) {
+	regA := buildRegistry(3, []float64{0.005, 0.05})
+	regB := buildRegistry(5, []float64{0.5, 2, 0.004})
+	expA, expB := parseRegistry(t, regA), parseRegistry(t, regB)
+
+	fleet := MergeFleet(map[string]*Exposition{"node-a": expA, "node-b": expB})
+
+	series := L("alidrone_test_seconds", "door", "submit")
+	merged := fleet.Histograms[series]
+	if merged == nil {
+		t.Fatal("aggregate histogram missing from fleet view")
+	}
+	// Hand-merge the per-node snapshots.
+	ha, hb := expA.Histograms[series], expB.Histograms[series]
+	if ha == nil || hb == nil {
+		t.Fatal("per-node histograms missing")
+	}
+	if !sameBounds(merged.Bounds, ha.Bounds) {
+		t.Fatalf("bounds drift: %v vs %v", merged.Bounds, ha.Bounds)
+	}
+	for i := range merged.Cumulative {
+		want := ha.Cumulative[i] + hb.Cumulative[i]
+		if merged.Cumulative[i] != want {
+			t.Fatalf("bucket %d: fleet %d, hand-merged %d", i, merged.Cumulative[i], want)
+		}
+	}
+	if merged.Count != ha.Count+hb.Count {
+		t.Fatalf("count: fleet %d, hand-merged %d", merged.Count, ha.Count+hb.Count)
+	}
+	if got := merged.Sum - (ha.Sum + hb.Sum); got > 1e-9 || got < -1e-9 {
+		t.Fatalf("sum drift: %v", got)
+	}
+	// Counters sum in the aggregate and survive per-node.
+	ctr := L("alidrone_test_total", "door", "submit")
+	if fleet.Counters[ctr] != 8 {
+		t.Fatalf("aggregate counter = %d, want 8", fleet.Counters[ctr])
+	}
+	if fleet.Counters[AddLabel(ctr, "node", "node-b")] != 5 {
+		t.Fatalf("node-b counter = %d, want 5", fleet.Counters[AddLabel(ctr, "node", "node-b")])
+	}
+	// Per-node histograms carry the node label in sorted position.
+	if fleet.Histograms[AddLabel(series, "node", "node-a")] == nil {
+		t.Fatal("node-a histogram missing from fleet view")
+	}
+	// The fleet view renders and re-parses cleanly.
+	var b strings.Builder
+	if err := fleet.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("fleet view does not re-parse: %v\n%s", err, b.String())
+	}
+}
+
+func TestMergeSkipsMismatchedLayouts(t *testing.T) {
+	a, b := NewExposition(), NewExposition()
+	a.Types["h"] = "histogram"
+	b.Types["h"] = "histogram"
+	a.Histograms["h"] = &HistogramData{Bounds: []float64{1}, Cumulative: []uint64{1, 1}, Count: 1}
+	b.Histograms["h"] = &HistogramData{Bounds: []float64{2}, Cumulative: []uint64{1, 1}, Count: 1}
+	a.Merge(b)
+	if a.Histograms["h"].Count != 1 {
+		t.Fatal("mismatched layouts were merged")
+	}
+}
+
+func TestAddLabelSortsAndEscapes(t *testing.T) {
+	if got := AddLabel(`m{door="x"}`, "node", "n1"); got != `m{door="x",node="n1"}` {
+		t.Fatalf("got %q", got)
+	}
+	if got := AddLabel(`m{zeta="x"}`, "node", "n1"); got != `m{node="n1",zeta="x"}` {
+		t.Fatalf("got %q", got)
+	}
+	if got := AddLabel("m", "node", `a"b`); got != `m{node="a\"b"}` {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestParseExpositionQuotedCommas(t *testing.T) {
+	// Label values containing commas, braces and spaces must not confuse
+	// the splitter.
+	in := "# TYPE x counter\n" + `x{k="a,b} c"} 3` + "\n"
+	e, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Counters[`x{k="a,b} c"}`]; got != 3 {
+		t.Fatalf("parsed %+v", e.Counters)
+	}
+}

@@ -330,6 +330,53 @@ func (c *ClusterAuditor) CloseStream(req protocol.CloseStreamRequest) (protocol.
 	return cl.CloseStream(req)
 }
 
+// FetchClusterStatus GETs one node's fleet-wide status snapshot
+// (/cluster/status): the serving node aggregates every ring member's
+// fragment, so any reachable node answers for the whole fleet. client
+// defaults to http.DefaultClient.
+func FetchClusterStatus(client *http.Client, base string) (protocol.ClusterStatusResponse, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var st protocol.ClusterStatusResponse
+	resp, err := client.Get(base + protocol.PathClusterStatus)
+	if err != nil {
+		return st, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return st, &StatusError{Path: protocol.PathClusterStatus, Code: resp.StatusCode}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("cluster status from %s: %w", base, err)
+	}
+	return st, nil
+}
+
+// ClusterStatus fetches the fleet status from the first seed or known
+// node that answers.
+func (c *ClusterAuditor) ClusterStatus() (protocol.ClusterStatusResponse, error) {
+	c.mu.Lock()
+	bases := append([]string(nil), c.seeds...)
+	if c.m != nil {
+		for _, n := range c.m.Nodes {
+			bases = append(bases, baseURL(n))
+		}
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for _, base := range bases {
+		st, err := FetchClusterStatus(c.hc, base)
+		if err == nil {
+			return st, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return protocol.ClusterStatusResponse{}, fmt.Errorf("cluster status: no node reachable: %w", firstErr)
+}
+
 // MapVersion reports the version of the map the client currently routes
 // by (0 = no map fetched yet). Diagnostic.
 func (c *ClusterAuditor) MapVersion() uint64 {

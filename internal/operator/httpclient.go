@@ -32,11 +32,11 @@ const (
 	MetricClientRequestSeconds = "alidrone_client_request_seconds"
 	// MetricRetryAttemptsTotal counts individual retry attempts per
 	// endpoint path (same events as MetricClientRetriesTotal under the
-	// conventional operator_* name).
-	MetricRetryAttemptsTotal = "operator_retry_attempts_total"
+	// retry-machinery name).
+	MetricRetryAttemptsTotal = "alidrone_operator_retry_attempts_total"
 	// MetricRetryExhaustedTotal counts calls that still failed after the
 	// configured retry budget was spent.
-	MetricRetryExhaustedTotal = "operator_retry_exhausted_total"
+	MetricRetryExhaustedTotal = "alidrone_operator_retry_exhausted_total"
 )
 
 // RetryPolicy controls the client's re-send behaviour on transport errors

@@ -35,6 +35,19 @@ const (
 	// joining node (GET, cluster-internal; production deployments must
 	// front this with an authenticated channel).
 	PathClusterKey = "/cluster/key"
+	// PathClusterMetrics serves the fleet-merged metrics exposition
+	// (GET): the serving node scrapes every peer's /metrics, merges the
+	// series (exact for fixed-bucket histograms) and answers with the
+	// aggregate plus per-node series carrying a node label. Any node
+	// answers for the whole fleet.
+	PathClusterMetrics = "/cluster/metrics"
+	// PathClusterStatus serves a fleet-wide JSON status snapshot (GET):
+	// ring version, per-node membership state, per-shard counts, handoff
+	// progress and SLO summaries. Any node answers for the whole fleet.
+	PathClusterStatus = "/cluster/status"
+	// PathClusterNodeStatus serves one node's own status fragment (GET,
+	// cluster-internal): the per-node slice PathClusterStatus aggregates.
+	PathClusterNodeStatus = "/cluster/nodestatus"
 )
 
 // PathReadyz is the readiness probe (GET): 200 once a node has recovered
@@ -97,4 +110,53 @@ type ClusterHandoffRequest struct {
 // ClusterKeyResponse carries the cluster's shared PoA encryption key.
 type ClusterKeyResponse struct {
 	EncKey string `json:"encKey"`
+}
+
+// ClusterShardStatus is one shard's slice of a node status.
+type ClusterShardStatus struct {
+	Shard        string `json:"shard"` // shard tag (e.g. "node-1-s0")
+	Drones       int    `json:"drones"`
+	RetainedPoAs int    `json:"retainedPoAs"`
+	OpenStreams  int    `json:"openStreams"`
+	Sessions     int    `json:"sessions"`
+	// WALSince counts WAL records appended since the shard's last
+	// snapshot compaction (its durable backlog).
+	WALSince uint64 `json:"walSince"`
+}
+
+// ClusterNodeStatus is one node's status fragment: what the node knows
+// about itself, served on PathClusterNodeStatus and aggregated into
+// ClusterStatusResponse.
+type ClusterNodeStatus struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// State is the membership state the *reporting* node sees for this
+	// node (alive/suspect/dead); a node always reports itself alive.
+	State string `json:"state"`
+	// RingVersion is the cluster-map version this node operates under;
+	// disagreement across nodes means a membership change is still
+	// propagating.
+	RingVersion uint64               `json:"ringVersion"`
+	Shards      []ClusterShardStatus `json:"shards"`
+	// HandoffsSeen maps source node → highest map version whose handoff
+	// this node has imported (rebalance progress).
+	HandoffsSeen map[string]uint64 `json:"handoffsSeen,omitempty"`
+	// SLO is the node's sliding-window latency/shed summary (the
+	// obs.SLOSummary JSON; raw so the protocol layer stays decoupled
+	// from the obs package). Empty when SLO tracking is disabled.
+	SLO json.RawMessage `json:"slo,omitempty"`
+	// WireConnections is the node's live binary-transport connections.
+	WireConnections int `json:"wireConnections"`
+	// Err is set on the aggregating node when this peer could not be
+	// reached; the other fields are then zero.
+	Err string `json:"err,omitempty"`
+}
+
+// ClusterStatusResponse is the fleet-wide status snapshot.
+type ClusterStatusResponse struct {
+	// FetchedFrom is the node that served the aggregation.
+	FetchedFrom string `json:"fetchedFrom"`
+	// RingVersion is the serving node's cluster-map version.
+	RingVersion uint64              `json:"ringVersion"`
+	Nodes       []ClusterNodeStatus `json:"nodes"`
 }

@@ -16,25 +16,52 @@ import (
 // Forward. The owner executes it locally only — a Forward is never
 // forwarded again (single-hop guard) — and answers with a normal Ack
 // carrying the same seq.
+//
+// TraceParent is the W3C traceparent header of the span that decided to
+// forward, so the owner continues the same trace. It is a Version2
+// field: at Version1 the Forward body stays byte-identical to Submit
+// (old peers keep decoding it), at Version2 it rides as a trailing
+// str16 (empty = no trace).
 type Forward struct {
-	Seq        uint64
-	DroneID    string
-	Ciphertext []byte
+	Seq         uint64
+	DroneID     string
+	Ciphertext  []byte
+	TraceParent string
 }
 
-// EncodeForward appends a Forward frame.
+// EncodeForward appends a Forward frame at Version1, dropping the
+// traceparent — the compatibility encoder for old receivers.
 func EncodeForward(dst []byte, f Forward) []byte {
-	body := make([]byte, 0, 1+8+2+len(f.DroneID)+4+len(f.Ciphertext))
+	return EncodeForwardV(dst, Version1, f)
+}
+
+// EncodeForwardV appends a Forward frame at the negotiated protocol
+// version. Version2 carries the traceparent; Version1 omits it.
+func EncodeForwardV(dst []byte, version byte, f Forward) []byte {
+	size := 1 + 8 + 2 + len(f.DroneID) + 4 + len(f.Ciphertext)
+	if version >= Version2 {
+		size += 2 + len(f.TraceParent)
+	}
+	body := make([]byte, 0, size)
 	body = append(body, TypeForward)
 	body = binary.LittleEndian.AppendUint64(body, f.Seq)
 	body = appendStr16(body, f.DroneID)
 	body = appendBytes32(body, f.Ciphertext)
-	return AppendFrame(dst, Version1, body)
+	if version >= Version2 {
+		body = appendStr16(body, f.TraceParent)
+	}
+	return AppendFrame(dst, version, body)
 }
 
-// DecodeForward decodes a Forward body. The ciphertext is copied out of
-// the frame buffer, so the caller may retain it.
+// DecodeForward decodes a Version1 Forward body. The ciphertext is
+// copied out of the frame buffer, so the caller may retain it.
 func DecodeForward(body []byte) (Forward, error) {
+	return DecodeForwardV(Version1, body)
+}
+
+// DecodeForwardV decodes a Forward body framed at the given version:
+// the trailing traceparent field exists only from Version2 on.
+func DecodeForwardV(version byte, body []byte) (Forward, error) {
 	var f Forward
 	if len(body) < 8 {
 		return f, fmt.Errorf("%w: short forward seq", ErrBadMessage)
@@ -48,6 +75,11 @@ func DecodeForward(body []byte) (Forward, error) {
 	var ct []byte
 	if ct, body, err = takeBytes32(body); err != nil {
 		return f, err
+	}
+	if version >= Version2 {
+		if f.TraceParent, body, err = takeStr16(body); err != nil {
+			return f, err
+		}
 	}
 	if len(body) != 0 {
 		return f, fmt.Errorf("%w: %d trailing bytes after forward", ErrBadMessage, len(body))

@@ -40,6 +40,10 @@ func fuzzSeeds() [][]byte {
 	add(EncodeRegisterAck(nil, RegisterAck{DroneID: "drone-00000001"}), nil)
 	add(EncodeError(nil, WireError{Message: "unsupported version"}), nil)
 	add(EncodeForward(nil, Forward{Seq: 9, DroneID: "drone-cafe", Ciphertext: []byte("ct")}), nil)
+	add(EncodeForwardV(nil, Version2, Forward{
+		Seq: 10, DroneID: "drone-cafe", Ciphertext: []byte("ct"),
+		TraceParent: "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+	}), nil)
 	add(EncodeClusterMap(nil, nil), nil) // request form
 	add(EncodeClusterMap(nil, []byte(`{"version":3,"nodes":[]}`)), nil)
 	add(EncodeGossip(nil, []byte(`{"from":{"id":"a","addr":"h:1"}}`)), nil)
@@ -85,7 +89,7 @@ func FuzzDecodeFrame(f *testing.F) {
 				}
 				return // torn/corrupt/oversized: fine, just must not panic
 			}
-			if version != Version1 {
+			if !SupportedVersion(version) {
 				continue // next frame; a real peer would reject and close
 			}
 			typ, body, err := SplitType(data)
@@ -135,8 +139,8 @@ func FuzzDecodeFrame(f *testing.F) {
 					checkReadsBack(t, EncodeRegisterAck(nil, v))
 				}
 			case TypeForward:
-				if v, err := DecodeForward(body); err == nil {
-					checkReadsBack(t, EncodeForward(nil, v))
+				if v, err := DecodeForwardV(version, body); err == nil {
+					checkReadsBack(t, EncodeForwardV(nil, version, v))
 				}
 			case TypeClusterMap:
 				if v, err := DecodeClusterMap(body); err == nil {

@@ -10,10 +10,23 @@ import (
 	"repro/internal/sigcrypto"
 )
 
-// Version1 is the only protocol version this build speaks. It travels in
-// the frame kind byte, so a reader rejects an incompatible peer before
-// touching the message body.
-const Version1 byte = 1
+// Protocol versions. The version travels in the frame kind byte, so a
+// reader rejects an incompatible peer before touching the message body.
+const (
+	// Version1 is the original protocol: Hello/HelloAck, Submit/Ack,
+	// Register and the cluster frames with no optional fields.
+	Version1 byte = 1
+	// Version2 extends Forward with a trailing traceparent field, so a
+	// cross-node forward continues the submitter's trace on the owner.
+	// Everything else is byte-identical to Version1.
+	Version2 byte = 2
+	// LatestVersion is the newest version this build speaks; handshakes
+	// open at it and downgrade when the peer only speaks an older one.
+	LatestVersion = Version2
+)
+
+// SupportedVersion reports whether this build decodes frames of version v.
+func SupportedVersion(v byte) bool { return v == Version1 || v == Version2 }
 
 // MaxMessageBytes bounds one network frame payload. It is far below the
 // WAL's 64 MiB record bound: a transport peer is untrusted, and no
@@ -171,9 +184,17 @@ func takeBytes32(b []byte) ([]byte, []byte, error) {
 // takes the body (after SplitType) and must tolerate arbitrary input —
 // the fuzz target drives them with garbage.
 
-// EncodeHello appends a Hello frame.
+// EncodeHello appends a Hello frame at Version1 (the conservative opener
+// kept for old dialers; new code opens with EncodeHelloV).
 func EncodeHello(dst []byte) []byte {
-	return AppendFrame(dst, Version1, []byte{TypeHello})
+	return EncodeHelloV(dst, Version1)
+}
+
+// EncodeHelloV appends a Hello frame at the given protocol version — the
+// version the dialer proposes; the server echoes the version it accepted
+// in HelloAck.
+func EncodeHelloV(dst []byte, version byte) []byte {
+	return AppendFrame(dst, version, []byte{TypeHello})
 }
 
 // DecodeHello decodes a Hello body.

@@ -22,7 +22,7 @@ PREV="$(ls BENCH_*.json 2>/dev/null | grep -v "^${OUT}\$" | sort | tail -1 || tr
 
 PKGS=". ./internal/storage"
 echo ">> go test -bench ${BENCH} -benchtime ${BENCHTIME} -benchmem -run '^$' ${PKGS}"
-RAW="$(go test -bench "${BENCH}" -benchtime "${BENCHTIME}" -benchmem -run '^$' ${PKGS} | grep -v 'BenchmarkSubmitThroughput')"
+RAW="$(go test -bench "${BENCH}" -benchtime "${BENCHTIME}" -benchmem -run '^$' ${PKGS} | grep -v 'BenchmarkSubmitThroughput' | grep -v 'BenchmarkVerdictSLO')"
 echo "${RAW}"
 
 # The transport pair runs separately with an iteration floor: at the
@@ -38,6 +38,21 @@ if echo "BenchmarkSubmitThroughput" | grep -q "${BENCH}"; then
 	echo "${WIRE_RAW}"
 	RAW="${RAW}
 ${WIRE_RAW}"
+fi
+
+# The SLO pair also needs an iteration floor: at the 1x smoke default the
+# bare/slo ratio is all noise, and this pair gates CI (the SLO-tracked
+# verdict path must stay within 5% of the untracked one).
+if echo "BenchmarkVerdictSLO" | grep -q "${BENCH}"; then
+	SLO_BENCHTIME="${BENCHTIME}"
+	case "${SLO_BENCHTIME}" in
+	*x) [ "${SLO_BENCHTIME%x}" -lt 5000 ] && SLO_BENCHTIME=5000x ;;
+	esac
+	echo ">> go test -bench 'BenchmarkVerdictSLO' -benchtime ${SLO_BENCHTIME} -benchmem -run '^$' ."
+	SLO_RAW="$(go test -bench 'BenchmarkVerdictSLO' -benchtime "${SLO_BENCHTIME}" -benchmem -run '^$' .)"
+	echo "${SLO_RAW}"
+	RAW="${RAW}
+${SLO_RAW}"
 fi
 
 # Headline signature-suite ratio: how many times cheaper verifying one
@@ -63,6 +78,13 @@ CLUSTER_SPEEDUP="$(echo "${RAW}" | awk '
 	$1 ~ /^BenchmarkSubmitThroughput\/cluster-4node/ { four = $3 }
 	END { if (one && four && four > 0) printf "%.1f", one / four }')"
 
+# Headline observability cost: the SLO-instrumented verdict path's ns/op
+# as a multiple of the bare (registry-only) path.
+SLO_OVERHEAD="$(echo "${RAW}" | awk '
+	$1 ~ /^BenchmarkVerdictSLO\/bare/ { bare = $3 }
+	$1 ~ /^BenchmarkVerdictSLO\/slo/  { slo = $3 }
+	END { if (bare && slo && bare > 0) printf "%.3f", slo / bare }')"
+
 # Snapshot as JSON: one object per benchmark line, plus run metadata.
 {
 	printf '{\n  "date": "%s",\n  "benchtime": "%s",\n' "${DATE}" "${BENCHTIME}"
@@ -74,6 +96,9 @@ CLUSTER_SPEEDUP="$(echo "${RAW}" | awk '
 	fi
 	if [ -n "${CLUSTER_SPEEDUP}" ]; then
 		printf '  "cluster_scaleout_4node_vs_1node": %s,\n' "${CLUSTER_SPEEDUP}"
+	fi
+	if [ -n "${SLO_OVERHEAD}" ]; then
+		printf '  "slo_observe_overhead": %s,\n' "${SLO_OVERHEAD}"
 	fi
 	printf '  "results": [\n'
 	echo "${RAW}" | awk '
@@ -128,4 +153,14 @@ if [ -n "${CLUSTER_SPEEDUP}" ]; then
 		exit 1
 	fi
 	echo ">> 4-node cluster ${CLUSTER_SPEEDUP}x single-node submission throughput"
+fi
+
+# Observability gate: the sliding-window SLO tracker must stay cheap
+# enough to leave on everywhere — within 5% of the registry-only path.
+if [ -n "${SLO_OVERHEAD}" ]; then
+	if awk "BEGIN { exit !(${SLO_OVERHEAD} > 1.05) }"; then
+		echo ">> FAIL: SLO-instrumented verdict path ${SLO_OVERHEAD}x bare (need <= 1.05x)" >&2
+		exit 1
+	fi
+	echo ">> SLO instrumentation ${SLO_OVERHEAD}x bare verdict path (within the 1.05x budget)"
 fi

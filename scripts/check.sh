@@ -30,6 +30,13 @@ fi
 echo ">> go build ./..."
 go build ./...
 
+# Metrics naming gate: every Metric* constant follows the
+# alidrone_[a-z0-9_]+ convention and obs.L call sites pass label keys in
+# sorted order (see scripts/metricslint/main.go). A misnamed series
+# fractures the fleet-merged exposition into near-duplicate families.
+echo ">> go run ./scripts/metricslint"
+go run ./scripts/metricslint .
+
 echo ">> go test -race ./..."
 go test -race ./...
 

@@ -1,0 +1,170 @@
+// Command metricslint is the metrics-naming gate check.sh runs: every
+// metric series the codebase registers must follow one convention, or
+// fleet-level merging (/cluster/metrics) and dashboard queries quietly
+// fracture into near-duplicate families.
+//
+// Enforced rules, purely syntactic (stdlib go/parser, no build needed):
+//
+//  1. Every constant whose name starts with "Metric" and whose value is
+//     a string literal must match ^alidrone_[a-z0-9_]+$ — one prefix,
+//     lowercase snake case, no dots or dashes.
+//  2. Every obs.L(...) call in non-test code whose label keys are all
+//     string literals must pass them in strictly ascending order with an
+//     even number of key/value arguments. obs.L canonicalises the order
+//     itself, so this is a readability rule: the call site reads exactly
+//     like the rendered series, so grepping an exposition line lands on
+//     the code that registered it. Test files are exempt (the registry's
+//     own tests exercise the sorting). Strict ascent also rejects a
+//     duplicated key, which L would render as a malformed series.
+//
+// Usage: go run ./scripts/metricslint [dir]   (default ".")
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var namePattern = regexp.MustCompile(`^alidrone_[a-z0-9_]+$`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []string
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "metricslint" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		violations = append(violations, lintFile(fset, f, strings.HasSuffix(path, "_test.go"))...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(2)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "metricslint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// lintFile applies both rules to one parsed file; test files get only
+// the naming rule.
+func lintFile(fset *token.FileSet, f *ast.File, isTest bool) []string {
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.GenDecl:
+			if node.Tok != token.CONST {
+				return true
+			}
+			for _, spec := range node.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if !strings.HasPrefix(id.Name, "Metric") || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					val, err := strconv.Unquote(lit.Value)
+					if err != nil || namePattern.MatchString(val) {
+						continue
+					}
+					out = append(out, fmt.Sprintf("%s: const %s = %q does not match %s",
+						fset.Position(id.Pos()), id.Name, val, namePattern))
+				}
+			}
+		case *ast.CallExpr:
+			if isTest || !isObsL(node.Fun) {
+				return true
+			}
+			out = append(out, lintLabelCall(fset, node)...)
+		}
+		return true
+	})
+	return out
+}
+
+// isObsL recognises obs.L(...) (any import alias) and the in-package
+// bare L(...).
+func isObsL(fun ast.Expr) bool {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name == "L"
+	case *ast.SelectorExpr:
+		if f.Sel.Name != "L" {
+			return false
+		}
+		_, ok := f.X.(*ast.Ident)
+		return ok
+	}
+	return false
+}
+
+// lintLabelCall checks one obs.L call: even kv count and, when every key
+// is a string literal, strictly ascending key order.
+func lintLabelCall(fset *token.FileSet, call *ast.CallExpr) []string {
+	if len(call.Args) < 1 || call.Ellipsis != token.NoPos {
+		return nil
+	}
+	kv := call.Args[1:]
+	if len(kv) == 0 {
+		return nil
+	}
+	if len(kv)%2 != 0 {
+		return []string{fmt.Sprintf("%s: obs.L with odd key/value count (%d label args)",
+			fset.Position(call.Pos()), len(kv))}
+	}
+	var keys []string
+	for i := 0; i < len(kv); i += 2 {
+		lit, ok := kv[i].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return nil // dynamic key: order not statically checkable
+		}
+		key, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return nil
+		}
+		keys = append(keys, key)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return []string{fmt.Sprintf("%s: obs.L label keys not strictly sorted: %q after %q",
+				fset.Position(call.Pos()), keys[i], keys[i-1])}
+		}
+	}
+	return nil
+}

@@ -7,9 +7,14 @@
 // Usage:
 //
 //	alidrone-drone -auditor http://localhost:8470 -scenario residential \
-//	               [-mode adaptive|fixed|batch|mac|streaming] \
+//	               [-mode adaptive|fixed|batch|mac|streaming|sealed|commit] \
+//	               [-disclosure full|sealed|commit] \
 //	               [-fixed-rate 2] [-store ./flights] [-gps-rate 5] \
 //	               [-dump-metrics] [-trace-sample 1] [-dump-traces]
+//
+// -disclosure selects the disclosure mode negotiated at registration.
+// It defaults to the submission mode's natural disclosure (sealed/commit
+// modes register as such; all other modes register full).
 //
 // With -dump-metrics, the drone-side counters (secure-world SMCs, sign
 // latency, sampler reads/auths, HTTP client retries) are printed in the
@@ -31,6 +36,7 @@ import (
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/operator"
+	"repro/internal/poa"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
 	"repro/internal/trace"
@@ -39,7 +45,8 @@ import (
 func main() {
 	auditorURL := flag.String("auditor", "http://localhost:8470", "auditor base URL")
 	scenario := flag.String("scenario", "residential", "flight scenario: airport or residential")
-	mode := flag.String("mode", "adaptive", "sampling mode: adaptive, fixed, batch, mac or streaming")
+	mode := flag.String("mode", "adaptive", "sampling mode: adaptive, fixed, batch, mac, streaming, sealed or commit")
+	disclosure := flag.String("disclosure", "", "disclosure mode announced at registration: full, sealed or commit (empty = follow -mode)")
 	fixedRate := flag.Float64("fixed-rate", 2, "sampling rate for -mode fixed (Hz)")
 	storeDir := flag.String("store", "", "directory for persisted flight records (empty = do not persist)")
 	suite := flag.String("suite", "", "TEE signature suite: rsa1024, rsa2048, rsa3072 or ed25519 (empty = legacy rsa1024 provisioning)")
@@ -61,7 +68,7 @@ func main() {
 	}
 	retry := operator.RetryPolicy{Max: *retries, Backoff: *retryBackoff}
 	wire := wireOptions{addr: *wireAddr, batch: *wireBatch, flush: time.Duration(*wireFlushMS) * time.Millisecond}
-	if err := run(*auditorURL, *scenario, *mode, *storeDir, *suite, *rotateEvery, *fixedRate, *gpsRate, *dumpMetrics, sample, *dumpTraces, retry, wire); err != nil {
+	if err := run(*auditorURL, *scenario, *mode, *disclosure, *storeDir, *suite, *rotateEvery, *fixedRate, *gpsRate, *dumpMetrics, sample, *dumpTraces, retry, wire); err != nil {
 		fmt.Fprintln(os.Stderr, "alidrone-drone:", err)
 		os.Exit(1)
 	}
@@ -76,7 +83,7 @@ type wireOptions struct {
 	flush time.Duration
 }
 
-func run(auditorURL, scenario, mode, storeDir, suite string, rotateEvery time.Duration, fixedRate, gpsRate float64, dumpMetrics bool, traceSample float64, dumpTraces bool, retry operator.RetryPolicy, wireOpt wireOptions) error {
+func run(auditorURL, scenario, mode, disclosure, storeDir, suite string, rotateEvery time.Duration, fixedRate, gpsRate float64, dumpMetrics bool, traceSample float64, dumpTraces bool, retry operator.RetryPolicy, wireOpt wireOptions) error {
 	start := time.Now().UTC().Truncate(time.Second)
 
 	var sc *trace.Scenario
@@ -105,8 +112,25 @@ func run(auditorURL, scenario, mode, storeDir, suite string, rotateEvery time.Du
 		cfg.Mode = operator.ModeMAC
 	case "streaming":
 		cfg.Mode = operator.ModeStreaming
+	case "sealed":
+		cfg.Mode = operator.ModeSealed
+	case "commit":
+		cfg.Mode = operator.ModeCommit
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
+	}
+	// The registered disclosure mode defaults to the submission mode's
+	// natural one; -disclosure overrides (e.g. register sealed but fly a
+	// full-mode flight to see the auditor reject it).
+	if disclosure == "" {
+		switch cfg.Mode {
+		case operator.ModeSealed:
+			disclosure = poa.DisclosureSealed
+		case operator.ModeCommit:
+			disclosure = poa.DisclosureCommit
+		}
+	} else if _, err := poa.NormalizeDisclosure(disclosure); err != nil {
+		return err
 	}
 	if storeDir != "" {
 		store, err := operator.NewStore(storeDir)
@@ -169,10 +193,15 @@ func run(auditorURL, scenario, mode, storeDir, suite string, rotateEvery time.Du
 	if tracer != nil {
 		drone.SetTracer(tracer)
 	}
+	if disclosure != "" {
+		if err := drone.SetDisclosure(disclosure); err != nil {
+			return err
+		}
+	}
 	if err := drone.Register(); err != nil {
 		return err
 	}
-	fmt.Printf("registered as %s\n", drone.ID())
+	fmt.Printf("registered as %s (disclosure %s)\n", drone.ID(), drone.Disclosure())
 
 	rep, err := drone.RunMission(platform.Receiver(), sc.Route, cfg)
 	if err != nil {
@@ -192,6 +221,19 @@ func run(auditorURL, scenario, mode, storeDir, suite string, rotateEvery time.Du
 		fmt.Printf(" (%s)", rep.Verdict.Reason)
 	}
 	fmt.Println()
+	if rep.Verdict.Challenge != nil {
+		ch := rep.Verdict.Challenge
+		fmt.Printf("selective-disclosure challenge %s: reveal pair at index %d\n", ch.ChallengeID, ch.PairIndex)
+		final, err := drone.RevealForChallenge(*ch)
+		if err != nil {
+			return fmt.Errorf("answer disclosure challenge: %w", err)
+		}
+		fmt.Printf("post-reveal verdict: %s", final.Verdict)
+		if final.Reason != "" {
+			fmt.Printf(" (%s)", final.Reason)
+		}
+		fmt.Println()
+	}
 	if reg != nil {
 		fmt.Println("--- drone metrics ---")
 		if err := reg.WriteText(os.Stdout); err != nil {

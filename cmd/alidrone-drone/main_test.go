@@ -46,6 +46,9 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 		{"airport batch rsa2048 rotating", "airport", "batch", "", "rsa2048", time.Minute, 0, 1, false},
 		{"airport adaptive over wire", "airport", "adaptive", "", "", 0, 0, 1, true},
 		{"airport adaptive ed25519 over wire", "airport", "adaptive", "", "ed25519", 0, 0, 1, true},
+		{"airport sealed", "airport", "sealed", "", "", 0, 0, 1, false},
+		{"airport commit", "airport", "commit", "", "", 0, 0, 1, false},
+		{"airport commit over wire", "airport", "commit", "", "", 0, 0, 1, true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -60,7 +63,7 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 			if tt.wire {
 				w = wireOptions{addr: lis.Addr().String(), batch: 4, flush: time.Millisecond}
 			}
-			if err := run(hs.URL, tt.scenario, tt.mode, tt.storeDir, tt.suite, tt.rotateEvery, tt.fixed, tt.gpsRate, dump, sample, dump, operator.RetryPolicy{}, w); err != nil {
+			if err := run(hs.URL, tt.scenario, tt.mode, "", tt.storeDir, tt.suite, tt.rotateEvery, tt.fixed, tt.gpsRate, dump, sample, dump, operator.RetryPolicy{}, w); err != nil {
 				t.Fatalf("drone run failed: %v", err)
 			}
 		})
@@ -68,10 +71,13 @@ func TestEndToEndAgainstHTTPServer(t *testing.T) {
 }
 
 func TestRunBadArgs(t *testing.T) {
-	if err := run("http://localhost:1", "mars", "adaptive", "", "", 0, 0, 5, false, 0, false, operator.RetryPolicy{}, wireOptions{}); err == nil {
+	if err := run("http://localhost:1", "mars", "adaptive", "", "", "", 0, 0, 5, false, 0, false, operator.RetryPolicy{}, wireOptions{}); err == nil {
 		t.Error("unknown scenario accepted")
 	}
-	if err := run("http://localhost:1", "airport", "warp", "", "", 0, 0, 5, false, 0, false, operator.RetryPolicy{}, wireOptions{}); err == nil {
+	if err := run("http://localhost:1", "airport", "warp", "", "", "", 0, 0, 5, false, 0, false, operator.RetryPolicy{}, wireOptions{}); err == nil {
 		t.Error("unknown mode accepted")
+	}
+	if err := run("http://localhost:1", "airport", "adaptive", "partial", "", "", 0, 0, 5, false, 0, false, operator.RetryPolicy{}, wireOptions{}); err == nil {
+		t.Error("unknown disclosure mode accepted")
 	}
 }

@@ -125,6 +125,11 @@ func accuseCmd(w io.Writer, client *operator.HTTPAuditor, args []string) error {
 	switch resp.Verdict {
 	case protocol.VerdictCompliant:
 		fmt.Fprintln(w, "verdict: the drone's retained alibi proves it could not have been in the zone")
+	case protocol.VerdictDisclosureRequired:
+		fmt.Fprintf(w, "verdict: pending — %s\n", resp.Reason)
+		if ch := resp.Challenge; ch != nil {
+			fmt.Fprintf(w, "disclosure challenge %s: operator must reveal pair %d\n", ch.ChallengeID, ch.PairIndex)
+		}
 	default:
 		fmt.Fprintf(w, "verdict: violation — %s\n", resp.Reason)
 	}

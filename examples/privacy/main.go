@@ -94,7 +94,7 @@ func run() error {
 	// and decides the boolean compliance question.
 	exonerated, err := privacy.JudgeAccusation(
 		sealed.Entries[i], sealed.Entries[i+1], k1, k2,
-		vault.PublicKey(), z, geo.MaxDroneSpeedMPS, poa.Exact)
+		vault.SuiteKey(), z, geo.MaxDroneSpeedMPS, poa.Exact)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,424 @@
+package auditor
+
+// Tests for the sealed/commit disclosure doors and the accusation-time
+// selective-disclosure round-trip: mode negotiation at registration, the
+// retained verdicts, challenge issuance, reveal verification, and the
+// privacy property that a reveal opens exactly the spanning pair.
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/operator"
+	"repro/internal/poa"
+	"repro/internal/privacy"
+	"repro/internal/protocol"
+	"repro/internal/sigcrypto"
+)
+
+// registerDisclosureDrone registers a drone announcing the given
+// disclosure mode on an already-open server.
+func registerDisclosureDrone(t *testing.T, srv *Server, rng *rand.Rand, mode string) (string, droneKeys) {
+	t.Helper()
+	op, err := sigcrypto.GenerateKeyPair(rng, sigcrypto.KeySize1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teeKey, err := sigcrypto.GenerateKeyPair(rng, sigcrypto.KeySize1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opPub, err := sigcrypto.MarshalPublicKey(&op.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teePub, err := sigcrypto.MarshalPublicKey(&teeKey.PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.RegisterDrone(protocol.RegisterDroneRequest{OperatorPub: opPub, TEEPub: teePub, Disclosure: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.DroneID, droneKeys{op: op, tee: teeKey}
+}
+
+// newDisclosureFixture builds a server with one drone registered under the
+// given disclosure mode.
+func newDisclosureFixture(t *testing.T, mode string) (*Server, string, droneKeys) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	srv, err := NewServer(Config{
+		Clock:   obs.ClockFunc(func() time.Time { return t0 }),
+		Metrics: obs.NewRegistry(nil),
+		Random:  rng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, keys := registerDisclosureDrone(t, srv, rng, mode)
+	return srv, id, keys
+}
+
+// sealedSubmission seals a trace as the TEE would and returns the
+// encrypted submission plus the operator-retained one-time keys.
+func sealedSubmission(t *testing.T, srv *Server, p poa.PoA) (ct []byte, sealed privacy.SealedPoA, keys [][]byte) {
+	t.Helper()
+	sealed, ring, err := privacy.Seal(p, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys = make([][]byte, ring.Len())
+	for i := range keys {
+		if keys[i], err = ring.Reveal(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := json.Marshal(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encryptBytes(t, srv, data), sealed, keys
+}
+
+// commitSubmission builds a TEE-signed commit envelope over the trace with
+// predicates for the given zones, returning the encrypted submission plus
+// the operator-retained sealed entries and one-time keys.
+func commitSubmission(t *testing.T, srv *Server, dk droneKeys, p poa.PoA, zones ...geo.GeoCircle) (ct []byte, sealed privacy.SealedPoA, keys [][]byte) {
+	t.Helper()
+	sealed, ring, env, err := privacy.CommitTrace(p, zones, geo.MaxDroneSpeedMPS, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Sig, err = sigcrypto.Sign(dk.tee, env.SigningBytes()); err != nil {
+		t.Fatal(err)
+	}
+	keys = make([][]byte, ring.Len())
+	for i := range keys {
+		if keys[i], err = ring.Reveal(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return encryptBytes(t, srv, privacy.EncodeCommitEnvelope(*env)), sealed, keys
+}
+
+func TestDisclosureModeNegotiation(t *testing.T) {
+	// Unknown modes are rejected at registration.
+	srv, _, _ := newFixture(t)
+	rng := rand.New(rand.NewSource(44))
+	op, _ := sigcrypto.GenerateKeyPair(rng, sigcrypto.KeySize1024)
+	teeKey, _ := sigcrypto.GenerateKeyPair(rng, sigcrypto.KeySize1024)
+	opPub, _ := sigcrypto.MarshalPublicKey(&op.PublicKey)
+	teePub, _ := sigcrypto.MarshalPublicKey(&teeKey.PublicKey)
+	if _, err := srv.RegisterDrone(protocol.RegisterDroneRequest{OperatorPub: opPub, TEEPub: teePub, Disclosure: "partial"}); err == nil {
+		t.Error("unknown disclosure mode accepted at registration")
+	}
+
+	// A full-mode drone cannot use the sealed or commit doors.
+	srv2, id, keys := newFixture(t)
+	p := signedTrace(t, keys, urbana, 0, 10, 10, time.Second)
+	sct, _, _ := sealedSubmission(t, srv2, p)
+	if _, err := srv2.SubmitSealedPoA(protocol.SubmitSealedPoARequest{DroneID: id, EncryptedPoA: sct}); !errors.Is(err, ErrDisclosureMismatch) {
+		t.Errorf("sealed submission from full-mode drone err = %v, want ErrDisclosureMismatch", err)
+	}
+
+	// A sealed-mode drone cannot use the full doors.
+	srv3, id3, keys3 := newDisclosureFixture(t, poa.DisclosureSealed)
+	p3 := signedTrace(t, keys3, urbana, 0, 10, 10, time.Second)
+	if _, err := srv3.SubmitPoA(protocol.SubmitPoARequest{DroneID: id3, EncryptedPoA: encryptFor(t, srv3, p3)}); !errors.Is(err, ErrDisclosureMismatch) {
+		t.Errorf("full submission from sealed-mode drone err = %v, want ErrDisclosureMismatch", err)
+	}
+	if _, err := srv3.OpenStream(protocol.OpenStreamRequest{DroneID: id3}); !errors.Is(err, ErrDisclosureMismatch) {
+		t.Errorf("stream open from sealed-mode drone err = %v, want ErrDisclosureMismatch", err)
+	}
+
+	// Config.AllowedDisclosures restricts what registration admits.
+	rng4 := rand.New(rand.NewSource(45))
+	srv4, err := NewServer(Config{
+		Clock:              obs.ClockFunc(func() time.Time { return t0 }),
+		Metrics:            obs.NewRegistry(nil),
+		Random:             rng4,
+		AllowedDisclosures: []string{poa.DisclosureFull},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opPub4, _ := sigcrypto.MarshalPublicKey(&op.PublicKey)
+	if _, err := srv4.RegisterDrone(protocol.RegisterDroneRequest{OperatorPub: opPub4, TEEPub: teePub, Disclosure: poa.DisclosureCommit}); err == nil {
+		t.Error("commit registration accepted despite AllowedDisclosures=[full]")
+	}
+}
+
+func TestSealedSubmissionRetained(t *testing.T) {
+	srv, id, keys := newDisclosureFixture(t, poa.DisclosureSealed)
+	p := signedTrace(t, keys, urbana, 0, 10, 10, time.Second)
+	ct, _, _ := sealedSubmission(t, srv, p)
+	resp, err := srv.SubmitSealedPoA(protocol.SubmitSealedPoARequest{DroneID: id, EncryptedPoA: ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != protocol.VerdictRetained {
+		t.Fatalf("sealed verdict = %v (%s), want retained", resp.Verdict, resp.Reason)
+	}
+	if got := srv.Status().Commitments; got != 1 {
+		t.Errorf("Commitments = %d, want 1", got)
+	}
+	// Replay of the same ciphertext is still caught (clear-timestamp
+	// digest claim runs before retention).
+	resp, err = srv.SubmitSealedPoA(protocol.SubmitSealedPoARequest{DroneID: id, EncryptedPoA: ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verdict != protocol.VerdictViolation {
+		t.Errorf("sealed replay verdict = %v, want violation", resp.Verdict)
+	}
+}
+
+// TestSelectiveDisclosureRoundTrip drives the full accusation protocol for
+// both hiding modes and both outcomes: submit → accuse → challenge →
+// reveal → verdict. It also pins the privacy property: the reveal carries
+// exactly the two samples spanning the accused instant, and in commit mode
+// the auditor retains no ciphertext at all before the reveal.
+func TestSelectiveDisclosureRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		mode string
+		zone geo.GeoCircle
+		want protocol.Verdict
+	}{
+		{"sealed compliant", poa.DisclosureSealed, geo.GeoCircle{Center: urbana.Offset(90, 5000), R: 100}, protocol.VerdictCompliant},
+		{"sealed violating", poa.DisclosureSealed, geo.GeoCircle{Center: urbana.Offset(0, 50), R: 100}, protocol.VerdictViolation},
+		{"commit compliant", poa.DisclosureCommit, geo.GeoCircle{Center: urbana.Offset(90, 5000), R: 100}, protocol.VerdictCompliant},
+		{"commit violating", poa.DisclosureCommit, geo.GeoCircle{Center: urbana.Offset(0, 50), R: 100}, protocol.VerdictViolation},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, id, keys := newDisclosureFixture(t, tc.mode)
+			p := signedTrace(t, keys, urbana, 0, 10, 10, time.Second)
+
+			var ct []byte
+			var sealed privacy.SealedPoA
+			var otKeys [][]byte
+			if tc.mode == poa.DisclosureSealed {
+				ct, sealed, otKeys = sealedSubmission(t, srv, p)
+				resp, err := srv.SubmitSealedPoA(protocol.SubmitSealedPoARequest{DroneID: id, EncryptedPoA: ct})
+				if err != nil || resp.Verdict != protocol.VerdictRetained {
+					t.Fatalf("sealed submit: %v / %+v", err, resp)
+				}
+			} else {
+				// The accused zone is registered only after submission, so
+				// the envelope carries no predicate for it and the upload is
+				// compliant on its own terms.
+				ct, sealed, otKeys = commitSubmission(t, srv, keys, p)
+				resp, err := srv.SubmitCommitPoA(protocol.SubmitCommitPoARequest{DroneID: id, EncryptedEnvelope: ct})
+				if err != nil || resp.Verdict != protocol.VerdictCompliant {
+					t.Fatalf("commit submit: %v / %+v", err, resp)
+				}
+				// Privacy: the auditor retained the commitment only — no
+				// sealed ciphertexts live server-side before the reveal.
+				recs := srv.disclosures.byDrone(id)
+				if len(recs) != 1 || len(recs[0].Entries) != 0 {
+					t.Fatalf("commit retention holds %d records / %d entries, want 1 / 0", len(recs), len(recs[0].Entries))
+				}
+			}
+
+			zoneID := mustRegisterZone(t, srv, tc.zone)
+			at := t0.Add(500 * time.Millisecond)
+			acc, err := srv.HandleAccusation(id, zoneID, at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if acc.Verdict != protocol.VerdictDisclosureRequired || acc.Challenge == nil {
+				t.Fatalf("accusation = %+v, want disclosure-required with a challenge", acc)
+			}
+			ch := *acc.Challenge
+			if ch.Mode != tc.mode || ch.PairIndex != 0 {
+				t.Fatalf("challenge = %+v, want mode %s pair 0", ch, tc.mode)
+			}
+
+			// The operator answers from its retained material. The answer
+			// must open exactly the spanning pair — two keys, and in commit
+			// mode two entries with two proofs — never anything else.
+			secrets := &operator.DisclosureSecrets{Mode: tc.mode, Sealed: sealed, Keys: otKeys}
+			req, err := secrets.Answer(ch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(req.Keys) != 2 {
+				t.Fatalf("reveal carries %d keys, want exactly 2", len(req.Keys))
+			}
+			if tc.mode == poa.DisclosureCommit {
+				if len(req.Entries) != 2 || len(req.Proofs) != 2 {
+					t.Fatalf("commit reveal carries %d entries / %d proofs, want 2 / 2", len(req.Entries), len(req.Proofs))
+				}
+				for i, e := range req.Entries {
+					if !e.Time.Equal(sealed.Entries[ch.PairIndex+i].Time) {
+						t.Errorf("revealed entry %d is not the challenged pair member", i)
+					}
+				}
+			} else if len(req.Entries) != 0 {
+				t.Fatalf("sealed reveal carries %d entries, want 0", len(req.Entries))
+			}
+
+			final, err := srv.Reveal(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if final.Verdict != tc.want {
+				t.Errorf("post-reveal verdict = %v (%s), want %v", final.Verdict, final.Reason, tc.want)
+			}
+
+			// The challenge is settled: replaying the reveal is rejected.
+			if _, err := srv.Reveal(req); !errors.Is(err, ErrUnknownChallenge) {
+				t.Errorf("reveal replay err = %v, want ErrUnknownChallenge", err)
+			}
+		})
+	}
+}
+
+// TestRevealRejectsBadMaterial pins the bad_reveal path: tampered keys,
+// swapped entries and forged proofs all fail verification, and the
+// challenge stays open so a correct retry still settles it.
+func TestRevealRejectsBadMaterial(t *testing.T) {
+	srv, id, keys := newDisclosureFixture(t, poa.DisclosureCommit)
+	p := signedTrace(t, keys, urbana, 0, 10, 10, time.Second)
+	ct, sealed, otKeys := commitSubmission(t, srv, keys, p)
+	if resp, err := srv.SubmitCommitPoA(protocol.SubmitCommitPoARequest{DroneID: id, EncryptedEnvelope: ct}); err != nil || resp.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("commit submit: %v / %+v", err, resp)
+	}
+	zoneID := mustRegisterZone(t, srv, geo.GeoCircle{Center: urbana.Offset(90, 5000), R: 100})
+	acc, err := srv.HandleAccusation(id, zoneID, t0.Add(500*time.Millisecond))
+	if err != nil || acc.Challenge == nil {
+		t.Fatalf("accusation: %v / %+v", err, acc)
+	}
+	secrets := &operator.DisclosureSecrets{Mode: poa.DisclosureCommit, Sealed: sealed, Keys: otKeys}
+	good, err := secrets.Answer(*acc.Challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tamper := func(name string, mutate func(r *protocol.RevealRequest)) {
+		t.Helper()
+		bad := good
+		bad.Keys = append([][]byte{}, good.Keys...)
+		bad.Entries = append([]privacy.SealedSample{}, good.Entries...)
+		bad.Proofs = append([][]byte{}, good.Proofs...)
+		mutate(&bad)
+		if _, err := srv.Reveal(bad); !errors.Is(err, ErrBadReveal) {
+			t.Errorf("%s: err = %v, want ErrBadReveal", name, err)
+		}
+	}
+	tamper("tampered key", func(r *protocol.RevealRequest) {
+		k := append([]byte{}, r.Keys[1]...)
+		k[0] ^= 0xff
+		r.Keys[1] = k
+	})
+	tamper("one key only", func(r *protocol.RevealRequest) { r.Keys = r.Keys[:1] })
+	tamper("swapped entries", func(r *protocol.RevealRequest) {
+		r.Entries[0], r.Entries[1] = r.Entries[1], r.Entries[0]
+	})
+	tamper("entry outside the pair", func(r *protocol.RevealRequest) {
+		// Substitute entry 2 (with its valid proof) for pair member 0: the
+		// committed timestamp check must refuse the off-pair leaf.
+		tree, err := sealed.MerkleTree()
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, err := tree.Proof(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Entries[0] = sealed.Entries[2]
+		r.Proofs[0] = poa.EncodeMerkleProof(proof)
+		r.Keys[0] = otKeys[2]
+	})
+	tamper("truncated proof", func(r *protocol.RevealRequest) { r.Proofs[0] = r.Proofs[0][:8] })
+
+	// Every rejection above left the challenge open: the honest reveal
+	// still settles it.
+	final, err := srv.Reveal(good)
+	if err != nil || final.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("honest reveal after rejected attempts: %v / %+v", err, final)
+	}
+
+	m := srv.Metrics()
+	if got := m.Counter(obs.L(MetricAccusationsTotal, "outcome", "bad_reveal")).Value(); got != 5 {
+		t.Errorf("bad_reveal count = %d, want 5", got)
+	}
+	if got := m.Counter(obs.L(MetricAccusationsTotal, "outcome", "compliant")).Value(); got != 1 {
+		t.Errorf("compliant accusation count = %d, want 1", got)
+	}
+	if got := m.Counter(obs.L(MetricDisclosureTotal, "mode", poa.DisclosureCommit)).Value(); got != 1 {
+		t.Errorf("commit disclosure count = %d, want 1", got)
+	}
+}
+
+// TestDisclosureHTTPDoors drives the commit door and the reveal through
+// the HTTP handler, including the error mappings (404 for unknown
+// challenges, 403 for failed reveals and mode mismatches).
+func TestDisclosureHTTPDoors(t *testing.T) {
+	srv, id, keys := newDisclosureFixture(t, poa.DisclosureCommit)
+	hs := httptest.NewServer(NewHandler(srv))
+	defer hs.Close()
+
+	decode := func(t *testing.T, resp *http.Response, out any) {
+		t.Helper()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p := signedTrace(t, keys, urbana, 0, 10, 10, time.Second)
+	ct, sealed, otKeys := commitSubmission(t, srv, keys, p)
+	var resp protocol.SubmitPoAResponse
+	decode(t, postJSON(t, hs.URL+protocol.PathSubmitCommitPoA,
+		protocol.SubmitCommitPoARequest{DroneID: id, EncryptedEnvelope: ct}), &resp)
+	if resp.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("HTTP commit verdict = %+v, want compliant", resp)
+	}
+
+	// A commit-mode drone knocking on the full door is a 403.
+	if code := postJSON(t, hs.URL+protocol.PathSubmitPoA,
+		protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, p)}).StatusCode; code != http.StatusForbidden {
+		t.Errorf("full submission from commit-mode drone HTTP status = %d, want 403", code)
+	}
+
+	zoneID := mustRegisterZone(t, srv, geo.GeoCircle{Center: urbana.Offset(0, 50), R: 100})
+	acc, err := srv.HandleAccusation(id, zoneID, t0.Add(500*time.Millisecond))
+	if err != nil || acc.Challenge == nil {
+		t.Fatalf("accusation: %v / %+v", err, acc)
+	}
+	secrets := &operator.DisclosureSecrets{Mode: poa.DisclosureCommit, Sealed: sealed, Keys: otKeys}
+	req, err := secrets.Answer(*acc.Challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A tampered reveal maps to 403, an unknown challenge to 404.
+	bad := req
+	bad.Keys = [][]byte{req.Keys[0], req.Keys[0]}
+	if code := postJSON(t, hs.URL+protocol.PathReveal, bad).StatusCode; code != http.StatusForbidden {
+		t.Errorf("bad reveal HTTP status = %d, want 403", code)
+	}
+	unknown := req
+	unknown.ChallengeID = "challenge-9999"
+	if code := postJSON(t, hs.URL+protocol.PathReveal, unknown).StatusCode; code != http.StatusNotFound {
+		t.Errorf("unknown challenge HTTP status = %d, want 404", code)
+	}
+
+	var final protocol.SubmitPoAResponse
+	decode(t, postJSON(t, hs.URL+protocol.PathReveal, req), &final)
+	if final.Verdict != protocol.VerdictViolation {
+		t.Errorf("HTTP post-reveal verdict = %+v, want violation", final)
+	}
+}

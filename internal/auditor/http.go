@@ -44,6 +44,9 @@ type Backend interface {
 	SubmitBatchPoACtx(ctx context.Context, req protocol.SubmitBatchPoARequest) (protocol.SubmitPoAResponse, error)
 	StartSession(req protocol.StartSessionRequest) (protocol.StartSessionResponse, error)
 	SubmitMACPoACtx(ctx context.Context, req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error)
+	SubmitSealedPoACtx(ctx context.Context, req protocol.SubmitSealedPoARequest) (protocol.SubmitPoAResponse, error)
+	SubmitCommitPoACtx(ctx context.Context, req protocol.SubmitCommitPoARequest) (protocol.SubmitPoAResponse, error)
+	RevealCtx(ctx context.Context, req protocol.RevealRequest) (protocol.SubmitPoAResponse, error)
 	RotateKeyCtx(ctx context.Context, req protocol.RotateKeyRequest) (protocol.RotateKeyResponse, error)
 	OpenStream(req protocol.OpenStreamRequest) (protocol.OpenStreamResponse, error)
 	StreamSampleCtx(ctx context.Context, req protocol.StreamSampleRequest) (protocol.StreamSampleResponse, error)
@@ -110,6 +113,9 @@ func NewHandlerOpts(srv Backend, opts HandlerOptions) *Handler {
 	h.handle(protocol.PathSubmitBatchPoA, post(h.submitBatchPoA))
 	h.handle(protocol.PathStartSession, post(h.startSession))
 	h.handle(protocol.PathSubmitMACPoA, post(h.submitMACPoA))
+	h.handle(protocol.PathSubmitSealedPoA, post(h.submitSealedPoA))
+	h.handle(protocol.PathSubmitCommitPoA, post(h.submitCommitPoA))
+	h.handle(protocol.PathReveal, post(h.reveal))
 	h.handle(protocol.PathAccuse, post(h.accuse))
 	h.handle(protocol.PathRotateKey, post(h.rotateKey))
 	h.handle(protocol.PathStreamOpen, post(h.streamOpen))
@@ -292,10 +298,11 @@ func statusFor(err error) int {
 		return http.StatusMisdirectedRequest
 	case errors.Is(err, ErrUnknownDrone), errors.Is(err, ErrUnknownZone),
 		errors.Is(err, ErrNoPoA), errors.Is(err, ErrUnknownSession),
-		errors.Is(err, ErrUnknownStream):
+		errors.Is(err, ErrUnknownStream), errors.Is(err, ErrUnknownChallenge):
 		return http.StatusNotFound
 	case errors.Is(err, protocol.ErrBadNonce), errors.Is(err, protocol.ErrBadSignature),
-		errors.Is(err, sigcrypto.ErrBadHandover):
+		errors.Is(err, sigcrypto.ErrBadHandover), errors.Is(err, ErrBadReveal),
+		errors.Is(err, ErrDisclosureMismatch):
 		return http.StatusForbidden
 	case errors.Is(err, protocol.ErrOverloaded):
 		// Load shed by the admission controller: nothing about the
@@ -391,6 +398,18 @@ func (h *Handler) startSession(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) submitMACPoA(w http.ResponseWriter, r *http.Request) {
 	handleJSON(w, r, h.srv.SubmitMACPoACtx)
+}
+
+func (h *Handler) submitSealedPoA(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.SubmitSealedPoACtx)
+}
+
+func (h *Handler) submitCommitPoA(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.SubmitCommitPoACtx)
+}
+
+func (h *Handler) reveal(w http.ResponseWriter, r *http.Request) {
+	handleJSON(w, r, h.srv.RevealCtx)
 }
 
 func (h *Handler) rotateKey(w http.ResponseWriter, r *http.Request) {

@@ -126,6 +126,14 @@ const (
 	// <prefix>_window_seconds) — the recent-window counterparts of the
 	// cumulative histograms above.
 	MetricSLOPrefix = "alidrone_auditor_slo"
+	// MetricDisclosureTotal counts accepted submissions by disclosure
+	// mode, labelled mode=full|sealed|commit.
+	MetricDisclosureTotal = "alidrone_auditor_disclosure_total"
+	// MetricAccusationsTotal counts accusation resolutions by outcome,
+	// labelled outcome=compliant|violation|no_poa|bad_reveal. A
+	// disclosure-required response is pending, not an outcome; its
+	// resolution is counted when the reveal settles it.
+	MetricAccusationsTotal = "alidrone_auditor_accusations_total"
 )
 
 // Verdict door labels: the client entry points that end in a verdict.
@@ -135,6 +143,8 @@ const (
 	DoorMAC    = "mac"
 	DoorStream = "stream"
 	DoorAccuse = "accuse"
+	DoorSealed = "sealed"
+	DoorCommit = "commit"
 )
 
 // Verification pipeline stage labels (the stage= label of the
@@ -151,6 +161,8 @@ const (
 	StageZones3D     = "zones3d"
 	StageRetain      = "retain"
 	StageCommit      = "commit"
+	StageStructure   = "structure"
+	StagePredicates  = "predicates"
 )
 
 // Metrics returns the server's metrics registry (nil when disabled).
@@ -159,13 +171,26 @@ func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 // Tracer returns the server's tracer (nil when tracing is disabled).
 func (s *Server) Tracer() *otrace.Tracer { return s.cfg.Tracer }
 
-// countVerdict records the final verdict of one PoA submission.
+// countVerdict records the final verdict of one PoA submission. Retained
+// (sealed-mode) and disclosure-required responses count under their own
+// verdict labels rather than folding into "violation": neither concludes
+// anything about compliance.
 func (s *Server) countVerdict(resp protocol.SubmitPoAResponse) {
-	verdict := "violation"
-	if resp.Verdict == protocol.VerdictCompliant {
-		verdict = "compliant"
+	verdict := string(resp.Verdict)
+	if verdict == "" {
+		verdict = "violation"
 	}
 	s.cfg.Metrics.Counter(obs.L(MetricSubmissionsTotal, "verdict", verdict)).Inc()
+}
+
+// countDisclosure records one accepted submission's disclosure mode.
+func (s *Server) countDisclosure(mode string) {
+	s.cfg.Metrics.Counter(obs.L(MetricDisclosureTotal, "mode", mode)).Inc()
+}
+
+// countAccusation records one settled accusation outcome.
+func (s *Server) countAccusation(outcome string) {
+	s.cfg.Metrics.Counter(obs.L(MetricAccusationsTotal, "outcome", outcome)).Inc()
 }
 
 // verdictObs holds the pre-resolved verdict-latency sinks: histograms
@@ -195,7 +220,7 @@ func newVerdictObs(cfg Config) *verdictObs {
 		label: label,
 		slo:   cfg.SLO,
 	}
-	for _, door := range []string{DoorSubmit, DoorBatch, DoorMAC, DoorStream, DoorAccuse} {
+	for _, door := range []string{DoorSubmit, DoorBatch, DoorMAC, DoorStream, DoorAccuse, DoorSealed, DoorCommit} {
 		v.door[door] = cfg.Metrics.Histogram(
 			obs.L(MetricVerdictLatencySeconds, "door", door), obs.DurationBuckets)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/auditor/pipeline"
+	"repro/internal/poa"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
 )
@@ -41,6 +42,9 @@ func (s *Server) submitBatchPoA(ctx context.Context, req protocol.SubmitBatchPoA
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
 	}
+	if err := requireDisclosure(rec, poa.DisclosureFull); err != nil {
+		return protocol.SubmitPoAResponse{}, err
+	}
 	if err := s.admission.Acquire(ctx, req.DroneID); err != nil {
 		return protocol.SubmitPoAResponse{}, err
 	}
@@ -58,8 +62,12 @@ func (s *Server) submitBatchPoA(ctx context.Context, req protocol.SubmitBatchPoA
 // unwraps the TEE-generated HMAC key with its private encryption key and
 // remembers it for the flight.
 func (s *Server) StartSession(req protocol.StartSessionRequest) (protocol.StartSessionResponse, error) {
-	if _, ok := s.drones.get(req.DroneID); !ok {
+	rec, ok := s.drones.get(req.DroneID)
+	if !ok {
 		return protocol.StartSessionResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
+	}
+	if err := requireDisclosure(rec, poa.DisclosureFull); err != nil {
+		return protocol.StartSessionResponse{}, err
 	}
 
 	key, err := sigcrypto.Decrypt(s.encKey, req.WrappedKey)
@@ -92,10 +100,13 @@ func (s *Server) SubmitMACPoACtx(ctx context.Context, req protocol.SubmitMACPoAR
 }
 
 func (s *Server) submitMACPoA(ctx context.Context, req protocol.SubmitMACPoARequest) (protocol.SubmitPoAResponse, error) {
-	_, droneKnown := s.drones.get(req.DroneID)
+	rec, droneKnown := s.drones.get(req.DroneID)
 	sess, sessKnown := s.sessions.get(req.SessionID)
 	if !droneKnown {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
+	}
+	if err := requireDisclosure(rec, poa.DisclosureFull); err != nil {
+		return protocol.SubmitPoAResponse{}, err
 	}
 	if !sessKnown {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownSession, req.SessionID)

@@ -170,6 +170,33 @@ func TestVerdictParityAcrossEntryPoints(t *testing.T) {
 				verdicts["wire"] = resp.Verdict
 			}
 
+			{ // commit-envelope door: the TEE-signed predicates must judge
+				// the same trace against the same zone identically, with the
+				// auditor never seeing a position.
+				srv, id, keys := newDisclosureFixture(t, poa.DisclosureCommit)
+				mustRegisterZone(t, srv, tc.zone)
+				ct, _, _ := commitSubmission(t, srv, keys, trace(keys), tc.zone)
+				resp, err := srv.SubmitCommitPoA(protocol.SubmitCommitPoARequest{DroneID: id, EncryptedEnvelope: ct})
+				if err != nil {
+					t.Fatal(err)
+				}
+				verdicts["commit"] = resp.Verdict
+			}
+
+			{ // commit envelope through the binary wire door
+				srv, id, keys := newDisclosureFixture(t, poa.DisclosureCommit)
+				mustRegisterZone(t, srv, tc.zone)
+				ct, _, _ := commitSubmission(t, srv, keys, trace(keys), tc.zone)
+				addr := startWire(t, srv, WireOptions{})
+				wc := operator.NewWireClient(addr.String(), operator.WireClientOptions{})
+				resp, err := wc.SubmitCommitPoA(protocol.SubmitCommitPoARequest{DroneID: id, EncryptedEnvelope: ct})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wc.Close()
+				verdicts["commit-wire"] = resp.Verdict
+			}
+
 			{ // accusation re-check over the retained trace
 				srv, id, keys := newFixture(t)
 				resp, err := srv.SubmitPoA(protocol.SubmitPoARequest{DroneID: id, EncryptedPoA: encryptFor(t, srv, trace(keys))})

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/poa"
+	"repro/internal/privacy"
 	"repro/internal/sigcrypto"
 	"repro/internal/storage"
 	"repro/internal/zone"
@@ -30,6 +31,9 @@ type snapshot struct {
 	Retained   []retainedSnapshot `json:"retained"`
 	Nonces     []nonceSnapshot    `json:"nonces"`
 	PoADigests []digestSnapshot   `json:"poaDigests"`
+	// Disclosures holds the retained sealed/commit submissions awaiting
+	// possible accusation; absent in pre-disclosure snapshots.
+	Disclosures []disclosureSnapshot `json:"disclosures,omitempty"`
 }
 
 // droneSnapshot serialises a registered drone. TEEPub remains the active
@@ -41,6 +45,7 @@ type droneSnapshot struct {
 	OperatorPub string           `json:"operatorPub"`
 	TEEPub      string           `json:"teePub"`
 	Suite       string           `json:"suite,omitempty"`
+	Disclosure  string           `json:"disclosure,omitempty"`
 	Keys        []teeKeySnapshot `json:"keys,omitempty"`
 }
 
@@ -73,6 +78,20 @@ type digestSnapshot struct {
 	Seen   time.Time `json:"seen"`
 }
 
+// disclosureSnapshot serialises one retained sealed/commit submission.
+// Field order and types mirror retainedDisclosure exactly, so the two
+// convert directly (the same pattern as retainedSnapshot/retainedPoA).
+type disclosureSnapshot struct {
+	DroneID    string                 `json:"droneId"`
+	Mode       string                 `json:"mode"`
+	Times      []time.Time            `json:"times"`
+	Root       []byte                 `json:"root,omitempty"`
+	KeyEpoch   int                    `json:"keyEpoch,omitempty"`
+	Entries    []privacy.SealedSample `json:"entries,omitempty"`
+	SubmitTime time.Time              `json:"submitTime"`
+	Seq        uint64                 `json:"seq,omitempty"`
+}
+
 // buildSnapshot captures the server's durable state. Each store is read
 // under its own lock; no store lock is held across another store's, so
 // the capture can run concurrently with submissions (each mutation is
@@ -88,7 +107,7 @@ func (s *Server) buildSnapshot() (snapshot, error) {
 		if err != nil {
 			return snapshot{}, fmt.Errorf("save state: %w", err)
 		}
-		ds := droneSnapshot{ID: rec.ID, OperatorPub: opPub, Suite: rec.Suite}
+		ds := droneSnapshot{ID: rec.ID, OperatorPub: opPub, Suite: rec.Suite, Disclosure: rec.Disclosure}
 		for _, k := range rec.TEEKeys {
 			pub, err := k.Pub.Marshal()
 			if err != nil {
@@ -105,6 +124,9 @@ func (s *Server) buildSnapshot() (snapshot, error) {
 	}
 	for _, r := range s.retained.all() {
 		snap.Retained = append(snap.Retained, retainedSnapshot(r))
+	}
+	for _, r := range s.disclosures.all() {
+		snap.Disclosures = append(snap.Disclosures, disclosureSnapshot(r))
 	}
 	snap.Nonces = s.nonces.all()
 	for _, e := range s.seen.all() {
@@ -271,6 +293,9 @@ func loadServerBytes(cfg Config, data []byte) (*Server, error) {
 	for _, r := range snap.Retained {
 		srv.retained.restore(retainedPoA(r))
 	}
+	for _, r := range snap.Disclosures {
+		srv.disclosures.restore(retainedDisclosure(r))
+	}
 	// Re-seed the retention gauge so a scrape right after a restart
 	// reflects the restored store instead of reporting no data until
 	// the next submission or sweep.
@@ -317,7 +342,11 @@ func decodeDroneSnapshot(d droneSnapshot) (DroneRecord, error) {
 	if suite == "" {
 		suite = keys[len(keys)-1].Pub.SuiteID()
 	}
-	return DroneRecord{ID: d.ID, OperatorPub: opPub, Suite: suite, TEEKeys: keys}, nil
+	mode, err := poa.NormalizeDisclosure(d.Disclosure)
+	if err != nil {
+		return DroneRecord{}, fmt.Errorf("drone %s: %w", d.ID, err)
+	}
+	return DroneRecord{ID: d.ID, OperatorPub: opPub, Suite: suite, Disclosure: mode, TEEKeys: keys}, nil
 }
 
 // OpenServer recovers a server from a storage engine and attaches it, so

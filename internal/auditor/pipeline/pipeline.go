@@ -30,6 +30,7 @@ import (
 	"repro/internal/obs"
 	otrace "repro/internal/obs/trace"
 	"repro/internal/poa"
+	"repro/internal/privacy"
 	"repro/internal/protocol"
 )
 
@@ -85,6 +86,13 @@ type Submission struct {
 
 	// Samples is the bare alibi trace the compliance stages verify.
 	Samples []poa.Sample
+
+	// Sealed is the decoded sealed-mode PoA (sealed disclosure
+	// submissions only), filled by the sealed decode stage.
+	Sealed privacy.SealedPoA
+	// Envelope is the decoded commit-mode envelope (commit disclosure
+	// submissions only), filled by the commit decode stage.
+	Envelope *privacy.CommitEnvelope
 
 	// Zones, when non-nil, overrides the zone set the sufficiency stage
 	// checks against (the accusation re-check pins it to the single

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/obs"
+	"repro/internal/operator"
 	"repro/internal/poa"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
@@ -82,6 +83,17 @@ func mutateAll(t *testing.T, srv *Server) (id string, keys droneKeys, query prot
 	if _, err := srv.Zones().Register("bob", geo.GeoCircle{Center: urbana.Offset(90, 3000), R: 150}); err != nil {
 		t.Fatal(err)
 	}
+
+	// A commit-mode drone with a retained commitment (WAL record kind 9).
+	// This must precede the 3-D zone below: commit predicates cannot rule
+	// out cylindrical regions, so the door rejects once one is registered.
+	cid, ckeys := registerDisclosureDrone(t, srv, rand.New(rand.NewSource(46)), poa.DisclosureCommit)
+	cp := signedTrace(t, ckeys, urbana.Offset(90, 60000), 0, 10, 5, time.Second)
+	cct, _, _ := commitSubmission(t, srv, ckeys, cp)
+	if resp, err := srv.SubmitCommitPoA(protocol.SubmitCommitPoARequest{DroneID: cid, EncryptedEnvelope: cct}); err != nil || resp.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("commit submit: %v / %+v", err, resp)
+	}
+
 	if _, err := srv.RegisterZone3D("carol", poa.CylinderZone{Center: urbana.Offset(180, 3000), R: 80, AltMax: 120}); err != nil {
 		t.Fatal(err)
 	}
@@ -156,8 +168,8 @@ func TestOpenServerRecoversAllRecordTypes(t *testing.T) {
 	defer st2.Close()
 
 	status := srv2.Status()
-	if status.Drones != 1 || status.Zones != 2 || status.Zones3D != 1 || status.RetainedPoAs != 1 {
-		t.Fatalf("recovered status = %+v, want 1 drone / 2 zones / 1 zone3d / 1 retained", status)
+	if status.Drones != 2 || status.Zones != 2 || status.Zones3D != 1 || status.RetainedPoAs != 1 || status.Commitments != 1 {
+		t.Fatalf("recovered status = %+v, want 2 drones / 2 zones / 1 zone3d / 1 retained / 1 commitment", status)
 	}
 	// The nonce claim survived: replaying the signed query is rejected.
 	if _, err := srv2.ZoneQuery(query); !errors.Is(err, protocol.ErrBadNonce) {
@@ -266,7 +278,7 @@ func TestRecoveryKillPoints(t *testing.T) {
 
 	// Expected store sizes after replaying the first k records onto the
 	// initial (empty) snapshot.
-	type counts struct{ drones, zones, zones3D, retained int }
+	type counts struct{ drones, zones, zones3D, retained, commitments int }
 	expect := make([]counts, len(kinds)+1)
 	for k, kind := range kinds {
 		c := expect[k]
@@ -279,6 +291,8 @@ func TestRecoveryKillPoints(t *testing.T) {
 			c.zones3D++
 		case recPoARetained:
 			c.retained++
+		case recDisclosureRetained:
+			c.commitments++
 		}
 		expect[k+1] = c
 	}
@@ -294,7 +308,8 @@ func TestRecoveryKillPoints(t *testing.T) {
 		defer st2.Close()
 		got := srv2.Status()
 		if got.Drones != want.drones || got.Zones != want.zones ||
-			got.Zones3D != want.zones3D || got.RetainedPoAs != want.retained {
+			got.Zones3D != want.zones3D || got.RetainedPoAs != want.retained ||
+			got.Commitments != want.commitments {
 			t.Errorf("%s: recovered %+v, want %+v", name, got, want)
 		}
 	}
@@ -349,8 +364,60 @@ func kindName(k byte) string {
 		return "digest"
 	case recPurge:
 		return "purge"
+	case recDisclosureRetained:
+		return "disclosure"
 	}
 	return "unknown"
+}
+
+// TestDisclosureRetentionSurvivesRestart pins the WAL round-trip of a
+// retained commitment (record kind 9): after a crash and recovery, an
+// accusation over the restored Times still opens a challenge, and a
+// reveal verifies against the restored Root and KeyEpoch and settles it.
+func TestDisclosureRetentionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	clock := &mutableClock{t: t0}
+	srv, st := openStoreServer(t, dir, recoveryConfig(clock))
+
+	id, keys := registerDisclosureDrone(t, srv, rand.New(rand.NewSource(47)), poa.DisclosureCommit)
+	p := signedTrace(t, keys, urbana, 0, 10, 10, time.Second)
+	ct, sealed, otKeys := commitSubmission(t, srv, keys, p)
+	if resp, err := srv.SubmitCommitPoA(protocol.SubmitCommitPoARequest{DroneID: id, EncryptedEnvelope: ct}); err != nil || resp.Verdict != protocol.VerdictCompliant {
+		t.Fatalf("commit submit: %v / %+v", err, resp)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, st2 := openStoreServer(t, dir, recoveryConfig(clock))
+	defer st2.Close()
+	if got := srv2.Status().Commitments; got != 1 {
+		t.Fatalf("recovered commitments = %d, want 1", got)
+	}
+
+	zoneID, err := srv2.Zones().Register("alice", geo.GeoCircle{Center: urbana.Offset(0, 50), R: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := srv2.HandleAccusation(id, zoneID, t0.Add(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Verdict != protocol.VerdictDisclosureRequired || acc.Challenge == nil {
+		t.Fatalf("post-recovery accusation = %+v, want disclosure-required", acc)
+	}
+	secrets := &operator.DisclosureSecrets{Mode: poa.DisclosureCommit, Sealed: sealed, Keys: otKeys}
+	req, err := secrets.Answer(*acc.Challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := srv2.Reveal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Verdict != protocol.VerdictViolation {
+		t.Errorf("post-recovery reveal verdict = %+v, want violation", final)
+	}
 }
 
 // TestExpirySchedulesSurviveRestart pins the recovery semantics of

@@ -670,6 +670,25 @@ func (r *Router) SubmitMACPoACtx(ctx context.Context, req protocol.SubmitMACPoAR
 		func(s *Server) (protocol.SubmitPoAResponse, error) { return s.SubmitMACPoACtx(ctx, req) })
 }
 
+// SubmitSealedPoACtx routes a sealed-mode submission to the drone's shard.
+func (r *Router) SubmitSealedPoACtx(ctx context.Context, req protocol.SubmitSealedPoARequest) (protocol.SubmitPoAResponse, error) {
+	return routeDrone(ctx, r, req.DroneID, protocol.PathSubmitSealedPoA, req,
+		func(s *Server) (protocol.SubmitPoAResponse, error) { return s.SubmitSealedPoACtx(ctx, req) })
+}
+
+// SubmitCommitPoACtx routes a commit-mode submission to the drone's shard.
+func (r *Router) SubmitCommitPoACtx(ctx context.Context, req protocol.SubmitCommitPoARequest) (protocol.SubmitPoAResponse, error) {
+	return routeDrone(ctx, r, req.DroneID, protocol.PathSubmitCommitPoA, req,
+		func(s *Server) (protocol.SubmitPoAResponse, error) { return s.SubmitCommitPoACtx(ctx, req) })
+}
+
+// RevealCtx routes a selective-disclosure reveal to the drone's shard —
+// the challenge and the retained commitment it answers live there.
+func (r *Router) RevealCtx(ctx context.Context, req protocol.RevealRequest) (protocol.SubmitPoAResponse, error) {
+	return routeDrone(ctx, r, req.DroneID, protocol.PathReveal, req,
+		func(s *Server) (protocol.SubmitPoAResponse, error) { return s.RevealCtx(ctx, req) })
+}
+
 // RotateKeyCtx routes a TEE key rotation to the drone's shard.
 func (r *Router) RotateKeyCtx(ctx context.Context, req protocol.RotateKeyRequest) (protocol.RotateKeyResponse, error) {
 	return routeDrone(ctx, r, req.DroneID, protocol.PathRotateKey, req,
@@ -787,6 +806,7 @@ func (r *Router) Status() protocol.StatusResponse {
 		st.RetainedPoAs += s.RetainedPoAs
 		st.OpenStreams += s.OpenStreams
 		st.Sessions += s.Sessions
+		st.Commitments += s.Commitments
 	}
 	st.Zones = r.shards[0].Status().Zones
 	st.WireConnections = int(r.wireConns.Load())

@@ -30,6 +30,7 @@ import (
 	otrace "repro/internal/obs/trace"
 	"repro/internal/parallel"
 	"repro/internal/poa"
+	"repro/internal/privacy"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
 	"repro/internal/storage"
@@ -60,6 +61,10 @@ type DroneRecord struct {
 	// Suite is the signature suite negotiated at registration; every key
 	// in the ring (and every rotation) stays within it.
 	Suite string
+	// Disclosure is the disclosure mode negotiated at registration
+	// (poa.DisclosureFull/Sealed/Commit); the server enforces it at every
+	// submission door.
+	Disclosure string
 	// TEEKeys is the T+ key ring in epoch order; the last entry is active.
 	TEEKeys []TEEKey
 }
@@ -132,6 +137,9 @@ type Config struct {
 	// with (e.g. ["rsa2048", "ed25519"]). Empty admits every registered
 	// suite.
 	AllowedSuites []string
+	// AllowedDisclosures restricts the disclosure modes drones may
+	// register with (e.g. ["full", "commit"]). Empty admits every mode.
+	AllowedDisclosures []string
 	// MaxInflight bounds the verification requests admitted concurrently
 	// (submissions and stream samples). 0 disables admission control —
 	// the in-process/test default; the alidrone-auditor binary defaults
@@ -197,15 +205,19 @@ type Server struct {
 	seqStreamPair  []pipeline.Stage
 	seqStreamClose []pipeline.Stage
 	seqAccuse      []pipeline.Stage
+	seqSealed      []pipeline.Stage
+	seqCommit      []pipeline.Stage
 
-	drones   *droneStore
-	zones    *zone.Registry
-	nonces   *nonceStore
-	seen     *digestStore // accepted-PoA digests, for replay detection
-	retained *retentionStore
-	sessions *sessionStore
-	zones3D  *zone3DStore
-	streams  *streamStore
+	drones      *droneStore
+	zones       *zone.Registry
+	nonces      *nonceStore
+	seen        *digestStore // accepted-PoA digests, for replay detection
+	retained    *retentionStore
+	disclosures *disclosureStore // retained sealed/commit submissions
+	challenges  *challengeStore  // outstanding selective-disclosure challenges
+	sessions    *sessionStore
+	zones3D     *zone3DStore
+	streams     *streamStore
 
 	// Durability (nil/zero when running purely in memory, e.g. tests).
 	// store receives one typed record per committed mutation; walSince
@@ -257,20 +269,23 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:      cfg,
-		encKey:   key,
-		pool:     parallel.NewPool(cfg.Workers),
-		drones:   newDroneStore(),
-		zones:    zone.NewRegistry(),
-		nonces:   newNonceStore(cfg.NonceTTL),
-		seen:     newDigestStore(),
-		retained: &retentionStore{},
-		sessions: newSessionStore(),
-		zones3D:  newZone3DStore(),
-		streams:  newStreamStore(),
+		cfg:         cfg,
+		encKey:      key,
+		pool:        parallel.NewPool(cfg.Workers),
+		drones:      newDroneStore(),
+		zones:       zone.NewRegistry(),
+		nonces:      newNonceStore(cfg.NonceTTL),
+		seen:        newDigestStore(),
+		retained:    &retentionStore{},
+		disclosures: &disclosureStore{},
+		challenges:  newChallengeStore(),
+		sessions:    newSessionStore(),
+		zones3D:     newZone3DStore(),
+		streams:     newStreamStore(),
 	}
 	s.sessions.tag = cfg.ShardTag
 	s.streams.tag = cfg.ShardTag
+	s.challenges.tag = cfg.ShardTag
 	if cfg.Metrics != nil {
 		cfg.Metrics.Gauge(MetricVerifyWorkers).Set(float64(s.pool.Size()))
 		busy := cfg.Metrics.Gauge(MetricVerifyWorkersBusy)
@@ -317,6 +332,7 @@ func (s *Server) Status() protocol.StatusResponse {
 		Zones:           s.zones.Len(),
 		Zones3D:         s.zones3D.len(),
 		RetainedPoAs:    s.retained.len(),
+		Commitments:     s.disclosures.len(),
 		OpenStreams:     s.streams.len(),
 		Sessions:        s.sessions.len(),
 		WireConnections: int(s.wireConns.Load()),
@@ -355,7 +371,10 @@ func (s *Server) RegisterDroneCtx(ctx context.Context, req protocol.RegisterDron
 		return protocol.RegisterDroneResponse{}, err
 	}
 	id := s.drones.register(rec)
-	if err := s.wal(ctx, recDroneRegistered, walDrone{ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub, Suite: rec.Suite}); err != nil {
+	if err := s.wal(ctx, recDroneRegistered, walDrone{
+		ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub,
+		Suite: rec.Suite, Disclosure: rec.Disclosure,
+	}); err != nil {
 		return protocol.RegisterDroneResponse{}, err
 	}
 	return protocol.RegisterDroneResponse{DroneID: id}, nil
@@ -378,7 +397,10 @@ func (s *Server) RegisterDroneWithID(ctx context.Context, id string, req protoco
 	if !s.drones.create(rec) {
 		return protocol.RegisterDroneResponse{}, fmt.Errorf("auditor: drone id %q already registered", id)
 	}
-	if err := s.wal(ctx, recDroneRegistered, walDrone{ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub, Suite: rec.Suite}); err != nil {
+	if err := s.wal(ctx, recDroneRegistered, walDrone{
+		ID: id, OperatorPub: req.OperatorPub, TEEPub: req.TEEPub,
+		Suite: rec.Suite, Disclosure: rec.Disclosure,
+	}); err != nil {
 		return protocol.RegisterDroneResponse{}, err
 	}
 	return protocol.RegisterDroneResponse{DroneID: id}, nil
@@ -403,7 +425,14 @@ func (s *Server) parseRegistration(req protocol.RegisterDroneRequest) (DroneReco
 	if err := s.suiteAllowed(suite); err != nil {
 		return DroneRecord{}, err
 	}
-	return DroneRecord{OperatorPub: opPub, Suite: suite, TEEKeys: []TEEKey{{Pub: teeKey}}}, nil
+	mode, err := poa.NormalizeDisclosure(req.Disclosure)
+	if err != nil {
+		return DroneRecord{}, fmt.Errorf("auditor: %w", err)
+	}
+	if err := s.disclosureAllowed(mode); err != nil {
+		return DroneRecord{}, err
+	}
+	return DroneRecord{OperatorPub: opPub, Suite: suite, Disclosure: mode, TEEKeys: []TEEKey{{Pub: teeKey}}}, nil
 }
 
 // suiteAllowed enforces Config.AllowedSuites at registration time; an
@@ -418,6 +447,39 @@ func (s *Server) suiteAllowed(suite string) error {
 		}
 	}
 	return fmt.Errorf("auditor: signature suite %q is not accepted here (allowed: %v)", suite, s.cfg.AllowedSuites)
+}
+
+// disclosureAllowed enforces Config.AllowedDisclosures at registration
+// time; an empty list admits every mode.
+func (s *Server) disclosureAllowed(mode string) error {
+	if len(s.cfg.AllowedDisclosures) == 0 {
+		return nil
+	}
+	for _, a := range s.cfg.AllowedDisclosures {
+		if a == mode {
+			return nil
+		}
+	}
+	return fmt.Errorf("auditor: disclosure mode %q is not accepted here (allowed: %v)", mode, s.cfg.AllowedDisclosures)
+}
+
+// ErrDisclosureMismatch is returned when a submission door does not match
+// the drone's registered disclosure mode.
+var ErrDisclosureMismatch = errors.New("auditor: submission door does not match the drone's disclosure mode")
+
+// requireDisclosure gates a submission door on the drone's registered
+// disclosure mode: a drone that negotiated commitments must not leak a
+// plaintext trace through the full doors, and a full-mode drone cannot
+// smuggle an unjudgeable sealed proof past the pipeline.
+func requireDisclosure(rec DroneRecord, mode string) error {
+	got := rec.Disclosure
+	if got == "" {
+		got = poa.DisclosureFull
+	}
+	if got != mode {
+		return fmt.Errorf("%w: drone %s registered %q, this door accepts %q", ErrDisclosureMismatch, rec.ID, got, mode)
+	}
+	return nil
 }
 
 // RegisterZone implements protocol task 1. Ownership proofs are accepted
@@ -505,6 +567,7 @@ func (s *Server) SubmitPoACtx(ctx context.Context, req protocol.SubmitPoARequest
 	resp, err := s.submitPoA(ctx, req)
 	if err == nil {
 		s.countVerdict(resp)
+		s.countDisclosure(poa.DisclosureFull)
 		s.observeVerdict(DoorSubmit, start)
 	}
 	return resp, err
@@ -514,6 +577,9 @@ func (s *Server) submitPoA(ctx context.Context, req protocol.SubmitPoARequest) (
 	rec, ok := s.drones.get(req.DroneID)
 	if !ok {
 		return protocol.SubmitPoAResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
+	}
+	if err := requireDisclosure(rec, poa.DisclosureFull); err != nil {
+		return protocol.SubmitPoAResponse{}, err
 	}
 	if err := s.admission.Acquire(ctx, req.DroneID); err != nil {
 		return protocol.SubmitPoAResponse{}, err
@@ -618,6 +684,10 @@ func (s *Server) PurgeExpiredCtx(ctx context.Context) int {
 	removed, kept := s.retained.purge(cutoff)
 	s.cfg.Metrics.Gauge(MetricRetainedPoAs).Set(float64(kept))
 	s.cfg.Metrics.Counter(MetricEvictedPoAsTotal).Add(uint64(removed))
+	if n, _ := s.disclosures.purge(cutoff); n > 0 {
+		s.cfg.Metrics.Counter(MetricEvictedPoAsTotal).Add(uint64(n))
+		removed += n
+	}
 
 	swept := 0
 	if n := s.seen.sweep(cutoff); n > 0 {
@@ -657,10 +727,25 @@ func (s *Server) HandleAccusation(droneID, zoneID string, at time.Time) (protoco
 	return s.HandleAccusationCtx(context.Background(), droneID, zoneID, at)
 }
 
-// HandleAccusationCtx is HandleAccusation under a caller context.
+// HandleAccusationCtx is HandleAccusation under a caller context. The
+// resolution runs inside a "verify.accusation" span and lands in the
+// accusation-outcome counter: compliant, violation, or no_poa when no
+// retained proof covers the instant. A disclosure-required response is
+// pending, not an outcome — it is counted when the reveal settles it.
 func (s *Server) HandleAccusationCtx(ctx context.Context, droneID, zoneID string, at time.Time) (protocol.SubmitPoAResponse, error) {
 	start := s.verdictStart()
-	resp, err := s.handleAccusation(ctx, droneID, zoneID, at)
+	actx, sp := s.cfg.Tracer.StartSpan(ctx, "verify.accusation")
+	sp.SetAttr("drone", droneID)
+	sp.SetAttr("zone", zoneID)
+	resp, err := s.handleAccusation(actx, droneID, zoneID, at)
+	sp.SetError(err)
+	sp.End()
+	switch {
+	case errors.Is(err, ErrNoPoA):
+		s.countAccusation("no_poa")
+	case err == nil && resp.Verdict != protocol.VerdictDisclosureRequired:
+		s.countAccusation(string(resp.Verdict))
+	}
 	if err == nil {
 		s.observeVerdict(DoorAccuse, start)
 	}
@@ -698,6 +783,18 @@ func (s *Server) handleAccusation(ctx context.Context, droneID, zoneID string, a
 			}
 		}
 	}
+
+	// Sealed/commit proofs hide positions, so the accusation cannot be
+	// settled server-side: issue a selective-disclosure challenge for the
+	// spanning pair and let the operator's reveal decide it.
+	if ch, ok := s.challengeDisclosure(droneID, zoneID, at); ok {
+		return protocol.SubmitPoAResponse{
+			Verdict:   protocol.VerdictDisclosureRequired,
+			Reason:    "retained proof hides positions; selective disclosure of the spanning pair is required",
+			Challenge: &ch,
+		}, nil
+	}
+
 	if spanning {
 		return protocol.SubmitPoAResponse{
 			Verdict: protocol.VerdictViolation,
@@ -705,4 +802,36 @@ func (s *Server) handleAccusation(ctx context.Context, droneID, zoneID string, a
 		}, nil
 	}
 	return protocol.SubmitPoAResponse{}, ErrNoPoA
+}
+
+// challengeDisclosure scans the drone's retained disclosures for one whose
+// clear timestamps span the accused instant and opens a challenge for the
+// spanning pair. The most recent spanning submission wins: it supersedes
+// earlier uploads of the same flight.
+func (s *Server) challengeDisclosure(droneID, zoneID string, at time.Time) (protocol.DisclosureChallenge, bool) {
+	recs := s.disclosures.byDrone(droneID)
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		pair, err := privacy.FindPairTimes(r.Times, at)
+		if err != nil {
+			continue
+		}
+		ch := protocol.DisclosureChallenge{
+			DroneID:   droneID,
+			ZoneID:    zoneID,
+			Mode:      r.Mode,
+			At:        at,
+			PairIndex: pair,
+		}
+		ch.ChallengeID = s.challenges.add(challengeRecord{
+			DroneID:       droneID,
+			ZoneID:        zoneID,
+			Mode:          r.Mode,
+			At:            at,
+			PairIndex:     pair,
+			DisclosureSeq: r.Seq,
+		})
+		return ch, true
+	}
+	return protocol.DisclosureChallenge{}, false
 }

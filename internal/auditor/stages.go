@@ -6,12 +6,16 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/auditor/pipeline"
+	"repro/internal/geo"
 	"repro/internal/obs"
 	"repro/internal/poa"
+	"repro/internal/privacy"
 	"repro/internal/protocol"
 	"repro/internal/sigcrypto"
+	"repro/internal/zone"
 )
 
 // This file declares the verification pipeline once: every check the
@@ -39,6 +43,15 @@ const (
 	keyZones3D     = "zones3d"
 	keyRetain      = "retain"
 	keyCommit      = "commit"
+
+	// Disclosure-mode stages (sealed and commit submissions).
+	keyDecodeSealed     = "decode.sealed"
+	keyDecodeCommit     = "decode.commit"
+	keySigRoot          = "signature.root"
+	keySealedStructure  = "structure.sealed"
+	keyCommitStructure  = "structure.commit"
+	keyPredicates       = "predicates"
+	keyRetainDisclosure = "retain.disclosure"
 )
 
 // buildPipeline constructs the stage registry, the runner and the
@@ -60,6 +73,13 @@ func (s *Server) buildPipeline() {
 	r.Add(keyZones3D, pipeline.Stage{Name: StageZones3D, Run: s.stageZones3D})
 	r.Add(keyRetain, pipeline.Stage{Name: StageRetain, Run: s.stageRetain})
 	r.Add(keyCommit, pipeline.Stage{Name: StageCommit, Run: s.stageCommitDigest})
+	r.Add(keyDecodeSealed, pipeline.Stage{Name: StageDecode, Run: stageDecodeSealed})
+	r.Add(keyDecodeCommit, pipeline.Stage{Name: StageDecode, Run: stageDecodeCommit})
+	r.Add(keySigRoot, pipeline.Stage{Name: StageSignature, Run: s.stageSignatureRoot})
+	r.Add(keySealedStructure, pipeline.Stage{Name: StageStructure, Run: stageSealedStructure})
+	r.Add(keyCommitStructure, pipeline.Stage{Name: StageStructure, Run: s.stageCommitStructure})
+	r.Add(keyPredicates, pipeline.Stage{Name: StagePredicates, Run: s.stagePredicates})
+	r.Add(keyRetainDisclosure, pipeline.Stage{Name: StageRetain, Run: s.stageRetainDisclosure})
 
 	s.registry = r
 	s.runner = &pipeline.Runner{
@@ -81,6 +101,15 @@ func (s *Server) buildPipeline() {
 	s.seqStreamPair = r.Sequence(keySigSamples, keyChronology, keySpeed, keySufficiency)
 	s.seqStreamClose = r.Sequence(keyZones3D, keyRetain)
 	s.seqAccuse = r.Sequence(keySufficiency)
+
+	// Disclosure-mode doors share the registry/admission machinery: sealed
+	// submissions retain without judging (positions are hidden; every check
+	// the server can run without them still runs), commit submissions are
+	// judged from the signed predicates alone.
+	s.seqSealed = r.Sequence(keyDecrypt, keyDecodeSealed, keyReplayClaim, keySealedStructure,
+		keyRetainDisclosure, keyCommit)
+	s.seqCommit = r.Sequence(keyDecrypt, keyDecodeCommit, keyReplayClaim, keySigRoot,
+		keyCommitStructure, keyPredicates, keyRetainDisclosure, keyCommit)
 }
 
 // stageDecrypt opens the encrypted envelope with the Auditor's private
@@ -319,4 +348,169 @@ func (s *Server) stageCommitDigest(ctx context.Context, sub *pipeline.Submission
 		Digest: hex.EncodeToString(sub.Digest[:]),
 		Seen:   sub.DigestSeen,
 	})
+}
+
+// stageDecodeSealed parses a sealed-mode plaintext: the JSON SealedPoA
+// with clear timestamps and position ciphertexts.
+func stageDecodeSealed(_ context.Context, sub *pipeline.Submission) error {
+	var sp privacy.SealedPoA
+	if err := json.Unmarshal(sub.Plaintext, &sp); err != nil {
+		return pipeline.Violationf("malformed sealed PoA: %v", err)
+	}
+	sub.Sealed = sp
+	return nil
+}
+
+// stageDecodeCommit parses a commit-mode plaintext: the compact binary
+// envelope (Merkle root, clear timestamps, area, predicates, signature).
+func stageDecodeCommit(_ context.Context, sub *pipeline.Submission) error {
+	env, err := privacy.DecodeCommitEnvelope(sub.Plaintext)
+	if err != nil {
+		return pipeline.Violationf("malformed commit envelope: %v", err)
+	}
+	sub.Envelope = &env
+	return nil
+}
+
+// stageSignatureRoot verifies the TEE vault signature over the commit
+// envelope's canonical signing bytes under the key of the envelope's
+// rotation epoch. Everything the predicate check trusts — timestamps,
+// root, area, speed bound, clearances — is covered by this one signature.
+func (s *Server) stageSignatureRoot(ctx context.Context, sub *pipeline.Submission) error {
+	env := sub.Envelope
+	key, err := sub.Keys.KeyFor(env.KeyEpoch)
+	if err != nil {
+		return classifySigError(fmt.Errorf("envelope key: %w", err))
+	}
+	_, err = s.timedSigVerify(sub.Suite, func() (int, error) {
+		return s.sigBatcher.Verify(ctx, []pipeline.VerifyItem{
+			{Key: key, Msg: env.SigningBytes(), Sig: env.Sig},
+		})
+	})
+	if err != nil {
+		if isCtxErr(err) {
+			return err
+		}
+		return classifySigError(fmt.Errorf("envelope signature verification failed: %w", err))
+	}
+	return nil
+}
+
+// stageSealedStructure checks everything a sealed submission exposes:
+// at least two entries, chronological public timestamps, and no entry
+// missing its nonce, ciphertext or signature. Positions stay hidden, so
+// no compliance verdict is possible here — the submission is retained
+// and judged only under accusation.
+func stageSealedStructure(_ context.Context, sub *pipeline.Submission) error {
+	entries := sub.Sealed.Entries
+	if len(entries) < 2 {
+		return &pipeline.Violation{Reason: "sealed PoA has fewer than two entries"}
+	}
+	for i, e := range entries {
+		if len(e.Nonce) == 0 || len(e.Ciphertext) == 0 || len(e.Sig) == 0 {
+			return pipeline.Violationf("sealed entry %d is incomplete", i)
+		}
+		if i > 0 && !e.Time.After(entries[i-1].Time) {
+			return &pipeline.Violation{Reason: poa.ErrNotChronological.Error()}
+		}
+	}
+	return nil
+}
+
+// stageCommitStructure checks the signed envelope's internal consistency:
+// enough samples, chronological timestamps, a well-formed root and area,
+// and a speed bound at least as fast as the auditor's own — a slower
+// bound would make the clearances optimistic instead of conservative.
+func (s *Server) stageCommitStructure(_ context.Context, sub *pipeline.Submission) error {
+	env := sub.Envelope
+	if len(env.Times) < 2 {
+		return &pipeline.Violation{Reason: "commit envelope has fewer than two samples"}
+	}
+	if len(env.Root) != 32 {
+		return pipeline.Violationf("commit envelope root is %d bytes, want 32", len(env.Root))
+	}
+	for i := 1; i < len(env.Times); i++ {
+		if !env.Times[i].After(env.Times[i-1]) {
+			return &pipeline.Violation{Reason: poa.ErrNotChronological.Error()}
+		}
+	}
+	if !env.Area.Valid() {
+		return pipeline.Violationf("commit envelope area %+v is invalid", env.Area)
+	}
+	if env.VMaxMS < s.cfg.VMaxMS {
+		return pipeline.Violationf("commit envelope speed bound %.1f m/s is below the required %.1f m/s",
+			env.VMaxMS, s.cfg.VMaxMS)
+	}
+	return nil
+}
+
+// stagePredicates judges a commit submission from its signed clearance
+// predicates: every registered zone the flight area could have reached
+// must carry a predicate with positive clearance — the paper's
+// conservative sufficiency test holding for every sample pair, proven
+// without the auditor seeing a single position. A zone the envelope has
+// no predicate for cannot be ruled out, so it is a violation, exactly as
+// an insufficient pair would be on the plaintext path.
+func (s *Server) stagePredicates(_ context.Context, sub *pipeline.Submission) error {
+	env := sub.Envelope
+	if s.zones3D.len() > 0 {
+		// Predicates are zone-relative over circular zones; a commitment
+		// proves nothing about cylindrical regions (see DESIGN.md §13).
+		return &pipeline.Violation{Reason: "commit-mode PoA cannot rule out 3-D no-fly regions"}
+	}
+	insufficient := 0
+	for _, z := range zone.Circles(s.zones.QueryRect(env.Area)) {
+		pred, ok := findPredicate(env.Predicates, z)
+		if !ok {
+			return pipeline.Violationf(
+				"commit envelope lacks a predicate for the zone at (%.5f, %.5f)", z.Center.Lat, z.Center.Lon)
+		}
+		if !pred.Sufficient() {
+			insufficient++
+		}
+	}
+	if insufficient > 0 {
+		return &pipeline.Violation{
+			Reason:            "insufficient alibi: the drone may have entered a no-fly zone",
+			InsufficientPairs: insufficient,
+		}
+	}
+	return nil
+}
+
+// findPredicate locates the predicate whose zone geometry matches z
+// exactly. Predicates are computed drone-side over the zone-query
+// response, so an honest flight carries a bit-identical circle.
+func findPredicate(preds []privacy.ZonePredicate, z geo.GeoCircle) (privacy.ZonePredicate, bool) {
+	for _, p := range preds {
+		if p.Zone.Center.Lat == z.Center.Lat && p.Zone.Center.Lon == z.Center.Lon && p.Zone.R == z.R {
+			return p, true
+		}
+	}
+	return privacy.ZonePredicate{}, false
+}
+
+// stageRetainDisclosure stores the sealed entries (sealed mode) or the
+// signed commitment (commit mode) for the accusation window and WAL-logs
+// the retention, mirroring stageRetain's durability contract.
+func (s *Server) stageRetainDisclosure(ctx context.Context, sub *pipeline.Submission) error {
+	rec := retainedDisclosure{
+		DroneID:    sub.DroneID,
+		SubmitTime: s.cfg.Clock.Now(),
+	}
+	if sub.Envelope != nil {
+		rec.Mode = poa.DisclosureCommit
+		rec.Times = sub.Envelope.Times
+		rec.Root = sub.Envelope.Root
+		rec.KeyEpoch = sub.Envelope.KeyEpoch
+	} else {
+		rec.Mode = poa.DisclosureSealed
+		rec.Entries = sub.Sealed.Entries
+		rec.Times = make([]time.Time, len(sub.Sealed.Entries))
+		for i, e := range sub.Sealed.Entries {
+			rec.Times[i] = e.Time
+		}
+	}
+	r, _ := s.disclosures.add(rec)
+	return s.wal(ctx, recDisclosureRetained, disclosureSnapshot(r))
 }

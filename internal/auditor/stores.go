@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/poa"
+	"repro/internal/privacy"
 )
 
 // This file holds the server's state stores. Historically every field sat
@@ -343,6 +344,158 @@ func (st *retentionStore) restore(r retainedPoA) {
 	if r.Seq > st.seq {
 		st.seq = r.Seq
 	}
+}
+
+// retainedDisclosure is one retained sealed/commit submission awaiting
+// possible accusation. Sealed mode keeps the entries themselves (reveal
+// then needs only the two keys); commit mode keeps just the signed
+// commitment — timestamps, root, epoch — and the entries arrive with the
+// reveal, authenticated by their Merkle paths. Field order matches
+// disclosureSnapshot so the two convert directly.
+type retainedDisclosure struct {
+	DroneID    string
+	Mode       string // poa.DisclosureSealed or poa.DisclosureCommit
+	Times      []time.Time
+	Root       []byte
+	KeyEpoch   int
+	Entries    []privacy.SealedSample
+	SubmitTime time.Time
+	Seq        uint64
+}
+
+// disclosureStore holds retained sealed/commit submissions for the
+// accusation window, mirroring retentionStore's Seq-dedup restore
+// contract so WAL replay over a snapshot stays idempotent.
+type disclosureStore struct {
+	mu   sync.RWMutex
+	recs []retainedDisclosure
+	seq  uint64
+}
+
+// add stamps the next sequence number onto r, appends it, and returns the
+// stamped record along with the new store size.
+func (st *disclosureStore) add(r retainedDisclosure) (retainedDisclosure, int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	r.Seq = st.seq
+	st.recs = append(st.recs, r)
+	return r, len(st.recs)
+}
+
+// purge drops records submitted at or before the cutoff; returns how many
+// were removed and how many remain.
+func (st *disclosureStore) purge(cutoff time.Time) (removed, kept int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	remaining := st.recs[:0]
+	for _, r := range st.recs {
+		if r.SubmitTime.After(cutoff) {
+			remaining = append(remaining, r)
+		} else {
+			removed++
+		}
+	}
+	st.recs = remaining
+	return removed, len(remaining)
+}
+
+func (st *disclosureStore) len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.recs)
+}
+
+// byDrone returns one drone's retained disclosures, in submission order.
+func (st *disclosureStore) byDrone(droneID string) []retainedDisclosure {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []retainedDisclosure
+	for _, r := range st.recs {
+		if r.DroneID == droneID {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// bySeq returns the record with the given sequence number.
+func (st *disclosureStore) bySeq(seq uint64) (retainedDisclosure, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for _, r := range st.recs {
+		if r.Seq == seq {
+			return r, true
+		}
+	}
+	return retainedDisclosure{}, false
+}
+
+// all returns every record in submission order.
+func (st *disclosureStore) all() []retainedDisclosure {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return append([]retainedDisclosure(nil), st.recs...)
+}
+
+// restore re-files a persisted record, skipping sequence numbers already
+// covered by a loaded snapshot (WAL replay overlap).
+func (st *disclosureStore) restore(r retainedDisclosure) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if r.Seq != 0 && r.Seq <= st.seq {
+		return
+	}
+	st.recs = append(st.recs, r)
+	if r.Seq > st.seq {
+		st.seq = r.Seq
+	}
+}
+
+// challengeRecord is one outstanding selective-disclosure challenge.
+// Challenges are deliberately ephemeral, like sessions and open streams:
+// a restart voids them and the zone owner re-accuses.
+type challengeRecord struct {
+	DroneID       string
+	ZoneID        string
+	Mode          string
+	At            time.Time
+	PairIndex     int
+	DisclosureSeq uint64 // Seq of the retained disclosure it challenges
+}
+
+// challengeStore holds outstanding disclosure challenges by ID.
+type challengeStore struct {
+	mu   sync.Mutex
+	tag  string
+	m    map[string]challengeRecord
+	next int
+}
+
+func newChallengeStore() *challengeStore { return &challengeStore{m: make(map[string]challengeRecord)} }
+
+func (st *challengeStore) add(rec challengeRecord) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	id := taggedID("challenge", st.tag, st.next)
+	st.m[id] = rec
+	return id
+}
+
+func (st *challengeStore) get(id string) (challengeRecord, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rec, ok := st.m[id]
+	return rec, ok
+}
+
+// resolve removes a settled challenge (verdict reached). A failed reveal
+// leaves the challenge open so the operator can retry.
+func (st *challengeStore) resolve(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.m, id)
 }
 
 // taggedID renders an issued ID, folding in the shard tag when the

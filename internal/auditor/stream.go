@@ -30,8 +30,12 @@ type streamState struct {
 
 // OpenStream starts a real-time audit for a registered drone.
 func (s *Server) OpenStream(req protocol.OpenStreamRequest) (protocol.OpenStreamResponse, error) {
-	if _, ok := s.drones.get(req.DroneID); !ok {
+	rec, ok := s.drones.get(req.DroneID)
+	if !ok {
 		return protocol.OpenStreamResponse{}, fmt.Errorf("%w: %q", ErrUnknownDrone, req.DroneID)
+	}
+	if err := requireDisclosure(rec, poa.DisclosureFull); err != nil {
+		return protocol.OpenStreamResponse{}, err
 	}
 	return protocol.OpenStreamResponse{StreamID: s.streams.open(req.DroneID)}, nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/poa"
 	"repro/internal/sigcrypto"
 	"repro/internal/storage"
 	"repro/internal/zone"
@@ -30,14 +31,15 @@ import (
 // That tolerance is what lets the storage engine capture snapshots
 // concurrently with new appends — see internal/storage.
 const (
-	recDroneRegistered  byte = 1
-	recZoneRegistered   byte = 2
-	recZone3DRegistered byte = 3
-	recPoARetained      byte = 4
-	recNonceSeen        byte = 5
-	recDigestClaimed    byte = 6
-	recPurge            byte = 7
-	recKeyRotated       byte = 8
+	recDroneRegistered    byte = 1
+	recZoneRegistered     byte = 2
+	recZone3DRegistered   byte = 3
+	recPoARetained        byte = 4
+	recNonceSeen          byte = 5
+	recDigestClaimed      byte = 6
+	recPurge              byte = 7
+	recKeyRotated         byte = 8
+	recDisclosureRetained byte = 9
 )
 
 // DefaultCompactEvery is the number of WAL records between automatic
@@ -51,6 +53,9 @@ type walDrone struct {
 	OperatorPub string `json:"operatorPub"`
 	TEEPub      string `json:"teePub"`
 	Suite       string `json:"suite,omitempty"`
+	// Disclosure is the negotiated disclosure mode; empty in pre-disclosure
+	// records and normalises to full on replay.
+	Disclosure string `json:"disclosure,omitempty"`
 }
 
 // walRotation is the payload of recKeyRotated: the accepted handover's
@@ -92,6 +97,8 @@ func walKindName(kind byte) string {
 		return "purge"
 	case recKeyRotated:
 		return "key-rotated"
+	case recDisclosureRetained:
+		return "disclosure-retained"
 	default:
 		return fmt.Sprintf("kind-%d", kind)
 	}
@@ -185,10 +192,15 @@ func (s *Server) applyRecord(rec storage.Record) error {
 		if suite == "" {
 			suite = teeKey.SuiteID()
 		}
+		mode, err := poa.NormalizeDisclosure(d.Disclosure)
+		if err != nil {
+			return fmt.Errorf("drone record %s: %w", d.ID, err)
+		}
 		s.drones.restore(DroneRecord{
 			ID:          d.ID,
 			OperatorPub: opPub,
 			Suite:       suite,
+			Disclosure:  mode,
 			TEEKeys:     []TEEKey{{Pub: teeKey}},
 		}, seqFromID(d.ID, "drone-%04d"))
 	case recZoneRegistered:
@@ -235,6 +247,7 @@ func (s *Server) applyRecord(rec storage.Record) error {
 			return fmt.Errorf("purge record: %w", err)
 		}
 		s.retained.purge(p.Cutoff)
+		s.disclosures.purge(p.Cutoff)
 		s.seen.sweep(p.Cutoff)
 		s.nonces.sweep(p.Now)
 	case recKeyRotated:
@@ -249,6 +262,12 @@ func (s *Server) applyRecord(rec storage.Record) error {
 		if err := s.drones.applyRotation(r.DroneID, TEEKey{Pub: newPub, Epoch: r.NewEpoch}, r.RetiredAt); err != nil {
 			return fmt.Errorf("rotation record: %w", err)
 		}
+	case recDisclosureRetained:
+		var d disclosureSnapshot
+		if err := json.Unmarshal(rec.Data, &d); err != nil {
+			return fmt.Errorf("disclosure record: %w", err)
+		}
+		s.disclosures.restore(retainedDisclosure(d))
 	default:
 		return fmt.Errorf("unknown WAL record kind %d", rec.Kind)
 	}

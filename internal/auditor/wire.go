@@ -94,6 +94,7 @@ func (m *wireMetrics) ackCounter(status byte) *obs.Counter {
 // unexported method keeps the set closed to this package).
 type WireBackend interface {
 	SubmitPoACtx(ctx context.Context, req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error)
+	SubmitCommitPoACtx(ctx context.Context, req protocol.SubmitCommitPoARequest) (protocol.SubmitPoAResponse, error)
 	RegisterDroneCtx(ctx context.Context, req protocol.RegisterDroneRequest) (protocol.RegisterDroneResponse, error)
 	Metrics() *obs.Registry
 	Tracer() *otrace.Tracer
@@ -383,6 +384,39 @@ func (ws *WireServer) readLoop(ctx context.Context, br *bufio.Reader, wc *wireCo
 				case <-ctx.Done():
 				}
 			}()
+		case wire.TypeSubmitCommit:
+			// A commit-mode submission: same shape as a submit, but the
+			// payload is the encrypted TEE-signed commitment envelope and
+			// verification runs the commit pipeline.
+			sub, err := wire.DecodeSubmitCommit(body)
+			if err != nil {
+				ws.met.errors.Inc()
+				wc.sendError(err.Error())
+				return
+			}
+			select {
+			case pipelineSlots <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			ws.met.submissions.Inc()
+			submitWG.Add(1)
+			go func() {
+				defer submitWG.Done()
+				defer func() { <-pipelineSlots }()
+				sctx, sp := ws.srv.Tracer().StartSpan(ctx, "wire.submit-commit")
+				sp.SetAttr("drone", sub.DroneID)
+				resp, err := ws.srv.SubmitCommitPoACtx(sctx, protocol.SubmitCommitPoARequest{
+					DroneID:           sub.DroneID,
+					EncryptedEnvelope: sub.Ciphertext,
+				})
+				sp.SetError(err)
+				sp.End()
+				select {
+				case acks <- ackFor(sub.Seq, resp, err):
+				case <-ctx.Done():
+				}
+			}()
 		case wire.TypeForward:
 			// A peer's single-hop forward: same payload as a submit, but the
 			// context is marked forwarded so a routing backend executes it
@@ -467,6 +501,7 @@ func (ws *WireServer) readLoop(ctx context.Context, br *bufio.Reader, wc *wireCo
 				OperatorPub: r.OperatorPub,
 				TEEPub:      r.TEEPub,
 				Suite:       r.Suite,
+				Disclosure:  r.Disclosure,
 			})
 			if err != nil {
 				wc.sendError("register: " + err.Error())

@@ -46,6 +46,13 @@ type Drone struct {
 	tracer     *otrace.Tracer
 
 	id string // issued by the Auditor at registration
+	// disclosure is the disclosure mode negotiated at registration
+	// (empty means full). Set with SetDisclosure before Register.
+	disclosure string
+	// secrets is the client-retained disclosure material of the most
+	// recent sealed/commit flight — what answers a selective-disclosure
+	// challenge.
+	secrets *DisclosureSecrets
 	// lastRotate is the flight-clock instant of the last key rotation
 	// (registration counts as epoch 0's start); RunMission compares it
 	// against MissionConfig.RotateEvery.
@@ -105,6 +112,27 @@ func (d *Drone) apiFor(ctx context.Context) protocol.API {
 	return protocol.BindContext(ctx, d.api)
 }
 
+// SetDisclosure selects the disclosure mode announced at registration:
+// poa.DisclosureFull (or empty), poa.DisclosureSealed, or
+// poa.DisclosureCommit. Call before Register — the mode is negotiated
+// there, like the signature suite.
+func (d *Drone) SetDisclosure(mode string) error {
+	m, err := poa.NormalizeDisclosure(mode)
+	if err != nil {
+		return err
+	}
+	d.disclosure = m
+	return nil
+}
+
+// Disclosure returns the negotiated disclosure mode (full when unset).
+func (d *Drone) Disclosure() string {
+	if d.disclosure == "" {
+		return poa.DisclosureFull
+	}
+	return d.disclosure
+}
+
 // Register performs protocol task 0: export T+ from the TEE, send it with
 // D+ to the Auditor, and adopt the issued id_drone.
 func (d *Drone) Register() error {
@@ -120,6 +148,7 @@ func (d *Drone) Register() error {
 		OperatorPub: opPub,
 		TEEPub:      string(teePubBytes),
 		Suite:       d.dev.Vault().SuiteID(),
+		Disclosure:  d.disclosure,
 	})
 	if err != nil {
 		return fmt.Errorf("register drone: %w", err)

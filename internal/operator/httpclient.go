@@ -362,6 +362,29 @@ func (c *HTTPAuditor) SubmitMACPoA(req protocol.SubmitMACPoARequest) (protocol.S
 	return resp, err
 }
 
+var _ protocol.DisclosureAPI = (*HTTPAuditor)(nil)
+
+// SubmitSealedPoA implements protocol.DisclosureAPI.
+func (c *HTTPAuditor) SubmitSealedPoA(req protocol.SubmitSealedPoARequest) (protocol.SubmitPoAResponse, error) {
+	var resp protocol.SubmitPoAResponse
+	err := c.postJSON(protocol.PathSubmitSealedPoA, req, &resp)
+	return resp, err
+}
+
+// SubmitCommitPoA implements protocol.DisclosureAPI.
+func (c *HTTPAuditor) SubmitCommitPoA(req protocol.SubmitCommitPoARequest) (protocol.SubmitPoAResponse, error) {
+	var resp protocol.SubmitPoAResponse
+	err := c.postJSON(protocol.PathSubmitCommitPoA, req, &resp)
+	return resp, err
+}
+
+// Reveal implements protocol.DisclosureAPI.
+func (c *HTTPAuditor) Reveal(req protocol.RevealRequest) (protocol.SubmitPoAResponse, error) {
+	var resp protocol.SubmitPoAResponse
+	err := c.postJSON(protocol.PathReveal, req, &resp)
+	return resp, err
+}
+
 var _ protocol.StreamAPI = (*HTTPAuditor)(nil)
 
 // OpenStream implements protocol.StreamAPI.

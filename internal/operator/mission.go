@@ -10,6 +10,7 @@ import (
 	"repro/internal/gps"
 	"repro/internal/planner"
 	"repro/internal/poa"
+	"repro/internal/privacy"
 	"repro/internal/protocol"
 	"repro/internal/sampling"
 	"repro/internal/trace"
@@ -32,6 +33,14 @@ const (
 	ModeMAC
 	// ModeStreaming transmits samples in real time.
 	ModeStreaming
+	// ModeSealed flies a normal adaptive flight, then seals the PoA under
+	// one-time keys before submission (paper §VII-B3): the Auditor retains
+	// ciphertexts and judges only under accusation.
+	ModeSealed
+	// ModeCommit buffers in the TEE and submits only the signed Merkle
+	// commitment envelope; positions never leave the drone unless a
+	// selective-disclosure challenge opens a spanning pair.
+	ModeCommit
 )
 
 // MissionConfig describes one complete flight workflow.
@@ -81,6 +90,10 @@ func modeName(m SamplingMode) string {
 		return "mac"
 	case ModeStreaming:
 		return "streaming"
+	case ModeSealed:
+		return "sealed"
+	case ModeCommit:
+		return "commit"
 	default:
 		return fmt.Sprintf("mode-%d", int(m))
 	}
@@ -199,6 +212,36 @@ func (d *Drone) RunMission(rx *gps.Receiver, route *trace.Route, cfg MissionConf
 			return nil, err
 		}
 		rep.Verdict, err = d.SubmitMACPoACtx(ctx, sessionID, rep.Run.PoA)
+	case ModeSealed:
+		var sealed privacy.SealedPoA
+		err = d.teeSign(ctx, func() error {
+			var ferr error
+			sealed, rep.Run, ferr = d.FlySealed(rx, circles, route.End())
+			return ferr
+		})
+		if err == nil {
+			err = d.maybeRotate(cfg.RotateEvery)
+		}
+		if err != nil {
+			root.SetError(err)
+			return nil, err
+		}
+		rep.Verdict, err = d.SubmitSealedPoACtx(ctx, sealed)
+	case ModeCommit:
+		var env privacy.CommitEnvelope
+		err = d.teeSign(ctx, func() error {
+			var ferr error
+			env, rep.Run, ferr = d.FlyCommit(rx, circles, route.End())
+			return ferr
+		})
+		if err == nil {
+			err = d.maybeRotate(cfg.RotateEvery)
+		}
+		if err != nil {
+			root.SetError(err)
+			return nil, err
+		}
+		rep.Verdict, err = d.SubmitCommitPoACtx(ctx, env)
 	case ModeStreaming:
 		var sres *StreamingResult
 		sres, err = d.FlyAdaptiveStreaming(rx, circles, route.End())

@@ -347,10 +347,28 @@ func (c *WireClient) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitPo
 
 // SubmitPoACtx is SubmitPoA under a caller context.
 func (c *WireClient) SubmitPoACtx(ctx context.Context, req protocol.SubmitPoARequest) (protocol.SubmitPoAResponse, error) {
+	return c.submitWire(ctx, req.DroneID, req.EncryptedPoA, false)
+}
+
+// SubmitCommitPoA submits one commit-mode envelope over the wire
+// transport (a TypeSubmitCommit frame, batched and acked exactly like a
+// regular submission).
+func (c *WireClient) SubmitCommitPoA(req protocol.SubmitCommitPoARequest) (protocol.SubmitPoAResponse, error) {
+	return c.SubmitCommitPoACtx(context.Background(), req)
+}
+
+// SubmitCommitPoACtx is SubmitCommitPoA under a caller context.
+func (c *WireClient) SubmitCommitPoACtx(ctx context.Context, req protocol.SubmitCommitPoARequest) (protocol.SubmitPoAResponse, error) {
+	return c.submitWire(ctx, req.DroneID, req.EncryptedEnvelope, true)
+}
+
+// submitWire runs the shared submit/ack/retry loop for both submission
+// frame types.
+func (c *WireClient) submitWire(ctx context.Context, droneID string, ciphertext []byte, commit bool) (protocol.SubmitPoAResponse, error) {
 	backoff := c.opts.Retry.Backoff
 	for attempt := 0; ; attempt++ {
 		c.submits.Inc()
-		ack, err := c.submitOnce(ctx, req)
+		ack, err := c.submitOnce(ctx, droneID, ciphertext, commit)
 		if err != nil {
 			return protocol.SubmitPoAResponse{}, err
 		}
@@ -392,7 +410,7 @@ func (c *WireClient) SubmitPoACtx(ctx context.Context, req protocol.SubmitPoAReq
 
 // submitOnce enqueues the submission into the current batch and waits
 // for its ack.
-func (c *WireClient) submitOnce(ctx context.Context, req protocol.SubmitPoARequest) (wire.Ack, error) {
+func (c *WireClient) submitOnce(ctx context.Context, droneID string, ciphertext []byte, commit bool) (wire.Ack, error) {
 	w := &wireWaiter{ch: make(chan wire.Ack, 1)}
 
 	c.mu.Lock()
@@ -403,7 +421,12 @@ func (c *WireClient) submitOnce(ctx context.Context, req protocol.SubmitPoAReque
 	c.seq++
 	seq := c.seq
 	c.pending[seq] = w
-	c.buf = wire.EncodeSubmit(c.buf, wire.Submit{Seq: seq, DroneID: req.DroneID, Ciphertext: req.EncryptedPoA})
+	s := wire.Submit{Seq: seq, DroneID: droneID, Ciphertext: ciphertext}
+	if commit {
+		c.buf = wire.EncodeSubmitCommit(c.buf, s)
+	} else {
+		c.buf = wire.EncodeSubmit(c.buf, s)
+	}
 	c.queued++
 	if c.queued >= c.opts.BatchSize {
 		c.flushLocked()
@@ -474,6 +497,7 @@ func (c *WireClient) RegisterDrone(req protocol.RegisterDroneRequest) (protocol.
 		OperatorPub: req.OperatorPub,
 		TEEPub:      req.TEEPub,
 		Suite:       req.Suite,
+		Disclosure:  req.Disclosure,
 	})
 	if err != nil {
 		return resp, fmt.Errorf("encode register: %w", err)
@@ -545,6 +569,17 @@ func (w *WireAuditor) SubmitPoA(req protocol.SubmitPoARequest) (protocol.SubmitP
 		ctx = context.Background()
 	}
 	return w.wc.SubmitPoACtx(ctx, req)
+}
+
+// SubmitCommitPoA routes commit-mode submissions over the binary
+// transport (the other disclosure endpoints stay on HTTP: sealed
+// payloads are as large as full ones, and reveals are rare).
+func (w *WireAuditor) SubmitCommitPoA(req protocol.SubmitCommitPoARequest) (protocol.SubmitPoAResponse, error) {
+	ctx := w.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return w.wc.SubmitCommitPoACtx(ctx, req)
 }
 
 // BindContext implements protocol.ContextBinder. It must be overridden

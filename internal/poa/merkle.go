@@ -1,0 +1,202 @@
+package poa
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file implements the Merkle commitment used by the "commit"
+// disclosure mode (ROADMAP item 4): the TEE signs a single root over
+// per-sample leaf hashes, and under accusation the operator reveals only
+// the two leaves spanning the accused instant together with their
+// authentication paths. Leaf and interior hashes are domain-separated so a
+// leaf preimage can never be replayed as an interior node.
+
+var (
+	// ErrEmptyTree is returned when building a tree over zero leaves.
+	ErrEmptyTree = errors.New("poa: merkle tree needs at least one leaf")
+	// ErrBadProofEncoding is returned when decoding a corrupted proof.
+	ErrBadProofEncoding = errors.New("poa: bad merkle proof encoding")
+	// ErrProofMismatch is returned when a proof does not authenticate its
+	// leaf against the expected root.
+	ErrProofMismatch = errors.New("poa: merkle proof does not match root")
+)
+
+// merkleMaxDepth bounds authentication path length; 64 levels cover any
+// leaf count that fits in an int64.
+const merkleMaxDepth = 64
+
+// LeafHash hashes leaf data with the 0x00 domain prefix.
+func LeafHash(data []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(data)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// interiorHash hashes two child nodes with the 0x01 domain prefix.
+func interiorHash(l, r [32]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// MerkleTree is the full tree over a leaf series, kept by the prover
+// (operator) so it can produce authentication paths on demand. Odd nodes
+// at the end of a level are promoted unchanged to the next level.
+type MerkleTree struct {
+	levels [][][32]byte // levels[0] = leaf hashes, last level = [root]
+}
+
+// NewMerkleTree hashes the given leaves and builds every level.
+func NewMerkleTree(leaves [][]byte) (*MerkleTree, error) {
+	if len(leaves) == 0 {
+		return nil, ErrEmptyTree
+	}
+	level := make([][32]byte, len(leaves))
+	for i, l := range leaves {
+		level[i] = LeafHash(l)
+	}
+	levels := [][][32]byte{level}
+	for len(level) > 1 {
+		next := make([][32]byte, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, interiorHash(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		levels = append(levels, next)
+		level = next
+	}
+	return &MerkleTree{levels: levels}, nil
+}
+
+// Len returns the number of leaves.
+func (t *MerkleTree) Len() int { return len(t.levels[0]) }
+
+// Root returns the tree root.
+func (t *MerkleTree) Root() [32]byte {
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// Proof builds the authentication path for leaf i.
+func (t *MerkleTree) Proof(i int) (MerkleProof, error) {
+	n := t.Len()
+	if i < 0 || i >= n {
+		return MerkleProof{}, fmt.Errorf("poa: merkle proof index %d out of range [0,%d)", i, n)
+	}
+	p := MerkleProof{Leaf: t.levels[0][i], Index: i, Leaves: n}
+	idx := i
+	for _, level := range t.levels[:len(t.levels)-1] {
+		if sib := idx ^ 1; sib < len(level) {
+			p.Path = append(p.Path, level[sib])
+		}
+		idx /= 2
+	}
+	return p, nil
+}
+
+// MerkleProof authenticates one leaf against a root. Leaves carries the
+// total leaf count of the tree, which the odd-promote scheme needs to know
+// at which levels a sibling exists.
+type MerkleProof struct {
+	Leaf   [32]byte
+	Index  int
+	Leaves int
+	Path   [][32]byte
+}
+
+// VerifyMerkleProof recomputes the root from the proof and compares it to
+// the expected root. The whole path must be consumed: a proof with extra
+// or missing siblings is rejected even if a prefix happens to match.
+func VerifyMerkleProof(root [32]byte, p MerkleProof) error {
+	if p.Leaves < 1 || p.Index < 0 || p.Index >= p.Leaves {
+		return fmt.Errorf("%w: index %d of %d leaves", ErrProofMismatch, p.Index, p.Leaves)
+	}
+	h, i, n, path := p.Leaf, p.Index, p.Leaves, p.Path
+	for n > 1 {
+		if sib := i ^ 1; sib < n {
+			if len(path) == 0 {
+				return fmt.Errorf("%w: authentication path too short", ErrProofMismatch)
+			}
+			if i&1 == 0 {
+				h = interiorHash(h, path[0])
+			} else {
+				h = interiorHash(path[0], h)
+			}
+			path = path[1:]
+		}
+		i /= 2
+		n = (n + 1) / 2
+	}
+	if len(path) != 0 {
+		return fmt.Errorf("%w: %d unused path nodes", ErrProofMismatch, len(path))
+	}
+	if h != root {
+		return ErrProofMismatch
+	}
+	return nil
+}
+
+// merkleProofVersion tags the binary proof encoding.
+const merkleProofVersion = 1
+
+// EncodeMerkleProof produces the compact binary form of a proof:
+//
+//	u8 version | u32 index | u32 leaves | 32B leaf | u8 pathLen | pathLen×32B
+func EncodeMerkleProof(p MerkleProof) []byte {
+	out := make([]byte, 0, 1+4+4+32+1+32*len(p.Path))
+	out = append(out, merkleProofVersion)
+	out = binary.BigEndian.AppendUint32(out, uint32(p.Index))
+	out = binary.BigEndian.AppendUint32(out, uint32(p.Leaves))
+	out = append(out, p.Leaf[:]...)
+	out = append(out, byte(len(p.Path)))
+	for _, h := range p.Path {
+		out = append(out, h[:]...)
+	}
+	return out
+}
+
+// DecodeMerkleProof reverses EncodeMerkleProof, rejecting truncated input,
+// trailing bytes, and out-of-bound counts.
+func DecodeMerkleProof(b []byte) (MerkleProof, error) {
+	const hdr = 1 + 4 + 4 + 32 + 1
+	if len(b) < hdr {
+		return MerkleProof{}, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadProofEncoding, len(b), hdr)
+	}
+	if b[0] != merkleProofVersion {
+		return MerkleProof{}, fmt.Errorf("%w: version %d", ErrBadProofEncoding, b[0])
+	}
+	p := MerkleProof{
+		Index:  int(binary.BigEndian.Uint32(b[1:5])),
+		Leaves: int(binary.BigEndian.Uint32(b[5:9])),
+	}
+	copy(p.Leaf[:], b[9:41])
+	pathLen := int(b[41])
+	if pathLen > merkleMaxDepth {
+		return MerkleProof{}, fmt.Errorf("%w: path length %d exceeds %d", ErrBadProofEncoding, pathLen, merkleMaxDepth)
+	}
+	if p.Leaves < 1 || p.Index >= p.Leaves {
+		return MerkleProof{}, fmt.Errorf("%w: index %d of %d leaves", ErrBadProofEncoding, p.Index, p.Leaves)
+	}
+	rest := b[hdr:]
+	if len(rest) != 32*pathLen {
+		return MerkleProof{}, fmt.Errorf("%w: %d path bytes, want %d", ErrBadProofEncoding, len(rest), 32*pathLen)
+	}
+	p.Path = make([][32]byte, pathLen)
+	for i := range p.Path {
+		copy(p.Path[i][:], rest[32*i:32*(i+1)])
+	}
+	return p, nil
+}

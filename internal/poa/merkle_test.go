@@ -1,0 +1,169 @@
+package poa
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func merkleLeaves(n int) [][]byte {
+	leaves := make([][]byte, n)
+	for i := range leaves {
+		leaves[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return leaves
+}
+
+func TestMerkleProofRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 33, 600} {
+		leaves := merkleLeaves(n)
+		tree, err := NewMerkleTree(leaves)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tree.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tree.Len())
+		}
+		root := tree.Root()
+		for i := 0; i < n; i++ {
+			p, err := tree.Proof(i)
+			if err != nil {
+				t.Fatalf("n=%d proof %d: %v", n, i, err)
+			}
+			if p.Leaf != LeafHash(leaves[i]) {
+				t.Fatalf("n=%d proof %d: leaf hash mismatch", n, i)
+			}
+			if err := VerifyMerkleProof(root, p); err != nil {
+				t.Fatalf("n=%d proof %d: verify: %v", n, i, err)
+			}
+			enc := EncodeMerkleProof(p)
+			dec, err := DecodeMerkleProof(enc)
+			if err != nil {
+				t.Fatalf("n=%d proof %d: decode: %v", n, i, err)
+			}
+			if err := VerifyMerkleProof(root, dec); err != nil {
+				t.Fatalf("n=%d proof %d: verify decoded: %v", n, i, err)
+			}
+			if !bytes.Equal(EncodeMerkleProof(dec), enc) {
+				t.Fatalf("n=%d proof %d: re-encode mismatch", n, i)
+			}
+		}
+	}
+}
+
+func TestMerkleProofRejectsTampering(t *testing.T) {
+	leaves := merkleLeaves(10)
+	tree, err := NewMerkleTree(leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Root()
+	p, err := tree.Proof(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrongLeaf := p
+	wrongLeaf.Leaf = LeafHash([]byte("forged"))
+	if VerifyMerkleProof(root, wrongLeaf) == nil {
+		t.Fatal("forged leaf accepted")
+	}
+
+	wrongIndex := p
+	wrongIndex.Index = 5
+	if VerifyMerkleProof(root, wrongIndex) == nil {
+		t.Fatal("shifted index accepted")
+	}
+
+	short := p
+	short.Path = short.Path[:len(short.Path)-1]
+	if VerifyMerkleProof(root, short) == nil {
+		t.Fatal("truncated path accepted")
+	}
+
+	long := p
+	long.Path = append(append([][32]byte{}, long.Path...), [32]byte{1})
+	if VerifyMerkleProof(root, long) == nil {
+		t.Fatal("padded path accepted")
+	}
+
+	// A lied leaf count changes which levels promote: the tail proof's
+	// sibling pattern no longer matches its path. (Counts that happen to
+	// preserve the pattern are caught by the auditor's explicit
+	// Leaves-vs-committed-times check, not here.)
+	tail, err := tree.Proof(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail.Leaves = 11
+	if VerifyMerkleProof(root, tail) == nil {
+		t.Fatal("wrong leaf count accepted")
+	}
+
+	// A leaf hash must not verify as an interior node (domain separation):
+	// two sibling leaves hashed as one combined leaf differ from their
+	// parent.
+	l0, l1 := LeafHash(leaves[0]), LeafHash(leaves[1])
+	combined := append(append([]byte{}, l0[:]...), l1[:]...)
+	if LeafHash(combined) == interiorHash(l0, l1) {
+		t.Fatal("leaf and interior hashing not domain-separated")
+	}
+}
+
+func TestMerkleEmptyTree(t *testing.T) {
+	if _, err := NewMerkleTree(nil); err == nil {
+		t.Fatal("empty tree accepted")
+	}
+}
+
+func TestDecodeMerkleProofRejectsCorruption(t *testing.T) {
+	tree, err := NewMerkleTree(merkleLeaves(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tree.Proof(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeMerkleProof(p)
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"truncated":   enc[:len(enc)-1],
+		"trailing":    append(append([]byte{}, enc...), 0),
+		"bad version": append([]byte{9}, enc[1:]...),
+	}
+	for name, b := range cases {
+		if _, err := DecodeMerkleProof(b); err == nil {
+			t.Errorf("%s: decode accepted", name)
+		}
+	}
+}
+
+func FuzzDecodeMerkleProof(f *testing.F) {
+	tree, err := NewMerkleTree(merkleLeaves(12))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 12; i += 5 {
+		p, err := tree.Proof(i)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(EncodeMerkleProof(p))
+	}
+	f.Add([]byte{merkleProofVersion})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := DecodeMerkleProof(b)
+		if err != nil {
+			return
+		}
+		// A decodable proof must re-encode to the same bytes (canonical
+		// form) and survive verification without panicking.
+		enc := EncodeMerkleProof(p)
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("re-encode mismatch: %x vs %x", enc, b)
+		}
+		_ = VerifyMerkleProof(tree.Root(), p)
+	})
+}

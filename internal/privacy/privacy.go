@@ -14,10 +14,10 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
-	"crypto/rsa"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"repro/internal/geo"
@@ -56,6 +56,14 @@ type SealedSample struct {
 type SealedPoA struct {
 	Entries []SealedSample `json:"entries"`
 }
+
+// DisclosureMode implements poa.Disclosure.
+func (sp SealedPoA) DisclosureMode() string { return poa.DisclosureSealed }
+
+// Len implements poa.Disclosure: the number of sealed entries.
+func (sp SealedPoA) Len() int { return len(sp.Entries) }
+
+var _ poa.Disclosure = SealedPoA{}
 
 // KeyRing is the operator-retained set of one-time keys, one per entry.
 type KeyRing struct {
@@ -109,10 +117,25 @@ func Seal(p poa.PoA, random io.Reader) (SealedPoA, *KeyRing, error) {
 // FindPair locates the consecutive entry pair (i, i+1) whose public
 // timestamps span the accused instant.
 func FindPair(sp SealedPoA, at time.Time) (int, error) {
-	for i := 0; i+1 < len(sp.Entries); i++ {
-		if !at.Before(sp.Entries[i].Time) && !at.After(sp.Entries[i+1].Time) {
-			return i, nil
-		}
+	return findSpanning(len(sp.Entries), at, func(i int) time.Time { return sp.Entries[i].Time })
+}
+
+// findSpanning binary-searches a time-sorted series for the first
+// consecutive pair spanning at. Entries are chronological by construction
+// (the TEE samples in time order and sealing preserves order), so the
+// first index with timeAt(i) >= at pins the only candidate pair; with
+// duplicate timestamps the candidate check still lands on the same first
+// spanning pair the old linear scan returned.
+func findSpanning(n int, at time.Time, timeAt func(int) time.Time) (int, error) {
+	if n < 2 {
+		return 0, ErrNoPairCovers
+	}
+	i := sort.Search(n, func(j int) bool { return !timeAt(j).Before(at) }) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i+1 < n && !at.Before(timeAt(i)) && !at.After(timeAt(i+1)) {
+		return i, nil
 	}
 	return 0, ErrNoPairCovers
 }
@@ -138,8 +161,10 @@ func Open(entry SealedSample, key []byte) (poa.Sample, error) {
 // entries, verify their TEE signatures, and decide whether the pair proves
 // the drone could not have been in zone z during the gap. It returns true
 // for a proven alibi (compliant) and false when the pair cannot rule out
-// presence.
-func JudgeAccusation(e1, e2 SealedSample, k1, k2 []byte, teePub *rsa.PublicKey, z geo.GeoCircle, vmaxMS float64, mode poa.TestMode) (bool, error) {
+// presence. teePub is any suite-registry verification key (sigcrypto.WrapRSA
+// adapts a raw *rsa.PublicKey), so Ed25519 fleets can use sealed and commit
+// modes.
+func JudgeAccusation(e1, e2 SealedSample, k1, k2 []byte, teePub sigcrypto.PublicKey, z geo.GeoCircle, vmaxMS float64, mode poa.TestMode) (bool, error) {
 	s1, err := Open(e1, k1)
 	if err != nil {
 		return false, fmt.Errorf("open first entry: %w", err)
@@ -148,10 +173,10 @@ func JudgeAccusation(e1, e2 SealedSample, k1, k2 []byte, teePub *rsa.PublicKey, 
 	if err != nil {
 		return false, fmt.Errorf("open second entry: %w", err)
 	}
-	if err := sigcrypto.Verify(teePub, s1.Marshal(), e1.Sig); err != nil {
+	if err := teePub.Verify(s1.Marshal(), e1.Sig); err != nil {
 		return false, fmt.Errorf("first entry: %w", err)
 	}
-	if err := sigcrypto.Verify(teePub, s2.Marshal(), e2.Sig); err != nil {
+	if err := teePub.Verify(s2.Marshal(), e2.Sig); err != nil {
 		return false, fmt.Errorf("second entry: %w", err)
 	}
 	if !s2.Time.After(s1.Time) {

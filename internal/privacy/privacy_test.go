@@ -172,7 +172,7 @@ func TestJudgeAccusationCompliant(t *testing.T) {
 	k1, _ := ring.Reveal(i)
 	k2, _ := ring.Reveal(i + 1)
 	ok, err := JudgeAccusation(sealed.Entries[i], sealed.Entries[i+1], k1, k2,
-		&kh.PublicKey, z, geo.MaxDroneSpeedMPS, poa.Exact)
+		sigcrypto.WrapRSA(&kh.PublicKey), z, geo.MaxDroneSpeedMPS, poa.Exact)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestJudgeAccusationCannotExonerate(t *testing.T) {
 	k1, _ := ring.Reveal(0)
 	k2, _ := ring.Reveal(1)
 	ok, err := JudgeAccusation(sealed.Entries[0], sealed.Entries[1], k1, k2,
-		&kh.PublicKey, z, geo.MaxDroneSpeedMPS, poa.Exact)
+		sigcrypto.WrapRSA(&kh.PublicKey), z, geo.MaxDroneSpeedMPS, poa.Exact)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,61 @@ func TestJudgeAccusationRejectsForgedSignature(t *testing.T) {
 	k1, _ := ring.Reveal(0)
 	k2, _ := ring.Reveal(1)
 	if _, err := JudgeAccusation(sealed.Entries[0], sealed.Entries[1], k1, k2,
-		&realKey.PublicKey, z, geo.MaxDroneSpeedMPS, poa.Exact); err == nil {
+		sigcrypto.WrapRSA(&realKey.PublicKey), z, geo.MaxDroneSpeedMPS, poa.Exact); err == nil {
 		t.Error("forged signatures accepted")
+	}
+}
+
+// TestFindPairMatchesLinearScan cross-checks the binary search against the
+// reference linear scan over traces with duplicate and irregular
+// timestamps, probing every instant around each entry.
+func TestFindPairMatchesLinearScan(t *testing.T) {
+	linear := func(sp SealedPoA, at time.Time) (int, error) {
+		for i := 0; i+1 < len(sp.Entries); i++ {
+			if !at.Before(sp.Entries[i].Time) && !at.After(sp.Entries[i+1].Time) {
+				return i, nil
+			}
+		}
+		return 0, ErrNoPairCovers
+	}
+	traces := [][]time.Duration{
+		{0, 10 * time.Second, 20 * time.Second, 30 * time.Second},
+		{0, 0, 10 * time.Second, 10 * time.Second, 20 * time.Second},
+		{0, time.Second, time.Minute, time.Minute + time.Second},
+		{0, 5 * time.Second},
+	}
+	for ti, offsets := range traces {
+		var sp SealedPoA
+		for _, off := range offsets {
+			sp.Entries = append(sp.Entries, SealedSample{Time: t0.Add(off)})
+		}
+		probes := []time.Duration{-time.Second, 0}
+		for _, off := range offsets {
+			probes = append(probes, off-time.Millisecond, off, off+time.Millisecond)
+		}
+		for _, at := range probes {
+			wantI, wantErr := linear(sp, t0.Add(at))
+			gotI, gotErr := FindPair(sp, t0.Add(at))
+			if gotI != wantI || !errors.Is(gotErr, wantErr) {
+				t.Errorf("trace %d at %v: FindPair = (%d, %v), linear scan = (%d, %v)",
+					ti, at, gotI, gotErr, wantI, wantErr)
+			}
+		}
+	}
+}
+
+// BenchmarkFindPair guards the sort.Search rewrite: locating the spanning
+// pair in a long sealed trace must stay logarithmic, not linear.
+func BenchmarkFindPair(b *testing.B) {
+	var sp SealedPoA
+	for i := 0; i < 100_000; i++ {
+		sp.Entries = append(sp.Entries, SealedSample{Time: t0.Add(time.Duration(i) * time.Second)})
+	}
+	at := t0.Add(99_000*time.Second + 500*time.Millisecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindPair(sp, at); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

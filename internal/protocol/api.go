@@ -59,8 +59,11 @@ type StatusResponse struct {
 	Zones        int `json:"zones"`
 	Zones3D      int `json:"zones3d"`
 	RetainedPoAs int `json:"retainedPoAs"`
-	OpenStreams  int `json:"openStreams"`
-	Sessions     int `json:"sessions"`
+	// Commitments counts retained sealed/commit disclosures awaiting
+	// possible accusation.
+	Commitments int `json:"commitments,omitempty"`
+	OpenStreams int `json:"openStreams"`
+	Sessions    int `json:"sessions"`
 	// WireConnections counts the live binary-transport connections
 	// (the -wire-addr listener; zero when it is not serving).
 	WireConnections int `json:"wireConnections,omitempty"`

@@ -1,0 +1,78 @@
+package protocol
+
+import (
+	"time"
+
+	"repro/internal/privacy"
+)
+
+// This file defines the wire messages for the pluggable disclosure modes
+// (ROADMAP item 4, paper §VII-B3): sealed submissions that hide positions
+// under one-time keys, commit submissions that upload only a TEE-signed
+// Merkle commitment plus zone clearance predicates, and the accusation-time
+// selective-disclosure round-trip that opens exactly the two samples
+// spanning the accused instant.
+
+// SubmitSealedPoARequest submits a sealed-mode PoA: the plaintext is the
+// JSON privacy.SealedPoA (timestamps clear, positions encrypted under
+// operator-retained one-time keys), encrypted to the Auditor like a
+// regular PoA.
+type SubmitSealedPoARequest struct {
+	DroneID      string `json:"droneId"`
+	EncryptedPoA []byte `json:"encryptedPoA"`
+}
+
+// SubmitCommitPoARequest submits a commit-mode PoA: the plaintext is the
+// compact binary commit envelope (privacy.EncodeCommitEnvelope) — Merkle
+// root, clear timestamps, flight area, and clearance predicates — with no
+// position anywhere in the payload.
+type SubmitCommitPoARequest struct {
+	DroneID           string `json:"droneId"`
+	EncryptedEnvelope []byte `json:"encryptedEnvelope"`
+}
+
+// DisclosureChallenge is the Auditor's selective-disclosure request: an
+// accusation landed on a drone whose retained proof hides positions, and
+// the pair (PairIndex, PairIndex+1) spans the accused instant. The
+// operator answers with a RevealRequest for exactly that pair.
+type DisclosureChallenge struct {
+	ChallengeID string    `json:"challengeId"`
+	DroneID     string    `json:"droneId"`
+	ZoneID      string    `json:"zoneId"`
+	Mode        string    `json:"mode"` // poa.DisclosureSealed or poa.DisclosureCommit
+	At          time.Time `json:"at"`
+	PairIndex   int       `json:"pairIndex"`
+}
+
+// RevealRequest is the operator's answer to a DisclosureChallenge: the two
+// one-time keys for the spanning pair and, in commit mode (where the
+// Auditor retained only the root), the two sealed entries with their
+// Merkle authentication paths.
+type RevealRequest struct {
+	DroneID     string `json:"droneId"`
+	ChallengeID string `json:"challengeId"`
+	// Keys holds exactly two one-time keys, for entries PairIndex and
+	// PairIndex+1.
+	Keys [][]byte `json:"keys"`
+	// Entries and Proofs are set only for commit-mode challenges: the two
+	// sealed entries and their encoded Merkle proofs
+	// (poa.EncodeMerkleProof) against the committed root.
+	Entries []privacy.SealedSample `json:"entries,omitempty"`
+	Proofs  [][]byte               `json:"proofs,omitempty"`
+}
+
+// Disclosure-mode endpoint paths.
+const (
+	PathSubmitSealedPoA = "/v1/submit-sealed-poa"
+	PathSubmitCommitPoA = "/v1/submit-commit-poa"
+	PathReveal          = "/v1/reveal"
+)
+
+// DisclosureAPI is the Auditor surface for the non-plaintext disclosure
+// modes. Implemented alongside API by auditor.Server and
+// operator.HTTPAuditor.
+type DisclosureAPI interface {
+	SubmitSealedPoA(SubmitSealedPoARequest) (SubmitPoAResponse, error)
+	SubmitCommitPoA(SubmitCommitPoARequest) (SubmitPoAResponse, error)
+	Reveal(RevealRequest) (SubmitPoAResponse, error)
+}

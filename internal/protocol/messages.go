@@ -42,6 +42,11 @@ type RegisterDroneRequest struct {
 	// from the modulus size. When set, it must match the key envelope;
 	// the Auditor rejects a mismatch.
 	Suite string `json:"suite,omitempty"`
+	// Disclosure negotiates the drone's disclosure mode ("full",
+	// "sealed", "commit"), like Suite negotiates the signature suite.
+	// Empty means full — the original plaintext protocol. The Auditor
+	// enforces the registered mode at every submission door.
+	Disclosure string `json:"disclosure,omitempty"`
 }
 
 // RegisterDroneResponse carries the issued drone identifier.
@@ -107,6 +112,14 @@ const (
 	// VerdictViolation: the PoA is insufficient, infeasible, or fails
 	// authentication — the Auditor initiates punitive measures.
 	VerdictViolation Verdict = "violation"
+	// VerdictRetained: a sealed-mode submission passed every check the
+	// Auditor can run without positions (structure, chronology, replay)
+	// and is retained; compliance is only ever decided under accusation.
+	VerdictRetained Verdict = "retained"
+	// VerdictDisclosureRequired: an accusation landed on a sealed or
+	// commit proof; the response carries a DisclosureChallenge and the
+	// verdict arrives with the operator's reveal.
+	VerdictDisclosureRequired Verdict = "disclosure-required"
 )
 
 // SubmitPoAResponse reports the verification outcome.
@@ -117,6 +130,9 @@ type SubmitPoAResponse struct {
 	// InsufficientPairs is the count of failed sample pairs, when the
 	// verdict was reached by the sufficiency check.
 	InsufficientPairs int `json:"insufficientPairs,omitempty"`
+	// Challenge carries the selective-disclosure request when the verdict
+	// is VerdictDisclosureRequired.
+	Challenge *DisclosureChallenge `json:"challenge,omitempty"`
 }
 
 // NewNonce draws a fresh hex-encoded nonce.

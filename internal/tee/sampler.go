@@ -9,9 +9,11 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/gps"
 	"repro/internal/obs"
 	"repro/internal/poa"
+	"repro/internal/privacy"
 	"repro/internal/sigcrypto"
 )
 
@@ -48,6 +50,12 @@ const (
 	// payload is the drone's registered identifier, which the handover
 	// binds the new key to.
 	CmdRotateKey
+	// CmdCommitTrace signs each buffered sample, seals the trace under
+	// one-time keys, and signs the commit-mode envelope (Merkle root over
+	// the sealed entries plus zone clearance predicates) before clearing
+	// the buffer. Request: JSON CommitTraceRequest. Response: JSON
+	// CommitTraceResult.
+	CmdCommitTrace
 )
 
 var (
@@ -128,6 +136,8 @@ func (ta *GPSSamplerTA) Invoke(cmd uint32, req []byte) ([]byte, error) {
 		return ta.getGPSMAC()
 	case CmdRotateKey:
 		return ta.rotateKey(req)
+	case CmdCommitTrace:
+		return ta.commitTrace(req)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrBadCommand, cmd)
 	}
@@ -213,6 +223,66 @@ func (ta *GPSSamplerTA) sealTrace() ([]byte, error) {
 	ta.dev.chargeSign(len(msg))
 	ta.buffer = nil
 	return encodeAuthSegments(msg, sig, epoch), nil
+}
+
+// CommitTraceRequest parameterises CmdCommitTrace: the zones the drone
+// flew against (from its pre-flight zone query) and the speed bound used
+// for the clearance predicates. A non-positive VMaxMS falls back to the
+// FAA part-107 cap.
+type CommitTraceRequest struct {
+	Zones  []geo.GeoCircle `json:"zones"`
+	VMaxMS float64         `json:"vmaxMS"`
+}
+
+// CommitTraceResult is everything CmdCommitTrace hands back to the normal
+// world: the signed envelope for the Auditor, and the sealed entries plus
+// one-time keys the operator retains to answer accusations.
+type CommitTraceResult struct {
+	Envelope privacy.CommitEnvelope `json:"envelope"`
+	Sealed   privacy.SealedPoA      `json:"sealed"`
+	Keys     [][]byte               `json:"keys"`
+}
+
+func (ta *GPSSamplerTA) commitTrace(req []byte) ([]byte, error) {
+	var r CommitTraceRequest
+	if err := json.Unmarshal(req, &r); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+	if len(ta.buffer) == 0 {
+		return nil, ErrEmptyTraceBuffer
+	}
+	if r.VMaxMS <= 0 {
+		r.VMaxMS = geo.MaxDroneSpeedMPS
+	}
+	var p poa.PoA
+	for _, s := range ta.buffer {
+		msg := s.Marshal()
+		sig, epoch, err := ta.timedSign("commit", msg)
+		if err != nil {
+			return nil, err
+		}
+		ta.dev.chargeSign(len(msg))
+		p.Append(poa.SignedSample{Sample: s, Sig: sig, KeyEpoch: epoch})
+	}
+	sealed, ring, env, err := privacy.CommitTrace(p, r.Zones, r.VMaxMS, ta.random)
+	if err != nil {
+		return nil, err
+	}
+	msg := env.SigningBytes()
+	sig, epoch, err := ta.timedSign("commit", msg)
+	if err != nil {
+		return nil, err
+	}
+	ta.dev.chargeSign(len(msg))
+	env.Sig, env.KeyEpoch = sig, epoch
+	keys := make([][]byte, ring.Len())
+	for i := range keys {
+		if keys[i], err = ring.Reveal(i); err != nil {
+			return nil, err
+		}
+	}
+	ta.buffer = nil
+	return json.Marshal(CommitTraceResult{Envelope: *env, Sealed: sealed, Keys: keys})
 }
 
 func (ta *GPSSamplerTA) establishSessionKey(req []byte) ([]byte, error) {

@@ -37,6 +37,13 @@ func fuzzSeeds() [][]byte {
 		TEEPub:      "ed25519:MCowBQYDK2VwAyEAGb9ECWmEzf6FQbrBZ9w7lshQhqowtrbLDFw4rXAxZuE=",
 		Suite:       "ed25519",
 	}))
+	add(EncodeSubmitCommit(nil, Submit{Seq: 44, DroneID: "drone-00000002", Ciphertext: []byte("env")}), nil)
+	add(EncodeRegister(nil, Register{
+		OperatorPub: "AAECAwQ=",
+		TEEPub:      "ed25519:MCowBQYDK2VwAyEAGb9ECWmEzf6FQbrBZ9w7lshQhqowtrbLDFw4rXAxZuE=",
+		Suite:       "ed25519",
+		Disclosure:  "commit",
+	}))
 	add(EncodeRegisterAck(nil, RegisterAck{DroneID: "drone-00000001"}), nil)
 	add(EncodeError(nil, WireError{Message: "unsupported version"}), nil)
 	add(EncodeForward(nil, Forward{Seq: 9, DroneID: "drone-cafe", Ciphertext: []byte("ct")}), nil)
@@ -116,6 +123,11 @@ func FuzzDecodeFrame(f *testing.F) {
 					if v2.Seq != v.Seq || v2.DroneID != v.DroneID || !bytes.Equal(v2.Ciphertext, v.Ciphertext) {
 						t.Fatalf("submit round trip drift: %+v vs %+v", v2, v)
 					}
+				}
+			case TypeSubmitCommit:
+				if v, err := DecodeSubmitCommit(body); err == nil {
+					rt := EncodeSubmitCommit(nil, v)
+					checkReadsBack(t, rt)
 				}
 			case TypeAck:
 				if acks, err := DecodeAcks(body); err == nil {

@@ -20,13 +20,17 @@ const (
 	// cross-node forward continues the submitter's trace on the owner.
 	// Everything else is byte-identical to Version1.
 	Version2 byte = 2
+	// Version3 adds the commit-disclosure frames: SubmitCommit, and an
+	// optional trailing disclosure-mode field on Register. Frames shared
+	// with older versions stay byte-identical.
+	Version3 byte = 3
 	// LatestVersion is the newest version this build speaks; handshakes
 	// open at it and downgrade when the peer only speaks an older one.
-	LatestVersion = Version2
+	LatestVersion = Version3
 )
 
 // SupportedVersion reports whether this build decodes frames of version v.
-func SupportedVersion(v byte) bool { return v == Version1 || v == Version2 }
+func SupportedVersion(v byte) bool { return v >= Version1 && v <= Version3 }
 
 // MaxMessageBytes bounds one network frame payload. It is far below the
 // WAL's 64 MiB record bound: a transport peer is untrusted, and no
@@ -63,6 +67,11 @@ const (
 	// TypeGossip carries one membership digest (JSON). A node receiving
 	// a gossip frame merges it and answers with its own digest.
 	TypeGossip byte = 0x14
+	// TypeSubmitCommit carries one commit-mode submission: the same shape
+	// as TypeSubmit, but the ciphertext decrypts to a binary commit
+	// envelope instead of a plaintext PoA. Version3 only; acked like a
+	// Submit.
+	TypeSubmitCommit byte = 0x15
 	// TypeError is a fatal protocol error; the sender closes after it.
 	TypeError byte = 0x7f
 )
@@ -119,6 +128,10 @@ type Register struct {
 	OperatorPub string
 	TEEPub      string
 	Suite       string
+	// Disclosure is the negotiated disclosure mode; empty means full.
+	// Encoded only on Version3 frames — a Version1 Register stays
+	// byte-identical to the pre-disclosure protocol.
+	Disclosure string
 }
 
 // RegisterAck carries the issued drone identifier.
@@ -231,9 +244,30 @@ func EncodeSubmit(dst []byte, s Submit) []byte {
 // DecodeSubmit decodes a Submit body. The ciphertext is copied out of
 // the frame buffer, so the caller may retain it.
 func DecodeSubmit(body []byte) (Submit, error) {
+	return decodeSubmitBody(body, "submit")
+}
+
+// EncodeSubmitCommit appends a SubmitCommit frame — the commit-mode twin
+// of EncodeSubmit, travelling at Version3 so pre-disclosure peers reject
+// it at the frame header rather than mis-reading the body.
+func EncodeSubmitCommit(dst []byte, s Submit) []byte {
+	body := make([]byte, 0, 1+8+2+len(s.DroneID)+4+len(s.Ciphertext))
+	body = append(body, TypeSubmitCommit)
+	body = binary.LittleEndian.AppendUint64(body, s.Seq)
+	body = appendStr16(body, s.DroneID)
+	body = appendBytes32(body, s.Ciphertext)
+	return AppendFrame(dst, Version3, body)
+}
+
+// DecodeSubmitCommit decodes a SubmitCommit body.
+func DecodeSubmitCommit(body []byte) (Submit, error) {
+	return decodeSubmitBody(body, "submit-commit")
+}
+
+func decodeSubmitBody(body []byte, what string) (Submit, error) {
 	var s Submit
 	if len(body) < 8 {
-		return s, fmt.Errorf("%w: short submit seq", ErrBadMessage)
+		return s, fmt.Errorf("%w: short %s seq", ErrBadMessage, what)
 	}
 	s.Seq = binary.LittleEndian.Uint64(body)
 	body = body[8:]
@@ -246,7 +280,7 @@ func DecodeSubmit(body []byte) (Submit, error) {
 		return s, err
 	}
 	if len(body) != 0 {
-		return s, fmt.Errorf("%w: %d trailing bytes after submit", ErrBadMessage, len(body))
+		return s, fmt.Errorf("%w: %d trailing bytes after %s", ErrBadMessage, len(body), what)
 	}
 	s.Ciphertext = append([]byte(nil), ct...)
 	return s, nil
@@ -308,7 +342,9 @@ func DecodeAcks(body []byte) ([]Ack, error) {
 }
 
 // EncodeRegister appends a Register frame, encoding both key envelopes
-// in compact binary form.
+// in compact binary form. The disclosure field rides as a Version3
+// trailing string and is dropped when it is empty, so full-mode
+// registrations stay byte-identical to the pre-disclosure protocol.
 func EncodeRegister(dst []byte, r Register) ([]byte, error) {
 	body := []byte{TypeRegister}
 	var err error
@@ -319,10 +355,16 @@ func EncodeRegister(dst []byte, r Register) ([]byte, error) {
 		return dst, fmt.Errorf("tee key: %w", err)
 	}
 	body = appendStr16(body, r.Suite)
-	return AppendFrame(dst, Version1, body), nil
+	if r.Disclosure == "" {
+		return AppendFrame(dst, Version1, body), nil
+	}
+	body = appendStr16(body, r.Disclosure)
+	return AppendFrame(dst, Version3, body), nil
 }
 
-// DecodeRegister decodes a Register body back into envelope strings.
+// DecodeRegister decodes a Register body back into envelope strings. The
+// trailing disclosure field is optional: its absence decodes to the empty
+// (full) mode.
 func DecodeRegister(body []byte) (Register, error) {
 	var r Register
 	var err error
@@ -334,6 +376,11 @@ func DecodeRegister(body []byte) (Register, error) {
 	}
 	if r.Suite, body, err = takeStr16(body); err != nil {
 		return r, err
+	}
+	if len(body) != 0 {
+		if r.Disclosure, body, err = takeStr16(body); err != nil {
+			return r, err
+		}
 	}
 	if len(body) != 0 {
 		return r, fmt.Errorf("%w: %d trailing bytes after register", ErrBadMessage, len(body))

@@ -78,6 +78,18 @@ CLUSTER_SPEEDUP="$(echo "${RAW}" | awk '
 	$1 ~ /^BenchmarkSubmitThroughput\/cluster-4node/ { four = $3 }
 	END { if (one && four && four > 0) printf "%.1f", one / four }')"
 
+# Headline disclosure-size ratio: ciphertext bytes of the 600-sample
+# Merkle-commitment envelope as a fraction of the same flight's full
+# per-sample-signed PoA ciphertext.
+COMMIT_RATIO="$(echo "${RAW}" | awk '
+	$1 ~ /^BenchmarkSubmitThroughput\/commit/ {
+		for (i = 4; i <= NF; i++) {
+			if ($i == "commitbytes/op") commit = $(i-1)
+			if ($i == "fullbytes/op")   full = $(i-1)
+		}
+	}
+	END { if (commit && full && full > 0) printf "%.3f", commit / full }')"
+
 # Headline observability cost: the SLO-instrumented verdict path's ns/op
 # as a multiple of the bare (registry-only) path.
 SLO_OVERHEAD="$(echo "${RAW}" | awk '
@@ -99,6 +111,9 @@ SLO_OVERHEAD="$(echo "${RAW}" | awk '
 	fi
 	if [ -n "${SLO_OVERHEAD}" ]; then
 		printf '  "slo_observe_overhead": %s,\n' "${SLO_OVERHEAD}"
+	fi
+	if [ -n "${COMMIT_RATIO}" ]; then
+		printf '  "commit_bytes_ratio_vs_full": %s,\n' "${COMMIT_RATIO}"
 	fi
 	printf '  "results": [\n'
 	echo "${RAW}" | awk '
@@ -153,6 +168,17 @@ if [ -n "${CLUSTER_SPEEDUP}" ]; then
 		exit 1
 	fi
 	echo ">> 4-node cluster ${CLUSTER_SPEEDUP}x single-node submission throughput"
+fi
+
+# Disclosure-size gate: the commit envelope exists to shrink the
+# submission. For the 600-sample flight it must stay at or under half
+# the full PoA ciphertext, or the envelope encoding has bloated.
+if [ -n "${COMMIT_RATIO}" ]; then
+	if awk "BEGIN { exit !(${COMMIT_RATIO} > 0.5) }"; then
+		echo ">> FAIL: commit envelope is ${COMMIT_RATIO}x the full PoA ciphertext (need <= 0.5x)" >&2
+		exit 1
+	fi
+	echo ">> commit envelope ${COMMIT_RATIO}x the full PoA ciphertext for a 600-sample flight"
 fi
 
 # Observability gate: the sliding-window SLO tracker must stay cheap

@@ -46,6 +46,14 @@ go test -race ./...
 echo ">> go test ./internal/wire -fuzz FuzzDecodeFrame -fuzztime 10s"
 go test ./internal/wire -run '^$' -fuzz FuzzDecodeFrame -fuzztime 10s
 
+# The disclosure codecs face the same untrusted bytes: Merkle proofs
+# arrive from accused operators, commit envelopes from any drone.
+echo ">> go test ./internal/poa -fuzz FuzzDecodeMerkleProof -fuzztime 10s"
+go test ./internal/poa -run '^$' -fuzz FuzzDecodeMerkleProof -fuzztime 10s
+
+echo ">> go test ./internal/privacy -fuzz FuzzDecodeCommitEnvelope -fuzztime 10s"
+go test ./internal/privacy -run '^$' -fuzz FuzzDecodeCommitEnvelope -fuzztime 10s
+
 # Two-node cluster end-to-end smoke: register a drone on node A, submit
 # its PoA through node B, and expect a transparent forward plus a
 # compliant verdict. The full suite above already runs this test; the
